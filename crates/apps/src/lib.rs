@@ -1,0 +1,130 @@
+//! Benchmark applications for the `limitless` machine (paper §5–§6,
+//! Table 3).
+//!
+//! | Name   | Paper language | Size (paper)     | What it stresses |
+//! |--------|----------------|------------------|------------------|
+//! | WORKER | synthetic      | exact worker sets| controlled protocol comparison (Fig. 2, Tables 1–2) |
+//! | TSP    | Mul-T          | 10-city tour     | small worker sets + I/D cache thrashing (Figs. 3–5) |
+//! | AQ     | Semi-C         | x⁴y⁴, tol 0.005  | producer–consumer sharing (Fig. 4b) |
+//! | SMGRID | Mul-T          | 129×129          | nearest-neighbour + pyramid sharing (Fig. 4c) |
+//! | EVOLVE | Mul-T          | 12 dimensions    | heavy-tailed worker sets (Figs. 4d, 6) |
+//! | MP3D   | C              | 10 000 particles | cell contention, low speedups (Fig. 4e) |
+//! | WATER  | C              | 64 molecules     | all-to-all read sharing (Fig. 4f) |
+//!
+//! Each application runs its real algorithm *offline* (deterministic,
+//! in plain Rust) and replays the resulting per-node memory reference
+//! streams — addresses, read/write mix, synchronization and genuine
+//! data values — on the simulated machine. The coherence protocols
+//! observe exactly the sharing structure the algorithm produces, which
+//! is what determines protocol behaviour (see DESIGN.md for the full
+//! substitution argument). TSP is seeded with the optimal bound, as in
+//! the paper, precisely so that its work is deterministic.
+
+pub mod aq;
+pub mod evolve;
+pub mod layout;
+pub mod mp3d;
+pub mod smgrid;
+pub mod tsp;
+pub mod water;
+pub mod worker;
+
+use limitless_machine::{Machine, MachineConfig, Program, RunReport};
+use limitless_sim::Addr;
+
+pub use aq::Aq;
+pub use evolve::Evolve;
+pub use mp3d::Mp3d;
+pub use smgrid::Smgrid;
+pub use tsp::Tsp;
+pub use water::Water;
+pub use worker::Worker;
+
+/// Problem-size scaling: `Paper` reproduces Table 3's sizes; `Quick`
+/// shrinks them so the full experiment suite runs in CI time. Shapes —
+/// who wins, by roughly what factor — are preserved at both scales.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Scale {
+    /// Reduced problem sizes for fast runs.
+    #[default]
+    Quick,
+    /// The paper's Table 3 problem sizes.
+    Paper,
+}
+
+impl Scale {
+    /// Reads the scale from the `LIMITLESS_SCALE` environment variable
+    /// (`paper` selects [`Scale::Paper`]; anything else is quick).
+    pub fn from_env() -> Scale {
+        match std::env::var("LIMITLESS_SCALE").as_deref() {
+            Ok("paper") | Ok("PAPER") | Ok("full") => Scale::Paper,
+            _ => Scale::Quick,
+        }
+    }
+}
+
+/// A benchmark application: produces one program per node plus the
+/// metadata the experiment harnesses print.
+pub trait App {
+    /// Short name (Table 3 spelling).
+    fn name(&self) -> &'static str;
+
+    /// The language the paper's version was written in.
+    fn language(&self) -> &'static str;
+
+    /// Problem-size description for Table 3.
+    fn size_description(&self) -> String;
+
+    /// Builds the per-node programs for a machine of `nodes` nodes.
+    fn programs(&self, nodes: usize) -> Vec<Box<dyn Program>>;
+
+    /// Initial shared-memory contents (input data).
+    fn init_memory(&self) -> Vec<(Addr, u64)> {
+        Vec::new()
+    }
+
+    /// `(address, expected value)` pairs to verify after a run —
+    /// genuine algorithm outputs (tour length, integral bits, …).
+    fn expected_results(&self) -> Vec<(Addr, u64)> {
+        Vec::new()
+    }
+}
+
+/// Runs `app` on a machine built from `cfg`, verifying any expected
+/// results, and returns the report.
+///
+/// # Panics
+///
+/// Panics if a declared expected result does not match (an algorithm
+/// or coherence bug).
+pub fn run_app(app: &dyn App, cfg: MachineConfig) -> RunReport {
+    let nodes = cfg.nodes;
+    let mut m = Machine::new(cfg);
+    for (a, v) in app.init_memory() {
+        m.poke(a, v);
+    }
+    m.load(app.programs(nodes));
+    let report = m.run();
+    for (a, want) in app.expected_results() {
+        let got = m.peek(a);
+        assert_eq!(
+            got,
+            want,
+            "{}: result at {a} is {got}, expected {want}",
+            app.name()
+        );
+    }
+    report
+}
+
+/// Convenience: the sequential baseline — the same application on one
+/// node with a full-map directory (no multiprocessor overhead beyond
+/// the memory system itself), as the paper's speedup denominators use.
+pub fn sequential_cycles(app: &dyn App) -> u64 {
+    let cfg = MachineConfig::builder()
+        .nodes(1)
+        .protocol(limitless_core::ProtocolSpec::full_map())
+        .victim_cache(true)
+        .build();
+    run_app(app, cfg).cycles.as_u64()
+}

@@ -1,0 +1,13 @@
+//! Regenerates the paper experiment `ablation_localbit` (see DESIGN.md §3).
+//! Run with `cargo bench -p limitless-bench --bench ablation_localbit`;
+//! set `LIMITLESS_SCALE=paper` for full problem sizes.
+
+use limitless_bench::experiments;
+use limitless_bench::Harness;
+
+fn main() {
+    let h = Harness::from_env();
+    let t = experiments::ablation_localbit(h);
+    println!("== ablation_localbit ==");
+    println!("{}", t.render());
+}

@@ -1,0 +1,12 @@
+//! Regenerates the network-latency sensitivity ablation (DESIGN.md §4).
+//! Run with `cargo bench -p limitless-bench --bench ablation_network`.
+
+use limitless_bench::experiments;
+use limitless_bench::Harness;
+
+fn main() {
+    let h = Harness::from_env();
+    let t = experiments::ablation_network(h);
+    println!("== ablation_network ==");
+    println!("{}", t.render());
+}

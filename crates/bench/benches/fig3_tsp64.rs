@@ -1,0 +1,13 @@
+//! Regenerates the paper experiment `fig3` (see DESIGN.md §3).
+//! Run with `cargo bench -p limitless-bench --bench fig3_tsp64`;
+//! set `LIMITLESS_SCALE=paper` for full problem sizes.
+
+use limitless_bench::experiments;
+use limitless_bench::Harness;
+
+fn main() {
+    let h = Harness::from_env();
+    let t = experiments::fig3(h);
+    println!("== fig3_tsp64 ==");
+    println!("{}", t.render());
+}

@@ -1,0 +1,13 @@
+//! Regenerates the paper experiment `fig4` (see DESIGN.md §3).
+//! Run with `cargo bench -p limitless-bench --bench fig4_apps`;
+//! set `LIMITLESS_SCALE=paper` for full problem sizes.
+
+use limitless_bench::experiments;
+use limitless_bench::Harness;
+
+fn main() {
+    let h = Harness::from_env();
+    let t = experiments::fig4(h);
+    println!("== fig4_apps ==");
+    println!("{}", t.render());
+}

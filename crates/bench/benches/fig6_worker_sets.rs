@@ -1,0 +1,12 @@
+//! Regenerates the paper experiment `fig6` (see DESIGN.md §3).
+//! Run with `cargo bench -p limitless-bench --bench fig6_worker_sets`;
+//! set `LIMITLESS_SCALE=paper` for full problem sizes.
+
+use limitless_bench::experiments;
+use limitless_bench::Harness;
+
+fn main() {
+    let h = Harness::from_env();
+    println!("== fig6_worker_sets ==");
+    println!("{}", experiments::fig6_chart(h));
+}

@@ -1,0 +1,13 @@
+//! Regenerates the paper experiment `table1` (see DESIGN.md §3).
+//! Run with `cargo bench -p limitless-bench --bench table1_latencies`;
+//! set `LIMITLESS_SCALE=paper` for full problem sizes.
+
+use limitless_bench::experiments;
+use limitless_bench::Harness;
+
+fn main() {
+    let h = Harness::from_env();
+    let t = experiments::table1(h);
+    println!("== table1_latencies ==");
+    println!("{}", t.render());
+}

@@ -1,0 +1,13 @@
+//! Regenerates the paper experiment `table2` (see DESIGN.md §3).
+//! Run with `cargo bench -p limitless-bench --bench table2_breakdown`;
+//! set `LIMITLESS_SCALE=paper` for full problem sizes.
+
+use limitless_bench::experiments;
+use limitless_bench::Harness;
+
+fn main() {
+    let h = Harness::from_env();
+    let t = experiments::table2(h);
+    println!("== table2_breakdown ==");
+    println!("{}", t.render());
+}

@@ -1,0 +1,13 @@
+//! Regenerates the paper experiment `table3` (see DESIGN.md §3).
+//! Run with `cargo bench -p limitless-bench --bench table3_apps`;
+//! set `LIMITLESS_SCALE=paper` for full problem sizes.
+
+use limitless_bench::experiments;
+use limitless_bench::Harness;
+
+fn main() {
+    let h = Harness::from_env();
+    let t = experiments::table3(h);
+    println!("== table3_apps ==");
+    println!("{}", t.render());
+}

@@ -1,0 +1,45 @@
+//! Diagnostic: cycle/trap breakdown of TSP under the software-only
+//! directory vs full-map — the quickest way to see where
+//! `Dir_nH_0S_{NB,ACK}` spends its time.
+//!
+//! ```text
+//! cargo run --release -p limitless-bench --example h0diag
+//! ```
+
+use limitless_apps::{run_app, Scale, Tsp};
+use limitless_core::ProtocolSpec;
+use limitless_machine::MachineConfig;
+
+fn main() {
+    let app = Tsp::new(Scale::Quick);
+    for (name, p) in [
+        ("DirnH0SNB,ACK", ProtocolSpec::zero_ptr()),
+        ("DirnHNBS-", ProtocolSpec::full_map()),
+    ] {
+        let r = run_app(
+            &app,
+            MachineConfig::builder()
+                .nodes(16)
+                .protocol(p)
+                .victim_cache(true)
+                .build(),
+        );
+        println!(
+            "{name:>14}: {:>9} cycles | {} reads {} writes ({} hits, {} misses) | \
+             {} busy retries | traps: {} read-extend, {} write-extend, {} ack, {} busy \
+             ({} handler cycles) | {} local fast fills",
+            r.cycles.as_u64(),
+            r.stats.reads,
+            r.stats.writes,
+            r.stats.hits,
+            r.stats.misses,
+            r.stats.busy_retries,
+            r.stats.engine.read_extend_traps,
+            r.stats.engine.write_extend_traps,
+            r.stats.engine.ack_traps,
+            r.stats.engine.busy_traps,
+            r.stats.engine.trap_cycles,
+            r.stats.local_fast_fills,
+        );
+    }
+}

@@ -1,0 +1,28 @@
+//! Regression probe for the upgrade-race hang: TSP's hot-block layout
+//! under the software-only directory once wedged a read transaction
+//! forever (see `Machine`'s window-of-vulnerability handling). This
+//! run must terminate.
+//!
+//! ```text
+//! cargo run --release -p limitless-bench --example livelock
+//! ```
+
+use limitless_apps::{run_app, Scale, Tsp};
+use limitless_core::ProtocolSpec;
+use limitless_machine::MachineConfig;
+
+fn main() {
+    let app = Tsp::new(Scale::Quick);
+    let r = run_app(
+        &app,
+        MachineConfig::builder()
+            .nodes(16)
+            .protocol(ProtocolSpec::zero_ptr())
+            .build(),
+    );
+    println!(
+        "terminated cleanly: {} cycles, {} events",
+        r.cycles.as_u64(),
+        r.events
+    );
+}

@@ -1,0 +1,88 @@
+//! `limitless-bench` — run any paper experiment from the command line.
+//!
+//! ```text
+//! limitless-bench <experiment> [--paper] [--nodes N]
+//! limitless-bench all [--paper]
+//! ```
+//!
+//! Experiments: `table1 table2 table3 fig2 fig3 fig4 fig5 fig6
+//! ablation-localbit ablation-network ablation-handlers`.
+
+use limitless_apps::Scale;
+use limitless_bench::{experiments, Harness};
+use limitless_stats::Table;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        usage();
+        std::process::exit(2);
+    }
+    let mut scale = Scale::from_env();
+    let mut nodes_override = None;
+    let mut name = String::new();
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--paper" => scale = Scale::Paper,
+            "--quick" => scale = Scale::Quick,
+            "--nodes" => {
+                nodes_override = it
+                    .next()
+                    .and_then(|n| n.parse().ok())
+                    .or_else(|| {
+                        eprintln!("--nodes needs a number");
+                        std::process::exit(2);
+                    });
+            }
+            other if name.is_empty() => name = other.to_string(),
+            other => {
+                eprintln!("unexpected argument `{other}`");
+                std::process::exit(2);
+            }
+        }
+    }
+    let h = Harness {
+        scale,
+        nodes_override,
+    };
+    let all: Vec<(&str, fn(Harness) -> Table)> = vec![
+        ("table1", experiments::table1),
+        ("table2", experiments::table2),
+        ("table3", experiments::table3),
+        ("fig2", experiments::fig2),
+        ("fig3", experiments::fig3),
+        ("fig4", experiments::fig4),
+        ("fig5", experiments::fig5),
+        ("fig6", experiments::fig6),
+        ("ablation-localbit", experiments::ablation_localbit),
+        ("ablation-network", experiments::ablation_network),
+        ("ablation-handlers", experiments::ablation_handlers),
+    ];
+    if name == "all" {
+        for (n, f) in &all {
+            println!("== {n} ==");
+            println!("{}", f(h).render());
+        }
+        return;
+    }
+    match all.iter().find(|(n, _)| *n == name) {
+        Some((n, f)) => {
+            println!("== {n} ==");
+            println!("{}", f(h).render());
+        }
+        None => {
+            eprintln!("unknown experiment `{name}`");
+            usage();
+            std::process::exit(2);
+        }
+    }
+}
+
+fn usage() {
+    eprintln!(
+        "usage: limitless-bench <experiment|all> [--paper|--quick] [--nodes N]\n\
+         experiments: table1 table2 table3 fig2 fig3 fig4 fig5 fig6 \
+         ablation-localbit ablation-network ablation-handlers"
+    );
+}

@@ -1,0 +1,148 @@
+//! Experiment harnesses: the code that regenerates every table and
+//! figure of the paper's evaluation.
+//!
+//! Each `cargo bench` target in this crate prints one table or figure
+//! (see DESIGN.md §3 for the index). Problem sizes default to
+//! [`Scale::Quick`]; set `LIMITLESS_SCALE=paper` for the paper's
+//! Table 3 sizes, and `LIMITLESS_NODES=<n>` to override the default
+//! machine sizes.
+
+use limitless_apps::{run_app, App, Scale};
+use limitless_core::{HandlerImpl, ProtocolSpec};
+use limitless_machine::{MachineConfig, RunReport};
+
+pub mod experiments;
+
+/// Common knobs shared by every experiment harness.
+#[derive(Clone, Copy, Debug)]
+pub struct Harness {
+    /// Problem-size scale.
+    pub scale: Scale,
+    /// Override for the experiment's default node count.
+    pub nodes_override: Option<usize>,
+}
+
+impl Harness {
+    /// Builds a harness from the environment (`LIMITLESS_SCALE`,
+    /// `LIMITLESS_NODES`).
+    pub fn from_env() -> Self {
+        Harness {
+            scale: Scale::from_env(),
+            nodes_override: std::env::var("LIMITLESS_NODES")
+                .ok()
+                .and_then(|s| s.parse().ok()),
+        }
+    }
+
+    /// The node count to use, given an experiment default. Quick scale
+    /// shrinks the paper's 64/256-node configurations to keep
+    /// single-core wall time reasonable.
+    pub fn nodes(&self, paper_default: usize) -> usize {
+        if let Some(n) = self.nodes_override {
+            return n;
+        }
+        match self.scale {
+            Scale::Paper => paper_default,
+            Scale::Quick => match paper_default {
+                256 => 64,
+                64 => 16,
+                other => other,
+            },
+        }
+    }
+}
+
+/// A machine configuration for one experiment cell.
+pub fn cfg(nodes: usize, protocol: ProtocolSpec) -> MachineConfig {
+    MachineConfig::builder()
+        .nodes(nodes)
+        .protocol(protocol)
+        .victim_cache(true) // the paper's default after §6/TSP
+        .build()
+}
+
+/// Runs `app` and returns the report (convenience re-export).
+pub fn run(app: &dyn App, config: MachineConfig) -> RunReport {
+    run_app(app, config)
+}
+
+/// The Figure 4 protocol spectrum with display labels: hardware
+/// pointer counts 0, 1 (the `ACK` variant, as the paper plots), 2, 3,
+/// 4, 5 and full-map.
+pub fn fig4_spectrum() -> Vec<(&'static str, ProtocolSpec)> {
+    vec![
+        ("0 (DirnH0SNB,ACK)", ProtocolSpec::zero_ptr()),
+        ("1 (DirnH1SNB,ACK)", ProtocolSpec::one_ptr_ack()),
+        ("2 (DirnH2SNB)", ProtocolSpec::limitless(2)),
+        ("3 (DirnH3SNB)", ProtocolSpec::limitless(3)),
+        ("4 (DirnH4SNB)", ProtocolSpec::limitless(4)),
+        ("5 (DirnH5SNB)", ProtocolSpec::limitless(5)),
+        ("n (DirnHNBS-)", ProtocolSpec::full_map()),
+    ]
+}
+
+/// The Figure 2 protocol set: the machine protocols (solid curves)
+/// plus the three one-pointer variants (dashed curves).
+pub fn fig2_protocols() -> Vec<(&'static str, ProtocolSpec)> {
+    vec![
+        ("DirnH0SNB,ACK", ProtocolSpec::zero_ptr()),
+        ("DirnH1SNB,ACK", ProtocolSpec::one_ptr_ack()),
+        ("DirnH1SNB,LACK", ProtocolSpec::one_ptr_lack()),
+        ("DirnH1SNB", ProtocolSpec::one_ptr_hw()),
+        ("DirnH2SNB", ProtocolSpec::limitless(2)),
+        ("DirnH3SNB", ProtocolSpec::limitless(3)),
+        ("DirnH4SNB", ProtocolSpec::limitless(4)),
+        ("DirnH5SNB", ProtocolSpec::limitless(5)),
+        ("DirnHNBS-", ProtocolSpec::full_map()),
+    ]
+}
+
+/// Computes speedup: sequential cycles / parallel cycles.
+pub fn speedup(sequential: u64, parallel: u64) -> f64 {
+    sequential as f64 / parallel as f64
+}
+
+/// The `HandlerImpl` pair for Table 1/2 comparisons.
+pub fn handler_impls() -> [(&'static str, HandlerImpl); 2] {
+    [
+        ("C", HandlerImpl::FlexibleC),
+        ("Assembly", HandlerImpl::TunedAsm),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spectrum_shapes() {
+        assert_eq!(fig4_spectrum().len(), 7);
+        assert_eq!(fig2_protocols().len(), 9);
+    }
+
+    #[test]
+    fn quick_scale_shrinks_paper_machines() {
+        let h = Harness {
+            scale: Scale::Quick,
+            nodes_override: None,
+        };
+        assert_eq!(h.nodes(64), 16);
+        assert_eq!(h.nodes(256), 64);
+        assert_eq!(h.nodes(16), 16);
+        let hp = Harness {
+            scale: Scale::Paper,
+            nodes_override: None,
+        };
+        assert_eq!(hp.nodes(64), 64);
+        let ho = Harness {
+            scale: Scale::Quick,
+            nodes_override: Some(8),
+        };
+        assert_eq!(ho.nodes(64), 8);
+    }
+
+    #[test]
+    fn speedup_math() {
+        assert_eq!(speedup(100, 50), 2.0);
+    }
+}

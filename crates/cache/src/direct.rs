@@ -1,0 +1,196 @@
+//! The direct-mapped tag array.
+
+use limitless_sim::BlockAddr;
+
+use crate::LineState;
+
+/// A direct-mapped cache of block tags.
+///
+/// Each block maps to exactly one set (`block mod sets`); inserting a
+/// block evicts whatever occupied its set.
+///
+/// # Examples
+///
+/// ```
+/// use limitless_cache::{DirectCache, LineState};
+/// use limitless_sim::BlockAddr;
+///
+/// let mut c = DirectCache::new(4);
+/// assert_eq!(c.insert(BlockAddr(1), LineState::Shared), None);
+/// // Block 5 maps to the same set as block 1 in a 4-set cache:
+/// let evicted = c.insert(BlockAddr(5), LineState::Shared);
+/// assert_eq!(evicted, Some((BlockAddr(1), LineState::Shared)));
+/// ```
+#[derive(Clone, Debug)]
+pub struct DirectCache {
+    sets: Vec<Option<(BlockAddr, LineState)>>,
+}
+
+impl DirectCache {
+    /// Creates an empty cache with `sets` sets (one line per set).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sets` is zero or not a power of two.
+    pub fn new(sets: usize) -> Self {
+        assert!(
+            sets > 0 && sets.is_power_of_two(),
+            "set count must be a positive power of two"
+        );
+        DirectCache {
+            sets: vec![None; sets],
+        }
+    }
+
+    /// Number of sets (= lines) in the cache.
+    pub fn sets(&self) -> usize {
+        self.sets.len()
+    }
+
+    /// The set index a block maps to.
+    #[inline]
+    pub fn set_of(&self, block: BlockAddr) -> usize {
+        (block.0 as usize) & (self.sets.len() - 1)
+    }
+
+    /// Looks up a block, returning its state if present.
+    #[inline]
+    pub fn lookup(&self, block: BlockAddr) -> Option<LineState> {
+        match self.sets[self.set_of(block)] {
+            Some((b, s)) if b == block => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Inserts a block, returning the evicted occupant of its set (if
+    /// any, and if it is a different block).
+    pub fn insert(
+        &mut self,
+        block: BlockAddr,
+        state: LineState,
+    ) -> Option<(BlockAddr, LineState)> {
+        let set = self.set_of(block);
+        let old = self.sets[set].take();
+        self.sets[set] = Some((block, state));
+        match old {
+            Some((b, _)) if b == block => None,
+            other => other,
+        }
+    }
+
+    /// Removes a block if present, returning its state.
+    pub fn invalidate(&mut self, block: BlockAddr) -> Option<LineState> {
+        let set = self.set_of(block);
+        match self.sets[set] {
+            Some((b, s)) if b == block => {
+                self.sets[set] = None;
+                Some(s)
+            }
+            _ => None,
+        }
+    }
+
+    /// Downgrades a block from `Dirty` to `Shared` (after the home
+    /// pulls a writeback). Returns `true` if the block was present.
+    pub fn downgrade(&mut self, block: BlockAddr) -> bool {
+        let set = self.set_of(block);
+        match &mut self.sets[set] {
+            Some((b, s)) if *b == block => {
+                *s = LineState::Shared;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Upgrades a block from `Shared` to `Dirty` (write permission
+    /// granted). Returns `true` if the block was present.
+    pub fn upgrade(&mut self, block: BlockAddr) -> bool {
+        let set = self.set_of(block);
+        match &mut self.sets[set] {
+            Some((b, s)) if *b == block => {
+                *s = LineState::Dirty;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Number of occupied lines (O(sets); for tests and stats only).
+    pub fn occupancy(&self) -> usize {
+        self.sets.iter().filter(|s| s.is_some()).count()
+    }
+
+    /// Iterates over resident `(block, state)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (BlockAddr, LineState)> + '_ {
+        self.sets.iter().filter_map(|s| *s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lookup_after_insert() {
+        let mut c = DirectCache::new(8);
+        c.insert(BlockAddr(3), LineState::Shared);
+        assert_eq!(c.lookup(BlockAddr(3)), Some(LineState::Shared));
+        assert_eq!(c.lookup(BlockAddr(11)), None); // same set, different tag
+    }
+
+    #[test]
+    fn conflicting_blocks_evict_each_other() {
+        let mut c = DirectCache::new(8);
+        c.insert(BlockAddr(3), LineState::Dirty);
+        let ev = c.insert(BlockAddr(11), LineState::Shared);
+        assert_eq!(ev, Some((BlockAddr(3), LineState::Dirty)));
+        assert_eq!(c.lookup(BlockAddr(3)), None);
+        assert_eq!(c.lookup(BlockAddr(11)), Some(LineState::Shared));
+    }
+
+    #[test]
+    fn reinserting_same_block_is_not_an_eviction() {
+        let mut c = DirectCache::new(8);
+        c.insert(BlockAddr(3), LineState::Shared);
+        assert_eq!(c.insert(BlockAddr(3), LineState::Dirty), None);
+        assert_eq!(c.lookup(BlockAddr(3)), Some(LineState::Dirty));
+    }
+
+    #[test]
+    fn invalidate_removes_line() {
+        let mut c = DirectCache::new(8);
+        c.insert(BlockAddr(5), LineState::Dirty);
+        assert_eq!(c.invalidate(BlockAddr(5)), Some(LineState::Dirty));
+        assert_eq!(c.invalidate(BlockAddr(5)), None);
+        assert_eq!(c.lookup(BlockAddr(5)), None);
+    }
+
+    #[test]
+    fn upgrade_and_downgrade() {
+        let mut c = DirectCache::new(8);
+        c.insert(BlockAddr(5), LineState::Shared);
+        assert!(c.upgrade(BlockAddr(5)));
+        assert_eq!(c.lookup(BlockAddr(5)), Some(LineState::Dirty));
+        assert!(c.downgrade(BlockAddr(5)));
+        assert_eq!(c.lookup(BlockAddr(5)), Some(LineState::Shared));
+        assert!(!c.upgrade(BlockAddr(99)));
+        assert!(!c.downgrade(BlockAddr(99)));
+    }
+
+    #[test]
+    fn occupancy_counts_resident_lines() {
+        let mut c = DirectCache::new(16);
+        assert_eq!(c.occupancy(), 0);
+        for b in 0..5 {
+            c.insert(BlockAddr(b), LineState::Shared);
+        }
+        assert_eq!(c.occupancy(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_sets_panics() {
+        DirectCache::new(3);
+    }
+}

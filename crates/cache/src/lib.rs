@@ -1,0 +1,59 @@
+//! Processor cache model for the `limitless` simulator.
+//!
+//! Each Alewife node has 64 KB of direct-mapped, *combined*
+//! instruction + data cache with 16-byte lines (paper §3.1). Because
+//! the cache is combined and direct-mapped, hot instruction blocks can
+//! conflict with hot data blocks — the instruction/data thrashing that
+//! cripples TSP in Figure 3. The paper's remedies are both modelled
+//! here:
+//!
+//! * **perfect ifetch** — a simulator option giving one-cycle access to
+//!   every instruction without touching the cache (Figure 3's hashed
+//!   bars);
+//! * **victim caching** — a small fully-associative buffer for blocks
+//!   evicted from the direct-mapped cache (Jouppi 1990), Alewife's
+//!   actual mechanism via the transaction store (Figure 3's black
+//!   bars).
+//!
+//! The cache is a *permission* model: it tracks which blocks are
+//! present and whether they may be read or written. Data values live in
+//! the machine layer's shadow memory (the coherence checker).
+//!
+//! # Examples
+//!
+//! ```
+//! use limitless_cache::{CacheConfig, CacheSystem, Access};
+//! use limitless_sim::BlockAddr;
+//!
+//! let mut c = CacheSystem::new(CacheConfig::default());
+//! assert_eq!(c.read(BlockAddr(100)), Access::Miss { writeback: None });
+//! c.fill_shared(BlockAddr(100));
+//! assert_eq!(c.read(BlockAddr(100)), Access::Hit);
+//! ```
+
+pub mod direct;
+pub mod ifetch;
+pub mod system;
+pub mod victim;
+
+pub use direct::DirectCache;
+pub use ifetch::InstrFootprint;
+pub use system::{Access, CacheConfig, CacheStats, CacheSystem};
+pub use victim::VictimCache;
+
+/// Permission state of a cached line (matching the hardware protocol's
+/// view: invalid, read-only shared, or read-write dirty).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum LineState {
+    /// Present with read permission only.
+    Shared,
+    /// Present with read/write permission; memory copy is stale.
+    Dirty,
+}
+
+impl LineState {
+    /// Whether this state grants write permission.
+    pub fn writable(self) -> bool {
+        matches!(self, LineState::Dirty)
+    }
+}

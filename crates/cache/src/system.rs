@@ -1,0 +1,438 @@
+//! The per-node cache system: direct-mapped array + victim buffer.
+
+use limitless_sim::BlockAddr;
+
+use crate::direct::DirectCache;
+use crate::victim::VictimCache;
+use crate::LineState;
+
+/// Cache geometry and feature switches.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Total capacity in bytes (default 64 KB, the Alewife cache).
+    pub capacity_bytes: u64,
+    /// Line size in bytes (default 16, the Alewife block).
+    pub line_bytes: u64,
+    /// Victim-cache capacity in lines (0 disables it). The paper's
+    /// victim-caching configuration uses a handful of transaction-store
+    /// buffers; we default to 4 when enabled.
+    pub victim_lines: usize,
+}
+
+impl CacheConfig {
+    /// The Alewife base configuration: 64 KB direct-mapped, 16-byte
+    /// lines, no victim cache.
+    pub fn alewife() -> Self {
+        CacheConfig {
+            capacity_bytes: 64 * 1024,
+            line_bytes: 16,
+            victim_lines: 0,
+        }
+    }
+
+    /// Alewife with victim caching enabled (Figure 3's black bars and
+    /// the default for all Figure 4 runs).
+    pub fn alewife_with_victim() -> Self {
+        CacheConfig {
+            victim_lines: 4,
+            ..Self::alewife()
+        }
+    }
+
+    /// Number of sets in the direct-mapped array.
+    pub fn sets(&self) -> usize {
+        (self.capacity_bytes / self.line_bytes) as usize
+    }
+}
+
+impl Default for CacheConfig {
+    fn default() -> Self {
+        Self::alewife()
+    }
+}
+
+/// Outcome of a read or write probe.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Access {
+    /// Present with sufficient permission.
+    Hit,
+    /// Found in the victim buffer and swapped back into the main array
+    /// (slightly slower than a primary hit).
+    VictimHit,
+    /// Present `Shared` but the access is a write: the protocol must
+    /// obtain write permission, but no line needs to be evicted.
+    UpgradeMiss,
+    /// Not present: the protocol must fetch the block. If filling it
+    /// displaced a dirty line that fell out of the victim path,
+    /// `writeback` names the block that must be flushed to its home.
+    Miss {
+        /// Dirty block displaced by this access, to be written back.
+        writeback: Option<BlockAddr>,
+    },
+}
+
+/// Hit/miss statistics for one cache.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Primary-array data hits.
+    pub hits: u64,
+    /// Victim-buffer data hits.
+    pub victim_hits: u64,
+    /// Data misses requiring a protocol fetch.
+    pub misses: u64,
+    /// Write probes that found the line `Shared` (upgrade needed).
+    pub upgrade_misses: u64,
+    /// Lines displaced from the primary array by conflicting fills.
+    pub evictions: u64,
+    /// Dirty lines that had to be written back to their home.
+    pub writebacks: u64,
+    /// Instruction-fetch probes.
+    pub ifetches: u64,
+    /// Instruction-fetch misses.
+    pub ifetch_misses: u64,
+    /// External invalidations that found the line present.
+    pub invalidations: u64,
+}
+
+impl CacheStats {
+    /// Data-access miss ratio (misses / (hits + victim + misses)).
+    pub fn miss_ratio(&self) -> f64 {
+        let total = self.hits + self.victim_hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.misses as f64 / total as f64
+        }
+    }
+}
+
+/// A node's cache system: the direct-mapped combined cache plus an
+/// optional victim buffer, with the bookkeeping the CMMU needs.
+///
+/// Probes (`read`/`write`) answer *can this access proceed and what
+/// fell out*; fills (`fill_shared`/`fill_dirty`) install a block after
+/// the protocol delivers it.
+#[derive(Clone, Debug)]
+pub struct CacheSystem {
+    cfg: CacheConfig,
+    main: DirectCache,
+    victim: VictimCache,
+    stats: CacheStats,
+}
+
+impl CacheSystem {
+    /// Creates an empty cache system.
+    pub fn new(cfg: CacheConfig) -> Self {
+        CacheSystem {
+            main: DirectCache::new(cfg.sets()),
+            victim: VictimCache::new(cfg.victim_lines),
+            cfg,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// The configuration this cache was built with.
+    pub fn config(&self) -> CacheConfig {
+        self.cfg
+    }
+
+    /// Statistics accumulated so far.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Probes for a read of `block`.
+    pub fn read(&mut self, block: BlockAddr) -> Access {
+        if self.main.lookup(block).is_some() {
+            self.stats.hits += 1;
+            return Access::Hit;
+        }
+        if let Some(state) = self.victim.take(block) {
+            self.stats.victim_hits += 1;
+            self.install(block, state);
+            return Access::VictimHit;
+        }
+        self.stats.misses += 1;
+        Access::Miss { writeback: None }
+    }
+
+    /// Probes for a write of `block`.
+    pub fn write(&mut self, block: BlockAddr) -> Access {
+        match self.main.lookup(block) {
+            Some(LineState::Dirty) => {
+                self.stats.hits += 1;
+                return Access::Hit;
+            }
+            Some(LineState::Shared) => {
+                self.stats.upgrade_misses += 1;
+                return Access::UpgradeMiss;
+            }
+            None => {}
+        }
+        if let Some(state) = self.victim.take(block) {
+            self.install(block, state);
+            return match state {
+                LineState::Dirty => {
+                    self.stats.victim_hits += 1;
+                    Access::VictimHit
+                }
+                LineState::Shared => {
+                    self.stats.upgrade_misses += 1;
+                    Access::UpgradeMiss
+                }
+            };
+        }
+        self.stats.misses += 1;
+        Access::Miss { writeback: None }
+    }
+
+    /// Installs `block` with read-only permission, returning any dirty
+    /// block displaced out of the victim path (which must be written
+    /// back to its home).
+    pub fn fill_shared(&mut self, block: BlockAddr) -> Option<BlockAddr> {
+        self.install(block, LineState::Shared)
+    }
+
+    /// Installs `block` with write permission, returning any dirty
+    /// block displaced out of the victim path.
+    pub fn fill_dirty(&mut self, block: BlockAddr) -> Option<BlockAddr> {
+        self.install(block, LineState::Dirty)
+    }
+
+    /// Grants write permission to an already-resident `Shared` line
+    /// (completion of an upgrade transaction).
+    ///
+    /// Returns `false` if the line is no longer resident (it may have
+    /// been evicted or invalidated while the upgrade was in flight; the
+    /// caller should fill instead).
+    pub fn upgrade(&mut self, block: BlockAddr) -> bool {
+        self.main.upgrade(block)
+    }
+
+    /// External invalidation from the home node. Returns the state the
+    /// line was in, if present (a `Dirty` result means the protocol
+    /// must carry the data back with the acknowledgment).
+    pub fn invalidate(&mut self, block: BlockAddr) -> Option<LineState> {
+        // Check both structures: defensive against a copy in each.
+        let main = self.main.invalidate(block);
+        let victim = self.victim.invalidate(block);
+        let s = match (main, victim) {
+            (Some(LineState::Dirty), _) | (_, Some(LineState::Dirty)) => {
+                Some(LineState::Dirty)
+            }
+            (Some(s), _) | (None, Some(s)) => Some(s),
+            (None, None) => None,
+        };
+        if s.is_some() {
+            self.stats.invalidations += 1;
+        }
+        s
+    }
+
+    /// Downgrades a dirty line to shared (home pulled the data for a
+    /// remote reader). Returns `true` if the line was present. A line
+    /// sitting in the victim buffer is swapped back shared — otherwise
+    /// a `Downgrade` could miss a still-held dirty copy and hang the
+    /// home's read transaction.
+    pub fn downgrade(&mut self, block: BlockAddr) -> bool {
+        if self.main.downgrade(block) {
+            return true;
+        }
+        if self.victim.take(block).is_some() {
+            self.install(block, LineState::Shared);
+            return true;
+        }
+        false
+    }
+
+    /// Whether `block` is resident anywhere in the cache system.
+    pub fn contains(&self, block: BlockAddr) -> bool {
+        self.main.lookup(block).is_some() || self.victim.contains(block)
+    }
+
+    /// The permission state of `block`, if resident in the main array
+    /// or victim buffer.
+    pub fn state_of(&self, block: BlockAddr) -> Option<LineState> {
+        self.main.lookup(block)
+    }
+
+    /// Instruction-fetch probe: instructions travel through the same
+    /// combined cache and can displace data lines. Returns `(miss,
+    /// writeback)`: `miss` is `true` when the machine must charge the
+    /// ifetch miss penalty, and `writeback` names a dirty *data* block
+    /// the code fill displaced out of the victim path (the thrashing
+    /// mechanism of Figure 3). Instruction lines are always `Shared`
+    /// (code is read-only and node-local).
+    pub fn ifetch(&mut self, block: BlockAddr) -> (bool, Option<BlockAddr>) {
+        self.stats.ifetches += 1;
+        if self.main.lookup(block).is_some() {
+            return (false, None);
+        }
+        if self.victim.take(block).is_some() {
+            // Victim hit on code: swap back, modest cost treated as a
+            // hit for miss accounting.
+            let wb = self.install(block, LineState::Shared);
+            return (false, wb);
+        }
+        self.stats.ifetch_misses += 1;
+        let wb = self.install(block, LineState::Shared);
+        (true, wb)
+    }
+
+    fn install(&mut self, block: BlockAddr, state: LineState) -> Option<BlockAddr> {
+        // A re-fill of a block still sitting in the victim buffer must
+        // not leave a duplicate behind.
+        self.victim.take(block);
+        let evicted = self.main.insert(block, state)?;
+        self.stats.evictions += 1;
+        let overflow = self.victim.insert(evicted.0, evicted.1)?;
+        match overflow.1 {
+            LineState::Dirty => {
+                self.stats.writebacks += 1;
+                Some(overflow.0)
+            }
+            LineState::Shared => None, // silent drop
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny(victim: usize) -> CacheSystem {
+        CacheSystem::new(CacheConfig {
+            capacity_bytes: 8 * 16,
+            line_bytes: 16,
+            victim_lines: victim,
+        })
+    }
+
+    #[test]
+    fn read_miss_then_hit() {
+        let mut c = tiny(0);
+        assert_eq!(c.read(BlockAddr(1)), Access::Miss { writeback: None });
+        c.fill_shared(BlockAddr(1));
+        assert_eq!(c.read(BlockAddr(1)), Access::Hit);
+        assert_eq!(c.stats().hits, 1);
+        assert_eq!(c.stats().misses, 1);
+    }
+
+    #[test]
+    fn write_to_shared_is_upgrade_miss() {
+        let mut c = tiny(0);
+        c.fill_shared(BlockAddr(1));
+        assert_eq!(c.write(BlockAddr(1)), Access::UpgradeMiss);
+        assert!(c.upgrade(BlockAddr(1)));
+        assert_eq!(c.write(BlockAddr(1)), Access::Hit);
+    }
+
+    #[test]
+    fn dirty_eviction_without_victim_cache_writes_back() {
+        let mut c = tiny(0);
+        c.fill_dirty(BlockAddr(1));
+        // Block 9 conflicts with block 1 in an 8-set cache.
+        let wb = c.fill_shared(BlockAddr(9));
+        assert_eq!(wb, Some(BlockAddr(1)));
+        assert_eq!(c.stats().writebacks, 1);
+    }
+
+    #[test]
+    fn shared_eviction_is_silent() {
+        let mut c = tiny(0);
+        c.fill_shared(BlockAddr(1));
+        let wb = c.fill_shared(BlockAddr(9));
+        assert_eq!(wb, None);
+        assert_eq!(c.stats().evictions, 1);
+        assert_eq!(c.stats().writebacks, 0);
+    }
+
+    #[test]
+    fn victim_cache_absorbs_conflicts() {
+        let mut c = tiny(2);
+        c.fill_shared(BlockAddr(1));
+        assert_eq!(c.fill_shared(BlockAddr(9)), None); // 1 goes to victim
+        assert_eq!(c.read(BlockAddr(1)), Access::VictimHit); // swapped back
+        assert_eq!(c.read(BlockAddr(1)), Access::Hit);
+    }
+
+    #[test]
+    fn victim_overflow_of_dirty_line_writes_back() {
+        let mut c = tiny(1);
+        c.fill_dirty(BlockAddr(1));
+        assert_eq!(c.fill_shared(BlockAddr(9)), None); // dirty 1 -> victim (room)
+        // Filling a third conflicting line pushes 9 into the full
+        // victim buffer, which evicts the oldest entry — dirty block 1,
+        // which must be written back.
+        assert_eq!(c.fill_shared(BlockAddr(17)), Some(BlockAddr(1)));
+        assert_eq!(c.stats().writebacks, 1);
+    }
+
+    #[test]
+    fn write_probe_victim_hit_dirty_line_proceeds() {
+        let mut c = tiny(2);
+        c.fill_dirty(BlockAddr(1));
+        c.fill_shared(BlockAddr(9)); // dirty 1 -> victim
+        assert_eq!(c.write(BlockAddr(1)), Access::VictimHit);
+        assert_eq!(c.state_of(BlockAddr(1)), Some(LineState::Dirty));
+    }
+
+    #[test]
+    fn write_probe_victim_hit_shared_line_needs_upgrade() {
+        let mut c = tiny(2);
+        c.fill_shared(BlockAddr(1));
+        c.fill_shared(BlockAddr(9)); // shared 1 -> victim
+        assert_eq!(c.write(BlockAddr(1)), Access::UpgradeMiss);
+        assert_eq!(c.state_of(BlockAddr(1)), Some(LineState::Shared));
+    }
+
+    #[test]
+    fn invalidate_hits_main_and_victim() {
+        let mut c = tiny(2);
+        c.fill_dirty(BlockAddr(1));
+        c.fill_shared(BlockAddr(9)); // 1 -> victim
+        assert_eq!(c.invalidate(BlockAddr(1)), Some(LineState::Dirty));
+        assert_eq!(c.invalidate(BlockAddr(9)), Some(LineState::Shared));
+        assert_eq!(c.invalidate(BlockAddr(42)), None);
+        assert_eq!(c.stats().invalidations, 2);
+    }
+
+    #[test]
+    fn ifetch_misses_fill_and_can_thrash_data() {
+        let mut c = tiny(0);
+        c.fill_shared(BlockAddr(1));
+        // Code block 9 conflicts with data block 1.
+        assert_eq!(c.ifetch(BlockAddr(9)), (true, None));
+        assert_eq!(c.ifetch(BlockAddr(9)), (false, None));
+        assert_eq!(c.read(BlockAddr(1)), Access::Miss { writeback: None });
+        assert_eq!(c.stats().ifetches, 2);
+        assert_eq!(c.stats().ifetch_misses, 1);
+    }
+
+    #[test]
+    fn downgrade_keeps_line_shared() {
+        let mut c = tiny(0);
+        c.fill_dirty(BlockAddr(3));
+        assert!(c.downgrade(BlockAddr(3)));
+        assert_eq!(c.state_of(BlockAddr(3)), Some(LineState::Shared));
+        assert_eq!(c.write(BlockAddr(3)), Access::UpgradeMiss);
+    }
+
+    #[test]
+    fn miss_ratio_computation() {
+        let mut c = tiny(0);
+        c.read(BlockAddr(1));
+        c.fill_shared(BlockAddr(1));
+        c.read(BlockAddr(1));
+        c.read(BlockAddr(1));
+        let r = c.stats().miss_ratio();
+        assert!((r - 1.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn alewife_geometry() {
+        let cfg = CacheConfig::alewife();
+        assert_eq!(cfg.sets(), 4096);
+        assert_eq!(CacheConfig::alewife_with_victim().victim_lines, 4);
+    }
+}

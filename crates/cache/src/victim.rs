@@ -1,0 +1,150 @@
+//! The victim cache: a small fully-associative buffer for evicted
+//! lines.
+//!
+//! Alewife implements victim caching with spare transaction-store
+//! buffers (Kubiatowicz et al., ASPLOS V); the paper's Figure 3 shows
+//! it recovering essentially all of the performance lost to
+//! instruction/data thrashing in TSP. The model is Jouppi's: lines
+//! evicted from the direct-mapped cache land here; a subsequent miss
+//! that hits in the victim cache swaps the line back at small cost.
+
+use limitless_sim::BlockAddr;
+
+use crate::LineState;
+
+/// A fully-associative FIFO victim buffer.
+///
+/// # Examples
+///
+/// ```
+/// use limitless_cache::{VictimCache, LineState};
+/// use limitless_sim::BlockAddr;
+///
+/// let mut v = VictimCache::new(2);
+/// v.insert(BlockAddr(1), LineState::Shared);
+/// assert_eq!(v.take(BlockAddr(1)), Some(LineState::Shared));
+/// assert_eq!(v.take(BlockAddr(1)), None); // removed on hit
+/// ```
+#[derive(Clone, Debug)]
+pub struct VictimCache {
+    entries: Vec<(BlockAddr, LineState)>,
+    capacity: usize,
+}
+
+impl VictimCache {
+    /// Creates an empty victim cache holding up to `capacity` lines.
+    /// A capacity of zero disables the buffer (every insert
+    /// immediately overflows).
+    pub fn new(capacity: usize) -> Self {
+        VictimCache {
+            entries: Vec::with_capacity(capacity),
+            capacity,
+        }
+    }
+
+    /// Buffer capacity in lines.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Current occupancy.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Inserts an evicted line. If the buffer is full the oldest entry
+    /// is pushed out and returned (the caller must write it back if
+    /// dirty).
+    pub fn insert(
+        &mut self,
+        block: BlockAddr,
+        state: LineState,
+    ) -> Option<(BlockAddr, LineState)> {
+        debug_assert!(
+            !self.entries.iter().any(|(b, _)| *b == block),
+            "victim cache already holds {block}"
+        );
+        if self.capacity == 0 {
+            return Some((block, state));
+        }
+        let overflow = if self.entries.len() == self.capacity {
+            Some(self.entries.remove(0))
+        } else {
+            None
+        };
+        self.entries.push((block, state));
+        overflow
+    }
+
+    /// Looks up `block` and, if present, removes and returns it (the
+    /// line moves back into the main cache on a victim hit).
+    pub fn take(&mut self, block: BlockAddr) -> Option<LineState> {
+        let pos = self.entries.iter().position(|(b, _)| *b == block)?;
+        Some(self.entries.remove(pos).1)
+    }
+
+    /// Removes `block` if present (external invalidation), returning
+    /// its state.
+    pub fn invalidate(&mut self, block: BlockAddr) -> Option<LineState> {
+        self.take(block)
+    }
+
+    /// Whether `block` is resident (without removing it).
+    pub fn contains(&self, block: BlockAddr) -> bool {
+        self.entries.iter().any(|(b, _)| *b == block)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_overflow_returns_oldest() {
+        let mut v = VictimCache::new(2);
+        assert_eq!(v.insert(BlockAddr(1), LineState::Shared), None);
+        assert_eq!(v.insert(BlockAddr(2), LineState::Dirty), None);
+        let out = v.insert(BlockAddr(3), LineState::Shared);
+        assert_eq!(out, Some((BlockAddr(1), LineState::Shared)));
+        assert!(v.contains(BlockAddr(2)));
+        assert!(v.contains(BlockAddr(3)));
+    }
+
+    #[test]
+    fn take_removes_entry() {
+        let mut v = VictimCache::new(4);
+        v.insert(BlockAddr(7), LineState::Dirty);
+        assert_eq!(v.take(BlockAddr(7)), Some(LineState::Dirty));
+        assert!(!v.contains(BlockAddr(7)));
+        assert!(v.is_empty());
+    }
+
+    #[test]
+    fn zero_capacity_rejects_everything() {
+        let mut v = VictimCache::new(0);
+        assert_eq!(
+            v.insert(BlockAddr(1), LineState::Dirty),
+            Some((BlockAddr(1), LineState::Dirty))
+        );
+        assert!(v.is_empty());
+    }
+
+    #[test]
+    fn invalidate_is_take() {
+        let mut v = VictimCache::new(2);
+        v.insert(BlockAddr(9), LineState::Shared);
+        assert_eq!(v.invalidate(BlockAddr(9)), Some(LineState::Shared));
+        assert_eq!(v.invalidate(BlockAddr(9)), None);
+    }
+
+    #[test]
+    fn capacity_reported() {
+        assert_eq!(VictimCache::new(4).capacity(), 4);
+        assert_eq!(VictimCache::new(4).len(), 0);
+    }
+}

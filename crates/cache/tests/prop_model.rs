@@ -1,0 +1,134 @@
+//! Model-based property tests: the cache system (direct-mapped array +
+//! victim buffer) must behave like a bounded permission map.
+
+use std::collections::HashMap;
+
+use limitless_cache::{Access, CacheConfig, CacheSystem, LineState};
+use limitless_sim::BlockAddr;
+use proptest::prelude::*;
+
+#[derive(Clone, Debug)]
+enum CacheOp {
+    Read(u64),
+    Write(u64),
+    FillShared(u64),
+    FillDirty(u64),
+    Invalidate(u64),
+    Downgrade(u64),
+}
+
+fn op_strategy() -> impl Strategy<Value = CacheOp> {
+    let blk = 0u64..24; // force conflicts in an 8-set cache
+    prop_oneof![
+        blk.clone().prop_map(CacheOp::Read),
+        blk.clone().prop_map(CacheOp::Write),
+        blk.clone().prop_map(CacheOp::FillShared),
+        blk.clone().prop_map(CacheOp::FillDirty),
+        blk.clone().prop_map(CacheOp::Invalidate),
+        blk.prop_map(CacheOp::Downgrade),
+    ]
+}
+
+proptest! {
+    /// A shadow map tracks which blocks *may* be resident with which
+    /// permission. The cache must never report more permission than
+    /// the shadow grants, and hits must be shadow-resident.
+    #[test]
+    fn cache_never_exceeds_granted_permissions(
+        ops in prop::collection::vec(op_strategy(), 1..400),
+        victim in 0usize..4,
+    ) {
+        let mut cache = CacheSystem::new(CacheConfig {
+            capacity_bytes: 8 * 16,
+            line_bytes: 16,
+            victim_lines: victim,
+        });
+        // Shadow: permission ever granted and not yet revoked.
+        let mut granted: HashMap<u64, LineState> = HashMap::new();
+        for op in ops {
+            match op {
+                CacheOp::FillShared(b) => {
+                    cache.fill_shared(BlockAddr(b));
+                    granted.entry(b).or_insert(LineState::Shared);
+                }
+                CacheOp::FillDirty(b) => {
+                    cache.fill_dirty(BlockAddr(b));
+                    granted.insert(b, LineState::Dirty);
+                }
+                CacheOp::Invalidate(b) => {
+                    cache.invalidate(BlockAddr(b));
+                    granted.remove(&b);
+                }
+                CacheOp::Downgrade(b) => {
+                    cache.downgrade(BlockAddr(b));
+                    if granted.get(&b) == Some(&LineState::Dirty) {
+                        granted.insert(b, LineState::Shared);
+                    }
+                }
+                CacheOp::Read(b) => {
+                    match cache.read(BlockAddr(b)) {
+                        Access::Hit | Access::VictimHit => {
+                            prop_assert!(
+                                granted.contains_key(&b),
+                                "read hit on never-granted block {b}"
+                            );
+                        }
+                        Access::Miss { .. } | Access::UpgradeMiss => {}
+                    }
+                }
+                CacheOp::Write(b) => {
+                    match cache.write(BlockAddr(b)) {
+                        Access::Hit => {
+                            prop_assert_eq!(
+                                granted.get(&b).copied(),
+                                Some(LineState::Dirty),
+                                "write hit without dirty grant on {}", b
+                            );
+                        }
+                        Access::VictimHit => {
+                            prop_assert!(granted.contains_key(&b));
+                        }
+                        Access::Miss { .. } | Access::UpgradeMiss => {}
+                    }
+                }
+            }
+        }
+    }
+
+    /// A block is never resident in both the main array and the victim
+    /// buffer, and a fill makes the block immediately readable.
+    #[test]
+    fn fills_are_immediately_visible(
+        blocks in prop::collection::vec(0u64..24, 1..100),
+    ) {
+        let mut cache = CacheSystem::new(CacheConfig {
+            capacity_bytes: 8 * 16,
+            line_bytes: 16,
+            victim_lines: 2,
+        });
+        for b in blocks {
+            cache.fill_shared(BlockAddr(b));
+            prop_assert_eq!(cache.read(BlockAddr(b)), Access::Hit);
+        }
+    }
+
+    /// Invalidate is idempotent and final: after it, reads miss until
+    /// the next fill.
+    #[test]
+    fn invalidate_is_final(b in 0u64..32, refill in any::<bool>()) {
+        let mut cache = CacheSystem::new(CacheConfig {
+            capacity_bytes: 8 * 16,
+            line_bytes: 16,
+            victim_lines: 2,
+        });
+        cache.fill_dirty(BlockAddr(b));
+        assert_eq!(cache.invalidate(BlockAddr(b)), Some(LineState::Dirty));
+        assert_eq!(cache.invalidate(BlockAddr(b)), None);
+        let miss = matches!(cache.read(BlockAddr(b)), Access::Miss { .. });
+        prop_assert!(miss);
+        if refill {
+            cache.fill_shared(BlockAddr(b));
+            prop_assert_eq!(cache.read(BlockAddr(b)), Access::Hit);
+        }
+    }
+}

@@ -1,0 +1,440 @@
+//! Protocol enhancements built on the flexible coherence interface
+//! (paper §7).
+//!
+//! The paper argues that "the true power of the software-extension
+//! approach lies in deviating from the basic implementation" and lists
+//! the research directions its group was pursuing. This module
+//! implements the protocol-level ones as stock [`ExtensionHandler`]s:
+//!
+//! * [`ProfilingHandler`] — the "profile, detect and optimize" mode: a
+//!   transparent wrapper that classifies blocks (read-only,
+//!   migratory, widely shared) during a development run, producing the
+//!   report a compiler or programmer would use to add annotations.
+//! * [`MigratoryHandler`] — "dynamic detection" of migratory data: a
+//!   block that keeps moving whole from writer to writer is handed
+//!   over eagerly instead of paying a read-then-invalidate round trip.
+//! * [`AdaptiveBroadcastHandler`] — dynamic selection of sequential or
+//!   parallel invalidation: blocks that repeatedly overflow are
+//!   treated as widely-shared (synchronization objects, work queues,
+//!   frequently-written globals) and invalidated by broadcast rather
+//!   than by walking the software directory.
+//!
+//! The machine-level §7 enhancements (the FIFO lock data type and the
+//! fast barrier) live in `limitless-machine`.
+
+use std::collections::HashMap;
+
+use limitless_sim::{BlockAddr, NodeId};
+
+use crate::iface::{ExtensionHandler, HandlerCtx, LimitlessHandler};
+
+// ---------------------------------------------------------------------
+// Profile, detect, optimize
+// ---------------------------------------------------------------------
+
+/// How a block behaved during a profiled run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BlockClass {
+    /// Overflowed on reads but was never written after overflow:
+    /// widely-shared read-only data — the §7 candidate for replication
+    /// or a read-only coherence type.
+    WidelySharedReadOnly,
+    /// Write overflows whose worker set was repeatedly a single other
+    /// node: migratory data.
+    Migratory,
+    /// Write overflows with large worker sets: a widely-shared
+    /// read-write object (synchronization variable, work queue, …).
+    WidelySharedReadWrite,
+}
+
+/// Per-block profile counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct BlockProfile {
+    /// Read-overflow traps observed.
+    pub read_overflows: u64,
+    /// Write-overflow traps observed.
+    pub write_overflows: u64,
+    /// Largest sharer set seen at a write overflow.
+    pub max_worker_set: usize,
+    /// Write overflows whose sharer set was exactly one node.
+    pub single_sharer_writes: u64,
+}
+
+impl BlockProfile {
+    /// Classifies the block, or `None` if it never troubled the
+    /// software.
+    pub fn classify(&self) -> Option<BlockClass> {
+        if self.read_overflows == 0 && self.write_overflows == 0 {
+            return None;
+        }
+        if self.write_overflows == 0 {
+            return Some(BlockClass::WidelySharedReadOnly);
+        }
+        if self.single_sharer_writes * 2 > self.write_overflows {
+            return Some(BlockClass::Migratory);
+        }
+        Some(BlockClass::WidelySharedReadWrite)
+    }
+}
+
+/// A transparent profiling wrapper around any extension handler: the
+/// protocol behaves exactly like the inner handler, while per-block
+/// profiles accumulate for post-run analysis (the development-phase
+/// mode of §7's "profile, detect, and optimize").
+#[derive(Debug, Default)]
+pub struct ProfilingHandler<H> {
+    inner: H,
+    profiles: HashMap<BlockAddr, BlockProfile>,
+}
+
+impl<H: ExtensionHandler> ProfilingHandler<H> {
+    /// Wraps `inner`.
+    pub fn new(inner: H) -> Self {
+        ProfilingHandler {
+            inner,
+            profiles: HashMap::new(),
+        }
+    }
+
+    /// The profile gathered for `block`, if it ever trapped.
+    pub fn profile(&self, block: BlockAddr) -> Option<&BlockProfile> {
+        self.profiles.get(&block)
+    }
+
+    /// All `(block, classification)` pairs, sorted by block for
+    /// deterministic reporting.
+    pub fn report(&self) -> Vec<(BlockAddr, BlockClass)> {
+        let mut out: Vec<(BlockAddr, BlockClass)> = self
+            .profiles
+            .iter()
+            .filter_map(|(&b, p)| p.classify().map(|c| (b, c)))
+            .collect();
+        out.sort_by_key(|&(b, _)| b);
+        out
+    }
+}
+
+/// Convenience: a profiling wrapper around the stock LimitLESS
+/// handler.
+pub type ProfilingLimitless = ProfilingHandler<LimitlessHandler>;
+
+impl<H: ExtensionHandler> ExtensionHandler for ProfilingHandler<H> {
+    fn read_overflow(&mut self, ctx: &mut HandlerCtx<'_>, from: NodeId) {
+        self.profiles.entry(ctx.block()).or_default().read_overflows += 1;
+        self.inner.read_overflow(ctx, from);
+    }
+
+    fn write_overflow(
+        &mut self,
+        ctx: &mut HandlerCtx<'_>,
+        from: NodeId,
+        sharers: &[NodeId],
+    ) -> u32 {
+        let p = self.profiles.entry(ctx.block()).or_default();
+        p.write_overflows += 1;
+        p.max_worker_set = p.max_worker_set.max(sharers.len());
+        if sharers.len() == 1 {
+            p.single_sharer_writes += 1;
+        }
+        self.inner.write_overflow(ctx, from, sharers)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Dynamic detection of migratory data
+// ---------------------------------------------------------------------
+
+/// Dynamic migratory-data detection (§7, after Cox & Fowler and
+/// Stenström et al.): when a block's write overflows repeatedly find a
+/// single sharer — the previous writer — the block is migrating from
+/// node to node. The handler then skips the general directory walk
+/// (hash lookup, free-list churn) and performs a minimal
+/// invalidate-and-hand-over, charging only the lean path.
+#[derive(Debug, Default)]
+pub struct MigratoryHandler {
+    base: LimitlessHandler,
+    /// Consecutive single-sharer write overflows per block.
+    streak: HashMap<BlockAddr, u32>,
+    /// Blocks currently treated as migratory.
+    migratory: HashMap<BlockAddr, bool>,
+    /// Write overflows served by the lean migratory path.
+    pub fast_handoffs: u64,
+}
+
+/// Single-sharer write overflows before a block is declared migratory.
+const MIGRATORY_THRESHOLD: u32 = 2;
+
+impl MigratoryHandler {
+    /// Creates a detector with the default threshold.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Whether `block` is currently classified migratory.
+    pub fn is_migratory(&self, block: BlockAddr) -> bool {
+        self.migratory.get(&block).copied().unwrap_or(false)
+    }
+}
+
+impl ExtensionHandler for MigratoryHandler {
+    fn read_overflow(&mut self, ctx: &mut HandlerCtx<'_>, from: NodeId) {
+        // A read overflow means genuine multi-reader sharing: the block
+        // is not migrating.
+        self.streak.insert(ctx.block(), 0);
+        self.migratory.insert(ctx.block(), false);
+        self.base.read_overflow(ctx, from);
+    }
+
+    fn write_overflow(
+        &mut self,
+        ctx: &mut HandlerCtx<'_>,
+        from: NodeId,
+        sharers: &[NodeId],
+    ) -> u32 {
+        let block = ctx.block();
+        if sharers.len() == 1 {
+            let streak = self.streak.entry(block).or_insert(0);
+            *streak += 1;
+            if *streak >= MIGRATORY_THRESHOLD {
+                self.migratory.insert(block, true);
+            }
+        } else {
+            self.streak.insert(block, 0);
+            self.migratory.insert(block, false);
+        }
+
+        if self.is_migratory(block) && sharers.len() == 1 {
+            // Lean hand-over: one invalidation, no hash-table or
+            // free-list traffic (the directory state for a migratory
+            // block is a single pointer the handler patches in place).
+            self.fast_handoffs += 1;
+            ctx.decode_directory();
+            let prev = sharers[0];
+            let mut acks = 0;
+            if prev == ctx.home() {
+                ctx.invalidate_local();
+            } else if prev != from {
+                ctx.send_inv(prev);
+                acks = 1;
+            }
+            ctx.release_to_hardware();
+            ctx.arm_ack_counter(acks);
+            return acks;
+        }
+        self.base.write_overflow(ctx, from, sharers)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Adaptive sequential/parallel invalidation
+// ---------------------------------------------------------------------
+
+/// Dynamic selection between the sequential software directory walk
+/// and a parallel broadcast (§7: "protocol extension software may
+/// improve performance for this type of data by dynamically selecting
+/// sequential or parallel invalidation procedures"). Blocks whose
+/// write overflows repeatedly involve at least half the machine are
+/// classed as widely-shared and invalidated by broadcast; everything
+/// else takes the stock LimitLESS path.
+#[derive(Debug, Default)]
+pub struct AdaptiveBroadcastHandler {
+    base: LimitlessHandler,
+    wide_writes: HashMap<BlockAddr, u32>,
+    /// Write overflows served by broadcast.
+    pub broadcasts: u64,
+}
+
+/// Wide write overflows before switching a block to broadcast.
+const BROADCAST_THRESHOLD: u32 = 2;
+
+impl AdaptiveBroadcastHandler {
+    /// Creates the adaptive handler.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl ExtensionHandler for AdaptiveBroadcastHandler {
+    fn read_overflow(&mut self, ctx: &mut HandlerCtx<'_>, from: NodeId) {
+        self.base.read_overflow(ctx, from);
+    }
+
+    fn write_overflow(
+        &mut self,
+        ctx: &mut HandlerCtx<'_>,
+        from: NodeId,
+        sharers: &[NodeId],
+    ) -> u32 {
+        let block = ctx.block();
+        let wide = sharers.len() * 2 >= ctx.nodes();
+        let count = self.wide_writes.entry(block).or_insert(0);
+        if wide {
+            *count += 1;
+        } else {
+            *count = 0;
+        }
+        if *count >= BROADCAST_THRESHOLD {
+            self.broadcasts += 1;
+            ctx.decode_directory();
+            ctx.store_write_state();
+            let mut acks = 0;
+            for i in 0..ctx.nodes() {
+                let dst = NodeId::from_index(i);
+                if dst == from {
+                    continue;
+                }
+                if dst == ctx.home() {
+                    ctx.invalidate_local();
+                    continue;
+                }
+                ctx.send_inv(dst);
+                acks += 1;
+            }
+            ctx.release_to_hardware();
+            ctx.arm_ack_counter(acks);
+            return acks;
+        }
+        self.base.write_overflow(ctx, from, sharers)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::{CostModel, HandlerImpl, HandlerKind};
+    use crate::spec::ProtocolSpec;
+    use limitless_dir::{HwDirEntry, SwDirectory};
+
+    fn ctx_fixture<'a>(hw: &'a mut HwDirEntry, sw: &'a mut SwDirectory) -> HandlerCtx<'a> {
+        HandlerCtx::new(
+            NodeId(0),
+            16,
+            ProtocolSpec::limitless(2),
+            BlockAddr(7),
+            hw,
+            sw,
+        )
+    }
+
+    #[test]
+    fn profiler_classifies_read_only_blocks() {
+        let mut h = ProfilingHandler::new(LimitlessHandler);
+        let (mut hw, mut sw) = (HwDirEntry::new(2), SwDirectory::new());
+        for n in 1..4 {
+            let mut ctx = ctx_fixture(&mut hw, &mut sw);
+            h.read_overflow(&mut ctx, NodeId(n));
+        }
+        let p = h.profile(BlockAddr(7)).expect("profiled");
+        assert_eq!(p.read_overflows, 3);
+        assert_eq!(p.classify(), Some(BlockClass::WidelySharedReadOnly));
+        assert_eq!(h.report(), vec![(BlockAddr(7), BlockClass::WidelySharedReadOnly)]);
+    }
+
+    #[test]
+    fn profiler_classifies_migratory_blocks() {
+        let mut h = ProfilingHandler::new(LimitlessHandler);
+        let (mut hw, mut sw) = (HwDirEntry::new(2), SwDirectory::new());
+        for n in 1..4 {
+            hw.set_overflowed(true);
+            let mut ctx = ctx_fixture(&mut hw, &mut sw);
+            h.write_overflow(&mut ctx, NodeId(n), &[NodeId(n + 1)]);
+        }
+        assert_eq!(
+            h.profile(BlockAddr(7)).unwrap().classify(),
+            Some(BlockClass::Migratory)
+        );
+    }
+
+    #[test]
+    fn profiler_classifies_wide_rw_blocks() {
+        let mut h = ProfilingHandler::new(LimitlessHandler);
+        let (mut hw, mut sw) = (HwDirEntry::new(2), SwDirectory::new());
+        let sharers: Vec<NodeId> = (2..10).map(NodeId).collect();
+        let mut ctx = ctx_fixture(&mut hw, &mut sw);
+        h.write_overflow(&mut ctx, NodeId(1), &sharers);
+        let p = h.profile(BlockAddr(7)).unwrap();
+        assert_eq!(p.max_worker_set, 8);
+        assert_eq!(p.classify(), Some(BlockClass::WidelySharedReadWrite));
+    }
+
+    #[test]
+    fn unprofiled_blocks_have_no_class() {
+        assert_eq!(BlockProfile::default().classify(), None);
+    }
+
+    #[test]
+    fn migratory_detector_switches_to_fast_handoffs() {
+        let mut h = MigratoryHandler::new();
+        let (mut hw, mut sw) = (HwDirEntry::new(2), SwDirectory::new());
+        // The first write arms the streak; from the second on the
+        // block is migratory and takes the lean path.
+        for n in 1..5u16 {
+            let mut ctx = ctx_fixture(&mut hw, &mut sw);
+            let acks = h.write_overflow(&mut ctx, NodeId(n), &[NodeId(n + 1)]);
+            assert_eq!(acks, 1);
+        }
+        assert!(h.is_migratory(BlockAddr(7)));
+        assert_eq!(h.fast_handoffs, 3);
+    }
+
+    #[test]
+    fn migratory_detector_resets_on_wide_sharing() {
+        let mut h = MigratoryHandler::new();
+        let (mut hw, mut sw) = (HwDirEntry::new(2), SwDirectory::new());
+        for n in 1..4u16 {
+            let mut ctx = ctx_fixture(&mut hw, &mut sw);
+            h.write_overflow(&mut ctx, NodeId(n), &[NodeId(n + 1)]);
+        }
+        assert!(h.is_migratory(BlockAddr(7)));
+        // A read overflow (multi-reader sharing) demotes it.
+        let mut ctx = ctx_fixture(&mut hw, &mut sw);
+        h.read_overflow(&mut ctx, NodeId(9));
+        assert!(!h.is_migratory(BlockAddr(7)));
+    }
+
+    #[test]
+    fn migratory_fast_path_is_cheaper_than_stock() {
+        let costs = CostModel::new(HandlerImpl::FlexibleC);
+        let mut h = MigratoryHandler::new();
+        let (mut hw, mut sw) = (HwDirEntry::new(2), SwDirectory::new());
+        // Arm, then measure the lean bill.
+        for n in 1..3u16 {
+            let mut ctx = ctx_fixture(&mut hw, &mut sw);
+            h.write_overflow(&mut ctx, NodeId(n), &[NodeId(n + 1)]);
+        }
+        let mut ctx = ctx_fixture(&mut hw, &mut sw);
+        h.write_overflow(&mut ctx, NodeId(5), &[NodeId(6)]);
+        let (lean, ..) = ctx.finish(HandlerKind::WriteExtend, true, &costs, false);
+        let stock = costs.write_extend(1);
+        assert!(
+            lean.total() < stock.total(),
+            "lean {} vs stock {}",
+            lean.total(),
+            stock.total()
+        );
+    }
+
+    #[test]
+    fn adaptive_broadcast_triggers_on_wide_blocks_only() {
+        let mut h = AdaptiveBroadcastHandler::new();
+        let (mut hw, mut sw) = (HwDirEntry::new(2), SwDirectory::new());
+        let wide: Vec<NodeId> = (1..10).map(NodeId).collect();
+        // The first wide write takes the stock path; once the counter
+        // reaches the threshold the handler broadcasts.
+        for w in 0..3 {
+            let mut ctx = ctx_fixture(&mut hw, &mut sw);
+            let acks = h.write_overflow(&mut ctx, NodeId(12), &wide);
+            if w == 0 {
+                assert_eq!(acks as usize, wide.len());
+            } else {
+                // Broadcast: everyone except writer and home.
+                assert_eq!(acks, 14);
+            }
+        }
+        assert_eq!(h.broadcasts, 2);
+        // Narrow writes reset the counter.
+        let mut ctx = ctx_fixture(&mut hw, &mut sw);
+        let acks = h.write_overflow(&mut ctx, NodeId(12), &[NodeId(1)]);
+        assert_eq!(acks, 1);
+    }
+}

@@ -1,0 +1,141 @@
+//! The coherence message vocabulary.
+//!
+//! These are the payloads that travel between CMMUs. Message size on
+//! the wire is determined by whether a memory block rides along
+//! ([`ProtoMsg::flits`]).
+
+use limitless_net::FlitCount;
+use limitless_sim::BlockAddr;
+
+/// A coherence protocol message concerning one memory block.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ProtoMsg {
+    /// Requester → home: read miss.
+    ReadReq,
+    /// Requester → home: write miss or upgrade request.
+    WriteReq,
+    /// Home → requester: read-only data.
+    ReadData,
+    /// Home → requester: exclusive data (write permission).
+    WriteData,
+    /// Home → requester: write permission without data (requester
+    /// already holds the line `Shared`).
+    UpgradeAck,
+    /// Home → requester: directory busy with a transaction on this
+    /// block; retry later. Alewife's livelock-free alternative to
+    /// queueing requests at the home.
+    Busy,
+    /// Home → sharer: invalidate your read-only copy and acknowledge.
+    Inv,
+    /// Sharer → home: invalidation acknowledgment.
+    InvAck,
+    /// Home → owner: return the dirty data and invalidate (a writer is
+    /// waiting).
+    Flush,
+    /// Owner → home: flush response. `had_data` is false if the owner
+    /// had already written the line back (the stale-message case).
+    FlushAck {
+        /// Whether the message carries the dirty block.
+        had_data: bool,
+    },
+    /// Home → owner: return the dirty data but keep a read-only copy
+    /// (a reader is waiting).
+    Downgrade,
+    /// Owner → home: downgrade response (see [`ProtoMsg::FlushAck`]
+    /// about `had_data`).
+    DowngradeAck {
+        /// Whether the message carries the dirty block.
+        had_data: bool,
+    },
+    /// Owner → home: unsolicited writeback of a dirty line being
+    /// replaced.
+    Wb,
+}
+
+impl ProtoMsg {
+    /// The size of this message on the wire.
+    pub fn flits(self) -> FlitCount {
+        match self {
+            ProtoMsg::ReadData
+            | ProtoMsg::WriteData
+            | ProtoMsg::Wb
+            | ProtoMsg::FlushAck { had_data: true }
+            | ProtoMsg::DowngradeAck { had_data: true } => FlitCount::DATA,
+            _ => FlitCount::CONTROL,
+        }
+    }
+
+    /// Whether this message is a request that may be answered with
+    /// [`ProtoMsg::Busy`].
+    pub fn is_request(self) -> bool {
+        matches!(self, ProtoMsg::ReadReq | ProtoMsg::WriteReq)
+    }
+}
+
+/// A coherence message bound to its block: the unit the machine layer
+/// moves through the network.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BlockMsg {
+    /// The memory block this message concerns.
+    pub block: BlockAddr,
+    /// The protocol message.
+    pub msg: ProtoMsg,
+}
+
+impl BlockMsg {
+    /// Creates a block-bound message.
+    pub fn new(block: BlockAddr, msg: ProtoMsg) -> Self {
+        BlockMsg { block, msg }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn data_carrying_messages_are_data_sized() {
+        assert_eq!(ProtoMsg::ReadData.flits(), FlitCount::DATA);
+        assert_eq!(ProtoMsg::WriteData.flits(), FlitCount::DATA);
+        assert_eq!(ProtoMsg::Wb.flits(), FlitCount::DATA);
+        assert_eq!(
+            ProtoMsg::FlushAck { had_data: true }.flits(),
+            FlitCount::DATA
+        );
+        assert_eq!(
+            ProtoMsg::DowngradeAck { had_data: false }.flits(),
+            FlitCount::CONTROL
+        );
+    }
+
+    #[test]
+    fn control_messages_are_control_sized() {
+        for m in [
+            ProtoMsg::ReadReq,
+            ProtoMsg::WriteReq,
+            ProtoMsg::UpgradeAck,
+            ProtoMsg::Busy,
+            ProtoMsg::Inv,
+            ProtoMsg::InvAck,
+            ProtoMsg::Flush,
+            ProtoMsg::Downgrade,
+        ] {
+            assert_eq!(m.flits(), FlitCount::CONTROL, "{m:?}");
+        }
+    }
+
+    #[test]
+    fn only_read_write_reqs_are_requests() {
+        assert!(ProtoMsg::ReadReq.is_request());
+        assert!(ProtoMsg::WriteReq.is_request());
+        assert!(!ProtoMsg::Inv.is_request());
+        assert!(!ProtoMsg::Busy.is_request());
+    }
+
+    #[test]
+    fn block_msg_binds_block() {
+        let m = BlockMsg::new(BlockAddr(9), ProtoMsg::Inv);
+        assert_eq!(m.block, BlockAddr(9));
+        assert_eq!(m.msg, ProtoMsg::Inv);
+    }
+}

@@ -1,0 +1,397 @@
+//! The `Dir_i H_X S_{Y,A}` protocol notation and specification
+//! (paper §2.5).
+//!
+//! The notation captures the division of labour between hardware and
+//! software across the whole spectrum of software-extended protocols:
+//!
+//! * `i` — total explicit pointers recorded (hardware + software);
+//! * `H_X` — pointers implemented in hardware (`NB` = all of them,
+//!   i.e. no software extension exists);
+//! * `S_Y` — `NB` if the combination records `i` explicit pointers,
+//!   `B` if software broadcasts when more than `i` copies exist,
+//!   `-` if no extension software exists;
+//! * `A` — `ACK` if software traps on *every* acknowledgment, `LACK`
+//!   if only on the *last*, absent if hardware keeps the count.
+
+use std::fmt;
+use std::str::FromStr;
+
+/// How invalidation acknowledgments are collected after a
+/// software-directed invalidation round (paper §2.4).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum AckMode {
+    /// Hardware counts every acknowledgment and completes the
+    /// transaction itself. For a one-pointer protocol this needs a
+    /// second pointer's worth of storage (requester id + counter), so
+    /// `Dir_nH_1S_{NB}` costs as much directory memory as
+    /// `Dir_nH_2S_{NB}`.
+    #[default]
+    Hardware,
+    /// Hardware counts all but the last acknowledgment; the last one
+    /// traps to software, which transmits the data to the requester.
+    /// The most pointer-efficient one-pointer variant.
+    LastAckTrap,
+    /// Every acknowledgment traps to software ("the hardware pointer
+    /// is unused" during the transaction). Subject to livelock; relies
+    /// on the watchdog.
+    EveryAckTrap,
+}
+
+/// What the software extension records when hardware pointers overflow
+/// (the `Y` parameter).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum SwMode {
+    /// Software extends the directory to all `n` pointers: no
+    /// broadcasts ever (`S_NB`). The LimitLESS family.
+    #[default]
+    NoBroadcast,
+    /// Software records nothing beyond the hardware pointers and
+    /// resorts to broadcasting invalidations when more copies exist
+    /// (`S_B`). The Dir₁SW / cooperative-shared-memory family.
+    Broadcast,
+}
+
+/// A point in the spectrum of software-extended coherence protocols.
+///
+/// Use the named constructors; they cover every protocol evaluated in
+/// the paper.
+///
+/// # Examples
+///
+/// ```
+/// use limitless_core::ProtocolSpec;
+///
+/// assert_eq!(ProtocolSpec::limitless(5).to_string(), "DirnH5SNB");
+/// assert_eq!(ProtocolSpec::full_map().to_string(), "DirnHNBS-");
+/// assert_eq!(ProtocolSpec::zero_ptr().to_string(), "DirnH0SNB,ACK");
+/// assert_eq!(ProtocolSpec::one_ptr_lack().to_string(), "DirnH1SNB,LACK");
+/// let parsed: ProtocolSpec = "DirnH5SNB".parse()?;
+/// assert_eq!(parsed, ProtocolSpec::limitless(5));
+/// # Ok::<(), limitless_core::spec::ParseProtocolError>(())
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct ProtocolSpec {
+    /// Hardware pointer count (`X`). Ignored when `full_map`.
+    pub hw_ptrs: usize,
+    /// Full-map directory: one pointer per node, no extension software.
+    pub full_map: bool,
+    /// Acknowledgment collection mode.
+    pub ack: AckMode,
+    /// Software extension policy.
+    pub sw: SwMode,
+    /// Whether the directory implements the dedicated one-bit pointer
+    /// for the home node's own copy (paper §3.1). All Alewife
+    /// protocols except `Dir_nH_0S_{NB,ACK}` use it.
+    pub local_bit: bool,
+}
+
+impl ProtocolSpec {
+    /// The full-map protocol `Dir_nH_{NB}S_-` (DASH-style): `n`
+    /// hardware pointers, no software ever.
+    pub fn full_map() -> Self {
+        ProtocolSpec {
+            hw_ptrs: usize::MAX,
+            full_map: true,
+            ack: AckMode::Hardware,
+            sw: SwMode::NoBroadcast,
+            local_bit: true,
+        }
+    }
+
+    /// A LimitLESS protocol `Dir_nH_XS_{NB}` with `x ≥ 1` hardware
+    /// pointers and software extension to `n` (the Alewife hardware
+    /// supports 1..=5; its default boot configuration is
+    /// `limitless(5)`).
+    ///
+    /// `limitless(1)` is `Dir_nH_1S_{NB}`, the one-pointer variant
+    /// whose acknowledgments are handled entirely in hardware.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is zero (use [`ProtocolSpec::zero_ptr`]).
+    pub fn limitless(x: usize) -> Self {
+        assert!(x >= 1, "limitless protocols need at least one pointer");
+        ProtocolSpec {
+            hw_ptrs: x,
+            full_map: false,
+            ack: AckMode::Hardware,
+            sw: SwMode::NoBroadcast,
+            local_bit: true,
+        }
+    }
+
+    /// The software-only directory `Dir_nH_0S_{NB,ACK}`: no hardware
+    /// pointers, every inter-node access handled by software, one
+    /// extra bit per block marking remotely-accessed blocks (§2.3).
+    pub fn zero_ptr() -> Self {
+        ProtocolSpec {
+            hw_ptrs: 0,
+            full_map: false,
+            ack: AckMode::EveryAckTrap,
+            sw: SwMode::NoBroadcast,
+            local_bit: false,
+        }
+    }
+
+    /// `Dir_nH_1S_{NB,ACK}`: one pointer, software traps on every
+    /// acknowledgment (§2.4, first variation).
+    pub fn one_ptr_ack() -> Self {
+        ProtocolSpec {
+            ack: AckMode::EveryAckTrap,
+            ..Self::limitless(1)
+        }
+    }
+
+    /// `Dir_nH_1S_{NB,LACK}`: one pointer, hardware counts all but the
+    /// last acknowledgment (§2.4, second variation; the most
+    /// cost-efficient use of the pointer).
+    pub fn one_ptr_lack() -> Self {
+        ProtocolSpec {
+            ack: AckMode::LastAckTrap,
+            ..Self::limitless(1)
+        }
+    }
+
+    /// `Dir_nH_1S_{NB}`: one pointer, acknowledgments fully in
+    /// hardware (§2.4, third variation — needs two pointers' worth of
+    /// storage, so it is a baseline rather than a protocol one would
+    /// build).
+    pub fn one_ptr_hw() -> Self {
+        Self::limitless(1)
+    }
+
+    /// `Dir_1H_1S_{B,LACK}`: the Dir₁SW-style protocol of Hill et al. /
+    /// Wood et al. — one explicit pointer total, software *broadcasts*
+    /// invalidations when more than one copy exists, hardware counts
+    /// acks, software traps on the last one. Never traps on reads.
+    pub fn dir1_sw() -> Self {
+        ProtocolSpec {
+            hw_ptrs: 1,
+            full_map: false,
+            ack: AckMode::LastAckTrap,
+            sw: SwMode::Broadcast,
+            local_bit: true,
+        }
+    }
+
+    /// Whether any extension software exists (false only for the
+    /// full-map protocol).
+    pub fn has_software(&self) -> bool {
+        !self.full_map
+    }
+
+    /// The effective hardware pointer capacity for a machine of `n`
+    /// nodes.
+    pub fn capacity(&self, n: usize) -> usize {
+        if self.full_map {
+            n
+        } else {
+            self.hw_ptrs
+        }
+    }
+
+    /// Directory storage cost in pointer-widths per memory block for a
+    /// machine of `n` nodes (the "cost" axis of the paper's figures).
+    /// The `Dir_nH_1S_{NB}` baseline counts as 2 because its ack
+    /// counter and requester id occupy a second pointer's storage.
+    pub fn storage_pointers(&self, n: usize) -> usize {
+        if self.full_map {
+            return n;
+        }
+        match (self.hw_ptrs, self.ack) {
+            (1, AckMode::Hardware) => 2,
+            (x, _) => x,
+        }
+    }
+
+    /// The canonical spectrum evaluated in Figure 4: pointer counts
+    /// 0, 1, 2, 3, 4, 5 and full-map. The one-pointer entry is
+    /// `Dir_nH_1S_{NB,ACK}` ("all of the figures in this section show
+    /// `Dir_nH_1S_{NB,ACK}` performance for the one-pointer
+    /// protocol").
+    pub fn spectrum() -> Vec<ProtocolSpec> {
+        vec![
+            Self::zero_ptr(),
+            Self::one_ptr_ack(),
+            Self::limitless(2),
+            Self::limitless(3),
+            Self::limitless(4),
+            Self::limitless(5),
+            Self::full_map(),
+        ]
+    }
+}
+
+impl fmt::Display for ProtocolSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.full_map {
+            return write!(f, "DirnHNBS-");
+        }
+        let i = match self.sw {
+            SwMode::NoBroadcast => "n".to_string(),
+            SwMode::Broadcast => self.hw_ptrs.to_string(),
+        };
+        let y = match self.sw {
+            SwMode::NoBroadcast => "NB",
+            SwMode::Broadcast => "B",
+        };
+        let a = match self.ack {
+            AckMode::Hardware => "",
+            AckMode::LastAckTrap => ",LACK",
+            AckMode::EveryAckTrap => ",ACK",
+        };
+        write!(f, "Dir{i}H{}S{y}{a}", self.hw_ptrs)
+    }
+}
+
+/// Error returned when parsing an unknown protocol name.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseProtocolError {
+    input: String,
+}
+
+impl fmt::Display for ParseProtocolError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unrecognized protocol name `{}`", self.input)
+    }
+}
+
+impl std::error::Error for ParseProtocolError {}
+
+impl FromStr for ProtocolSpec {
+    type Err = ParseProtocolError;
+
+    /// Parses the compact notation produced by `Display`
+    /// (case-insensitive, underscores and spaces ignored).
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let norm: String = s
+            .chars()
+            .filter(|c| !matches!(c, '_' | ' '))
+            .collect::<String>()
+            .to_ascii_uppercase();
+        let err = || ParseProtocolError {
+            input: s.to_string(),
+        };
+        if norm == "DIRNHNBS-" || norm == "FULLMAP" {
+            return Ok(Self::full_map());
+        }
+        if norm == "DIR1H1SB,LACK" {
+            return Ok(Self::dir1_sw());
+        }
+        let rest = norm.strip_prefix("DIRNH").ok_or_else(err)?;
+        let digits: String = rest.chars().take_while(|c| c.is_ascii_digit()).collect();
+        let x: usize = digits.parse().map_err(|_| err())?;
+        let tail = &rest[digits.len()..];
+        match (x, tail) {
+            (0, "SNB,ACK") => Ok(Self::zero_ptr()),
+            (1, "SNB,ACK") => Ok(Self::one_ptr_ack()),
+            (1, "SNB,LACK") => Ok(Self::one_ptr_lack()),
+            (x, "SNB") if x >= 1 => Ok(Self::limitless(x)),
+            _ => Err(err()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_matches_paper_notation() {
+        assert_eq!(ProtocolSpec::full_map().to_string(), "DirnHNBS-");
+        assert_eq!(ProtocolSpec::limitless(2).to_string(), "DirnH2SNB");
+        assert_eq!(ProtocolSpec::limitless(5).to_string(), "DirnH5SNB");
+        assert_eq!(ProtocolSpec::zero_ptr().to_string(), "DirnH0SNB,ACK");
+        assert_eq!(ProtocolSpec::one_ptr_ack().to_string(), "DirnH1SNB,ACK");
+        assert_eq!(ProtocolSpec::one_ptr_lack().to_string(), "DirnH1SNB,LACK");
+        assert_eq!(ProtocolSpec::one_ptr_hw().to_string(), "DirnH1SNB");
+        assert_eq!(ProtocolSpec::dir1_sw().to_string(), "Dir1H1SB,LACK");
+    }
+
+    #[test]
+    fn parse_round_trips_every_constructor() {
+        let all = [
+            ProtocolSpec::full_map(),
+            ProtocolSpec::limitless(1),
+            ProtocolSpec::limitless(2),
+            ProtocolSpec::limitless(5),
+            ProtocolSpec::limitless(7),
+            ProtocolSpec::zero_ptr(),
+            ProtocolSpec::one_ptr_ack(),
+            ProtocolSpec::one_ptr_lack(),
+            ProtocolSpec::dir1_sw(),
+        ];
+        for p in all {
+            let s = p.to_string();
+            assert_eq!(s.parse::<ProtocolSpec>().unwrap(), p, "round trip {s}");
+        }
+    }
+
+    #[test]
+    fn parse_is_lenient_about_case_and_underscores() {
+        assert_eq!(
+            "dir_n h_5 s_nb".parse::<ProtocolSpec>().unwrap(),
+            ProtocolSpec::limitless(5)
+        );
+        assert_eq!(
+            "fullmap".parse::<ProtocolSpec>().unwrap(),
+            ProtocolSpec::full_map()
+        );
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!("DirnH5".parse::<ProtocolSpec>().is_err());
+        assert!("".parse::<ProtocolSpec>().is_err());
+        assert!("DirnHxSNB".parse::<ProtocolSpec>().is_err());
+        let e = "bogus".parse::<ProtocolSpec>().unwrap_err();
+        assert!(e.to_string().contains("bogus"));
+    }
+
+    #[test]
+    fn zero_ptr_has_no_local_bit() {
+        assert!(!ProtocolSpec::zero_ptr().local_bit);
+        assert!(ProtocolSpec::limitless(1).local_bit);
+    }
+
+    #[test]
+    fn storage_cost_counts_the_hidden_second_pointer() {
+        assert_eq!(ProtocolSpec::one_ptr_hw().storage_pointers(64), 2);
+        assert_eq!(ProtocolSpec::one_ptr_lack().storage_pointers(64), 1);
+        assert_eq!(ProtocolSpec::one_ptr_ack().storage_pointers(64), 1);
+        assert_eq!(ProtocolSpec::zero_ptr().storage_pointers(64), 0);
+        assert_eq!(ProtocolSpec::limitless(5).storage_pointers(64), 5);
+        assert_eq!(ProtocolSpec::full_map().storage_pointers(64), 64);
+    }
+
+    #[test]
+    fn capacity_is_n_for_full_map() {
+        assert_eq!(ProtocolSpec::full_map().capacity(64), 64);
+        assert_eq!(ProtocolSpec::limitless(5).capacity(64), 5);
+        assert_eq!(ProtocolSpec::zero_ptr().capacity(64), 0);
+    }
+
+    #[test]
+    fn spectrum_is_ordered_by_cost() {
+        let spectrum = ProtocolSpec::spectrum();
+        assert_eq!(spectrum.len(), 7);
+        assert_eq!(spectrum[0], ProtocolSpec::zero_ptr());
+        assert_eq!(*spectrum.last().unwrap(), ProtocolSpec::full_map());
+        let costs: Vec<usize> = spectrum.iter().map(|p| p.storage_pointers(64)).collect();
+        let mut sorted = costs.clone();
+        sorted.sort_unstable();
+        assert_eq!(costs, sorted);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one pointer")]
+    fn limitless_zero_panics() {
+        ProtocolSpec::limitless(0);
+    }
+
+    #[test]
+    fn full_map_has_no_software() {
+        assert!(!ProtocolSpec::full_map().has_software());
+        assert!(ProtocolSpec::limitless(5).has_software());
+    }
+}

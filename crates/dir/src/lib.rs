@@ -1,0 +1,33 @@
+//! Directory structures for software-extended coherence.
+//!
+//! Every memory block has a *home node* that stores the block's DRAM
+//! copy and its **directory entry**. This crate provides the two
+//! halves of a software-extended directory:
+//!
+//! * [`HwDirEntry`] — the hardware part: between zero and a handful of
+//!   explicit node pointers, a one-bit pointer for the home node's own
+//!   cached copy, the meta-state that says whether the entry has
+//!   overflowed into software, and the acknowledgment counter that
+//!   reuses pointer storage during write transactions (paper §2, §3.1).
+//! * [`SwDirectory`] — the software part: a hash table from block to
+//!   extension records allocated off a free list, exactly the
+//!   structures the protocol extension software manipulates through
+//!   the flexible coherence interface (paper §4.1).
+//!
+//! # Examples
+//!
+//! ```
+//! use limitless_dir::{HwDirEntry, PtrStoreOutcome};
+//! use limitless_sim::NodeId;
+//!
+//! let mut e = HwDirEntry::new(2); // two hardware pointers
+//! assert_eq!(e.record_reader(NodeId(4)), PtrStoreOutcome::Stored);
+//! assert_eq!(e.record_reader(NodeId(9)), PtrStoreOutcome::Stored);
+//! assert_eq!(e.record_reader(NodeId(12)), PtrStoreOutcome::Overflow);
+//! ```
+
+pub mod hw;
+pub mod sw;
+
+pub use hw::{HwDirEntry, HwState, PtrStoreOutcome};
+pub use sw::{SwDirEntry, SwDirStats, SwDirectory};

@@ -1,0 +1,279 @@
+//! The software-extended directory: what the protocol extension
+//! software maintains in the home node's ordinary memory.
+//!
+//! The flexible coherence interface (paper §4.1) gives handlers a
+//! free-listing memory manager and hash-table administration; the
+//! hand-tuned assembly version replaces both with a special-purpose
+//! scheme. The *cost* of those operations is charged by the protocol
+//! layer's cost model; this module provides the functional behaviour
+//! plus operation counts so the cost model has something to bill.
+
+use std::collections::hash_map::Entry;
+use std::collections::HashMap;
+
+use limitless_sim::{BlockAddr, NodeId};
+
+/// The software extension record for one overflowed block: the
+/// pointers that did not fit in hardware.
+///
+/// The paper's memory-usage optimization for small worker sets
+/// (§5: `Dir_nH_1S_{NB,LACK}` beating `Dir_nH_1S_{NB}` at size 4) is
+/// modelled by the free list handing out small records first; the
+/// functional content is just the pointer set.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct SwDirEntry {
+    readers: Vec<NodeId>,
+}
+
+impl SwDirEntry {
+    /// Creates an empty extension record.
+    pub fn new() -> Self {
+        SwDirEntry::default()
+    }
+
+    /// Records a reader; returns `true` if it was new.
+    pub fn record_reader(&mut self, node: NodeId) -> bool {
+        if self.readers.contains(&node) {
+            false
+        } else {
+            self.readers.push(node);
+            true
+        }
+    }
+
+    /// The recorded readers.
+    pub fn readers(&self) -> &[NodeId] {
+        &self.readers
+    }
+
+    /// Removes all readers, returning them (for invalidation).
+    pub fn drain(&mut self) -> Vec<NodeId> {
+        std::mem::take(&mut self.readers)
+    }
+
+    /// Number of recorded readers.
+    pub fn len(&self) -> usize {
+        self.readers.len()
+    }
+
+    /// Whether no readers are recorded.
+    pub fn is_empty(&self) -> bool {
+        self.readers.is_empty()
+    }
+}
+
+/// Operation counters for the software directory (inputs to the
+/// handler cost model and to memory-overhead accounting).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SwDirStats {
+    /// Hash-table lookups performed.
+    pub lookups: u64,
+    /// Extension records allocated from the free list.
+    pub allocs: u64,
+    /// Extension records returned to the free list.
+    pub frees: u64,
+    /// Pointers stored into extension records.
+    pub ptrs_stored: u64,
+    /// High-water mark of live extension records.
+    pub peak_entries: u64,
+}
+
+/// The per-node software directory: a hash table of extension records
+/// with free-list accounting.
+///
+/// # Examples
+///
+/// ```
+/// use limitless_dir::SwDirectory;
+/// use limitless_sim::{BlockAddr, NodeId};
+///
+/// let mut d = SwDirectory::new();
+/// d.record_reader(BlockAddr(7), NodeId(3));
+/// assert_eq!(d.readers(BlockAddr(7)), &[NodeId(3)]);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct SwDirectory {
+    table: HashMap<BlockAddr, SwDirEntry>,
+    free_list: Vec<SwDirEntry>,
+    stats: SwDirStats,
+}
+
+impl SwDirectory {
+    /// Creates an empty software directory.
+    pub fn new() -> Self {
+        SwDirectory::default()
+    }
+
+    /// Looks up the extension record for `block`, if one exists.
+    pub fn lookup(&mut self, block: BlockAddr) -> Option<&SwDirEntry> {
+        self.stats.lookups += 1;
+        self.table.get(&block)
+    }
+
+    /// Whether an extension record exists for `block` (uncounted probe
+    /// for assertions and stats).
+    pub fn contains(&self, block: BlockAddr) -> bool {
+        self.table.contains_key(&block)
+    }
+
+    /// Records a reader for `block`, allocating an extension record
+    /// if needed. Returns `true` if the reader was newly recorded.
+    pub fn record_reader(&mut self, block: BlockAddr, node: NodeId) -> bool {
+        self.stats.lookups += 1;
+        let entry = match self.table.entry(block) {
+            Entry::Occupied(o) => o.into_mut(),
+            Entry::Vacant(v) => {
+                self.stats.allocs += 1;
+                let rec = self.free_list.pop().unwrap_or_default();
+                let r = v.insert(rec);
+                r
+            }
+        };
+        let new = entry.record_reader(node);
+        if new {
+            self.stats.ptrs_stored += 1;
+        }
+        self.stats.peak_entries = self.stats.peak_entries.max(self.table.len() as u64);
+        new
+    }
+
+    /// Records many readers at once (the overflow handler emptying the
+    /// hardware pointers into software). Returns how many were new.
+    pub fn record_readers(&mut self, block: BlockAddr, nodes: &[NodeId]) -> usize {
+        nodes
+            .iter()
+            .filter(|&&n| self.record_reader(block, n))
+            .count()
+    }
+
+    /// Removes and returns all readers for `block`, freeing its record
+    /// back to the free list. Returns an empty vector if no record
+    /// exists.
+    pub fn drain_readers(&mut self, block: BlockAddr) -> Vec<NodeId> {
+        self.stats.lookups += 1;
+        match self.table.remove(&block) {
+            Some(mut rec) => {
+                let readers = rec.drain();
+                self.stats.frees += 1;
+                self.free_list.push(rec);
+                readers
+            }
+            None => Vec::new(),
+        }
+    }
+
+    /// The readers recorded for `block` (empty slice if none).
+    pub fn readers(&self, block: BlockAddr) -> &[NodeId] {
+        self.table.get(&block).map_or(&[], |e| e.readers())
+    }
+
+    /// Removes one reader pointer from `block`'s record (replacement
+    /// hint). Frees the record if it becomes empty. Returns whether
+    /// the pointer was present.
+    pub fn remove_reader(&mut self, block: BlockAddr, node: NodeId) -> bool {
+        self.stats.lookups += 1;
+        if let Some(rec) = self.table.get_mut(&block) {
+            if let Some(i) = rec.readers.iter().position(|&p| p == node) {
+                rec.readers.swap_remove(i);
+                if rec.is_empty() {
+                    let rec = self.table.remove(&block).expect("record vanished");
+                    self.stats.frees += 1;
+                    self.free_list.push(rec);
+                }
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Number of live extension records.
+    pub fn live_entries(&self) -> usize {
+        self.table.len()
+    }
+
+    /// Operation counters.
+    pub fn stats(&self) -> SwDirStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_read_back() {
+        let mut d = SwDirectory::new();
+        assert!(d.record_reader(BlockAddr(1), NodeId(5)));
+        assert!(!d.record_reader(BlockAddr(1), NodeId(5)));
+        assert!(d.record_reader(BlockAddr(1), NodeId(6)));
+        assert_eq!(d.readers(BlockAddr(1)), &[NodeId(5), NodeId(6)]);
+        assert_eq!(d.readers(BlockAddr(2)), &[]);
+    }
+
+    #[test]
+    fn drain_frees_record() {
+        let mut d = SwDirectory::new();
+        d.record_reader(BlockAddr(1), NodeId(5));
+        d.record_reader(BlockAddr(1), NodeId(6));
+        let readers = d.drain_readers(BlockAddr(1));
+        assert_eq!(readers, vec![NodeId(5), NodeId(6)]);
+        assert_eq!(d.live_entries(), 0);
+        assert_eq!(d.stats().frees, 1);
+        assert!(d.drain_readers(BlockAddr(1)).is_empty());
+    }
+
+    #[test]
+    fn free_list_recycles_records() {
+        let mut d = SwDirectory::new();
+        d.record_reader(BlockAddr(1), NodeId(5));
+        d.drain_readers(BlockAddr(1));
+        d.record_reader(BlockAddr(2), NodeId(6));
+        let s = d.stats();
+        // Second record came off the free list but still counts as an
+        // allocation event for the cost model.
+        assert_eq!(s.allocs, 2);
+        assert_eq!(s.frees, 1);
+    }
+
+    #[test]
+    fn batch_record_counts_new_only() {
+        let mut d = SwDirectory::new();
+        d.record_reader(BlockAddr(1), NodeId(2));
+        let added = d.record_readers(BlockAddr(1), &[NodeId(2), NodeId(3), NodeId(4)]);
+        assert_eq!(added, 2);
+        assert_eq!(d.readers(BlockAddr(1)).len(), 3);
+    }
+
+    #[test]
+    fn remove_reader_frees_empty_record() {
+        let mut d = SwDirectory::new();
+        d.record_reader(BlockAddr(1), NodeId(2));
+        assert!(d.remove_reader(BlockAddr(1), NodeId(2)));
+        assert_eq!(d.live_entries(), 0);
+        assert!(!d.remove_reader(BlockAddr(1), NodeId(2)));
+    }
+
+    #[test]
+    fn peak_entries_tracks_high_water() {
+        let mut d = SwDirectory::new();
+        for b in 0..10 {
+            d.record_reader(BlockAddr(b), NodeId(0));
+        }
+        for b in 0..10 {
+            d.drain_readers(BlockAddr(b));
+        }
+        assert_eq!(d.stats().peak_entries, 10);
+        assert_eq!(d.live_entries(), 0);
+    }
+
+    #[test]
+    fn contains_does_not_bill_lookup() {
+        let mut d = SwDirectory::new();
+        d.record_reader(BlockAddr(1), NodeId(0));
+        let before = d.stats().lookups;
+        assert!(d.contains(BlockAddr(1)));
+        assert!(!d.contains(BlockAddr(9)));
+        assert_eq!(d.stats().lookups, before);
+    }
+}

@@ -1,0 +1,101 @@
+//! Model-based property tests: directory pointer structures behave as
+//! bounded sets.
+
+use std::collections::BTreeSet;
+
+use limitless_dir::{HwDirEntry, PtrStoreOutcome, SwDirectory};
+use limitless_sim::{BlockAddr, NodeId};
+use proptest::prelude::*;
+
+proptest! {
+    /// The hardware pointer array is a set of at most `capacity`
+    /// elements; overflow is reported exactly when a new element would
+    /// exceed capacity.
+    #[test]
+    fn hw_entry_is_a_bounded_set(
+        capacity in 0usize..6,
+        nodes in prop::collection::vec(0u16..12, 0..50),
+    ) {
+        let mut e = HwDirEntry::new(capacity);
+        let mut model: BTreeSet<u16> = BTreeSet::new();
+        for n in nodes {
+            let outcome = e.record_reader(NodeId(n));
+            if model.contains(&n) {
+                prop_assert_eq!(outcome, PtrStoreOutcome::Stored);
+            } else if model.len() < capacity {
+                prop_assert_eq!(outcome, PtrStoreOutcome::Stored);
+                model.insert(n);
+            } else {
+                prop_assert_eq!(outcome, PtrStoreOutcome::Overflow);
+            }
+            let mut got: Vec<u16> = e.ptrs().iter().map(|p| p.0).collect();
+            got.sort_unstable();
+            let want: Vec<u16> = model.iter().copied().collect();
+            prop_assert_eq!(got, want);
+        }
+    }
+
+    /// Draining moves every pointer out exactly once.
+    #[test]
+    fn drain_empties_exactly(
+        nodes in prop::collection::vec(0u16..12, 0..20),
+    ) {
+        let mut e = HwDirEntry::new(5);
+        let mut model = BTreeSet::new();
+        for &n in &nodes {
+            if e.record_reader(NodeId(n)) == PtrStoreOutcome::Stored {
+                model.insert(n);
+            }
+        }
+        let mut drained: Vec<u16> = e.drain_ptrs().iter().map(|p| p.0).collect();
+        drained.sort_unstable();
+        prop_assert_eq!(drained, model.into_iter().collect::<Vec<_>>());
+        prop_assert_eq!(e.ptr_count(), 0);
+    }
+
+    /// The software directory is a per-block set; drain returns exactly
+    /// what was recorded and frees the record.
+    #[test]
+    fn sw_directory_matches_set_model(
+        ops in prop::collection::vec((0u64..6, 0u16..10, any::<bool>()), 0..120),
+    ) {
+        let mut d = SwDirectory::new();
+        let mut model: std::collections::HashMap<u64, BTreeSet<u16>> = Default::default();
+        for (block, node, drain) in ops {
+            if drain {
+                let mut got: Vec<u16> = d
+                    .drain_readers(BlockAddr(block))
+                    .iter()
+                    .map(|p| p.0)
+                    .collect();
+                got.sort_unstable();
+                let want: Vec<u16> =
+                    model.remove(&block).unwrap_or_default().into_iter().collect();
+                prop_assert_eq!(got, want);
+            } else {
+                let newly = d.record_reader(BlockAddr(block), NodeId(node));
+                let inserted = model.entry(block).or_default().insert(node);
+                prop_assert_eq!(newly, inserted);
+            }
+        }
+        // Final state agrees.
+        for (block, set) in &model {
+            let mut got: Vec<u16> = d.readers(BlockAddr(*block)).iter().map(|p| p.0).collect();
+            got.sort_unstable();
+            prop_assert_eq!(got, set.iter().copied().collect::<Vec<_>>());
+        }
+        prop_assert_eq!(d.live_entries(), model.values().filter(|s| !s.is_empty()).count());
+    }
+
+    /// Acknowledgment counting is exact.
+    #[test]
+    fn ack_counter_counts_down(acks in 1u32..40) {
+        use limitless_dir::HwState;
+        let mut e = HwDirEntry::new(2);
+        e.begin_transaction(HwState::WriteTransaction, acks, Some(NodeId(1)), true);
+        for expected_remaining in (0..acks).rev() {
+            prop_assert_eq!(e.count_ack(), expected_remaining);
+        }
+        prop_assert_eq!(e.acks_pending(), 0);
+    }
+}

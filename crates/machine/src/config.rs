@@ -1,0 +1,269 @@
+//! Machine configuration.
+
+use limitless_cache::CacheConfig;
+use limitless_core::{HandlerImpl, ProtocolSpec};
+use limitless_net::NetConfig;
+
+/// Processor-side timing parameters (cycles).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ProcTiming {
+    /// Cache hit.
+    pub hit: u64,
+    /// Extra penalty for a victim-cache hit (swap back).
+    pub victim_hit: u64,
+    /// Installing an arrived block into the cache.
+    pub fill: u64,
+    /// Issuing a request message from the processor to the CMMU.
+    pub issue: u64,
+    /// Instruction-fetch miss (local memory access).
+    pub ifetch_miss: u64,
+    /// Base backoff after a BUSY bounce (doubles-ish per retry).
+    pub busy_backoff: u64,
+}
+
+impl Default for ProcTiming {
+    fn default() -> Self {
+        ProcTiming {
+            hit: 2,
+            victim_hit: 3,
+            fill: 2,
+            issue: 2,
+            busy_backoff: 24,
+            ifetch_miss: 10,
+        }
+    }
+}
+
+/// Livelock-watchdog parameters (paper §4.1): a timer interrupt
+/// detects protocol handlers starving user code and temporarily shuts
+/// off asynchronous events. Armed automatically for the protocols that
+/// trap on every acknowledgment.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct WatchdogConfig {
+    /// Continuous handler occupancy (cycles) that counts as possible
+    /// livelock.
+    pub window: u64,
+    /// How long asynchronous events stay off so user code can run.
+    pub grace: u64,
+}
+
+impl Default for WatchdogConfig {
+    fn default() -> Self {
+        WatchdogConfig {
+            window: 4_000,
+            grace: 1_000,
+        }
+    }
+}
+
+/// Full machine configuration. Build with [`MachineConfig::builder`].
+#[derive(Clone, Debug)]
+pub struct MachineConfig {
+    /// Number of processing nodes.
+    pub nodes: usize,
+    /// The coherence protocol.
+    pub protocol: ProtocolSpec,
+    /// Which handler implementation prices the software traps.
+    pub handler_impl: HandlerImpl,
+    /// Per-node cache geometry.
+    pub cache: CacheConfig,
+    /// Network timing.
+    pub net: NetConfig,
+    /// Processor timing.
+    pub proc: ProcTiming,
+    /// Watchdog parameters.
+    pub watchdog: WatchdogConfig,
+    /// One-cycle instruction access without touching the cache
+    /// (Figure 3's "perfect ifetch" simulator option).
+    pub perfect_ifetch: bool,
+    /// Cycles for a full-machine barrier (Alewife's fast-barrier
+    /// runtime; scales with log2(nodes) at build time).
+    pub barrier_cycles: u64,
+    /// Track worker sets (Figure 6); small runtime cost.
+    pub track_worker_sets: bool,
+    /// Maintain and assert the global coherence registry (tests).
+    pub check_coherence: bool,
+}
+
+impl MachineConfig {
+    /// Starts building a configuration (defaults: 16 nodes,
+    /// `Dir_nH_5S_{NB}`, flexible-C handlers, Alewife cache, no victim
+    /// cache, checking off).
+    pub fn builder() -> MachineConfigBuilder {
+        MachineConfigBuilder::default()
+    }
+}
+
+/// Builder for [`MachineConfig`].
+///
+/// # Examples
+///
+/// ```
+/// use limitless_machine::MachineConfig;
+/// use limitless_core::ProtocolSpec;
+///
+/// let cfg = MachineConfig::builder()
+///     .nodes(64)
+///     .protocol(ProtocolSpec::limitless(5))
+///     .victim_cache(true)
+///     .build();
+/// assert_eq!(cfg.nodes, 64);
+/// assert!(cfg.cache.victim_lines > 0);
+/// ```
+#[derive(Clone, Debug)]
+pub struct MachineConfigBuilder {
+    cfg: MachineConfig,
+}
+
+impl Default for MachineConfigBuilder {
+    fn default() -> Self {
+        MachineConfigBuilder {
+            cfg: MachineConfig {
+                nodes: 16,
+                protocol: ProtocolSpec::limitless(5),
+                handler_impl: HandlerImpl::FlexibleC,
+                cache: CacheConfig::alewife(),
+                net: NetConfig::default(),
+                proc: ProcTiming::default(),
+                watchdog: WatchdogConfig::default(),
+                perfect_ifetch: false,
+                barrier_cycles: 0, // derived at build time if left 0
+                track_worker_sets: false,
+                check_coherence: false,
+            },
+        }
+    }
+}
+
+impl MachineConfigBuilder {
+    /// Sets the node count.
+    pub fn nodes(mut self, n: usize) -> Self {
+        self.cfg.nodes = n;
+        self
+    }
+
+    /// Sets the coherence protocol.
+    pub fn protocol(mut self, p: ProtocolSpec) -> Self {
+        self.cfg.protocol = p;
+        self
+    }
+
+    /// Selects the handler implementation (C or assembly cost model).
+    pub fn handler_impl(mut self, h: HandlerImpl) -> Self {
+        self.cfg.handler_impl = h;
+        self
+    }
+
+    /// Replaces the cache configuration.
+    pub fn cache(mut self, c: CacheConfig) -> Self {
+        self.cfg.cache = c;
+        self
+    }
+
+    /// Enables or disables the victim cache (Alewife's 4-entry
+    /// transaction-store buffering).
+    pub fn victim_cache(mut self, on: bool) -> Self {
+        self.cfg.cache.victim_lines = if on { 4 } else { 0 };
+        self
+    }
+
+    /// Enables the perfect-ifetch simulator option.
+    pub fn perfect_ifetch(mut self, on: bool) -> Self {
+        self.cfg.perfect_ifetch = on;
+        self
+    }
+
+    /// Replaces the network timing.
+    pub fn net(mut self, n: NetConfig) -> Self {
+        self.cfg.net = n;
+        self
+    }
+
+    /// Replaces the processor timing.
+    pub fn proc(mut self, p: ProcTiming) -> Self {
+        self.cfg.proc = p;
+        self
+    }
+
+    /// Replaces the watchdog parameters.
+    pub fn watchdog(mut self, w: WatchdogConfig) -> Self {
+        self.cfg.watchdog = w;
+        self
+    }
+
+    /// Enables worker-set tracking.
+    pub fn track_worker_sets(mut self, on: bool) -> Self {
+        self.cfg.track_worker_sets = on;
+        self
+    }
+
+    /// Enables the global coherence-invariant checker.
+    pub fn check_coherence(mut self, on: bool) -> Self {
+        self.cfg.check_coherence = on;
+        self
+    }
+
+    /// Overrides the barrier latency (otherwise derived from the node
+    /// count).
+    pub fn barrier_cycles(mut self, c: u64) -> Self {
+        self.cfg.barrier_cycles = c;
+        self
+    }
+
+    /// Finalizes the configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node count is zero.
+    pub fn build(mut self) -> MachineConfig {
+        assert!(self.cfg.nodes > 0, "machine needs at least one node");
+        if self.cfg.barrier_cycles == 0 {
+            // A dissemination/tree barrier: O(log n) network phases.
+            let log = usize::BITS - self.cfg.nodes.next_power_of_two().leading_zeros() - 1;
+            self.cfg.barrier_cycles = 20 + 12 * u64::from(log);
+        }
+        self.cfg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_defaults_are_alewife() {
+        let cfg = MachineConfig::builder().build();
+        assert_eq!(cfg.nodes, 16);
+        assert_eq!(cfg.protocol, ProtocolSpec::limitless(5));
+        assert_eq!(cfg.cache.sets(), 4096);
+        assert_eq!(cfg.cache.victim_lines, 0);
+        assert!(!cfg.perfect_ifetch);
+    }
+
+    #[test]
+    fn barrier_latency_scales_with_nodes() {
+        let small = MachineConfig::builder().nodes(4).build();
+        let big = MachineConfig::builder().nodes(256).build();
+        assert!(big.barrier_cycles > small.barrier_cycles);
+    }
+
+    #[test]
+    fn victim_cache_switch() {
+        let on = MachineConfig::builder().victim_cache(true).build();
+        assert_eq!(on.cache.victim_lines, 4);
+        let off = MachineConfig::builder().victim_cache(true).victim_cache(false).build();
+        assert_eq!(off.cache.victim_lines, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one node")]
+    fn zero_nodes_panics() {
+        MachineConfig::builder().nodes(0).build();
+    }
+
+    #[test]
+    fn explicit_barrier_latency_respected() {
+        let cfg = MachineConfig::builder().barrier_cycles(99).build();
+        assert_eq!(cfg.barrier_cycles, 99);
+    }
+}

@@ -1,0 +1,171 @@
+//! The global coherence-invariant checker.
+//!
+//! A shadow registry of who holds each block and with what permission.
+//! Maintained from the machine's cache mutations, it asserts the two
+//! invariants every coherence protocol must preserve:
+//!
+//! 1. **Single writer**: at most one node holds a block `Dirty`, and
+//!    while it does, no other node holds the block at all.
+//! 2. **No stale grants**: a shared fill never lands while another
+//!    node owns the block exclusively.
+//!
+//! Violations indicate protocol bugs and panic immediately (this is a
+//! verification tool, not production error handling).
+
+use std::collections::HashMap;
+
+use limitless_sim::{BlockAddr, NodeId};
+
+/// Who currently caches a block.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+struct Holders {
+    owner: Option<NodeId>,
+    sharers: Vec<NodeId>,
+}
+
+/// The coherence registry. All methods panic on invariant violations.
+#[derive(Clone, Debug, Default)]
+pub struct CoherenceRegistry {
+    blocks: HashMap<BlockAddr, Holders>,
+    /// Number of fills/invalidations observed (sanity metric).
+    pub events: u64,
+}
+
+impl CoherenceRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        CoherenceRegistry::default()
+    }
+
+    fn entry(&mut self, b: BlockAddr) -> &mut Holders {
+        self.events += 1;
+        self.blocks.entry(b).or_default()
+    }
+
+    /// Node `n` installed `b` with read-only permission.
+    ///
+    /// # Panics
+    ///
+    /// Panics if another node owns `b` exclusively.
+    pub fn fill_shared(&mut self, b: BlockAddr, n: NodeId) {
+        let h = self.entry(b);
+        assert!(
+            h.owner.is_none() || h.owner == Some(n),
+            "coherence violation: shared fill of {b} at {n} while {:?} owns it",
+            h.owner
+        );
+        h.owner = None;
+        if !h.sharers.contains(&n) {
+            h.sharers.push(n);
+        }
+    }
+
+    /// Node `n` installed `b` with exclusive permission.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any other node still holds `b`.
+    pub fn fill_exclusive(&mut self, b: BlockAddr, n: NodeId) {
+        let h = self.entry(b);
+        let others: Vec<NodeId> = h.sharers.iter().copied().filter(|&s| s != n).collect();
+        assert!(
+            others.is_empty(),
+            "coherence violation: exclusive fill of {b} at {n} while shared by {others:?}"
+        );
+        assert!(
+            h.owner.is_none() || h.owner == Some(n),
+            "coherence violation: exclusive fill of {b} at {n} while owned by {:?}",
+            h.owner
+        );
+        h.sharers.clear();
+        h.owner = Some(n);
+    }
+
+    /// Node `n` dropped or invalidated its copy of `b`.
+    pub fn drop_copy(&mut self, b: BlockAddr, n: NodeId) {
+        let h = self.entry(b);
+        if h.owner == Some(n) {
+            h.owner = None;
+        }
+        h.sharers.retain(|&s| s != n);
+    }
+
+    /// Node `n` downgraded its exclusive copy to shared.
+    pub fn downgrade(&mut self, b: BlockAddr, n: NodeId) {
+        let h = self.entry(b);
+        if h.owner == Some(n) {
+            h.owner = None;
+            if !h.sharers.contains(&n) {
+                h.sharers.push(n);
+            }
+        }
+    }
+
+    /// Current exclusive owner of `b`, if any.
+    pub fn owner(&self, b: BlockAddr) -> Option<NodeId> {
+        self.blocks.get(&b).and_then(|h| h.owner)
+    }
+
+    /// Number of read-only holders of `b`.
+    pub fn sharer_count(&self, b: BlockAddr) -> usize {
+        self.blocks.get(&b).map_or(0, |h| h.sharers.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sharers_accumulate_and_drop() {
+        let mut r = CoherenceRegistry::new();
+        r.fill_shared(BlockAddr(1), NodeId(0));
+        r.fill_shared(BlockAddr(1), NodeId(1));
+        assert_eq!(r.sharer_count(BlockAddr(1)), 2);
+        r.drop_copy(BlockAddr(1), NodeId(0));
+        assert_eq!(r.sharer_count(BlockAddr(1)), 1);
+    }
+
+    #[test]
+    fn exclusive_after_all_sharers_drop() {
+        let mut r = CoherenceRegistry::new();
+        r.fill_shared(BlockAddr(1), NodeId(0));
+        r.drop_copy(BlockAddr(1), NodeId(0));
+        r.fill_exclusive(BlockAddr(1), NodeId(2));
+        assert_eq!(r.owner(BlockAddr(1)), Some(NodeId(2)));
+    }
+
+    #[test]
+    fn upgrade_in_place_is_legal() {
+        let mut r = CoherenceRegistry::new();
+        r.fill_shared(BlockAddr(1), NodeId(3));
+        r.fill_exclusive(BlockAddr(1), NodeId(3)); // sole sharer upgrades
+        assert_eq!(r.owner(BlockAddr(1)), Some(NodeId(3)));
+    }
+
+    #[test]
+    #[should_panic(expected = "coherence violation")]
+    fn exclusive_while_shared_panics() {
+        let mut r = CoherenceRegistry::new();
+        r.fill_shared(BlockAddr(1), NodeId(0));
+        r.fill_exclusive(BlockAddr(1), NodeId(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "coherence violation")]
+    fn shared_while_owned_panics() {
+        let mut r = CoherenceRegistry::new();
+        r.fill_exclusive(BlockAddr(1), NodeId(0));
+        r.fill_shared(BlockAddr(1), NodeId(1));
+    }
+
+    #[test]
+    fn downgrade_keeps_a_shared_copy() {
+        let mut r = CoherenceRegistry::new();
+        r.fill_exclusive(BlockAddr(1), NodeId(0));
+        r.downgrade(BlockAddr(1), NodeId(0));
+        assert_eq!(r.owner(BlockAddr(1)), None);
+        assert_eq!(r.sharer_count(BlockAddr(1)), 1);
+        r.fill_shared(BlockAddr(1), NodeId(4)); // now legal
+    }
+}

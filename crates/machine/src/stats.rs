@@ -1,0 +1,144 @@
+//! Per-run measurement: what one simulation reports.
+
+use limitless_cache::CacheStats;
+use limitless_core::{EngineStats, TrapBill};
+use limitless_net::NetStats;
+use limitless_sim::Cycle;
+use limitless_stats::{Histogram, LatencySampler};
+
+/// Everything measured during one machine run.
+#[derive(Clone, Debug, Default)]
+pub struct MachineStats {
+    /// Completed read operations.
+    pub reads: u64,
+    /// Completed write (and RMW) operations.
+    pub writes: u64,
+    /// Read/write operations satisfied without a protocol transaction.
+    pub hits: u64,
+    /// Operations that required a protocol transaction.
+    pub misses: u64,
+    /// Zero-pointer-protocol local fills that bypassed the protocol.
+    pub local_fast_fills: u64,
+    /// BUSY bounces absorbed by requesters (each causes a backoff and
+    /// retry).
+    pub busy_retries: u64,
+    /// Upgrade acknowledgments that arrived after the line was
+    /// invalidated (request re-issued).
+    pub upgrade_races: u64,
+    /// Barrier episodes completed.
+    pub barriers: u64,
+    /// FIFO-lock hand-overs to a waiting node.
+    pub lock_handoffs: u64,
+    /// Watchdog activations (livelock protection).
+    pub watchdog_fires: u64,
+    /// Aggregated protocol-engine counters over all home nodes.
+    pub engine: EngineStats,
+    /// Aggregated cache counters over all nodes.
+    pub cache: CacheStats,
+    /// Network counters.
+    pub net: NetStats,
+    /// Latency samples for read-extend handler invocations (Table 1).
+    pub read_trap_latency: LatencySampler,
+    /// Latency samples for write-extend handler invocations (Table 1).
+    pub write_trap_latency: LatencySampler,
+    /// Retained activity ledgers for read-extend traps (Table 2;
+    /// bounded).
+    pub read_trap_bills: Vec<TrapBill>,
+    /// Retained activity ledgers for write-extend traps (Table 2;
+    /// bounded).
+    pub write_trap_bills: Vec<TrapBill>,
+    /// Worker-set size histogram (Figure 6), if tracking was enabled.
+    pub worker_sets: Option<Histogram>,
+    /// Per-node cycles spent inside protocol handlers.
+    pub trap_cycles: u64,
+}
+
+impl MachineStats {
+    fn add_engine(&mut self, e: EngineStats) {
+        let s = &mut self.engine;
+        s.read_reqs += e.read_reqs;
+        s.write_reqs += e.write_reqs;
+        s.traps += e.traps;
+        s.read_extend_traps += e.read_extend_traps;
+        s.write_extend_traps += e.write_extend_traps;
+        s.ack_traps += e.ack_traps;
+        s.last_ack_traps += e.last_ack_traps;
+        s.busy_traps += e.busy_traps;
+        s.trap_cycles += e.trap_cycles;
+        s.invs_sent += e.invs_sent;
+        s.busys_sent += e.busys_sent;
+        s.stale_msgs += e.stale_msgs;
+    }
+
+    fn add_cache(&mut self, c: CacheStats) {
+        let s = &mut self.cache;
+        s.hits += c.hits;
+        s.victim_hits += c.victim_hits;
+        s.misses += c.misses;
+        s.upgrade_misses += c.upgrade_misses;
+        s.evictions += c.evictions;
+        s.writebacks += c.writebacks;
+        s.ifetches += c.ifetches;
+        s.ifetch_misses += c.ifetch_misses;
+        s.invalidations += c.invalidations;
+    }
+
+    /// Folds one node's engine and cache counters into the totals.
+    pub fn absorb_node(&mut self, e: EngineStats, c: CacheStats) {
+        self.add_engine(e);
+        self.add_cache(c);
+        self.trap_cycles += e.trap_cycles;
+    }
+}
+
+/// The result of [`crate::Machine::run`].
+#[derive(Clone, Debug)]
+pub struct RunReport {
+    /// Total run time: the cycle at which the last node finished.
+    pub cycles: Cycle,
+    /// Events processed by the simulation engine.
+    pub events: u64,
+    /// All measurements.
+    pub stats: MachineStats,
+}
+
+impl RunReport {
+    /// Run time in seconds at the 33 MHz Sparcle clock.
+    pub fn seconds(&self) -> f64 {
+        self.cycles.as_seconds_at_33mhz()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn absorb_accumulates() {
+        let mut m = MachineStats::default();
+        let e = EngineStats {
+            traps: 3,
+            trap_cycles: 100,
+            ..EngineStats::default()
+        };
+        let c = CacheStats {
+            hits: 7,
+            ..CacheStats::default()
+        };
+        m.absorb_node(e, c);
+        m.absorb_node(e, c);
+        assert_eq!(m.engine.traps, 6);
+        assert_eq!(m.cache.hits, 14);
+        assert_eq!(m.trap_cycles, 200);
+    }
+
+    #[test]
+    fn report_seconds_uses_33mhz() {
+        let r = RunReport {
+            cycles: Cycle(33_000_000),
+            events: 0,
+            stats: MachineStats::default(),
+        };
+        assert!((r.seconds() - 1.0).abs() < 1e-9);
+    }
+}

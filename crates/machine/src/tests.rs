@@ -1,0 +1,504 @@
+//! Whole-machine behaviour tests: every protocol in the spectrum must
+//! run arbitrary programs to completion with the coherence checker
+//! enabled and produce identical memory contents.
+
+use limitless_core::ProtocolSpec;
+use limitless_sim::{Addr, NodeId, SplitMix64};
+
+use crate::config::MachineConfig;
+use crate::machine::Machine;
+use crate::program::{FnProgram, Op, Program, Rmw, ScriptProgram};
+
+fn all_protocols() -> Vec<ProtocolSpec> {
+    vec![
+        ProtocolSpec::zero_ptr(),
+        ProtocolSpec::one_ptr_ack(),
+        ProtocolSpec::one_ptr_lack(),
+        ProtocolSpec::one_ptr_hw(),
+        ProtocolSpec::limitless(2),
+        ProtocolSpec::limitless(5),
+        ProtocolSpec::dir1_sw(),
+        ProtocolSpec::full_map(),
+    ]
+}
+
+fn machine(nodes: usize, p: ProtocolSpec) -> Machine {
+    Machine::new(
+        MachineConfig::builder()
+            .nodes(nodes)
+            .protocol(p)
+            .check_coherence(true)
+            .build(),
+    )
+}
+
+#[test]
+fn single_writer_value_visible_to_all_readers() {
+    for p in all_protocols() {
+        let mut m = machine(4, p);
+        let mut progs: Vec<Box<dyn Program>> = Vec::new();
+        progs.push(Box::new(ScriptProgram::new(vec![
+            Op::Write(Addr(0x100), 42),
+            Op::Barrier,
+        ])));
+        for _ in 1..4 {
+            progs.push(Box::new(ScriptProgram::new(vec![
+                Op::Barrier,
+                Op::Read(Addr(0x100)),
+            ])));
+        }
+        m.load(progs);
+        m.run();
+        assert_eq!(m.peek(Addr(0x100)), 42, "{p}");
+    }
+}
+
+#[test]
+fn wide_sharing_then_write_invalidates_under_every_protocol() {
+    for p in all_protocols() {
+        let mut m = machine(8, p);
+        // Everyone reads the block; node 7 then writes; everyone
+        // re-reads and must see the new value.
+        let mut progs: Vec<Box<dyn Program>> = Vec::new();
+        for i in 0..8u16 {
+            let mut ops = vec![Op::Read(Addr(0x200)), Op::Barrier];
+            if i == 7 {
+                ops.push(Op::Write(Addr(0x200), 99));
+            }
+            ops.push(Op::Barrier);
+            ops.push(Op::Read(Addr(0x200)));
+            progs.push(Box::new(ScriptProgram::new(ops)));
+        }
+        m.load(progs);
+        let report = m.run();
+        assert_eq!(m.peek(Addr(0x200)), 99, "{p}");
+        assert!(report.stats.engine.invs_sent > 0, "{p} must invalidate");
+    }
+}
+
+#[test]
+fn rmw_increments_are_atomic_across_nodes() {
+    for p in [
+        ProtocolSpec::zero_ptr(),
+        ProtocolSpec::one_ptr_lack(),
+        ProtocolSpec::limitless(5),
+        ProtocolSpec::full_map(),
+    ] {
+        let mut m = machine(8, p);
+        let progs: Vec<Box<dyn Program>> = (0..8)
+            .map(|_| {
+                Box::new(ScriptProgram::new(vec![
+                    Op::Rmw(Addr(0x300), Rmw::Add(1)),
+                    Op::Rmw(Addr(0x300), Rmw::Add(1)),
+                    Op::Rmw(Addr(0x300), Rmw::Add(1)),
+                ])) as Box<dyn Program>
+            })
+            .collect();
+        m.load(progs);
+        m.run();
+        assert_eq!(m.peek(Addr(0x300)), 24, "{p}");
+    }
+}
+
+/// Random mixed workload: every protocol must produce the exact same
+/// final memory image (they implement the same memory model), and the
+/// coherence checker must stay quiet.
+#[test]
+fn random_stress_all_protocols_agree_on_memory() {
+    let nodes = 6;
+    let blocks = 12u64;
+    let iters = 120;
+
+    let make_progs = |seed: u64| -> Vec<Box<dyn Program>> {
+        (0..nodes)
+            .map(|i| {
+                let mut rng = SplitMix64::new(seed ^ (i as u64 * 7919));
+                let mut step = 0usize;
+                Box::new(FnProgram(move |node: NodeId, _last| {
+                    if step >= iters {
+                        return Op::Finish;
+                    }
+                    step += 1;
+                    // Periodic barriers keep nodes loosely synchronized
+                    // so writes are ordered across phases.
+                    if step % 40 == 0 {
+                        return Op::Barrier;
+                    }
+                    if rng.next_below(4) == 0 {
+                        // Writes are partitioned: node i only writes
+                        // blocks ≡ i (mod nodes), so the final memory
+                        // image is timing-independent and must agree
+                        // across protocols. Reads roam freely.
+                        let mine = (0..blocks)
+                            .filter(|b| b % nodes as u64 == u64::from(node.0))
+                            .collect::<Vec<_>>();
+                        let b = mine[rng.next_below(mine.len() as u64) as usize];
+                        let addr = Addr(0x1000 + b * 16);
+                        Op::Write(addr, u64::from(node.0) * 1000 + step as u64)
+                    } else {
+                        let addr = Addr(0x1000 + rng.next_below(blocks) * 16);
+                        Op::Read(addr)
+                    }
+                })) as Box<dyn Program>
+            })
+            .collect()
+    };
+
+    let mut reference: Option<Vec<u64>> = None;
+    for p in all_protocols() {
+        eprintln!("stress: {p}");
+        let mut m = machine(nodes, p);
+        m.load(make_progs(42));
+        m.run();
+        let image: Vec<u64> = (0..blocks).map(|b| m.peek(Addr(0x1000 + b * 16))).collect();
+        match &reference {
+            None => reference = Some(image),
+            Some(r) => assert_eq!(r, &image, "memory image differs under {p}"),
+        }
+    }
+}
+
+#[test]
+fn runs_are_cycle_deterministic() {
+    for p in [ProtocolSpec::limitless(2), ProtocolSpec::zero_ptr()] {
+        let run = || {
+            let m = machine(4, p);
+            let progs: Vec<Box<dyn Program>> = (0..4)
+                .map(|i| {
+                    Box::new(ScriptProgram::new(vec![
+                        Op::Read(Addr(0x100)),
+                        Op::Write(Addr(0x200 + i * 16), i),
+                        Op::Barrier,
+                        Op::Read(Addr(0x200)),
+                        Op::Write(Addr(0x100), i),
+                    ])) as Box<dyn Program>
+                })
+                .collect();
+            let mut m2 = m;
+            m2.load(progs);
+            m2.run().cycles
+        };
+        assert_eq!(run(), run(), "{p}");
+    }
+}
+
+#[test]
+fn more_pointers_never_slow_down_wide_sharing() {
+    // A widely-read, repeatedly-written block: the canonical LimitLESS
+    // workload. Run time should not increase with hardware pointers.
+    let time = |p: ProtocolSpec| {
+        let mut m = machine(8, p);
+        let progs: Vec<Box<dyn Program>> = (0..8)
+            .map(|i| {
+                let mut ops = Vec::new();
+                for round in 0..6u64 {
+                    ops.push(Op::Read(Addr(0x500)));
+                    ops.push(Op::Barrier);
+                    if i == (round % 8) as usize {
+                        ops.push(Op::Write(Addr(0x500), round));
+                    }
+                    ops.push(Op::Barrier);
+                }
+                Box::new(ScriptProgram::new(ops)) as Box<dyn Program>
+            })
+            .collect();
+        m.load(progs);
+        m.run().cycles.as_u64()
+    };
+    let t0 = time(ProtocolSpec::zero_ptr());
+    let t1 = time(ProtocolSpec::one_ptr_ack());
+    let t5 = time(ProtocolSpec::limitless(5));
+    let tf = time(ProtocolSpec::full_map());
+    assert!(tf <= t5, "full-map {tf} should beat 5-ptr {t5}");
+    assert!(t5 <= t1, "5-ptr {t5} should beat 1-ptr ACK {t1}");
+    assert!(t1 <= t0, "1-ptr {t1} should beat software-only {t0}");
+}
+
+#[test]
+fn zero_ptr_fast_path_serves_private_data_without_protocol() {
+    let mut m = machine(4, ProtocolSpec::zero_ptr());
+    // Each node works on its own home blocks only (addresses chosen so
+    // block % 4 == node).
+    let progs: Vec<Box<dyn Program>> = (0..4u64)
+        .map(|i| {
+            let base = 0x10_000 + i * 16; // block index ≡ i (mod 4)
+            Box::new(ScriptProgram::new(vec![
+                Op::Write(Addr(base), i),
+                Op::Read(Addr(base)),
+            ])) as Box<dyn Program>
+        })
+        .collect();
+    m.load(progs);
+    let report = m.run();
+    assert!(report.stats.local_fast_fills >= 4);
+    assert_eq!(report.stats.engine.traps, 0, "private data must not trap");
+}
+
+#[test]
+fn zero_ptr_first_remote_access_flushes_home_copy() {
+    let mut m = machine(2, ProtocolSpec::zero_ptr());
+    // Node 0 dirties its own block; node 1 then reads it.
+    let progs: Vec<Box<dyn Program>> = vec![
+        Box::new(ScriptProgram::new(vec![
+            Op::Write(Addr(0x10_000), 77), // block 0x1000 % 2 == home 0
+            Op::Barrier,
+            Op::Barrier,
+        ])),
+        Box::new(ScriptProgram::new(vec![
+            Op::Barrier,
+            Op::Read(Addr(0x10_000)),
+            Op::Barrier,
+        ])),
+    ];
+    m.load(progs);
+    let report = m.run();
+    assert!(report.stats.engine.traps > 0);
+    assert_eq!(m.peek(Addr(0x10_000)), 77);
+}
+
+#[test]
+fn watchdog_fires_under_ack_storm() {
+    // S_{NB,ACK} with a hot widely-shared block: acknowledgment traps
+    // hammer the home node until the watchdog intervenes.
+    let mut m = Machine::new(
+        MachineConfig::builder()
+            .nodes(16)
+            .protocol(ProtocolSpec::one_ptr_ack())
+            .check_coherence(true)
+            .watchdog(crate::config::WatchdogConfig {
+                window: 400,
+                grace: 200,
+            })
+            .build(),
+    );
+    let progs: Vec<Box<dyn Program>> = (0..16)
+        .map(|i| {
+            let mut ops = Vec::new();
+            for round in 0..8u64 {
+                ops.push(Op::Read(Addr(0x700)));
+                ops.push(Op::Barrier);
+                if i == (round % 16) as usize {
+                    ops.push(Op::Write(Addr(0x700), round));
+                }
+                ops.push(Op::Barrier);
+            }
+            Box::new(ScriptProgram::new(ops)) as Box<dyn Program>
+        })
+        .collect();
+    m.load(progs);
+    let report = m.run();
+    assert!(
+        report.stats.watchdog_fires > 0,
+        "expected watchdog activity, got {:?}",
+        report.stats.watchdog_fires
+    );
+}
+
+#[test]
+fn busy_bounces_are_retried_until_success() {
+    // Two nodes write the same block repeatedly: transactions collide
+    // and somebody gets BUSY'd, but everything completes.
+    let mut m = machine(4, ProtocolSpec::limitless(1));
+    let progs: Vec<Box<dyn Program>> = (0..4)
+        .map(|i| {
+            let mut ops = Vec::new();
+            for k in 0..10u64 {
+                ops.push(Op::Read(Addr(0x900)));
+                ops.push(Op::Write(Addr(0x900), i * 100 + k));
+            }
+            Box::new(ScriptProgram::new(ops)) as Box<dyn Program>
+        })
+        .collect();
+    m.load(progs);
+    let report = m.run();
+    assert!(report.stats.busy_retries > 0, "contention must bounce someone");
+}
+
+#[test]
+fn worker_set_tracking_reports_sizes() {
+    let mut m = Machine::new(
+        MachineConfig::builder()
+            .nodes(4)
+            .protocol(ProtocolSpec::full_map())
+            .track_worker_sets(true)
+            .build(),
+    );
+    // All four nodes read block 0xA00, then node 0 writes it: one
+    // worker set of size 4.
+    let progs: Vec<Box<dyn Program>> = (0..4)
+        .map(|i| {
+            let mut ops = vec![Op::Read(Addr(0xA00)), Op::Barrier];
+            if i == 0 {
+                ops.push(Op::Write(Addr(0xA00), 1));
+            }
+            Box::new(ScriptProgram::new(ops)) as Box<dyn Program>
+        })
+        .collect();
+    m.load(progs);
+    let report = m.run();
+    let h = report.stats.worker_sets.expect("tracking enabled");
+    assert_eq!(h.count(4), 1, "one size-4 worker set, got {h:?}");
+}
+
+#[test]
+fn table1_shape_handler_latencies_measured_in_vivo() {
+    // A miniature WORKER-like pattern on DirnH5SNB: read traps and
+    // write traps must be recorded with plausible totals (C model).
+    let mut m = machine(16, ProtocolSpec::limitless(5));
+    let progs: Vec<Box<dyn Program>> = (0..16)
+        .map(|i| {
+            let mut ops = Vec::new();
+            for round in 0..4u64 {
+                ops.push(Op::Read(Addr(0xB00)));
+                ops.push(Op::Barrier);
+                if i == 0 {
+                    ops.push(Op::Write(Addr(0xB00), round));
+                }
+                ops.push(Op::Barrier);
+            }
+            Box::new(ScriptProgram::new(ops)) as Box<dyn Program>
+        })
+        .collect();
+    m.load(progs);
+    let report = m.run();
+    let r = report.stats.read_trap_latency.mean().expect("read traps happened");
+    let w = report.stats.write_trap_latency.mean().expect("write traps happened");
+    // Table 1 magnitude: hundreds of cycles, writes dearer than reads.
+    assert!(r > 200.0 && r < 1500.0, "read trap mean {r}");
+    assert!(w > r, "write traps ({w}) should cost more than read traps ({r})");
+}
+
+#[test]
+fn dirty_eviction_writes_back_and_refetches() {
+    // One node dirties many conflicting blocks to force dirty
+    // evictions through a tiny cache.
+    let mut m = Machine::new(
+        MachineConfig::builder()
+            .nodes(2)
+            .protocol(ProtocolSpec::limitless(5))
+            .cache(limitless_cache::CacheConfig {
+                capacity_bytes: 8 * 16,
+                line_bytes: 16,
+                victim_lines: 0,
+            })
+            .check_coherence(true)
+            .build(),
+    );
+    let progs: Vec<Box<dyn Program>> = vec![
+        Box::new(ScriptProgram::new(
+            (0..32u64)
+                .map(|k| Op::Write(Addr(0x100 * k + 0x40), k))
+                .chain((0..32u64).map(|k| Op::Read(Addr(0x100 * k + 0x40))))
+                .collect(),
+        )),
+        Box::new(ScriptProgram::new(vec![])),
+    ];
+    m.load(progs);
+    let report = m.run();
+    assert!(report.stats.cache.writebacks > 0, "dirty evictions must write back");
+    for k in 0..32u64 {
+        assert_eq!(m.peek(Addr(0x100 * k + 0x40)), k);
+    }
+}
+
+#[test]
+fn fifo_lock_provides_mutual_exclusion() {
+    // Each node increments a shared counter inside a critical section
+    // using plain read + write (not RMW) — only mutual exclusion makes
+    // this correct.
+    let mut m = machine(8, ProtocolSpec::limitless(5));
+    let progs: Vec<Box<dyn Program>> = (0..8)
+        .map(|_| {
+            let mut step = 0;
+            Box::new(FnProgram(move |_n: NodeId, last: Option<u64>| {
+                step += 1;
+                match step {
+                    1 => Op::LockAcquire(7),
+                    2 => Op::Read(Addr(0xD00)),
+                    3 => Op::Write(Addr(0xD00), last.expect("read value") + 1),
+                    4 => Op::LockRelease(7),
+                    _ => Op::Finish,
+                }
+            })) as Box<dyn Program>
+        })
+        .collect();
+    m.load(progs);
+    let report = m.run();
+    assert_eq!(m.peek(Addr(0xD00)), 8, "lost updates without mutual exclusion");
+    assert_eq!(report.stats.lock_handoffs, 7);
+}
+
+#[test]
+fn fifo_lock_grants_in_arrival_order() {
+    // Node 0 takes the lock first (everyone else waits at a barrier),
+    // then all others request it; each appends its id to a log under
+    // the lock. Requests arrive in a deterministic order and the log
+    // must match it.
+    let mut m = machine(4, ProtocolSpec::full_map());
+    let progs: Vec<Box<dyn Program>> = (0..4u64)
+        .map(|i| {
+            let mut step = 0;
+            Box::new(FnProgram(move |_n: NodeId, last: Option<u64>| {
+                step += 1;
+                match (i, step) {
+                    (0, 1) => Op::LockAcquire(1),
+                    (0, 2) => Op::Barrier,
+                    (0, 3) => Op::Compute(500), // hold while others queue
+                    (0, 4) => Op::LockRelease(1),
+                    (0, _) => Op::Finish,
+                    (_, 1) => Op::Barrier,
+                    (_, 2) => Op::Compute(i * 10), // stagger arrivals
+                    (_, 3) => Op::LockAcquire(1),
+                    (_, 4) => Op::Read(Addr(0xE00)),
+                    (_, 5) => Op::Write(Addr(0xE00), last.unwrap() * 10 + i),
+                    (_, 6) => Op::LockRelease(1),
+                    _ => Op::Finish,
+                }
+            })) as Box<dyn Program>
+        })
+        .collect();
+    m.load(progs);
+    m.run();
+    // Arrival order is 1, 2, 3 (staggered by compute), so the log
+    // reads 123.
+    assert_eq!(m.peek(Addr(0xE00)), 123);
+}
+
+#[test]
+#[should_panic(expected = "does not hold")]
+fn releasing_an_unheld_lock_panics() {
+    let mut m = machine(2, ProtocolSpec::full_map());
+    let progs: Vec<Box<dyn Program>> = vec![
+        Box::new(ScriptProgram::new(vec![Op::LockAcquire(3), Op::Barrier])),
+        Box::new(ScriptProgram::new(vec![Op::Barrier, Op::LockRelease(3)])),
+    ];
+    m.load(progs);
+    m.run();
+}
+
+#[test]
+fn uncontended_locks_are_cheap() {
+    let time = |with_lock: bool| {
+        let mut m = machine(2, ProtocolSpec::full_map());
+        let mut ops = Vec::new();
+        for k in 0..20u64 {
+            if with_lock {
+                ops.push(Op::LockAcquire(9));
+            }
+            ops.push(Op::Write(Addr(0xF00), k));
+            if with_lock {
+                ops.push(Op::LockRelease(9));
+            }
+        }
+        let progs: Vec<Box<dyn Program>> = vec![
+            Box::new(ScriptProgram::new(ops)),
+            Box::new(ScriptProgram::new(vec![])),
+        ];
+        m.load(progs);
+        m.run().cycles.as_u64()
+    };
+    let locked = time(true);
+    let bare = time(false);
+    // The lock adds bounded overhead, far from serializing the run.
+    assert!(locked < bare + 20 * 120, "locked {locked} vs bare {bare}");
+}

@@ -1,0 +1,34 @@
+//! 2-D mesh interconnect model for the `limitless` simulator.
+//!
+//! Alewife nodes communicate over a mesh network (Seitz-style wormhole
+//! routing). Following NWO, the paper's simulator, this model accounts
+//! for contention **only at the CMMU network transmit and receive
+//! queues** of each node — not inside the mesh switches (§3.2 of the
+//! paper lists this as one of NWO's two deliberate inaccuracies, which
+//! we reproduce to stay at the same modelling altitude).
+//!
+//! The [`Network`] type is a timing calculator: given a send at time
+//! `t` from `src` to `dst` with a given flit count, it returns the
+//! cycle at which the message is available at the destination, updating
+//! the endpoint queue occupancies as a side effect. The machine layer
+//! turns that time into a delivery event.
+//!
+//! # Examples
+//!
+//! ```
+//! use limitless_net::{MeshTopology, NetConfig, Network};
+//! use limitless_sim::{Cycle, NodeId};
+//!
+//! let topo = MeshTopology::for_nodes(16); // 4x4 mesh
+//! let mut net = Network::new(topo, NetConfig::default());
+//! let t = net.send(Cycle(0), NodeId(0), NodeId(15), 2);
+//! assert!(t > Cycle(0));
+//! ```
+
+pub mod message;
+pub mod network;
+pub mod topology;
+
+pub use message::{Envelope, FlitCount};
+pub use network::{NetConfig, NetStats, Network};
+pub use topology::MeshTopology;

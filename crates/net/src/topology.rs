@@ -1,0 +1,181 @@
+//! Mesh topology and dimension-ordered routing distances.
+
+use limitless_sim::NodeId;
+
+/// A `width x height` 2-D mesh of nodes, numbered in row-major order.
+///
+/// Routing is dimension-ordered (X then Y), as in the Alewife mesh, so
+/// the path length between two nodes is the Manhattan distance between
+/// their coordinates.
+///
+/// # Examples
+///
+/// ```
+/// use limitless_net::MeshTopology;
+/// use limitless_sim::NodeId;
+///
+/// let m = MeshTopology::new(4, 4);
+/// assert_eq!(m.nodes(), 16);
+/// assert_eq!(m.hops(NodeId(0), NodeId(15)), 6); // (0,0) -> (3,3)
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MeshTopology {
+    width: u16,
+    height: u16,
+}
+
+impl MeshTopology {
+    /// Creates a mesh with the given dimensions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn new(width: u16, height: u16) -> Self {
+        assert!(width > 0 && height > 0, "mesh dimensions must be positive");
+        MeshTopology { width, height }
+    }
+
+    /// Creates the squarest mesh holding exactly `n` nodes: a
+    /// `sqrt(n)`-by-`sqrt(n)` mesh for square `n`, otherwise the
+    /// most-square factorization (falling back to `1 x n` for primes).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero or exceeds `u16::MAX` squared.
+    pub fn for_nodes(n: usize) -> Self {
+        assert!(n > 0, "mesh must contain at least one node");
+        let n64 = n as u64;
+        let mut best = (1u64, n64);
+        let mut w = (n64 as f64).sqrt() as u64;
+        while w >= 1 {
+            if n64 % w == 0 {
+                best = (w, n64 / w);
+                break;
+            }
+            w -= 1;
+        }
+        MeshTopology::new(
+            u16::try_from(best.0).expect("mesh too wide"),
+            u16::try_from(best.1).expect("mesh too tall"),
+        )
+    }
+
+    /// Total node count.
+    pub fn nodes(&self) -> usize {
+        usize::from(self.width) * usize::from(self.height)
+    }
+
+    /// Mesh width (X dimension).
+    pub fn width(&self) -> u16 {
+        self.width
+    }
+
+    /// Mesh height (Y dimension).
+    pub fn height(&self) -> u16 {
+        self.height
+    }
+
+    /// The (x, y) coordinates of a node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node is outside the mesh.
+    pub fn coords(&self, node: NodeId) -> (u16, u16) {
+        assert!(node.index() < self.nodes(), "node {node} outside mesh");
+        (node.0 % self.width, node.0 / self.width)
+    }
+
+    /// The node at (x, y).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the coordinates are outside the mesh.
+    pub fn node_at(&self, x: u16, y: u16) -> NodeId {
+        assert!(x < self.width && y < self.height, "coords outside mesh");
+        NodeId(y * self.width + x)
+    }
+
+    /// Number of network hops between two nodes under dimension-ordered
+    /// routing (the Manhattan distance). Zero for `a == b`.
+    pub fn hops(&self, a: NodeId, b: NodeId) -> u32 {
+        let (ax, ay) = self.coords(a);
+        let (bx, by) = self.coords(b);
+        u32::from(ax.abs_diff(bx)) + u32::from(ay.abs_diff(by))
+    }
+
+    /// The largest hop count between any pair of nodes (the mesh
+    /// diameter).
+    pub fn diameter(&self) -> u32 {
+        u32::from(self.width - 1) + u32::from(self.height - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn row_major_coords_round_trip() {
+        let m = MeshTopology::new(4, 3);
+        for i in 0..m.nodes() {
+            let n = NodeId::from_index(i);
+            let (x, y) = m.coords(n);
+            assert_eq!(m.node_at(x, y), n);
+        }
+    }
+
+    #[test]
+    fn hops_is_manhattan_distance() {
+        let m = MeshTopology::new(8, 8);
+        assert_eq!(m.hops(NodeId(0), NodeId(0)), 0);
+        assert_eq!(m.hops(NodeId(0), NodeId(7)), 7);
+        assert_eq!(m.hops(NodeId(0), NodeId(63)), 14);
+        assert_eq!(m.hops(NodeId(9), NodeId(9)), 0);
+    }
+
+    #[test]
+    fn hops_is_symmetric() {
+        let m = MeshTopology::new(5, 3);
+        for a in 0..m.nodes() {
+            for b in 0..m.nodes() {
+                assert_eq!(
+                    m.hops(NodeId::from_index(a), NodeId::from_index(b)),
+                    m.hops(NodeId::from_index(b), NodeId::from_index(a))
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn for_nodes_prefers_square() {
+        assert_eq!(MeshTopology::for_nodes(16), MeshTopology::new(4, 4));
+        assert_eq!(MeshTopology::for_nodes(64), MeshTopology::new(8, 8));
+        assert_eq!(MeshTopology::for_nodes(256), MeshTopology::new(16, 16));
+        let m = MeshTopology::for_nodes(12);
+        assert_eq!(m.nodes(), 12);
+        assert_eq!((m.width(), m.height()), (3, 4));
+    }
+
+    #[test]
+    fn for_nodes_handles_primes_and_one() {
+        assert_eq!(MeshTopology::for_nodes(1).nodes(), 1);
+        let m = MeshTopology::for_nodes(7);
+        assert_eq!(m.nodes(), 7);
+    }
+
+    #[test]
+    fn diameter_matches_corner_to_corner() {
+        let m = MeshTopology::new(16, 16);
+        assert_eq!(m.diameter(), 30);
+        assert_eq!(
+            m.hops(m.node_at(0, 0), m.node_at(15, 15)),
+            m.diameter()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "outside mesh")]
+    fn coords_out_of_range_panics() {
+        MeshTopology::new(2, 2).coords(NodeId(4));
+    }
+}

@@ -1,0 +1,61 @@
+//! Property tests for the network timing model.
+
+use limitless_net::{MeshTopology, NetConfig, Network};
+use limitless_sim::{Cycle, NodeId};
+use proptest::prelude::*;
+
+proptest! {
+    /// Same-pair messages are delivered in send order (the FIFO
+    /// property the coherence protocol depends on for writeback
+    /// races).
+    #[test]
+    fn per_pair_fifo(
+        sends in prop::collection::vec((0u64..1000, 0u16..16, 0u16..16, 1u32..16), 1..100),
+    ) {
+        let mut net = Network::new(MeshTopology::for_nodes(16), NetConfig::default());
+        let mut last: std::collections::HashMap<(u16, u16), Cycle> = Default::default();
+        let mut now = Cycle::ZERO;
+        for (gap, src, dst, flits) in sends {
+            now += gap; // non-decreasing send times
+            let t = net.send(now, NodeId(src), NodeId(dst), flits);
+            if let Some(&prev) = last.get(&(src, dst)) {
+                prop_assert!(t > prev, "FIFO violated {src}->{dst}");
+            }
+            last.insert((src, dst), t);
+        }
+    }
+
+    /// Delivery never precedes the send, and respects the physical
+    /// minimum (hops + serialization).
+    #[test]
+    fn latency_has_a_physical_floor(
+        src in 0u16..16, dst in 0u16..16, flits in 1u32..32, at in 0u64..10_000,
+    ) {
+        let topo = MeshTopology::for_nodes(16);
+        let cfg = NetConfig::default();
+        let mut net = Network::new(topo, cfg);
+        let t = net.send(Cycle(at), NodeId(src), NodeId(dst), flits);
+        prop_assert!(t > Cycle(at));
+        if src != dst {
+            let min = u64::from(topo.hops(NodeId(src), NodeId(dst))) * cfg.hop_cycles
+                + 2 * u64::from(flits) * cfg.flit_cycles
+                + cfg.inject_cycles;
+            prop_assert!(t >= Cycle(at + min));
+        }
+    }
+
+    /// Contention only ever delays: interleaving extra traffic never
+    /// makes a later message arrive earlier than the uncontended time.
+    #[test]
+    fn contention_is_monotone(extra in 0usize..30) {
+        let mut quiet = Network::new(MeshTopology::for_nodes(16), NetConfig::default());
+        let baseline = quiet.send(Cycle(100), NodeId(0), NodeId(5), 8);
+
+        let mut busy = Network::new(MeshTopology::for_nodes(16), NetConfig::default());
+        for i in 0..extra {
+            busy.send(Cycle(i as u64), NodeId(0), NodeId((i % 15 + 1) as u16), 8);
+        }
+        let contended = busy.send(Cycle(100), NodeId(0), NodeId(5), 8);
+        prop_assert!(contended >= baseline);
+    }
+}

@@ -1,0 +1,141 @@
+//! Vocabulary types shared by every simulator component: node
+//! identities and memory addresses.
+//!
+//! These live in the base crate so that the cache, directory, protocol
+//! and machine layers can exchange them without depending on each
+//! other.
+
+use std::fmt;
+
+/// Identifies one processing node (processor + cache + CMMU + memory)
+/// in the machine. Nodes are numbered `0..n`.
+///
+/// # Examples
+///
+/// ```
+/// use limitless_sim::NodeId;
+///
+/// let home = NodeId(3);
+/// assert_eq!(home.index(), 3);
+/// assert_eq!(home.to_string(), "n3");
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub u16);
+
+impl NodeId {
+    /// The node number as a `usize`, for indexing per-node tables.
+    #[inline]
+    pub fn index(self) -> usize {
+        usize::from(self.0)
+    }
+
+    /// Constructs a `NodeId` from a table index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` exceeds `u16::MAX` (machines are at most 65 536
+    /// nodes; the paper simulates up to 256).
+    #[inline]
+    pub fn from_index(i: usize) -> NodeId {
+        NodeId(u16::try_from(i).expect("node index out of range"))
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// A byte address in the globally shared address space.
+///
+/// The shared address space is flat; the home node of an address is
+/// determined by the machine's block-interleaving policy, not encoded
+/// in the address itself.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Addr(pub u64);
+
+impl Addr {
+    /// The memory block (cache line) containing this address, given
+    /// `line_bytes` (a power of two).
+    #[inline]
+    pub fn block(self, line_bytes: u64) -> BlockAddr {
+        debug_assert!(line_bytes.is_power_of_two());
+        BlockAddr(self.0 / line_bytes)
+    }
+
+    /// Byte offset within the block.
+    #[inline]
+    pub fn offset(self, line_bytes: u64) -> u64 {
+        self.0 & (line_bytes - 1)
+    }
+}
+
+impl fmt::Display for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "0x{:x}", self.0)
+    }
+}
+
+/// A memory-block (cache-line) address: the unit of coherence.
+///
+/// `BlockAddr(b)` covers byte addresses `[b * line, (b + 1) * line)`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct BlockAddr(pub u64);
+
+impl BlockAddr {
+    /// The first byte address of the block.
+    #[inline]
+    pub fn base(self, line_bytes: u64) -> Addr {
+        Addr(self.0 * line_bytes)
+    }
+}
+
+impl fmt::Display for BlockAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "blk:0x{:x}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_id_round_trips_through_index() {
+        let n = NodeId::from_index(255);
+        assert_eq!(n.index(), 255);
+        assert_eq!(n, NodeId(255));
+    }
+
+    #[test]
+    #[should_panic(expected = "node index out of range")]
+    fn node_id_overflow_panics() {
+        NodeId::from_index(70_000);
+    }
+
+    #[test]
+    fn addr_block_and_offset() {
+        let a = Addr(0x1234);
+        assert_eq!(a.block(16), BlockAddr(0x123));
+        assert_eq!(a.offset(16), 4);
+        assert_eq!(a.block(16).base(16), Addr(0x1230));
+    }
+
+    #[test]
+    fn block_base_round_trip() {
+        for line in [16u64, 32, 64] {
+            let a = Addr(7 * line + 3);
+            let b = a.block(line);
+            assert!(b.base(line).0 <= a.0);
+            assert!(a.0 < b.base(line).0 + line);
+        }
+    }
+
+    #[test]
+    fn displays_are_nonempty() {
+        assert_eq!(NodeId(7).to_string(), "n7");
+        assert_eq!(Addr(255).to_string(), "0xff");
+        assert_eq!(BlockAddr(255).to_string(), "blk:0xff");
+    }
+}

@@ -1,0 +1,38 @@
+//! Deterministic discrete-event simulation engine for the `limitless`
+//! coherence simulator.
+//!
+//! This crate provides the substrate that plays the role of NWO, the
+//! cycle-level Alewife simulator used in Chaiken & Agarwal (ISCA 1994):
+//! a totally-ordered event queue with cycle-resolution timestamps, and a
+//! deterministic pseudo-random number generator for workload generation.
+//!
+//! Determinism is a hard requirement of the paper's methodology (§3.2):
+//! two runs with the same configuration must produce *identical* cycle
+//! counts, so that protocol comparisons are controlled experiments. The
+//! engine guarantees this by breaking timestamp ties with a monotone
+//! sequence number assigned at scheduling time.
+//!
+//! # Examples
+//!
+//! ```
+//! use limitless_sim::{Cycle, EventQueue};
+//!
+//! let mut q = EventQueue::new();
+//! q.schedule(Cycle(10), "b");
+//! q.schedule(Cycle(5), "a");
+//! q.schedule(Cycle(10), "c"); // same time as "b": FIFO order preserved
+//! assert_eq!(q.pop(), Some((Cycle(5), "a")));
+//! assert_eq!(q.pop(), Some((Cycle(10), "b")));
+//! assert_eq!(q.pop(), Some((Cycle(10), "c")));
+//! assert_eq!(q.pop(), None);
+//! ```
+
+pub mod ids;
+pub mod queue;
+pub mod rng;
+pub mod time;
+
+pub use ids::{Addr, BlockAddr, NodeId};
+pub use queue::EventQueue;
+pub use rng::SplitMix64;
+pub use time::Cycle;

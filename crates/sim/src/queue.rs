@@ -1,0 +1,256 @@
+//! The deterministic event queue at the heart of the simulator.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::time::Cycle;
+
+/// An entry in the queue: ordered by `(time, seq)` so that events
+/// scheduled earlier (in wall-clock scheduling order) at the same
+/// simulated time are delivered first.
+struct Entry<E> {
+    time: Cycle,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest event wins.
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A priority queue of timestamped events with deterministic total
+/// order.
+///
+/// Ties in simulated time are broken by scheduling order (FIFO), which
+/// makes every simulation a pure function of its inputs — the property
+/// the paper's NWO simulator relies on for controlled protocol
+/// comparisons.
+///
+/// # Examples
+///
+/// ```
+/// use limitless_sim::{Cycle, EventQueue};
+///
+/// let mut q = EventQueue::new();
+/// q.schedule(Cycle(2), 'x');
+/// q.schedule(Cycle(1), 'y');
+/// assert_eq!(q.len(), 2);
+/// assert_eq!(q.pop(), Some((Cycle(1), 'y')));
+/// assert_eq!(q.pop(), Some((Cycle(2), 'x')));
+/// ```
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    next_seq: u64,
+    now: Cycle,
+    processed: u64,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue with the clock at [`Cycle::ZERO`].
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+            now: Cycle::ZERO,
+            processed: 0,
+        }
+    }
+
+    /// Schedules `event` to fire at absolute time `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is earlier than the current time returned by
+    /// [`EventQueue::now`] — scheduling into the past would violate
+    /// causality and indicates a simulator bug.
+    pub fn schedule(&mut self, at: Cycle, event: E) {
+        assert!(
+            at >= self.now,
+            "event scheduled in the past: at={at}, now={}",
+            self.now
+        );
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Entry {
+            time: at,
+            seq,
+            event,
+        });
+    }
+
+    /// Schedules `event` to fire `delay` cycles after the current time.
+    pub fn schedule_after(&mut self, delay: Cycle, event: E) {
+        self.schedule(self.now + delay, event);
+    }
+
+    /// Removes and returns the earliest event, advancing the clock to
+    /// its timestamp. Returns `None` when the queue is empty.
+    pub fn pop(&mut self) -> Option<(Cycle, E)> {
+        let entry = self.heap.pop()?;
+        debug_assert!(entry.time >= self.now);
+        self.now = entry.time;
+        self.processed += 1;
+        Some((entry.time, entry.event))
+    }
+
+    /// The current simulated time: the timestamp of the most recently
+    /// popped event (or zero before any pop).
+    pub fn now(&self) -> Cycle {
+        self.now
+    }
+
+    /// Number of events waiting in the queue.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether the queue holds no pending events.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Total number of events processed (popped) so far.
+    pub fn processed(&self) -> u64 {
+        self.processed
+    }
+
+    /// The timestamp of the next pending event, if any.
+    pub fn peek_time(&self) -> Option<Cycle> {
+        self.heap.peek().map(|e| e.time)
+    }
+}
+
+impl<E> std::fmt::Debug for EventQueue<E> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EventQueue")
+            .field("now", &self.now)
+            .field("pending", &self.heap.len())
+            .field("processed", &self.processed)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(Cycle(30), 3);
+        q.schedule(Cycle(10), 1);
+        q.schedule(Cycle(20), 2);
+        assert_eq!(q.pop(), Some((Cycle(10), 1)));
+        assert_eq!(q.pop(), Some((Cycle(20), 2)));
+        assert_eq!(q.pop(), Some((Cycle(30), 3)));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn ties_broken_by_scheduling_order() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.schedule(Cycle(7), i);
+        }
+        for i in 0..100 {
+            assert_eq!(q.pop(), Some((Cycle(7), i)));
+        }
+    }
+
+    #[test]
+    fn clock_advances_with_pops() {
+        let mut q = EventQueue::new();
+        q.schedule(Cycle(5), ());
+        q.schedule(Cycle(9), ());
+        assert_eq!(q.now(), Cycle::ZERO);
+        q.pop();
+        assert_eq!(q.now(), Cycle(5));
+        q.pop();
+        assert_eq!(q.now(), Cycle(9));
+    }
+
+    #[test]
+    fn schedule_after_is_relative_to_now() {
+        let mut q = EventQueue::new();
+        q.schedule(Cycle(10), "first");
+        q.pop();
+        q.schedule_after(Cycle(5), "second");
+        assert_eq!(q.pop(), Some((Cycle(15), "second")));
+    }
+
+    #[test]
+    #[should_panic(expected = "scheduled in the past")]
+    fn scheduling_in_the_past_panics() {
+        let mut q = EventQueue::new();
+        q.schedule(Cycle(10), ());
+        q.pop();
+        q.schedule(Cycle(9), ());
+    }
+
+    #[test]
+    fn counts_processed_events() {
+        let mut q = EventQueue::new();
+        q.schedule(Cycle(1), ());
+        q.schedule(Cycle(2), ());
+        q.pop();
+        assert_eq!(q.processed(), 1);
+        q.pop();
+        assert_eq!(q.processed(), 2);
+    }
+
+    #[test]
+    fn peek_time_does_not_consume() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.peek_time(), None);
+        q.schedule(Cycle(4), ());
+        assert_eq!(q.peek_time(), Some(Cycle(4)));
+        assert_eq!(q.len(), 1);
+        assert!(!q.is_empty());
+    }
+
+    #[test]
+    fn interleaved_schedule_and_pop_is_deterministic() {
+        // Two structurally identical runs must produce identical pop
+        // sequences (the NWO determinism requirement).
+        fn run() -> Vec<(Cycle, u32)> {
+            let mut q = EventQueue::new();
+            let mut out = Vec::new();
+            q.schedule(Cycle(0), 0u32);
+            while let Some((t, e)) = q.pop() {
+                out.push((t, e));
+                if e < 50 {
+                    q.schedule(t + Cycle(u64::from(e % 3)), e + 1);
+                    q.schedule(t + Cycle(u64::from(e % 3)), e + 2);
+                }
+                if out.len() > 500 {
+                    break;
+                }
+            }
+            out
+        }
+        assert_eq!(run(), run());
+    }
+}

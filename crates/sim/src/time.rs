@@ -1,0 +1,181 @@
+//! Simulation time, measured in processor clock cycles.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Sub, SubAssign};
+
+/// A point in simulated time (or a duration), in 33 MHz Sparcle clock
+/// cycles.
+///
+/// `Cycle` is a transparent newtype over `u64`; arithmetic saturates
+/// nowhere and panics on overflow in debug builds, like plain integer
+/// arithmetic. All simulator components exchange time exclusively as
+/// `Cycle` values so that raw integers with other meanings (node ids,
+/// addresses) cannot be confused with timestamps.
+///
+/// # Examples
+///
+/// ```
+/// use limitless_sim::Cycle;
+///
+/// let start = Cycle(100);
+/// let latency = Cycle(38);
+/// assert_eq!(start + latency, Cycle(138));
+/// assert_eq!((start + latency) - start, latency);
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Cycle(pub u64);
+
+impl Cycle {
+    /// Time zero, the beginning of a simulation.
+    pub const ZERO: Cycle = Cycle(0);
+
+    /// The raw cycle count.
+    #[inline]
+    pub fn as_u64(self) -> u64 {
+        self.0
+    }
+
+    /// Converts a cycle count to seconds, given the paper's 33 MHz
+    /// clock (Table 3 reports sequential times at 33 MHz).
+    pub fn as_seconds_at_33mhz(self) -> f64 {
+        self.0 as f64 / 33.0e6
+    }
+
+    /// Saturating subtraction: `self - rhs`, or zero if `rhs > self`.
+    #[inline]
+    pub fn saturating_sub(self, rhs: Cycle) -> Cycle {
+        Cycle(self.0.saturating_sub(rhs.0))
+    }
+
+    /// Returns the larger of two times.
+    #[inline]
+    pub fn max(self, rhs: Cycle) -> Cycle {
+        Cycle(self.0.max(rhs.0))
+    }
+}
+
+impl Add for Cycle {
+    type Output = Cycle;
+    #[inline]
+    fn add(self, rhs: Cycle) -> Cycle {
+        Cycle(self.0 + rhs.0)
+    }
+}
+
+impl Add<u64> for Cycle {
+    type Output = Cycle;
+    #[inline]
+    fn add(self, rhs: u64) -> Cycle {
+        Cycle(self.0 + rhs)
+    }
+}
+
+impl AddAssign for Cycle {
+    #[inline]
+    fn add_assign(&mut self, rhs: Cycle) {
+        self.0 += rhs.0;
+    }
+}
+
+impl AddAssign<u64> for Cycle {
+    #[inline]
+    fn add_assign(&mut self, rhs: u64) {
+        self.0 += rhs;
+    }
+}
+
+impl Sub for Cycle {
+    type Output = Cycle;
+    #[inline]
+    fn sub(self, rhs: Cycle) -> Cycle {
+        Cycle(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for Cycle {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Cycle) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl Sum for Cycle {
+    fn sum<I: Iterator<Item = Cycle>>(iter: I) -> Cycle {
+        iter.fold(Cycle::ZERO, |a, b| a + b)
+    }
+}
+
+impl From<u64> for Cycle {
+    fn from(v: u64) -> Cycle {
+        Cycle(v)
+    }
+}
+
+impl From<Cycle> for u64 {
+    fn from(c: Cycle) -> u64 {
+        c.0
+    }
+}
+
+impl fmt::Display for Cycle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} cyc", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic_behaves_like_u64() {
+        assert_eq!(Cycle(3) + Cycle(4), Cycle(7));
+        assert_eq!(Cycle(10) - Cycle(4), Cycle(6));
+        assert_eq!(Cycle(3) + 4u64, Cycle(7));
+        let mut c = Cycle(1);
+        c += Cycle(2);
+        c += 3u64;
+        assert_eq!(c, Cycle(6));
+        c -= Cycle(1);
+        assert_eq!(c, Cycle(5));
+    }
+
+    #[test]
+    fn saturating_sub_clamps_at_zero() {
+        assert_eq!(Cycle(3).saturating_sub(Cycle(5)), Cycle::ZERO);
+        assert_eq!(Cycle(5).saturating_sub(Cycle(3)), Cycle(2));
+    }
+
+    #[test]
+    fn ordering_and_max() {
+        assert!(Cycle(1) < Cycle(2));
+        assert_eq!(Cycle(1).max(Cycle(2)), Cycle(2));
+        assert_eq!(Cycle(7).max(Cycle(2)), Cycle(7));
+    }
+
+    #[test]
+    fn sum_of_cycles() {
+        let total: Cycle = [Cycle(1), Cycle(2), Cycle(3)].into_iter().sum();
+        assert_eq!(total, Cycle(6));
+    }
+
+    #[test]
+    fn seconds_at_33mhz_matches_paper_clock() {
+        // 33M cycles == 1 second of Sparcle time.
+        let one_second = Cycle(33_000_000);
+        assert!((one_second.as_seconds_at_33mhz() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        assert_eq!(Cycle(42).to_string(), "42 cyc");
+    }
+
+    #[test]
+    fn conversions_round_trip() {
+        let c: Cycle = 99u64.into();
+        let v: u64 = c.into();
+        assert_eq!(v, 99);
+    }
+}

@@ -1,0 +1,52 @@
+//! Property tests for the event queue: total order and stability.
+
+use limitless_sim::{Cycle, EventQueue};
+use proptest::prelude::*;
+
+proptest! {
+    /// Pops come out sorted by time regardless of insertion order.
+    #[test]
+    fn pops_are_sorted(times in prop::collection::vec(0u64..10_000, 1..200)) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.schedule(Cycle(t), i);
+        }
+        let mut last = Cycle::ZERO;
+        while let Some((t, _)) = q.pop() {
+            prop_assert!(t >= last);
+            last = t;
+        }
+    }
+
+    /// Equal timestamps preserve insertion order (stability), which is
+    /// what makes simulations deterministic.
+    #[test]
+    fn equal_times_are_fifo(dups in prop::collection::vec(0u64..16, 1..100)) {
+        let mut q = EventQueue::new();
+        for (i, &t) in dups.iter().enumerate() {
+            q.schedule(Cycle(t), i);
+        }
+        let mut seen_at: std::collections::HashMap<u64, usize> = Default::default();
+        while let Some((t, i)) = q.pop() {
+            if let Some(&prev) = seen_at.get(&t.as_u64()) {
+                prop_assert!(i > prev, "FIFO violated at t={t}");
+            }
+            seen_at.insert(t.as_u64(), i);
+        }
+    }
+
+    /// Every scheduled event is popped exactly once.
+    #[test]
+    fn conservation(times in prop::collection::vec(0u64..1000, 0..150)) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.schedule(Cycle(t), i);
+        }
+        let mut seen = vec![false; times.len()];
+        while let Some((_, i)) = q.pop() {
+            prop_assert!(!seen[i]);
+            seen[i] = true;
+        }
+        prop_assert!(seen.iter().all(|&s| s));
+    }
+}

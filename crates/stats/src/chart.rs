@@ -1,0 +1,162 @@
+//! Terminal bar charts, for printing paper-style figures from the
+//! experiment harnesses.
+
+use std::fmt::Write as _;
+
+/// A horizontal bar chart with labelled rows.
+///
+/// # Examples
+///
+/// ```
+/// use limitless_stats::BarChart;
+///
+/// let mut c = BarChart::new("speedup");
+/// c.bar("full-map", 55.0);
+/// c.bar("5 ptrs", 52.0);
+/// let s = c.render(40);
+/// assert!(s.contains("full-map"));
+/// assert!(s.contains('█'));
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct BarChart {
+    title: String,
+    rows: Vec<(String, f64)>,
+}
+
+impl BarChart {
+    /// Creates a chart titled `title`.
+    pub fn new(title: &str) -> Self {
+        BarChart {
+            title: title.to_string(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a labelled bar.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value` is negative or not finite.
+    pub fn bar(&mut self, label: &str, value: f64) {
+        assert!(
+            value.is_finite() && value >= 0.0,
+            "bar values must be finite and non-negative, got {value}"
+        );
+        self.rows.push((label.to_string(), value));
+    }
+
+    /// Number of bars.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the chart has no bars.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders with bars scaled to at most `width` cells. The longest
+    /// bar always spans the full width (unless all values are zero).
+    pub fn render(&self, width: usize) -> String {
+        let label_w = self.rows.iter().map(|(l, _)| l.len()).max().unwrap_or(0);
+        let max = self
+            .rows
+            .iter()
+            .map(|&(_, v)| v)
+            .fold(0.0f64, f64::max)
+            .max(f64::MIN_POSITIVE);
+        let mut out = String::new();
+        if !self.title.is_empty() {
+            let _ = writeln!(out, "{}", self.title);
+        }
+        for (label, v) in &self.rows {
+            let cells = ((v / max) * width as f64).round() as usize;
+            let _ = writeln!(
+                out,
+                "{label:>label_w$} |{} {v:.1}",
+                "█".repeat(cells.min(width))
+            );
+        }
+        out
+    }
+}
+
+/// A log-scale histogram rendering (for Figure 6-style plots): bar
+/// length proportional to `log10(count + 1)`.
+pub fn log_histogram(pairs: &[(u64, u64)], width: usize) -> String {
+    let max_log = pairs
+        .iter()
+        .map(|&(_, c)| ((c + 1) as f64).log10())
+        .fold(0.0f64, f64::max)
+        .max(f64::MIN_POSITIVE);
+    let mut out = String::new();
+    for &(value, count) in pairs {
+        let cells = ((((count + 1) as f64).log10() / max_log) * width as f64).round() as usize;
+        let _ = writeln!(
+            out,
+            "{value:>5} |{} {count}",
+            "▒".repeat(cells.min(width))
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn longest_bar_fills_width() {
+        let mut c = BarChart::new("t");
+        c.bar("a", 10.0);
+        c.bar("b", 5.0);
+        let s = c.render(20);
+        let lines: Vec<&str> = s.lines().collect();
+        let count = |l: &str| l.chars().filter(|&ch| ch == '█').count();
+        assert_eq!(count(lines[1]), 20);
+        assert_eq!(count(lines[2]), 10);
+    }
+
+    #[test]
+    fn zero_values_render_empty_bars() {
+        let mut c = BarChart::new("");
+        c.bar("z", 0.0);
+        let s = c.render(10);
+        assert!(!s.contains('█'));
+        assert!(s.contains("0.0"));
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and non-negative")]
+    fn negative_bars_panic() {
+        BarChart::new("t").bar("x", -1.0);
+    }
+
+    #[test]
+    fn labels_are_right_aligned() {
+        let mut c = BarChart::new("");
+        c.bar("long-label", 1.0);
+        c.bar("x", 1.0);
+        let s = c.render(5);
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines[0].find('|'), lines[1].find('|'));
+    }
+
+    #[test]
+    fn log_histogram_compresses_large_counts() {
+        let s = log_histogram(&[(1, 10_000), (64, 10)], 30);
+        let lines: Vec<&str> = s.lines().collect();
+        let count = |l: &str| l.chars().filter(|&ch| ch == '▒').count();
+        // 10k is only ~4x the bar of 10 on a log scale, not 1000x.
+        assert!(count(lines[0]) > count(lines[1]));
+        assert!(count(lines[0]) < count(lines[1]) * 5);
+    }
+
+    #[test]
+    fn len_and_is_empty() {
+        let mut c = BarChart::new("");
+        assert!(c.is_empty());
+        c.bar("a", 1.0);
+        assert_eq!(c.len(), 1);
+    }
+}

@@ -1,0 +1,110 @@
+//! JSON export of experiment results, for plotting outside the
+//! terminal.
+
+use serde::{Deserialize, Serialize};
+
+use crate::hist::Histogram;
+
+/// One experiment's results in exportable form: a grid of labelled
+/// series (one per protocol) over labelled points (worker-set sizes,
+/// applications, …), plus optional histograms.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct ExperimentExport {
+    /// Experiment id, e.g. `fig2`.
+    pub id: String,
+    /// Point labels (x axis).
+    pub points: Vec<String>,
+    /// `(series label, values)` — one value per point.
+    pub series: Vec<(String, Vec<f64>)>,
+    /// Attached histograms, e.g. worker-set sizes.
+    pub histograms: Vec<(String, Histogram)>,
+}
+
+impl ExperimentExport {
+    /// Creates an empty export for experiment `id`.
+    pub fn new(id: &str) -> Self {
+        ExperimentExport {
+            id: id.to_string(),
+            ..Default::default()
+        }
+    }
+
+    /// Sets the point labels.
+    pub fn points<S: Into<String>>(&mut self, points: impl IntoIterator<Item = S>) -> &mut Self {
+        self.points = points.into_iter().map(Into::into).collect();
+        self
+    }
+
+    /// Adds a series.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the series length differs from the point count.
+    pub fn push_series(&mut self, label: &str, values: Vec<f64>) -> &mut Self {
+        assert_eq!(
+            values.len(),
+            self.points.len(),
+            "series `{label}` length {} != points {}",
+            values.len(),
+            self.points.len()
+        );
+        self.series.push((label.to_string(), values));
+        self
+    }
+
+    /// Attaches a histogram.
+    pub fn push_histogram(&mut self, label: &str, h: Histogram) -> &mut Self {
+        self.histograms.push((label.to_string(), h));
+        self
+    }
+
+    /// Serializes to pretty JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if serialization fails (practically
+    /// impossible for this data shape).
+    pub fn to_json(&self) -> Result<String, serde_json::Error> {
+        serde_json::to_string_pretty(self)
+    }
+
+    /// Parses a previously exported experiment.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on malformed JSON.
+    pub fn from_json(s: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_through_json() {
+        let mut e = ExperimentExport::new("fig2");
+        e.points(["ws=1", "ws=2"]);
+        e.push_series("DirnH5SNB", vec![1.0, 1.1]);
+        let mut h = Histogram::new();
+        h.add_n(1, 100);
+        e.push_histogram("worker-sets", h);
+        let json = e.to_json().unwrap();
+        let back = ExperimentExport::from_json(&json).unwrap();
+        assert_eq!(e, back);
+    }
+
+    #[test]
+    #[should_panic(expected = "length")]
+    fn mismatched_series_panics() {
+        let mut e = ExperimentExport::new("x");
+        e.points(["a"]);
+        e.push_series("s", vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn malformed_json_is_an_error() {
+        assert!(ExperimentExport::from_json("not json").is_err());
+    }
+}

@@ -1,0 +1,178 @@
+//! Integer-keyed histograms.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+/// A histogram over `u64` keys (worker-set sizes, latencies, …).
+///
+/// # Examples
+///
+/// ```
+/// use limitless_stats::Histogram;
+///
+/// let mut h = Histogram::new();
+/// h.add(3);
+/// h.add(3);
+/// h.add(7);
+/// assert_eq!(h.count(3), 2);
+/// assert_eq!(h.total(), 3);
+/// ```
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Histogram {
+    bins: BTreeMap<u64, u64>,
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Histogram::default()
+    }
+
+    /// Adds one observation of `value`.
+    pub fn add(&mut self, value: u64) {
+        *self.bins.entry(value).or_insert(0) += 1;
+    }
+
+    /// Adds `n` observations of `value`.
+    pub fn add_n(&mut self, value: u64, n: u64) {
+        if n > 0 {
+            *self.bins.entry(value).or_insert(0) += n;
+        }
+    }
+
+    /// Observations of exactly `value`.
+    pub fn count(&self, value: u64) -> u64 {
+        self.bins.get(&value).copied().unwrap_or(0)
+    }
+
+    /// Total observations.
+    pub fn total(&self) -> u64 {
+        self.bins.values().sum()
+    }
+
+    /// Iterates `(value, count)` pairs in increasing value order.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.bins.iter().map(|(&v, &c)| (v, c))
+    }
+
+    /// The largest observed value.
+    pub fn max_value(&self) -> Option<u64> {
+        self.bins.keys().next_back().copied()
+    }
+
+    /// Mean of the observations, or `None` if empty.
+    pub fn mean(&self) -> Option<f64> {
+        let total = self.total();
+        if total == 0 {
+            return None;
+        }
+        let sum: u128 = self
+            .bins
+            .iter()
+            .map(|(&v, &c)| u128::from(v) * u128::from(c))
+            .sum();
+        Some(sum as f64 / total as f64)
+    }
+
+    /// The median observation, or `None` if empty.
+    pub fn median(&self) -> Option<u64> {
+        let total = self.total();
+        if total == 0 {
+            return None;
+        }
+        let target = total.div_ceil(2);
+        let mut seen = 0;
+        for (&v, &c) in &self.bins {
+            seen += c;
+            if seen >= target {
+                return Some(v);
+            }
+        }
+        unreachable!("median fell off the end of the histogram")
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (v, c) in other.iter() {
+            self.add_n(v, c);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_and_total() {
+        let mut h = Histogram::new();
+        h.add(1);
+        h.add_n(5, 3);
+        assert_eq!(h.count(1), 1);
+        assert_eq!(h.count(5), 3);
+        assert_eq!(h.count(2), 0);
+        assert_eq!(h.total(), 4);
+        assert_eq!(h.max_value(), Some(5));
+    }
+
+    #[test]
+    fn add_n_zero_is_noop() {
+        let mut h = Histogram::new();
+        h.add_n(9, 0);
+        assert_eq!(h.total(), 0);
+        assert_eq!(h.max_value(), None);
+    }
+
+    #[test]
+    fn mean_and_median() {
+        let mut h = Histogram::new();
+        for v in [1, 2, 2, 3, 10] {
+            h.add(v);
+        }
+        assert!((h.mean().unwrap() - 3.6).abs() < 1e-9);
+        assert_eq!(h.median(), Some(2));
+        assert_eq!(Histogram::new().mean(), None);
+        assert_eq!(Histogram::new().median(), None);
+    }
+
+    #[test]
+    fn median_of_even_count_takes_lower_middle() {
+        let mut h = Histogram::new();
+        for v in [1, 2, 3, 4] {
+            h.add(v);
+        }
+        assert_eq!(h.median(), Some(2));
+    }
+
+    #[test]
+    fn merge_adds_counts() {
+        let mut a = Histogram::new();
+        a.add(1);
+        let mut b = Histogram::new();
+        b.add(1);
+        b.add(2);
+        a.merge(&b);
+        assert_eq!(a.count(1), 2);
+        assert_eq!(a.count(2), 1);
+    }
+
+    #[test]
+    fn iterates_in_value_order() {
+        let mut h = Histogram::new();
+        h.add(9);
+        h.add(1);
+        h.add(5);
+        let keys: Vec<u64> = h.iter().map(|(v, _)| v).collect();
+        assert_eq!(keys, vec![1, 5, 9]);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let mut h = Histogram::new();
+        h.add_n(4, 7);
+        let json = serde_json::to_string(&h).unwrap();
+        let back: Histogram = serde_json::from_str(&json).unwrap();
+        assert_eq!(h, back);
+    }
+}

@@ -1,0 +1,21 @@
+//! Measurement infrastructure for the `limitless` experiments.
+//!
+//! NWO's value to the paper was *non-intrusive observation*: latency
+//! samples, worker-set histograms and per-activity cycle ledgers
+//! gathered without perturbing the simulation. This crate provides
+//! those observers plus the table formatting used by the benchmark
+//! harnesses to print paper-style rows.
+
+pub mod chart;
+pub mod export;
+pub mod hist;
+pub mod sampler;
+pub mod table;
+pub mod worker_sets;
+
+pub use chart::{log_histogram, BarChart};
+pub use export::ExperimentExport;
+pub use hist::Histogram;
+pub use sampler::LatencySampler;
+pub use table::{fmt_f64, Table};
+pub use worker_sets::WorkerSetTracker;

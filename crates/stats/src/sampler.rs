@@ -1,0 +1,127 @@
+//! Latency sampling with mean and median, as used for Tables 1 and 2.
+//!
+//! The paper summarizes aggregate handler behaviour with the *average*
+//! (Table 1) but selects a *median* request when dissecting activity
+//! breakdowns (Table 2), "in order to select a representative
+//! individual from each sample". The sampler supports both.
+
+use serde::{Deserialize, Serialize};
+
+/// Collects `u64` samples (typically cycle latencies).
+///
+/// # Examples
+///
+/// ```
+/// use limitless_stats::LatencySampler;
+///
+/// let mut s = LatencySampler::new();
+/// s.record(100);
+/// s.record(200);
+/// assert_eq!(s.mean(), Some(150.0));
+/// ```
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LatencySampler {
+    samples: Vec<u64>,
+}
+
+impl LatencySampler {
+    /// Creates an empty sampler.
+    pub fn new() -> Self {
+        LatencySampler::default()
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, value: u64) {
+        self.samples.push(value);
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether no samples have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Arithmetic mean, or `None` if empty.
+    pub fn mean(&self) -> Option<f64> {
+        if self.samples.is_empty() {
+            return None;
+        }
+        let sum: u128 = self.samples.iter().map(|&s| u128::from(s)).sum();
+        Some(sum as f64 / self.samples.len() as f64)
+    }
+
+    /// Median sample (lower middle for even counts), or `None` if
+    /// empty.
+    pub fn median(&self) -> Option<u64> {
+        if self.samples.is_empty() {
+            return None;
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort_unstable();
+        Some(sorted[(sorted.len() - 1) / 2])
+    }
+
+    /// Minimum sample.
+    pub fn min(&self) -> Option<u64> {
+        self.samples.iter().copied().min()
+    }
+
+    /// Maximum sample.
+    pub fn max(&self) -> Option<u64> {
+        self.samples.iter().copied().max()
+    }
+
+    /// The raw samples, in recording order.
+    pub fn samples(&self) -> &[u64] {
+        &self.samples
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_median_min_max() {
+        let mut s = LatencySampler::new();
+        for v in [5, 1, 9, 3, 7] {
+            s.record(v);
+        }
+        assert_eq!(s.mean(), Some(5.0));
+        assert_eq!(s.median(), Some(5));
+        assert_eq!(s.min(), Some(1));
+        assert_eq!(s.max(), Some(9));
+        assert_eq!(s.len(), 5);
+    }
+
+    #[test]
+    fn empty_sampler_returns_none() {
+        let s = LatencySampler::new();
+        assert!(s.is_empty());
+        assert_eq!(s.mean(), None);
+        assert_eq!(s.median(), None);
+        assert_eq!(s.min(), None);
+        assert_eq!(s.max(), None);
+    }
+
+    #[test]
+    fn even_count_median_is_lower_middle() {
+        let mut s = LatencySampler::new();
+        for v in [1, 2, 3, 4] {
+            s.record(v);
+        }
+        assert_eq!(s.median(), Some(2));
+    }
+
+    #[test]
+    fn samples_preserved_in_order() {
+        let mut s = LatencySampler::new();
+        s.record(3);
+        s.record(1);
+        assert_eq!(s.samples(), &[3, 1]);
+    }
+}

@@ -1,0 +1,136 @@
+//! Worker-set tracking (paper §5 and Figure 6).
+//!
+//! A *worker set* is the set of nodes that simultaneously access a
+//! unit of data. Operationally — and this is how the directory sees
+//! it — the worker set of a block at a write is the set of distinct
+//! nodes that touched the block since the previous write. This tracker
+//! observes the reference stream and produces the Figure 6 histogram.
+
+use std::collections::HashMap;
+
+use crate::hist::Histogram;
+
+/// Tracks worker sets per block from a stream of (block, node,
+/// is_write) observations.
+///
+/// # Examples
+///
+/// ```
+/// use limitless_stats::WorkerSetTracker;
+///
+/// let mut t = WorkerSetTracker::new();
+/// t.touch(1, 10, false);
+/// t.touch(1, 11, false);
+/// t.touch(1, 12, true); // write closes the worker set {10, 11, 12}
+/// let h = t.finish();
+/// assert_eq!(h.count(3), 1);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct WorkerSetTracker {
+    /// Block -> sorted set of nodes since last write.
+    current: HashMap<u64, Vec<u16>>,
+    closed: Histogram,
+}
+
+impl WorkerSetTracker {
+    /// Creates an empty tracker.
+    pub fn new() -> Self {
+        WorkerSetTracker::default()
+    }
+
+    /// Observes an access to `block` by `node`. A write closes the
+    /// block's current worker set (recording its size, including the
+    /// writer) and starts a new one containing only the writer.
+    pub fn touch(&mut self, block: u64, node: u16, is_write: bool) {
+        let set = self.current.entry(block).or_default();
+        if let Err(pos) = set.binary_search(&node) {
+            set.insert(pos, node);
+        }
+        if is_write {
+            self.closed.add(set.len() as u64);
+            set.clear();
+            set.push(node);
+        }
+    }
+
+    /// The worker set currently open for `block` (distinct nodes since
+    /// the last write).
+    pub fn open_set_size(&self, block: u64) -> usize {
+        self.current.get(&block).map_or(0, |s| s.len())
+    }
+
+    /// Closes all open worker sets (end of run) and returns the final
+    /// histogram of worker-set sizes.
+    pub fn finish(mut self) -> Histogram {
+        for (_, set) in self.current.drain() {
+            if !set.is_empty() {
+                self.closed.add(set.len() as u64);
+            }
+        }
+        self.closed
+    }
+
+    /// The histogram of worker sets closed so far (open sets not
+    /// included).
+    pub fn closed_histogram(&self) -> &Histogram {
+        &self.closed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_closes_set_including_writer() {
+        let mut t = WorkerSetTracker::new();
+        t.touch(1, 0, false);
+        t.touch(1, 1, false);
+        t.touch(1, 2, true);
+        assert_eq!(t.closed_histogram().count(3), 1);
+        // New set contains only the writer.
+        assert_eq!(t.open_set_size(1), 1);
+    }
+
+    #[test]
+    fn repeat_reads_by_same_node_count_once() {
+        let mut t = WorkerSetTracker::new();
+        for _ in 0..10 {
+            t.touch(1, 5, false);
+        }
+        assert_eq!(t.open_set_size(1), 1);
+    }
+
+    #[test]
+    fn writer_only_blocks_produce_singletons() {
+        let mut t = WorkerSetTracker::new();
+        t.touch(1, 3, true);
+        t.touch(1, 3, true);
+        let h = t.finish();
+        assert_eq!(h.count(1), 3); // two closed by writes + final open set
+    }
+
+    #[test]
+    fn finish_flushes_open_sets() {
+        let mut t = WorkerSetTracker::new();
+        t.touch(1, 0, false);
+        t.touch(1, 1, false);
+        t.touch(2, 0, false);
+        let h = t.finish();
+        assert_eq!(h.count(2), 1);
+        assert_eq!(h.count(1), 1);
+        assert_eq!(h.total(), 2);
+    }
+
+    #[test]
+    fn independent_blocks_tracked_separately() {
+        let mut t = WorkerSetTracker::new();
+        for n in 0..4 {
+            t.touch(7, n, false);
+        }
+        t.touch(8, 0, false);
+        t.touch(7, 9, true);
+        assert_eq!(t.closed_histogram().count(5), 1);
+        assert_eq!(t.open_set_size(8), 1);
+    }
+}

@@ -1,0 +1,109 @@
+//! Writing an application-specific protocol under the flexible
+//! coherence interface — the paper's §7 "data specific" enhancement.
+//!
+//! This example implements an *adaptive invalidation* handler: blocks
+//! whose worker sets repeatedly overflow are treated as widely-shared
+//! synchronization-style data, and the handler broadcasts
+//! invalidations to the whole machine instead of walking the software
+//! directory one pointer at a time (the §7 "dynamic detection"
+//! research direction). Everything else falls back to the stock
+//! LimitLESS behaviour.
+//!
+//! ```text
+//! cargo run --release --example custom_protocol
+//! ```
+
+use std::collections::HashMap;
+
+use limitless::apps::{App, Worker};
+use limitless::core::{ExtensionHandler, HandlerCtx, LimitlessHandler, ProtocolSpec};
+use limitless::machine::{Machine, MachineConfig};
+use limitless::sim::{BlockAddr, NodeId};
+
+/// After this many write overflows, a block is declared widely shared
+/// and handled by broadcast.
+const HOT_THRESHOLD: u32 = 3;
+
+#[derive(Debug, Default)]
+struct AdaptiveHandler {
+    base: LimitlessHandler,
+    write_overflows: HashMap<BlockAddr, u32>,
+    broadcasts: u32,
+}
+
+impl ExtensionHandler for AdaptiveHandler {
+    fn read_overflow(&mut self, ctx: &mut HandlerCtx<'_>, from: NodeId) {
+        self.base.read_overflow(ctx, from);
+    }
+
+    fn write_overflow(
+        &mut self,
+        ctx: &mut HandlerCtx<'_>,
+        from: NodeId,
+        sharers: &[NodeId],
+    ) -> u32 {
+        let hits = self.write_overflows.entry(ctx.block()).or_insert(0);
+        *hits += 1;
+        if *hits < HOT_THRESHOLD {
+            return self.base.write_overflow(ctx, from, sharers);
+        }
+        // Hot block: skip the per-pointer directory walk and blast
+        // invalidations at everyone (cheap lookup, more network
+        // traffic — exactly the tradeoff a protocol designer can now
+        // explore in a few lines of code).
+        self.broadcasts += 1;
+        ctx.decode_directory();
+        ctx.store_write_state();
+        let mut acks = 0;
+        for i in 0..ctx.nodes() {
+            let dst = NodeId::from_index(i);
+            if dst == from {
+                continue;
+            }
+            if dst == ctx.home() {
+                ctx.invalidate_local();
+                continue;
+            }
+            ctx.send_inv(dst);
+            acks += 1;
+        }
+        ctx.release_to_hardware();
+        ctx.arm_ack_counter(acks);
+        acks
+    }
+}
+
+fn main() {
+    let app = Worker::fig2(12); // large worker sets: overflow city
+    let nodes = 16;
+
+    let run = |custom: bool| {
+        let mut m = Machine::new(
+            MachineConfig::builder()
+                .nodes(nodes)
+                .protocol(ProtocolSpec::limitless(2))
+                .victim_cache(true)
+                .build(),
+        );
+        if custom {
+            m.set_extension_handler(|_node| Box::<AdaptiveHandler>::default());
+        }
+        m.load(app.programs(nodes));
+        let report = m.run();
+        (report.cycles.as_u64(), report.stats.engine.invs_sent)
+    };
+
+    let (stock_cycles, stock_invs) = run(false);
+    let (adaptive_cycles, adaptive_invs) = run(true);
+
+    println!("WORKER (12-reader sets) on 16 nodes, DirnH2SNB:\n");
+    println!("  stock LimitLESS handler : {stock_cycles:>8} cycles, {stock_invs} invalidations");
+    println!("  adaptive broadcast      : {adaptive_cycles:>8} cycles, {adaptive_invs} invalidations");
+    println!(
+        "\nThe adaptive handler trades {} extra invalidations for cheaper\n\
+         directory handling of hot blocks — a protocol variant built\n\
+         entirely against the flexible coherence interface, with no\n\
+         changes to the machine or the hardware model.",
+        adaptive_invs.saturating_sub(stock_invs)
+    );
+}

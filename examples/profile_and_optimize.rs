@@ -1,0 +1,122 @@
+//! §7's "profile, detect, and optimize" workflow end-to-end:
+//!
+//! 1. run the application once under a [`ProfilingHandler`] to
+//!    classify the blocks that trouble the extension software;
+//! 2. re-run with the [`MigratoryHandler`] (dynamic detection) and
+//!    compare.
+//!
+//! ```text
+//! cargo run --release --example profile_and_optimize
+//! ```
+
+use std::sync::{Arc, Mutex};
+
+use limitless::apps::{App, Mp3d, Scale};
+use limitless::core::enhancements::{BlockClass, MigratoryHandler, ProfilingHandler};
+use limitless::core::{LimitlessHandler, ProtocolSpec};
+use limitless::machine::{Machine, MachineConfig};
+
+fn main() {
+    let app = Mp3d::new(Scale::Quick);
+    let nodes = 16;
+    let cfg = || {
+        MachineConfig::builder()
+            .nodes(nodes)
+            .protocol(ProtocolSpec::limitless(2))
+            .victim_cache(true)
+            .build()
+    };
+
+    // ---- development run: profile ----
+    // Collect the classification reports from every node's handler.
+    let reports: Arc<Mutex<Vec<(u64, BlockClass)>>> = Arc::default();
+    let mut m = Machine::new(cfg());
+    {
+        let reports = Arc::clone(&reports);
+        m.set_extension_handler(move |_node| {
+            Box::new(ReportingProfiler {
+                inner: ProfilingHandler::new(LimitlessHandler),
+                sink: Arc::clone(&reports),
+            })
+        });
+    }
+    for (a, v) in app.init_memory() {
+        m.poke(a, v);
+    }
+    m.load(app.programs(nodes));
+    let profiled = m.run();
+    // Handlers drop with the machine; reports were flushed eagerly.
+    let classes = reports.lock().expect("sink");
+    let migratory = classes.iter().filter(|(_, c)| *c == BlockClass::Migratory).count();
+    let wide_rw = classes
+        .iter()
+        .filter(|(_, c)| *c == BlockClass::WidelySharedReadWrite)
+        .count();
+    let read_only = classes
+        .iter()
+        .filter(|(_, c)| *c == BlockClass::WidelySharedReadOnly)
+        .count();
+    println!("MP3D profile on {nodes} nodes (DirnH2SNB):");
+    println!("  {migratory:>5} blocks classified migratory");
+    println!("  {wide_rw:>5} blocks classified widely-shared read-write");
+    println!("  {read_only:>5} blocks classified widely-shared read-only");
+    println!("  run time: {} cycles\n", profiled.cycles.as_u64());
+
+    // ---- production run: optimize ----
+    let mut opt = Machine::new(cfg());
+    opt.set_extension_handler(|_node| Box::new(MigratoryHandler::new()));
+    for (a, v) in app.init_memory() {
+        opt.poke(a, v);
+    }
+    opt.load(app.programs(nodes));
+    let optimized = opt.run();
+    println!(
+        "with dynamic migratory detection: {} cycles ({:+.1}%)",
+        optimized.cycles.as_u64(),
+        (optimized.cycles.as_u64() as f64 / profiled.cycles.as_u64() as f64 - 1.0) * 100.0
+    );
+}
+
+/// A profiler that streams classifications into a shared sink each
+/// time a block's class changes (so the report survives the machine).
+#[derive(Debug)]
+struct ReportingProfiler {
+    inner: ProfilingHandler<LimitlessHandler>,
+    sink: Arc<Mutex<Vec<(u64, BlockClass)>>>,
+}
+
+impl limitless::core::ExtensionHandler for ReportingProfiler {
+    fn read_overflow(
+        &mut self,
+        ctx: &mut limitless::core::HandlerCtx<'_>,
+        from: limitless::sim::NodeId,
+    ) {
+        self.inner.read_overflow(ctx, from);
+        self.flush(ctx.block().0);
+    }
+
+    fn write_overflow(
+        &mut self,
+        ctx: &mut limitless::core::HandlerCtx<'_>,
+        from: limitless::sim::NodeId,
+        sharers: &[limitless::sim::NodeId],
+    ) -> u32 {
+        let acks = self.inner.write_overflow(ctx, from, sharers);
+        self.flush(ctx.block().0);
+        acks
+    }
+}
+
+impl ReportingProfiler {
+    fn flush(&mut self, block: u64) {
+        if let Some(class) = self
+            .inner
+            .profile(limitless::sim::BlockAddr(block))
+            .and_then(|p| p.classify())
+        {
+            let mut sink = self.sink.lock().expect("sink");
+            sink.retain(|&(b, _)| b != block);
+            sink.push((block, class));
+        }
+    }
+}

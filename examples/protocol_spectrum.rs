@@ -1,0 +1,61 @@
+//! Sweep one application across the whole `Dir_iH_XS_{Y,A}` spectrum —
+//! a miniature Figure 4 column, printed with cost (directory storage)
+//! next to performance.
+//!
+//! ```text
+//! cargo run --release --example protocol_spectrum [-- <app>]
+//! ```
+//!
+//! where `<app>` is one of `tsp aq smgrid evolve mp3d water`
+//! (default `tsp`).
+
+use limitless::apps::{run_app, sequential_cycles, App, Aq, Evolve, Mp3d, Scale, Smgrid, Tsp, Water};
+use limitless::core::ProtocolSpec;
+use limitless::machine::MachineConfig;
+use limitless::stats::Table;
+
+fn main() {
+    let which = std::env::args().nth(1).unwrap_or_else(|| "tsp".into());
+    let app: Box<dyn App> = match which.as_str() {
+        "aq" => Box::new(Aq::new(Scale::Quick)),
+        "smgrid" => Box::new(Smgrid::new(Scale::Quick)),
+        "evolve" => Box::new(Evolve::new(Scale::Quick)),
+        "mp3d" => Box::new(Mp3d::new(Scale::Quick)),
+        "water" => Box::new(Water::new(Scale::Quick)),
+        _ => Box::new(Tsp::new(Scale::Quick)),
+    };
+    let nodes = 16;
+    let seq = sequential_cycles(app.as_ref());
+    println!(
+        "{} ({}) on {nodes} nodes — sequential: {seq} cycles\n",
+        app.name(),
+        app.size_description()
+    );
+
+    let mut table = Table::new(&["protocol", "dir storage (ptrs/block)", "cycles", "speedup"]);
+    for spec in [
+        ProtocolSpec::zero_ptr(),
+        ProtocolSpec::one_ptr_ack(),
+        ProtocolSpec::one_ptr_lack(),
+        ProtocolSpec::one_ptr_hw(),
+        ProtocolSpec::limitless(2),
+        ProtocolSpec::limitless(5),
+        ProtocolSpec::dir1_sw(),
+        ProtocolSpec::full_map(),
+    ] {
+        let cfg = MachineConfig::builder()
+            .nodes(nodes)
+            .protocol(spec)
+            .victim_cache(true)
+            .build();
+        let report = run_app(app.as_ref(), cfg);
+        table.row_owned(vec![
+            spec.to_string(),
+            spec.storage_pointers(nodes).to_string(),
+            report.cycles.as_u64().to_string(),
+            format!("{:.1}", seq as f64 / report.cycles.as_u64() as f64),
+        ]);
+    }
+    println!("{}", table.render());
+    println!("Cost rises down the column; the paper's question is how little\nof it performance actually needs.");
+}

@@ -1,0 +1,46 @@
+//! Observe an application's worker sets — the quantity the whole
+//! software-extension bet rests on (paper §5): "for a large class of
+//! applications, most worker sets are relatively small."
+//!
+//! ```text
+//! cargo run --release --example worker_sets
+//! ```
+
+use limitless::apps::{App, Evolve, Scale, Water};
+use limitless::core::ProtocolSpec;
+use limitless::machine::{Machine, MachineConfig};
+
+fn histogram_of(app: &dyn App, nodes: usize) {
+    let mut m = Machine::new(
+        MachineConfig::builder()
+            .nodes(nodes)
+            .protocol(ProtocolSpec::full_map())
+            .victim_cache(true)
+            .track_worker_sets(true)
+            .build(),
+    );
+    for (a, v) in app.init_memory() {
+        m.poke(a, v);
+    }
+    m.load(app.programs(nodes));
+    let report = m.run();
+    let h = report.stats.worker_sets.expect("tracking enabled");
+
+    println!("{} worker sets on {nodes} nodes:", app.name());
+    for (size, count) in h.iter() {
+        let bar = "#".repeat(((count as f64).log2().max(0.0) as usize) + 1);
+        println!("  size {size:>3}: {count:>6} {bar}");
+    }
+    let small: u64 = h.iter().filter(|&(s, _)| s <= 5).map(|(_, c)| c).sum();
+    println!(
+        "  -> {:.1}% of worker sets fit in five hardware pointers\n",
+        100.0 * small as f64 / h.total() as f64
+    );
+}
+
+fn main() {
+    // EVOLVE: the paper's Figure 6 workload — heavy-tailed sharing.
+    histogram_of(&Evolve::new(Scale::Quick), 16);
+    // WATER: all-to-all read sharing between writes.
+    histogram_of(&Water::new(Scale::Quick), 16);
+}

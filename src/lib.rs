@@ -1,0 +1,58 @@
+//! # limitless — software-extended coherent shared memory
+//!
+//! A faithful, from-scratch reproduction of the system evaluated in
+//! *Chaiken & Agarwal, "Software-Extended Coherent Shared Memory:
+//! Performance and Cost", ISCA 1994*: the MIT Alewife machine's
+//! LimitLESS directory spectrum, from a software-only directory
+//! (`Dir_nH_0S_{NB,ACK}`) through limited hardware-pointer protocols to
+//! a full-map directory (`Dir_nH_{NB}S_-`), running on a deterministic
+//! event-driven machine simulator.
+//!
+//! This crate is a facade: it re-exports the workspace crates under
+//! stable module names. See the README for a tour and the
+//! `examples/` directory for runnable programs.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use limitless::machine::{Machine, MachineConfig};
+//! use limitless::core::ProtocolSpec;
+//!
+//! // A 16-node machine with a five-pointer LimitLESS protocol
+//! // (Alewife's default boot configuration).
+//! let cfg = MachineConfig::builder()
+//!     .nodes(16)
+//!     .protocol(ProtocolSpec::limitless(5))
+//!     .build();
+//! let machine = Machine::new(cfg);
+//! assert_eq!(machine.nodes(), 16);
+//! ```
+
+/// Deterministic discrete-event engine, time and vocabulary types.
+pub use limitless_sim as sim;
+
+/// 2-D mesh network model with endpoint-queue contention.
+pub use limitless_net as net;
+
+/// Direct-mapped combined cache, victim cache and instruction-fetch
+/// model.
+pub use limitless_cache as cache;
+
+/// Hardware directory entries and the software-extended store.
+pub use limitless_dir as dir;
+
+/// The protocol spectrum: notation, coherence FSM, flexible coherence
+/// interface and handler cost models — the paper's primary
+/// contribution.
+pub use limitless_core as core;
+
+/// Full machine model: processors, CMMUs, traps, watchdog and the
+/// coherence checker.
+pub use limitless_machine as machine;
+
+/// Benchmark applications: WORKER, TSP, AQ, SMGRID, EVOLVE, MP3D and
+/// WATER.
+pub use limitless_apps as apps;
+
+/// Statistics: histograms, worker-set tracking, tables and JSON export.
+pub use limitless_stats as stats;

@@ -1,0 +1,133 @@
+//! Cross-crate integration: every application runs on every protocol
+//! in the spectrum with the coherence checker enabled, and produces
+//! its verified algorithmic result.
+
+use limitless::apps::{run_app, App, Aq, Evolve, Mp3d, Smgrid, Tsp, Water, Worker};
+use limitless::core::ProtocolSpec;
+use limitless::machine::MachineConfig;
+
+fn spectrum() -> Vec<ProtocolSpec> {
+    vec![
+        ProtocolSpec::zero_ptr(),
+        ProtocolSpec::one_ptr_ack(),
+        ProtocolSpec::one_ptr_lack(),
+        ProtocolSpec::one_ptr_hw(),
+        ProtocolSpec::limitless(2),
+        ProtocolSpec::limitless(5),
+        ProtocolSpec::dir1_sw(),
+        ProtocolSpec::full_map(),
+    ]
+}
+
+fn tiny_apps() -> Vec<Box<dyn App>> {
+    vec![
+        Box::new(Tsp {
+            cities: 7,
+            seed: 0x7591,
+            code_blocks: 48,
+        }),
+        Box::new(Aq {
+            tolerance: 0.2,
+            split_depth: 2,
+        }),
+        Box::new(Smgrid {
+            side: 17,
+            levels: 2,
+            sweeps: 2,
+            cycles: 1,
+        }),
+        Box::new(Evolve {
+            dims: 6,
+            total_walks: 16,
+            seed: 0xEE01,
+        }),
+        Box::new(Mp3d {
+            particles: 96,
+            cells_side: 4,
+            steps: 2,
+            seed: 0x3D,
+        }),
+        Box::new(Water {
+            molecules: 8,
+            steps: 2,
+            seed: 7,
+        }),
+        Box::new(Worker {
+            set_size: 5,
+            blocks_per_node: 1,
+            iterations: 3,
+        }),
+    ]
+}
+
+#[test]
+fn every_app_runs_verified_on_every_protocol() {
+    for app in tiny_apps() {
+        for p in spectrum() {
+            let cfg = MachineConfig::builder()
+                .nodes(8)
+                .protocol(p)
+                .victim_cache(true)
+                .check_coherence(true)
+                .build();
+            // run_app asserts each app's expected_results internally
+            // (tour length, global maximum, particle conservation,
+            // molecule positions + energy, worker values).
+            let report = run_app(app.as_ref(), cfg);
+            assert!(report.cycles.as_u64() > 0, "{} under {p}", app.name());
+        }
+    }
+}
+
+#[test]
+fn software_protocols_trap_and_full_map_does_not() {
+    let app = Worker {
+        set_size: 6,
+        blocks_per_node: 1,
+        iterations: 4,
+    };
+    let run = |p: ProtocolSpec| {
+        run_app(
+            &app,
+            MachineConfig::builder()
+                .nodes(8)
+                .protocol(p)
+                .check_coherence(true)
+                .build(),
+        )
+        .stats
+        .engine
+        .traps
+    };
+    assert_eq!(run(ProtocolSpec::full_map()), 0);
+    assert!(run(ProtocolSpec::limitless(2)) > 0);
+    assert!(run(ProtocolSpec::zero_ptr()) > run(ProtocolSpec::limitless(2)));
+}
+
+#[test]
+fn handler_implementation_changes_time_not_results() {
+    use limitless::core::HandlerImpl;
+    let app = Worker {
+        set_size: 6,
+        blocks_per_node: 1,
+        iterations: 4,
+    };
+    let run = |imp: HandlerImpl| {
+        run_app(
+            &app,
+            MachineConfig::builder()
+                .nodes(8)
+                .protocol(ProtocolSpec::limitless(2))
+                .handler_impl(imp)
+                .build(),
+        )
+        .cycles
+        .as_u64()
+    };
+    let c = run(HandlerImpl::FlexibleC);
+    let asm = run(HandlerImpl::TunedAsm);
+    assert!(
+        c > asm,
+        "flexible C handlers ({c}) must cost more than tuned assembly ({asm})"
+    );
+}
