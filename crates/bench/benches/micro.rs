@@ -1,79 +1,89 @@
-//! Criterion micro-benchmarks of the core data structures — the
+//! Micro-benchmarks of the core data structures — the
 //! event-engine-overhead ablation called out in DESIGN.md §4.
+//!
+//! Timed with `std::time::Instant` (no external bench harness): each
+//! benchmark warms up briefly, then reports ns/iter over a fixed batch.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::Instant;
+
 use limitless_core::{DirEngine, DirEvent, HandlerImpl, ProtocolSpec};
 use limitless_net::{MeshTopology, NetConfig, Network};
 use limitless_sim::{BlockAddr, Cycle, EventQueue, NodeId};
 
-fn bench_event_queue(c: &mut Criterion) {
-    c.bench_function("event_queue_push_pop_1k", |b| {
-        b.iter(|| {
-            let mut q = EventQueue::new();
-            for i in 0..1000u64 {
-                q.schedule(Cycle(i * 3 % 997), i);
-            }
-            let mut sum = 0u64;
-            while let Some((_, e)) = q.pop() {
-                sum = sum.wrapping_add(e);
-            }
-            sum
-        })
+fn bench<F: FnMut() -> R, R>(name: &str, mut f: F) {
+    const WARMUP: u32 = 50;
+    const ITERS: u32 = 2_000;
+    for _ in 0..WARMUP {
+        black_box(f());
+    }
+    let start = Instant::now();
+    for _ in 0..ITERS {
+        black_box(f());
+    }
+    let elapsed = start.elapsed();
+    let per_iter = elapsed.as_nanos() / u128::from(ITERS);
+    println!("{name:<32} {per_iter:>10} ns/iter  ({ITERS} iters)");
+}
+
+fn bench_event_queue() {
+    bench("event_queue_push_pop_1k", || {
+        let mut q = EventQueue::new();
+        for i in 0..1000u64 {
+            q.schedule(Cycle(i * 3 % 997), i);
+        }
+        let mut sum = 0u64;
+        while let Some((_, e)) = q.pop() {
+            sum = sum.wrapping_add(e);
+        }
+        sum
     });
 }
 
-fn bench_network(c: &mut Criterion) {
-    c.bench_function("network_send_64node_mesh", |b| {
-        let mut net = Network::new(MeshTopology::for_nodes(64), NetConfig::default());
-        let mut t = Cycle::ZERO;
-        b.iter(|| {
-            t += 1u64;
-            net.send(t, NodeId(3), NodeId(42), 4)
-        })
+fn bench_network() {
+    let mut net = Network::new(MeshTopology::for_nodes(64), NetConfig::default());
+    let mut t = Cycle::ZERO;
+    bench("network_send_64node_mesh", || {
+        t += 1u64;
+        net.send(t, NodeId(3), NodeId(42), 4)
     });
 }
 
-fn bench_directory_engine(c: &mut Criterion) {
-    c.bench_function("dir_engine_read_write_cycle", |b| {
-        let mut e = DirEngine::new(
-            NodeId(0),
-            64,
-            ProtocolSpec::limitless(5),
-            HandlerImpl::FlexibleC,
-        );
-        let mut i = 0u16;
-        b.iter(|| {
-            i = (i + 1) % 63;
-            let out = e.handle(BlockAddr(7), DirEvent::Read { from: NodeId(i + 1) });
-            let w = e.handle(BlockAddr(7), DirEvent::Write { from: NodeId(63) });
-            for n in 1..64 {
-                let _ = e.handle(BlockAddr(7), DirEvent::InvAck { from: NodeId(n) });
-            }
-            (out.sends.len(), w.sends.len())
-        })
+fn bench_directory_engine() {
+    let mut e = DirEngine::new(
+        NodeId(0),
+        64,
+        ProtocolSpec::limitless(5),
+        HandlerImpl::FlexibleC,
+    );
+    let mut i = 0u16;
+    bench("dir_engine_read_write_cycle", || {
+        i = (i + 1) % 63;
+        let out = e.handle(BlockAddr(7), DirEvent::Read { from: NodeId(i + 1) });
+        let w = e.handle(BlockAddr(7), DirEvent::Write { from: NodeId(63) });
+        for n in 1..64 {
+            let _ = e.handle(BlockAddr(7), DirEvent::InvAck { from: NodeId(n) });
+        }
+        (out.sends.len(), w.sends.len())
     });
 }
 
-fn bench_cache(c: &mut Criterion) {
+fn bench_cache() {
     use limitless_cache::{CacheConfig, CacheSystem};
-    c.bench_function("cache_read_write_mix", |b| {
-        let mut cache = CacheSystem::new(CacheConfig::alewife_with_victim());
-        let mut i = 0u64;
-        b.iter(|| {
-            i += 1;
-            let blk = BlockAddr(i % 8192);
-            let r = cache.read(blk);
-            cache.fill_shared(blk);
-            r
-        })
+    let mut cache = CacheSystem::new(CacheConfig::alewife_with_victim());
+    let mut i = 0u64;
+    bench("cache_read_write_mix", || {
+        i += 1;
+        let blk = BlockAddr(i % 8192);
+        let r = cache.read(blk);
+        cache.fill_shared(blk);
+        r
     });
 }
 
-criterion_group!(
-    benches,
-    bench_event_queue,
-    bench_network,
-    bench_directory_engine,
-    bench_cache
-);
-criterion_main!(benches);
+fn main() {
+    bench_event_queue();
+    bench_network();
+    bench_directory_engine();
+    bench_cache();
+}

@@ -1,11 +1,13 @@
-//! Model-based property tests: the cache system (direct-mapped array +
-//! victim buffer) must behave like a bounded permission map.
+//! Model-based randomized tests: the cache system (direct-mapped array
+//! + victim buffer) must behave like a bounded permission map. Cases
+//! are generated with the deterministic `SplitMix64` generator.
 
 use std::collections::HashMap;
 
 use limitless_cache::{Access, CacheConfig, CacheSystem, LineState};
-use limitless_sim::BlockAddr;
-use proptest::prelude::*;
+use limitless_sim::{BlockAddr, SplitMix64};
+
+const CASES: u64 = 64;
 
 #[derive(Clone, Debug)]
 enum CacheOp {
@@ -17,27 +19,27 @@ enum CacheOp {
     Downgrade(u64),
 }
 
-fn op_strategy() -> impl Strategy<Value = CacheOp> {
-    let blk = 0u64..24; // force conflicts in an 8-set cache
-    prop_oneof![
-        blk.clone().prop_map(CacheOp::Read),
-        blk.clone().prop_map(CacheOp::Write),
-        blk.clone().prop_map(CacheOp::FillShared),
-        blk.clone().prop_map(CacheOp::FillDirty),
-        blk.clone().prop_map(CacheOp::Invalidate),
-        blk.prop_map(CacheOp::Downgrade),
-    ]
+fn random_op(rng: &mut SplitMix64) -> CacheOp {
+    let b = rng.next_below(24); // force conflicts in an 8-set cache
+    match rng.next_below(6) {
+        0 => CacheOp::Read(b),
+        1 => CacheOp::Write(b),
+        2 => CacheOp::FillShared(b),
+        3 => CacheOp::FillDirty(b),
+        4 => CacheOp::Invalidate(b),
+        _ => CacheOp::Downgrade(b),
+    }
 }
 
-proptest! {
-    /// A shadow map tracks which blocks *may* be resident with which
-    /// permission. The cache must never report more permission than
-    /// the shadow grants, and hits must be shadow-resident.
-    #[test]
-    fn cache_never_exceeds_granted_permissions(
-        ops in prop::collection::vec(op_strategy(), 1..400),
-        victim in 0usize..4,
-    ) {
+#[test]
+fn cache_never_exceeds_granted_permissions() {
+    // A shadow map tracks which blocks *may* be resident with which
+    // permission. The cache must never report more permission than
+    // the shadow grants, and hits must be shadow-resident.
+    let mut rng = SplitMix64::new(0x3001);
+    for case in 0..CASES {
+        let len = 1 + rng.next_below(399) as usize;
+        let victim = rng.next_below(4) as usize;
         let mut cache = CacheSystem::new(CacheConfig {
             capacity_bytes: 8 * 16,
             line_bytes: 16,
@@ -45,8 +47,8 @@ proptest! {
         });
         // Shadow: permission ever granted and not yet revoked.
         let mut granted: HashMap<u64, LineState> = HashMap::new();
-        for op in ops {
-            match op {
+        for _ in 0..len {
+            match random_op(&mut rng) {
                 CacheOp::FillShared(b) => {
                     cache.fill_shared(BlockAddr(b));
                     granted.entry(b).or_insert(LineState::Shared);
@@ -65,70 +67,75 @@ proptest! {
                         granted.insert(b, LineState::Shared);
                     }
                 }
-                CacheOp::Read(b) => {
-                    match cache.read(BlockAddr(b)) {
-                        Access::Hit | Access::VictimHit => {
-                            prop_assert!(
-                                granted.contains_key(&b),
-                                "read hit on never-granted block {b}"
-                            );
-                        }
-                        Access::Miss { .. } | Access::UpgradeMiss => {}
+                CacheOp::Read(b) => match cache.read(BlockAddr(b)) {
+                    Access::Hit | Access::VictimHit => {
+                        assert!(
+                            granted.contains_key(&b),
+                            "case {case}: read hit on never-granted block {b}"
+                        );
                     }
-                }
-                CacheOp::Write(b) => {
-                    match cache.write(BlockAddr(b)) {
-                        Access::Hit => {
-                            prop_assert_eq!(
-                                granted.get(&b).copied(),
-                                Some(LineState::Dirty),
-                                "write hit without dirty grant on {}", b
-                            );
-                        }
-                        Access::VictimHit => {
-                            prop_assert!(granted.contains_key(&b));
-                        }
-                        Access::Miss { .. } | Access::UpgradeMiss => {}
+                    Access::Miss { .. } | Access::UpgradeMiss => {}
+                },
+                CacheOp::Write(b) => match cache.write(BlockAddr(b)) {
+                    Access::Hit => {
+                        assert_eq!(
+                            granted.get(&b).copied(),
+                            Some(LineState::Dirty),
+                            "case {case}: write hit without dirty grant on {b}"
+                        );
                     }
-                }
+                    Access::VictimHit => {
+                        assert!(granted.contains_key(&b), "case {case}: victim hit on {b}");
+                    }
+                    Access::Miss { .. } | Access::UpgradeMiss => {}
+                },
             }
         }
     }
+}
 
-    /// A block is never resident in both the main array and the victim
-    /// buffer, and a fill makes the block immediately readable.
-    #[test]
-    fn fills_are_immediately_visible(
-        blocks in prop::collection::vec(0u64..24, 1..100),
-    ) {
+#[test]
+fn fills_are_immediately_visible() {
+    // A fill makes the block immediately readable.
+    let mut rng = SplitMix64::new(0x3002);
+    for case in 0..CASES {
+        let len = 1 + rng.next_below(99) as usize;
         let mut cache = CacheSystem::new(CacheConfig {
             capacity_bytes: 8 * 16,
             line_bytes: 16,
             victim_lines: 2,
         });
-        for b in blocks {
+        for _ in 0..len {
+            let b = rng.next_below(24);
             cache.fill_shared(BlockAddr(b));
-            prop_assert_eq!(cache.read(BlockAddr(b)), Access::Hit);
+            assert_eq!(
+                cache.read(BlockAddr(b)),
+                Access::Hit,
+                "case {case}: fill of {b} not visible"
+            );
         }
     }
+}
 
-    /// Invalidate is idempotent and final: after it, reads miss until
-    /// the next fill.
-    #[test]
-    fn invalidate_is_final(b in 0u64..32, refill in any::<bool>()) {
-        let mut cache = CacheSystem::new(CacheConfig {
-            capacity_bytes: 8 * 16,
-            line_bytes: 16,
-            victim_lines: 2,
-        });
-        cache.fill_dirty(BlockAddr(b));
-        assert_eq!(cache.invalidate(BlockAddr(b)), Some(LineState::Dirty));
-        assert_eq!(cache.invalidate(BlockAddr(b)), None);
-        let miss = matches!(cache.read(BlockAddr(b)), Access::Miss { .. });
-        prop_assert!(miss);
-        if refill {
-            cache.fill_shared(BlockAddr(b));
-            prop_assert_eq!(cache.read(BlockAddr(b)), Access::Hit);
+#[test]
+fn invalidate_is_final() {
+    // Invalidate is idempotent and final: after it, reads miss until
+    // the next fill.
+    for b in 0u64..32 {
+        for refill in [false, true] {
+            let mut cache = CacheSystem::new(CacheConfig {
+                capacity_bytes: 8 * 16,
+                line_bytes: 16,
+                victim_lines: 2,
+            });
+            cache.fill_dirty(BlockAddr(b));
+            assert_eq!(cache.invalidate(BlockAddr(b)), Some(LineState::Dirty));
+            assert_eq!(cache.invalidate(BlockAddr(b)), None);
+            assert!(matches!(cache.read(BlockAddr(b)), Access::Miss { .. }));
+            if refill {
+                cache.fill_shared(BlockAddr(b));
+                assert_eq!(cache.read(BlockAddr(b)), Access::Hit);
+            }
         }
     }
 }

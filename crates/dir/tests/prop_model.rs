@@ -1,67 +1,78 @@
-//! Model-based property tests: directory pointer structures behave as
-//! bounded sets.
+//! Model-based randomized tests: directory pointer structures behave
+//! as bounded sets. Cases are generated with the deterministic
+//! `SplitMix64` generator.
 
 use std::collections::BTreeSet;
 
 use limitless_dir::{HwDirEntry, PtrStoreOutcome, SwDirectory};
-use limitless_sim::{BlockAddr, NodeId};
-use proptest::prelude::*;
+use limitless_sim::{BlockAddr, NodeId, SplitMix64};
 
-proptest! {
-    /// The hardware pointer array is a set of at most `capacity`
-    /// elements; overflow is reported exactly when a new element would
-    /// exceed capacity.
-    #[test]
-    fn hw_entry_is_a_bounded_set(
-        capacity in 0usize..6,
-        nodes in prop::collection::vec(0u16..12, 0..50),
-    ) {
+const CASES: u64 = 64;
+
+#[test]
+fn hw_entry_is_a_bounded_set() {
+    // The hardware pointer array is a set of at most `capacity`
+    // elements; overflow is reported exactly when a new element would
+    // exceed capacity.
+    let mut rng = SplitMix64::new(0x4001);
+    for case in 0..CASES {
+        let capacity = rng.next_below(6) as usize;
+        let len = rng.next_below(50) as usize;
         let mut e = HwDirEntry::new(capacity);
         let mut model: BTreeSet<u16> = BTreeSet::new();
-        for n in nodes {
+        for _ in 0..len {
+            let n = rng.next_below(12) as u16;
             let outcome = e.record_reader(NodeId(n));
             if model.contains(&n) {
-                prop_assert_eq!(outcome, PtrStoreOutcome::Stored);
+                assert_eq!(outcome, PtrStoreOutcome::Stored, "case {case}");
             } else if model.len() < capacity {
-                prop_assert_eq!(outcome, PtrStoreOutcome::Stored);
+                assert_eq!(outcome, PtrStoreOutcome::Stored, "case {case}");
                 model.insert(n);
             } else {
-                prop_assert_eq!(outcome, PtrStoreOutcome::Overflow);
+                assert_eq!(outcome, PtrStoreOutcome::Overflow, "case {case}");
             }
             let mut got: Vec<u16> = e.ptrs().iter().map(|p| p.0).collect();
             got.sort_unstable();
             let want: Vec<u16> = model.iter().copied().collect();
-            prop_assert_eq!(got, want);
+            assert_eq!(got, want, "case {case}");
         }
     }
+}
 
-    /// Draining moves every pointer out exactly once.
-    #[test]
-    fn drain_empties_exactly(
-        nodes in prop::collection::vec(0u16..12, 0..20),
-    ) {
+#[test]
+fn drain_empties_exactly() {
+    // Draining moves every pointer out exactly once.
+    let mut rng = SplitMix64::new(0x4002);
+    for case in 0..CASES {
+        let len = rng.next_below(20) as usize;
         let mut e = HwDirEntry::new(5);
         let mut model = BTreeSet::new();
-        for &n in &nodes {
+        for _ in 0..len {
+            let n = rng.next_below(12) as u16;
             if e.record_reader(NodeId(n)) == PtrStoreOutcome::Stored {
                 model.insert(n);
             }
         }
         let mut drained: Vec<u16> = e.drain_ptrs().iter().map(|p| p.0).collect();
         drained.sort_unstable();
-        prop_assert_eq!(drained, model.into_iter().collect::<Vec<_>>());
-        prop_assert_eq!(e.ptr_count(), 0);
+        assert_eq!(drained, model.into_iter().collect::<Vec<_>>(), "case {case}");
+        assert_eq!(e.ptr_count(), 0, "case {case}");
     }
+}
 
-    /// The software directory is a per-block set; drain returns exactly
-    /// what was recorded and frees the record.
-    #[test]
-    fn sw_directory_matches_set_model(
-        ops in prop::collection::vec((0u64..6, 0u16..10, any::<bool>()), 0..120),
-    ) {
+#[test]
+fn sw_directory_matches_set_model() {
+    // The software directory is a per-block set; drain returns exactly
+    // what was recorded and frees the record.
+    let mut rng = SplitMix64::new(0x4003);
+    for case in 0..CASES {
+        let len = rng.next_below(120) as usize;
         let mut d = SwDirectory::new();
         let mut model: std::collections::HashMap<u64, BTreeSet<u16>> = Default::default();
-        for (block, node, drain) in ops {
+        for _ in 0..len {
+            let block = rng.next_below(6);
+            let node = rng.next_below(10) as u16;
+            let drain = rng.next_below(2) == 1;
             if drain {
                 let mut got: Vec<u16> = d
                     .drain_readers(BlockAddr(block))
@@ -71,31 +82,37 @@ proptest! {
                 got.sort_unstable();
                 let want: Vec<u16> =
                     model.remove(&block).unwrap_or_default().into_iter().collect();
-                prop_assert_eq!(got, want);
+                assert_eq!(got, want, "case {case}");
             } else {
                 let newly = d.record_reader(BlockAddr(block), NodeId(node));
                 let inserted = model.entry(block).or_default().insert(node);
-                prop_assert_eq!(newly, inserted);
+                assert_eq!(newly, inserted, "case {case}");
             }
         }
         // Final state agrees.
         for (block, set) in &model {
             let mut got: Vec<u16> = d.readers(BlockAddr(*block)).iter().map(|p| p.0).collect();
             got.sort_unstable();
-            prop_assert_eq!(got, set.iter().copied().collect::<Vec<_>>());
+            assert_eq!(got, set.iter().copied().collect::<Vec<_>>(), "case {case}");
         }
-        prop_assert_eq!(d.live_entries(), model.values().filter(|s| !s.is_empty()).count());
+        assert_eq!(
+            d.live_entries(),
+            model.values().filter(|s| !s.is_empty()).count(),
+            "case {case}"
+        );
     }
+}
 
-    /// Acknowledgment counting is exact.
-    #[test]
-    fn ack_counter_counts_down(acks in 1u32..40) {
-        use limitless_dir::HwState;
+#[test]
+fn ack_counter_counts_down() {
+    // Acknowledgment counting is exact.
+    use limitless_dir::HwState;
+    for acks in 1u32..40 {
         let mut e = HwDirEntry::new(2);
         e.begin_transaction(HwState::WriteTransaction, acks, Some(NodeId(1)), true);
         for expected_remaining in (0..acks).rev() {
-            prop_assert_eq!(e.count_ack(), expected_remaining);
+            assert_eq!(e.count_ack(), expected_remaining);
         }
-        prop_assert_eq!(e.acks_pending(), 0);
+        assert_eq!(e.acks_pending(), 0);
     }
 }

@@ -1,53 +1,65 @@
-//! Property tests for the network timing model.
+//! Randomized property tests for the network timing model, generated
+//! with the deterministic `SplitMix64` generator.
 
 use limitless_net::{MeshTopology, NetConfig, Network};
-use limitless_sim::{Cycle, NodeId};
-use proptest::prelude::*;
+use limitless_sim::{Cycle, NodeId, SplitMix64};
 
-proptest! {
-    /// Same-pair messages are delivered in send order (the FIFO
-    /// property the coherence protocol depends on for writeback
-    /// races).
-    #[test]
-    fn per_pair_fifo(
-        sends in prop::collection::vec((0u64..1000, 0u16..16, 0u16..16, 1u32..16), 1..100),
-    ) {
+const CASES: u64 = 64;
+
+#[test]
+fn per_pair_fifo() {
+    // Same-pair messages are delivered in send order (the FIFO
+    // property the coherence protocol depends on for writeback races).
+    let mut rng = SplitMix64::new(0x2001);
+    for case in 0..CASES {
+        let len = 1 + rng.next_below(99) as usize;
         let mut net = Network::new(MeshTopology::for_nodes(16), NetConfig::default());
         let mut last: std::collections::HashMap<(u16, u16), Cycle> = Default::default();
         let mut now = Cycle::ZERO;
-        for (gap, src, dst, flits) in sends {
+        for _ in 0..len {
+            let gap = rng.next_below(1000);
+            let src = rng.next_below(16) as u16;
+            let dst = rng.next_below(16) as u16;
+            let flits = 1 + rng.next_below(15) as u32;
             now += gap; // non-decreasing send times
             let t = net.send(now, NodeId(src), NodeId(dst), flits);
             if let Some(&prev) = last.get(&(src, dst)) {
-                prop_assert!(t > prev, "FIFO violated {src}->{dst}");
+                assert!(t > prev, "case {case}: FIFO violated {src}->{dst}");
             }
             last.insert((src, dst), t);
         }
     }
+}
 
-    /// Delivery never precedes the send, and respects the physical
-    /// minimum (hops + serialization).
-    #[test]
-    fn latency_has_a_physical_floor(
-        src in 0u16..16, dst in 0u16..16, flits in 1u32..32, at in 0u64..10_000,
-    ) {
+#[test]
+fn latency_has_a_physical_floor() {
+    // Delivery never precedes the send, and respects the physical
+    // minimum (hops + serialization).
+    let mut rng = SplitMix64::new(0x2002);
+    for case in 0..CASES {
+        let src = rng.next_below(16) as u16;
+        let dst = rng.next_below(16) as u16;
+        let flits = 1 + rng.next_below(31) as u32;
+        let at = rng.next_below(10_000);
         let topo = MeshTopology::for_nodes(16);
         let cfg = NetConfig::default();
         let mut net = Network::new(topo, cfg);
         let t = net.send(Cycle(at), NodeId(src), NodeId(dst), flits);
-        prop_assert!(t > Cycle(at));
+        assert!(t > Cycle(at), "case {case}: delivery precedes send");
         if src != dst {
             let min = u64::from(topo.hops(NodeId(src), NodeId(dst))) * cfg.hop_cycles
                 + 2 * u64::from(flits) * cfg.flit_cycles
                 + cfg.inject_cycles;
-            prop_assert!(t >= Cycle(at + min));
+            assert!(t >= Cycle(at + min), "case {case}: below physical floor");
         }
     }
+}
 
-    /// Contention only ever delays: interleaving extra traffic never
-    /// makes a later message arrive earlier than the uncontended time.
-    #[test]
-    fn contention_is_monotone(extra in 0usize..30) {
+#[test]
+fn contention_is_monotone() {
+    // Contention only ever delays: interleaving extra traffic never
+    // makes a later message arrive earlier than the uncontended time.
+    for extra in 0usize..30 {
         let mut quiet = Network::new(MeshTopology::for_nodes(16), NetConfig::default());
         let baseline = quiet.send(Cycle(100), NodeId(0), NodeId(5), 8);
 
@@ -56,6 +68,6 @@ proptest! {
             busy.send(Cycle(i as u64), NodeId(0), NodeId((i % 15 + 1) as u16), 8);
         }
         let contended = busy.send(Cycle(100), NodeId(0), NodeId(5), 8);
-        prop_assert!(contended >= baseline);
+        assert!(contended >= baseline, "extra={extra}: contention sped up delivery");
     }
 }

@@ -1,27 +1,38 @@
-//! Property tests for the event queue: total order and stability.
+//! Randomized property tests for the event queue: total order and
+//! stability. Cases are generated with the deterministic `SplitMix64`
+//! generator so failures reproduce exactly.
 
-use limitless_sim::{Cycle, EventQueue};
-use proptest::prelude::*;
+use limitless_sim::{Cycle, EventQueue, SplitMix64};
 
-proptest! {
-    /// Pops come out sorted by time regardless of insertion order.
-    #[test]
-    fn pops_are_sorted(times in prop::collection::vec(0u64..10_000, 1..200)) {
+const CASES: u64 = 64;
+
+#[test]
+fn pops_are_sorted() {
+    // Pops come out sorted by time regardless of insertion order.
+    let mut rng = SplitMix64::new(0x1001);
+    for case in 0..CASES {
+        let len = 1 + rng.next_below(199) as usize;
+        let times: Vec<u64> = (0..len).map(|_| rng.next_below(10_000)).collect();
         let mut q = EventQueue::new();
         for (i, &t) in times.iter().enumerate() {
             q.schedule(Cycle(t), i);
         }
         let mut last = Cycle::ZERO;
         while let Some((t, _)) = q.pop() {
-            prop_assert!(t >= last);
+            assert!(t >= last, "case {case}: pops out of order");
             last = t;
         }
     }
+}
 
-    /// Equal timestamps preserve insertion order (stability), which is
-    /// what makes simulations deterministic.
-    #[test]
-    fn equal_times_are_fifo(dups in prop::collection::vec(0u64..16, 1..100)) {
+#[test]
+fn equal_times_are_fifo() {
+    // Equal timestamps preserve insertion order (stability), which is
+    // what makes simulations deterministic.
+    let mut rng = SplitMix64::new(0x1002);
+    for case in 0..CASES {
+        let len = 1 + rng.next_below(99) as usize;
+        let dups: Vec<u64> = (0..len).map(|_| rng.next_below(16)).collect();
         let mut q = EventQueue::new();
         for (i, &t) in dups.iter().enumerate() {
             q.schedule(Cycle(t), i);
@@ -29,24 +40,29 @@ proptest! {
         let mut seen_at: std::collections::HashMap<u64, usize> = Default::default();
         while let Some((t, i)) = q.pop() {
             if let Some(&prev) = seen_at.get(&t.as_u64()) {
-                prop_assert!(i > prev, "FIFO violated at t={t}");
+                assert!(i > prev, "case {case}: FIFO violated at t={t}");
             }
             seen_at.insert(t.as_u64(), i);
         }
     }
+}
 
-    /// Every scheduled event is popped exactly once.
-    #[test]
-    fn conservation(times in prop::collection::vec(0u64..1000, 0..150)) {
+#[test]
+fn conservation() {
+    // Every scheduled event is popped exactly once.
+    let mut rng = SplitMix64::new(0x1003);
+    for case in 0..CASES {
+        let len = rng.next_below(150) as usize;
+        let times: Vec<u64> = (0..len).map(|_| rng.next_below(1000)).collect();
         let mut q = EventQueue::new();
         for (i, &t) in times.iter().enumerate() {
             q.schedule(Cycle(t), i);
         }
         let mut seen = vec![false; times.len()];
         while let Some((_, i)) = q.pop() {
-            prop_assert!(!seen[i]);
+            assert!(!seen[i], "case {case}: event {i} popped twice");
             seen[i] = true;
         }
-        prop_assert!(seen.iter().all(|&s| s));
+        assert!(seen.iter().all(|&s| s), "case {case}: event lost");
     }
 }

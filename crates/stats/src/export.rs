@@ -1,14 +1,14 @@
 //! JSON export of experiment results, for plotting outside the
 //! terminal.
 
-use serde::{Deserialize, Serialize};
-
 use crate::hist::Histogram;
+use crate::json::{JsonError, JsonValue};
 
 /// One experiment's results in exportable form: a grid of labelled
 /// series (one per protocol) over labelled points (worker-set sizes,
-/// applications, …), plus optional histograms.
-#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+/// applications, …), plus optional histograms and free-form metadata
+/// such as simulator-throughput figures.
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct ExperimentExport {
     /// Experiment id, e.g. `fig2`.
     pub id: String,
@@ -18,6 +18,8 @@ pub struct ExperimentExport {
     pub series: Vec<(String, Vec<f64>)>,
     /// Attached histograms, e.g. worker-set sizes.
     pub histograms: Vec<(String, Histogram)>,
+    /// Free-form `(key, value)` metadata, e.g. `events_per_sec`.
+    pub meta: Vec<(String, f64)>,
 }
 
 impl ExperimentExport {
@@ -58,14 +60,54 @@ impl ExperimentExport {
         self
     }
 
+    /// Attaches a metadata value.
+    pub fn push_meta(&mut self, key: &str, value: f64) -> &mut Self {
+        self.meta.push((key.to_string(), value));
+        self
+    }
+
     /// Serializes to pretty JSON.
     ///
     /// # Errors
     ///
     /// Returns an error if serialization fails (practically
     /// impossible for this data shape).
-    pub fn to_json(&self) -> Result<String, serde_json::Error> {
-        serde_json::to_string_pretty(self)
+    pub fn to_json(&self) -> Result<String, JsonError> {
+        let series = self
+            .series
+            .iter()
+            .map(|(label, values)| {
+                JsonValue::Arr(vec![
+                    JsonValue::Str(label.clone()),
+                    JsonValue::Arr(values.iter().map(|&v| JsonValue::from_f64(v)).collect()),
+                ])
+            })
+            .collect();
+        let histograms = self
+            .histograms
+            .iter()
+            .map(|(label, h)| {
+                JsonValue::Arr(vec![JsonValue::Str(label.clone()), h.to_json_value()])
+            })
+            .collect();
+        let meta = self
+            .meta
+            .iter()
+            .map(|(key, value)| {
+                JsonValue::Arr(vec![JsonValue::Str(key.clone()), JsonValue::from_f64(*value)])
+            })
+            .collect();
+        let doc = JsonValue::Obj(vec![
+            ("id".into(), JsonValue::Str(self.id.clone())),
+            (
+                "points".into(),
+                JsonValue::Arr(self.points.iter().cloned().map(JsonValue::Str).collect()),
+            ),
+            ("series".into(), JsonValue::Arr(series)),
+            ("histograms".into(), JsonValue::Arr(histograms)),
+            ("meta".into(), JsonValue::Arr(meta)),
+        ]);
+        Ok(doc.pretty())
     }
 
     /// Parses a previously exported experiment.
@@ -73,8 +115,56 @@ impl ExperimentExport {
     /// # Errors
     ///
     /// Returns an error on malformed JSON.
-    pub fn from_json(s: &str) -> Result<Self, serde_json::Error> {
-        serde_json::from_str(s)
+    pub fn from_json(s: &str) -> Result<Self, JsonError> {
+        let doc = JsonValue::parse(s)?;
+        let id = doc.get("id")?.as_str()?.to_string();
+        let points = doc
+            .get("points")?
+            .as_arr()?
+            .iter()
+            .map(|p| p.as_str().map(str::to_string))
+            .collect::<Result<Vec<_>, _>>()?;
+        let mut series = Vec::new();
+        for entry in doc.get("series")?.as_arr()? {
+            let pair = entry.as_arr()?;
+            let [label, values] = pair else {
+                return Err(JsonError::new("series entry must be a [label, values] pair"));
+            };
+            let values = values
+                .as_arr()?
+                .iter()
+                .map(JsonValue::as_f64)
+                .collect::<Result<Vec<_>, _>>()?;
+            series.push((label.as_str()?.to_string(), values));
+        }
+        let mut histograms = Vec::new();
+        for entry in doc.get("histograms")?.as_arr()? {
+            let pair = entry.as_arr()?;
+            let [label, hist] = pair else {
+                return Err(JsonError::new(
+                    "histogram entry must be a [label, histogram] pair",
+                ));
+            };
+            histograms.push((label.as_str()?.to_string(), Histogram::from_json_value(hist)?));
+        }
+        let mut meta = Vec::new();
+        // Absent `meta` tolerated for exports written before it existed.
+        if let Ok(entries) = doc.get("meta") {
+            for entry in entries.as_arr()? {
+                let pair = entry.as_arr()?;
+                let [key, value] = pair else {
+                    return Err(JsonError::new("meta entry must be a [key, value] pair"));
+                };
+                meta.push((key.as_str()?.to_string(), value.as_f64()?));
+            }
+        }
+        Ok(ExperimentExport {
+            id,
+            points,
+            series,
+            histograms,
+            meta,
+        })
     }
 }
 
@@ -90,6 +180,7 @@ mod tests {
         let mut h = Histogram::new();
         h.add_n(1, 100);
         e.push_histogram("worker-sets", h);
+        e.push_meta("events_per_sec", 1.25e6);
         let json = e.to_json().unwrap();
         let back = ExperimentExport::from_json(&json).unwrap();
         assert_eq!(e, back);
@@ -106,5 +197,18 @@ mod tests {
     #[test]
     fn malformed_json_is_an_error() {
         assert!(ExperimentExport::from_json("not json").is_err());
+    }
+
+    #[test]
+    fn reads_exports_without_meta() {
+        let mut e = ExperimentExport::new("fig3");
+        e.points(["a"]);
+        e.push_series("s", vec![2.5]);
+        let json = e.to_json().unwrap();
+        // Strip the meta field to emulate an older export.
+        let stripped = json.replace(",\n  \"meta\": []", "");
+        let back = ExperimentExport::from_json(&stripped).unwrap();
+        assert_eq!(back.series, e.series);
+        assert!(back.meta.is_empty());
     }
 }

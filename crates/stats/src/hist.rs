@@ -2,7 +2,7 @@
 
 use std::collections::BTreeMap;
 
-use serde::{Deserialize, Serialize};
+use crate::json::{JsonError, JsonValue};
 
 /// A histogram over `u64` keys (worker-set sizes, latencies, …).
 ///
@@ -18,7 +18,7 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(h.count(3), 2);
 /// assert_eq!(h.total(), 3);
 /// ```
-#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct Histogram {
     bins: BTreeMap<u64, u64>,
 }
@@ -98,6 +98,36 @@ impl Histogram {
             self.add_n(v, c);
         }
     }
+
+    /// Converts to a JSON object mapping value to count.
+    pub fn to_json_value(&self) -> JsonValue {
+        JsonValue::Obj(
+            self.iter()
+                .map(|(v, c)| (v.to_string(), JsonValue::from_u64(c)))
+                .collect(),
+        )
+    }
+
+    /// Reconstructs a histogram from [`Histogram::to_json_value`]
+    /// output.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the value is not an object of integer
+    /// `value: count` pairs.
+    pub fn from_json_value(v: &JsonValue) -> Result<Self, JsonError> {
+        let JsonValue::Obj(pairs) = v else {
+            return Err(JsonError::new("histogram must be a JSON object"));
+        };
+        let mut h = Histogram::new();
+        for (key, count) in pairs {
+            let value: u64 = key
+                .parse()
+                .map_err(|_| JsonError::new(format!("bad histogram bin `{key}`")))?;
+            h.add_n(value, count.as_u64()?);
+        }
+        Ok(h)
+    }
 }
 
 #[cfg(test)]
@@ -168,11 +198,11 @@ mod tests {
     }
 
     #[test]
-    fn serde_round_trip() {
+    fn json_round_trip() {
         let mut h = Histogram::new();
         h.add_n(4, 7);
-        let json = serde_json::to_string(&h).unwrap();
-        let back: Histogram = serde_json::from_str(&json).unwrap();
+        let json = h.to_json_value().pretty();
+        let back = Histogram::from_json_value(&JsonValue::parse(&json).unwrap()).unwrap();
         assert_eq!(h, back);
     }
 }

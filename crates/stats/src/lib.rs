@@ -9,6 +9,7 @@
 pub mod chart;
 pub mod export;
 pub mod hist;
+pub mod json;
 pub mod sampler;
 pub mod table;
 pub mod worker_sets;
@@ -16,6 +17,7 @@ pub mod worker_sets;
 pub use chart::{log_histogram, BarChart};
 pub use export::ExperimentExport;
 pub use hist::Histogram;
+pub use json::{JsonError, JsonValue};
 pub use sampler::LatencySampler;
 pub use table::{fmt_f64, Table};
 pub use worker_sets::WorkerSetTracker;

@@ -4,8 +4,15 @@
 //! (Table 1) but selects a *median* request when dissecting activity
 //! breakdowns (Table 2), "in order to select a representative
 //! individual from each sample". The sampler supports both.
+//!
+//! Samples are aggregated in a streaming fashion — a count/sum pair
+//! plus a value histogram — so memory stays bounded by the number of
+//! *distinct* latencies rather than the number of traps. The median is
+//! the lower middle (rank `(n - 1) / 2` zero-based, equivalently rank
+//! `ceil(n / 2)` one-based), exactly what sorting all samples and
+//! indexing `sorted[(n - 1) / 2]` would return.
 
-use serde::{Deserialize, Serialize};
+use crate::hist::Histogram;
 
 /// Collects `u64` samples (typically cycle latencies).
 ///
@@ -19,9 +26,11 @@ use serde::{Deserialize, Serialize};
 /// s.record(200);
 /// assert_eq!(s.mean(), Some(150.0));
 /// ```
-#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct LatencySampler {
-    samples: Vec<u64>,
+    count: u64,
+    sum: u128,
+    hist: Histogram,
 }
 
 impl LatencySampler {
@@ -32,52 +41,55 @@ impl LatencySampler {
 
     /// Records one sample.
     pub fn record(&mut self, value: u64) {
-        self.samples.push(value);
+        self.count += 1;
+        self.sum += u128::from(value);
+        self.hist.add(value);
     }
 
     /// Number of samples.
     pub fn len(&self) -> usize {
-        self.samples.len()
+        self.count as usize
     }
 
     /// Whether no samples have been recorded.
     pub fn is_empty(&self) -> bool {
-        self.samples.is_empty()
+        self.count == 0
     }
 
     /// Arithmetic mean, or `None` if empty.
     pub fn mean(&self) -> Option<f64> {
-        if self.samples.is_empty() {
+        if self.count == 0 {
             return None;
         }
-        let sum: u128 = self.samples.iter().map(|&s| u128::from(s)).sum();
-        Some(sum as f64 / self.samples.len() as f64)
+        Some(self.sum as f64 / self.count as f64)
     }
 
     /// Median sample (lower middle for even counts), or `None` if
     /// empty.
     pub fn median(&self) -> Option<u64> {
-        if self.samples.is_empty() {
-            return None;
-        }
-        let mut sorted = self.samples.clone();
-        sorted.sort_unstable();
-        Some(sorted[(sorted.len() - 1) / 2])
+        self.hist.median()
     }
 
     /// Minimum sample.
     pub fn min(&self) -> Option<u64> {
-        self.samples.iter().copied().min()
+        self.hist.iter().next().map(|(v, _)| v)
     }
 
     /// Maximum sample.
     pub fn max(&self) -> Option<u64> {
-        self.samples.iter().copied().max()
+        self.hist.max_value()
     }
 
-    /// The raw samples, in recording order.
-    pub fn samples(&self) -> &[u64] {
-        &self.samples
+    /// The distribution of samples.
+    pub fn histogram(&self) -> &Histogram {
+        &self.hist
+    }
+
+    /// Merges another sampler into this one.
+    pub fn merge(&mut self, other: &LatencySampler) {
+        self.count += other.count;
+        self.sum += other.sum;
+        self.hist.merge(&other.hist);
     }
 }
 
@@ -118,10 +130,37 @@ mod tests {
     }
 
     #[test]
-    fn samples_preserved_in_order() {
-        let mut s = LatencySampler::new();
-        s.record(3);
-        s.record(1);
-        assert_eq!(s.samples(), &[3, 1]);
+    fn matches_sort_and_index_median_on_duplicates() {
+        // Streaming median must equal `sorted[(n - 1) / 2]` even with
+        // repeated values and even counts.
+        let cases: Vec<Vec<u64>> = vec![
+            vec![3, 1],
+            vec![2, 2, 2, 9],
+            vec![10, 10, 1, 1],
+            vec![7, 7, 7, 7, 7],
+            vec![1, 2, 2, 3, 10, 10],
+        ];
+        for samples in cases {
+            let mut s = LatencySampler::new();
+            for &v in &samples {
+                s.record(v);
+            }
+            let mut sorted = samples.clone();
+            sorted.sort_unstable();
+            assert_eq!(s.median(), Some(sorted[(sorted.len() - 1) / 2]));
+        }
+    }
+
+    #[test]
+    fn merge_combines_distributions() {
+        let mut a = LatencySampler::new();
+        a.record(1);
+        a.record(5);
+        let mut b = LatencySampler::new();
+        b.record(3);
+        a.merge(&b);
+        assert_eq!(a.len(), 3);
+        assert_eq!(a.mean(), Some(3.0));
+        assert_eq!(a.median(), Some(3));
     }
 }

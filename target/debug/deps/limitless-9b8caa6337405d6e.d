@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/limitless-9b8caa6337405d6e.d: src/lib.rs
+
+/root/repo/target/debug/deps/limitless-9b8caa6337405d6e: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/limitless-e75ec6977b7bb609.d: src/lib.rs
+
+/root/repo/target/debug/deps/liblimitless-e75ec6977b7bb609.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/liblimitless-e75ec6977b7bb609.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/limitless_apps-1c02fbaf9dec9395.d: crates/apps/src/lib.rs crates/apps/src/aq.rs crates/apps/src/evolve.rs crates/apps/src/layout.rs crates/apps/src/mp3d.rs crates/apps/src/smgrid.rs crates/apps/src/tsp.rs crates/apps/src/water.rs crates/apps/src/worker.rs
+
+/root/repo/target/debug/deps/limitless_apps-1c02fbaf9dec9395: crates/apps/src/lib.rs crates/apps/src/aq.rs crates/apps/src/evolve.rs crates/apps/src/layout.rs crates/apps/src/mp3d.rs crates/apps/src/smgrid.rs crates/apps/src/tsp.rs crates/apps/src/water.rs crates/apps/src/worker.rs
+
+crates/apps/src/lib.rs:
+crates/apps/src/aq.rs:
+crates/apps/src/evolve.rs:
+crates/apps/src/layout.rs:
+crates/apps/src/mp3d.rs:
+crates/apps/src/smgrid.rs:
+crates/apps/src/tsp.rs:
+crates/apps/src/water.rs:
+crates/apps/src/worker.rs:

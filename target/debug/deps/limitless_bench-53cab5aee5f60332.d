@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/limitless_bench-53cab5aee5f60332.d: crates/bench/src/bin/cli.rs
+
+/root/repo/target/debug/deps/limitless_bench-53cab5aee5f60332: crates/bench/src/bin/cli.rs
+
+crates/bench/src/bin/cli.rs:

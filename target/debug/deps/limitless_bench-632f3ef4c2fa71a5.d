@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/limitless_bench-632f3ef4c2fa71a5.d: crates/bench/src/lib.rs crates/bench/src/experiments.rs
+
+/root/repo/target/debug/deps/limitless_bench-632f3ef4c2fa71a5: crates/bench/src/lib.rs crates/bench/src/experiments.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/experiments.rs:

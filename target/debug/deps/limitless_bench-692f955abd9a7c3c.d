@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/limitless_bench-692f955abd9a7c3c.d: crates/bench/src/lib.rs crates/bench/src/experiments.rs
+
+/root/repo/target/debug/deps/liblimitless_bench-692f955abd9a7c3c.rlib: crates/bench/src/lib.rs crates/bench/src/experiments.rs
+
+/root/repo/target/debug/deps/liblimitless_bench-692f955abd9a7c3c.rmeta: crates/bench/src/lib.rs crates/bench/src/experiments.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/experiments.rs:

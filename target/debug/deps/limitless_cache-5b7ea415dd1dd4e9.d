@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/limitless_cache-5b7ea415dd1dd4e9.d: crates/cache/src/lib.rs crates/cache/src/direct.rs crates/cache/src/ifetch.rs crates/cache/src/system.rs crates/cache/src/victim.rs
+
+/root/repo/target/debug/deps/liblimitless_cache-5b7ea415dd1dd4e9.rlib: crates/cache/src/lib.rs crates/cache/src/direct.rs crates/cache/src/ifetch.rs crates/cache/src/system.rs crates/cache/src/victim.rs
+
+/root/repo/target/debug/deps/liblimitless_cache-5b7ea415dd1dd4e9.rmeta: crates/cache/src/lib.rs crates/cache/src/direct.rs crates/cache/src/ifetch.rs crates/cache/src/system.rs crates/cache/src/victim.rs
+
+crates/cache/src/lib.rs:
+crates/cache/src/direct.rs:
+crates/cache/src/ifetch.rs:
+crates/cache/src/system.rs:
+crates/cache/src/victim.rs:

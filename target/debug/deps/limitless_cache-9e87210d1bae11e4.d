@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/limitless_cache-9e87210d1bae11e4.d: crates/cache/src/lib.rs crates/cache/src/direct.rs crates/cache/src/ifetch.rs crates/cache/src/system.rs crates/cache/src/victim.rs
+
+/root/repo/target/debug/deps/limitless_cache-9e87210d1bae11e4: crates/cache/src/lib.rs crates/cache/src/direct.rs crates/cache/src/ifetch.rs crates/cache/src/system.rs crates/cache/src/victim.rs
+
+crates/cache/src/lib.rs:
+crates/cache/src/direct.rs:
+crates/cache/src/ifetch.rs:
+crates/cache/src/system.rs:
+crates/cache/src/victim.rs:

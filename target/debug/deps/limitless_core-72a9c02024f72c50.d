@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/limitless_core-72a9c02024f72c50.d: crates/core/src/lib.rs crates/core/src/cost.rs crates/core/src/engine.rs crates/core/src/enhancements.rs crates/core/src/iface.rs crates/core/src/msg.rs crates/core/src/spec.rs
+
+/root/repo/target/debug/deps/liblimitless_core-72a9c02024f72c50.rlib: crates/core/src/lib.rs crates/core/src/cost.rs crates/core/src/engine.rs crates/core/src/enhancements.rs crates/core/src/iface.rs crates/core/src/msg.rs crates/core/src/spec.rs
+
+/root/repo/target/debug/deps/liblimitless_core-72a9c02024f72c50.rmeta: crates/core/src/lib.rs crates/core/src/cost.rs crates/core/src/engine.rs crates/core/src/enhancements.rs crates/core/src/iface.rs crates/core/src/msg.rs crates/core/src/spec.rs
+
+crates/core/src/lib.rs:
+crates/core/src/cost.rs:
+crates/core/src/engine.rs:
+crates/core/src/enhancements.rs:
+crates/core/src/iface.rs:
+crates/core/src/msg.rs:
+crates/core/src/spec.rs:

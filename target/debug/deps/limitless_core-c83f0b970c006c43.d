@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/limitless_core-c83f0b970c006c43.d: crates/core/src/lib.rs crates/core/src/cost.rs crates/core/src/engine.rs crates/core/src/enhancements.rs crates/core/src/iface.rs crates/core/src/msg.rs crates/core/src/spec.rs
+
+/root/repo/target/debug/deps/limitless_core-c83f0b970c006c43: crates/core/src/lib.rs crates/core/src/cost.rs crates/core/src/engine.rs crates/core/src/enhancements.rs crates/core/src/iface.rs crates/core/src/msg.rs crates/core/src/spec.rs
+
+crates/core/src/lib.rs:
+crates/core/src/cost.rs:
+crates/core/src/engine.rs:
+crates/core/src/enhancements.rs:
+crates/core/src/iface.rs:
+crates/core/src/msg.rs:
+crates/core/src/spec.rs:

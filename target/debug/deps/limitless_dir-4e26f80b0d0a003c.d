@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/limitless_dir-4e26f80b0d0a003c.d: crates/dir/src/lib.rs crates/dir/src/hw.rs crates/dir/src/sw.rs
+
+/root/repo/target/debug/deps/liblimitless_dir-4e26f80b0d0a003c.rlib: crates/dir/src/lib.rs crates/dir/src/hw.rs crates/dir/src/sw.rs
+
+/root/repo/target/debug/deps/liblimitless_dir-4e26f80b0d0a003c.rmeta: crates/dir/src/lib.rs crates/dir/src/hw.rs crates/dir/src/sw.rs
+
+crates/dir/src/lib.rs:
+crates/dir/src/hw.rs:
+crates/dir/src/sw.rs:

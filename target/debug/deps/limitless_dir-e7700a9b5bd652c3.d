@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/limitless_dir-e7700a9b5bd652c3.d: crates/dir/src/lib.rs crates/dir/src/hw.rs crates/dir/src/sw.rs
+
+/root/repo/target/debug/deps/limitless_dir-e7700a9b5bd652c3: crates/dir/src/lib.rs crates/dir/src/hw.rs crates/dir/src/sw.rs
+
+crates/dir/src/lib.rs:
+crates/dir/src/hw.rs:
+crates/dir/src/sw.rs:

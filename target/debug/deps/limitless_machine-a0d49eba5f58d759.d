@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/limitless_machine-a0d49eba5f58d759.d: crates/machine/src/lib.rs crates/machine/src/config.rs crates/machine/src/machine.rs crates/machine/src/program.rs crates/machine/src/registry.rs crates/machine/src/stats.rs crates/machine/src/tests.rs
+
+/root/repo/target/debug/deps/limitless_machine-a0d49eba5f58d759: crates/machine/src/lib.rs crates/machine/src/config.rs crates/machine/src/machine.rs crates/machine/src/program.rs crates/machine/src/registry.rs crates/machine/src/stats.rs crates/machine/src/tests.rs
+
+crates/machine/src/lib.rs:
+crates/machine/src/config.rs:
+crates/machine/src/machine.rs:
+crates/machine/src/program.rs:
+crates/machine/src/registry.rs:
+crates/machine/src/stats.rs:
+crates/machine/src/tests.rs:

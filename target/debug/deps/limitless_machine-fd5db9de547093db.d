@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/limitless_machine-fd5db9de547093db.d: crates/machine/src/lib.rs crates/machine/src/config.rs crates/machine/src/machine.rs crates/machine/src/program.rs crates/machine/src/registry.rs crates/machine/src/stats.rs
+
+/root/repo/target/debug/deps/liblimitless_machine-fd5db9de547093db.rlib: crates/machine/src/lib.rs crates/machine/src/config.rs crates/machine/src/machine.rs crates/machine/src/program.rs crates/machine/src/registry.rs crates/machine/src/stats.rs
+
+/root/repo/target/debug/deps/liblimitless_machine-fd5db9de547093db.rmeta: crates/machine/src/lib.rs crates/machine/src/config.rs crates/machine/src/machine.rs crates/machine/src/program.rs crates/machine/src/registry.rs crates/machine/src/stats.rs
+
+crates/machine/src/lib.rs:
+crates/machine/src/config.rs:
+crates/machine/src/machine.rs:
+crates/machine/src/program.rs:
+crates/machine/src/registry.rs:
+crates/machine/src/stats.rs:

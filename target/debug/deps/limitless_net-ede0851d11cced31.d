@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/limitless_net-ede0851d11cced31.d: crates/net/src/lib.rs crates/net/src/message.rs crates/net/src/network.rs crates/net/src/topology.rs
+
+/root/repo/target/debug/deps/liblimitless_net-ede0851d11cced31.rlib: crates/net/src/lib.rs crates/net/src/message.rs crates/net/src/network.rs crates/net/src/topology.rs
+
+/root/repo/target/debug/deps/liblimitless_net-ede0851d11cced31.rmeta: crates/net/src/lib.rs crates/net/src/message.rs crates/net/src/network.rs crates/net/src/topology.rs
+
+crates/net/src/lib.rs:
+crates/net/src/message.rs:
+crates/net/src/network.rs:
+crates/net/src/topology.rs:

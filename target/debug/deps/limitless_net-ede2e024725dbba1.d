@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/limitless_net-ede2e024725dbba1.d: crates/net/src/lib.rs crates/net/src/message.rs crates/net/src/network.rs crates/net/src/topology.rs
+
+/root/repo/target/debug/deps/limitless_net-ede2e024725dbba1: crates/net/src/lib.rs crates/net/src/message.rs crates/net/src/network.rs crates/net/src/topology.rs
+
+crates/net/src/lib.rs:
+crates/net/src/message.rs:
+crates/net/src/network.rs:
+crates/net/src/topology.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/limitless_sim-d01e6568dbb0a4d2.d: crates/sim/src/lib.rs crates/sim/src/ids.rs crates/sim/src/queue.rs crates/sim/src/rng.rs crates/sim/src/time.rs
+
+/root/repo/target/debug/deps/liblimitless_sim-d01e6568dbb0a4d2.rlib: crates/sim/src/lib.rs crates/sim/src/ids.rs crates/sim/src/queue.rs crates/sim/src/rng.rs crates/sim/src/time.rs
+
+/root/repo/target/debug/deps/liblimitless_sim-d01e6568dbb0a4d2.rmeta: crates/sim/src/lib.rs crates/sim/src/ids.rs crates/sim/src/queue.rs crates/sim/src/rng.rs crates/sim/src/time.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/ids.rs:
+crates/sim/src/queue.rs:
+crates/sim/src/rng.rs:
+crates/sim/src/time.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/limitless_sim-f8bd41fad6d5e3b3.d: crates/sim/src/lib.rs crates/sim/src/ids.rs crates/sim/src/queue.rs crates/sim/src/rng.rs crates/sim/src/time.rs
+
+/root/repo/target/debug/deps/limitless_sim-f8bd41fad6d5e3b3: crates/sim/src/lib.rs crates/sim/src/ids.rs crates/sim/src/queue.rs crates/sim/src/rng.rs crates/sim/src/time.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/ids.rs:
+crates/sim/src/queue.rs:
+crates/sim/src/rng.rs:
+crates/sim/src/time.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/limitless_stats-0528a560044c3b24.d: crates/stats/src/lib.rs crates/stats/src/chart.rs crates/stats/src/export.rs crates/stats/src/hist.rs crates/stats/src/json.rs crates/stats/src/sampler.rs crates/stats/src/table.rs crates/stats/src/worker_sets.rs
+
+/root/repo/target/debug/deps/liblimitless_stats-0528a560044c3b24.rlib: crates/stats/src/lib.rs crates/stats/src/chart.rs crates/stats/src/export.rs crates/stats/src/hist.rs crates/stats/src/json.rs crates/stats/src/sampler.rs crates/stats/src/table.rs crates/stats/src/worker_sets.rs
+
+/root/repo/target/debug/deps/liblimitless_stats-0528a560044c3b24.rmeta: crates/stats/src/lib.rs crates/stats/src/chart.rs crates/stats/src/export.rs crates/stats/src/hist.rs crates/stats/src/json.rs crates/stats/src/sampler.rs crates/stats/src/table.rs crates/stats/src/worker_sets.rs
+
+crates/stats/src/lib.rs:
+crates/stats/src/chart.rs:
+crates/stats/src/export.rs:
+crates/stats/src/hist.rs:
+crates/stats/src/json.rs:
+crates/stats/src/sampler.rs:
+crates/stats/src/table.rs:
+crates/stats/src/worker_sets.rs:

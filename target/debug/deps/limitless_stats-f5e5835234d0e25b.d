@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/limitless_stats-f5e5835234d0e25b.d: crates/stats/src/lib.rs crates/stats/src/chart.rs crates/stats/src/export.rs crates/stats/src/hist.rs crates/stats/src/json.rs crates/stats/src/sampler.rs crates/stats/src/table.rs crates/stats/src/worker_sets.rs
+
+/root/repo/target/debug/deps/limitless_stats-f5e5835234d0e25b: crates/stats/src/lib.rs crates/stats/src/chart.rs crates/stats/src/export.rs crates/stats/src/hist.rs crates/stats/src/json.rs crates/stats/src/sampler.rs crates/stats/src/table.rs crates/stats/src/worker_sets.rs
+
+crates/stats/src/lib.rs:
+crates/stats/src/chart.rs:
+crates/stats/src/export.rs:
+crates/stats/src/hist.rs:
+crates/stats/src/json.rs:
+crates/stats/src/sampler.rs:
+crates/stats/src/table.rs:
+crates/stats/src/worker_sets.rs:

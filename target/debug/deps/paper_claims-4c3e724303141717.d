@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_claims-4c3e724303141717.d: tests/paper_claims.rs
+
+/root/repo/target/debug/deps/paper_claims-4c3e724303141717: tests/paper_claims.rs
+
+tests/paper_claims.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop_model-5beabfd27908c244.d: crates/dir/tests/prop_model.rs
+
+/root/repo/target/debug/deps/prop_model-5beabfd27908c244: crates/dir/tests/prop_model.rs
+
+crates/dir/tests/prop_model.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop_model-9243f21e0eba2aa2.d: crates/cache/tests/prop_model.rs
+
+/root/repo/target/debug/deps/prop_model-9243f21e0eba2aa2: crates/cache/tests/prop_model.rs
+
+crates/cache/tests/prop_model.rs:

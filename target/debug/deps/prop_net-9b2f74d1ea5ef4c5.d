@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop_net-9b2f74d1ea5ef4c5.d: crates/net/tests/prop_net.rs
+
+/root/repo/target/debug/deps/prop_net-9b2f74d1ea5ef4c5: crates/net/tests/prop_net.rs
+
+crates/net/tests/prop_net.rs:

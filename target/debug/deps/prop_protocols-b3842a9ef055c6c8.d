@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop_protocols-b3842a9ef055c6c8.d: crates/machine/tests/prop_protocols.rs
+
+/root/repo/target/debug/deps/prop_protocols-b3842a9ef055c6c8: crates/machine/tests/prop_protocols.rs
+
+crates/machine/tests/prop_protocols.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop_queue-0189cc07c1a07906.d: crates/sim/tests/prop_queue.rs
+
+/root/repo/target/debug/deps/prop_queue-0189cc07c1a07906: crates/sim/tests/prop_queue.rs
+
+crates/sim/tests/prop_queue.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/spectrum-21428fd1bab66a5e.d: tests/spectrum.rs
+
+/root/repo/target/debug/deps/spectrum-21428fd1bab66a5e: tests/spectrum.rs
+
+tests/spectrum.rs:

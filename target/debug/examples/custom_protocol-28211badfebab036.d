@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/custom_protocol-28211badfebab036.d: examples/custom_protocol.rs
+
+/root/repo/target/debug/examples/custom_protocol-28211badfebab036: examples/custom_protocol.rs
+
+examples/custom_protocol.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/h0diag-a69cb47121ec3436.d: crates/bench/examples/h0diag.rs
+
+/root/repo/target/debug/examples/h0diag-a69cb47121ec3436: crates/bench/examples/h0diag.rs
+
+crates/bench/examples/h0diag.rs:

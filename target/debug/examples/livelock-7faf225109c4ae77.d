@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/livelock-7faf225109c4ae77.d: crates/bench/examples/livelock.rs
+
+/root/repo/target/debug/examples/livelock-7faf225109c4ae77: crates/bench/examples/livelock.rs
+
+crates/bench/examples/livelock.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/profile_and_optimize-b628bc80bb401d09.d: examples/profile_and_optimize.rs
+
+/root/repo/target/debug/examples/profile_and_optimize-b628bc80bb401d09: examples/profile_and_optimize.rs
+
+examples/profile_and_optimize.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/protocol_spectrum-c3094946c3a0eb29.d: examples/protocol_spectrum.rs
+
+/root/repo/target/debug/examples/protocol_spectrum-c3094946c3a0eb29: examples/protocol_spectrum.rs
+
+examples/protocol_spectrum.rs:

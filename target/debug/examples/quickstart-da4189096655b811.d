@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-da4189096655b811.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-da4189096655b811: examples/quickstart.rs
+
+examples/quickstart.rs:

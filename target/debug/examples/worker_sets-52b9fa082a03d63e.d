@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/worker_sets-52b9fa082a03d63e.d: examples/worker_sets.rs
+
+/root/repo/target/debug/examples/worker_sets-52b9fa082a03d63e: examples/worker_sets.rs
+
+examples/worker_sets.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_handlers-7ff7680dd467b80f.d: crates/bench/benches/ablation_handlers.rs
+
+/root/repo/target/release/deps/ablation_handlers-7ff7680dd467b80f: crates/bench/benches/ablation_handlers.rs
+
+crates/bench/benches/ablation_handlers.rs:

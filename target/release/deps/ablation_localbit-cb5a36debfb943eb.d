@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_localbit-cb5a36debfb943eb.d: crates/bench/benches/ablation_localbit.rs
+
+/root/repo/target/release/deps/ablation_localbit-cb5a36debfb943eb: crates/bench/benches/ablation_localbit.rs
+
+crates/bench/benches/ablation_localbit.rs:

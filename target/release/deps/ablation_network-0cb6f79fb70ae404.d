@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_network-0cb6f79fb70ae404.d: crates/bench/benches/ablation_network.rs
+
+/root/repo/target/release/deps/ablation_network-0cb6f79fb70ae404: crates/bench/benches/ablation_network.rs
+
+crates/bench/benches/ablation_network.rs:

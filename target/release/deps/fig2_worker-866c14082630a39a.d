@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig2_worker-866c14082630a39a.d: crates/bench/benches/fig2_worker.rs
+
+/root/repo/target/release/deps/fig2_worker-866c14082630a39a: crates/bench/benches/fig2_worker.rs
+
+crates/bench/benches/fig2_worker.rs:

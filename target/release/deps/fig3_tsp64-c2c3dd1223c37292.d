@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig3_tsp64-c2c3dd1223c37292.d: crates/bench/benches/fig3_tsp64.rs
+
+/root/repo/target/release/deps/fig3_tsp64-c2c3dd1223c37292: crates/bench/benches/fig3_tsp64.rs
+
+crates/bench/benches/fig3_tsp64.rs:

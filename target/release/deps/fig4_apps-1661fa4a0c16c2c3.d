@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig4_apps-1661fa4a0c16c2c3.d: crates/bench/benches/fig4_apps.rs
+
+/root/repo/target/release/deps/fig4_apps-1661fa4a0c16c2c3: crates/bench/benches/fig4_apps.rs
+
+crates/bench/benches/fig4_apps.rs:

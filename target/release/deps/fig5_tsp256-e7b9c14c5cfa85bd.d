@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig5_tsp256-e7b9c14c5cfa85bd.d: crates/bench/benches/fig5_tsp256.rs
+
+/root/repo/target/release/deps/fig5_tsp256-e7b9c14c5cfa85bd: crates/bench/benches/fig5_tsp256.rs
+
+crates/bench/benches/fig5_tsp256.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig6_worker_sets-da5c3bb6b3a29b1d.d: crates/bench/benches/fig6_worker_sets.rs
+
+/root/repo/target/release/deps/fig6_worker_sets-da5c3bb6b3a29b1d: crates/bench/benches/fig6_worker_sets.rs
+
+crates/bench/benches/fig6_worker_sets.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/limitless-988b69be3c171502.d: src/lib.rs
+
+/root/repo/target/release/deps/liblimitless-988b69be3c171502.rlib: src/lib.rs
+
+/root/repo/target/release/deps/liblimitless-988b69be3c171502.rmeta: src/lib.rs
+
+src/lib.rs:

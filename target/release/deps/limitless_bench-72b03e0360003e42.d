@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/limitless_bench-72b03e0360003e42.d: crates/bench/src/lib.rs crates/bench/src/experiments.rs
+
+/root/repo/target/release/deps/liblimitless_bench-72b03e0360003e42.rlib: crates/bench/src/lib.rs crates/bench/src/experiments.rs
+
+/root/repo/target/release/deps/liblimitless_bench-72b03e0360003e42.rmeta: crates/bench/src/lib.rs crates/bench/src/experiments.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/experiments.rs:

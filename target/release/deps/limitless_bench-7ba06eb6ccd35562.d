@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/limitless_bench-7ba06eb6ccd35562.d: crates/bench/src/bin/cli.rs
+
+/root/repo/target/release/deps/limitless_bench-7ba06eb6ccd35562: crates/bench/src/bin/cli.rs
+
+crates/bench/src/bin/cli.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/limitless_bench-8cae785e3b01fece.d: crates/bench/src/bin/cli.rs
+
+/root/repo/target/release/deps/limitless_bench-8cae785e3b01fece: crates/bench/src/bin/cli.rs
+
+crates/bench/src/bin/cli.rs:

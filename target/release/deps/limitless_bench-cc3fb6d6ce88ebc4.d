@@ -1,0 +1,6 @@
+/root/repo/target/release/deps/limitless_bench-cc3fb6d6ce88ebc4.d: crates/bench/src/lib.rs crates/bench/src/experiments.rs
+
+/root/repo/target/release/deps/limitless_bench-cc3fb6d6ce88ebc4: crates/bench/src/lib.rs crates/bench/src/experiments.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/experiments.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/limitless_cache-351574c7962fb537.d: crates/cache/src/lib.rs crates/cache/src/direct.rs crates/cache/src/ifetch.rs crates/cache/src/system.rs crates/cache/src/victim.rs
+
+/root/repo/target/release/deps/liblimitless_cache-351574c7962fb537.rlib: crates/cache/src/lib.rs crates/cache/src/direct.rs crates/cache/src/ifetch.rs crates/cache/src/system.rs crates/cache/src/victim.rs
+
+/root/repo/target/release/deps/liblimitless_cache-351574c7962fb537.rmeta: crates/cache/src/lib.rs crates/cache/src/direct.rs crates/cache/src/ifetch.rs crates/cache/src/system.rs crates/cache/src/victim.rs
+
+crates/cache/src/lib.rs:
+crates/cache/src/direct.rs:
+crates/cache/src/ifetch.rs:
+crates/cache/src/system.rs:
+crates/cache/src/victim.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/limitless_core-b791b922b1556990.d: crates/core/src/lib.rs crates/core/src/cost.rs crates/core/src/engine.rs crates/core/src/enhancements.rs crates/core/src/iface.rs crates/core/src/msg.rs crates/core/src/spec.rs
+
+/root/repo/target/release/deps/liblimitless_core-b791b922b1556990.rlib: crates/core/src/lib.rs crates/core/src/cost.rs crates/core/src/engine.rs crates/core/src/enhancements.rs crates/core/src/iface.rs crates/core/src/msg.rs crates/core/src/spec.rs
+
+/root/repo/target/release/deps/liblimitless_core-b791b922b1556990.rmeta: crates/core/src/lib.rs crates/core/src/cost.rs crates/core/src/engine.rs crates/core/src/enhancements.rs crates/core/src/iface.rs crates/core/src/msg.rs crates/core/src/spec.rs
+
+crates/core/src/lib.rs:
+crates/core/src/cost.rs:
+crates/core/src/engine.rs:
+crates/core/src/enhancements.rs:
+crates/core/src/iface.rs:
+crates/core/src/msg.rs:
+crates/core/src/spec.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/limitless_dir-c439758d71c4e688.d: crates/dir/src/lib.rs crates/dir/src/hw.rs crates/dir/src/sw.rs
+
+/root/repo/target/release/deps/liblimitless_dir-c439758d71c4e688.rlib: crates/dir/src/lib.rs crates/dir/src/hw.rs crates/dir/src/sw.rs
+
+/root/repo/target/release/deps/liblimitless_dir-c439758d71c4e688.rmeta: crates/dir/src/lib.rs crates/dir/src/hw.rs crates/dir/src/sw.rs
+
+crates/dir/src/lib.rs:
+crates/dir/src/hw.rs:
+crates/dir/src/sw.rs:

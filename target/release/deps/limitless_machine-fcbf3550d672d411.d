@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/limitless_machine-fcbf3550d672d411.d: crates/machine/src/lib.rs crates/machine/src/config.rs crates/machine/src/machine.rs crates/machine/src/program.rs crates/machine/src/registry.rs crates/machine/src/stats.rs
+
+/root/repo/target/release/deps/liblimitless_machine-fcbf3550d672d411.rlib: crates/machine/src/lib.rs crates/machine/src/config.rs crates/machine/src/machine.rs crates/machine/src/program.rs crates/machine/src/registry.rs crates/machine/src/stats.rs
+
+/root/repo/target/release/deps/liblimitless_machine-fcbf3550d672d411.rmeta: crates/machine/src/lib.rs crates/machine/src/config.rs crates/machine/src/machine.rs crates/machine/src/program.rs crates/machine/src/registry.rs crates/machine/src/stats.rs
+
+crates/machine/src/lib.rs:
+crates/machine/src/config.rs:
+crates/machine/src/machine.rs:
+crates/machine/src/program.rs:
+crates/machine/src/registry.rs:
+crates/machine/src/stats.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/limitless_net-c90dcde1178a80d0.d: crates/net/src/lib.rs crates/net/src/message.rs crates/net/src/network.rs crates/net/src/topology.rs
+
+/root/repo/target/release/deps/liblimitless_net-c90dcde1178a80d0.rlib: crates/net/src/lib.rs crates/net/src/message.rs crates/net/src/network.rs crates/net/src/topology.rs
+
+/root/repo/target/release/deps/liblimitless_net-c90dcde1178a80d0.rmeta: crates/net/src/lib.rs crates/net/src/message.rs crates/net/src/network.rs crates/net/src/topology.rs
+
+crates/net/src/lib.rs:
+crates/net/src/message.rs:
+crates/net/src/network.rs:
+crates/net/src/topology.rs:

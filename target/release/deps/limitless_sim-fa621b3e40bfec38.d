@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/limitless_sim-fa621b3e40bfec38.d: crates/sim/src/lib.rs crates/sim/src/ids.rs crates/sim/src/queue.rs crates/sim/src/rng.rs crates/sim/src/time.rs
+
+/root/repo/target/release/deps/liblimitless_sim-fa621b3e40bfec38.rlib: crates/sim/src/lib.rs crates/sim/src/ids.rs crates/sim/src/queue.rs crates/sim/src/rng.rs crates/sim/src/time.rs
+
+/root/repo/target/release/deps/liblimitless_sim-fa621b3e40bfec38.rmeta: crates/sim/src/lib.rs crates/sim/src/ids.rs crates/sim/src/queue.rs crates/sim/src/rng.rs crates/sim/src/time.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/ids.rs:
+crates/sim/src/queue.rs:
+crates/sim/src/rng.rs:
+crates/sim/src/time.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/limitless_stats-d6a247f8c41933fc.d: crates/stats/src/lib.rs crates/stats/src/chart.rs crates/stats/src/export.rs crates/stats/src/hist.rs crates/stats/src/json.rs crates/stats/src/sampler.rs crates/stats/src/table.rs crates/stats/src/worker_sets.rs
+
+/root/repo/target/release/deps/liblimitless_stats-d6a247f8c41933fc.rlib: crates/stats/src/lib.rs crates/stats/src/chart.rs crates/stats/src/export.rs crates/stats/src/hist.rs crates/stats/src/json.rs crates/stats/src/sampler.rs crates/stats/src/table.rs crates/stats/src/worker_sets.rs
+
+/root/repo/target/release/deps/liblimitless_stats-d6a247f8c41933fc.rmeta: crates/stats/src/lib.rs crates/stats/src/chart.rs crates/stats/src/export.rs crates/stats/src/hist.rs crates/stats/src/json.rs crates/stats/src/sampler.rs crates/stats/src/table.rs crates/stats/src/worker_sets.rs
+
+crates/stats/src/lib.rs:
+crates/stats/src/chart.rs:
+crates/stats/src/export.rs:
+crates/stats/src/hist.rs:
+crates/stats/src/json.rs:
+crates/stats/src/sampler.rs:
+crates/stats/src/table.rs:
+crates/stats/src/worker_sets.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/micro-ecb376cb77b40a41.d: crates/bench/benches/micro.rs
+
+/root/repo/target/release/deps/micro-ecb376cb77b40a41: crates/bench/benches/micro.rs
+
+crates/bench/benches/micro.rs:

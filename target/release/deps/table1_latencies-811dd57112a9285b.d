@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1_latencies-811dd57112a9285b.d: crates/bench/benches/table1_latencies.rs
+
+/root/repo/target/release/deps/table1_latencies-811dd57112a9285b: crates/bench/benches/table1_latencies.rs
+
+crates/bench/benches/table1_latencies.rs:

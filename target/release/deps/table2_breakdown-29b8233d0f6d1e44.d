@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table2_breakdown-29b8233d0f6d1e44.d: crates/bench/benches/table2_breakdown.rs
+
+/root/repo/target/release/deps/table2_breakdown-29b8233d0f6d1e44: crates/bench/benches/table2_breakdown.rs
+
+crates/bench/benches/table2_breakdown.rs:

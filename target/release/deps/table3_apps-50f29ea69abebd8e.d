@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table3_apps-50f29ea69abebd8e.d: crates/bench/benches/table3_apps.rs
+
+/root/repo/target/release/deps/table3_apps-50f29ea69abebd8e: crates/bench/benches/table3_apps.rs
+
+crates/bench/benches/table3_apps.rs:

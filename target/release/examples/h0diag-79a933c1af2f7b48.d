@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/h0diag-79a933c1af2f7b48.d: crates/bench/examples/h0diag.rs
+
+/root/repo/target/release/examples/h0diag-79a933c1af2f7b48: crates/bench/examples/h0diag.rs
+
+crates/bench/examples/h0diag.rs:

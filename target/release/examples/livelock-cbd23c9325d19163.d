@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/livelock-cbd23c9325d19163.d: crates/bench/examples/livelock.rs
+
+/root/repo/target/release/examples/livelock-cbd23c9325d19163: crates/bench/examples/livelock.rs
+
+crates/bench/examples/livelock.rs:
