@@ -1,0 +1,64 @@
+//! Prints the final cycle count for every protocol in the spectrum on
+//! the quick-scale WORKER and TSP workloads, plus simulator
+//! throughput. Used to (re)capture the golden values asserted in
+//! `tests/spectrum.rs` and to benchmark the simulator hot path.
+
+use std::time::Instant;
+
+use limitless::apps::{run_app, App, Tsp, Worker};
+use limitless::core::ProtocolSpec;
+use limitless::machine::MachineConfig;
+
+fn spectrum() -> Vec<ProtocolSpec> {
+    vec![
+        ProtocolSpec::zero_ptr(),
+        ProtocolSpec::one_ptr_ack(),
+        ProtocolSpec::one_ptr_lack(),
+        ProtocolSpec::one_ptr_hw(),
+        ProtocolSpec::limitless(2),
+        ProtocolSpec::limitless(5),
+        ProtocolSpec::dir1_sw(),
+        ProtocolSpec::full_map(),
+    ]
+}
+
+fn main() {
+    let apps: Vec<(&str, Box<dyn App>)> = vec![
+        (
+            "WORKER",
+            Box::new(Worker {
+                set_size: 5,
+                blocks_per_node: 1,
+                iterations: 3,
+            }),
+        ),
+        (
+            "TSP",
+            Box::new(Tsp {
+                cities: 7,
+                seed: 0x7591,
+                code_blocks: 48,
+            }),
+        ),
+    ];
+    let mut total_events = 0u64;
+    let start = Instant::now();
+    for (name, app) in &apps {
+        for p in spectrum() {
+            let cfg = MachineConfig::builder()
+                .nodes(8)
+                .protocol(p)
+                .victim_cache(true)
+                .check_coherence(true)
+                .build();
+            let report = run_app(app.as_ref(), cfg);
+            total_events += report.events;
+            println!("{name:<7} {p:<16} cycles={} events={}", report.cycles.as_u64(), report.events);
+        }
+    }
+    let wall = start.elapsed().as_secs_f64();
+    println!(
+        "total: {total_events} events in {wall:.3}s = {:.0} events/sec",
+        total_events as f64 / wall
+    );
+}

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/spectrum_cycles-198fe5de2d7834f3.d: examples/spectrum_cycles.rs
+
+/root/repo/target/release/examples/spectrum_cycles-198fe5de2d7834f3: examples/spectrum_cycles.rs
+
+examples/spectrum_cycles.rs:
