@@ -168,10 +168,9 @@ impl App for Aq {
                 ops.push(Op::Barrier);
                 let (start, end) = chunk(panels.len(), nodes, me);
                 let mut sum = 0.0;
-                for t in start..end {
+                for (t, &(value, visits)) in work.iter().enumerate().take(end).skip(start) {
                     // Consume the descriptor (producer-consumer read).
                     ops.push(Op::Read(slot(l.panels, t as u64)));
-                    let (value, visits) = work[t];
                     sum += value;
                     // The recursion itself is local compute plus
                     // private stack traffic.

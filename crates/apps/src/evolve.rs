@@ -192,7 +192,9 @@ impl Evolve {
     fn walk_starts(&self) -> Vec<u64> {
         let mask = self.vertices() - 1;
         let mut rng = SplitMix64::new(self.seed ^ 0x9E37);
-        (0..self.total_walks).map(|_| rng.next_u64() & mask).collect()
+        (0..self.total_walks)
+            .map(|_| rng.next_u64() & mask)
+            .collect()
     }
 }
 

@@ -160,10 +160,12 @@ mod tests {
 
     #[test]
     fn chunk_is_balanced() {
-        let sizes: Vec<usize> = (0..8).map(|p| {
-            let (s, e) = chunk(100, 8, p);
-            e - s
-        }).collect();
+        let sizes: Vec<usize> = (0..8)
+            .map(|p| {
+                let (s, e) = chunk(100, 8, p);
+                e - s
+            })
+            .collect();
         let min = sizes.iter().min().unwrap();
         let max = sizes.iter().max().unwrap();
         assert!(max - min <= 1);

@@ -128,16 +128,16 @@ impl App for Mp3d {
                 let (p0, p1) = chunk(self.particles, nodes, me);
                 let mut ops = Vec::new();
                 for step in &traj {
-                    for p in p0..p1 {
+                    for (p, &dest) in step.iter().enumerate().take(p1).skip(p0) {
                         // Advance my particle: read + write its record
                         // (private), then update the destination cell
                         // (shared, contended).
                         ops.push(Op::Read(slot(l.particles, p as u64)));
-                        ops.push(Op::Write(slot(l.particles, p as u64), step[p]));
+                        ops.push(Op::Write(slot(l.particles, p as u64), dest));
                         // Collision step: read the cell state (creates
                         // shared copies across nodes), then update it.
-                        ops.push(Op::Read(word(l.cells, step[p])));
-                        ops.push(Op::Rmw(word(l.cells, step[p]), Rmw::Add(1)));
+                        ops.push(Op::Read(word(l.cells, dest)));
+                        ops.push(Op::Rmw(word(l.cells, dest), Rmw::Add(1)));
                         ops.push(Op::Compute(400));
                     }
                     // Per-step global momentum accumulation, then sync.
@@ -150,10 +150,7 @@ impl App for Mp3d {
     }
 
     fn expected_results(&self) -> Vec<(Addr, u64)> {
-        vec![(
-            self.layout().momentum,
-            (self.particles * self.steps) as u64,
-        )]
+        vec![(self.layout().momentum, (self.particles * self.steps) as u64)]
     }
 }
 

@@ -115,7 +115,10 @@ impl Smgrid {
                 // is consumed; two points share each 16-byte block.
                 for col in 0..side {
                     ops.push(Op::Read(word(base, (r0 as u64) * side as u64 + col as u64)));
-                    ops.push(Op::Read(word(base, (r1 as u64 + 1) * side as u64 + col as u64)));
+                    ops.push(Op::Read(word(
+                        base,
+                        (r1 as u64 + 1) * side as u64 + col as u64,
+                    )));
                 }
                 // Relax the interior rows: read-modify every point
                 // (~25 cycles of stencil arithmetic each).

@@ -64,7 +64,7 @@ impl Tsp {
         space.align_to_set(2048, SETS);
         let bound = space.block(); // hot block 1: the seeded best bound
         let counter = space.block(); // hot block 2: global expansion count
-        // Everything else lives far from the code sweep.
+                                     // Everything else lives far from the code sweep.
         space.align_to_set(3072, SETS);
         let result = space.block();
         let subtrees = space.region(512); // work descriptors, one block each
@@ -105,7 +105,15 @@ impl Tsp {
         let mut path = vec![0usize];
         let mut visited = vec![false; n];
         visited[0] = true;
-        solve(&d, &mut path, &mut visited, 0, &mut best, &mut Vec::new(), false);
+        solve(
+            &d,
+            &mut path,
+            &mut visited,
+            0,
+            &mut best,
+            &mut Vec::new(),
+            false,
+        );
         best
     }
 
@@ -140,7 +148,15 @@ impl Tsp {
         let cost = d[0][a] + d[a][b] + d[b][c];
         let mut best = optimal;
         let mut visits = Vec::new();
-        solve(d, &mut path, &mut visited, cost, &mut best, &mut visits, true);
+        solve(
+            d,
+            &mut path,
+            &mut visited,
+            cost,
+            &mut best,
+            &mut visits,
+            true,
+        );
         visits
     }
 }
@@ -173,7 +189,13 @@ fn solve(
     let lb: u64 = cost
         + (0..n)
             .filter(|&c| !visited[c])
-            .map(|c| (0..n).filter(|&x| x != c).map(|x| d[c][x]).min().unwrap_or(0))
+            .map(|c| {
+                (0..n)
+                    .filter(|&x| x != c)
+                    .map(|x| d[c][x])
+                    .min()
+                    .unwrap_or(0)
+            })
             .sum::<u64>();
     if lb > *best {
         return;
@@ -343,9 +365,7 @@ mod tests {
         let opt = t.optimal();
         let d = t.distances();
         // Any concrete tour is an upper bound.
-        let naive: u64 = (0..t.cities)
-            .map(|i| d[i][(i + 1) % t.cities])
-            .sum();
+        let naive: u64 = (0..t.cities).map(|i| d[i][(i + 1) % t.cities]).sum();
         assert!(opt > 0);
         assert!(opt <= naive);
     }
@@ -363,7 +383,10 @@ mod tests {
         let visits = total_visits(&t);
         let full: usize = (1..t.cities).product::<usize>() * 2;
         assert!(visits > 0);
-        assert!(visits < full * 10, "visits {visits} vs factorial scale {full}");
+        assert!(
+            visits < full * 10,
+            "visits {visits} vs factorial scale {full}"
+        );
     }
 
     #[test]

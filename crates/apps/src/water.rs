@@ -63,7 +63,11 @@ impl Water {
         for _ in 0..self.steps {
             state = state
                 .iter()
-                .map(|&s| s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407) >> 8)
+                .map(|&s| {
+                    s.wrapping_mul(6364136223846793005)
+                        .wrapping_add(1442695040888963407)
+                        >> 8
+                })
                 .collect();
             per_step.push(state.clone());
         }
@@ -101,18 +105,18 @@ impl App for Water {
                     // Force phase: for each owned molecule, interact
                     // with every later molecule (the classic
                     // triangular loop): read the partner's position.
-                    for i in m0..m1 {
+                    for (i, &st) in step.iter().enumerate().take(m1).skip(m0) {
                         for j in i + 1..self.molecules {
                             ops.push(Op::Read(slot(l.positions, j as u64)));
                             ops.push(Op::Compute(2500));
                         }
-                        ops.push(Op::Write(slot(l.forces, i as u64), step[i] & 0xFFFF));
+                        ops.push(Op::Write(slot(l.forces, i as u64), st & 0xFFFF));
                     }
                     ops.push(Op::Barrier);
                     // Update phase: write my molecules' new positions.
-                    for i in m0..m1 {
+                    for (i, &st) in step.iter().enumerate().take(m1).skip(m0) {
                         ops.push(Op::Read(slot(l.forces, i as u64)));
-                        ops.push(Op::Write(slot(l.positions, i as u64), step[i]));
+                        ops.push(Op::Write(slot(l.positions, i as u64), st));
                         ops.push(Op::Compute(1500));
                     }
                     // Energy reduction.

@@ -179,7 +179,10 @@ mod tests {
                 .protocol(ProtocolSpec::limitless(5))
                 .build(),
         );
-        assert!(beyond.stats.engine.traps > 0, "6 readers overflow 5 pointers");
+        assert!(
+            beyond.stats.engine.traps > 0,
+            "6 readers overflow 5 pointers"
+        );
     }
 
     #[test]

@@ -59,7 +59,12 @@ fn bench_directory_engine() {
     let mut i = 0u16;
     bench("dir_engine_read_write_cycle", || {
         i = (i + 1) % 63;
-        let out = e.handle(BlockAddr(7), DirEvent::Read { from: NodeId(i + 1) });
+        let out = e.handle(
+            BlockAddr(7),
+            DirEvent::Read {
+                from: NodeId(i + 1),
+            },
+        );
         let w = e.handle(BlockAddr(7), DirEvent::Write { from: NodeId(63) });
         for n in 1..64 {
             let _ = e.handle(BlockAddr(7), DirEvent::InvAck { from: NodeId(n) });

@@ -3,13 +3,18 @@
 //! ```text
 //! limitless-bench <experiment> [--paper] [--nodes N]
 //! limitless-bench all [--paper]
+//! limitless-bench sweep [--paper] [--nodes N] [--threads T] [--json PATH]
 //! ```
 //!
 //! Experiments: `table1 table2 table3 fig2 fig3 fig4 fig5 fig6
-//! ablation-localbit ablation-network ablation-handlers`.
+//! ablation-localbit ablation-network ablation-handlers`, plus
+//! `sweep` — the full protocol × application grid run through the
+//! threaded [`Runner`](limitless_bench::Runner), printing cycle
+//! counts, simulator throughput, and (with `--json`) the JSON
+//! experiment record.
 
 use limitless_apps::Scale;
-use limitless_bench::{experiments, Harness};
+use limitless_bench::{experiments, runner, ExperimentSpec, Harness, Runner};
 use limitless_stats::Table;
 
 fn main() {
@@ -20,6 +25,8 @@ fn main() {
     }
     let mut scale = Scale::from_env();
     let mut nodes_override = None;
+    let mut threads = None;
+    let mut json_path = None;
     let mut name = String::new();
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
@@ -27,13 +34,22 @@ fn main() {
             "--paper" => scale = Scale::Paper,
             "--quick" => scale = Scale::Quick,
             "--nodes" => {
-                nodes_override = it
-                    .next()
-                    .and_then(|n| n.parse().ok())
-                    .or_else(|| {
-                        eprintln!("--nodes needs a number");
-                        std::process::exit(2);
-                    });
+                nodes_override = it.next().and_then(|n| n.parse().ok()).or_else(|| {
+                    eprintln!("--nodes needs a number");
+                    std::process::exit(2);
+                });
+            }
+            "--threads" => {
+                threads = it.next().and_then(|n| n.parse::<usize>().ok()).or_else(|| {
+                    eprintln!("--threads needs a number");
+                    std::process::exit(2);
+                });
+            }
+            "--json" => {
+                json_path = it.next().or_else(|| {
+                    eprintln!("--json needs a path");
+                    std::process::exit(2);
+                });
             }
             other if name.is_empty() => name = other.to_string(),
             other => {
@@ -46,7 +62,31 @@ fn main() {
         scale,
         nodes_override,
     };
-    let all: Vec<(&str, fn(Harness) -> Table)> = vec![
+    if name == "sweep" {
+        let spec = ExperimentSpec::spectrum_grid(h);
+        let r = match threads {
+            Some(t) => Runner::with_threads(t),
+            None => Runner::default(),
+        };
+        let result = r.run(&spec);
+        println!("== sweep ==");
+        println!("{}", result.table().render());
+        println!("{}", runner::throughput_line(&result));
+        if let Some(path) = json_path {
+            let json = result.to_export().to_json().unwrap_or_else(|e| {
+                eprintln!("JSON export failed: {e}");
+                std::process::exit(1);
+            });
+            if let Err(e) = std::fs::write(&path, json) {
+                eprintln!("cannot write {path}: {e}");
+                std::process::exit(1);
+            }
+            println!("wrote {path}");
+        }
+        return;
+    }
+    type Experiment = fn(Harness) -> Table;
+    let all: Vec<(&str, Experiment)> = vec![
         ("table1", experiments::table1),
         ("table2", experiments::table2),
         ("table3", experiments::table3),
@@ -82,7 +122,8 @@ fn main() {
 fn usage() {
     eprintln!(
         "usage: limitless-bench <experiment|all> [--paper|--quick] [--nodes N]\n\
+         \x20      limitless-bench sweep [--paper|--quick] [--nodes N] [--threads T] [--json PATH]\n\
          experiments: table1 table2 table3 fig2 fig3 fig4 fig5 fig6 \
-         ablation-localbit ablation-network ablation-handlers"
+         ablation-localbit ablation-network ablation-handlers sweep"
     );
 }

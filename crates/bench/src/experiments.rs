@@ -64,21 +64,11 @@ pub fn table2(_h: Harness) -> Table {
         let report = run_app(&app, worker_cfg(16, ProtocolSpec::limitless(5), imp));
         // Median-latency representative of each kind, as the paper
         // selects ("we choose a median request of each type").
-        let mut rb = report.stats.read_trap_bills.clone();
-        rb.sort_by_key(|b| b.total());
-        let read_bill = rb.get(rb.len().saturating_sub(1) / 2).cloned();
-        let mut wb = report.stats.write_trap_bills.clone();
-        wb.sort_by_key(|b| b.total());
-        let write_bill = wb.get(wb.len().saturating_sub(1) / 2).cloned();
+        let read_bill = report.stats.read_trap_bills.median_bill();
+        let write_bill = report.stats.write_trap_bills.median_bill();
         bills.push((read_bill, write_bill));
     }
-    let mut t = Table::new(&[
-        "Activity",
-        "C Read",
-        "Asm Read",
-        "C Write",
-        "Asm Write",
-    ]);
+    let mut t = Table::new(&["Activity", "C Read", "Asm Read", "C Write", "Asm Write"]);
     let cell = |bill: &Option<limitless_core::TrapBill>, a: Activity| -> String {
         match bill {
             Some(b) => {
@@ -242,7 +232,10 @@ pub fn fig5(h: Harness) -> Table {
     let mut t = Table::new(&["HW ptrs", "speedup"]);
     for (label, p) in fig4_spectrum() {
         let cycles = run_app(&app, crate::cfg(nodes, p)).cycles.as_u64();
-        t.row_owned(vec![label.to_string(), fmt_f64(seq as f64 / cycles as f64, 1)]);
+        t.row_owned(vec![
+            label.to_string(),
+            fmt_f64(seq as f64 / cycles as f64, 1),
+        ]);
     }
     t
 }
@@ -288,12 +281,9 @@ pub fn ablation_localbit(h: Harness) -> Table {
         ("SMGRID".into(), Box::new(Smgrid::new(h.scale))),
     ];
     for (name, app) in apps {
-        let with = run_app(
-            app.as_ref(),
-            crate::cfg(nodes, ProtocolSpec::limitless(5)),
-        )
-        .cycles
-        .as_u64();
+        let with = run_app(app.as_ref(), crate::cfg(nodes, ProtocolSpec::limitless(5)))
+            .cycles
+            .as_u64();
         let spec_off = ProtocolSpec {
             local_bit: false,
             ..ProtocolSpec::limitless(5)
@@ -343,50 +333,6 @@ pub fn ablation_handlers(h: Harness) -> Table {
         ]);
     }
     t
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    fn quick() -> Harness {
-        Harness {
-            scale: Scale::Quick,
-            nodes_override: Some(8),
-        }
-    }
-
-    #[test]
-    fn table1_magnitudes_match_paper() {
-        let t = table1(quick());
-        let s = t.render();
-        assert!(s.contains("8"), "{s}");
-        // C read traps should land in the hundreds of cycles.
-        assert_eq!(t.len(), 3);
-    }
-
-    #[test]
-    fn table2_contains_every_activity_row() {
-        let t = table2(quick());
-        let s = t.render();
-        assert!(s.contains("trap dispatch"));
-        assert!(s.contains("invalidation lookup and transmit"));
-        assert!(s.contains("total (median latency)"));
-    }
-
-    #[test]
-    fn fig2_full_map_row_is_unity() {
-        let t = fig2(Harness {
-            scale: Scale::Quick,
-            nodes_override: None,
-        });
-        let s = t.render();
-        let full_map_line = s
-            .lines()
-            .find(|l| l.contains("DirnHNBS-"))
-            .expect("full-map row");
-        assert!(full_map_line.contains("1.00"), "{full_map_line}");
-    }
 }
 
 /// Figure 6 rendered as the paper draws it: a log-scale histogram.
@@ -440,4 +386,48 @@ pub fn ablation_network(_h: Harness) -> Table {
         ]);
     }
     t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> Harness {
+        Harness {
+            scale: Scale::Quick,
+            nodes_override: Some(8),
+        }
+    }
+
+    #[test]
+    fn table1_magnitudes_match_paper() {
+        let t = table1(quick());
+        let s = t.render();
+        assert!(s.contains("8"), "{s}");
+        // C read traps should land in the hundreds of cycles.
+        assert_eq!(t.len(), 3);
+    }
+
+    #[test]
+    fn table2_contains_every_activity_row() {
+        let t = table2(quick());
+        let s = t.render();
+        assert!(s.contains("trap dispatch"));
+        assert!(s.contains("invalidation lookup and transmit"));
+        assert!(s.contains("total (median latency)"));
+    }
+
+    #[test]
+    fn fig2_full_map_row_is_unity() {
+        let t = fig2(Harness {
+            scale: Scale::Quick,
+            nodes_override: None,
+        });
+        let s = t.render();
+        let full_map_line = s
+            .lines()
+            .find(|l| l.contains("DirnHNBS-"))
+            .expect("full-map row");
+        assert!(full_map_line.contains("1.00"), "{full_map_line}");
+    }
 }

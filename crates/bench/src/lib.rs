@@ -12,6 +12,10 @@ use limitless_core::{HandlerImpl, ProtocolSpec};
 use limitless_machine::{MachineConfig, RunReport};
 
 pub mod experiments;
+pub mod runner;
+
+pub use experiments::applications;
+pub use runner::{AppFactory, CellResult, ExperimentResult, ExperimentSpec, Runner};
 
 /// Common knobs shared by every experiment harness.
 #[derive(Clone, Copy, Debug)]

@@ -1,0 +1,364 @@
+//! The unified experiment driver: one [`ExperimentSpec`] describes a
+//! (protocol × application) grid, and a [`Runner`] fans the cells
+//! across worker threads, recording cycle counts and simulator
+//! throughput for every cell.
+//!
+//! Results are slot-indexed by cell, so the output is deterministic
+//! regardless of how the scheduler interleaves workers: cell `i`
+//! always lands in slot `i`, and each cell's seed is derived from the
+//! spec's base seed and the cell index alone (never from thread
+//! identity or timing).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use limitless_apps::{run_app, App};
+use limitless_core::ProtocolSpec;
+use limitless_machine::RunReport;
+use limitless_sim::SplitMix64;
+use limitless_stats::{fmt_f64, ExperimentExport, Table};
+
+use crate::{applications, cfg, Harness};
+
+/// Builds one application instance for a cell. The argument is the
+/// cell's deterministic seed; factories for apps with stochastic
+/// inputs may thread it into the app, others simply ignore it.
+pub type AppFactory = Box<dyn Fn(u64) -> Box<dyn App> + Send + Sync>;
+
+/// A declarative description of one experiment: the machine size and
+/// the labelled (protocol × application) grid to sweep.
+pub struct ExperimentSpec {
+    /// Experiment id used in the JSON export, e.g. `sweep`.
+    pub id: String,
+    /// Machine size for every cell.
+    pub nodes: usize,
+    /// Labelled protocol spectrum (one series per entry).
+    pub protocols: Vec<(String, ProtocolSpec)>,
+    /// Labelled application factories (one point per entry).
+    pub apps: Vec<(String, AppFactory)>,
+    /// Base seed; each cell derives its own seed from this and its
+    /// cell index via SplitMix64.
+    pub base_seed: u64,
+}
+
+impl ExperimentSpec {
+    /// The full Figure-4-style grid — the spectrum's seven protocols
+    /// against the six paper applications — at the harness's scale
+    /// and node count.
+    pub fn spectrum_grid(h: Harness) -> Self {
+        let scale = h.scale;
+        let names: Vec<String> = applications(scale)
+            .iter()
+            .map(|a| a.name().to_string())
+            .collect();
+        let apps = names
+            .iter()
+            .enumerate()
+            .map(|(i, name)| {
+                let factory: AppFactory = Box::new(move |_seed| applications(scale).swap_remove(i));
+                (name.clone(), factory)
+            })
+            .collect();
+        ExperimentSpec {
+            id: "sweep".to_string(),
+            nodes: h.nodes(64),
+            protocols: crate::fig4_spectrum()
+                .into_iter()
+                .map(|(l, p)| (l.to_string(), p))
+                .collect(),
+            apps,
+            base_seed: 0x11_71_1e_55,
+        }
+    }
+
+    /// Number of cells in the grid.
+    pub fn cells(&self) -> usize {
+        self.protocols.len() * self.apps.len()
+    }
+
+    /// The deterministic seed for cell `index` (row-major over
+    /// protocols × apps).
+    pub fn cell_seed(&self, index: usize) -> u64 {
+        // Golden-ratio stride decorrelates adjacent cells before the
+        // SplitMix64 finalizer scrambles the result.
+        let stride = (index as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        SplitMix64::new(self.base_seed ^ stride).next_u64()
+    }
+}
+
+/// One completed cell of the grid.
+#[derive(Debug)]
+pub struct CellResult {
+    /// Protocol label (series).
+    pub protocol: String,
+    /// Application label (point).
+    pub app: String,
+    /// The seed the cell's factory received.
+    pub seed: u64,
+    /// The full simulation report.
+    pub report: RunReport,
+}
+
+/// A completed experiment: every cell of the grid, in row-major
+/// (protocol, app) order.
+pub struct ExperimentResult {
+    /// Experiment id (copied from the spec).
+    pub id: String,
+    /// Point labels (application names).
+    pub points: Vec<String>,
+    /// Completed cells, slot-indexed: `cells[p * points.len() + a]`.
+    pub cells: Vec<CellResult>,
+}
+
+impl ExperimentResult {
+    /// Total simulation events across all cells.
+    pub fn total_events(&self) -> u64 {
+        self.cells.iter().map(|c| c.report.events).sum()
+    }
+
+    /// Total simulated cycles across all cells.
+    pub fn total_sim_cycles(&self) -> u64 {
+        self.cells.iter().map(|c| c.report.cycles.as_u64()).sum()
+    }
+
+    /// Total host wall-clock seconds spent simulating (summed over
+    /// cells, so it is comparable across thread counts).
+    pub fn total_wall_seconds(&self) -> f64 {
+        self.cells.iter().map(|c| c.report.wall_seconds).sum()
+    }
+
+    /// Aggregate simulator throughput in events per wall-clock second.
+    pub fn events_per_sec(&self) -> f64 {
+        let wall = self.total_wall_seconds();
+        if wall == 0.0 {
+            0.0
+        } else {
+            self.total_events() as f64 / wall
+        }
+    }
+
+    /// Aggregate simulated cycles per wall-clock second.
+    pub fn sim_cycles_per_sec(&self) -> f64 {
+        let wall = self.total_wall_seconds();
+        if wall == 0.0 {
+            0.0
+        } else {
+            self.total_sim_cycles() as f64 / wall
+        }
+    }
+
+    /// Renders the grid as a cycles table (protocols down, apps
+    /// across).
+    pub fn table(&self) -> Table {
+        let mut headers = vec!["Protocol".to_string()];
+        headers.extend(self.points.iter().cloned());
+        let mut t = Table::new(&headers.iter().map(String::as_str).collect::<Vec<_>>());
+        for row in self.cells.chunks(self.points.len()) {
+            let mut cells = vec![row[0].protocol.clone()];
+            cells.extend(row.iter().map(|c| c.report.cycles.as_u64().to_string()));
+            t.row_owned(cells);
+        }
+        t
+    }
+
+    /// Builds the JSON experiment record: one series per protocol
+    /// (cycle counts per application) plus throughput metadata —
+    /// `events_per_sec` and `sim_cycles_per_sec` — for tracking
+    /// simulator performance across revisions.
+    pub fn to_export(&self) -> ExperimentExport {
+        let mut e = ExperimentExport::new(&self.id);
+        e.points(self.points.iter().cloned());
+        for row in self.cells.chunks(self.points.len()) {
+            let values = row
+                .iter()
+                .map(|c| c.report.cycles.as_u64() as f64)
+                .collect();
+            e.push_series(&row[0].protocol, values);
+        }
+        e.push_meta("cells", self.cells.len() as f64);
+        e.push_meta("total_events", self.total_events() as f64);
+        e.push_meta("wall_seconds", self.total_wall_seconds());
+        e.push_meta("events_per_sec", self.events_per_sec());
+        e.push_meta("sim_cycles_per_sec", self.sim_cycles_per_sec());
+        e
+    }
+}
+
+/// Fans an [`ExperimentSpec`]'s cells across worker threads.
+pub struct Runner {
+    /// Worker-thread count (clamped to the cell count at run time).
+    pub threads: usize,
+}
+
+impl Default for Runner {
+    /// One worker per available core.
+    fn default() -> Self {
+        Runner {
+            threads: std::thread::available_parallelism().map_or(1, |n| n.get()),
+        }
+    }
+}
+
+impl Runner {
+    /// A runner with an explicit worker count (0 is treated as 1).
+    pub fn with_threads(threads: usize) -> Self {
+        Runner {
+            threads: threads.max(1),
+        }
+    }
+
+    /// Runs every cell of `spec` and returns the slot-indexed
+    /// results. Workers pull cell indices from a shared counter, so
+    /// load-balancing is dynamic but the result layout — and every
+    /// simulation itself — is identical for any thread count.
+    pub fn run(&self, spec: &ExperimentSpec) -> ExperimentResult {
+        let n_cells = spec.cells();
+        let slots: Vec<Mutex<Option<CellResult>>> =
+            (0..n_cells).map(|_| Mutex::new(None)).collect();
+        let next = AtomicUsize::new(0);
+        let workers = self.threads.clamp(1, n_cells.max(1));
+
+        std::thread::scope(|s| {
+            for _ in 0..workers {
+                s.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n_cells {
+                        break;
+                    }
+                    let (p_idx, a_idx) = (i / spec.apps.len(), i % spec.apps.len());
+                    let (p_label, protocol) = &spec.protocols[p_idx];
+                    let (a_label, factory) = &spec.apps[a_idx];
+                    let seed = spec.cell_seed(i);
+                    let app = factory(seed);
+                    let report = run_app(app.as_ref(), cfg(spec.nodes, *protocol));
+                    *slots[i].lock().unwrap() = Some(CellResult {
+                        protocol: p_label.clone(),
+                        app: a_label.clone(),
+                        seed,
+                        report,
+                    });
+                });
+            }
+        });
+
+        ExperimentResult {
+            id: spec.id.clone(),
+            points: spec.apps.iter().map(|(l, _)| l.clone()).collect(),
+            cells: slots
+                .into_iter()
+                .map(|m| m.into_inner().unwrap().expect("cell never ran"))
+                .collect(),
+        }
+    }
+}
+
+/// Renders a one-line throughput summary for a result (used by the
+/// CLI after the table).
+pub fn throughput_line(r: &ExperimentResult) -> String {
+    format!(
+        "{} cells, {} events in {} s host time: {} events/sec, {} sim-cycles/sec",
+        r.cells.len(),
+        r.total_events(),
+        fmt_f64(r.total_wall_seconds(), 3),
+        fmt_f64(r.events_per_sec(), 0),
+        fmt_f64(r.sim_cycles_per_sec(), 0),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use limitless_apps::Worker;
+
+    fn tiny_spec() -> ExperimentSpec {
+        let mk = |size: usize| -> AppFactory { Box::new(move |_| Box::new(Worker::fig2(size))) };
+        ExperimentSpec {
+            id: "test".to_string(),
+            nodes: 16,
+            protocols: vec![
+                ("full-map".to_string(), ProtocolSpec::full_map()),
+                ("limitless4".to_string(), ProtocolSpec::limitless(4)),
+            ],
+            apps: vec![("ws=1".to_string(), mk(1)), ("ws=4".to_string(), mk(4))],
+            base_seed: 42,
+        }
+    }
+
+    #[test]
+    fn results_are_slot_ordered_and_thread_count_invariant() {
+        let spec = tiny_spec();
+        let serial = Runner::with_threads(1).run(&spec);
+        let parallel = Runner::with_threads(4).run(&spec);
+        assert_eq!(serial.cells.len(), 4);
+        for (a, b) in serial.cells.iter().zip(&parallel.cells) {
+            assert_eq!(a.protocol, b.protocol);
+            assert_eq!(a.app, b.app);
+            assert_eq!(a.seed, b.seed);
+            assert_eq!(a.report.cycles, b.report.cycles);
+            assert_eq!(a.report.events, b.report.events);
+            assert_eq!(a.report.stats, b.report.stats);
+        }
+        // Row-major layout: protocol-major, app-minor.
+        assert_eq!(serial.cells[0].protocol, "full-map");
+        assert_eq!(serial.cells[1].protocol, "full-map");
+        assert_eq!(serial.cells[2].protocol, "limitless4");
+        assert_eq!(serial.cells[0].app, "ws=1");
+        assert_eq!(serial.cells[1].app, "ws=4");
+    }
+
+    #[test]
+    fn cell_seeds_are_deterministic_and_distinct() {
+        let spec = tiny_spec();
+        let seeds: Vec<u64> = (0..spec.cells()).map(|i| spec.cell_seed(i)).collect();
+        assert_eq!(
+            seeds,
+            (0..spec.cells())
+                .map(|i| spec.cell_seed(i))
+                .collect::<Vec<_>>()
+        );
+        let mut unique = seeds.clone();
+        unique.sort_unstable();
+        unique.dedup();
+        assert_eq!(unique.len(), seeds.len(), "cell seeds collide: {seeds:?}");
+    }
+
+    #[test]
+    fn export_carries_throughput_meta() {
+        let result = Runner::with_threads(2).run(&tiny_spec());
+        let e = result.to_export();
+        assert_eq!(e.points, vec!["ws=1", "ws=4"]);
+        assert_eq!(e.series.len(), 2);
+        let meta: Vec<&str> = e.meta.iter().map(|(k, _)| k.as_str()).collect();
+        assert!(meta.contains(&"events_per_sec"));
+        assert!(meta.contains(&"sim_cycles_per_sec"));
+        let events_per_sec = e
+            .meta
+            .iter()
+            .find(|(k, _)| k == "events_per_sec")
+            .map(|(_, v)| *v)
+            .unwrap();
+        assert!(events_per_sec > 0.0, "throughput should be positive");
+        // The record round-trips through JSON intact.
+        let back = ExperimentExport::from_json(&e.to_json().unwrap()).unwrap();
+        assert_eq!(back, e);
+    }
+
+    #[test]
+    fn full_map_beats_zero_pointers_in_the_grid() {
+        // Sanity: the grid reproduces the paper's ordering — more
+        // hardware pointers never lose to the all-software protocol.
+        let mk = |size: usize| -> AppFactory { Box::new(move |_| Box::new(Worker::fig2(size))) };
+        let spec = ExperimentSpec {
+            id: "order".to_string(),
+            nodes: 16,
+            protocols: vec![
+                ("zero".to_string(), ProtocolSpec::zero_ptr()),
+                ("full".to_string(), ProtocolSpec::full_map()),
+            ],
+            apps: vec![("ws=8".to_string(), mk(8))],
+            base_seed: 7,
+        };
+        let r = Runner::with_threads(2).run(&spec);
+        assert!(r.cells[0].report.cycles.as_u64() > r.cells[1].report.cycles.as_u64());
+    }
+}

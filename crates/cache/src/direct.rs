@@ -64,11 +64,7 @@ impl DirectCache {
 
     /// Inserts a block, returning the evicted occupant of its set (if
     /// any, and if it is a different block).
-    pub fn insert(
-        &mut self,
-        block: BlockAddr,
-        state: LineState,
-    ) -> Option<(BlockAddr, LineState)> {
+    pub fn insert(&mut self, block: BlockAddr, state: LineState) -> Option<(BlockAddr, LineState)> {
         let set = self.set_of(block);
         let old = self.sets[set].take();
         self.sets[set] = Some((block, state));

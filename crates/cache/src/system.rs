@@ -217,9 +217,7 @@ impl CacheSystem {
         let main = self.main.invalidate(block);
         let victim = self.victim.invalidate(block);
         let s = match (main, victim) {
-            (Some(LineState::Dirty), _) | (_, Some(LineState::Dirty)) => {
-                Some(LineState::Dirty)
-            }
+            (Some(LineState::Dirty), _) | (_, Some(LineState::Dirty)) => Some(LineState::Dirty),
             (Some(s), _) | (None, Some(s)) => Some(s),
             (None, None) => None,
         };
@@ -361,9 +359,9 @@ mod tests {
         let mut c = tiny(1);
         c.fill_dirty(BlockAddr(1));
         assert_eq!(c.fill_shared(BlockAddr(9)), None); // dirty 1 -> victim (room)
-        // Filling a third conflicting line pushes 9 into the full
-        // victim buffer, which evicts the oldest entry — dirty block 1,
-        // which must be written back.
+                                                       // Filling a third conflicting line pushes 9 into the full
+                                                       // victim buffer, which evicts the oldest entry — dirty block 1,
+                                                       // which must be written back.
         assert_eq!(c.fill_shared(BlockAddr(17)), Some(BlockAddr(1)));
         assert_eq!(c.stats().writebacks, 1);
     }

@@ -60,11 +60,7 @@ impl VictimCache {
     /// Inserts an evicted line. If the buffer is full the oldest entry
     /// is pushed out and returned (the caller must write it back if
     /// dirty).
-    pub fn insert(
-        &mut self,
-        block: BlockAddr,
-        state: LineState,
-    ) -> Option<(BlockAddr, LineState)> {
+    pub fn insert(&mut self, block: BlockAddr, state: LineState) -> Option<(BlockAddr, LineState)> {
         debug_assert!(
             !self.entries.iter().any(|(b, _)| *b == block),
             "victim cache already holds {block}"

@@ -1,6 +1,6 @@
-//! Model-based randomized tests: the cache system (direct-mapped array
-//! + victim buffer) must behave like a bounded permission map. Cases
-//! are generated with the deterministic `SplitMix64` generator.
+//! Model-based randomized tests: the cache system (direct-mapped
+//! array plus victim buffer) must behave like a bounded permission
+//! map. Cases come from the deterministic `SplitMix64` generator.
 
 use std::collections::HashMap;
 

@@ -546,7 +546,10 @@ mod tests {
         let m = CostModel::new(HandlerImpl::FlexibleC);
         assert!(m.read_extend(3, true).total() < m.read_extend(3, false).total());
         // No effect above four pointers.
-        assert_eq!(m.read_extend(6, true).total(), m.read_extend(6, false).total());
+        assert_eq!(
+            m.read_extend(6, true).total(),
+            m.read_extend(6, false).total()
+        );
     }
 
     #[test]

@@ -9,15 +9,14 @@
 //! any software handler that ran. The machine layer turns outcomes
 //! into scheduled events and processor occupancy.
 
-use std::collections::HashMap;
-
-use limitless_dir::{HwDirEntry, HwState, PtrStoreOutcome, SwDirectory};
+use limitless_dir::{HwState, PtrStoreOutcome, SwDirectory};
 use limitless_sim::{BlockAddr, NodeId};
 
 use crate::cost::{CostModel, HandlerImpl, HandlerKind, TrapBill};
 use crate::iface::{BroadcastHandler, ExtensionHandler, HandlerCtx, LimitlessHandler};
 use crate::msg::ProtoMsg;
 use crate::spec::{AckMode, ProtocolSpec, SwMode};
+use crate::table::DirectoryTable;
 
 /// Fixed hardware latencies of the CMMU datapath.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -185,19 +184,11 @@ pub struct DirEngine {
     spec: ProtocolSpec,
     costs: CostModel,
     timing: HwTiming,
-    blocks: HashMap<BlockAddr, HwDirEntry>,
+    /// All per-block state — hardware entry, zero-pointer
+    /// remote-access bit, upgrade/owner-fetch/software-transaction
+    /// bookkeeping — in one interned record per block.
+    table: DirectoryTable,
     sw: SwDirectory,
-    /// Zero-pointer protocol: blocks that have been accessed by a
-    /// remote node (the per-block extra bit of §2.3).
-    remote_accessed: HashMap<BlockAddr, bool>,
-    /// Blocks whose in-flight write transaction grants an upgrade
-    /// (permission without data).
-    upgrade_pending: HashMap<BlockAddr, bool>,
-    /// Blocks waiting on an owner response, and which owner.
-    owner_fetch: HashMap<BlockAddr, NodeId>,
-    /// Blocks whose current write transaction was initiated by
-    /// software (determines LACK/ACK behaviour on completion).
-    sw_transaction: HashMap<BlockAddr, bool>,
     handler: Box<dyn ExtensionHandler>,
     stats: EngineStats,
 }
@@ -215,12 +206,8 @@ impl DirEngine {
             spec,
             costs: CostModel::new(imp),
             timing: HwTiming::default(),
-            blocks: HashMap::new(),
+            table: DirectoryTable::new(),
             sw: SwDirectory::new(),
-            remote_accessed: HashMap::new(),
-            upgrade_pending: HashMap::new(),
-            owner_fetch: HashMap::new(),
-            sw_transaction: HashMap::new(),
             handler: Box::new(LimitlessHandler),
             stats: EngineStats::default(),
         }
@@ -260,7 +247,7 @@ impl DirEngine {
     pub fn local_fast_path(&self, block: BlockAddr) -> bool {
         self.spec.hw_ptrs == 0
             && !self.spec.full_map
-            && !self.remote_accessed.get(&block).copied().unwrap_or(false)
+            && !self.table.get(block).is_some_and(|st| st.remote_accessed)
     }
 
     /// Whether every event on this protocol traps to software (the
@@ -269,21 +256,10 @@ impl DirEngine {
         self.spec.hw_ptrs == 0 && !self.spec.full_map
     }
 
-    fn capacity(&self) -> usize {
-        self.spec.capacity(self.nodes)
-    }
-
-    fn entry(&mut self, block: BlockAddr) -> &mut HwDirEntry {
-        let cap = self.capacity();
-        self.blocks
-            .entry(block)
-            .or_insert_with(|| HwDirEntry::new(cap))
-    }
-
     /// The current sharer count visible to the directory (hardware +
     /// software + local bit), for tests and instrumentation.
     pub fn sharer_count(&self, block: BlockAddr) -> usize {
-        let hw = self.blocks.get(&block);
+        let hw = self.table.get(block).map(|st| &st.hw);
         let mut set: Vec<NodeId> = hw.map(|e| e.ptrs().to_vec()).unwrap_or_default();
         set.extend_from_slice(self.sw.readers(block));
         if hw.is_some_and(|e| e.local_bit()) {
@@ -297,54 +273,59 @@ impl DirEngine {
     /// Handles one protocol event for `block`, returning what must
     /// happen.
     ///
+    /// The block is interned exactly once here — one hash probe —
+    /// and every helper then reaches its [`crate::table::BlockState`]
+    /// by dense index.
+    ///
     /// # Panics
     ///
     /// Panics on protocol-invariant violations (e.g. an
     /// acknowledgment when none is outstanding), which indicate
     /// simulator bugs rather than recoverable conditions.
     pub fn handle(&mut self, block: BlockAddr, event: DirEvent) -> Outcome {
+        let id = self.table.intern(block, self.spec.capacity(self.nodes));
         match event {
-            DirEvent::Read { from } => self.handle_read(block, from),
-            DirEvent::Write { from } => self.handle_write(block, from),
-            DirEvent::InvAck { from } => self.handle_inv_ack(block, from),
+            DirEvent::Read { from } => self.handle_read(block, id, from),
+            DirEvent::Write { from } => self.handle_write(block, id, from),
+            DirEvent::InvAck { from } => self.handle_inv_ack(id, from),
             DirEvent::OwnerAck {
                 from,
                 had_data,
                 downgrade,
-            } => self.handle_owner_ack(block, from, had_data, downgrade),
-            DirEvent::Writeback { from } => self.handle_writeback(block, from),
+            } => self.handle_owner_ack(block, id, from, had_data, downgrade),
+            DirEvent::Writeback { from } => self.handle_writeback(block, id, from),
         }
     }
 
     // ---------------------------------------------------------- reads
 
-    fn handle_read(&mut self, block: BlockAddr, from: NodeId) -> Outcome {
+    fn handle_read(&mut self, block: BlockAddr, id: u32, from: NodeId) -> Outcome {
         self.stats.read_reqs += 1;
         let mut out = Outcome::default();
         let all_sw = self.all_software();
-        let first_remote = all_sw && from != self.home && self.local_fast_path(block);
-        if all_sw {
-            self.remote_accessed.insert(block, true);
-        }
         let home = self.home;
         let spec = self.spec;
         let timing = self.timing;
-        let entry = self.entry(block);
+        let st = self.table.state_mut(id);
+        let first_remote = all_sw && from != home && !st.remote_accessed;
+        if all_sw {
+            st.remote_accessed = true;
+        }
 
-        match entry.state() {
+        match st.hw.state() {
             HwState::Uncached | HwState::ReadOnly => {
-                entry.set_state(HwState::ReadOnly);
+                st.hw.set_state(HwState::ReadOnly);
                 let data_off = timing.dir_cycles + timing.dram_cycles;
                 if from == home && spec.local_bit {
                     // The dedicated one-bit pointer: the home's own
                     // copy never consumes (or overflows) the pointer
                     // array.
-                    entry.set_local_bit(true);
+                    st.hw.set_local_bit(true);
                     out.hw_send(from, ProtoMsg::ReadData, data_off);
                     out.hw_cycles = timing.dir_cycles;
                     return out;
                 }
-                match entry.record_reader(from) {
+                match st.hw.record_reader(from) {
                     PtrStoreOutcome::Stored if !all_sw => {
                         out.hw_send(from, ProtoMsg::ReadData, data_off);
                         out.hw_cycles = timing.dir_cycles;
@@ -355,7 +336,7 @@ impl DirEngine {
                         if spec.sw == SwMode::Broadcast {
                             // Dir₁SW never traps on reads: hardware
                             // just sets the broadcast bit.
-                            entry.set_overflowed(true);
+                            st.hw.set_overflowed(true);
                             out.hw_send(from, ProtoMsg::ReadData, data_off);
                             out.hw_cycles = timing.dir_cycles;
                         } else {
@@ -366,22 +347,27 @@ impl DirEngine {
                             if first_remote {
                                 out.invalidate_local = true;
                             }
-                            self.run_read_overflow(block, from, &mut out);
+                            self.run_read_overflow(block, id, from, &mut out);
                         }
                     }
                 }
             }
             HwState::ReadWrite => {
-                let owner = entry.owner().expect("ReadWrite entry without owner");
+                let owner = st.hw.owner().expect("ReadWrite entry without owner");
                 if owner == from {
                     // Under FIFO delivery the owner's writeback always
                     // precedes its next request, so this indicates the
                     // owner silently lost the line; re-grant data.
-                    out.hw_send(from, ProtoMsg::ReadData, timing.dir_cycles + timing.dram_cycles);
+                    out.hw_send(
+                        from,
+                        ProtoMsg::ReadData,
+                        timing.dir_cycles + timing.dram_cycles,
+                    );
                     out.hw_cycles = timing.dir_cycles;
                 } else {
-                    entry.begin_transaction(HwState::ReadTransaction, 1, Some(from), false);
-                    self.owner_fetch.insert(block, owner);
+                    st.hw
+                        .begin_transaction(HwState::ReadTransaction, 1, Some(from), false);
+                    st.owner_fetch = Some(owner);
                     out.hw_send(owner, ProtoMsg::Downgrade, timing.dir_cycles);
                     out.hw_cycles = timing.dir_cycles;
                     if all_sw {
@@ -390,19 +376,22 @@ impl DirEngine {
                 }
             }
             HwState::ReadTransaction | HwState::WriteTransaction => {
-                self.send_busy(block, from, &mut out);
+                self.send_busy(id, from, &mut out);
             }
         }
         out
     }
 
-    fn run_read_overflow(&mut self, block: BlockAddr, from: NodeId, out: &mut Outcome) {
-        let cap = self.capacity();
-        let entry = self
-            .blocks
-            .entry(block)
-            .or_insert_with(|| HwDirEntry::new(cap));
-        let mut ctx = HandlerCtx::new(self.home, self.nodes, self.spec, block, entry, &mut self.sw);
+    fn run_read_overflow(&mut self, block: BlockAddr, id: u32, from: NodeId, out: &mut Outcome) {
+        let st = self.table.state_mut(id);
+        let mut ctx = HandlerCtx::new(
+            self.home,
+            self.nodes,
+            self.spec,
+            block,
+            &mut st.hw,
+            &mut self.sw,
+        );
         self.handler.read_overflow(&mut ctx, from);
         let small_opt = self.spec.small_set_opt();
         let (bill, sends, _, local) =
@@ -414,32 +403,32 @@ impl DirEngine {
 
     // --------------------------------------------------------- writes
 
-    fn handle_write(&mut self, block: BlockAddr, from: NodeId) -> Outcome {
+    fn handle_write(&mut self, block: BlockAddr, id: u32, from: NodeId) -> Outcome {
         self.stats.write_reqs += 1;
         let mut out = Outcome::default();
         let all_sw = self.all_software();
-        let first_remote = all_sw && from != self.home && self.local_fast_path(block);
-        if all_sw {
-            self.remote_accessed.insert(block, true);
-        }
         let home = self.home;
         let timing = self.timing;
-        let entry = self.entry(block);
+        let st = self.table.state_mut(id);
+        let first_remote = all_sw && from != home && !st.remote_accessed;
+        if all_sw {
+            st.remote_accessed = true;
+        }
 
-        match entry.state() {
+        match st.hw.state() {
             HwState::Uncached | HwState::ReadOnly => {
-                let overflowed = entry.overflowed() || all_sw;
+                let overflowed = st.hw.overflowed() || all_sw;
                 if first_remote {
                     out.invalidate_local = true;
                 }
                 if !overflowed {
-                    self.hw_write_path(block, from, &mut out);
+                    self.hw_write_path(id, from, &mut out);
                 } else {
-                    self.sw_write_path(block, from, &mut out);
+                    self.sw_write_path(block, id, from, &mut out);
                 }
             }
             HwState::ReadWrite => {
-                let owner = entry.owner().expect("ReadWrite entry without owner");
+                let owner = st.hw.owner().expect("ReadWrite entry without owner");
                 if owner == from {
                     out.hw_send(
                         from,
@@ -448,19 +437,19 @@ impl DirEngine {
                     );
                     out.hw_cycles = timing.dir_cycles;
                 } else {
-                    entry.begin_transaction(HwState::WriteTransaction, 1, Some(from), true);
-                    self.owner_fetch.insert(block, owner);
-                    self.upgrade_pending.insert(block, false);
+                    st.hw
+                        .begin_transaction(HwState::WriteTransaction, 1, Some(from), true);
+                    st.owner_fetch = Some(owner);
+                    st.upgrade_pending = false;
                     out.hw_send(owner, ProtoMsg::Flush, timing.dir_cycles);
                     out.hw_cycles = timing.dir_cycles;
                     if all_sw {
                         self.bill(&mut out, self.costs.ack_trap());
                     }
                 }
-                let _ = home;
             }
             HwState::ReadTransaction | HwState::WriteTransaction => {
-                self.send_busy(block, from, &mut out);
+                self.send_busy(id, from, &mut out);
             }
         }
         out
@@ -469,18 +458,18 @@ impl DirEngine {
     /// Write serviced entirely by the hardware directory: invalidate
     /// the (hardware-tracked) sharers, count acknowledgments in
     /// hardware, grant.
-    fn hw_write_path(&mut self, block: BlockAddr, from: NodeId, out: &mut Outcome) {
+    fn hw_write_path(&mut self, id: u32, from: NodeId, out: &mut Outcome) {
         let home = self.home;
         let timing = self.timing;
-        let entry = self.blocks.get_mut(&block).expect("entry exists");
-        let mut sharers = entry.drain_ptrs();
-        if entry.local_bit() && home != from {
+        let st = self.table.state_mut(id);
+        let mut sharers = st.hw.drain_ptrs();
+        if st.hw.local_bit() && home != from {
             // Kill the home's copy synchronously (no network, no ack).
-            entry.set_local_bit(false);
+            st.hw.set_local_bit(false);
             out.invalidate_local = true;
         }
-        let was_sharer = sharers.contains(&from) || (from == home && entry.local_bit());
-        entry.set_local_bit(false);
+        let was_sharer = sharers.contains(&from) || (from == home && st.hw.local_bit());
+        st.hw.set_local_bit(false);
         sharers.retain(|&s| s != from);
         sharers.sort_unstable();
         sharers.dedup();
@@ -488,14 +477,13 @@ impl DirEngine {
         out.hw_cycles = timing.dir_cycles;
         if sharers.is_empty() {
             // No remote copies: grant immediately.
-            entry.set_sole_owner(from);
+            st.hw.set_sole_owner(from);
             let grant = if was_sharer {
                 ProtoMsg::UpgradeAck
             } else {
                 ProtoMsg::WriteData
             };
-            let off = timing.dir_cycles
-                + if was_sharer { 0 } else { timing.dram_cycles };
+            let off = timing.dir_cycles + if was_sharer { 0 } else { timing.dram_cycles };
             out.hw_send(from, grant, off);
             return;
         }
@@ -512,23 +500,21 @@ impl DirEngine {
             );
         }
         self.stats.invs_sent += acks as u64;
-        entry.begin_transaction(HwState::WriteTransaction, acks, Some(from), true);
-        self.upgrade_pending.insert(block, was_sharer);
-        self.sw_transaction.insert(block, false);
+        let st = self.table.state_mut(id);
+        st.hw
+            .begin_transaction(HwState::WriteTransaction, acks, Some(from), true);
+        st.upgrade_pending = was_sharer;
+        st.sw_transaction = false;
     }
 
     /// Write to an overflowed block: trap to the extension software.
-    fn sw_write_path(&mut self, block: BlockAddr, from: NodeId, out: &mut Outcome) {
-        let cap = self.capacity();
+    fn sw_write_path(&mut self, block: BlockAddr, id: u32, from: NodeId, out: &mut Outcome) {
         let home = self.home;
         let nodes = self.nodes;
         let spec = self.spec;
-        let entry = self
-            .blocks
-            .entry(block)
-            .or_insert_with(|| HwDirEntry::new(cap));
+        let st = self.table.state_mut(id);
 
-        let mut ctx = HandlerCtx::new(home, nodes, spec, block, entry, &mut self.sw);
+        let mut ctx = HandlerCtx::new(home, nodes, spec, block, &mut st.hw, &mut self.sw);
         let mut sharers = ctx.sharers();
         let was_sharer = sharers.contains(&from);
         sharers.retain(|&s| s != from);
@@ -556,11 +542,11 @@ impl DirEngine {
         self.stats.invs_sent += inv_i as u64;
 
         let acks = counter.unwrap_or(acks);
-        let entry = self.blocks.get_mut(&block).expect("entry exists");
+        let st = self.table.state_mut(id);
         if acks == 0 {
             // Nothing to invalidate: grant directly from software.
-            entry.set_sole_owner(from);
-            entry.set_overflowed(false);
+            st.hw.set_sole_owner(from);
+            st.hw.set_overflowed(false);
             let grant = if was_sharer {
                 ProtoMsg::UpgradeAck
             } else {
@@ -574,26 +560,27 @@ impl DirEngine {
                 },
             });
         } else {
-            entry.begin_transaction(HwState::WriteTransaction, acks, Some(from), true);
-            self.upgrade_pending.insert(block, was_sharer);
-            self.sw_transaction.insert(block, true);
+            st.hw
+                .begin_transaction(HwState::WriteTransaction, acks, Some(from), true);
+            st.upgrade_pending = was_sharer;
+            st.sw_transaction = true;
         }
         self.bill(out, bill);
     }
 
     // ----------------------------------------------- acknowledgments
 
-    fn handle_inv_ack(&mut self, block: BlockAddr, _from: NodeId) -> Outcome {
+    fn handle_inv_ack(&mut self, id: u32, _from: NodeId) -> Outcome {
         let mut out = Outcome::default();
         let timing = self.timing;
-        let entry = self.entry(block);
-        if entry.state() != HwState::WriteTransaction || entry.acks_pending() == 0 {
+        let st = self.table.state_mut(id);
+        if st.hw.state() != HwState::WriteTransaction || st.hw.acks_pending() == 0 {
             self.stats.stale_msgs += 1;
             out.stale = true;
             return out;
         }
-        let remaining = entry.count_ack();
-        let sw_round = self.sw_transaction.get(&block).copied().unwrap_or(false);
+        let remaining = st.hw.count_ack();
+        let sw_round = st.sw_transaction;
         out.hw_cycles = timing.dir_cycles;
 
         // Which acknowledgments trap? Every one under `EveryAckTrap`
@@ -614,15 +601,16 @@ impl DirEngine {
         }
 
         // Transaction complete: grant to the waiting requester.
-        let entry = self.blocks.get_mut(&block).expect("entry exists");
-        let requester = entry
+        let st = self.table.state_mut(id);
+        let requester = st
+            .hw
             .pending_requester()
             .expect("write transaction without requester");
-        let upgrade = self.upgrade_pending.remove(&block).unwrap_or(false);
-        entry.end_transaction();
-        entry.set_sole_owner(requester);
-        entry.set_overflowed(false);
-        self.sw_transaction.remove(&block);
+        let upgrade = std::mem::replace(&mut st.upgrade_pending, false);
+        st.hw.end_transaction();
+        st.hw.set_sole_owner(requester);
+        st.hw.set_overflowed(false);
+        st.sw_transaction = false;
         let grant = if upgrade {
             ProtoMsg::UpgradeAck
         } else {
@@ -649,6 +637,7 @@ impl DirEngine {
     fn handle_owner_ack(
         &mut self,
         block: BlockAddr,
+        id: u32,
         from: NodeId,
         had_data: bool,
         downgrade: bool,
@@ -656,10 +645,11 @@ impl DirEngine {
         let mut out = Outcome::default();
         let timing = self.timing;
         let all_sw = self.all_software();
-        let expecting = self.owner_fetch.get(&block) == Some(&from);
+        let st = self.table.state_mut(id);
+        let expecting = st.owner_fetch == Some(from);
         let in_fetch = expecting
             && matches!(
-                self.entry(block).state(),
+                st.hw.state(),
                 HwState::ReadTransaction | HwState::WriteTransaction
             );
         if !in_fetch || !had_data {
@@ -669,27 +659,27 @@ impl DirEngine {
             out.stale = true;
             return out;
         }
-        self.owner_fetch.remove(&block);
-        let entry = self.blocks.get_mut(&block).expect("entry exists");
-        let requester = entry
+        st.owner_fetch = None;
+        let requester = st
+            .hw
             .pending_requester()
             .expect("owner fetch without requester");
-        let was_read = entry.state() == HwState::ReadTransaction;
-        entry.end_transaction();
+        let was_read = st.hw.state() == HwState::ReadTransaction;
+        st.hw.end_transaction();
         out.hw_cycles = timing.dir_cycles + timing.dram_cycles;
 
         if was_read {
             debug_assert!(downgrade, "read transaction answered by FlushAck");
-            entry.set_state(HwState::ReadOnly);
-            entry.clear_owner();
+            st.hw.set_state(HwState::ReadOnly);
+            st.hw.clear_owner();
             // The owner keeps a shared copy; record owner then
             // requester, extending in software on overflow.
-            self.record_after_fetch(block, from, &mut out);
-            self.record_after_fetch(block, requester, &mut out);
+            self.record_after_fetch(block, id, from, &mut out);
+            self.record_after_fetch(block, id, requester, &mut out);
             out.hw_send(requester, ProtoMsg::ReadData, out.hw_cycles);
         } else {
-            entry.set_sole_owner(requester);
-            self.upgrade_pending.remove(&block);
+            st.hw.set_sole_owner(requester);
+            st.upgrade_pending = false;
             out.hw_send(requester, ProtoMsg::WriteData, out.hw_cycles);
         }
         if all_sw {
@@ -700,59 +690,59 @@ impl DirEngine {
 
     /// Records a sharer after an owner fetch, trapping to software on
     /// overflow exactly like a fresh read request.
-    fn record_after_fetch(&mut self, block: BlockAddr, node: NodeId, out: &mut Outcome) {
+    fn record_after_fetch(&mut self, block: BlockAddr, id: u32, node: NodeId, out: &mut Outcome) {
         let home = self.home;
         let spec = self.spec;
         let all_sw = self.all_software();
-        let entry = self.blocks.get_mut(&block).expect("entry exists");
+        let st = self.table.state_mut(id);
         if node == home && spec.local_bit {
-            entry.set_local_bit(true);
+            st.hw.set_local_bit(true);
             return;
         }
-        match entry.record_reader(node) {
+        match st.hw.record_reader(node) {
             PtrStoreOutcome::Stored if !all_sw => {}
             _ => {
                 if spec.sw == SwMode::Broadcast {
-                    entry.set_overflowed(true);
+                    st.hw.set_overflowed(true);
                 } else {
-                    self.run_read_overflow(block, node, out);
+                    self.run_read_overflow(block, id, node, out);
                 }
             }
         }
     }
 
-    fn handle_writeback(&mut self, block: BlockAddr, from: NodeId) -> Outcome {
+    fn handle_writeback(&mut self, block: BlockAddr, id: u32, from: NodeId) -> Outcome {
         let mut out = Outcome::default();
         let timing = self.timing;
         let all_sw = self.all_software();
-        let expecting = self.owner_fetch.get(&block) == Some(&from);
-        let state = self.entry(block).state();
         out.hw_cycles = timing.dir_cycles + timing.dram_cycles;
-        let entry = self.blocks.get_mut(&block).expect("entry exists");
-        match state {
-            HwState::ReadWrite if entry.owner() == Some(from) => {
-                entry.set_state(HwState::Uncached);
-                entry.clear_owner();
+        let st = self.table.state_mut(id);
+        let expecting = st.owner_fetch == Some(from);
+        match st.hw.state() {
+            HwState::ReadWrite if st.hw.owner() == Some(from) => {
+                st.hw.set_state(HwState::Uncached);
+                st.hw.clear_owner();
             }
             HwState::ReadTransaction | HwState::WriteTransaction if expecting => {
                 // The owner evicted while our fetch was in flight; the
                 // writeback carries the data, so complete the
                 // transaction now. The stale Flush/DowngradeAck that
                 // follows will be ignored.
-                self.owner_fetch.remove(&block);
-                let requester = entry
+                st.owner_fetch = None;
+                let requester = st
+                    .hw
                     .pending_requester()
                     .expect("owner fetch without requester");
-                let was_read = entry.state() == HwState::ReadTransaction;
-                entry.end_transaction();
+                let was_read = st.hw.state() == HwState::ReadTransaction;
+                st.hw.end_transaction();
                 if was_read {
-                    entry.set_state(HwState::ReadOnly);
-                    entry.clear_owner();
-                    self.record_after_fetch(block, requester, &mut out);
+                    st.hw.set_state(HwState::ReadOnly);
+                    st.hw.clear_owner();
+                    self.record_after_fetch(block, id, requester, &mut out);
                     out.hw_send(requester, ProtoMsg::ReadData, out.hw_cycles);
                 } else {
-                    entry.set_sole_owner(requester);
-                    self.upgrade_pending.remove(&block);
+                    st.hw.set_sole_owner(requester);
+                    st.upgrade_pending = false;
                     out.hw_send(requester, ProtoMsg::WriteData, out.hw_cycles);
                 }
             }
@@ -770,14 +760,13 @@ impl DirEngine {
 
     // -------------------------------------------------------- helpers
 
-    fn send_busy(&mut self, block: BlockAddr, from: NodeId, out: &mut Outcome) {
+    fn send_busy(&mut self, id: u32, from: NodeId, out: &mut Outcome) {
         self.stats.busys_sent += 1;
         // During a software-managed acknowledgment round (`S_{NB,ACK}`
         // and the software-only directory) even the BUSY bounce is a
         // software action.
-        let sw_round = self.sw_transaction.get(&block).copied().unwrap_or(false);
-        let sw_busy =
-            self.all_software() || (sw_round && self.spec.ack == AckMode::EveryAckTrap);
+        let sw_round = self.table.state(id).sw_transaction;
+        let sw_busy = self.all_software() || (sw_round && self.spec.ack == AckMode::EveryAckTrap);
         if sw_busy {
             let bill = self.costs.busy_trap();
             out.sends.push(Send {
@@ -885,7 +874,10 @@ mod tests {
         let out = write(&mut e, 1, 1);
         assert!(out.trap.is_none());
         // 14 invalidations (everyone but the writer), all hardware.
-        assert_eq!(out.sends.iter().filter(|s| s.msg == ProtoMsg::Inv).count(), 14);
+        assert_eq!(
+            out.sends.iter().filter(|s| s.msg == ProtoMsg::Inv).count(),
+            14
+        );
     }
 
     #[test]
@@ -895,7 +887,10 @@ mod tests {
         read(&mut e, 1, 2);
         let out = write(&mut e, 1, 3);
         assert!(out.trap.is_none());
-        assert_eq!(out.sends.iter().filter(|s| s.msg == ProtoMsg::Inv).count(), 2);
+        assert_eq!(
+            out.sends.iter().filter(|s| s.msg == ProtoMsg::Inv).count(),
+            2
+        );
         // First ack: nothing. Second: grant.
         assert!(ack(&mut e, 1, 1).sends.is_empty());
         let done = ack(&mut e, 1, 2);
@@ -923,9 +918,15 @@ mod tests {
         let out = write(&mut e, 1, 9);
         let bill = out.trap.expect("overflowed write must trap");
         assert_eq!(bill.kind, HandlerKind::WriteExtend);
-        let invs: Vec<_> = out.sends.iter().filter(|s| s.msg == ProtoMsg::Inv).collect();
+        let invs: Vec<_> = out
+            .sends
+            .iter()
+            .filter(|s| s.msg == ProtoMsg::Inv)
+            .collect();
         assert_eq!(invs.len(), 5);
-        assert!(invs.iter().all(|s| matches!(s.timing, SendTiming::Sw { .. })));
+        assert!(invs
+            .iter()
+            .all(|s| matches!(s.timing, SendTiming::Sw { .. })));
         // Acks complete in hardware for the 2-pointer protocol.
         for n in 1..=4 {
             assert!(ack(&mut e, 1, n).sends.is_empty());
@@ -1038,8 +1039,8 @@ mod tests {
         let mut e = engine(ProtocolSpec::limitless(5));
         write(&mut e, 1, 3);
         write(&mut e, 1, 4); // Flush in flight to node 3
-        // Node 3's writeback (sent before the Flush arrived) comes
-        // first under FIFO delivery:
+                             // Node 3's writeback (sent before the Flush arrived) comes
+                             // first under FIFO delivery:
         let wb = e.handle(BlockAddr(1), DirEvent::Writeback { from: NodeId(3) });
         assert_eq!(wb.sends[0].msg, ProtoMsg::WriteData);
         assert_eq!(wb.sends[0].dst, NodeId(4));
@@ -1089,8 +1090,14 @@ mod tests {
         let mut e = engine(ProtocolSpec::zero_ptr());
         assert!(e.local_fast_path(BlockAddr(1)));
         let out = read(&mut e, 1, 5);
-        assert!(out.invalidate_local, "first remote access flushes home cache");
-        assert!(out.trap.is_some(), "software-only directory traps on everything");
+        assert!(
+            out.invalidate_local,
+            "first remote access flushes home cache"
+        );
+        assert!(
+            out.trap.is_some(),
+            "software-only directory traps on everything"
+        );
         assert!(!e.local_fast_path(BlockAddr(1)));
         // Non-zero-pointer protocols never use the fast path.
         let e2 = engine(ProtocolSpec::limitless(1));
@@ -1104,7 +1111,10 @@ mod tests {
         read(&mut e, 1, 6);
         let out = write(&mut e, 1, 7);
         assert!(out.trap.is_some());
-        assert_eq!(out.sends.iter().filter(|s| s.msg == ProtoMsg::Inv).count(), 2);
+        assert_eq!(
+            out.sends.iter().filter(|s| s.msg == ProtoMsg::Inv).count(),
+            2
+        );
         // Acks trap (EveryAckTrap mode).
         assert!(ack(&mut e, 1, 5).trap.is_some());
         let done = ack(&mut e, 1, 6);

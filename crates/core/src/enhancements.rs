@@ -327,7 +327,10 @@ mod tests {
         let p = h.profile(BlockAddr(7)).expect("profiled");
         assert_eq!(p.read_overflows, 3);
         assert_eq!(p.classify(), Some(BlockClass::WidelySharedReadOnly));
-        assert_eq!(h.report(), vec![(BlockAddr(7), BlockClass::WidelySharedReadOnly)]);
+        assert_eq!(
+            h.report(),
+            vec![(BlockAddr(7), BlockClass::WidelySharedReadOnly)]
+        );
     }
 
     #[test]

@@ -408,8 +408,12 @@ mod tests {
         let spec = ProtocolSpec::limitless(2);
         let mut ctx = HandlerCtx::new(NodeId(0), 16, spec, BlockAddr(7), &mut hw, &mut sw);
         LimitlessHandler.read_overflow(&mut ctx, NodeId(3));
-        let (bill, sends, counter, local) =
-            ctx.finish(HandlerKind::ReadExtend, false, &CostModel::new(HandlerImpl::FlexibleC), false);
+        let (bill, sends, counter, local) = ctx.finish(
+            HandlerKind::ReadExtend,
+            false,
+            &CostModel::new(HandlerImpl::FlexibleC),
+            false,
+        );
         assert!(bill.total() > 0);
         assert!(sends.is_empty());
         assert_eq!(counter, None);
@@ -433,8 +437,12 @@ mod tests {
         let sharers = ctx.sharers();
         let acks = LimitlessHandler.write_overflow(&mut ctx, NodeId(9), &sharers);
         assert_eq!(acks, 3);
-        let (bill, sends, counter, _) =
-            ctx.finish(HandlerKind::WriteExtend, true, &CostModel::new(HandlerImpl::FlexibleC), false);
+        let (bill, sends, counter, _) = ctx.finish(
+            HandlerKind::WriteExtend,
+            true,
+            &CostModel::new(HandlerImpl::FlexibleC),
+            false,
+        );
         assert_eq!(sends.iter().filter(|s| s.is_inv).count(), 3);
         assert_eq!(counter, Some(3));
         assert!(bill.total() > 0);
@@ -454,8 +462,12 @@ mod tests {
         assert!(sharers.contains(&NodeId(0)));
         let acks = LimitlessHandler.write_overflow(&mut ctx, NodeId(9), &sharers);
         assert_eq!(acks, 1); // local copy invalidated synchronously
-        let (_, _, _, local) =
-            ctx.finish(HandlerKind::WriteExtend, true, &CostModel::new(HandlerImpl::FlexibleC), false);
+        let (_, _, _, local) = ctx.finish(
+            HandlerKind::WriteExtend,
+            true,
+            &CostModel::new(HandlerImpl::FlexibleC),
+            false,
+        );
         assert!(local);
         assert!(!hw.local_bit());
     }
@@ -469,12 +481,18 @@ mod tests {
         let acks = BroadcastHandler.write_overflow(&mut ctx, NodeId(3), &[]);
         // 8 nodes minus the writer minus the home = 6 network invs.
         assert_eq!(acks, 6);
-        let (_, sends, counter, local) =
-            ctx.finish(HandlerKind::WriteExtend, true, &CostModel::new(HandlerImpl::FlexibleC), false);
+        let (_, sends, counter, local) = ctx.finish(
+            HandlerKind::WriteExtend,
+            true,
+            &CostModel::new(HandlerImpl::FlexibleC),
+            false,
+        );
         assert_eq!(sends.len(), 6);
         assert!(local); // home's own copy handled locally
         assert_eq!(counter, Some(6));
-        assert!(sends.iter().all(|s| s.dst != NodeId(3) && s.dst != NodeId(0)));
+        assert!(sends
+            .iter()
+            .all(|s| s.dst != NodeId(3) && s.dst != NodeId(0)));
     }
 
     #[test]
@@ -494,8 +512,12 @@ mod tests {
         let spec = ProtocolSpec::limitless(2);
         let mut ctx = HandlerCtx::new(NodeId(0), 16, spec, BlockAddr(7), &mut hw, &mut sw);
         ctx.charge(Activity::DataTransmit, 123);
-        let (bill, ..) =
-            ctx.finish(HandlerKind::ReadExtend, false, &CostModel::new(HandlerImpl::FlexibleC), false);
+        let (bill, ..) = ctx.finish(
+            HandlerKind::ReadExtend,
+            false,
+            &CostModel::new(HandlerImpl::FlexibleC),
+            false,
+        );
         assert!(bill.total() >= 123);
     }
 }

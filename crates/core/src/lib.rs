@@ -47,6 +47,7 @@ pub mod enhancements;
 pub mod iface;
 pub mod msg;
 pub mod spec;
+pub mod table;
 
 pub use cost::{CostModel, HandlerImpl, HandlerKind, TrapBill};
 pub use engine::{DirEngine, DirEvent, EngineStats, HwTiming, Outcome, Send, SendTiming};
@@ -54,3 +55,4 @@ pub use enhancements::{AdaptiveBroadcastHandler, MigratoryHandler, ProfilingHand
 pub use iface::{BroadcastHandler, ExtensionHandler, HandlerCtx, LimitlessHandler};
 pub use msg::{BlockMsg, ProtoMsg};
 pub use spec::{AckMode, ProtocolSpec, SwMode};
+pub use table::{BlockState, DirectoryTable};

@@ -1,0 +1,150 @@
+//! The unified per-block directory table.
+//!
+//! Each directory event used to consult up to five parallel
+//! `HashMap<BlockAddr, …>`s (hardware entry, zero-pointer
+//! remote-access bit, upgrade-pending flag, owner-fetch target,
+//! software-transaction flag). `DirectoryTable` collapses them into a
+//! single [`BlockState`] record held in dense storage and keyed by an
+//! interned block id, so one lookup pins down everything the engine
+//! knows about a block. The interning map uses the deterministic
+//! [`FxHashMap`] — one fast hash per event instead of up to five
+//! SipHash probes.
+
+use limitless_dir::HwDirEntry;
+use limitless_sim::{BlockAddr, FxHashMap, NodeId};
+
+/// Everything the home node tracks about one block.
+#[derive(Clone, Debug)]
+pub struct BlockState {
+    /// The hardware directory entry (state machine, pointer array,
+    /// local bit, overflow bit, transaction bookkeeping).
+    pub hw: HwDirEntry,
+    /// Zero-pointer protocol: the block has been accessed by a remote
+    /// node (the per-block extra bit of §2.3). Never reset.
+    pub remote_accessed: bool,
+    /// The in-flight write transaction grants an upgrade (permission
+    /// without data).
+    pub upgrade_pending: bool,
+    /// The owner this block is waiting on for a Flush/Downgrade
+    /// response, if any.
+    pub owner_fetch: Option<NodeId>,
+    /// The current write transaction was initiated by software
+    /// (determines LACK/ACK behaviour on completion).
+    pub sw_transaction: bool,
+}
+
+impl BlockState {
+    fn new(capacity: usize) -> Self {
+        BlockState {
+            hw: HwDirEntry::new(capacity),
+            remote_accessed: false,
+            upgrade_pending: false,
+            owner_fetch: None,
+            sw_transaction: false,
+        }
+    }
+}
+
+/// Dense, interned storage of [`BlockState`] records for one home
+/// node.
+///
+/// Block addresses are interned to consecutive `u32` ids on first
+/// touch; the ids index a dense `Vec`, so repeated events on the same
+/// block (the common case — coherence traffic is bursty per block)
+/// cost one hash and one bounds-checked index.
+#[derive(Clone, Debug, Default)]
+pub struct DirectoryTable {
+    ids: FxHashMap<BlockAddr, u32>,
+    states: Vec<BlockState>,
+}
+
+impl DirectoryTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        DirectoryTable::default()
+    }
+
+    /// Number of blocks ever touched.
+    pub fn len(&self) -> usize {
+        self.states.len()
+    }
+
+    /// Whether no block has been touched.
+    pub fn is_empty(&self) -> bool {
+        self.states.is_empty()
+    }
+
+    /// Interns `block`, creating a fresh [`BlockState`] with hardware
+    /// pointer capacity `capacity` on first touch.
+    pub fn intern(&mut self, block: BlockAddr, capacity: usize) -> u32 {
+        if let Some(&id) = self.ids.get(&block) {
+            return id;
+        }
+        let id = u32::try_from(self.states.len()).expect("more than 2^32 blocks interned");
+        self.ids.insert(block, id);
+        self.states.push(BlockState::new(capacity));
+        id
+    }
+
+    /// The state for an interned id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was not produced by [`DirectoryTable::intern`].
+    pub fn state_mut(&mut self, id: u32) -> &mut BlockState {
+        &mut self.states[id as usize]
+    }
+
+    /// Shared view of the state for an interned id.
+    pub fn state(&self, id: u32) -> &BlockState {
+        &self.states[id as usize]
+    }
+
+    /// One-lookup combined intern + fetch.
+    pub fn entry(&mut self, block: BlockAddr, capacity: usize) -> &mut BlockState {
+        let id = self.intern(block, capacity);
+        &mut self.states[id as usize]
+    }
+
+    /// Read-only lookup without interning (for `&self` queries on
+    /// blocks that may never have been touched).
+    pub fn get(&self, block: BlockAddr) -> Option<&BlockState> {
+        self.ids.get(&block).map(|&id| &self.states[id as usize])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_stable() {
+        let mut t = DirectoryTable::new();
+        let a = t.intern(BlockAddr(10), 5);
+        let b = t.intern(BlockAddr(20), 5);
+        assert_ne!(a, b);
+        assert_eq!(t.intern(BlockAddr(10), 5), a);
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn fresh_state_is_inert() {
+        let mut t = DirectoryTable::new();
+        let st = t.entry(BlockAddr(1), 3);
+        assert!(!st.remote_accessed);
+        assert!(!st.upgrade_pending);
+        assert!(st.owner_fetch.is_none());
+        assert!(!st.sw_transaction);
+        assert_eq!(st.hw.ptr_count(), 0);
+    }
+
+    #[test]
+    fn state_persists_across_lookups() {
+        let mut t = DirectoryTable::new();
+        t.entry(BlockAddr(1), 3).remote_accessed = true;
+        t.entry(BlockAddr(2), 3).owner_fetch = Some(NodeId(7));
+        assert!(t.get(BlockAddr(1)).unwrap().remote_accessed);
+        assert_eq!(t.get(BlockAddr(2)).unwrap().owner_fetch, Some(NodeId(7)));
+        assert!(t.get(BlockAddr(3)).is_none());
+    }
+}

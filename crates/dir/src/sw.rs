@@ -9,9 +9,8 @@
 //! plus operation counts so the cost model has something to bill.
 
 use std::collections::hash_map::Entry;
-use std::collections::HashMap;
 
-use limitless_sim::{BlockAddr, NodeId};
+use limitless_sim::{BlockAddr, FxHashMap, NodeId};
 
 /// The software extension record for one overflowed block: the
 /// pointers that did not fit in hardware.
@@ -93,7 +92,7 @@ pub struct SwDirStats {
 /// ```
 #[derive(Clone, Debug, Default)]
 pub struct SwDirectory {
-    table: HashMap<BlockAddr, SwDirEntry>,
+    table: FxHashMap<BlockAddr, SwDirEntry>,
     free_list: Vec<SwDirEntry>,
     stats: SwDirStats,
 }

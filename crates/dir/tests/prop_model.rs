@@ -55,7 +55,11 @@ fn drain_empties_exactly() {
         }
         let mut drained: Vec<u16> = e.drain_ptrs().iter().map(|p| p.0).collect();
         drained.sort_unstable();
-        assert_eq!(drained, model.into_iter().collect::<Vec<_>>(), "case {case}");
+        assert_eq!(
+            drained,
+            model.into_iter().collect::<Vec<_>>(),
+            "case {case}"
+        );
         assert_eq!(e.ptr_count(), 0, "case {case}");
     }
 }
@@ -80,8 +84,11 @@ fn sw_directory_matches_set_model() {
                     .map(|p| p.0)
                     .collect();
                 got.sort_unstable();
-                let want: Vec<u16> =
-                    model.remove(&block).unwrap_or_default().into_iter().collect();
+                let want: Vec<u16> = model
+                    .remove(&block)
+                    .unwrap_or_default()
+                    .into_iter()
+                    .collect();
                 assert_eq!(got, want, "case {case}");
             } else {
                 let newly = d.record_reader(BlockAddr(block), NodeId(node));

@@ -251,7 +251,10 @@ mod tests {
     fn victim_cache_switch() {
         let on = MachineConfig::builder().victim_cache(true).build();
         assert_eq!(on.cache.victim_lines, 4);
-        let off = MachineConfig::builder().victim_cache(true).victim_cache(false).build();
+        let off = MachineConfig::builder()
+            .victim_cache(true)
+            .victim_cache(false)
+            .build();
         assert_eq!(off.cache.victim_lines, 0);
     }
 

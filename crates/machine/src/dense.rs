@@ -1,0 +1,90 @@
+//! Interned dense storage for hot per-key machine state.
+//!
+//! Keys (word addresses, lock ids) are interned to consecutive `u32`
+//! ids on first touch via the deterministic [`FxHashMap`]; the ids
+//! index a dense `Vec`, so a repeated access costs one fast hash and
+//! one bounds-checked index instead of a SipHash probe per map.
+
+use std::hash::Hash;
+
+use limitless_sim::FxHashMap;
+
+#[derive(Clone, Debug)]
+pub(crate) struct DenseMap<K, V> {
+    ids: FxHashMap<K, u32>,
+    values: Vec<V>,
+}
+
+impl<K, V> Default for DenseMap<K, V> {
+    fn default() -> Self {
+        DenseMap {
+            ids: FxHashMap::default(),
+            values: Vec::new(),
+        }
+    }
+}
+
+impl<K: Eq + Hash + Copy, V: Default> DenseMap<K, V> {
+    /// Read-only lookup without interning.
+    pub(crate) fn get(&self, k: K) -> Option<&V> {
+        self.ids.get(&k).map(|&id| &self.values[id as usize])
+    }
+
+    /// Mutable lookup without interning.
+    pub(crate) fn get_mut(&mut self, k: K) -> Option<&mut V> {
+        match self.ids.get(&k) {
+            Some(&id) => Some(&mut self.values[id as usize]),
+            None => None,
+        }
+    }
+
+    /// Interns `k` (default-initializing its slot on first touch) and
+    /// returns the value.
+    pub(crate) fn entry(&mut self, k: K) -> &mut V {
+        let id = match self.ids.get(&k) {
+            Some(&id) => id,
+            None => {
+                let id = u32::try_from(self.values.len()).expect("dense map id overflow");
+                self.ids.insert(k, id);
+                self.values.push(V::default());
+                id
+            }
+        };
+        &mut self.values[id as usize]
+    }
+
+    /// Number of interned keys.
+    #[cfg(test)]
+    pub(crate) fn len(&self) -> usize {
+        self.values.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn entry_interns_and_persists() {
+        let mut m: DenseMap<u64, u64> = DenseMap::default();
+        *m.entry(10) = 7;
+        *m.entry(20) = 8;
+        assert_eq!(m.get(10), Some(&7));
+        assert_eq!(m.get(20), Some(&8));
+        assert_eq!(m.get(30), None);
+        assert_eq!(m.len(), 2);
+        *m.entry(10) = 9;
+        assert_eq!(m.get(10), Some(&9));
+        assert_eq!(m.len(), 2);
+    }
+
+    #[test]
+    fn get_mut_does_not_intern() {
+        let mut m: DenseMap<u64, u64> = DenseMap::default();
+        assert!(m.get_mut(1).is_none());
+        assert_eq!(m.len(), 0);
+        *m.entry(1) = 3;
+        *m.get_mut(1).unwrap() += 1;
+        assert_eq!(m.get(1), Some(&4));
+    }
+}

@@ -48,16 +48,20 @@
 //! ```
 
 pub mod config;
+mod dense;
 pub mod machine;
 pub mod program;
 pub mod registry;
+mod run_loop;
 pub mod stats;
+mod sync;
+mod trap_path;
 
 pub use config::{MachineConfig, MachineConfigBuilder, ProcTiming, WatchdogConfig};
 pub use machine::Machine;
 pub use program::{FnProgram, Op, Program, Rmw, ScriptProgram};
 pub use registry::CoherenceRegistry;
-pub use stats::{MachineStats, RunReport};
+pub use stats::{BillAggregator, MachineStats, RunReport};
 
 #[cfg(test)]
 mod tests;

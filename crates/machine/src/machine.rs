@@ -1,27 +1,32 @@
-//! The full machine: nodes, network, trap model, barrier runtime and
-//! the event loop.
+//! The simulated multiprocessor: per-node state, shared memory and
+//! construction.
+//!
+//! The behaviour is split across sibling modules, all `impl Machine`
+//! blocks over the state defined here:
+//!
+//! * [`crate::run_loop`] — the event loop, program stepping and the
+//!   requester-side protocol (miss issue, fills, retries, network
+//!   delivery);
+//! * [`crate::trap_path`] — the home-side trap model: handler
+//!   occupancy, watchdog bookkeeping and Table 1/2 billing;
+//! * [`crate::sync`] — the barrier and FIFO-lock runtime (§7 data
+//!   types).
 
-use std::collections::HashMap;
-
-use limitless_cache::{Access, CacheSystem, InstrFootprint};
-use limitless_core::{BlockMsg, DirEngine, DirEvent, HandlerKind, ProtoMsg, SendTiming};
+use limitless_cache::{CacheSystem, InstrFootprint};
+use limitless_core::{BlockMsg, DirEngine};
 use limitless_net::{MeshTopology, Network};
 use limitless_sim::{Addr, BlockAddr, Cycle, EventQueue, NodeId};
 use limitless_stats::WorkerSetTracker;
 
 use crate::config::MachineConfig;
-use crate::program::{Op, Program, Rmw};
+use crate::dense::DenseMap;
+use crate::program::{Program, Rmw};
 use crate::registry::CoherenceRegistry;
 use crate::stats::{MachineStats, RunReport};
-
-/// Retain at most this many trap ledgers for Table 2 analysis.
-const MAX_RETAINED_BILLS: usize = 50_000;
-/// Hard ceiling on simulation events — a drained queue that never
-/// empties indicates livelock, which is a bug this backstop surfaces.
-const MAX_EVENTS: u64 = 4_000_000_000;
+use crate::sync::LockState;
 
 #[derive(Debug)]
-enum Ev {
+pub(crate) enum Ev {
     /// The node's processor is ready for its next operation.
     Resume(NodeId),
     /// A protocol message arrives at `dst`.
@@ -40,44 +45,33 @@ enum Ev {
 }
 
 #[derive(Debug)]
-struct Pending {
-    addr: Addr,
-    is_write: bool,
-    wvalue: u64,
-    rmw: Option<Rmw>,
-    retries: u32,
+pub(crate) struct Pending {
+    pub(crate) addr: Addr,
+    pub(crate) is_write: bool,
+    pub(crate) wvalue: u64,
+    pub(crate) rmw: Option<Rmw>,
+    pub(crate) retries: u32,
     /// The transaction was invalidated while its fill was in flight
     /// (window of vulnerability): complete the access when the data
     /// arrives, but do not install the line.
-    squashed: bool,
+    pub(crate) squashed: bool,
 }
 
-/// Cycles for an uncontended lock acquire or a lock hand-over (a
-/// round trip to the lock object's home, serviced by the protocol
-/// extension software's lock handler).
-const LOCK_LATENCY: u64 = 40;
-
-#[derive(Debug, Default)]
-struct LockState {
-    holder: Option<NodeId>,
-    waiters: std::collections::VecDeque<NodeId>,
-}
-
-struct NodeCtx {
-    cache: CacheSystem,
-    engine: DirEngine,
-    program: Box<dyn Program>,
-    footprint: Option<InstrFootprint>,
-    pending: Option<Pending>,
+pub(crate) struct NodeCtx {
+    pub(crate) cache: CacheSystem,
+    pub(crate) engine: DirEngine,
+    pub(crate) program: Box<dyn Program>,
+    pub(crate) footprint: Option<InstrFootprint>,
+    pub(crate) pending: Option<Pending>,
     /// The home processor is occupied by protocol handlers until this
     /// cycle.
-    trap_busy_until: Cycle,
+    pub(crate) trap_busy_until: Cycle,
     /// Watchdog: asynchronous events are shut off until this cycle.
-    handlers_off_until: Cycle,
+    pub(crate) handlers_off_until: Cycle,
     /// Handler cycles accumulated since user code last made progress.
-    trap_accum: u64,
-    done: bool,
-    last_value: Option<u64>,
+    pub(crate) trap_accum: u64,
+    pub(crate) done: bool,
+    pub(crate) last_value: Option<u64>,
 }
 
 impl std::fmt::Debug for NodeCtx {
@@ -110,13 +104,14 @@ impl std::fmt::Debug for NodeCtx {
 /// assert!(report.cycles.as_u64() > 0);
 /// ```
 pub struct Machine {
-    cfg: MachineConfig,
-    net: Network,
-    nodes: Vec<NodeCtx>,
-    mem: HashMap<Addr, u64>,
-    registry: Option<CoherenceRegistry>,
-    tracker: Option<WorkerSetTracker>,
-    queue: EventQueue<Ev>,
+    pub(crate) cfg: MachineConfig,
+    pub(crate) net: Network,
+    pub(crate) nodes: Vec<NodeCtx>,
+    /// Shadow of shared memory, interned-dense keyed by word address.
+    pub(crate) mem: DenseMap<Addr, u64>,
+    pub(crate) registry: Option<CoherenceRegistry>,
+    pub(crate) tracker: Option<WorkerSetTracker>,
+    pub(crate) queue: EventQueue<Ev>,
     /// Per-node CMMU-internal loopback channel: the delivery time of
     /// the most recent home↔home message. Local protocol traffic
     /// (the home's own requests/fills and `LocalInv`) does not touch
@@ -124,16 +119,16 @@ pub struct Machine {
     /// invalidation can never pass a local fill that is still in
     /// flight (window-of-vulnerability closure), and never queues
     /// behind unrelated network traffic.
-    loopback_free: Vec<Cycle>,
-    barrier_waiting: Vec<NodeId>,
+    pub(crate) loopback_free: Vec<Cycle>,
+    pub(crate) barrier_waiting: Vec<NodeId>,
     /// FIFO locks (the §7 lock data type): holder plus waiters in
-    /// strict arrival order.
-    locks: HashMap<u32, LockState>,
-    barrier_generation: u64,
-    finished: usize,
-    finish_time: Cycle,
-    stats: MachineStats,
-    loaded: bool,
+    /// strict arrival order, interned-dense keyed by lock id.
+    pub(crate) locks: DenseMap<u32, LockState>,
+    pub(crate) barrier_generation: u64,
+    pub(crate) finished: usize,
+    pub(crate) finish_time: Cycle,
+    pub(crate) stats: MachineStats,
+    pub(crate) loaded: bool,
 }
 
 impl std::fmt::Debug for Machine {
@@ -175,11 +170,11 @@ impl Machine {
             tracker: cfg.track_worker_sets.then(WorkerSetTracker::new),
             net,
             nodes,
-            mem: HashMap::new(),
+            mem: DenseMap::default(),
             queue: EventQueue::new(),
             loopback_free: vec![Cycle::ZERO; cfg.nodes],
             barrier_waiting: Vec::new(),
-            locks: HashMap::new(),
+            locks: DenseMap::default(),
             barrier_generation: 0,
             finished: 0,
             finish_time: Cycle::ZERO,
@@ -201,7 +196,7 @@ impl Machine {
 
     /// Pre-initializes a shared-memory word (program input data).
     pub fn poke(&mut self, addr: Addr, value: u64) {
-        self.mem.insert(addr, value);
+        *self.mem.entry(addr) = value;
     }
 
     /// Installs a custom protocol extension handler on every node's
@@ -220,7 +215,7 @@ impl Machine {
 
     /// Reads a shared-memory word after a run (program output data).
     pub fn peek(&self, addr: Addr) -> u64 {
-        self.mem.get(&addr).copied().unwrap_or(0)
+        self.mem.get(addr).copied().unwrap_or(0)
     }
 
     /// Loads one program per node.
@@ -244,45 +239,11 @@ impl Machine {
         self.loaded = true;
     }
 
-    /// Runs the machine until every program has finished and all
-    /// protocol traffic has drained. Returns the measurements.
-    ///
-    /// # Panics
-    ///
-    /// Panics if no programs were loaded, if the event limit is
-    /// exceeded (livelock backstop), or — with coherence checking
-    /// enabled — on a protocol invariant violation.
-    pub fn run(&mut self) -> RunReport {
-        assert!(self.loaded, "load programs before running");
-        for i in 0..self.nodes.len() {
-            self.queue.schedule(Cycle::ZERO, Ev::Resume(NodeId::from_index(i)));
-        }
-        let max_events = std::env::var("LIMITLESS_MAX_EVENTS")
-            .ok()
-            .and_then(|v| v.parse().ok())
-            .unwrap_or(MAX_EVENTS);
-        while let Some((now, ev)) = self.queue.pop() {
-            assert!(
-                self.queue.processed() < max_events,
-                "event limit exceeded: probable livelock at {now}"
-            );
-            match ev {
-                Ev::Resume(n) => self.step_program(n, now),
-                Ev::Deliver { src, dst, bm } => self.deliver(src, dst, bm, now),
-                Ev::Retry(n) => self.retry(n, now),
-                Ev::BarrierRelease(generation) => self.release_barrier(generation, now),
-                Ev::LockGrant(lock, holder) => self.grant_lock(lock, holder, now),
-            }
-        }
-        assert_eq!(
-            self.finished,
-            self.nodes.len(),
-            "simulation drained with unfinished programs (deadlock?)"
-        );
-        self.collect_report()
+    pub(crate) fn home_of(&self, block: BlockAddr) -> NodeId {
+        NodeId::from_index((block.0 % self.nodes.len() as u64) as usize)
     }
 
-    fn collect_report(&mut self) -> RunReport {
+    pub(crate) fn collect_report(&mut self, wall_seconds: f64) -> RunReport {
         let mut stats = std::mem::take(&mut self.stats);
         for n in &self.nodes {
             stats.absorb_node(n.engine.stats(), n.cache.stats());
@@ -292,553 +253,8 @@ impl Machine {
         RunReport {
             cycles: self.finish_time,
             events: self.queue.processed(),
+            wall_seconds,
             stats,
         }
-    }
-
-    // ------------------------------------------------------ programs
-
-    fn step_program(&mut self, n: NodeId, now: Cycle) {
-        let i = n.index();
-        if self.nodes[i].done {
-            return;
-        }
-        // Protocol handlers steal processor cycles: user code resumes
-        // only when the handler (and any watchdog grace) completes.
-        let busy = self.nodes[i].trap_busy_until;
-        if busy > now {
-            self.queue.schedule(busy, Ev::Resume(n));
-            return;
-        }
-        self.nodes[i].trap_accum = 0; // user code made progress
-
-        let last = self.nodes[i].last_value.take();
-        let op = self.nodes[i].program.next(n, last);
-        match op {
-            Op::Compute(c) => {
-                let instr_blocks = (c / 8).max(1);
-                let penalty = self.ifetch(i, instr_blocks, now);
-                self.queue.schedule(now + Cycle(c) + Cycle(penalty), Ev::Resume(n));
-            }
-            Op::Barrier => {
-                self.barrier_waiting.push(n);
-                self.check_barrier(now);
-            }
-            Op::LockAcquire(lock) => {
-                let st = self.locks.entry(lock).or_default();
-                if st.holder.is_none() && st.waiters.is_empty() {
-                    // Uncontended: one round trip to the lock object.
-                    st.holder = Some(n);
-                    self.queue.schedule(now + Cycle(LOCK_LATENCY), Ev::Resume(n));
-                } else {
-                    st.waiters.push_back(n); // strict FIFO
-                }
-            }
-            Op::LockRelease(lock) => {
-                let st = self
-                    .locks
-                    .get_mut(&lock)
-                    .unwrap_or_else(|| panic!("release of unknown lock {lock}"));
-                assert_eq!(
-                    st.holder,
-                    Some(n),
-                    "node {n} released lock {lock} it does not hold"
-                );
-                st.holder = None;
-                if let Some(next) = st.waiters.pop_front() {
-                    // Hand-over latency: the protocol software passes
-                    // the lock straight to the oldest waiter.
-                    self.queue
-                        .schedule(now + Cycle(LOCK_LATENCY), Ev::LockGrant(lock, next));
-                }
-                self.queue.schedule(now + Cycle(4), Ev::Resume(n));
-            }
-            Op::Finish => {
-                self.nodes[i].done = true;
-                self.finished += 1;
-                self.finish_time = self.finish_time.max(now);
-                // A finishing node may complete the barrier for the
-                // rest.
-                self.check_barrier(now);
-            }
-            Op::Read(addr) => {
-                let penalty = self.ifetch(i, 1, now);
-                let block = addr.block(self.cfg.cache.line_bytes);
-                match self.nodes[i].cache.read(block) {
-                    Access::Hit => {
-                        self.stats.hits += 1;
-                        self.finish_access(n, addr, false, None, 0, now + Cycle(self.cfg.proc.hit + penalty));
-                    }
-                    Access::VictimHit => {
-                        self.stats.hits += 1;
-                        self.finish_access(
-                            n,
-                            addr,
-                            false,
-                            None,
-                            0,
-                            now + Cycle(self.cfg.proc.hit + self.cfg.proc.victim_hit + penalty),
-                        );
-                    }
-                    Access::UpgradeMiss | Access::Miss { .. } => {
-                        self.start_miss(n, addr, false, 0, None, now + Cycle(penalty));
-                    }
-                }
-            }
-            Op::Write(addr, v) => self.write_like(n, addr, v, None, now),
-            Op::Rmw(addr, rmw) => self.write_like(n, addr, 0, Some(rmw), now),
-        }
-    }
-
-    fn write_like(&mut self, n: NodeId, addr: Addr, v: u64, rmw: Option<Rmw>, now: Cycle) {
-        let i = n.index();
-        let penalty = self.ifetch(i, 1, now);
-        let block = addr.block(self.cfg.cache.line_bytes);
-        match self.nodes[i].cache.write(block) {
-            Access::Hit => {
-                self.stats.hits += 1;
-                self.finish_access(n, addr, true, rmw, v, now + Cycle(self.cfg.proc.hit + penalty));
-            }
-            Access::VictimHit => {
-                self.stats.hits += 1;
-                self.finish_access(
-                    n,
-                    addr,
-                    true,
-                    rmw,
-                    v,
-                    now + Cycle(self.cfg.proc.hit + self.cfg.proc.victim_hit + penalty),
-                );
-            }
-            Access::UpgradeMiss | Access::Miss { .. } => {
-                self.start_miss(n, addr, true, v, rmw, now + Cycle(penalty));
-            }
-        }
-    }
-
-    /// Completes a memory operation at time `t`: applies its effect to
-    /// shadow memory and resumes the program.
-    fn finish_access(
-        &mut self,
-        n: NodeId,
-        addr: Addr,
-        is_write: bool,
-        rmw: Option<Rmw>,
-        wvalue: u64,
-        t: Cycle,
-    ) {
-        let i = n.index();
-        if is_write {
-            self.stats.writes += 1;
-            let old = self.mem.get(&addr).copied().unwrap_or(0);
-            match rmw {
-                Some(r) => {
-                    self.mem.insert(addr, r.apply(old));
-                    self.nodes[i].last_value = Some(old);
-                }
-                None => {
-                    self.mem.insert(addr, wvalue);
-                }
-            }
-        } else {
-            self.stats.reads += 1;
-            self.nodes[i].last_value = Some(self.mem.get(&addr).copied().unwrap_or(0));
-        }
-        if let Some(t) = self.tracker.as_mut() {
-            let block = addr.block(self.cfg.cache.line_bytes);
-            t.touch(block.0, n.0, is_write);
-        }
-        self.queue.schedule(t, Ev::Resume(n));
-    }
-
-    fn home_of(&self, block: BlockAddr) -> NodeId {
-        NodeId::from_index((block.0 % self.nodes.len() as u64) as usize)
-    }
-
-    fn start_miss(
-        &mut self,
-        n: NodeId,
-        addr: Addr,
-        is_write: bool,
-        wvalue: u64,
-        rmw: Option<Rmw>,
-        now: Cycle,
-    ) {
-        self.stats.misses += 1;
-        let i = n.index();
-        let block = addr.block(self.cfg.cache.line_bytes);
-        let home = self.home_of(block);
-
-        // The software-only directory's uniprocessor fast path: local
-        // blocks never touched by a remote node fill straight from
-        // local DRAM, with no protocol involvement at all (§2.3).
-        if home == n && self.nodes[i].engine.local_fast_path(block) {
-            self.stats.local_fast_fills += 1;
-            let wb = if is_write {
-                self.registry_fill_exclusive(block, n);
-                self.nodes[i].cache.fill_dirty(block)
-            } else {
-                self.registry_fill_shared(block, n);
-                self.nodes[i].cache.fill_shared(block)
-            };
-            self.handle_displacement(n, wb, now);
-            let t = now
-                + Cycle(self.cfg.proc.issue + 10 /* local DRAM */ + self.cfg.proc.fill);
-            self.finish_access(n, addr, is_write, rmw, wvalue, t);
-            return;
-        }
-
-        debug_assert!(self.nodes[i].pending.is_none(), "one outstanding miss per node");
-        self.nodes[i].pending = Some(Pending {
-            addr,
-            is_write,
-            wvalue,
-            rmw,
-            retries: 0,
-            squashed: false,
-        });
-        let msg = if is_write {
-            ProtoMsg::WriteReq
-        } else {
-            ProtoMsg::ReadReq
-        };
-        self.send(n, home, block, msg, now + Cycle(self.cfg.proc.issue));
-    }
-
-    fn retry(&mut self, n: NodeId, now: Cycle) {
-        let i = n.index();
-        let Some(p) = self.nodes[i].pending.as_ref() else {
-            return; // satisfied in the meantime
-        };
-        let block = p.addr.block(self.cfg.cache.line_bytes);
-        let msg = if p.is_write {
-            ProtoMsg::WriteReq
-        } else {
-            ProtoMsg::ReadReq
-        };
-        let home = self.home_of(block);
-        self.send(n, home, block, msg, now);
-    }
-
-    fn check_barrier(&mut self, now: Cycle) {
-        let alive = self.nodes.len() - self.finished;
-        if alive > 0 && self.barrier_waiting.len() == alive {
-            self.barrier_generation += 1;
-            self.stats.barriers += 1;
-            self.queue.schedule(
-                now + Cycle(self.cfg.barrier_cycles),
-                Ev::BarrierRelease(self.barrier_generation),
-            );
-        }
-    }
-
-    fn grant_lock(&mut self, lock: u32, holder: NodeId, now: Cycle) {
-        let st = self.locks.get_mut(&lock).expect("granting unknown lock");
-        debug_assert!(st.holder.is_none(), "lock {lock} granted while held");
-        st.holder = Some(holder);
-        self.stats.lock_handoffs += 1;
-        self.queue.schedule(now, Ev::Resume(holder));
-    }
-
-    fn release_barrier(&mut self, generation: u64, now: Cycle) {
-        if generation != self.barrier_generation {
-            return;
-        }
-        for n in std::mem::take(&mut self.barrier_waiting) {
-            self.queue.schedule(now, Ev::Resume(n));
-        }
-    }
-
-    // ------------------------------------------------------- network
-
-    fn send(&mut self, src: NodeId, dst: NodeId, block: BlockAddr, msg: ProtoMsg, at: Cycle) {
-        let deliver = if src == dst {
-            // CMMU-internal loopback: fixed latency, dedicated FIFO
-            // (delivery strictly in send order).
-            let ch = &mut self.loopback_free[src.index()];
-            let t = (at + Cycle(6)).max(*ch + Cycle(1));
-            *ch = t;
-            t
-        } else {
-            self.net.send_sized(at, src, dst, msg.flits())
-        };
-        self.queue.schedule(
-            deliver,
-            Ev::Deliver {
-                src,
-                dst,
-                bm: BlockMsg::new(block, msg),
-            },
-        );
-    }
-
-    fn deliver(&mut self, src: NodeId, dst: NodeId, bm: BlockMsg, now: Cycle) {
-        let block = bm.block;
-        #[cfg(debug_assertions)]
-        if std::env::var("LIMITLESS_TRACE_BLOCK").ok().as_deref()
-            == Some(&format!("{:#x}", block.0))
-        {
-            eprintln!("[{now}] {src} -> {dst}: {:?}", bm.msg);
-        }
-        match bm.msg {
-            // ---- home-side protocol events ----
-            ProtoMsg::ReadReq => self.home_event(dst, block, DirEvent::Read { from: src }, now),
-            ProtoMsg::WriteReq => self.home_event(dst, block, DirEvent::Write { from: src }, now),
-            ProtoMsg::InvAck => self.home_event(dst, block, DirEvent::InvAck { from: src }, now),
-            ProtoMsg::FlushAck { had_data } => self.home_event(
-                dst,
-                block,
-                DirEvent::OwnerAck {
-                    from: src,
-                    had_data,
-                    downgrade: false,
-                },
-                now,
-            ),
-            ProtoMsg::DowngradeAck { had_data } => self.home_event(
-                dst,
-                block,
-                DirEvent::OwnerAck {
-                    from: src,
-                    had_data,
-                    downgrade: true,
-                },
-                now,
-            ),
-            ProtoMsg::Wb => self.home_event(dst, block, DirEvent::Writeback { from: src }, now),
-
-            // ---- requester/sharer-side events (CMMU hardware) ----
-            ProtoMsg::ReadData => {
-                let i = dst.index();
-                let squashed = self.nodes[i]
-                    .pending
-                    .as_ref()
-                    .is_some_and(|p| p.squashed && p.addr.block(self.cfg.cache.line_bytes) == block);
-                if !squashed {
-                    let wb = self.nodes[i].cache.fill_shared(block);
-                    self.registry_fill_shared(block, dst);
-                    self.handle_displacement(dst, wb, now);
-                }
-                self.complete_pending(dst, now);
-            }
-            ProtoMsg::WriteData => {
-                let i = dst.index();
-                // The line may still sit Shared in our cache if the
-                // grant raced nothing at all; normally it is absent.
-                let wb = match self.nodes[i].cache.state_of(block) {
-                    Some(_) => {
-                        self.nodes[i].cache.upgrade(block);
-                        None
-                    }
-                    None => self.nodes[i].cache.fill_dirty(block),
-                };
-                self.registry_fill_exclusive(block, dst);
-                self.handle_displacement(dst, wb, now);
-                self.complete_pending(dst, now);
-            }
-            ProtoMsg::UpgradeAck => {
-                let i = dst.index();
-                if !self.nodes[i].cache.upgrade(block) {
-                    // The shared line was displaced while the upgrade
-                    // was in flight (e.g. by instruction thrashing).
-                    // In Alewife the transaction store pins the line
-                    // for the duration of the transaction, so the
-                    // grant is still good: install it as a fresh
-                    // exclusive copy. (Memory is current — the line
-                    // was only ever shared.) Re-requesting instead
-                    // would leave the directory believing we own a
-                    // line we never held, wedging later owner fetches.
-                    self.stats.upgrade_races += 1;
-                    let wb = self.nodes[i].cache.fill_dirty(block);
-                    self.handle_displacement(dst, wb, now);
-                }
-                self.registry_fill_exclusive(block, dst);
-                self.complete_pending(dst, now);
-            }
-            ProtoMsg::Busy => {
-                let i = dst.index();
-                self.stats.busy_retries += 1;
-                if let Some(p) = self.nodes[i].pending.as_mut() {
-                    p.retries += 1;
-                    let backoff =
-                        self.cfg.proc.busy_backoff * u64::from(p.retries.min(8));
-                    self.queue.schedule(now + Cycle(backoff), Ev::Retry(dst));
-                }
-            }
-            ProtoMsg::Inv => {
-                let i = dst.index();
-                self.nodes[i].cache.invalidate(block);
-                if let Some(r) = self.registry.as_mut() {
-                    r.drop_copy(block, dst);
-                }
-                // Acknowledge regardless of presence (the copy may have
-                // been evicted silently).
-                self.send(dst, src, block, ProtoMsg::InvAck, now + Cycle(2));
-            }
-            ProtoMsg::Flush => {
-                let i = dst.index();
-                let had = self.nodes[i].cache.invalidate(block).is_some();
-                if let Some(r) = self.registry.as_mut() {
-                    r.drop_copy(block, dst);
-                }
-                self.send(dst, src, block, ProtoMsg::FlushAck { had_data: had }, now + Cycle(2));
-            }
-            ProtoMsg::Downgrade => {
-                let i = dst.index();
-                let had = self.nodes[i].cache.downgrade(block);
-                if had {
-                    if let Some(r) = self.registry.as_mut() {
-                        r.downgrade(block, dst);
-                    }
-                }
-                self.send(
-                    dst,
-                    src,
-                    block,
-                    ProtoMsg::DowngradeAck { had_data: had },
-                    now + Cycle(2),
-                );
-            }
-        }
-    }
-
-    /// Runs a directory event at its home node and schedules the
-    /// resulting messages / trap occupancy.
-    fn home_event(&mut self, home: NodeId, block: BlockAddr, ev: DirEvent, now: Cycle) {
-        let i = home.index();
-        let out = self.nodes[i].engine.handle(block, ev);
-        #[cfg(debug_assertions)]
-        if std::env::var("LIMITLESS_TRACE_BLOCK").ok().as_deref()
-            == Some(&format!("{:#x}", block.0))
-        {
-            eprintln!(
-                "[{now}] home {home}: {ev:?} -> inval_local={} trap={} sends={} stale={}",
-                out.invalidate_local,
-                out.trap.is_some(),
-                out.sends.len(),
-                out.stale
-            );
-        }
-        if out.stale {
-            return;
-        }
-        if out.invalidate_local {
-            // Flush the home's own cached copy synchronously (the
-            // CMMU invalidates its own tags without network traffic;
-            // dirty data lands in local memory). If the home has a
-            // *fill* for this block still in flight, mark it squashed:
-            // the access completes but the line is not installed —
-            // Alewife's transaction store closes this window of
-            // vulnerability the same way (Kubiatowicz et al., ASPLOS
-            // V).
-            self.nodes[i].cache.invalidate(block);
-            if let Some(r) = self.registry.as_mut() {
-                r.drop_copy(block, home);
-            }
-            if let Some(p) = self.nodes[i].pending.as_mut() {
-                // Only reads need squashing: a pending write whose
-                // line was invalidated will simply receive `WriteData`
-                // (or fail its upgrade and refetch) and install a
-                // fresh exclusive copy, which is correct.
-                if !p.is_write && p.addr.block(self.cfg.cache.line_bytes) == block {
-                    p.squashed = true;
-                }
-            }
-        }
-
-        // Software handler occupancy (and watchdog bookkeeping).
-        let mut handler_start = now;
-        if let Some(bill) = &out.trap {
-            let node = &mut self.nodes[i];
-            handler_start = now.max(node.trap_busy_until).max(node.handlers_off_until);
-            node.trap_busy_until = handler_start + Cycle(bill.total());
-            node.trap_accum += bill.total();
-            let watchdog_armed =
-                self.cfg.protocol.ack == limitless_core::AckMode::EveryAckTrap;
-            if watchdog_armed && node.trap_accum >= self.cfg.watchdog.window {
-                node.handlers_off_until =
-                    node.trap_busy_until + Cycle(self.cfg.watchdog.grace);
-                node.trap_accum = 0;
-                self.stats.watchdog_fires += 1;
-            }
-            match bill.kind {
-                HandlerKind::ReadExtend => {
-                    self.stats.read_trap_latency.record(bill.total());
-                    if self.stats.read_trap_bills.len() < MAX_RETAINED_BILLS {
-                        self.stats.read_trap_bills.push(bill.clone());
-                    }
-                }
-                HandlerKind::WriteExtend => {
-                    self.stats.write_trap_latency.record(bill.total());
-                    if self.stats.write_trap_bills.len() < MAX_RETAINED_BILLS {
-                        self.stats.write_trap_bills.push(bill.clone());
-                    }
-                }
-                _ => {}
-            }
-        }
-
-        for s in out.sends {
-            let depart = match s.timing {
-                SendTiming::Hw { offset } => now + Cycle(offset),
-                SendTiming::Sw { offset } => handler_start + Cycle(offset),
-            };
-            self.send(home, s.dst, block, s.msg, depart);
-        }
-    }
-
-    fn complete_pending(&mut self, n: NodeId, now: Cycle) {
-        let i = n.index();
-        let Some(p) = self.nodes[i].pending.take() else {
-            return; // duplicate grant (e.g. after an upgrade race)
-        };
-        let t = now + Cycle(self.cfg.proc.fill);
-        self.finish_access(n, p.addr, p.is_write, p.rmw, p.wvalue, t);
-    }
-
-    /// A fill displaced a dirty block out of the victim path: write it
-    /// back to its home.
-    fn handle_displacement(&mut self, n: NodeId, wb: Option<BlockAddr>, now: Cycle) {
-        if let Some(victim) = wb {
-            if let Some(r) = self.registry.as_mut() {
-                r.drop_copy(victim, n);
-            }
-            let home = self.home_of(victim);
-            self.send(n, home, victim, ProtoMsg::Wb, now);
-        }
-    }
-
-    fn registry_fill_shared(&mut self, block: BlockAddr, n: NodeId) {
-        if let Some(r) = self.registry.as_mut() {
-            r.fill_shared(block, n);
-        }
-    }
-
-    fn registry_fill_exclusive(&mut self, block: BlockAddr, n: NodeId) {
-        if let Some(r) = self.registry.as_mut() {
-            r.fill_exclusive(block, n);
-        }
-    }
-
-    /// Streams `blocks` instruction blocks through the cache, returning
-    /// the total miss penalty in cycles.
-    fn ifetch(&mut self, i: usize, blocks: u64, now: Cycle) -> u64 {
-        if self.cfg.perfect_ifetch {
-            return 0;
-        }
-        let Some(mut fp) = self.nodes[i].footprint else {
-            return 0;
-        };
-        let mut penalty = 0;
-        for _ in 0..blocks.min(fp.blocks()) {
-            let b = fp.next_block();
-            let (miss, wb) = self.nodes[i].cache.ifetch(b);
-            if miss {
-                penalty += self.cfg.proc.ifetch_miss;
-            }
-            self.handle_displacement(NodeId::from_index(i), wb, now);
-        }
-        self.nodes[i].footprint = Some(fp);
-        penalty
     }
 }

@@ -12,9 +12,7 @@
 //! Violations indicate protocol bugs and panic immediately (this is a
 //! verification tool, not production error handling).
 
-use std::collections::HashMap;
-
-use limitless_sim::{BlockAddr, NodeId};
+use limitless_sim::{BlockAddr, FxHashMap, NodeId};
 
 /// Who currently caches a block.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
@@ -26,7 +24,7 @@ struct Holders {
 /// The coherence registry. All methods panic on invariant violations.
 #[derive(Clone, Debug, Default)]
 pub struct CoherenceRegistry {
-    blocks: HashMap<BlockAddr, Holders>,
+    blocks: FxHashMap<BlockAddr, Holders>,
     /// Number of fills/invalidations observed (sanity metric).
     pub events: u64,
 }

@@ -1,0 +1,485 @@
+//! The event loop, program stepping and the requester-side protocol:
+//! miss issue, fills, BUSY retries and network delivery.
+
+use std::time::Instant;
+
+use limitless_cache::Access;
+use limitless_core::{BlockMsg, DirEvent, ProtoMsg};
+use limitless_sim::{Addr, BlockAddr, Cycle, NodeId};
+
+use crate::machine::{Ev, Machine, Pending};
+use crate::program::{Op, Rmw};
+use crate::stats::RunReport;
+
+/// Hard ceiling on simulation events — a drained queue that never
+/// empties indicates livelock, which is a bug this backstop surfaces.
+const MAX_EVENTS: u64 = 4_000_000_000;
+
+impl Machine {
+    /// Runs the machine until every program has finished and all
+    /// protocol traffic has drained. Returns the measurements.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no programs were loaded, if the event limit is
+    /// exceeded (livelock backstop), or — with coherence checking
+    /// enabled — on a protocol invariant violation.
+    pub fn run(&mut self) -> RunReport {
+        assert!(self.loaded, "load programs before running");
+        let start = Instant::now();
+        for i in 0..self.nodes.len() {
+            self.queue
+                .schedule(Cycle::ZERO, Ev::Resume(NodeId::from_index(i)));
+        }
+        let max_events = std::env::var("LIMITLESS_MAX_EVENTS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(MAX_EVENTS);
+        while let Some((now, ev)) = self.queue.pop() {
+            assert!(
+                self.queue.processed() < max_events,
+                "event limit exceeded: probable livelock at {now}"
+            );
+            match ev {
+                Ev::Resume(n) => self.step_program(n, now),
+                Ev::Deliver { src, dst, bm } => self.deliver(src, dst, bm, now),
+                Ev::Retry(n) => self.retry(n, now),
+                Ev::BarrierRelease(generation) => self.release_barrier(generation, now),
+                Ev::LockGrant(lock, holder) => self.grant_lock(lock, holder, now),
+            }
+        }
+        assert_eq!(
+            self.finished,
+            self.nodes.len(),
+            "simulation drained with unfinished programs (deadlock?)"
+        );
+        self.collect_report(start.elapsed().as_secs_f64())
+    }
+
+    // ------------------------------------------------------ programs
+
+    fn step_program(&mut self, n: NodeId, now: Cycle) {
+        let i = n.index();
+        if self.nodes[i].done {
+            return;
+        }
+        // Protocol handlers steal processor cycles: user code resumes
+        // only when the handler (and any watchdog grace) completes.
+        let busy = self.nodes[i].trap_busy_until;
+        if busy > now {
+            self.queue.schedule(busy, Ev::Resume(n));
+            return;
+        }
+        self.nodes[i].trap_accum = 0; // user code made progress
+
+        let last = self.nodes[i].last_value.take();
+        let op = self.nodes[i].program.next(n, last);
+        match op {
+            Op::Compute(c) => {
+                let instr_blocks = (c / 8).max(1);
+                let penalty = self.ifetch(i, instr_blocks, now);
+                self.queue
+                    .schedule(now + Cycle(c) + Cycle(penalty), Ev::Resume(n));
+            }
+            Op::Barrier => self.barrier_wait(n, now),
+            Op::LockAcquire(lock) => self.lock_acquire(lock, n, now),
+            Op::LockRelease(lock) => self.lock_release(lock, n, now),
+            Op::Finish => {
+                self.nodes[i].done = true;
+                self.finished += 1;
+                self.finish_time = self.finish_time.max(now);
+                // A finishing node may complete the barrier for the
+                // rest.
+                self.check_barrier(now);
+            }
+            Op::Read(addr) => {
+                let penalty = self.ifetch(i, 1, now);
+                let block = addr.block(self.cfg.cache.line_bytes);
+                match self.nodes[i].cache.read(block) {
+                    Access::Hit => {
+                        self.stats.hits += 1;
+                        self.finish_access(
+                            n,
+                            addr,
+                            false,
+                            None,
+                            0,
+                            now + Cycle(self.cfg.proc.hit + penalty),
+                        );
+                    }
+                    Access::VictimHit => {
+                        self.stats.hits += 1;
+                        self.finish_access(
+                            n,
+                            addr,
+                            false,
+                            None,
+                            0,
+                            now + Cycle(self.cfg.proc.hit + self.cfg.proc.victim_hit + penalty),
+                        );
+                    }
+                    Access::UpgradeMiss | Access::Miss { .. } => {
+                        self.start_miss(n, addr, false, 0, None, now + Cycle(penalty));
+                    }
+                }
+            }
+            Op::Write(addr, v) => self.write_like(n, addr, v, None, now),
+            Op::Rmw(addr, rmw) => self.write_like(n, addr, 0, Some(rmw), now),
+        }
+    }
+
+    fn write_like(&mut self, n: NodeId, addr: Addr, v: u64, rmw: Option<Rmw>, now: Cycle) {
+        let i = n.index();
+        let penalty = self.ifetch(i, 1, now);
+        let block = addr.block(self.cfg.cache.line_bytes);
+        match self.nodes[i].cache.write(block) {
+            Access::Hit => {
+                self.stats.hits += 1;
+                self.finish_access(
+                    n,
+                    addr,
+                    true,
+                    rmw,
+                    v,
+                    now + Cycle(self.cfg.proc.hit + penalty),
+                );
+            }
+            Access::VictimHit => {
+                self.stats.hits += 1;
+                self.finish_access(
+                    n,
+                    addr,
+                    true,
+                    rmw,
+                    v,
+                    now + Cycle(self.cfg.proc.hit + self.cfg.proc.victim_hit + penalty),
+                );
+            }
+            Access::UpgradeMiss | Access::Miss { .. } => {
+                self.start_miss(n, addr, true, v, rmw, now + Cycle(penalty));
+            }
+        }
+    }
+
+    /// Completes a memory operation at time `t`: applies its effect to
+    /// shadow memory and resumes the program.
+    pub(crate) fn finish_access(
+        &mut self,
+        n: NodeId,
+        addr: Addr,
+        is_write: bool,
+        rmw: Option<Rmw>,
+        wvalue: u64,
+        t: Cycle,
+    ) {
+        let i = n.index();
+        if is_write {
+            self.stats.writes += 1;
+            let slot = self.mem.entry(addr);
+            match rmw {
+                Some(r) => {
+                    let old = *slot;
+                    *slot = r.apply(old);
+                    self.nodes[i].last_value = Some(old);
+                }
+                None => {
+                    *slot = wvalue;
+                }
+            }
+        } else {
+            self.stats.reads += 1;
+            self.nodes[i].last_value = Some(self.mem.get(addr).copied().unwrap_or(0));
+        }
+        if let Some(t) = self.tracker.as_mut() {
+            let block = addr.block(self.cfg.cache.line_bytes);
+            t.touch(block.0, n.0, is_write);
+        }
+        self.queue.schedule(t, Ev::Resume(n));
+    }
+
+    fn start_miss(
+        &mut self,
+        n: NodeId,
+        addr: Addr,
+        is_write: bool,
+        wvalue: u64,
+        rmw: Option<Rmw>,
+        now: Cycle,
+    ) {
+        self.stats.misses += 1;
+        let i = n.index();
+        let block = addr.block(self.cfg.cache.line_bytes);
+        let home = self.home_of(block);
+
+        // The software-only directory's uniprocessor fast path: local
+        // blocks never touched by a remote node fill straight from
+        // local DRAM, with no protocol involvement at all (§2.3).
+        if home == n && self.nodes[i].engine.local_fast_path(block) {
+            self.stats.local_fast_fills += 1;
+            let wb = if is_write {
+                self.registry_fill_exclusive(block, n);
+                self.nodes[i].cache.fill_dirty(block)
+            } else {
+                self.registry_fill_shared(block, n);
+                self.nodes[i].cache.fill_shared(block)
+            };
+            self.handle_displacement(n, wb, now);
+            let t = now + Cycle(self.cfg.proc.issue + 10 /* local DRAM */ + self.cfg.proc.fill);
+            self.finish_access(n, addr, is_write, rmw, wvalue, t);
+            return;
+        }
+
+        debug_assert!(
+            self.nodes[i].pending.is_none(),
+            "one outstanding miss per node"
+        );
+        self.nodes[i].pending = Some(Pending {
+            addr,
+            is_write,
+            wvalue,
+            rmw,
+            retries: 0,
+            squashed: false,
+        });
+        let msg = if is_write {
+            ProtoMsg::WriteReq
+        } else {
+            ProtoMsg::ReadReq
+        };
+        self.send(n, home, block, msg, now + Cycle(self.cfg.proc.issue));
+    }
+
+    fn retry(&mut self, n: NodeId, now: Cycle) {
+        let i = n.index();
+        let Some(p) = self.nodes[i].pending.as_ref() else {
+            return; // satisfied in the meantime
+        };
+        let block = p.addr.block(self.cfg.cache.line_bytes);
+        let msg = if p.is_write {
+            ProtoMsg::WriteReq
+        } else {
+            ProtoMsg::ReadReq
+        };
+        let home = self.home_of(block);
+        self.send(n, home, block, msg, now);
+    }
+
+    // ------------------------------------------------------- network
+
+    pub(crate) fn send(
+        &mut self,
+        src: NodeId,
+        dst: NodeId,
+        block: BlockAddr,
+        msg: ProtoMsg,
+        at: Cycle,
+    ) {
+        let deliver = if src == dst {
+            // CMMU-internal loopback: fixed latency, dedicated FIFO
+            // (delivery strictly in send order).
+            let ch = &mut self.loopback_free[src.index()];
+            let t = (at + Cycle(6)).max(*ch + Cycle(1));
+            *ch = t;
+            t
+        } else {
+            self.net.send_sized(at, src, dst, msg.flits())
+        };
+        self.queue.schedule(
+            deliver,
+            Ev::Deliver {
+                src,
+                dst,
+                bm: BlockMsg::new(block, msg),
+            },
+        );
+    }
+
+    fn deliver(&mut self, src: NodeId, dst: NodeId, bm: BlockMsg, now: Cycle) {
+        let block = bm.block;
+        #[cfg(debug_assertions)]
+        if std::env::var("LIMITLESS_TRACE_BLOCK").ok().as_deref()
+            == Some(&format!("{:#x}", block.0))
+        {
+            eprintln!("[{now}] {src} -> {dst}: {:?}", bm.msg);
+        }
+        match bm.msg {
+            // ---- home-side protocol events ----
+            ProtoMsg::ReadReq => self.home_event(dst, block, DirEvent::Read { from: src }, now),
+            ProtoMsg::WriteReq => self.home_event(dst, block, DirEvent::Write { from: src }, now),
+            ProtoMsg::InvAck => self.home_event(dst, block, DirEvent::InvAck { from: src }, now),
+            ProtoMsg::FlushAck { had_data } => self.home_event(
+                dst,
+                block,
+                DirEvent::OwnerAck {
+                    from: src,
+                    had_data,
+                    downgrade: false,
+                },
+                now,
+            ),
+            ProtoMsg::DowngradeAck { had_data } => self.home_event(
+                dst,
+                block,
+                DirEvent::OwnerAck {
+                    from: src,
+                    had_data,
+                    downgrade: true,
+                },
+                now,
+            ),
+            ProtoMsg::Wb => self.home_event(dst, block, DirEvent::Writeback { from: src }, now),
+
+            // ---- requester/sharer-side events (CMMU hardware) ----
+            ProtoMsg::ReadData => {
+                let i = dst.index();
+                let squashed = self.nodes[i].pending.as_ref().is_some_and(|p| {
+                    p.squashed && p.addr.block(self.cfg.cache.line_bytes) == block
+                });
+                if !squashed {
+                    let wb = self.nodes[i].cache.fill_shared(block);
+                    self.registry_fill_shared(block, dst);
+                    self.handle_displacement(dst, wb, now);
+                }
+                self.complete_pending(dst, now);
+            }
+            ProtoMsg::WriteData => {
+                let i = dst.index();
+                // The line may still sit Shared in our cache if the
+                // grant raced nothing at all; normally it is absent.
+                let wb = match self.nodes[i].cache.state_of(block) {
+                    Some(_) => {
+                        self.nodes[i].cache.upgrade(block);
+                        None
+                    }
+                    None => self.nodes[i].cache.fill_dirty(block),
+                };
+                self.registry_fill_exclusive(block, dst);
+                self.handle_displacement(dst, wb, now);
+                self.complete_pending(dst, now);
+            }
+            ProtoMsg::UpgradeAck => {
+                let i = dst.index();
+                if !self.nodes[i].cache.upgrade(block) {
+                    // The shared line was displaced while the upgrade
+                    // was in flight (e.g. by instruction thrashing).
+                    // In Alewife the transaction store pins the line
+                    // for the duration of the transaction, so the
+                    // grant is still good: install it as a fresh
+                    // exclusive copy. (Memory is current — the line
+                    // was only ever shared.) Re-requesting instead
+                    // would leave the directory believing we own a
+                    // line we never held, wedging later owner fetches.
+                    self.stats.upgrade_races += 1;
+                    let wb = self.nodes[i].cache.fill_dirty(block);
+                    self.handle_displacement(dst, wb, now);
+                }
+                self.registry_fill_exclusive(block, dst);
+                self.complete_pending(dst, now);
+            }
+            ProtoMsg::Busy => {
+                let i = dst.index();
+                self.stats.busy_retries += 1;
+                if let Some(p) = self.nodes[i].pending.as_mut() {
+                    p.retries += 1;
+                    let backoff = self.cfg.proc.busy_backoff * u64::from(p.retries.min(8));
+                    self.queue.schedule(now + Cycle(backoff), Ev::Retry(dst));
+                }
+            }
+            ProtoMsg::Inv => {
+                let i = dst.index();
+                self.nodes[i].cache.invalidate(block);
+                if let Some(r) = self.registry.as_mut() {
+                    r.drop_copy(block, dst);
+                }
+                // Acknowledge regardless of presence (the copy may have
+                // been evicted silently).
+                self.send(dst, src, block, ProtoMsg::InvAck, now + Cycle(2));
+            }
+            ProtoMsg::Flush => {
+                let i = dst.index();
+                let had = self.nodes[i].cache.invalidate(block).is_some();
+                if let Some(r) = self.registry.as_mut() {
+                    r.drop_copy(block, dst);
+                }
+                self.send(
+                    dst,
+                    src,
+                    block,
+                    ProtoMsg::FlushAck { had_data: had },
+                    now + Cycle(2),
+                );
+            }
+            ProtoMsg::Downgrade => {
+                let i = dst.index();
+                let had = self.nodes[i].cache.downgrade(block);
+                if had {
+                    if let Some(r) = self.registry.as_mut() {
+                        r.downgrade(block, dst);
+                    }
+                }
+                self.send(
+                    dst,
+                    src,
+                    block,
+                    ProtoMsg::DowngradeAck { had_data: had },
+                    now + Cycle(2),
+                );
+            }
+        }
+    }
+
+    fn complete_pending(&mut self, n: NodeId, now: Cycle) {
+        let i = n.index();
+        let Some(p) = self.nodes[i].pending.take() else {
+            return; // duplicate grant (e.g. after an upgrade race)
+        };
+        let t = now + Cycle(self.cfg.proc.fill);
+        self.finish_access(n, p.addr, p.is_write, p.rmw, p.wvalue, t);
+    }
+
+    /// A fill displaced a dirty block out of the victim path: write it
+    /// back to its home.
+    fn handle_displacement(&mut self, n: NodeId, wb: Option<BlockAddr>, now: Cycle) {
+        if let Some(victim) = wb {
+            if let Some(r) = self.registry.as_mut() {
+                r.drop_copy(victim, n);
+            }
+            let home = self.home_of(victim);
+            self.send(n, home, victim, ProtoMsg::Wb, now);
+        }
+    }
+
+    fn registry_fill_shared(&mut self, block: BlockAddr, n: NodeId) {
+        if let Some(r) = self.registry.as_mut() {
+            r.fill_shared(block, n);
+        }
+    }
+
+    fn registry_fill_exclusive(&mut self, block: BlockAddr, n: NodeId) {
+        if let Some(r) = self.registry.as_mut() {
+            r.fill_exclusive(block, n);
+        }
+    }
+
+    /// Streams `blocks` instruction blocks through the cache, returning
+    /// the total miss penalty in cycles.
+    fn ifetch(&mut self, i: usize, blocks: u64, now: Cycle) -> u64 {
+        if self.cfg.perfect_ifetch {
+            return 0;
+        }
+        let Some(mut fp) = self.nodes[i].footprint else {
+            return 0;
+        };
+        let mut penalty = 0;
+        for _ in 0..blocks.min(fp.blocks()) {
+            let b = fp.next_block();
+            let (miss, wb) = self.nodes[i].cache.ifetch(b);
+            if miss {
+                penalty += self.cfg.proc.ifetch_miss;
+            }
+            self.handle_displacement(NodeId::from_index(i), wb, now);
+        }
+        self.nodes[i].footprint = Some(fp);
+        penalty
+    }
+}

@@ -6,8 +6,76 @@ use limitless_net::NetStats;
 use limitless_sim::Cycle;
 use limitless_stats::{Histogram, LatencySampler};
 
+/// Streaming aggregation of [`TrapBill`] activity ledgers.
+///
+/// Handler bills take only a few distinct shapes per run — one per
+/// pointer/invalidation count the handlers encounter — so instead of
+/// retaining every bill (formerly an unbounded `Vec<TrapBill>` capped
+/// at 50 000 entries) we count occurrences per distinct ledger.
+/// Memory is O(distinct shapes) regardless of run length, and the
+/// Table 2 median-by-total selection is reproduced by walking the
+/// shapes in sorted-total order with their counts.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct BillAggregator {
+    /// Distinct ledgers in first-seen order, with occurrence counts.
+    groups: Vec<(TrapBill, u64)>,
+    count: u64,
+}
+
+impl BillAggregator {
+    /// Creates an empty aggregator.
+    pub fn new() -> Self {
+        BillAggregator::default()
+    }
+
+    /// Folds one bill into the aggregate.
+    pub fn record(&mut self, bill: &TrapBill) {
+        self.count += 1;
+        match self.groups.iter_mut().find(|(b, _)| b == bill) {
+            Some((_, c)) => *c += 1,
+            None => self.groups.push((bill.clone(), 1)),
+        }
+    }
+
+    /// Total bills recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Whether no bill has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Number of distinct ledger shapes seen.
+    pub fn distinct(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// The bill at position `(count - 1) / 2` of the recorded multiset
+    /// ordered by total occupancy — the paper's "median request of
+    /// each type" used for the Table 2 breakdown.
+    pub fn median_bill(&self) -> Option<TrapBill> {
+        if self.count == 0 {
+            return None;
+        }
+        let mut order: Vec<usize> = (0..self.groups.len()).collect();
+        order.sort_by_key(|&i| self.groups[i].0.total());
+        let target = (self.count - 1) / 2;
+        let mut seen = 0u64;
+        for &i in &order {
+            let (bill, c) = &self.groups[i];
+            seen += *c;
+            if seen > target {
+                return Some(bill.clone());
+            }
+        }
+        None
+    }
+}
+
 /// Everything measured during one machine run.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct MachineStats {
     /// Completed read operations.
     pub reads: u64,
@@ -41,12 +109,10 @@ pub struct MachineStats {
     pub read_trap_latency: LatencySampler,
     /// Latency samples for write-extend handler invocations (Table 1).
     pub write_trap_latency: LatencySampler,
-    /// Retained activity ledgers for read-extend traps (Table 2;
-    /// bounded).
-    pub read_trap_bills: Vec<TrapBill>,
-    /// Retained activity ledgers for write-extend traps (Table 2;
-    /// bounded).
-    pub write_trap_bills: Vec<TrapBill>,
+    /// Aggregated activity ledgers for read-extend traps (Table 2).
+    pub read_trap_bills: BillAggregator,
+    /// Aggregated activity ledgers for write-extend traps (Table 2).
+    pub write_trap_bills: BillAggregator,
     /// Worker-set size histogram (Figure 6), if tracking was enabled.
     pub worker_sets: Option<Histogram>,
     /// Per-node cycles spent inside protocol handlers.
@@ -98,6 +164,8 @@ pub struct RunReport {
     pub cycles: Cycle,
     /// Events processed by the simulation engine.
     pub events: u64,
+    /// Wall-clock seconds the host spent simulating.
+    pub wall_seconds: f64,
     /// All measurements.
     pub stats: MachineStats,
 }
@@ -107,11 +175,30 @@ impl RunReport {
     pub fn seconds(&self) -> f64 {
         self.cycles.as_seconds_at_33mhz()
     }
+
+    /// Simulator throughput: events processed per wall-clock second.
+    pub fn events_per_sec(&self) -> f64 {
+        if self.wall_seconds > 0.0 {
+            self.events as f64 / self.wall_seconds
+        } else {
+            0.0
+        }
+    }
+
+    /// Simulator throughput: simulated cycles per wall-clock second.
+    pub fn sim_cycles_per_sec(&self) -> f64 {
+        if self.wall_seconds > 0.0 {
+            self.cycles.as_u64() as f64 / self.wall_seconds
+        } else {
+            0.0
+        }
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use limitless_core::{CostModel, HandlerImpl};
 
     #[test]
     fn absorb_accumulates() {
@@ -137,8 +224,56 @@ mod tests {
         let r = RunReport {
             cycles: Cycle(33_000_000),
             events: 0,
+            wall_seconds: 0.0,
             stats: MachineStats::default(),
         };
         assert!((r.seconds() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn throughput_is_events_over_wallclock() {
+        let r = RunReport {
+            cycles: Cycle(500),
+            events: 1000,
+            wall_seconds: 0.5,
+            stats: MachineStats::default(),
+        };
+        assert!((r.events_per_sec() - 2000.0).abs() < 1e-9);
+        assert!((r.sim_cycles_per_sec() - 1000.0).abs() < 1e-9);
+        let zero = RunReport {
+            wall_seconds: 0.0,
+            ..r
+        };
+        assert_eq!(zero.events_per_sec(), 0.0);
+    }
+
+    #[test]
+    fn aggregator_median_matches_sorted_vec_selection() {
+        let m = CostModel::new(HandlerImpl::FlexibleC);
+        // The exact sequence the old Vec<TrapBill> would have held.
+        let bills = [
+            m.read_extend(6, false),
+            m.read_extend(2, false),
+            m.read_extend(6, false),
+            m.read_extend(9, false),
+            m.read_extend(2, false),
+        ];
+        let mut agg = BillAggregator::new();
+        for b in &bills {
+            agg.record(b);
+        }
+        let mut sorted = bills.to_vec();
+        sorted.sort_by_key(|b| b.total());
+        let expected = sorted[(sorted.len() - 1) / 2].clone();
+        assert_eq!(agg.median_bill(), Some(expected));
+        assert_eq!(agg.count(), 5);
+        assert_eq!(agg.distinct(), 3);
+    }
+
+    #[test]
+    fn aggregator_empty_has_no_median() {
+        let agg = BillAggregator::new();
+        assert!(agg.median_bill().is_none());
+        assert!(agg.is_empty());
     }
 }

@@ -1,0 +1,87 @@
+//! The synchronization runtime: the all-node barrier and the FIFO
+//! lock data type (§7) serviced by the protocol extension software.
+
+use std::collections::VecDeque;
+
+use limitless_sim::{Cycle, NodeId};
+
+use crate::machine::{Ev, Machine};
+
+/// Cycles for an uncontended lock acquire or a lock hand-over (a
+/// round trip to the lock object's home, serviced by the protocol
+/// extension software's lock handler).
+const LOCK_LATENCY: u64 = 40;
+
+#[derive(Debug, Default)]
+pub(crate) struct LockState {
+    pub(crate) holder: Option<NodeId>,
+    pub(crate) waiters: VecDeque<NodeId>,
+}
+
+impl Machine {
+    pub(crate) fn barrier_wait(&mut self, n: NodeId, now: Cycle) {
+        self.barrier_waiting.push(n);
+        self.check_barrier(now);
+    }
+
+    pub(crate) fn check_barrier(&mut self, now: Cycle) {
+        let alive = self.nodes.len() - self.finished;
+        if alive > 0 && self.barrier_waiting.len() == alive {
+            self.barrier_generation += 1;
+            self.stats.barriers += 1;
+            self.queue.schedule(
+                now + Cycle(self.cfg.barrier_cycles),
+                Ev::BarrierRelease(self.barrier_generation),
+            );
+        }
+    }
+
+    pub(crate) fn release_barrier(&mut self, generation: u64, now: Cycle) {
+        if generation != self.barrier_generation {
+            return;
+        }
+        for n in std::mem::take(&mut self.barrier_waiting) {
+            self.queue.schedule(now, Ev::Resume(n));
+        }
+    }
+
+    pub(crate) fn lock_acquire(&mut self, lock: u32, n: NodeId, now: Cycle) {
+        let st = self.locks.entry(lock);
+        if st.holder.is_none() && st.waiters.is_empty() {
+            // Uncontended: one round trip to the lock object.
+            st.holder = Some(n);
+            self.queue
+                .schedule(now + Cycle(LOCK_LATENCY), Ev::Resume(n));
+        } else {
+            st.waiters.push_back(n); // strict FIFO
+        }
+    }
+
+    pub(crate) fn lock_release(&mut self, lock: u32, n: NodeId, now: Cycle) {
+        let st = self
+            .locks
+            .get_mut(lock)
+            .unwrap_or_else(|| panic!("release of unknown lock {lock}"));
+        assert_eq!(
+            st.holder,
+            Some(n),
+            "node {n} released lock {lock} it does not hold"
+        );
+        st.holder = None;
+        if let Some(next) = st.waiters.pop_front() {
+            // Hand-over latency: the protocol software passes
+            // the lock straight to the oldest waiter.
+            self.queue
+                .schedule(now + Cycle(LOCK_LATENCY), Ev::LockGrant(lock, next));
+        }
+        self.queue.schedule(now + Cycle(4), Ev::Resume(n));
+    }
+
+    pub(crate) fn grant_lock(&mut self, lock: u32, holder: NodeId, now: Cycle) {
+        let st = self.locks.get_mut(lock).expect("granting unknown lock");
+        debug_assert!(st.holder.is_none(), "lock {lock} granted while held");
+        st.holder = Some(holder);
+        self.stats.lock_handoffs += 1;
+        self.queue.schedule(now, Ev::Resume(holder));
+    }
+}

@@ -121,7 +121,7 @@ fn random_stress_all_protocols_agree_on_memory() {
                     step += 1;
                     // Periodic barriers keep nodes loosely synchronized
                     // so writes are ordered across phases.
-                    if step % 40 == 0 {
+                    if step.is_multiple_of(40) {
                         return Op::Barrier;
                     }
                     if rng.next_below(4) == 0 {
@@ -311,7 +311,10 @@ fn busy_bounces_are_retried_until_success() {
         .collect();
     m.load(progs);
     let report = m.run();
-    assert!(report.stats.busy_retries > 0, "contention must bounce someone");
+    assert!(
+        report.stats.busy_retries > 0,
+        "contention must bounce someone"
+    );
 }
 
 #[test]
@@ -361,11 +364,22 @@ fn table1_shape_handler_latencies_measured_in_vivo() {
         .collect();
     m.load(progs);
     let report = m.run();
-    let r = report.stats.read_trap_latency.mean().expect("read traps happened");
-    let w = report.stats.write_trap_latency.mean().expect("write traps happened");
+    let r = report
+        .stats
+        .read_trap_latency
+        .mean()
+        .expect("read traps happened");
+    let w = report
+        .stats
+        .write_trap_latency
+        .mean()
+        .expect("write traps happened");
     // Table 1 magnitude: hundreds of cycles, writes dearer than reads.
     assert!(r > 200.0 && r < 1500.0, "read trap mean {r}");
-    assert!(w > r, "write traps ({w}) should cost more than read traps ({r})");
+    assert!(
+        w > r,
+        "write traps ({w}) should cost more than read traps ({r})"
+    );
 }
 
 #[test]
@@ -395,7 +409,10 @@ fn dirty_eviction_writes_back_and_refetches() {
     ];
     m.load(progs);
     let report = m.run();
-    assert!(report.stats.cache.writebacks > 0, "dirty evictions must write back");
+    assert!(
+        report.stats.cache.writebacks > 0,
+        "dirty evictions must write back"
+    );
     for k in 0..32u64 {
         assert_eq!(m.peek(Addr(0x100 * k + 0x40)), k);
     }
@@ -424,7 +441,11 @@ fn fifo_lock_provides_mutual_exclusion() {
         .collect();
     m.load(progs);
     let report = m.run();
-    assert_eq!(m.peek(Addr(0xD00)), 8, "lost updates without mutual exclusion");
+    assert_eq!(
+        m.peek(Addr(0xD00)),
+        8,
+        "lost updates without mutual exclusion"
+    );
     assert_eq!(report.stats.lock_handoffs, 7);
 }
 

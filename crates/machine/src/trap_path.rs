@@ -1,0 +1,98 @@
+//! The home-side trap model: running a directory event, charging
+//! software handler occupancy on the home processor, watchdog
+//! bookkeeping and Table 1/2 latency billing.
+
+use limitless_core::{DirEvent, HandlerKind, SendTiming};
+use limitless_sim::{BlockAddr, Cycle, NodeId};
+
+use crate::machine::Machine;
+
+/// Record at most this many trap ledgers for Table 2 analysis (the
+/// aggregation is O(distinct shapes) in memory, but the recorded
+/// population is capped to match the historical retention bound).
+const MAX_RETAINED_BILLS: u64 = 50_000;
+
+impl Machine {
+    /// Runs a directory event at its home node and schedules the
+    /// resulting messages / trap occupancy.
+    pub(crate) fn home_event(&mut self, home: NodeId, block: BlockAddr, ev: DirEvent, now: Cycle) {
+        let i = home.index();
+        let out = self.nodes[i].engine.handle(block, ev);
+        #[cfg(debug_assertions)]
+        if std::env::var("LIMITLESS_TRACE_BLOCK").ok().as_deref()
+            == Some(&format!("{:#x}", block.0))
+        {
+            eprintln!(
+                "[{now}] home {home}: {ev:?} -> inval_local={} trap={} sends={} stale={}",
+                out.invalidate_local,
+                out.trap.is_some(),
+                out.sends.len(),
+                out.stale
+            );
+        }
+        if out.stale {
+            return;
+        }
+        if out.invalidate_local {
+            // Flush the home's own cached copy synchronously (the
+            // CMMU invalidates its own tags without network traffic;
+            // dirty data lands in local memory). If the home has a
+            // *fill* for this block still in flight, mark it squashed:
+            // the access completes but the line is not installed —
+            // Alewife's transaction store closes this window of
+            // vulnerability the same way (Kubiatowicz et al., ASPLOS
+            // V).
+            self.nodes[i].cache.invalidate(block);
+            if let Some(r) = self.registry.as_mut() {
+                r.drop_copy(block, home);
+            }
+            if let Some(p) = self.nodes[i].pending.as_mut() {
+                // Only reads need squashing: a pending write whose
+                // line was invalidated will simply receive `WriteData`
+                // (or fail its upgrade and refetch) and install a
+                // fresh exclusive copy, which is correct.
+                if !p.is_write && p.addr.block(self.cfg.cache.line_bytes) == block {
+                    p.squashed = true;
+                }
+            }
+        }
+
+        // Software handler occupancy (and watchdog bookkeeping).
+        let mut handler_start = now;
+        if let Some(bill) = &out.trap {
+            let node = &mut self.nodes[i];
+            handler_start = now.max(node.trap_busy_until).max(node.handlers_off_until);
+            node.trap_busy_until = handler_start + Cycle(bill.total());
+            node.trap_accum += bill.total();
+            let watchdog_armed = self.cfg.protocol.ack == limitless_core::AckMode::EveryAckTrap;
+            if watchdog_armed && node.trap_accum >= self.cfg.watchdog.window {
+                node.handlers_off_until = node.trap_busy_until + Cycle(self.cfg.watchdog.grace);
+                node.trap_accum = 0;
+                self.stats.watchdog_fires += 1;
+            }
+            match bill.kind {
+                HandlerKind::ReadExtend => {
+                    self.stats.read_trap_latency.record(bill.total());
+                    if self.stats.read_trap_bills.count() < MAX_RETAINED_BILLS {
+                        self.stats.read_trap_bills.record(bill);
+                    }
+                }
+                HandlerKind::WriteExtend => {
+                    self.stats.write_trap_latency.record(bill.total());
+                    if self.stats.write_trap_bills.count() < MAX_RETAINED_BILLS {
+                        self.stats.write_trap_bills.record(bill);
+                    }
+                }
+                _ => {}
+            }
+        }
+
+        for s in out.sends {
+            let depart = match s.timing {
+                SendTiming::Hw { offset } => now + Cycle(offset),
+                SendTiming::Sw { offset } => handler_start + Cycle(offset),
+            };
+            self.send(home, s.dst, block, s.msg, depart);
+        }
+    }
+}

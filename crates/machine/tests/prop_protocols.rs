@@ -21,7 +21,7 @@ fn programs(seed: u64, steps: usize) -> Vec<Box<dyn Program>> {
                     return Op::Finish;
                 }
                 step += 1;
-                if step % 16 == 0 {
+                if step.is_multiple_of(16) {
                     return Op::Barrier;
                 }
                 let r = rng.next_below(10);

@@ -48,7 +48,7 @@ impl MeshTopology {
         let mut best = (1u64, n64);
         let mut w = (n64 as f64).sqrt() as u64;
         while w >= 1 {
-            if n64 % w == 0 {
+            if n64.is_multiple_of(w) {
                 best = (w, n64 / w);
                 break;
             }
@@ -167,10 +167,7 @@ mod tests {
     fn diameter_matches_corner_to_corner() {
         let m = MeshTopology::new(16, 16);
         assert_eq!(m.diameter(), 30);
-        assert_eq!(
-            m.hops(m.node_at(0, 0), m.node_at(15, 15)),
-            m.diameter()
-        );
+        assert_eq!(m.hops(m.node_at(0, 0), m.node_at(15, 15)), m.diameter());
     }
 
     #[test]

@@ -68,6 +68,9 @@ fn contention_is_monotone() {
             busy.send(Cycle(i as u64), NodeId(0), NodeId((i % 15 + 1) as u16), 8);
         }
         let contended = busy.send(Cycle(100), NodeId(0), NodeId(5), 8);
-        assert!(contended >= baseline, "extra={extra}: contention sped up delivery");
+        assert!(
+            contended >= baseline,
+            "extra={extra}: contention sped up delivery"
+        );
     }
 }

@@ -1,0 +1,134 @@
+//! A fast, deterministic hasher for simulator-internal maps.
+//!
+//! `std::collections::HashMap` defaults to SipHash-1-3 with a
+//! per-process random seed — robust against adversarial keys, but slow
+//! for the small integer keys (block addresses, node ids) that
+//! dominate the simulator hot path, and randomly seeded, which is
+//! hostile to reproducibility. This module provides an FxHash-style
+//! multiply-and-rotate hasher (the algorithm popularized by the rustc
+//! compiler) with a fixed seed: 1–2 ns per `u64` key and identical
+//! iteration-independent behaviour on every run.
+//!
+//! Simulator determinism never *depends* on hash iteration order (the
+//! event queue breaks ties by sequence number), but a fixed hasher
+//! removes an entire class of accidental order dependence.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// The FxHash multiplier: a 64-bit constant derived from the golden
+/// ratio, chosen so multiplication mixes low-entropy integer keys.
+const K: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// FxHash-style hasher state.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(K);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            self.add_to_hash(u64::from_le_bytes(chunk.try_into().unwrap()));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut word = [0u8; 8];
+            word[..rest.len()].copy_from_slice(rest);
+            self.add_to_hash(u64::from_le_bytes(word));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, n: u8) {
+        self.add_to_hash(u64::from(n));
+    }
+
+    #[inline]
+    fn write_u16(&mut self, n: u16) {
+        self.add_to_hash(u64::from(n));
+    }
+
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.add_to_hash(u64::from(n));
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.add_to_hash(n);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.add_to_hash(n as u64);
+    }
+}
+
+/// Builds [`FxHasher`]s (all identical — the hasher is unseeded).
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// A `HashMap` using the deterministic [`FxHasher`].
+pub type FxHashMap<K, V> = HashMap<K, V, FxBuildHasher>;
+
+/// A `HashSet` using the deterministic [`FxHasher`].
+pub type FxHashSet<T> = HashSet<T, FxBuildHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::{BuildHasher, Hash};
+
+    fn hash_of<T: Hash>(v: T) -> u64 {
+        FxBuildHasher::default().hash_one(v)
+    }
+
+    #[test]
+    fn deterministic_across_builders() {
+        assert_eq!(hash_of(42u64), hash_of(42u64));
+        assert_eq!(hash_of("block"), hash_of("block"));
+    }
+
+    #[test]
+    fn distinguishes_nearby_keys() {
+        let h: Vec<u64> = (0..64u64).map(hash_of).collect();
+        let mut dedup = h.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), h.len(), "nearby keys must not collide");
+    }
+
+    #[test]
+    fn byte_stream_matches_word_writes_for_tail() {
+        // Unaligned tails hash consistently with themselves.
+        let mut a = FxHasher::default();
+        a.write(b"abcdefghija");
+        let mut b = FxHasher::default();
+        b.write(b"abcdefghija");
+        assert_eq!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn map_and_set_aliases_work() {
+        let mut m: FxHashMap<u64, &str> = FxHashMap::default();
+        m.insert(7, "seven");
+        assert_eq!(m.get(&7), Some(&"seven"));
+        let mut s: FxHashSet<u64> = FxHashSet::default();
+        assert!(s.insert(7));
+        assert!(!s.insert(7));
+    }
+}

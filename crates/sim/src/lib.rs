@@ -27,11 +27,13 @@
 //! assert_eq!(q.pop(), None);
 //! ```
 
+pub mod hash;
 pub mod ids;
 pub mod queue;
 pub mod rng;
 pub mod time;
 
+pub use hash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use ids::{Addr, BlockAddr, NodeId};
 pub use queue::EventQueue;
 pub use rng::SplitMix64;

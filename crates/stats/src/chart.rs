@@ -92,11 +92,7 @@ pub fn log_histogram(pairs: &[(u64, u64)], width: usize) -> String {
     let mut out = String::new();
     for &(value, count) in pairs {
         let cells = ((((count + 1) as f64).log10() / max_log) * width as f64).round() as usize;
-        let _ = writeln!(
-            out,
-            "{value:>5} |{} {count}",
-            "▒".repeat(cells.min(width))
-        );
+        let _ = writeln!(out, "{value:>5} |{} {count}", "▒".repeat(cells.min(width)));
     }
     out
 }

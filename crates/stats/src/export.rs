@@ -94,7 +94,10 @@ impl ExperimentExport {
             .meta
             .iter()
             .map(|(key, value)| {
-                JsonValue::Arr(vec![JsonValue::Str(key.clone()), JsonValue::from_f64(*value)])
+                JsonValue::Arr(vec![
+                    JsonValue::Str(key.clone()),
+                    JsonValue::from_f64(*value),
+                ])
             })
             .collect();
         let doc = JsonValue::Obj(vec![
@@ -128,7 +131,9 @@ impl ExperimentExport {
         for entry in doc.get("series")?.as_arr()? {
             let pair = entry.as_arr()?;
             let [label, values] = pair else {
-                return Err(JsonError::new("series entry must be a [label, values] pair"));
+                return Err(JsonError::new(
+                    "series entry must be a [label, values] pair",
+                ));
             };
             let values = values
                 .as_arr()?
@@ -145,7 +150,10 @@ impl ExperimentExport {
                     "histogram entry must be a [label, histogram] pair",
                 ));
             };
-            histograms.push((label.as_str()?.to_string(), Histogram::from_json_value(hist)?));
+            histograms.push((
+                label.as_str()?.to_string(),
+                Histogram::from_json_value(hist)?,
+            ));
         }
         let mut meta = Vec::new();
         // Absent `meta` tolerated for exports written before it existed.

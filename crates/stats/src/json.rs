@@ -263,7 +263,10 @@ impl Parser<'_> {
             Some(b'[') => self.array(),
             Some(b'{') => self.object(),
             Some(b) if b == b'-' || b.is_ascii_digit() => self.number(),
-            _ => Err(JsonError::new(format!("unexpected input at byte {}", self.pos))),
+            _ => Err(JsonError::new(format!(
+                "unexpected input at byte {}",
+                self.pos
+            ))),
         }
     }
 

@@ -98,7 +98,9 @@ fn main() {
 
     println!("WORKER (12-reader sets) on 16 nodes, DirnH2SNB:\n");
     println!("  stock LimitLESS handler : {stock_cycles:>8} cycles, {stock_invs} invalidations");
-    println!("  adaptive broadcast      : {adaptive_cycles:>8} cycles, {adaptive_invs} invalidations");
+    println!(
+        "  adaptive broadcast      : {adaptive_cycles:>8} cycles, {adaptive_invs} invalidations"
+    );
     println!(
         "\nThe adaptive handler trades {} extra invalidations for cheaper\n\
          directory handling of hot blocks — a protocol variant built\n\

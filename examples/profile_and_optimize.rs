@@ -47,7 +47,10 @@ fn main() {
     let profiled = m.run();
     // Handlers drop with the machine; reports were flushed eagerly.
     let classes = reports.lock().expect("sink");
-    let migratory = classes.iter().filter(|(_, c)| *c == BlockClass::Migratory).count();
+    let migratory = classes
+        .iter()
+        .filter(|(_, c)| *c == BlockClass::Migratory)
+        .count();
     let wide_rw = classes
         .iter()
         .filter(|(_, c)| *c == BlockClass::WidelySharedReadWrite)

@@ -9,7 +9,9 @@
 //! where `<app>` is one of `tsp aq smgrid evolve mp3d water`
 //! (default `tsp`).
 
-use limitless::apps::{run_app, sequential_cycles, App, Aq, Evolve, Mp3d, Scale, Smgrid, Tsp, Water};
+use limitless::apps::{
+    run_app, sequential_cycles, App, Aq, Evolve, Mp3d, Scale, Smgrid, Tsp, Water,
+};
 use limitless::core::ProtocolSpec;
 use limitless::machine::MachineConfig;
 use limitless::stats::Table;

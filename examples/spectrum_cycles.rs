@@ -53,7 +53,11 @@ fn main() {
                 .build();
             let report = run_app(app.as_ref(), cfg);
             total_events += report.events;
-            println!("{name:<7} {p:<16} cycles={} events={}", report.cycles.as_u64(), report.events);
+            println!(
+                "{name:<7} {p:<16} cycles={} events={}",
+                report.cycles.as_u64(),
+                report.events
+            );
         }
     }
     let wall = start.elapsed().as_secs_f64();

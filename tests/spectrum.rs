@@ -104,6 +104,80 @@ fn software_protocols_trap_and_full_map_does_not() {
     assert!(run(ProtocolSpec::zero_ptr()) > run(ProtocolSpec::limitless(2)));
 }
 
+/// The quick-scale golden configuration shared by the regression
+/// tests below and `examples/spectrum_cycles.rs` (which recaptures
+/// the constants when a deliberate timing-model change lands).
+fn golden_cfg(p: ProtocolSpec) -> MachineConfig {
+    MachineConfig::builder()
+        .nodes(8)
+        .protocol(p)
+        .victim_cache(true)
+        .check_coherence(true)
+        .build()
+}
+
+/// Golden cycle counts: the simulator is deterministic, so any drift
+/// here is a behavioral change in the protocol or timing model — not
+/// noise. Refactors (data-structure swaps, module splits) must keep
+/// every one of these values bit-identical.
+#[test]
+fn golden_cycle_counts_worker() {
+    let app = Worker {
+        set_size: 5,
+        blocks_per_node: 1,
+        iterations: 3,
+    };
+    let golden: [u64; 8] = [13315, 8992, 7677, 6722, 7055, 1970, 3780, 1970];
+    for (p, want) in spectrum().into_iter().zip(golden) {
+        let got = run_app(&app, golden_cfg(p)).cycles.as_u64();
+        assert_eq!(got, want, "WORKER cycle count drifted under {p}");
+    }
+}
+
+#[test]
+fn golden_cycle_counts_tsp() {
+    let app = Tsp {
+        cities: 7,
+        seed: 0x7591,
+        code_blocks: 48,
+    };
+    let golden: [u64; 8] = [
+        154647, 143783, 143783, 143822, 144011, 143993, 143601, 143601,
+    ];
+    for (p, want) in spectrum().into_iter().zip(golden) {
+        let got = run_app(&app, golden_cfg(p)).cycles.as_u64();
+        assert_eq!(got, want, "TSP cycle count drifted under {p}");
+    }
+}
+
+/// Two runs of the same seed and configuration must agree on *every*
+/// observable — cycles, event count, and the full statistics record —
+/// not just the headline number.
+#[test]
+fn same_seed_runs_are_bit_identical() {
+    let apps: Vec<Box<dyn App>> = vec![
+        Box::new(Worker {
+            set_size: 5,
+            blocks_per_node: 1,
+            iterations: 3,
+        }),
+        Box::new(Tsp {
+            cities: 7,
+            seed: 0x7591,
+            code_blocks: 48,
+        }),
+    ];
+    for app in &apps {
+        for p in [ProtocolSpec::limitless(2), ProtocolSpec::zero_ptr()] {
+            let a = run_app(app.as_ref(), golden_cfg(p));
+            let b = run_app(app.as_ref(), golden_cfg(p));
+            assert_eq!(a.cycles, b.cycles, "{} cycles under {p}", app.name());
+            assert_eq!(a.events, b.events, "{} events under {p}", app.name());
+            assert_eq!(a.stats, b.stats, "{} stats under {p}", app.name());
+        }
+    }
+}
+
 #[test]
 fn handler_implementation_changes_time_not_results() {
     use limitless::core::HandlerImpl;
