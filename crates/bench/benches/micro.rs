@@ -1,94 +1,12 @@
 //! Micro-benchmarks of the core data structures — the
 //! event-engine-overhead ablation called out in DESIGN.md §4.
 //!
-//! Timed with `std::time::Instant` (no external bench harness): each
-//! benchmark warms up briefly, then reports ns/iter over a fixed batch.
-
-use std::hint::black_box;
-use std::time::Instant;
-
-use limitless_core::{DirEngine, DirEvent, HandlerImpl, ProtocolSpec};
-use limitless_net::{MeshTopology, NetConfig, Network};
-use limitless_sim::{BlockAddr, Cycle, EventQueue, NodeId};
-
-fn bench<F: FnMut() -> R, R>(name: &str, mut f: F) {
-    const WARMUP: u32 = 50;
-    const ITERS: u32 = 2_000;
-    for _ in 0..WARMUP {
-        black_box(f());
-    }
-    let start = Instant::now();
-    for _ in 0..ITERS {
-        black_box(f());
-    }
-    let elapsed = start.elapsed();
-    let per_iter = elapsed.as_nanos() / u128::from(ITERS);
-    println!("{name:<32} {per_iter:>10} ns/iter  ({ITERS} iters)");
-}
-
-fn bench_event_queue() {
-    bench("event_queue_push_pop_1k", || {
-        let mut q = EventQueue::new();
-        for i in 0..1000u64 {
-            q.schedule(Cycle(i * 3 % 997), i);
-        }
-        let mut sum = 0u64;
-        while let Some((_, e)) = q.pop() {
-            sum = sum.wrapping_add(e);
-        }
-        sum
-    });
-}
-
-fn bench_network() {
-    let mut net = Network::new(MeshTopology::for_nodes(64), NetConfig::default());
-    let mut t = Cycle::ZERO;
-    bench("network_send_64node_mesh", || {
-        t += 1u64;
-        net.send(t, NodeId(3), NodeId(42), 4)
-    });
-}
-
-fn bench_directory_engine() {
-    let mut e = DirEngine::new(
-        NodeId(0),
-        64,
-        ProtocolSpec::limitless(5),
-        HandlerImpl::FlexibleC,
-    );
-    let mut i = 0u16;
-    bench("dir_engine_read_write_cycle", || {
-        i = (i + 1) % 63;
-        let out = e.handle(
-            BlockAddr(7),
-            DirEvent::Read {
-                from: NodeId(i + 1),
-            },
-        );
-        let w = e.handle(BlockAddr(7), DirEvent::Write { from: NodeId(63) });
-        for n in 1..64 {
-            let _ = e.handle(BlockAddr(7), DirEvent::InvAck { from: NodeId(n) });
-        }
-        (out.sends.len(), w.sends.len())
-    });
-}
-
-fn bench_cache() {
-    use limitless_cache::{CacheConfig, CacheSystem};
-    let mut cache = CacheSystem::new(CacheConfig::alewife_with_victim());
-    let mut i = 0u64;
-    bench("cache_read_write_mix", || {
-        i += 1;
-        let blk = BlockAddr(i % 8192);
-        let r = cache.read(blk);
-        cache.fill_shared(blk);
-        r
-    });
-}
+//! Thin wrapper around [`limitless_bench::micro`], which reports
+//! min/median ns/iter over repeated batches so queue numbers are
+//! stable enough to compare across PRs. Also available as
+//! `limitless-bench micro [--json PATH]` for CI records.
 
 fn main() {
-    bench_event_queue();
-    bench_network();
-    bench_directory_engine();
-    bench_cache();
+    let results = limitless_bench::micro::run_all();
+    print!("{}", limitless_bench::micro::render(&results));
 }

@@ -3,18 +3,27 @@
 //! ```text
 //! limitless-bench <experiment> [--paper] [--nodes N]
 //! limitless-bench all [--paper]
-//! limitless-bench sweep [--paper] [--nodes N] [--threads T] [--json PATH]
+//! limitless-bench sweep [--paper] [--nodes N] [--threads T]
+//!                       [--min-of N] [--json PATH] [--label L]
+//! limitless-bench micro [--json PATH]
 //! ```
 //!
 //! Experiments: `table1 table2 table3 fig2 fig3 fig4 fig5 fig6
-//! ablation-localbit ablation-network ablation-handlers`, plus
-//! `sweep` — the full protocol × application grid run through the
-//! threaded [`Runner`](limitless_bench::Runner), printing cycle
-//! counts, simulator throughput, and (with `--json`) the JSON
-//! experiment record.
+//! ablation-localbit ablation-network ablation-handlers`, plus two
+//! performance probes:
+//!
+//! - `sweep` — the full protocol × application grid run through the
+//!   threaded [`Runner`](limitless_bench::Runner), printing cycle
+//!   counts and simulator throughput. `--min-of N` repeats the grid
+//!   N times and keeps each cell's fastest wall time; `--json PATH`
+//!   upserts the measurement into the labelled ledger at PATH
+//!   (conventionally `BENCH_sweep.json` at the repo root), replacing
+//!   any record with the same `--label` and keeping the rest.
+//! - `micro` — data-structure micro-benchmarks, min/median over
+//!   repeated batches; `--json PATH` writes the record for CI.
 
 use limitless_apps::Scale;
-use limitless_bench::{experiments, runner, ExperimentSpec, Harness, Runner};
+use limitless_bench::{experiments, micro, runner, ExperimentSpec, Harness, Runner, SweepRecord};
 use limitless_stats::Table;
 
 fn main() {
@@ -27,6 +36,8 @@ fn main() {
     let mut nodes_override = None;
     let mut threads = None;
     let mut json_path = None;
+    let mut min_of = 1u32;
+    let mut label = "current".to_string();
     let mut name = String::new();
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
@@ -45,9 +56,25 @@ fn main() {
                     std::process::exit(2);
                 });
             }
+            "--min-of" => {
+                min_of = it
+                    .next()
+                    .and_then(|n| n.parse::<u32>().ok())
+                    .filter(|&n| n >= 1)
+                    .unwrap_or_else(|| {
+                        eprintln!("--min-of needs a number >= 1");
+                        std::process::exit(2);
+                    });
+            }
             "--json" => {
                 json_path = it.next().or_else(|| {
                     eprintln!("--json needs a path");
+                    std::process::exit(2);
+                });
+            }
+            "--label" => {
+                label = it.next().unwrap_or_else(|| {
+                    eprintln!("--label needs a name");
                     std::process::exit(2);
                 });
             }
@@ -62,26 +89,39 @@ fn main() {
         scale,
         nodes_override,
     };
+    if name == "micro" {
+        let results = micro::run_all();
+        print!("{}", micro::render(&results));
+        if let Some(path) = json_path {
+            if let Err(e) = std::fs::write(&path, micro::to_json(&results)) {
+                eprintln!("cannot write {path}: {e}");
+                std::process::exit(1);
+            }
+            println!("wrote {path}");
+        }
+        return;
+    }
     if name == "sweep" {
         let spec = ExperimentSpec::spectrum_grid(h);
         let r = match threads {
             Some(t) => Runner::with_threads(t),
             None => Runner::default(),
         };
-        let result = r.run(&spec);
+        let result = r.run_min_of(&spec, min_of);
         println!("== sweep ==");
         println!("{}", result.table().render());
         println!("{}", runner::throughput_line(&result));
         if let Some(path) = json_path {
-            let json = result.to_export().to_json().unwrap_or_else(|e| {
-                eprintln!("JSON export failed: {e}");
+            let mut ledger = limitless_bench::BenchLedger::load(&path).unwrap_or_else(|e| {
+                eprintln!("cannot load ledger {path}: {e}");
                 std::process::exit(1);
             });
-            if let Err(e) = std::fs::write(&path, json) {
+            ledger.upsert(SweepRecord::from_result(&label, &result));
+            if let Err(e) = ledger.save(&path) {
                 eprintln!("cannot write {path}: {e}");
                 std::process::exit(1);
             }
-            println!("wrote {path}");
+            println!("wrote record `{label}` (min of {min_of}) to {path}");
         }
         return;
     }
@@ -122,8 +162,10 @@ fn main() {
 fn usage() {
     eprintln!(
         "usage: limitless-bench <experiment|all> [--paper|--quick] [--nodes N]\n\
-         \x20      limitless-bench sweep [--paper|--quick] [--nodes N] [--threads T] [--json PATH]\n\
+         \x20      limitless-bench sweep [--paper|--quick] [--nodes N] [--threads T]\n\
+         \x20                            [--min-of N] [--json PATH] [--label L]\n\
+         \x20      limitless-bench micro [--json PATH]\n\
          experiments: table1 table2 table3 fig2 fig3 fig4 fig5 fig6 \
-         ablation-localbit ablation-network ablation-handlers sweep"
+         ablation-localbit ablation-network ablation-handlers sweep micro"
     );
 }

@@ -12,9 +12,12 @@ use limitless_core::{HandlerImpl, ProtocolSpec};
 use limitless_machine::{MachineConfig, RunReport};
 
 pub mod experiments;
+pub mod micro;
+pub mod record;
 pub mod runner;
 
 pub use experiments::applications;
+pub use record::{BenchLedger, CellRecord, SweepRecord};
 pub use runner::{AppFactory, CellResult, ExperimentResult, ExperimentSpec, Runner};
 
 /// Common knobs shared by every experiment harness.

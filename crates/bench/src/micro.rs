@@ -1,0 +1,209 @@
+//! Micro-benchmarks of the core data structures — the
+//! event-engine-overhead ablation called out in DESIGN.md §4.
+//!
+//! Timed with `std::time::Instant` (no external bench harness). Each
+//! benchmark warms up briefly, then runs several independent batches
+//! and reports the **min** and **median** ns/iter across batches: the
+//! min is the least-noise estimate (what the hardware can do), the
+//! median shows whether the min is an outlier. A single long mean —
+//! what this harness used to report — mixes scheduler noise into the
+//! number and makes cross-PR comparisons unstable.
+
+use std::hint::black_box;
+use std::time::Instant;
+
+use limitless_cache::{CacheConfig, CacheSystem};
+use limitless_core::{DirEngine, DirEvent, HandlerImpl, ProtocolSpec};
+use limitless_net::{MeshTopology, NetConfig, Network};
+use limitless_sim::{BlockAddr, Cycle, EventQueue, NodeId};
+use limitless_stats::JsonValue;
+
+/// Batches per benchmark; the reported min/median are taken across
+/// these. Odd so the median is a real sample.
+pub const BATCHES: usize = 9;
+/// Iterations per batch.
+pub const ITERS: u32 = 2_000;
+const WARMUP: u32 = 50;
+
+/// One benchmark's timing: ns/iter for every batch, in run order.
+#[derive(Clone, Debug)]
+pub struct MicroResult {
+    /// Benchmark name, e.g. `event_queue_push_pop_1k`.
+    pub name: String,
+    /// ns/iter per batch (length [`BATCHES`]).
+    pub batch_ns: Vec<u64>,
+}
+
+impl MicroResult {
+    /// Fastest batch — the least-noise estimate.
+    pub fn min_ns(&self) -> u64 {
+        self.batch_ns.iter().copied().min().unwrap_or(0)
+    }
+
+    /// Median batch — the stability check.
+    pub fn median_ns(&self) -> u64 {
+        let mut sorted = self.batch_ns.clone();
+        sorted.sort_unstable();
+        sorted.get(sorted.len() / 2).copied().unwrap_or(0)
+    }
+}
+
+fn bench<F: FnMut() -> R, R>(name: &str, mut f: F) -> MicroResult {
+    for _ in 0..WARMUP {
+        black_box(f());
+    }
+    let batch_ns = (0..BATCHES)
+        .map(|_| {
+            let start = Instant::now();
+            for _ in 0..ITERS {
+                black_box(f());
+            }
+            u64::try_from(start.elapsed().as_nanos() / u128::from(ITERS)).unwrap_or(u64::MAX)
+        })
+        .collect();
+    MicroResult {
+        name: name.to_string(),
+        batch_ns,
+    }
+}
+
+fn bench_event_queue() -> MicroResult {
+    bench("event_queue_push_pop_1k", || {
+        let mut q = EventQueue::new();
+        for i in 0..1000u64 {
+            q.schedule(Cycle(i * 3 % 997), i);
+        }
+        let mut sum = 0u64;
+        while let Some((_, e)) = q.pop() {
+            sum = sum.wrapping_add(e);
+        }
+        sum
+    })
+}
+
+fn bench_network() -> MicroResult {
+    let mut net = Network::new(MeshTopology::for_nodes(64), NetConfig::default());
+    let mut t = Cycle::ZERO;
+    bench("network_send_64node_mesh", || {
+        t += 1u64;
+        net.send(t, NodeId(3), NodeId(42), 4)
+    })
+}
+
+fn bench_directory_engine() -> MicroResult {
+    let mut e = DirEngine::new(
+        NodeId(0),
+        64,
+        ProtocolSpec::limitless(5),
+        HandlerImpl::FlexibleC,
+    );
+    let mut i = 0u16;
+    bench("dir_engine_read_write_cycle", || {
+        i = (i + 1) % 63;
+        let out = e.handle(
+            BlockAddr(7),
+            DirEvent::Read {
+                from: NodeId(i + 1),
+            },
+        );
+        let w = e.handle(BlockAddr(7), DirEvent::Write { from: NodeId(63) });
+        for n in 1..64 {
+            let _ = e.handle(BlockAddr(7), DirEvent::InvAck { from: NodeId(n) });
+        }
+        (out.sends.len(), w.sends.len())
+    })
+}
+
+fn bench_cache() -> MicroResult {
+    let mut cache = CacheSystem::new(CacheConfig::alewife_with_victim());
+    let mut i = 0u64;
+    bench("cache_read_write_mix", || {
+        i += 1;
+        let blk = BlockAddr(i % 8192);
+        let r = cache.read(blk);
+        cache.fill_shared(blk);
+        r
+    })
+}
+
+/// Runs every micro-benchmark and returns the batch timings.
+pub fn run_all() -> Vec<MicroResult> {
+    vec![
+        bench_event_queue(),
+        bench_network(),
+        bench_directory_engine(),
+        bench_cache(),
+    ]
+}
+
+/// Renders the results as the human-readable table the bench target
+/// prints.
+pub fn render(results: &[MicroResult]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<32} {:>10} {:>10}   ({} batches x {} iters)\n",
+        "benchmark", "min ns", "median ns", BATCHES, ITERS
+    ));
+    for r in results {
+        out.push_str(&format!(
+            "{:<32} {:>10} {:>10}\n",
+            r.name,
+            r.min_ns(),
+            r.median_ns()
+        ));
+    }
+    out
+}
+
+/// Serializes the results as a JSON record for CI artifacts: one
+/// entry per benchmark with min/median and the raw batch samples.
+pub fn to_json(results: &[MicroResult]) -> String {
+    let entries = results
+        .iter()
+        .map(|r| {
+            JsonValue::Obj(vec![
+                ("name".into(), JsonValue::Str(r.name.clone())),
+                ("min_ns".into(), JsonValue::from_u64(r.min_ns())),
+                ("median_ns".into(), JsonValue::from_u64(r.median_ns())),
+                (
+                    "batch_ns".into(),
+                    JsonValue::Arr(r.batch_ns.iter().map(|&n| JsonValue::from_u64(n)).collect()),
+                ),
+            ])
+        })
+        .collect();
+    let doc = JsonValue::Obj(vec![
+        ("batches".into(), JsonValue::from_u64(BATCHES as u64)),
+        ("iters".into(), JsonValue::from_u64(u64::from(ITERS))),
+        ("benchmarks".into(), JsonValue::Arr(entries)),
+    ]);
+    doc.pretty()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn min_and_median_come_from_the_batches() {
+        let r = MicroResult {
+            name: "x".into(),
+            batch_ns: vec![30, 10, 20, 50, 40],
+        };
+        assert_eq!(r.min_ns(), 10);
+        assert_eq!(r.median_ns(), 30);
+    }
+
+    #[test]
+    fn json_record_is_parseable() {
+        let r = MicroResult {
+            name: "q".into(),
+            batch_ns: vec![5, 7, 6],
+        };
+        let doc = JsonValue::parse(&to_json(&[r])).unwrap();
+        let benches = doc.get("benchmarks").unwrap().as_arr().unwrap();
+        assert_eq!(benches.len(), 1);
+        assert_eq!(benches[0].get("min_ns").unwrap().as_u64().unwrap(), 5);
+        assert_eq!(benches[0].get("median_ns").unwrap().as_u64().unwrap(), 6);
+    }
+}

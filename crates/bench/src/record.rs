@@ -1,0 +1,270 @@
+//! The perf-trajectory ledger: `BENCH_sweep.json` at the repo root.
+//!
+//! Each entry is one labelled measurement of the full sweep —
+//! min-of-N wall clock, aggregate throughput, and the per-cell
+//! breakdown — so future PRs can compare against a committed
+//! baseline instead of re-deriving one. Writing a record with an
+//! existing label replaces it (re-measuring a PR updates its row);
+//! new labels append, preserving the history.
+
+use limitless_stats::{JsonError, JsonValue};
+
+use crate::runner::ExperimentResult;
+
+/// One cell's contribution to a sweep record.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CellRecord {
+    /// Protocol label (series).
+    pub protocol: String,
+    /// Application label (point).
+    pub app: String,
+    /// Simulated cycles (bit-exact across hosts).
+    pub cycles: u64,
+    /// Simulation events processed.
+    pub events: u64,
+    /// Min-of-N host wall seconds for this cell.
+    pub wall_seconds: f64,
+}
+
+/// One labelled sweep measurement.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SweepRecord {
+    /// Record label, e.g. `pr1-baseline` or `pr2-ladder`.
+    pub label: String,
+    /// How many full runs the per-cell min was taken over.
+    pub min_of: u32,
+    /// Total host wall seconds (sum of per-cell minima).
+    pub wall_seconds: f64,
+    /// Total simulation events across all cells.
+    pub events: u64,
+    /// Aggregate events per wall second.
+    pub events_per_sec: f64,
+    /// Aggregate simulated cycles per wall second.
+    pub sim_cycles_per_sec: f64,
+    /// Per-cell breakdown (may be empty for hand-entered baselines).
+    pub cells: Vec<CellRecord>,
+}
+
+impl SweepRecord {
+    /// Builds a record from a completed (usually min-of-N) run.
+    pub fn from_result(label: &str, r: &ExperimentResult) -> Self {
+        SweepRecord {
+            label: label.to_string(),
+            min_of: r.min_of,
+            wall_seconds: r.total_wall_seconds(),
+            events: r.total_events(),
+            events_per_sec: r.events_per_sec(),
+            sim_cycles_per_sec: r.sim_cycles_per_sec(),
+            cells: r
+                .cells
+                .iter()
+                .map(|c| CellRecord {
+                    protocol: c.protocol.clone(),
+                    app: c.app.clone(),
+                    cycles: c.report.cycles.as_u64(),
+                    events: c.report.events,
+                    wall_seconds: c.report.wall_seconds,
+                })
+                .collect(),
+        }
+    }
+
+    fn to_json_value(&self) -> JsonValue {
+        let cells = self
+            .cells
+            .iter()
+            .map(|c| {
+                JsonValue::Obj(vec![
+                    ("protocol".into(), JsonValue::Str(c.protocol.clone())),
+                    ("app".into(), JsonValue::Str(c.app.clone())),
+                    ("cycles".into(), JsonValue::from_u64(c.cycles)),
+                    ("events".into(), JsonValue::from_u64(c.events)),
+                    ("wall_seconds".into(), JsonValue::from_f64(c.wall_seconds)),
+                ])
+            })
+            .collect();
+        JsonValue::Obj(vec![
+            ("label".into(), JsonValue::Str(self.label.clone())),
+            ("min_of".into(), JsonValue::from_u64(u64::from(self.min_of))),
+            (
+                "wall_seconds".into(),
+                JsonValue::from_f64(self.wall_seconds),
+            ),
+            ("events".into(), JsonValue::from_u64(self.events)),
+            (
+                "events_per_sec".into(),
+                JsonValue::from_f64(self.events_per_sec),
+            ),
+            (
+                "sim_cycles_per_sec".into(),
+                JsonValue::from_f64(self.sim_cycles_per_sec),
+            ),
+            ("cells".into(), JsonValue::Arr(cells)),
+        ])
+    }
+
+    fn from_json_value(v: &JsonValue) -> Result<Self, JsonError> {
+        let cells = v
+            .get("cells")?
+            .as_arr()?
+            .iter()
+            .map(|c| {
+                Ok(CellRecord {
+                    protocol: c.get("protocol")?.as_str()?.to_string(),
+                    app: c.get("app")?.as_str()?.to_string(),
+                    cycles: c.get("cycles")?.as_u64()?,
+                    events: c.get("events")?.as_u64()?,
+                    wall_seconds: c.get("wall_seconds")?.as_f64()?,
+                })
+            })
+            .collect::<Result<Vec<_>, JsonError>>()?;
+        Ok(SweepRecord {
+            label: v.get("label")?.as_str()?.to_string(),
+            min_of: u32::try_from(v.get("min_of")?.as_u64()?)
+                .map_err(|_| JsonError::new("min_of out of range"))?,
+            wall_seconds: v.get("wall_seconds")?.as_f64()?,
+            events: v.get("events")?.as_u64()?,
+            events_per_sec: v.get("events_per_sec")?.as_f64()?,
+            sim_cycles_per_sec: v.get("sim_cycles_per_sec")?.as_f64()?,
+            cells,
+        })
+    }
+}
+
+/// The whole ledger: every labelled record, in file order.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct BenchLedger {
+    /// Labelled sweep records.
+    pub records: Vec<SweepRecord>,
+}
+
+impl BenchLedger {
+    /// Loads a ledger from `path`; a missing file is an empty ledger
+    /// (first measurement on a fresh checkout).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the file exists but is malformed.
+    pub fn load(path: &str) -> Result<Self, JsonError> {
+        match std::fs::read_to_string(path) {
+            Ok(text) => Self::from_json(&text),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(Self::default()),
+            Err(e) => Err(JsonError::new(format!("cannot read {path}: {e}"))),
+        }
+    }
+
+    /// Inserts `record`, replacing any existing record with the same
+    /// label (in place, keeping its position).
+    pub fn upsert(&mut self, record: SweepRecord) {
+        match self.records.iter_mut().find(|r| r.label == record.label) {
+            Some(slot) => *slot = record,
+            None => self.records.push(record),
+        }
+    }
+
+    /// Looks up a record by label.
+    pub fn get(&self, label: &str) -> Option<&SweepRecord> {
+        self.records.iter().find(|r| r.label == label)
+    }
+
+    /// Serializes to pretty JSON.
+    pub fn to_json(&self) -> String {
+        JsonValue::Obj(vec![(
+            "records".into(),
+            JsonValue::Arr(
+                self.records
+                    .iter()
+                    .map(SweepRecord::to_json_value)
+                    .collect(),
+            ),
+        )])
+        .pretty()
+    }
+
+    /// Parses a previously written ledger.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on malformed JSON.
+    pub fn from_json(s: &str) -> Result<Self, JsonError> {
+        let doc = JsonValue::parse(s)?;
+        let records = doc
+            .get("records")?
+            .as_arr()?
+            .iter()
+            .map(SweepRecord::from_json_value)
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(BenchLedger { records })
+    }
+
+    /// Writes the ledger to `path`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the file cannot be written.
+    pub fn save(&self, path: &str) -> std::io::Result<()> {
+        let mut text = self.to_json();
+        text.push('\n');
+        std::fs::write(path, text)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(label: &str, wall: f64) -> SweepRecord {
+        SweepRecord {
+            label: label.to_string(),
+            min_of: 5,
+            wall_seconds: wall,
+            events: 1000,
+            events_per_sec: 1000.0 / wall,
+            sim_cycles_per_sec: 2000.0 / wall,
+            cells: vec![CellRecord {
+                protocol: "full-map".into(),
+                app: "ws=1".into(),
+                cycles: 2000,
+                events: 1000,
+                wall_seconds: wall,
+            }],
+        }
+    }
+
+    #[test]
+    fn round_trips_through_json() {
+        let mut ledger = BenchLedger::default();
+        ledger.upsert(rec("pr1-baseline", 0.2));
+        ledger.upsert(rec("pr2-ladder", 0.1));
+        let back = BenchLedger::from_json(&ledger.to_json()).unwrap();
+        assert_eq!(back, ledger);
+    }
+
+    #[test]
+    fn upsert_replaces_by_label_in_place() {
+        let mut ledger = BenchLedger::default();
+        ledger.upsert(rec("a", 0.3));
+        ledger.upsert(rec("b", 0.2));
+        ledger.upsert(rec("a", 0.1));
+        assert_eq!(ledger.records.len(), 2);
+        assert_eq!(ledger.records[0].label, "a");
+        assert_eq!(ledger.records[0].wall_seconds, 0.1);
+        assert_eq!(ledger.records[1].label, "b");
+    }
+
+    #[test]
+    fn empty_cells_tolerated_for_hand_entered_baselines() {
+        let mut r = rec("pr1-baseline", 0.187);
+        r.cells.clear();
+        let mut ledger = BenchLedger::default();
+        ledger.upsert(r);
+        let back = BenchLedger::from_json(&ledger.to_json()).unwrap();
+        assert!(back.get("pr1-baseline").unwrap().cells.is_empty());
+    }
+
+    #[test]
+    fn missing_file_loads_as_empty() {
+        let ledger = BenchLedger::load("/nonexistent/BENCH_sweep.json").unwrap();
+        assert!(ledger.records.is_empty());
+    }
+}

@@ -102,11 +102,92 @@ pub struct Send {
     pub timing: SendTiming,
 }
 
+/// The outgoing messages of one [`Outcome`].
+///
+/// A small-buffer list: the common case (zero to a handful of sends —
+/// a data reply, a few hardware invalidations) lives inline with no
+/// heap allocation, which matters because every protocol event on the
+/// simulator's hottest path builds one of these. Bursts larger than
+/// the inline capacity (full-map invalidations, broadcasts) spill to a
+/// `Vec`. Derefs to `[Send]`, so indexing, `len` and iteration read
+/// like a slice.
+#[derive(Clone, Debug)]
+pub enum SendList {
+    /// Up to `INLINE` sends stored in place.
+    Inline {
+        /// The storage; only `..len` is meaningful.
+        buf: [Send; SendList::INLINE],
+        /// Number of live entries.
+        len: u8,
+    },
+    /// Spilled storage for large bursts.
+    Heap(Vec<Send>),
+}
+
+impl SendList {
+    /// Inline capacity: covers a data reply plus the deepest
+    /// hardware-invalidation burst of the five-pointer protocol.
+    pub const INLINE: usize = 6;
+
+    const DUMMY: Send = Send {
+        dst: NodeId(0),
+        msg: ProtoMsg::ReadReq,
+        timing: SendTiming::Hw { offset: 0 },
+    };
+
+    /// Appends a send, spilling to the heap when the inline buffer
+    /// fills.
+    pub fn push(&mut self, s: Send) {
+        match self {
+            SendList::Inline { buf, len } => {
+                let l = usize::from(*len);
+                if l < SendList::INLINE {
+                    buf[l] = s;
+                    *len += 1;
+                } else {
+                    let mut v = Vec::with_capacity(2 * SendList::INLINE);
+                    v.extend_from_slice(buf);
+                    v.push(s);
+                    *self = SendList::Heap(v);
+                }
+            }
+            SendList::Heap(v) => v.push(s),
+        }
+    }
+}
+
+impl Default for SendList {
+    fn default() -> Self {
+        SendList::Inline {
+            buf: [SendList::DUMMY; SendList::INLINE],
+            len: 0,
+        }
+    }
+}
+
+impl std::ops::Deref for SendList {
+    type Target = [Send];
+    fn deref(&self) -> &[Send] {
+        match self {
+            SendList::Inline { buf, len } => &buf[..usize::from(*len)],
+            SendList::Heap(v) => v,
+        }
+    }
+}
+
+impl<'a> IntoIterator for &'a SendList {
+    type Item = &'a Send;
+    type IntoIter = std::slice::Iter<'a, Send>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.iter()
+    }
+}
+
 /// The result of handling one directory event.
 #[derive(Clone, Debug, Default)]
 pub struct Outcome {
     /// Messages to transmit.
-    pub sends: Vec<Send>,
+    pub sends: SendList,
     /// The home node must invalidate this block in its own cache
     /// (one-bit local pointer invalidation, or the zero-pointer
     /// protocol's first-remote-access flush). Dirty data is written

@@ -112,14 +112,10 @@ pub struct Machine {
     pub(crate) registry: Option<CoherenceRegistry>,
     pub(crate) tracker: Option<WorkerSetTracker>,
     pub(crate) queue: EventQueue<Ev>,
-    /// Per-node CMMU-internal loopback channel: the delivery time of
-    /// the most recent home↔home message. Local protocol traffic
-    /// (the home's own requests/fills and `LocalInv`) does not touch
-    /// the mesh; it flows through this dedicated FIFO so that a local
-    /// invalidation can never pass a local fill that is still in
-    /// flight (window-of-vulnerability closure), and never queues
-    /// behind unrelated network traffic.
-    pub(crate) loopback_free: Vec<Cycle>,
+    /// The inline dispatch slot: an event that is provably the global
+    /// next event skips the schedule→pop round trip and waits here for
+    /// the run loop instead. See [`Machine::post`].
+    pub(crate) pending_inline: Option<(Cycle, Ev)>,
     pub(crate) barrier_waiting: Vec<NodeId>,
     /// FIFO locks (the §7 lock data type): holder plus waiters in
     /// strict arrival order, interned-dense keyed by lock id.
@@ -172,7 +168,7 @@ impl Machine {
             nodes,
             mem: DenseMap::default(),
             queue: EventQueue::new(),
-            loopback_free: vec![Cycle::ZERO; cfg.nodes],
+            pending_inline: None,
             barrier_waiting: Vec::new(),
             locks: DenseMap::default(),
             barrier_generation: 0,

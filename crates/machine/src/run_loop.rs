@@ -35,7 +35,18 @@ impl Machine {
             .ok()
             .and_then(|v| v.parse().ok())
             .unwrap_or(MAX_EVENTS);
-        while let Some((now, ev)) = self.queue.pop() {
+        loop {
+            // The inline slot holds the provably next event (see
+            // `post`): take it without a queue round trip, or fall
+            // back to popping.
+            let (now, ev) = if let Some((t, ev)) = self.pending_inline.take() {
+                self.queue.advance_to(t);
+                (t, ev)
+            } else if let Some(next) = self.queue.pop() {
+                next
+            } else {
+                break;
+            };
             assert!(
                 self.queue.processed() < max_events,
                 "event limit exceeded: probable livelock at {now}"
@@ -56,113 +67,171 @@ impl Machine {
         self.collect_report(start.elapsed().as_secs_f64())
     }
 
-    // ------------------------------------------------------ programs
+    // ----------------------------------------------------- dispatch
 
-    fn step_program(&mut self, n: NodeId, now: Cycle) {
-        let i = n.index();
-        if self.nodes[i].done {
-            return;
+    /// Schedules `ev` at time `t`, short-circuiting the event queue
+    /// when `ev` is provably the next event the run loop will process.
+    ///
+    /// The fast lane fires when nothing is pending at or before `t`:
+    /// the event parks in `pending_inline` and the run loop hands it
+    /// straight to its handler — no heap/bucket traffic, no seq
+    /// assignment. This collapses the schedule→pop round trip for
+    /// cache-hit chains, zero-delay resumes and solo in-flight
+    /// messages, which dominate quiescent phases.
+    ///
+    /// Ordering safety: the slot is only filled when `t` is strictly
+    /// earlier than every queued event, and any later `post` flushes
+    /// the slot to the queue *before* scheduling — the queue is never
+    /// mutated while the slot is occupied, so the flushed event's
+    /// fresh sequence number cannot overtake a same-time event that
+    /// was scheduled after it. The simulation's `(time, seq)` total
+    /// order is exactly that of a queue-only run, which the golden
+    /// cycle-count tests pin down.
+    pub(crate) fn post(&mut self, t: Cycle, ev: Ev) {
+        if let Some((it, iev)) = self.pending_inline.take() {
+            self.queue.schedule(it, iev);
         }
-        // Protocol handlers steal processor cycles: user code resumes
-        // only when the handler (and any watchdog grace) completes.
-        let busy = self.nodes[i].trap_busy_until;
-        if busy > now {
-            self.queue.schedule(busy, Ev::Resume(n));
-            return;
-        }
-        self.nodes[i].trap_accum = 0; // user code made progress
-
-        let last = self.nodes[i].last_value.take();
-        let op = self.nodes[i].program.next(n, last);
-        match op {
-            Op::Compute(c) => {
-                let instr_blocks = (c / 8).max(1);
-                let penalty = self.ifetch(i, instr_blocks, now);
-                self.queue
-                    .schedule(now + Cycle(c) + Cycle(penalty), Ev::Resume(n));
-            }
-            Op::Barrier => self.barrier_wait(n, now),
-            Op::LockAcquire(lock) => self.lock_acquire(lock, n, now),
-            Op::LockRelease(lock) => self.lock_release(lock, n, now),
-            Op::Finish => {
-                self.nodes[i].done = true;
-                self.finished += 1;
-                self.finish_time = self.finish_time.max(now);
-                // A finishing node may complete the barrier for the
-                // rest.
-                self.check_barrier(now);
-            }
-            Op::Read(addr) => {
-                let penalty = self.ifetch(i, 1, now);
-                let block = addr.block(self.cfg.cache.line_bytes);
-                match self.nodes[i].cache.read(block) {
-                    Access::Hit => {
-                        self.stats.hits += 1;
-                        self.finish_access(
-                            n,
-                            addr,
-                            false,
-                            None,
-                            0,
-                            now + Cycle(self.cfg.proc.hit + penalty),
-                        );
-                    }
-                    Access::VictimHit => {
-                        self.stats.hits += 1;
-                        self.finish_access(
-                            n,
-                            addr,
-                            false,
-                            None,
-                            0,
-                            now + Cycle(self.cfg.proc.hit + self.cfg.proc.victim_hit + penalty),
-                        );
-                    }
-                    Access::UpgradeMiss | Access::Miss { .. } => {
-                        self.start_miss(n, addr, false, 0, None, now + Cycle(penalty));
-                    }
-                }
-            }
-            Op::Write(addr, v) => self.write_like(n, addr, v, None, now),
-            Op::Rmw(addr, rmw) => self.write_like(n, addr, 0, Some(rmw), now),
+        match self.queue.peek_time() {
+            Some(pt) if pt <= t => self.queue.schedule(t, ev),
+            _ => self.pending_inline = Some((t, ev)),
         }
     }
 
-    fn write_like(&mut self, n: NodeId, addr: Addr, v: u64, rmw: Option<Rmw>, now: Cycle) {
+    // ------------------------------------------------------ programs
+
+    /// Steps `n`'s program, chaining consecutive operations inline:
+    /// after a cache hit, a compute phase or a local fast fill, if the
+    /// resume moment is provably the next event in the whole machine
+    /// (nothing queued at or before it, inline slot empty), the loop
+    /// advances the clock and executes the next operation directly —
+    /// no `Resume` event is built, scheduled, popped or dispatched.
+    /// `advance_to` counts each chained step as one processed event, so
+    /// event counts (and the total order) are exactly those of a
+    /// queue-only run.
+    fn step_program(&mut self, n: NodeId, mut now: Cycle) {
+        let i = n.index();
+        loop {
+            if self.nodes[i].done {
+                return;
+            }
+            // Protocol handlers steal processor cycles: user code
+            // resumes only when the handler (and any watchdog grace)
+            // completes.
+            let busy = self.nodes[i].trap_busy_until;
+            if busy > now {
+                self.post(busy, Ev::Resume(n));
+                return;
+            }
+            self.nodes[i].trap_accum = 0; // user code made progress
+
+            let last = self.nodes[i].last_value.take();
+            let op = self.nodes[i].program.next(n, last);
+            // The time this node's program resumes, when that is known
+            // synchronously; `None` means the operation handed control
+            // to the protocol or sync machinery, which resumes the
+            // program itself.
+            let resume = match op {
+                Op::Compute(c) => {
+                    let instr_blocks = (c / 8).max(1);
+                    let penalty = self.ifetch(i, instr_blocks, now);
+                    Some(now + Cycle(c) + Cycle(penalty))
+                }
+                Op::Barrier => {
+                    self.barrier_wait(n, now);
+                    None
+                }
+                Op::LockAcquire(lock) => {
+                    self.lock_acquire(lock, n, now);
+                    None
+                }
+                Op::LockRelease(lock) => {
+                    self.lock_release(lock, n, now);
+                    None
+                }
+                Op::Finish => {
+                    self.nodes[i].done = true;
+                    self.finished += 1;
+                    self.finish_time = self.finish_time.max(now);
+                    // A finishing node may complete the barrier for
+                    // the rest.
+                    self.check_barrier(now);
+                    None
+                }
+                Op::Read(addr) => {
+                    let penalty = self.ifetch(i, 1, now);
+                    let block = addr.block(self.cfg.cache.line_bytes);
+                    match self.nodes[i].cache.read(block) {
+                        Access::Hit => {
+                            self.stats.hits += 1;
+                            let t = now + Cycle(self.cfg.proc.hit + penalty);
+                            Some(self.finish_access(n, addr, false, None, 0, t))
+                        }
+                        Access::VictimHit => {
+                            self.stats.hits += 1;
+                            let t =
+                                now + Cycle(self.cfg.proc.hit + self.cfg.proc.victim_hit + penalty);
+                            Some(self.finish_access(n, addr, false, None, 0, t))
+                        }
+                        Access::UpgradeMiss | Access::Miss { .. } => {
+                            self.start_miss(n, addr, false, 0, None, now + Cycle(penalty))
+                        }
+                    }
+                }
+                Op::Write(addr, v) => self.write_like(n, addr, v, None, now),
+                Op::Rmw(addr, rmw) => self.write_like(n, addr, 0, Some(rmw), now),
+            };
+            let Some(t) = resume else {
+                return;
+            };
+            // Chain inline when the resume is provably next; otherwise
+            // fall back to `post`, which applies the same test for its
+            // single-event fast lane.
+            if self.pending_inline.is_none() && self.queue.peek_time().is_none_or(|pt| pt > t) {
+                self.queue.advance_to(t);
+                now = t;
+                continue;
+            }
+            self.post(t, Ev::Resume(n));
+            return;
+        }
+    }
+
+    /// Executes a write-flavoured op, returning the synchronous resume
+    /// time (hits and local fast fills) or `None` when the protocol
+    /// takes over.
+    fn write_like(
+        &mut self,
+        n: NodeId,
+        addr: Addr,
+        v: u64,
+        rmw: Option<Rmw>,
+        now: Cycle,
+    ) -> Option<Cycle> {
         let i = n.index();
         let penalty = self.ifetch(i, 1, now);
         let block = addr.block(self.cfg.cache.line_bytes);
         match self.nodes[i].cache.write(block) {
             Access::Hit => {
                 self.stats.hits += 1;
-                self.finish_access(
-                    n,
-                    addr,
-                    true,
-                    rmw,
-                    v,
-                    now + Cycle(self.cfg.proc.hit + penalty),
-                );
+                let t = now + Cycle(self.cfg.proc.hit + penalty);
+                Some(self.finish_access(n, addr, true, rmw, v, t))
             }
             Access::VictimHit => {
                 self.stats.hits += 1;
-                self.finish_access(
-                    n,
-                    addr,
-                    true,
-                    rmw,
-                    v,
-                    now + Cycle(self.cfg.proc.hit + self.cfg.proc.victim_hit + penalty),
-                );
+                let t = now + Cycle(self.cfg.proc.hit + self.cfg.proc.victim_hit + penalty);
+                Some(self.finish_access(n, addr, true, rmw, v, t))
             }
             Access::UpgradeMiss | Access::Miss { .. } => {
-                self.start_miss(n, addr, true, v, rmw, now + Cycle(penalty));
+                self.start_miss(n, addr, true, v, rmw, now + Cycle(penalty))
             }
         }
     }
 
     /// Completes a memory operation at time `t`: applies its effect to
-    /// shadow memory and resumes the program.
+    /// shadow memory and returns the time the program resumes. The
+    /// caller either chains the next operation inline (see
+    /// [`Machine::step_program`]) or posts a `Resume`.
+    #[must_use]
     pub(crate) fn finish_access(
         &mut self,
         n: NodeId,
@@ -171,7 +240,7 @@ impl Machine {
         rmw: Option<Rmw>,
         wvalue: u64,
         t: Cycle,
-    ) {
+    ) -> Cycle {
         let i = n.index();
         if is_write {
             self.stats.writes += 1;
@@ -190,13 +259,16 @@ impl Machine {
             self.stats.reads += 1;
             self.nodes[i].last_value = Some(self.mem.get(addr).copied().unwrap_or(0));
         }
-        if let Some(t) = self.tracker.as_mut() {
+        if let Some(tr) = self.tracker.as_mut() {
             let block = addr.block(self.cfg.cache.line_bytes);
-            t.touch(block.0, n.0, is_write);
+            tr.touch(block.0, n.0, is_write);
         }
-        self.queue.schedule(t, Ev::Resume(n));
+        t
     }
 
+    /// Issues a miss. Returns the resume time when the access completes
+    /// synchronously (the local fast path), `None` once the protocol
+    /// owns the transaction.
     fn start_miss(
         &mut self,
         n: NodeId,
@@ -205,7 +277,7 @@ impl Machine {
         wvalue: u64,
         rmw: Option<Rmw>,
         now: Cycle,
-    ) {
+    ) -> Option<Cycle> {
         self.stats.misses += 1;
         let i = n.index();
         let block = addr.block(self.cfg.cache.line_bytes);
@@ -225,8 +297,7 @@ impl Machine {
             };
             self.handle_displacement(n, wb, now);
             let t = now + Cycle(self.cfg.proc.issue + 10 /* local DRAM */ + self.cfg.proc.fill);
-            self.finish_access(n, addr, is_write, rmw, wvalue, t);
-            return;
+            return Some(self.finish_access(n, addr, is_write, rmw, wvalue, t));
         }
 
         debug_assert!(
@@ -247,6 +318,7 @@ impl Machine {
             ProtoMsg::ReadReq
         };
         self.send(n, home, block, msg, now + Cycle(self.cfg.proc.issue));
+        None
     }
 
     fn retry(&mut self, n: NodeId, now: Cycle) {
@@ -274,17 +346,10 @@ impl Machine {
         msg: ProtoMsg,
         at: Cycle,
     ) {
-        let deliver = if src == dst {
-            // CMMU-internal loopback: fixed latency, dedicated FIFO
-            // (delivery strictly in send order).
-            let ch = &mut self.loopback_free[src.index()];
-            let t = (at + Cycle(6)).max(*ch + Cycle(1));
-            *ch = t;
-            t
-        } else {
-            self.net.send_sized(at, src, dst, msg.flits())
-        };
-        self.queue.schedule(
+        // The network owns all delivery timing, including the
+        // CMMU-internal loopback FIFO for self-addressed messages.
+        let deliver = self.net.send_sized(at, src, dst, msg.flits());
+        self.post(
             deliver,
             Ev::Deliver {
                 src,
@@ -382,7 +447,7 @@ impl Machine {
                 if let Some(p) = self.nodes[i].pending.as_mut() {
                     p.retries += 1;
                     let backoff = self.cfg.proc.busy_backoff * u64::from(p.retries.min(8));
-                    self.queue.schedule(now + Cycle(backoff), Ev::Retry(dst));
+                    self.post(now + Cycle(backoff), Ev::Retry(dst));
                 }
             }
             ProtoMsg::Inv => {
@@ -434,7 +499,17 @@ impl Machine {
             return; // duplicate grant (e.g. after an upgrade race)
         };
         let t = now + Cycle(self.cfg.proc.fill);
-        self.finish_access(n, p.addr, p.is_write, p.rmw, p.wvalue, t);
+        let t = self.finish_access(n, p.addr, p.is_write, p.rmw, p.wvalue, t);
+        // Chain straight into program stepping when the resume is
+        // provably the machine's next event (the common case for a
+        // solo in-flight miss); `step_program` keeps chaining from
+        // there. Otherwise go through the normal dispatch.
+        if self.pending_inline.is_none() && self.queue.peek_time().is_none_or(|pt| pt > t) {
+            self.queue.advance_to(t);
+            self.step_program(n, t);
+        } else {
+            self.post(t, Ev::Resume(n));
+        }
     }
 
     /// A fill displaced a dirty block out of the victim path: write it

@@ -29,7 +29,7 @@ impl Machine {
         if alive > 0 && self.barrier_waiting.len() == alive {
             self.barrier_generation += 1;
             self.stats.barriers += 1;
-            self.queue.schedule(
+            self.post(
                 now + Cycle(self.cfg.barrier_cycles),
                 Ev::BarrierRelease(self.barrier_generation),
             );
@@ -41,7 +41,7 @@ impl Machine {
             return;
         }
         for n in std::mem::take(&mut self.barrier_waiting) {
-            self.queue.schedule(now, Ev::Resume(n));
+            self.post(now, Ev::Resume(n));
         }
     }
 
@@ -50,8 +50,7 @@ impl Machine {
         if st.holder.is_none() && st.waiters.is_empty() {
             // Uncontended: one round trip to the lock object.
             st.holder = Some(n);
-            self.queue
-                .schedule(now + Cycle(LOCK_LATENCY), Ev::Resume(n));
+            self.post(now + Cycle(LOCK_LATENCY), Ev::Resume(n));
         } else {
             st.waiters.push_back(n); // strict FIFO
         }
@@ -71,10 +70,9 @@ impl Machine {
         if let Some(next) = st.waiters.pop_front() {
             // Hand-over latency: the protocol software passes
             // the lock straight to the oldest waiter.
-            self.queue
-                .schedule(now + Cycle(LOCK_LATENCY), Ev::LockGrant(lock, next));
+            self.post(now + Cycle(LOCK_LATENCY), Ev::LockGrant(lock, next));
         }
-        self.queue.schedule(now + Cycle(4), Ev::Resume(n));
+        self.post(now + Cycle(4), Ev::Resume(n));
     }
 
     pub(crate) fn grant_lock(&mut self, lock: u32, holder: NodeId, now: Cycle) {
@@ -82,6 +80,6 @@ impl Machine {
         debug_assert!(st.holder.is_none(), "lock {lock} granted while held");
         st.holder = Some(holder);
         self.stats.lock_handoffs += 1;
-        self.queue.schedule(now, Ev::Resume(holder));
+        self.post(now, Ev::Resume(holder));
     }
 }

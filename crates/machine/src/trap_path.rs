@@ -87,7 +87,7 @@ impl Machine {
             }
         }
 
-        for s in out.sends {
+        for s in out.sends.iter().copied() {
             let depart = match s.timing {
                 SendTiming::Hw { offset } => now + Cycle(offset),
                 SendTiming::Sw { offset } => handler_start + Cycle(offset),

@@ -20,8 +20,10 @@ pub struct NetConfig {
     pub flit_cycles: u64,
     /// Fixed cost for the sending CMMU to compose and inject a message.
     pub inject_cycles: u64,
-    /// Minimum latency for a node sending a message to itself (local
-    /// loopback through the CMMU, no mesh traversal).
+    /// Minimum latency for a node sending a message to itself: the
+    /// CMMU-internal loopback FIFO, no mesh traversal and no flit
+    /// serialization (the CMMU forwards internally at this modelling
+    /// granularity).
     pub loopback_cycles: u64,
 }
 
@@ -31,7 +33,7 @@ impl Default for NetConfig {
             hop_cycles: 1,
             flit_cycles: 1,
             inject_cycles: 2,
-            loopback_cycles: 4,
+            loopback_cycles: 6,
         }
     }
 }
@@ -51,6 +53,10 @@ pub struct NetStats {
     pub rx_wait_cycles: u64,
     /// Sum over messages of end-to-end latency (send call to delivery).
     pub total_latency: u64,
+    /// Messages that never touched the mesh: CMMU-internal loopback
+    /// deliveries. Counted separately and excluded from `messages`,
+    /// `flits` and `total_latency`, which describe mesh traffic only.
+    pub loopback_messages: u64,
 }
 
 impl NetStats {
@@ -90,6 +96,14 @@ pub struct Network {
     tx_free: Vec<Cycle>,
     /// Earliest time each node's receive queue is free.
     rx_free: Vec<Cycle>,
+    /// Per-node CMMU-internal loopback channel: the delivery time of
+    /// the most recent self-addressed message. Local protocol traffic
+    /// (a home's own requests/fills and local invalidations) does not
+    /// touch the mesh; it flows through this dedicated FIFO so that a
+    /// local invalidation can never pass a local fill still in flight
+    /// (window-of-vulnerability closure), and never queues behind
+    /// unrelated network traffic.
+    loopback_free: Vec<Cycle>,
     stats: NetStats,
 }
 
@@ -102,6 +116,7 @@ impl Network {
             cfg,
             tx_free: vec![Cycle::ZERO; n],
             rx_free: vec![Cycle::ZERO; n],
+            loopback_free: vec![Cycle::ZERO; n],
             stats: NetStats::default(),
         }
     }
@@ -123,21 +138,20 @@ impl Network {
     ///
     /// Panics if `src` or `dst` lies outside the mesh.
     pub fn send(&mut self, now: Cycle, src: NodeId, dst: NodeId, flits: u32) -> Cycle {
-        let serialize = Cycle(u64::from(flits) * self.cfg.flit_cycles);
-
         if src == dst {
-            // Local loopback: CMMU-internal, still serialized through
-            // the receive queue so that a node cannot absorb unbounded
-            // simultaneous traffic.
-            let ready = now + Cycle(self.cfg.loopback_cycles);
-            let rx = &mut self.rx_free[dst.index()];
-            let start = ready.max(*rx);
-            let deliver = start + serialize;
-            self.stats.rx_wait_cycles += (start - ready).as_u64();
-            *rx = deliver;
-            self.record(now, deliver, flits);
+            // CMMU-internal loopback: fixed latency through a dedicated
+            // per-node FIFO (delivery strictly in send order). It never
+            // touches the mesh or the endpoint queues, message size is
+            // irrelevant at this granularity, and it is not mesh
+            // traffic for the stats.
+            let ch = &mut self.loopback_free[src.index()];
+            let deliver = (now + Cycle(self.cfg.loopback_cycles)).max(*ch + Cycle(1));
+            *ch = deliver;
+            self.stats.loopback_messages += 1;
             return deliver;
         }
+
+        let serialize = Cycle(u64::from(flits) * self.cfg.flit_cycles);
 
         // Transmit side: wait for the queue, then serialize out.
         let inject_ready = now + Cycle(self.cfg.inject_cycles);
@@ -252,6 +266,24 @@ mod tests {
         let mut m = net(16);
         let remote = m.send(Cycle(0), NodeId(3), NodeId(4), 4);
         assert!(t < remote);
+    }
+
+    #[test]
+    fn loopback_is_a_dedicated_fifo() {
+        let mut n = net(16);
+        // Strictly in send order, one cycle apart when saturated...
+        let a = n.send(Cycle(0), NodeId(3), NodeId(3), 4);
+        let b = n.send(Cycle(0), NodeId(3), NodeId(3), 12);
+        assert_eq!(a, Cycle(NetConfig::default().loopback_cycles));
+        assert_eq!(b, a + Cycle(1)); // size-independent
+                                     // ...and independent of mesh traffic through the same node.
+        let before = n.send(Cycle(0), NodeId(2), NodeId(3), 8);
+        let c = n.send(Cycle(0), NodeId(3), NodeId(3), 4);
+        assert_eq!(c, b + Cycle(1));
+        assert!(before > Cycle(0));
+        // Loopback is counted separately, not as mesh traffic.
+        assert_eq!(n.stats().loopback_messages, 3);
+        assert_eq!(n.stats().messages, 1);
     }
 
     #[test]

@@ -18,10 +18,14 @@ use limitless_sim::NodeId;
 /// assert_eq!(m.nodes(), 16);
 /// assert_eq!(m.hops(NodeId(0), NodeId(15)), 6); // (0,0) -> (3,3)
 /// ```
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct MeshTopology {
     width: u16,
     height: u16,
+    /// Row-major `(x, y)` per node, precomputed at construction so the
+    /// per-message `hops` lookup is two table reads and two
+    /// subtractions instead of a divide and a modulo.
+    coords: Box<[(u16, u16)]>,
 }
 
 impl MeshTopology {
@@ -32,7 +36,14 @@ impl MeshTopology {
     /// Panics if either dimension is zero.
     pub fn new(width: u16, height: u16) -> Self {
         assert!(width > 0 && height > 0, "mesh dimensions must be positive");
-        MeshTopology { width, height }
+        let coords = (0..height)
+            .flat_map(|y| (0..width).map(move |x| (x, y)))
+            .collect();
+        MeshTopology {
+            width,
+            height,
+            coords,
+        }
     }
 
     /// Creates the squarest mesh holding exactly `n` nodes: a
@@ -82,7 +93,7 @@ impl MeshTopology {
     /// Panics if the node is outside the mesh.
     pub fn coords(&self, node: NodeId) -> (u16, u16) {
         assert!(node.index() < self.nodes(), "node {node} outside mesh");
-        (node.0 % self.width, node.0 / self.width)
+        self.coords[node.index()]
     }
 
     /// The node at (x, y).
@@ -98,8 +109,8 @@ impl MeshTopology {
     /// Number of network hops between two nodes under dimension-ordered
     /// routing (the Manhattan distance). Zero for `a == b`.
     pub fn hops(&self, a: NodeId, b: NodeId) -> u32 {
-        let (ax, ay) = self.coords(a);
-        let (bx, by) = self.coords(b);
+        let (ax, ay) = self.coords[a.index()];
+        let (bx, by) = self.coords[b.index()];
         u32::from(ax.abs_diff(bx)) + u32::from(ay.abs_diff(by))
     }
 

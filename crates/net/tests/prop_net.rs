@@ -43,7 +43,7 @@ fn latency_has_a_physical_floor() {
         let at = rng.next_below(10_000);
         let topo = MeshTopology::for_nodes(16);
         let cfg = NetConfig::default();
-        let mut net = Network::new(topo, cfg);
+        let mut net = Network::new(topo.clone(), cfg);
         let t = net.send(Cycle(at), NodeId(src), NodeId(dst), flits);
         assert!(t > Cycle(at), "case {case}: delivery precedes send");
         if src != dst {

@@ -1,0 +1,527 @@
+//! The ladder (calendar) event queue: the simulator's hot-path queue.
+//!
+//! Nearly every event a coherence simulation schedules lands within a
+//! few hundred cycles of the present — cache-hit latencies, per-hop
+//! network delays, handler occupancies, BUSY backoffs. A binary heap
+//! pays `O(log n)` and a cache miss or two for each of them. This
+//! queue instead keeps an array of per-cycle FIFO buckets over a
+//! sliding near-future *window*; scheduling into the window is an
+//! `O(1)` append, and popping is an `O(1)` front-dequeue after a
+//! bitmap scan for the next occupied cycle. Far-future events (barrier
+//! releases, long `Compute` phases) spill to a sorted overflow heap
+//! that refills the window as the clock advances.
+//!
+//! # Ordering
+//!
+//! The queue preserves the exact `(time, seq)` total order of the
+//! [`HeapEventQueue`](crate::queue::HeapEventQueue) reference
+//! implementation — the NWO-style determinism the paper's controlled
+//! protocol comparisons rely on:
+//!
+//! * a bucket holds events of exactly one cycle, appended in `seq`
+//!   order, so its FIFO order *is* the tie-break order;
+//! * the overflow heap orders by `(time, seq)`, and its events migrate
+//!   into buckets the moment the window reaches them — *before* any
+//!   later-scheduled (higher-`seq`) event can be appended to the same
+//!   bucket directly.
+//!
+//! `crates/sim/tests/ladder_vs_heap.rs` checks the equivalence under
+//! thousands of randomized schedule/pop interleavings.
+
+use std::collections::{BinaryHeap, VecDeque};
+
+use crate::time::Cycle;
+
+/// Size of the near-future window in cycles. Power of two so the
+/// bucket index is a mask. 1024 comfortably covers every short-lived
+/// event in the machine model (hit latencies, hop counts, handler
+/// occupancies, capped BUSY backoffs).
+const WINDOW: usize = 1024;
+const MASK: u64 = WINDOW as u64 - 1;
+const WORDS: usize = WINDOW / 64;
+
+/// One event parked in a window bucket. The sequence number exists
+/// only in debug builds, to assert that appends arrive in `seq` order;
+/// release builds rely on the migration-order argument in the module
+/// docs (checked by the differential test) and keep bucket entries a
+/// bare `E`, so the hot path moves 8 fewer bytes per event.
+struct Slot<E> {
+    #[cfg(debug_assertions)]
+    seq: u64,
+    event: E,
+}
+
+impl<E> Slot<E> {
+    #[cfg(debug_assertions)]
+    fn new(seq: u64, event: E) -> Self {
+        Slot { seq, event }
+    }
+    #[cfg(not(debug_assertions))]
+    #[inline]
+    fn new(_seq: u64, event: E) -> Self {
+        Slot { event }
+    }
+}
+
+/// An overflow entry, min-ordered by `(time, seq)`.
+struct FarEntry<E> {
+    time: Cycle,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for FarEntry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<E> Eq for FarEntry<E> {}
+impl<E> PartialOrd for FarEntry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for FarEntry<E> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest event wins.
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A priority queue of timestamped events with deterministic total
+/// order, implemented as a ladder/calendar queue.
+///
+/// Ties in simulated time are broken by scheduling order (FIFO), which
+/// makes every simulation a pure function of its inputs — the property
+/// the paper's NWO simulator relies on for controlled protocol
+/// comparisons.
+///
+/// # Examples
+///
+/// ```
+/// use limitless_sim::{Cycle, EventQueue};
+///
+/// let mut q = EventQueue::new();
+/// q.schedule(Cycle(2), 'x');
+/// q.schedule(Cycle(1), 'y');
+/// assert_eq!(q.len(), 2);
+/// assert_eq!(q.pop(), Some((Cycle(1), 'y')));
+/// assert_eq!(q.pop(), Some((Cycle(2), 'x')));
+/// ```
+pub struct EventQueue<E> {
+    /// One FIFO per cycle of the active window; bucket `t & MASK`
+    /// holds only events for cycle `t`, `t` in `[now, now + WINDOW)`.
+    buckets: Vec<VecDeque<Slot<E>>>,
+    /// One bit per bucket: set iff the bucket is non-empty.
+    occupied: [u64; WORDS],
+    /// Events currently sitting in window buckets.
+    in_window: usize,
+    /// Events at `>= now + WINDOW`, min-ordered by `(time, seq)`.
+    far: BinaryHeap<FarEntry<E>>,
+    /// Cached location of the earliest window event: `(time, bucket)`.
+    /// `None` means unknown (recomputed lazily by a bitmap scan), so
+    /// peeks and pops are `O(1)` except right after a bucket drains.
+    /// Invariant when `Some`: it names the minimum over *all* pending
+    /// events, because eager refilling keeps every overflow event at
+    /// `>= now + WINDOW`, later than anything in a bucket.
+    hint: Option<(Cycle, usize)>,
+    next_seq: u64,
+    now: Cycle,
+    processed: u64,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue with the clock at [`Cycle::ZERO`].
+    pub fn new() -> Self {
+        EventQueue {
+            buckets: (0..WINDOW).map(|_| VecDeque::new()).collect(),
+            occupied: [0; WORDS],
+            in_window: 0,
+            far: BinaryHeap::new(),
+            hint: None,
+            next_seq: 0,
+            now: Cycle::ZERO,
+            processed: 0,
+        }
+    }
+
+    /// Schedules `event` to fire at absolute time `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is earlier than the current time returned by
+    /// [`EventQueue::now`] — scheduling into the past would violate
+    /// causality and indicates a simulator bug.
+    pub fn schedule(&mut self, at: Cycle, event: E) {
+        assert!(
+            at >= self.now,
+            "event scheduled in the past: at={at}, now={}",
+            self.now
+        );
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        if at.0 - self.now.0 < WINDOW as u64 {
+            self.push_bucket(at, seq, event);
+        } else {
+            self.far.push(FarEntry {
+                time: at,
+                seq,
+                event,
+            });
+        }
+    }
+
+    /// Schedules `event` to fire `delay` cycles after the current time.
+    pub fn schedule_after(&mut self, delay: Cycle, event: E) {
+        self.schedule(self.now + delay, event);
+    }
+
+    fn push_bucket(&mut self, at: Cycle, seq: u64, event: E) {
+        let idx = (at.0 & MASK) as usize;
+        let dq = &mut self.buckets[idx];
+        // Appends must arrive in seq order for FIFO ties to hold; see
+        // the module docs for why migration order guarantees this.
+        #[cfg(debug_assertions)]
+        debug_assert!(dq.back().is_none_or(|s| s.seq < seq));
+        dq.push_back(Slot::new(seq, event));
+        self.occupied[idx / 64] |= 1 << (idx % 64);
+        self.in_window += 1;
+        // A strictly earlier event moves the cached minimum; an equal
+        // time keeps the existing entry (same bucket, FIFO order). A
+        // `None` hint on a non-empty window means "unknown" — an
+        // earlier event may sit in a bucket we have not rescanned for —
+        // so it must stay `None` until the next scan.
+        match self.hint {
+            Some((t, _)) if at >= t => {}
+            Some(_) => self.hint = Some((at, idx)),
+            None if self.in_window == 1 => self.hint = Some((at, idx)),
+            None => {}
+        }
+    }
+
+    /// Moves every overflow event the window now covers into its
+    /// bucket. Heap pops come out in `(time, seq)` order, so bucket
+    /// appends preserve the FIFO tie-break.
+    fn refill(&mut self) {
+        let limit = self.now.0 + WINDOW as u64;
+        while let Some(top) = self.far.peek() {
+            if top.time.0 >= limit {
+                break;
+            }
+            let FarEntry { time, seq, event } = self.far.pop().expect("peeked entry");
+            self.push_bucket(time, seq, event);
+        }
+    }
+
+    /// The bucket index of the earliest non-empty bucket, scanning the
+    /// occupancy bitmap circularly from the current cycle's slot.
+    /// Circular distance from `now`'s slot equals distance in time, so
+    /// the first hit is the earliest pending window event.
+    fn first_occupied(&self) -> Option<usize> {
+        let s = (self.now.0 & MASK) as usize;
+        let (word0, bit0) = (s / 64, s % 64);
+        let w = self.occupied[word0] >> bit0;
+        if w != 0 {
+            return Some(s + w.trailing_zeros() as usize);
+        }
+        for k in 1..WORDS {
+            let wi = (word0 + k) % WORDS;
+            let w = self.occupied[wi];
+            if w != 0 {
+                return Some(wi * 64 + w.trailing_zeros() as usize);
+            }
+        }
+        // Wrapped all the way around: the low bits of the start word.
+        let w = self.occupied[word0] & ((1u64 << bit0) - 1);
+        if w != 0 {
+            return Some(word0 * 64 + w.trailing_zeros() as usize);
+        }
+        None
+    }
+
+    /// The absolute time of the (occupied) bucket at `idx`.
+    fn time_of(&self, idx: usize) -> Cycle {
+        let dist = (idx as u64).wrapping_sub(self.now.0) & MASK;
+        Cycle(self.now.0 + dist)
+    }
+
+    /// The `(time, bucket)` of the earliest window event, from the
+    /// cache when valid, else by rescanning the bitmap (which happens
+    /// only after a bucket drains).
+    fn window_min(&mut self) -> (Cycle, usize) {
+        if let Some(h) = self.hint {
+            return h;
+        }
+        let idx = self.first_occupied().expect("window count out of sync");
+        let h = (self.time_of(idx), idx);
+        self.hint = Some(h);
+        h
+    }
+
+    /// Removes and returns the earliest event, advancing the clock to
+    /// its timestamp. Returns `None` when the queue is empty.
+    pub fn pop(&mut self) -> Option<(Cycle, E)> {
+        if self.in_window == 0 {
+            // Everything pending is beyond the window: the buckets are
+            // empty, so the clock can hop straight to the earliest far
+            // event and re-anchor the window there.
+            let t = self.far.peek()?.time;
+            self.now = t;
+            self.refill();
+        }
+        let (t, idx) = self.window_min();
+        let Slot { event, .. } = self.buckets[idx].pop_front().expect("occupied bit stale");
+        if self.buckets[idx].is_empty() {
+            self.occupied[idx / 64] &= !(1 << (idx % 64));
+            self.hint = None;
+        }
+        self.in_window -= 1;
+        debug_assert!(t >= self.now);
+        if t > self.now {
+            self.now = t;
+            self.refill();
+        }
+        self.processed += 1;
+        Some((t, event))
+    }
+
+    /// Advances the clock to `t` and counts one processed event
+    /// *without* touching the queue — the companion of an inline
+    /// dispatch fast path that hands an event straight to its handler
+    /// when it is provably the global next event.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` is in the past; debug-asserts that no pending
+    /// event is due at or before `t` (which would make the inline
+    /// dispatch reorder the simulation).
+    pub fn advance_to(&mut self, t: Cycle) {
+        assert!(
+            t >= self.now,
+            "advance into the past: to={t}, now={}",
+            self.now
+        );
+        debug_assert!(
+            self.peek_time().is_none_or(|pt| pt > t),
+            "advance_to({t}) past a pending event at {:?}",
+            self.peek_time()
+        );
+        self.now = t;
+        self.refill();
+        self.processed += 1;
+    }
+
+    /// The current simulated time: the timestamp of the most recently
+    /// popped event (or zero before any pop).
+    pub fn now(&self) -> Cycle {
+        self.now
+    }
+
+    /// Number of events waiting in the queue.
+    pub fn len(&self) -> usize {
+        self.in_window + self.far.len()
+    }
+
+    /// Whether the queue holds no pending events.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total number of events processed (popped) so far.
+    pub fn processed(&self) -> u64 {
+        self.processed
+    }
+
+    /// The timestamp of the next pending event, if any. Window events
+    /// always precede overflow events (`t < now + WINDOW <=` every far
+    /// time), so the cached window minimum wins whenever the window is
+    /// occupied. Takes `&mut self` to refresh the cache after a bucket
+    /// drain; the observable state never changes.
+    pub fn peek_time(&mut self) -> Option<Cycle> {
+        if self.in_window > 0 {
+            Some(self.window_min().0)
+        } else {
+            self.far.peek().map(|e| e.time)
+        }
+    }
+}
+
+impl<E> std::fmt::Debug for EventQueue<E> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EventQueue")
+            .field("now", &self.now)
+            .field("window", &self.in_window)
+            .field("far", &self.far.len())
+            .field("processed", &self.processed)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(Cycle(30), 3);
+        q.schedule(Cycle(10), 1);
+        q.schedule(Cycle(20), 2);
+        assert_eq!(q.pop(), Some((Cycle(10), 1)));
+        assert_eq!(q.pop(), Some((Cycle(20), 2)));
+        assert_eq!(q.pop(), Some((Cycle(30), 3)));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn ties_broken_by_scheduling_order() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.schedule(Cycle(7), i);
+        }
+        for i in 0..100 {
+            assert_eq!(q.pop(), Some((Cycle(7), i)));
+        }
+    }
+
+    #[test]
+    fn clock_advances_with_pops() {
+        let mut q = EventQueue::new();
+        q.schedule(Cycle(5), ());
+        q.schedule(Cycle(9), ());
+        assert_eq!(q.now(), Cycle::ZERO);
+        q.pop();
+        assert_eq!(q.now(), Cycle(5));
+        q.pop();
+        assert_eq!(q.now(), Cycle(9));
+    }
+
+    #[test]
+    fn schedule_after_is_relative_to_now() {
+        let mut q = EventQueue::new();
+        q.schedule(Cycle(10), "first");
+        q.pop();
+        q.schedule_after(Cycle(5), "second");
+        assert_eq!(q.pop(), Some((Cycle(15), "second")));
+    }
+
+    #[test]
+    #[should_panic(expected = "scheduled in the past")]
+    fn scheduling_in_the_past_panics() {
+        let mut q = EventQueue::new();
+        q.schedule(Cycle(10), ());
+        q.pop();
+        q.schedule(Cycle(9), ());
+    }
+
+    #[test]
+    fn counts_processed_events() {
+        let mut q = EventQueue::new();
+        q.schedule(Cycle(1), ());
+        q.schedule(Cycle(2), ());
+        q.pop();
+        assert_eq!(q.processed(), 1);
+        q.pop();
+        assert_eq!(q.processed(), 2);
+    }
+
+    #[test]
+    fn peek_time_does_not_consume() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.peek_time(), None);
+        q.schedule(Cycle(4), ());
+        assert_eq!(q.peek_time(), Some(Cycle(4)));
+        assert_eq!(q.len(), 1);
+        assert!(!q.is_empty());
+    }
+
+    #[test]
+    fn far_future_events_spill_and_return() {
+        let mut q = EventQueue::new();
+        q.schedule(Cycle(50_000), "far");
+        q.schedule(Cycle(3), "near");
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.pop(), Some((Cycle(3), "near")));
+        // The clock hops over the empty gap straight to the far event.
+        assert_eq!(q.pop(), Some((Cycle(50_000), "far")));
+        assert_eq!(q.now(), Cycle(50_000));
+    }
+
+    #[test]
+    fn window_boundary_is_exact() {
+        let mut q = EventQueue::new();
+        // One event exactly at the last window slot, one just past it.
+        q.schedule(Cycle(WINDOW as u64 - 1), "inside");
+        q.schedule(Cycle(WINDOW as u64), "outside");
+        assert_eq!(q.pop(), Some((Cycle(WINDOW as u64 - 1), "inside")));
+        assert_eq!(q.pop(), Some((Cycle(WINDOW as u64), "outside")));
+    }
+
+    #[test]
+    fn fifo_ties_survive_overflow_migration() {
+        let mut q = EventQueue::new();
+        let t = Cycle(2 * WINDOW as u64);
+        q.schedule(t, 0); // to overflow (beyond the window)
+        q.schedule(Cycle(WINDOW as u64 / 2), 99);
+        q.pop(); // advance; t now inside the window, 0 migrates
+        q.schedule(t, 1); // appended behind the migrated event
+        q.schedule(t, 2);
+        assert_eq!(q.pop(), Some((t, 0)));
+        assert_eq!(q.pop(), Some((t, 1)));
+        assert_eq!(q.pop(), Some((t, 2)));
+    }
+
+    #[test]
+    fn advance_to_counts_and_moves_clock() {
+        let mut q = EventQueue::new();
+        q.schedule(Cycle(100), ());
+        q.advance_to(Cycle(40));
+        assert_eq!(q.now(), Cycle(40));
+        assert_eq!(q.processed(), 1);
+        assert_eq!(q.pop(), Some((Cycle(100), ())));
+        assert_eq!(q.processed(), 2);
+    }
+
+    #[test]
+    fn advance_to_refills_the_window() {
+        let mut q = EventQueue::new();
+        let t = Cycle(WINDOW as u64 + 10);
+        q.schedule(t, "spilled");
+        q.advance_to(Cycle(20)); // window now covers t
+        q.schedule(t, "direct");
+        assert_eq!(q.pop(), Some((t, "spilled")));
+        assert_eq!(q.pop(), Some((t, "direct")));
+    }
+
+    #[test]
+    fn interleaved_schedule_and_pop_is_deterministic() {
+        // Two structurally identical runs must produce identical pop
+        // sequences (the NWO determinism requirement).
+        fn run() -> Vec<(Cycle, u32)> {
+            let mut q = EventQueue::new();
+            let mut out = Vec::new();
+            q.schedule(Cycle(0), 0u32);
+            while let Some((t, e)) = q.pop() {
+                out.push((t, e));
+                if e < 50 {
+                    q.schedule(t + Cycle(u64::from(e % 3)), e + 1);
+                    q.schedule(t + Cycle(u64::from(e % 3)), e + 2);
+                }
+                if out.len() > 500 {
+                    break;
+                }
+            }
+            out
+        }
+        assert_eq!(run(), run());
+    }
+}

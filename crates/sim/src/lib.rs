@@ -12,6 +12,11 @@
 //! engine guarantees this by breaking timestamp ties with a monotone
 //! sequence number assigned at scheduling time.
 //!
+//! Two queue implementations share that contract: the bucketed
+//! [`ladder::EventQueue`] (the default — O(1) near-future scheduling
+//! and pops) and the [`queue::HeapEventQueue`] binary-heap reference
+//! it is differentially tested against.
+//!
 //! # Examples
 //!
 //! ```
@@ -29,12 +34,14 @@
 
 pub mod hash;
 pub mod ids;
+pub mod ladder;
 pub mod queue;
 pub mod rng;
 pub mod time;
 
 pub use hash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use ids::{Addr, BlockAddr, NodeId};
-pub use queue::EventQueue;
+pub use ladder::EventQueue;
+pub use queue::HeapEventQueue;
 pub use rng::SplitMix64;
 pub use time::Cycle;

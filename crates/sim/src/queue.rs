@@ -1,4 +1,11 @@
-//! The deterministic event queue at the heart of the simulator.
+//! The binary-heap reference event queue.
+//!
+//! This was the simulator's original queue; the hot path now runs on
+//! the bucketed [`EventQueue`](crate::ladder::EventQueue) ladder
+//! queue. The heap implementation is retained as the independently
+//! simple *reference* for differential testing: both queues must
+//! produce identical pop sequences under arbitrary schedule/pop
+//! interleavings (`crates/sim/tests/ladder_vs_heap.rs`).
 
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
@@ -46,32 +53,32 @@ impl<E> Ord for Entry<E> {
 /// # Examples
 ///
 /// ```
-/// use limitless_sim::{Cycle, EventQueue};
+/// use limitless_sim::{Cycle, HeapEventQueue};
 ///
-/// let mut q = EventQueue::new();
+/// let mut q = HeapEventQueue::new();
 /// q.schedule(Cycle(2), 'x');
 /// q.schedule(Cycle(1), 'y');
 /// assert_eq!(q.len(), 2);
 /// assert_eq!(q.pop(), Some((Cycle(1), 'y')));
 /// assert_eq!(q.pop(), Some((Cycle(2), 'x')));
 /// ```
-pub struct EventQueue<E> {
+pub struct HeapEventQueue<E> {
     heap: BinaryHeap<Entry<E>>,
     next_seq: u64,
     now: Cycle,
     processed: u64,
 }
 
-impl<E> Default for EventQueue<E> {
+impl<E> Default for HeapEventQueue<E> {
     fn default() -> Self {
         Self::new()
     }
 }
 
-impl<E> EventQueue<E> {
+impl<E> HeapEventQueue<E> {
     /// Creates an empty queue with the clock at [`Cycle::ZERO`].
     pub fn new() -> Self {
-        EventQueue {
+        HeapEventQueue {
             heap: BinaryHeap::new(),
             next_seq: 0,
             now: Cycle::ZERO,
@@ -84,7 +91,7 @@ impl<E> EventQueue<E> {
     /// # Panics
     ///
     /// Panics if `at` is earlier than the current time returned by
-    /// [`EventQueue::now`] — scheduling into the past would violate
+    /// [`HeapEventQueue::now`] — scheduling into the past would violate
     /// causality and indicates a simulator bug.
     pub fn schedule(&mut self, at: Cycle, event: E) {
         assert!(
@@ -116,6 +123,25 @@ impl<E> EventQueue<E> {
         Some((entry.time, entry.event))
     }
 
+    /// Advances the clock to `t` and counts one processed event
+    /// without touching the heap (API parity with
+    /// [`EventQueue::advance_to`](crate::ladder::EventQueue::advance_to)).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` is in the past; debug-asserts that no pending
+    /// event is due at or before `t`.
+    pub fn advance_to(&mut self, t: Cycle) {
+        assert!(
+            t >= self.now,
+            "advance into the past: to={t}, now={}",
+            self.now
+        );
+        debug_assert!(self.peek_time().is_none_or(|pt| pt > t));
+        self.now = t;
+        self.processed += 1;
+    }
+
     /// The current simulated time: the timestamp of the most recently
     /// popped event (or zero before any pop).
     pub fn now(&self) -> Cycle {
@@ -143,9 +169,9 @@ impl<E> EventQueue<E> {
     }
 }
 
-impl<E> std::fmt::Debug for EventQueue<E> {
+impl<E> std::fmt::Debug for HeapEventQueue<E> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("EventQueue")
+        f.debug_struct("HeapEventQueue")
             .field("now", &self.now)
             .field("pending", &self.heap.len())
             .field("processed", &self.processed)
@@ -159,7 +185,7 @@ mod tests {
 
     #[test]
     fn pops_in_time_order() {
-        let mut q = EventQueue::new();
+        let mut q = HeapEventQueue::new();
         q.schedule(Cycle(30), 3);
         q.schedule(Cycle(10), 1);
         q.schedule(Cycle(20), 2);
@@ -171,7 +197,7 @@ mod tests {
 
     #[test]
     fn ties_broken_by_scheduling_order() {
-        let mut q = EventQueue::new();
+        let mut q = HeapEventQueue::new();
         for i in 0..100 {
             q.schedule(Cycle(7), i);
         }
@@ -182,7 +208,7 @@ mod tests {
 
     #[test]
     fn clock_advances_with_pops() {
-        let mut q = EventQueue::new();
+        let mut q = HeapEventQueue::new();
         q.schedule(Cycle(5), ());
         q.schedule(Cycle(9), ());
         assert_eq!(q.now(), Cycle::ZERO);
@@ -194,7 +220,7 @@ mod tests {
 
     #[test]
     fn schedule_after_is_relative_to_now() {
-        let mut q = EventQueue::new();
+        let mut q = HeapEventQueue::new();
         q.schedule(Cycle(10), "first");
         q.pop();
         q.schedule_after(Cycle(5), "second");
@@ -204,7 +230,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "scheduled in the past")]
     fn scheduling_in_the_past_panics() {
-        let mut q = EventQueue::new();
+        let mut q = HeapEventQueue::new();
         q.schedule(Cycle(10), ());
         q.pop();
         q.schedule(Cycle(9), ());
@@ -212,7 +238,7 @@ mod tests {
 
     #[test]
     fn counts_processed_events() {
-        let mut q = EventQueue::new();
+        let mut q = HeapEventQueue::new();
         q.schedule(Cycle(1), ());
         q.schedule(Cycle(2), ());
         q.pop();
@@ -223,7 +249,7 @@ mod tests {
 
     #[test]
     fn peek_time_does_not_consume() {
-        let mut q = EventQueue::new();
+        let mut q = HeapEventQueue::new();
         assert_eq!(q.peek_time(), None);
         q.schedule(Cycle(4), ());
         assert_eq!(q.peek_time(), Some(Cycle(4)));
@@ -236,7 +262,7 @@ mod tests {
         // Two structurally identical runs must produce identical pop
         // sequences (the NWO determinism requirement).
         fn run() -> Vec<(Cycle, u32)> {
-            let mut q = EventQueue::new();
+            let mut q = HeapEventQueue::new();
             let mut out = Vec::new();
             q.schedule(Cycle(0), 0u32);
             while let Some((t, e)) = q.pop() {

@@ -31,7 +31,9 @@ pub struct JsonError {
 }
 
 impl JsonError {
-    pub(crate) fn new(msg: impl Into<String>) -> Self {
+    /// Creates an error with the given message (also usable by
+    /// downstream crates layering their own formats on [`JsonValue`]).
+    pub fn new(msg: impl Into<String>) -> Self {
         JsonError { msg: msg.into() }
     }
 }
