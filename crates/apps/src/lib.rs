@@ -88,6 +88,17 @@ pub trait App {
     fn expected_results(&self) -> Vec<(Addr, u64)> {
         Vec::new()
     }
+
+    /// Half-open address ranges `[start, end)` whose read *values* are
+    /// timing-dependent by design — deliberate unsynchronized sharing
+    /// the paper's version also has (MP3D runs with its locking option
+    /// off). The differential oracle masks read values in these ranges
+    /// (the read *addresses* are still compared, and the final memory
+    /// image is always compared in full). Empty for race-free
+    /// applications.
+    fn racy_read_ranges(&self) -> Vec<(Addr, Addr)> {
+        Vec::new()
+    }
 }
 
 /// Runs `app` on a machine built from `cfg`, verifying any expected
@@ -98,6 +109,19 @@ pub trait App {
 /// Panics if a declared expected result does not match (an algorithm
 /// or coherence bug).
 pub fn run_app(app: &dyn App, cfg: MachineConfig) -> RunReport {
+    run_app_with_machine(app, cfg).0
+}
+
+/// Like [`run_app`], but also returns the machine itself so callers
+/// can inspect post-run state — the differential oracle compares
+/// [`Machine::memory_image`] and [`Machine::read_streams`] across
+/// protocols.
+///
+/// # Panics
+///
+/// Panics if a declared expected result does not match (an algorithm
+/// or coherence bug).
+pub fn run_app_with_machine(app: &dyn App, cfg: MachineConfig) -> (RunReport, Machine) {
     let nodes = cfg.nodes;
     let mut m = Machine::new(cfg);
     for (a, v) in app.init_memory() {
@@ -114,7 +138,7 @@ pub fn run_app(app: &dyn App, cfg: MachineConfig) -> RunReport {
             app.name()
         );
     }
-    report
+    (report, m)
 }
 
 /// Convenience: the sequential baseline — the same application on one

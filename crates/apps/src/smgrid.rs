@@ -78,6 +78,24 @@ impl App for Smgrid {
     }
 
     fn programs(&self, nodes: usize) -> Vec<Box<dyn Program>> {
+        // Every level needs at least one interior row (a side of 3) or
+        // the strip arithmetic in `emit_level` degenerates: a side of 2
+        // has no interior, and a side of 1 underflows `side - 2`.
+        // Reject the configuration up front with a clear error instead.
+        assert!(self.levels >= 1, "SMGRID needs at least one grid level");
+        assert!(
+            self.side >= 3,
+            "SMGRID needs a fine grid of at least 3x3, got {0}x{0}",
+            self.side
+        );
+        let coarsest = self.level_side(self.levels - 1);
+        assert!(
+            coarsest >= 3,
+            "SMGRID with side {} and {} levels leaves a {coarsest}x{coarsest} coarsest grid \
+             with no interior rows (need at least 3x3); use fewer levels or a larger grid",
+            self.side,
+            self.levels
+        );
         (0..nodes)
             .map(|me| {
                 let mut ops = Vec::new();
@@ -199,6 +217,53 @@ mod tests {
                 .build(),
         );
         assert!(r.stats.engine.invs_sent > 0);
+    }
+
+    #[test]
+    fn tiniest_legal_grid_runs() {
+        // side 9 with 3 levels leaves a 3x3 coarsest grid — exactly one
+        // interior row everywhere. Regression test for the strip-count
+        // clamp degenerating on tiny grids.
+        let g = Smgrid {
+            side: 9,
+            levels: 3,
+            sweeps: 1,
+            cycles: 1,
+        };
+        run_app(
+            &g,
+            MachineConfig::builder()
+                .nodes(4)
+                .protocol(ProtocolSpec::limitless(2))
+                .check_coherence(true)
+                .build(),
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "coarsest grid")]
+    fn interiorless_coarse_grid_is_rejected() {
+        // side 9 with 4 levels would leave a 2x2 coarsest grid: no
+        // interior rows, previously a degenerate strip computation.
+        let g = Smgrid {
+            side: 9,
+            levels: 4,
+            sweeps: 1,
+            cycles: 1,
+        };
+        g.programs(4);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 3x3")]
+    fn degenerate_fine_grid_is_rejected() {
+        let g = Smgrid {
+            side: 2,
+            levels: 1,
+            sweeps: 1,
+            cycles: 1,
+        };
+        g.programs(2);
     }
 
     #[test]

@@ -6,6 +6,7 @@
 //! limitless-bench sweep [--paper] [--nodes N] [--threads T]
 //!                       [--min-of N] [--json PATH] [--label L]
 //! limitless-bench micro [--json PATH]
+//! limitless-bench check [--paper|--quick] [--nodes N]
 //! ```
 //!
 //! Experiments: `table1 table2 table3 fig2 fig3 fig4 fig5 fig6
@@ -21,6 +22,14 @@
 //!   any record with the same `--label` and keeping the rest.
 //! - `micro` — data-structure micro-benchmarks, min/median over
 //!   repeated batches; `--json PATH` writes the record for CI.
+//!
+//! There is also a correctness gate:
+//!
+//! - `check` — the differential oracle: every application × protocol
+//!   cell runs with the coherence sanitizer fully armed and is diffed
+//!   against full-map ground truth (final memory image + per-node read
+//!   streams). Prints one PASS/FAIL line per cell; exits 1 on any
+//!   failure.
 
 use limitless_apps::Scale;
 use limitless_bench::{experiments, micro, runner, ExperimentSpec, Harness, Runner, SweepRecord};
@@ -101,6 +110,29 @@ fn main() {
         }
         return;
     }
+    if name == "check" {
+        println!("== check: differential oracle vs full-map ground truth ==");
+        let (reports, ok) = limitless_bench::run_check(h);
+        for r in &reports {
+            let verdict = if r.passed { "PASS" } else { "FAIL" };
+            if r.detail.is_empty() {
+                println!("{verdict}  {:<8} x {}", r.app, r.protocol);
+            } else {
+                println!("{verdict}  {:<8} x {} — {}", r.app, r.protocol, r.detail);
+            }
+        }
+        let failed = reports.iter().filter(|r| !r.passed).count();
+        if ok {
+            println!("all {} cells match ground truth", reports.len());
+        } else {
+            eprintln!(
+                "{failed} of {} cells diverged from ground truth",
+                reports.len()
+            );
+            std::process::exit(1);
+        }
+        return;
+    }
     if name == "sweep" {
         let spec = ExperimentSpec::spectrum_grid(h);
         let r = match threads {
@@ -165,7 +197,8 @@ fn usage() {
          \x20      limitless-bench sweep [--paper|--quick] [--nodes N] [--threads T]\n\
          \x20                            [--min-of N] [--json PATH] [--label L]\n\
          \x20      limitless-bench micro [--json PATH]\n\
+         \x20      limitless-bench check [--paper|--quick] [--nodes N]\n\
          experiments: table1 table2 table3 fig2 fig3 fig4 fig5 fig6 \
-         ablation-localbit ablation-network ablation-handlers sweep micro"
+         ablation-localbit ablation-network ablation-handlers sweep micro check"
     );
 }

@@ -1,0 +1,205 @@
+//! The differential oracle: every application × protocol cell replayed
+//! against full-map ground truth.
+//!
+//! The paper's correctness claim is that every protocol in the
+//! `Dir_i H_X S_{Y,A}` spectrum implements the *same* memory model —
+//! sequential consistency over the shared address space — at different
+//! cost. The oracle tests exactly that: run each application under
+//! `Dir_n H_NB S_-` (the full-map directory, all-hardware, the
+//! simplest and most-trusted protocol) to produce ground truth, then
+//! replay the identical per-node programs under every other protocol
+//! and assert that
+//!
+//! 1. the **final memory image** (every word ever written, by address)
+//!    is identical, and
+//! 2. each node's **read stream** — the `(address, value)` sequence of
+//!    its completed plain reads, in program order — is identical.
+//!
+//! Read-modify-write old-values are excluded by construction (they are
+//! recorded as writes): atomic-add interleavings legitimately differ
+//! across protocols. Plain reads inside an application's declared
+//! [`App::racy_read_ranges`] are value-masked (address sequence still
+//! compared): MP3D's unlocked cell updates race by design, exactly as
+//! in the paper. All other plain reads are barrier-ordered and
+//! therefore protocol-independent.
+//!
+//! Every cell runs under [`CheckLevel::Full`], so the per-event
+//! invariant layer, the copy registry, the inv/ack ledger and the
+//! quiesce audit are all armed as well.
+
+use limitless_apps::{run_app_with_machine, App};
+use limitless_core::{CheckLevel, ProtocolSpec};
+use limitless_machine::MachineConfig;
+use limitless_sim::Addr;
+
+use crate::{applications, fig2_protocols, Harness};
+
+/// Post-run artifacts captured from one cell.
+#[derive(Clone, Debug)]
+pub struct Artifacts {
+    /// Final shared-memory image, sorted by address.
+    pub image: Vec<(Addr, u64)>,
+    /// Per-node plain-read streams in program order.
+    pub reads: Vec<Vec<(Addr, u64)>>,
+}
+
+/// The verdict for one application × protocol cell.
+#[derive(Clone, Debug)]
+pub struct CellReport {
+    /// Application name (Table 3 spelling).
+    pub app: String,
+    /// Protocol display label.
+    pub protocol: String,
+    /// Whether the cell matched ground truth.
+    pub passed: bool,
+    /// First mismatch found, empty when passed.
+    pub detail: String,
+}
+
+/// Runs `app` under `protocol` with the sanitizer fully armed and
+/// captures the oracle artifacts. Read values inside the app's
+/// declared racy ranges are masked to zero — the read addresses stay
+/// in the stream, so ordering and coverage are still compared.
+pub fn capture(app: &dyn App, nodes: usize, protocol: ProtocolSpec) -> Artifacts {
+    let cfg = MachineConfig::builder()
+        .nodes(nodes)
+        .protocol(protocol)
+        .victim_cache(true)
+        .check_level(CheckLevel::Full)
+        .build();
+    let (_, m) = run_app_with_machine(app, cfg);
+    let racy = app.racy_read_ranges();
+    let masked = |a: Addr| racy.iter().any(|&(lo, hi)| a.0 >= lo.0 && a.0 < hi.0);
+    Artifacts {
+        image: m.memory_image(),
+        reads: m
+            .read_streams()
+            .expect("CheckLevel::Full records read streams")
+            .iter()
+            .map(|s| {
+                s.iter()
+                    .map(|&(a, v)| if masked(a) { (a, 0) } else { (a, v) })
+                    .collect()
+            })
+            .collect(),
+    }
+}
+
+/// Compares a candidate cell against ground truth, returning the first
+/// mismatch found.
+pub fn diff(baseline: &Artifacts, candidate: &Artifacts) -> Option<String> {
+    if baseline.image != candidate.image {
+        for (b, c) in baseline.image.iter().zip(candidate.image.iter()) {
+            if b != c {
+                return Some(format!(
+                    "memory image diverges at {}: expected {}, got {} (at {})",
+                    b.0, b.1, c.1, c.0
+                ));
+            }
+        }
+        return Some(format!(
+            "memory image has {} words, ground truth has {}",
+            candidate.image.len(),
+            baseline.image.len()
+        ));
+    }
+    for (n, (b, c)) in baseline
+        .reads
+        .iter()
+        .zip(candidate.reads.iter())
+        .enumerate()
+    {
+        if b != c {
+            for (i, (bb, cc)) in b.iter().zip(c.iter()).enumerate() {
+                if bb != cc {
+                    return Some(format!(
+                        "node {n} read #{i} diverges: expected {} = {}, got {} = {}",
+                        bb.0, bb.1, cc.0, cc.1
+                    ));
+                }
+            }
+            return Some(format!(
+                "node {n} completed {} reads, ground truth has {}",
+                c.len(),
+                b.len()
+            ));
+        }
+    }
+    None
+}
+
+/// Checks one application across the full Figure 2 protocol set
+/// against its full-map ground truth.
+pub fn check_app(app: &dyn App, nodes: usize) -> Vec<CellReport> {
+    let baseline = capture(app, nodes, ProtocolSpec::full_map());
+    fig2_protocols()
+        .into_iter()
+        .map(|(label, p)| {
+            let candidate = capture(app, nodes, p);
+            let mismatch = diff(&baseline, &candidate);
+            CellReport {
+                app: app.name().to_string(),
+                protocol: label.to_string(),
+                passed: mismatch.is_none(),
+                detail: mismatch.unwrap_or_default(),
+            }
+        })
+        .collect()
+}
+
+/// Runs the whole oracle grid: every Figure 4 application × every
+/// Figure 2 protocol. Returns the per-cell reports and whether all
+/// passed.
+pub fn run_check(h: Harness) -> (Vec<CellReport>, bool) {
+    let nodes = h.nodes(16);
+    let mut reports = Vec::new();
+    for app in applications(h.scale) {
+        reports.extend(check_app(app.as_ref(), nodes));
+    }
+    let ok = reports.iter().all(|r| r.passed);
+    (reports, ok)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn arts(image: Vec<(Addr, u64)>, reads: Vec<Vec<(Addr, u64)>>) -> Artifacts {
+        Artifacts { image, reads }
+    }
+
+    #[test]
+    fn identical_artifacts_match() {
+        let a = arts(vec![(Addr(8), 1)], vec![vec![(Addr(8), 1)]]);
+        assert_eq!(diff(&a, &a.clone()), None);
+    }
+
+    #[test]
+    fn image_divergence_is_pinpointed() {
+        let a = arts(vec![(Addr(8), 1), (Addr(16), 2)], vec![]);
+        let b = arts(vec![(Addr(8), 1), (Addr(16), 3)], vec![]);
+        let msg = diff(&a, &b).unwrap();
+        assert!(msg.contains("expected 2, got 3"), "{msg}");
+    }
+
+    #[test]
+    fn read_stream_divergence_names_the_node() {
+        let img = vec![(Addr(8), 1)];
+        let a = arts(img.clone(), vec![vec![], vec![(Addr(8), 1)]]);
+        let b = arts(img, vec![vec![], vec![(Addr(8), 9)]]);
+        let msg = diff(&a, &b).unwrap();
+        assert!(msg.starts_with("node 1 read #0"), "{msg}");
+    }
+
+    #[test]
+    fn missing_reads_are_reported() {
+        let img = vec![(Addr(8), 1)];
+        let a = arts(img.clone(), vec![vec![(Addr(8), 1), (Addr(8), 1)]]);
+        let b = arts(img, vec![vec![(Addr(8), 1)]]);
+        let msg = diff(&a, &b).unwrap();
+        assert!(
+            msg.contains("completed 1 reads, ground truth has 2"),
+            "{msg}"
+        );
+    }
+}

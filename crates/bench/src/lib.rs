@@ -11,11 +11,13 @@ use limitless_apps::{run_app, App, Scale};
 use limitless_core::{HandlerImpl, ProtocolSpec};
 use limitless_machine::{MachineConfig, RunReport};
 
+pub mod check;
 pub mod experiments;
 pub mod micro;
 pub mod record;
 pub mod runner;
 
+pub use check::{check_app, run_check, CellReport};
 pub use experiments::applications;
 pub use record::{BenchLedger, CellRecord, SweepRecord};
 pub use runner::{AppFactory, CellResult, ExperimentResult, ExperimentSpec, Runner};

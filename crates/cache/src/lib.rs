@@ -37,7 +37,7 @@ pub mod system;
 pub mod victim;
 
 pub use direct::DirectCache;
-pub use ifetch::InstrFootprint;
+pub use ifetch::{InstrFootprint, INSTR_BLOCK_BASE};
 pub use system::{Access, CacheConfig, CacheStats, CacheSystem};
 pub use victim::VictimCache;
 

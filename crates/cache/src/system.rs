@@ -118,6 +118,12 @@ pub struct CacheSystem {
     main: DirectCache,
     victim: VictimCache,
     stats: CacheStats,
+    /// When set, clean lines that fall out of the victim path without
+    /// a writeback are queued in `dropped` instead of vanishing —
+    /// the coherence sanitizer drains them to keep its copy-set mirror
+    /// exact. Off by default (zero cost).
+    mirror_drops: bool,
+    dropped: Vec<BlockAddr>,
 }
 
 impl CacheSystem {
@@ -128,7 +134,26 @@ impl CacheSystem {
             victim: VictimCache::new(cfg.victim_lines),
             cfg,
             stats: CacheStats::default(),
+            mirror_drops: false,
+            dropped: Vec::new(),
         }
+    }
+
+    /// Makes silent drops observable (see the `mirror_drops` field).
+    pub fn set_eviction_mirror(&mut self, on: bool) {
+        self.mirror_drops = on;
+    }
+
+    /// The next silently dropped clean block, if any (populated only
+    /// while the eviction mirror is on).
+    pub fn pop_dropped(&mut self) -> Option<BlockAddr> {
+        self.dropped.pop()
+    }
+
+    /// Every resident `(block, state)` pair — main array plus victim
+    /// buffer (instruction blocks included).
+    pub fn resident_blocks(&self) -> impl Iterator<Item = (BlockAddr, LineState)> + '_ {
+        self.main.iter().chain(self.victim.iter())
     }
 
     /// The configuration this cache was built with.
@@ -254,6 +279,12 @@ impl CacheSystem {
         self.main.lookup(block)
     }
 
+    /// The permission state of `block` wherever it is resident — main
+    /// array or victim buffer (the quiesce audit must see both).
+    pub fn state_anywhere(&self, block: BlockAddr) -> Option<LineState> {
+        self.main.lookup(block).or_else(|| self.victim.peek(block))
+    }
+
     /// Instruction-fetch probe: instructions travel through the same
     /// combined cache and can displace data lines. Returns `(miss,
     /// writeback)`: `miss` is `true` when the machine must charge the
@@ -289,7 +320,12 @@ impl CacheSystem {
                 self.stats.writebacks += 1;
                 Some(overflow.0)
             }
-            LineState::Shared => None, // silent drop
+            LineState::Shared => {
+                if self.mirror_drops {
+                    self.dropped.push(overflow.0);
+                }
+                None // silent drop
+            }
         }
     }
 }
@@ -414,6 +450,48 @@ mod tests {
         assert!(c.downgrade(BlockAddr(3)));
         assert_eq!(c.state_of(BlockAddr(3)), Some(LineState::Shared));
         assert_eq!(c.write(BlockAddr(3)), Access::UpgradeMiss);
+    }
+
+    #[test]
+    fn eviction_mirror_queues_silent_drops() {
+        let mut c = tiny(0);
+        c.set_eviction_mirror(true);
+        c.fill_shared(BlockAddr(1));
+        c.fill_shared(BlockAddr(9)); // silently drops block 1
+        assert_eq!(c.pop_dropped(), Some(BlockAddr(1)));
+        assert_eq!(c.pop_dropped(), None);
+        // Filling dirty 17 silently drops shared 9 …
+        c.fill_dirty(BlockAddr(17));
+        assert_eq!(c.pop_dropped(), Some(BlockAddr(9)));
+        // … but evicting dirty 17 produces a writeback — not silent.
+        assert_eq!(c.fill_shared(BlockAddr(25)), Some(BlockAddr(17)));
+        assert_eq!(c.pop_dropped(), None);
+    }
+
+    #[test]
+    fn mirror_off_by_default_queues_nothing() {
+        let mut c = tiny(0);
+        c.fill_shared(BlockAddr(1));
+        c.fill_shared(BlockAddr(9));
+        assert_eq!(c.pop_dropped(), None);
+    }
+
+    #[test]
+    fn resident_blocks_cover_main_and_victim() {
+        let mut c = tiny(2);
+        c.fill_dirty(BlockAddr(1));
+        c.fill_shared(BlockAddr(9)); // dirty 1 -> victim
+        let mut blocks: Vec<_> = c.resident_blocks().collect();
+        blocks.sort_unstable_by_key(|&(b, _)| b.0);
+        assert_eq!(
+            blocks,
+            vec![
+                (BlockAddr(1), LineState::Dirty),
+                (BlockAddr(9), LineState::Shared)
+            ]
+        );
+        assert_eq!(c.state_anywhere(BlockAddr(1)), Some(LineState::Dirty));
+        assert_eq!(c.state_of(BlockAddr(1)), None); // main array only
     }
 
     #[test]

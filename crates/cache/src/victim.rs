@@ -94,6 +94,20 @@ impl VictimCache {
     pub fn contains(&self, block: BlockAddr) -> bool {
         self.entries.iter().any(|(b, _)| *b == block)
     }
+
+    /// The state of `block` without removing it (the coherence
+    /// sanitizer's quiesce audit inspects the buffer in place).
+    pub fn peek(&self, block: BlockAddr) -> Option<LineState> {
+        self.entries
+            .iter()
+            .find(|(b, _)| *b == block)
+            .map(|&(_, s)| s)
+    }
+
+    /// Iterates resident entries oldest-first.
+    pub fn iter(&self) -> impl Iterator<Item = (BlockAddr, LineState)> + '_ {
+        self.entries.iter().copied()
+    }
 }
 
 #[cfg(test)]

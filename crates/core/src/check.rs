@@ -1,0 +1,196 @@
+//! `limitless-check`: the opt-in coherence sanitizer.
+//!
+//! The protocol spectrum's defining promise is that the hardware
+//! pointer count changes *performance*, never *values read*. This
+//! module holds the knobs and diagnostics for verifying that promise
+//! at run time:
+//!
+//! * [`CheckLevel`] — how much invariant checking the simulator
+//!   performs (`Off` costs nothing; `Basic` validates every directory
+//!   transition and the cross-layer copy sets; `Full` adds per-access
+//!   permission checks and the read-stream log the differential oracle
+//!   compares);
+//! * [`EventHistory`] — a bounded per-block ring of directory events,
+//!   recorded only while checking is enabled and formatted lazily on
+//!   the panic path, so an invariant violation or a retry-watchdog
+//!   fire reports *how the block got here* instead of a bare state.
+
+use std::collections::VecDeque;
+
+use limitless_dir::HwState;
+use limitless_sim::{BlockAddr, NodeId};
+
+use crate::engine::DirEvent;
+
+/// How much coherence checking the simulator performs.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord)]
+pub enum CheckLevel {
+    /// No checking and no bookkeeping: the sanitizer is compiled in
+    /// but every hook reduces to one predictable branch.
+    #[default]
+    Off,
+    /// Structural checking: per-event directory invariants with block
+    /// history, the shadow copy registry, invalidation/acknowledgment
+    /// balance, the bounded-retry watchdog and the quiesce-time
+    /// cross-layer audit.
+    Basic,
+    /// Everything in `Basic`, plus per-access permission checks
+    /// (reads/writes validated against the registry's ownership view)
+    /// and the per-node read-stream log consumed by the
+    /// `limitless-bench check` differential oracle. Deferred
+    /// violations (e.g. lock-grant conflicts) become immediate panics.
+    Full,
+}
+
+impl CheckLevel {
+    /// Whether any checking is enabled.
+    pub fn enabled(self) -> bool {
+        self != CheckLevel::Off
+    }
+
+    /// Whether the per-access layer (permission checks, read-stream
+    /// log, hard panics on deferred violations) is enabled.
+    pub fn is_full(self) -> bool {
+        self == CheckLevel::Full
+    }
+}
+
+/// Directory events retained per block for diagnostics.
+pub const HISTORY_DEPTH: usize = 32;
+
+/// One retained directory event: what arrived and a compact snapshot
+/// of the entry after handling it.
+#[derive(Clone, Copy, Debug)]
+pub struct HistoryRecord {
+    /// The event that was handled.
+    pub event: DirEvent,
+    /// Hardware state after handling.
+    pub state: HwState,
+    /// Outstanding acknowledgments after handling.
+    pub acks: u32,
+    /// Hardware pointers in use after handling.
+    pub ptr_count: u8,
+    /// Software-extended readers after handling.
+    pub sw_readers: u16,
+    /// One-bit local pointer.
+    pub local_bit: bool,
+    /// Overflow meta-state.
+    pub overflowed: bool,
+    /// Owner awaited by a Flush/Downgrade, if any.
+    pub owner_fetch: Option<NodeId>,
+    /// The event was ignored as stale.
+    pub stale: bool,
+}
+
+/// Bounded per-block event histories, indexed by the directory
+/// table's interned block ids.
+#[derive(Debug, Default)]
+pub struct EventHistory {
+    rings: Vec<VecDeque<HistoryRecord>>,
+}
+
+impl EventHistory {
+    /// Creates an empty history.
+    pub fn new() -> Self {
+        EventHistory::default()
+    }
+
+    /// Appends `rec` to block id `id`'s ring, evicting the oldest
+    /// entry past [`HISTORY_DEPTH`].
+    pub fn record(&mut self, id: u32, rec: HistoryRecord) {
+        let id = id as usize;
+        if id >= self.rings.len() {
+            self.rings.resize_with(id + 1, VecDeque::new);
+        }
+        let ring = &mut self.rings[id];
+        if ring.len() == HISTORY_DEPTH {
+            ring.pop_front();
+        }
+        ring.push_back(rec);
+    }
+
+    /// Formats block id `id`'s retained history for a panic message
+    /// (oldest first).
+    pub fn dump(&self, block: BlockAddr, id: u32) -> String {
+        let ring = self.rings.get(id as usize);
+        match ring {
+            None => format!("no directory events recorded for {block}"),
+            Some(r) if r.is_empty() => format!("no directory events recorded for {block}"),
+            Some(r) => {
+                let mut s = format!("last {} directory event(s) for {block}:", r.len());
+                for rec in r {
+                    s.push_str(&format!(
+                        "\n  {:?} -> {:?} acks={} ptrs={} sw={}{}{}{}{}",
+                        rec.event,
+                        rec.state,
+                        rec.acks,
+                        rec.ptr_count,
+                        rec.sw_readers,
+                        if rec.local_bit { " local" } else { "" },
+                        if rec.overflowed { " overflowed" } else { "" },
+                        match rec.owner_fetch {
+                            Some(o) => format!(" fetching({o})"),
+                            None => String::new(),
+                        },
+                        if rec.stale { " STALE" } else { "" },
+                    ));
+                }
+                s
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn off_is_the_default_and_disables_everything() {
+        assert_eq!(CheckLevel::default(), CheckLevel::Off);
+        assert!(!CheckLevel::Off.enabled());
+        assert!(!CheckLevel::Off.is_full());
+        assert!(CheckLevel::Basic.enabled());
+        assert!(!CheckLevel::Basic.is_full());
+        assert!(CheckLevel::Full.enabled());
+        assert!(CheckLevel::Full.is_full());
+    }
+
+    #[test]
+    fn levels_are_ordered() {
+        assert!(CheckLevel::Off < CheckLevel::Basic);
+        assert!(CheckLevel::Basic < CheckLevel::Full);
+    }
+
+    fn rec(n: u16) -> HistoryRecord {
+        HistoryRecord {
+            event: DirEvent::Read { from: NodeId(n) },
+            state: HwState::ReadOnly,
+            acks: 0,
+            ptr_count: 1,
+            sw_readers: 0,
+            local_bit: false,
+            overflowed: false,
+            owner_fetch: None,
+            stale: false,
+        }
+    }
+
+    #[test]
+    fn history_ring_is_bounded() {
+        let mut h = EventHistory::new();
+        for i in 0..(HISTORY_DEPTH + 5) {
+            h.record(0, rec(i as u16));
+        }
+        let dump = h.dump(BlockAddr(7), 0);
+        assert!(dump.contains(&format!("last {HISTORY_DEPTH} directory event(s)")));
+        // The oldest entries were evicted.
+        assert!(!dump.contains("NodeId(0)") || HISTORY_DEPTH > 32);
+    }
+
+    #[test]
+    fn empty_history_dumps_placeholder() {
+        let h = EventHistory::new();
+        assert!(h.dump(BlockAddr(1), 3).contains("no directory events"));
+    }
+}

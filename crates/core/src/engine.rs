@@ -12,6 +12,7 @@
 use limitless_dir::{HwState, PtrStoreOutcome, SwDirectory};
 use limitless_sim::{BlockAddr, NodeId};
 
+use crate::check::{CheckLevel, EventHistory, HistoryRecord};
 use crate::cost::{CostModel, HandlerImpl, HandlerKind, TrapBill};
 use crate::iface::{BroadcastHandler, ExtensionHandler, HandlerCtx, LimitlessHandler};
 use crate::msg::ProtoMsg;
@@ -272,6 +273,12 @@ pub struct DirEngine {
     sw: SwDirectory,
     handler: Box<dyn ExtensionHandler>,
     stats: EngineStats,
+    /// Sanitizer level. At `Off` (the default) the only cost is one
+    /// predictable branch per event.
+    check: CheckLevel,
+    /// Bounded per-block event history, populated only while the
+    /// sanitizer is enabled; dumped on invariant-violation panics.
+    history: EventHistory,
 }
 
 impl DirEngine {
@@ -291,6 +298,8 @@ impl DirEngine {
             sw: SwDirectory::new(),
             handler: Box::new(LimitlessHandler),
             stats: EngineStats::default(),
+            check: CheckLevel::Off,
+            history: EventHistory::new(),
         }
         .with_handler(handler)
     }
@@ -304,6 +313,14 @@ impl DirEngine {
     /// enhancement hook).
     pub fn set_handler(&mut self, h: Box<dyn ExtensionHandler>) {
         self.handler = h;
+    }
+
+    /// Sets the coherence-sanitizer level (default
+    /// [`CheckLevel::Off`]). When enabled, every event is followed by
+    /// a directory-invariant validation pass and recorded in a bounded
+    /// per-block history that violation panics dump.
+    pub fn set_check_level(&mut self, level: CheckLevel) {
+        self.check = level;
     }
 
     /// The protocol this engine runs.
@@ -365,6 +382,18 @@ impl DirEngine {
     /// simulator bugs rather than recoverable conditions.
     pub fn handle(&mut self, block: BlockAddr, event: DirEvent) -> Outcome {
         let id = self.table.intern(block, self.spec.capacity(self.nodes));
+        // With the sanitizer off, the dispatch stays in tail position so
+        // the (large) `Outcome` is built directly in the return slot.
+        if self.check.enabled() {
+            let out = self.dispatch(block, id, event);
+            self.record_and_validate(block, id, event, &out);
+            return out;
+        }
+        self.dispatch(block, id, event)
+    }
+
+    #[inline]
+    fn dispatch(&mut self, block: BlockAddr, id: u32, event: DirEvent) -> Outcome {
         match event {
             DirEvent::Read { from } => self.handle_read(block, id, from),
             DirEvent::Write { from } => self.handle_write(block, id, from),
@@ -477,7 +506,15 @@ impl DirEngine {
         let small_opt = self.spec.small_set_opt();
         let (bill, sends, _, local) =
             ctx.finish(HandlerKind::ReadExtend, false, &self.costs, small_opt);
-        debug_assert!(sends.is_empty(), "read handlers do not transmit");
+        if self.check.enabled() {
+            assert!(
+                sends.is_empty(),
+                "coherence sanitizer: read handler transmitted {} message(s) for {block}",
+                sends.len()
+            );
+        } else {
+            debug_assert!(sends.is_empty(), "read handlers do not transmit");
+        }
         out.invalidate_local |= local;
         self.bill(out, bill);
     }
@@ -883,6 +920,221 @@ impl DirEngine {
             }
         });
     }
+
+    // ------------------------------------------------------ sanitizer
+
+    /// Records the post-event snapshot in the block history, then
+    /// validates every directory invariant the spectrum promises.
+    /// Called once per event while the sanitizer is enabled.
+    fn record_and_validate(&mut self, block: BlockAddr, id: u32, event: DirEvent, out: &Outcome) {
+        let st = self.table.state(id);
+        let sw_readers = self.sw.readers(block).len();
+        self.history.record(
+            id,
+            HistoryRecord {
+                event,
+                state: st.hw.state(),
+                acks: st.hw.acks_pending(),
+                ptr_count: st.hw.ptr_count().min(usize::from(u8::MAX)) as u8,
+                sw_readers: sw_readers.min(usize::from(u16::MAX)) as u16,
+                local_bit: st.hw.local_bit(),
+                overflowed: st.hw.overflowed(),
+                owner_fetch: st.owner_fetch,
+                stale: out.stale,
+            },
+        );
+        if let Err(msg) = self.block_invariants(block, id) {
+            panic!(
+                "coherence sanitizer: {msg}\n  home {} block {block} after {event:?}\n{}",
+                self.home,
+                self.history.dump(block, id)
+            );
+        }
+    }
+
+    /// The per-block directory invariants. These must hold after
+    /// *every* event, in every protocol of the spectrum; each arm
+    /// documents why.
+    fn block_invariants(&self, block: BlockAddr, id: u32) -> Result<(), String> {
+        let st = self.table.state(id);
+        let hw = &st.hw;
+        hw.structural_invariants()?;
+        self.sw.structural_invariants(block)?;
+        let sw_readers = self.sw.readers(block).len();
+
+        match hw.state() {
+            HwState::Uncached => {
+                // No copies anywhere: every pointer form must be clear.
+                if hw.ptr_count() != 0 || hw.local_bit() || hw.overflowed() || sw_readers != 0 {
+                    return Err(format!(
+                        "Uncached entry still tracks sharers \
+                         (ptrs={}, local_bit={}, overflowed={}, sw={sw_readers})",
+                        hw.ptr_count(),
+                        hw.local_bit(),
+                        hw.overflowed()
+                    ));
+                }
+            }
+            HwState::ReadOnly => {
+                // Read-only copies: the overflow meta-state and the
+                // software extension move together (the overflow trap
+                // sets both; `release_to_hardware` clears both) — for
+                // non-broadcast protocols. Broadcast protocols never
+                // extend in software: the overflow bit alone stands
+                // for "potentially everyone".
+                match self.spec.sw {
+                    SwMode::NoBroadcast => {
+                        if hw.overflowed() != (sw_readers != 0) {
+                            return Err(format!(
+                                "overflow bit ({}) and software record ({sw_readers} readers) \
+                                 out of sync",
+                                hw.overflowed()
+                            ));
+                        }
+                    }
+                    SwMode::Broadcast => {
+                        if sw_readers != 0 {
+                            return Err(format!(
+                                "broadcast protocol holds {sw_readers} software readers"
+                            ));
+                        }
+                    }
+                }
+                if self.spec.full_map && hw.overflowed() {
+                    return Err("full-map directory overflowed".to_string());
+                }
+            }
+            HwState::ReadWrite => {
+                // Single-writer: exactly one owner and nothing else.
+                if hw.owner().is_none() {
+                    return Err("ReadWrite entry without an owner".to_string());
+                }
+                if hw.ptr_count() != 0 || hw.local_bit() || hw.overflowed() || sw_readers != 0 {
+                    return Err(format!(
+                        "ReadWrite entry also tracks readers \
+                         (ptrs={}, local_bit={}, overflowed={}, sw={sw_readers}) — \
+                         single-writer xor multi-reader violated",
+                        hw.ptr_count(),
+                        hw.local_bit(),
+                        hw.overflowed()
+                    ));
+                }
+            }
+            HwState::ReadTransaction => {
+                // An owner fetch for a read: exactly one response
+                // outstanding, and we must remember whom to fetch from.
+                if hw.acks_pending() != 1 {
+                    return Err(format!(
+                        "ReadTransaction with {} responses outstanding (expected 1)",
+                        hw.acks_pending()
+                    ));
+                }
+                if st.owner_fetch.is_none() {
+                    return Err("ReadTransaction without an owner fetch".to_string());
+                }
+            }
+            HwState::WriteTransaction => {
+                // Ack counting in progress: the transaction completes
+                // (and leaves this state) on the final acknowledgment,
+                // so an entry observed in it has acks outstanding.
+                if hw.acks_pending() == 0 {
+                    return Err("WriteTransaction with no acknowledgments outstanding".to_string());
+                }
+            }
+        }
+
+        // Cross-state bookkeeping flags are meaningful only during
+        // their transactions.
+        if st.owner_fetch.is_some()
+            && !matches!(
+                hw.state(),
+                HwState::ReadTransaction | HwState::WriteTransaction
+            )
+        {
+            return Err(format!(
+                "owner fetch from {:?} outside a transaction ({:?})",
+                st.owner_fetch,
+                hw.state()
+            ));
+        }
+        if st.upgrade_pending && hw.state() != HwState::WriteTransaction {
+            return Err(format!("upgrade pending in {:?}", hw.state()));
+        }
+        if st.sw_transaction && hw.state() != HwState::WriteTransaction {
+            return Err(format!("software transaction flag set in {:?}", hw.state()));
+        }
+        Ok(())
+    }
+
+    /// Whether the directory currently accounts for a copy of `block`
+    /// at `node` — via the owner pointer, a hardware pointer, the
+    /// software extension, the one-bit local pointer, or (broadcast
+    /// protocols) the overflow bit that stands for "potentially
+    /// everyone". The quiesce audit checks cached copies against this:
+    /// the directory may track a superset (silent evictions of clean
+    /// lines are invisible to it) but never miss a real copy.
+    pub fn dir_tracks(&self, block: BlockAddr, node: NodeId) -> bool {
+        if self.local_fast_path(block) {
+            return node == self.home;
+        }
+        let Some(st) = self.table.get(block) else {
+            return false;
+        };
+        st.hw.owner() == Some(node)
+            || st.hw.ptrs().contains(&node)
+            || (st.hw.local_bit() && node == self.home)
+            || (st.hw.overflowed() && self.spec.sw == SwMode::Broadcast)
+            || self.sw.readers(block).contains(&node)
+    }
+
+    /// The exclusive owner the directory records for `block`, if any.
+    pub fn dir_owner(&self, block: BlockAddr) -> Option<NodeId> {
+        self.table.get(block).and_then(|st| st.hw.owner())
+    }
+
+    /// Violations of the quiesce contract: once the machine drains,
+    /// no entry may be mid-transaction or carry live transaction
+    /// bookkeeping, and every per-event invariant must still hold.
+    pub fn quiesce_violations(&self) -> Vec<String> {
+        let mut v = Vec::new();
+        for (block, id, st) in self.table.iter() {
+            if !st.hw.state().accepts_requests() {
+                v.push(format!(
+                    "home {} block {block}: still in {:?} at quiesce",
+                    self.home,
+                    st.hw.state()
+                ));
+                continue;
+            }
+            if st.hw.acks_pending() != 0 {
+                v.push(format!(
+                    "home {} block {block}: {} acknowledgments never arrived",
+                    self.home,
+                    st.hw.acks_pending()
+                ));
+            }
+            if st.owner_fetch.is_some() || st.upgrade_pending || st.sw_transaction {
+                v.push(format!(
+                    "home {} block {block}: live transaction bookkeeping at quiesce \
+                     (owner_fetch={:?}, upgrade_pending={}, sw_transaction={})",
+                    self.home, st.owner_fetch, st.upgrade_pending, st.sw_transaction
+                ));
+            }
+            if let Err(e) = self.block_invariants(block, id) {
+                v.push(format!("home {} block {block}: {e}", self.home));
+            }
+        }
+        v
+    }
+
+    /// The retained event history for `block`, formatted for
+    /// diagnostics (the retry watchdog includes this in its panic).
+    pub fn history_dump(&self, block: BlockAddr) -> String {
+        match self.table.id_of(block) {
+            Some(id) => self.history.dump(block, id),
+            None => format!("no directory events recorded for {block}"),
+        }
+    }
 }
 
 impl ProtocolSpec {
@@ -1254,6 +1506,64 @@ mod tests {
         assert_eq!(s.write_extend_traps, 1);
         assert_eq!(s.traps, 2);
         assert!(s.trap_cycles > 0);
+    }
+
+    #[test]
+    fn sanitizer_accepts_a_full_protocol_round() {
+        for spec in [
+            ProtocolSpec::zero_ptr(),
+            ProtocolSpec::limitless(2),
+            ProtocolSpec::dir1_sw(),
+            ProtocolSpec::full_map(),
+        ] {
+            let mut e = engine(spec);
+            e.set_check_level(CheckLevel::Basic);
+            for n in 1..=5 {
+                read(&mut e, 1, n);
+            }
+            let out = write(&mut e, 1, 9);
+            let invs = out.sends.iter().filter(|s| s.msg == ProtoMsg::Inv).count();
+            for n in 1..16 {
+                ack(&mut e, 1, n);
+            }
+            let _ = invs;
+            assert_eq!(e.dir_owner(BlockAddr(1)), Some(NodeId(9)));
+            assert!(e.dir_tracks(BlockAddr(1), NodeId(9)));
+            assert!(
+                e.quiesce_violations().is_empty(),
+                "{spec:?} left quiesce violations"
+            );
+        }
+    }
+
+    #[test]
+    fn sanitizer_tracks_sharers_and_dumps_history() {
+        let mut e = engine(ProtocolSpec::limitless(2));
+        e.set_check_level(CheckLevel::Basic);
+        for n in 1..=5 {
+            read(&mut e, 1, n);
+        }
+        for n in 1..=5 {
+            assert!(e.dir_tracks(BlockAddr(1), NodeId(n)));
+        }
+        assert!(!e.dir_tracks(BlockAddr(1), NodeId(9)));
+        let dump = e.history_dump(BlockAddr(1));
+        assert!(dump.contains("directory event"));
+        assert!(e
+            .history_dump(BlockAddr(99))
+            .contains("no directory events"));
+    }
+
+    #[test]
+    fn quiesce_flags_unfinished_transactions() {
+        let mut e = engine(ProtocolSpec::limitless(2));
+        e.set_check_level(CheckLevel::Basic);
+        read(&mut e, 1, 1);
+        read(&mut e, 1, 2);
+        write(&mut e, 1, 3); // invalidation round left unacknowledged
+        let v = e.quiesce_violations();
+        assert!(!v.is_empty());
+        assert!(v[0].contains("still in"));
     }
 
     #[test]

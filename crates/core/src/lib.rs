@@ -41,6 +41,7 @@
 //! assert!(out.trap.is_some()); // the LimitLESS trap
 //! ```
 
+pub mod check;
 pub mod cost;
 pub mod engine;
 pub mod enhancements;
@@ -49,6 +50,7 @@ pub mod msg;
 pub mod spec;
 pub mod table;
 
+pub use check::{CheckLevel, EventHistory, HistoryRecord};
 pub use cost::{CostModel, HandlerImpl, HandlerKind, TrapBill};
 pub use engine::{DirEngine, DirEvent, EngineStats, HwTiming, Outcome, Send, SendTiming};
 pub use enhancements::{AdaptiveBroadcastHandler, MigratoryHandler, ProfilingHandler};

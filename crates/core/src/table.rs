@@ -56,6 +56,7 @@ impl BlockState {
 pub struct DirectoryTable {
     ids: FxHashMap<BlockAddr, u32>,
     states: Vec<BlockState>,
+    blocks: Vec<BlockAddr>,
 }
 
 impl DirectoryTable {
@@ -83,7 +84,22 @@ impl DirectoryTable {
         let id = u32::try_from(self.states.len()).expect("more than 2^32 blocks interned");
         self.ids.insert(block, id);
         self.states.push(BlockState::new(capacity));
+        self.blocks.push(block);
         id
+    }
+
+    /// The interned id for `block`, if it has ever been touched.
+    pub fn id_of(&self, block: BlockAddr) -> Option<u32> {
+        self.ids.get(&block).copied()
+    }
+
+    /// Iterates every touched block in interning order.
+    pub fn iter(&self) -> impl Iterator<Item = (BlockAddr, u32, &BlockState)> + '_ {
+        self.blocks
+            .iter()
+            .zip(&self.states)
+            .enumerate()
+            .map(|(i, (&b, st))| (b, i as u32, st))
     }
 
     /// The state for an interned id.
@@ -136,6 +152,17 @@ mod tests {
         assert!(st.owner_fetch.is_none());
         assert!(!st.sw_transaction);
         assert_eq!(st.hw.ptr_count(), 0);
+    }
+
+    #[test]
+    fn iteration_follows_interning_order() {
+        let mut t = DirectoryTable::new();
+        t.intern(BlockAddr(10), 5);
+        t.intern(BlockAddr(20), 5);
+        let seen: Vec<_> = t.iter().map(|(b, id, _)| (b, id)).collect();
+        assert_eq!(seen, vec![(BlockAddr(10), 0), (BlockAddr(20), 1)]);
+        assert_eq!(t.id_of(BlockAddr(20)), Some(1));
+        assert_eq!(t.id_of(BlockAddr(30)), None);
     }
 
     #[test]

@@ -270,6 +270,60 @@ impl HwDirEntry {
     pub fn ptr_count(&self) -> usize {
         self.ptrs.len()
     }
+
+    /// Entry-local structural invariants, checked by the coherence
+    /// sanitizer after every directory transition: pointer bounds, no
+    /// duplicate pointers, and counter/requester bookkeeping agreeing
+    /// with the state machine.
+    pub fn structural_invariants(&self) -> Result<(), String> {
+        if self.ptrs.len() > self.capacity {
+            return Err(format!(
+                "{} pointers stored in a {}-pointer entry",
+                self.ptrs.len(),
+                self.capacity
+            ));
+        }
+        for (i, &p) in self.ptrs.iter().enumerate() {
+            if self.ptrs[..i].contains(&p) {
+                return Err(format!("duplicate hardware pointer {p}"));
+            }
+        }
+        match self.state {
+            HwState::Uncached | HwState::ReadOnly | HwState::ReadWrite => {
+                if self.acks_pending != 0 {
+                    return Err(format!(
+                        "{} acknowledgments outstanding outside a transaction ({:?})",
+                        self.acks_pending, self.state
+                    ));
+                }
+            }
+            HwState::ReadTransaction | HwState::WriteTransaction => {
+                if self.pending_requester.is_none() {
+                    return Err(format!("{:?} with no pending requester", self.state));
+                }
+                if !self.ptrs.is_empty() {
+                    return Err(format!(
+                        "{:?} holds {} pointers while the storage doubles as the ack counter",
+                        self.state,
+                        self.ptrs.len()
+                    ));
+                }
+                let want_write = self.state == HwState::WriteTransaction;
+                if self.pending_is_write != want_write {
+                    return Err(format!(
+                        "{:?} records a pending {}",
+                        self.state,
+                        if self.pending_is_write {
+                            "write"
+                        } else {
+                            "read"
+                        }
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]

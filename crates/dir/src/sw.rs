@@ -190,6 +190,25 @@ impl SwDirectory {
         self.table.len()
     }
 
+    /// Extension-record invariants for `block`, checked by the
+    /// coherence sanitizer: no duplicate reader pointers, and no
+    /// record left allocated but empty (empty records are returned to
+    /// the free list on the last removal).
+    pub fn structural_invariants(&self, block: BlockAddr) -> Result<(), String> {
+        let Some(rec) = self.table.get(&block) else {
+            return Ok(());
+        };
+        if rec.is_empty() {
+            return Err("empty software record left allocated".to_string());
+        }
+        for (i, &p) in rec.readers.iter().enumerate() {
+            if rec.readers[..i].contains(&p) {
+                return Err(format!("duplicate software reader pointer {p}"));
+            }
+        }
+        Ok(())
+    }
+
     /// Operation counters.
     pub fn stats(&self) -> SwDirStats {
         self.stats

@@ -1,7 +1,7 @@
 //! Machine configuration.
 
 use limitless_cache::CacheConfig;
-use limitless_core::{HandlerImpl, ProtocolSpec};
+use limitless_core::{CheckLevel, HandlerImpl, ProtocolSpec};
 use limitless_net::NetConfig;
 
 /// Processor-side timing parameters (cycles).
@@ -81,8 +81,11 @@ pub struct MachineConfig {
     pub barrier_cycles: u64,
     /// Track worker sets (Figure 6); small runtime cost.
     pub track_worker_sets: bool,
-    /// Maintain and assert the global coherence registry (tests).
-    pub check_coherence: bool,
+    /// Coherence-sanitizer level: `Off` (default, zero cost), `Basic`
+    /// (per-event directory invariants + the global copy registry +
+    /// quiesce audit), or `Full` (adds per-access permission checks
+    /// and the read-stream log for the differential oracle).
+    pub check: CheckLevel,
 }
 
 impl MachineConfig {
@@ -129,7 +132,7 @@ impl Default for MachineConfigBuilder {
                 perfect_ifetch: false,
                 barrier_cycles: 0, // derived at build time if left 0
                 track_worker_sets: false,
-                check_coherence: false,
+                check: CheckLevel::Off,
             },
         }
     }
@@ -197,9 +200,21 @@ impl MachineConfigBuilder {
         self
     }
 
-    /// Enables the global coherence-invariant checker.
+    /// Enables the global coherence-invariant checker at
+    /// [`CheckLevel::Basic`] (compatibility switch; use
+    /// [`MachineConfigBuilder::check_level`] for finer control).
     pub fn check_coherence(mut self, on: bool) -> Self {
-        self.cfg.check_coherence = on;
+        self.cfg.check = if on {
+            CheckLevel::Basic
+        } else {
+            CheckLevel::Off
+        };
+        self
+    }
+
+    /// Sets the coherence-sanitizer level directly.
+    pub fn check_level(mut self, level: CheckLevel) -> Self {
+        self.cfg.check = level;
         self
     }
 
@@ -262,6 +277,17 @@ mod tests {
     #[should_panic(expected = "at least one node")]
     fn zero_nodes_panics() {
         MachineConfig::builder().nodes(0).build();
+    }
+
+    #[test]
+    fn check_levels_compose() {
+        assert_eq!(MachineConfig::builder().build().check, CheckLevel::Off);
+        let basic = MachineConfig::builder().check_coherence(true).build();
+        assert_eq!(basic.check, CheckLevel::Basic);
+        let full = MachineConfig::builder()
+            .check_level(CheckLevel::Full)
+            .build();
+        assert!(full.check.is_full());
     }
 
     #[test]

@@ -58,6 +58,13 @@ impl<K: Eq + Hash + Copy, V: Default> DenseMap<K, V> {
     pub(crate) fn len(&self) -> usize {
         self.values.len()
     }
+
+    /// Iterates every interned `(key, value)` pair in arbitrary order.
+    pub(crate) fn iter(&self) -> impl Iterator<Item = (K, &V)> + '_ {
+        self.ids
+            .iter()
+            .map(|(k, &id)| (*k, &self.values[id as usize]))
+    }
 }
 
 #[cfg(test)]
@@ -76,6 +83,16 @@ mod tests {
         *m.entry(10) = 9;
         assert_eq!(m.get(10), Some(&9));
         assert_eq!(m.len(), 2);
+    }
+
+    #[test]
+    fn iter_visits_every_entry() {
+        let mut m: DenseMap<u64, u64> = DenseMap::default();
+        *m.entry(3) = 30;
+        *m.entry(1) = 10;
+        let mut pairs: Vec<(u64, u64)> = m.iter().map(|(k, &v)| (k, v)).collect();
+        pairs.sort_unstable();
+        assert_eq!(pairs, vec![(1, 10), (3, 30)]);
     }
 
     #[test]

@@ -15,9 +15,12 @@
 //!   makes progress (armed for the `S_{NB,ACK}` protocols);
 //! * **BUSY/retry** — transient directory states bounce requests
 //!   rather than queueing them, Alewife's livelock-free design;
-//! * **coherence checker** — a shadow registry asserting the
-//!   single-writer invariant on every fill (enable with
-//!   `check_coherence`);
+//! * **coherence sanitizer** — an opt-in, zero-cost-when-off checking
+//!   stack (see [`limitless_core::CheckLevel`]): per-event directory
+//!   invariants, a shadow registry asserting the single-writer
+//!   invariant on every fill, an inv/ack balance ledger, a
+//!   bounded-retry watchdog and a full quiesce audit (enable with
+//!   `check_level`);
 //! * **instruction-fetch model** — code streams through the combined
 //!   cache and can thrash against data (Figure 3).
 //!
@@ -58,6 +61,7 @@ mod sync;
 mod trap_path;
 
 pub use config::{MachineConfig, MachineConfigBuilder, ProcTiming, WatchdogConfig};
+pub use limitless_core::CheckLevel;
 pub use machine::Machine;
 pub use program::{FnProgram, Op, Program, Rmw, ScriptProgram};
 pub use registry::CoherenceRegistry;

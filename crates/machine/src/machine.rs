@@ -110,6 +110,10 @@ pub struct Machine {
     /// Shadow of shared memory, interned-dense keyed by word address.
     pub(crate) mem: DenseMap<Addr, u64>,
     pub(crate) registry: Option<CoherenceRegistry>,
+    /// Per-node `(address, value)` log of completed reads, recorded
+    /// under [`limitless_core::CheckLevel::Full`] for the differential
+    /// oracle; `None` otherwise.
+    pub(crate) read_log: Option<Vec<Vec<(Addr, u64)>>>,
     pub(crate) tracker: Option<WorkerSetTracker>,
     pub(crate) queue: EventQueue<Ev>,
     /// The inline dispatch slot: an event that is provably the global
@@ -143,26 +147,35 @@ impl Machine {
         let topo = MeshTopology::for_nodes(cfg.nodes);
         let net = Network::new(topo, cfg.net);
         let nodes = (0..cfg.nodes)
-            .map(|i| NodeCtx {
-                cache: CacheSystem::new(cfg.cache),
-                engine: DirEngine::new(
+            .map(|i| {
+                let mut cache = CacheSystem::new(cfg.cache);
+                // The registry mirrors every cached copy exactly; it
+                // needs to observe the silent drops of clean lines.
+                cache.set_eviction_mirror(cfg.check.enabled());
+                let mut engine = DirEngine::new(
                     NodeId::from_index(i),
                     cfg.nodes,
                     cfg.protocol,
                     cfg.handler_impl,
-                ),
-                program: Box::new(crate::program::ScriptProgram::new(Vec::new())),
-                footprint: None,
-                pending: None,
-                trap_busy_until: Cycle::ZERO,
-                handlers_off_until: Cycle::ZERO,
-                trap_accum: 0,
-                done: true, // idle until a program is loaded
-                last_value: None,
+                );
+                engine.set_check_level(cfg.check);
+                NodeCtx {
+                    cache,
+                    engine,
+                    program: Box::new(crate::program::ScriptProgram::new(Vec::new())),
+                    footprint: None,
+                    pending: None,
+                    trap_busy_until: Cycle::ZERO,
+                    handlers_off_until: Cycle::ZERO,
+                    trap_accum: 0,
+                    done: true, // idle until a program is loaded
+                    last_value: None,
+                }
             })
             .collect();
         Machine {
-            registry: cfg.check_coherence.then(CoherenceRegistry::new),
+            registry: cfg.check.enabled().then(CoherenceRegistry::new),
+            read_log: cfg.check.is_full().then(|| vec![Vec::new(); cfg.nodes]),
             tracker: cfg.track_worker_sets.then(WorkerSetTracker::new),
             net,
             nodes,
@@ -212,6 +225,22 @@ impl Machine {
     /// Reads a shared-memory word after a run (program output data).
     pub fn peek(&self, addr: Addr) -> u64 {
         self.mem.get(addr).copied().unwrap_or(0)
+    }
+
+    /// The final shared-memory image — every word ever poked or
+    /// written, sorted by address. The differential oracle compares
+    /// these across protocols.
+    pub fn memory_image(&self) -> Vec<(Addr, u64)> {
+        let mut image: Vec<(Addr, u64)> = self.mem.iter().map(|(a, &v)| (a, v)).collect();
+        image.sort_unstable_by_key(|&(a, _)| a.0);
+        image
+    }
+
+    /// Per-node `(address, value)` logs of every completed read, in
+    /// program order. Recorded only under
+    /// [`limitless_core::CheckLevel::Full`]; `None` otherwise.
+    pub fn read_streams(&self) -> Option<&[Vec<(Addr, u64)>]> {
+        self.read_log.as_deref()
     }
 
     /// Loads one program per node.

@@ -25,6 +25,14 @@ struct Holders {
 #[derive(Clone, Debug, Default)]
 pub struct CoherenceRegistry {
     blocks: FxHashMap<BlockAddr, Holders>,
+    /// Invalidations sent minus acknowledgments received, per block.
+    /// Must balance to zero at quiesce (every `Inv` draws exactly one
+    /// `InvAck`; local-bit invalidations are synchronous and unacked).
+    inv_balance: FxHashMap<BlockAddr, i64>,
+    /// Deferred violation reports (conditions that are suspicious but
+    /// not immediately fatal under `CheckLevel::Basic`); surfaced at
+    /// the quiesce audit.
+    violations: Vec<String>,
     /// Number of fills/invalidations observed (sanity metric).
     pub events: u64,
 }
@@ -108,6 +116,60 @@ impl CoherenceRegistry {
     pub fn sharer_count(&self, b: BlockAddr) -> usize {
         self.blocks.get(&b).map_or(0, |h| h.sharers.len())
     }
+
+    /// Whether node `n` is registered as a read-only holder of `b`.
+    pub fn is_sharer(&self, b: BlockAddr, n: NodeId) -> bool {
+        self.blocks.get(&b).is_some_and(|h| h.sharers.contains(&n))
+    }
+
+    /// An invalidation message for `b` left the home node.
+    pub fn note_inv_sent(&mut self, b: BlockAddr) {
+        *self.inv_balance.entry(b).or_insert(0) += 1;
+    }
+
+    /// An invalidation acknowledgment for `b` arrived at the home node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no matching invalidation is outstanding.
+    pub fn note_inv_ack(&mut self, b: BlockAddr) {
+        let bal = self.inv_balance.entry(b).or_insert(0);
+        assert!(
+            *bal > 0,
+            "coherence violation: acknowledgment for {b} without a matching invalidation in flight"
+        );
+        *bal -= 1;
+    }
+
+    /// Blocks whose invalidation/acknowledgment counts do not balance,
+    /// sorted by address. Empty at quiesce in a correct protocol.
+    pub fn unbalanced_invs(&self) -> Vec<(BlockAddr, i64)> {
+        let mut out: Vec<(BlockAddr, i64)> = self
+            .inv_balance
+            .iter()
+            .filter(|&(_, &bal)| bal != 0)
+            .map(|(&b, &bal)| (b, bal))
+            .collect();
+        out.sort_unstable_by_key(|&(b, _)| b.0);
+        out
+    }
+
+    /// Records a non-fatal violation for the quiesce audit.
+    pub fn report_violation(&mut self, msg: String) {
+        self.violations.push(msg);
+    }
+
+    /// Violations recorded so far.
+    pub fn violations(&self) -> &[String] {
+        &self.violations
+    }
+
+    /// Iterates every tracked block with its owner and sharer list.
+    pub fn iter(&self) -> impl Iterator<Item = (BlockAddr, Option<NodeId>, &[NodeId])> + '_ {
+        self.blocks
+            .iter()
+            .map(|(&b, h)| (b, h.owner, h.sharers.as_slice()))
+    }
 }
 
 #[cfg(test)]
@@ -155,6 +217,32 @@ mod tests {
         let mut r = CoherenceRegistry::new();
         r.fill_exclusive(BlockAddr(1), NodeId(0));
         r.fill_shared(BlockAddr(1), NodeId(1));
+    }
+
+    #[test]
+    fn inv_balance_tracks_outstanding_invalidations() {
+        let mut r = CoherenceRegistry::new();
+        r.note_inv_sent(BlockAddr(5));
+        r.note_inv_sent(BlockAddr(5));
+        assert_eq!(r.unbalanced_invs(), vec![(BlockAddr(5), 2)]);
+        r.note_inv_ack(BlockAddr(5));
+        r.note_inv_ack(BlockAddr(5));
+        assert!(r.unbalanced_invs().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "without a matching invalidation")]
+    fn unmatched_ack_panics() {
+        let mut r = CoherenceRegistry::new();
+        r.note_inv_ack(BlockAddr(5));
+    }
+
+    #[test]
+    fn violations_accumulate() {
+        let mut r = CoherenceRegistry::new();
+        assert!(r.violations().is_empty());
+        r.report_violation("something odd".to_string());
+        assert_eq!(r.violations().len(), 1);
     }
 
     #[test]

@@ -3,7 +3,7 @@
 
 use std::time::Instant;
 
-use limitless_cache::Access;
+use limitless_cache::{Access, LineState, INSTR_BLOCK_BASE};
 use limitless_core::{BlockMsg, DirEvent, ProtoMsg};
 use limitless_sim::{Addr, BlockAddr, Cycle, NodeId};
 
@@ -14,6 +14,12 @@ use crate::stats::RunReport;
 /// Hard ceiling on simulation events — a drained queue that never
 /// empties indicates livelock, which is a bug this backstop surfaces.
 const MAX_EVENTS: u64 = 4_000_000_000;
+
+/// With the sanitizer on, a requester bouncing off BUSY this many
+/// times without completing is diagnosed as a livelock: the run panics
+/// with the home directory's event history instead of spinning to the
+/// event-limit backstop.
+const CHECKED_RETRY_LIMIT: u32 = 10_000;
 
 impl Machine {
     /// Runs the machine until every program has finished and all
@@ -64,7 +70,157 @@ impl Machine {
             self.nodes.len(),
             "simulation drained with unfinished programs (deadlock?)"
         );
+        if self.registry.is_some() {
+            self.check_quiesce();
+        }
         self.collect_report(start.elapsed().as_secs_f64())
+    }
+
+    // ------------------------------------------------------ sanitizer
+
+    /// Forwards silently dropped clean lines (direct-mapped conflict
+    /// evictions of `Shared` copies, which send no message) from node
+    /// `i`'s cache mirror to the registry. No-op when checking is off.
+    ///
+    /// Drops may sit in the mirror for arbitrary stretches of the run;
+    /// the one ordering that matters is that a node's mirror is drained
+    /// **before** the registry gains a copy for that node, so a stale
+    /// pending drop of block `B` cannot delete a fresh registration of
+    /// `B`. Hence the call sites: immediately ahead of every
+    /// `registry_fill_*` (the cold miss paths) and at the start of the
+    /// quiesce audit — never on the hit path.
+    ///
+    /// The gate is inline (one discriminant load and a predicted branch
+    /// when checking is off); the drain loop itself stays outlined and
+    /// cold.
+    #[inline]
+    fn drain_silent_drops(&mut self, i: usize) {
+        if self.registry.is_some() {
+            self.drain_silent_drops_slow(i);
+        }
+    }
+
+    #[cold]
+    fn drain_silent_drops_slow(&mut self, i: usize) {
+        while let Some(b) = self.nodes[i].cache.pop_dropped() {
+            if b.0 < INSTR_BLOCK_BASE {
+                if let Some(r) = self.registry.as_mut() {
+                    r.drop_copy(b, NodeId::from_index(i));
+                }
+            }
+        }
+    }
+
+    /// The quiesce audit: with all programs finished and all traffic
+    /// drained, the caches, the copy registry, every home directory
+    /// and the sync runtime must agree exactly.
+    ///
+    /// # Panics
+    ///
+    /// Panics listing every discrepancy found.
+    fn check_quiesce(&mut self) {
+        for i in 0..self.nodes.len() {
+            self.drain_silent_drops(i);
+        }
+        let Some(r) = self.registry.as_ref() else {
+            return;
+        };
+        let mut problems: Vec<String> = Vec::new();
+        // Every cached copy must be registered with the right
+        // permission.
+        for (i, node) in self.nodes.iter().enumerate() {
+            let n = NodeId::from_index(i);
+            for (b, state) in node.cache.resident_blocks() {
+                if b.0 >= INSTR_BLOCK_BASE {
+                    continue;
+                }
+                match state {
+                    LineState::Dirty if r.owner(b) != Some(n) => problems.push(format!(
+                        "node {n} holds {b} dirty but the registry owner is {:?}",
+                        r.owner(b)
+                    )),
+                    LineState::Shared if !r.is_sharer(b, n) => problems.push(format!(
+                        "node {n} holds {b} shared but is not a registered sharer"
+                    )),
+                    _ => {}
+                }
+            }
+        }
+        // Every registered copy must be cached, and the block's home
+        // directory must still track it (the directory may track a
+        // superset — silent evictions leave stale pointers — but never
+        // less than the true copy set).
+        for (b, owner, sharers) in r.iter() {
+            let home = self.home_of(b);
+            let engine = &self.nodes[home.index()].engine;
+            if let Some(o) = owner {
+                if self.nodes[o.index()].cache.state_anywhere(b) != Some(LineState::Dirty) {
+                    problems.push(format!(
+                        "registry says {o} owns {b} but its cache disagrees"
+                    ));
+                }
+                let dir_ok = if engine.local_fast_path(b) {
+                    o == home
+                } else {
+                    engine.dir_owner(b) == Some(o)
+                };
+                if !dir_ok {
+                    problems.push(format!(
+                        "registry says {o} owns {b} but home {home}'s directory says {:?}",
+                        engine.dir_owner(b)
+                    ));
+                }
+            }
+            for &s in sharers {
+                if self.nodes[s.index()].cache.state_anywhere(b) != Some(LineState::Shared) {
+                    problems.push(format!(
+                        "registry says {s} shares {b} but its cache disagrees"
+                    ));
+                }
+                if !engine.dir_tracks(b, s) {
+                    problems.push(format!(
+                        "registry says {s} shares {b} but home {home}'s directory does not track it"
+                    ));
+                }
+            }
+        }
+        // Every directory entry must have settled into a stable,
+        // internally consistent state.
+        for (i, node) in self.nodes.iter().enumerate() {
+            for v in node.engine.quiesce_violations() {
+                problems.push(format!("home {}: {v}", NodeId::from_index(i)));
+            }
+        }
+        // Every invalidation must have been acknowledged exactly once.
+        for (b, bal) in r.unbalanced_invs() {
+            problems.push(format!("{b}: {bal} invalidation(s) never acknowledged"));
+        }
+        // Deferred (non-fatal under Basic) violations.
+        problems.extend(r.violations().iter().cloned());
+        // The sync runtime must have drained.
+        for (lock, st) in self.locks.iter() {
+            if let Some(h) = st.holder {
+                problems.push(format!("lock {lock} still held by {h} at quiesce"));
+            }
+            if !st.waiters.is_empty() {
+                problems.push(format!(
+                    "lock {lock} still has {} waiter(s) at quiesce",
+                    st.waiters.len()
+                ));
+            }
+        }
+        if !self.barrier_waiting.is_empty() {
+            problems.push(format!(
+                "{} node(s) still waiting at a barrier at quiesce",
+                self.barrier_waiting.len()
+            ));
+        }
+        assert!(
+            problems.is_empty(),
+            "coherence sanitizer: quiesce audit failed with {} problem(s):\n  {}",
+            problems.len(),
+            problems.join("\n  ")
+        );
     }
 
     // ----------------------------------------------------- dispatch
@@ -164,13 +320,13 @@ impl Machine {
                         Access::Hit => {
                             self.stats.hits += 1;
                             let t = now + Cycle(self.cfg.proc.hit + penalty);
-                            Some(self.finish_access(n, addr, false, None, 0, t))
+                            Some(self.finish_access(n, addr, false, None, 0, false, t))
                         }
                         Access::VictimHit => {
                             self.stats.hits += 1;
                             let t =
                                 now + Cycle(self.cfg.proc.hit + self.cfg.proc.victim_hit + penalty);
-                            Some(self.finish_access(n, addr, false, None, 0, t))
+                            Some(self.finish_access(n, addr, false, None, 0, false, t))
                         }
                         Access::UpgradeMiss | Access::Miss { .. } => {
                             self.start_miss(n, addr, false, 0, None, now + Cycle(penalty))
@@ -214,12 +370,12 @@ impl Machine {
             Access::Hit => {
                 self.stats.hits += 1;
                 let t = now + Cycle(self.cfg.proc.hit + penalty);
-                Some(self.finish_access(n, addr, true, rmw, v, t))
+                Some(self.finish_access(n, addr, true, rmw, v, false, t))
             }
             Access::VictimHit => {
                 self.stats.hits += 1;
                 let t = now + Cycle(self.cfg.proc.hit + self.cfg.proc.victim_hit + penalty);
-                Some(self.finish_access(n, addr, true, rmw, v, t))
+                Some(self.finish_access(n, addr, true, rmw, v, false, t))
             }
             Access::UpgradeMiss | Access::Miss { .. } => {
                 self.start_miss(n, addr, true, v, rmw, now + Cycle(penalty))
@@ -231,7 +387,14 @@ impl Machine {
     /// shadow memory and returns the time the program resumes. The
     /// caller either chains the next operation inline (see
     /// [`Machine::step_program`]) or posts a `Resume`.
+    ///
+    /// `squashed` marks a window-of-vulnerability completion (the fill
+    /// was invalidated in flight; the access completes with the data
+    /// but installs nothing) — the sanitizer's permission check is
+    /// skipped for those, since the line legitimately belongs to
+    /// someone else by completion time.
     #[must_use]
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn finish_access(
         &mut self,
         n: NodeId,
@@ -239,9 +402,13 @@ impl Machine {
         is_write: bool,
         rmw: Option<Rmw>,
         wvalue: u64,
+        squashed: bool,
         t: Cycle,
     ) -> Cycle {
         let i = n.index();
+        if !squashed && self.cfg.check.is_full() {
+            self.check_access_permission(n, addr, is_write);
+        }
         if is_write {
             self.stats.writes += 1;
             let slot = self.mem.entry(addr);
@@ -257,13 +424,56 @@ impl Machine {
             }
         } else {
             self.stats.reads += 1;
-            self.nodes[i].last_value = Some(self.mem.get(addr).copied().unwrap_or(0));
+            let v = self.mem.get(addr).copied().unwrap_or(0);
+            self.nodes[i].last_value = Some(v);
+            if let Some(log) = self.read_log.as_mut() {
+                log[i].push((addr, v));
+            }
         }
         if let Some(tr) = self.tracker.as_mut() {
             let block = addr.block(self.cfg.cache.line_bytes);
             tr.touch(block.0, n.0, is_write);
         }
         t
+    }
+
+    /// Bounded-retry progress violated: diagnose the livelock with the
+    /// home directory's event history instead of spinning to the
+    /// event-limit backstop.
+    #[cold]
+    fn livelock_panic(&self, dst: NodeId, addr: Addr, retries: u32) -> ! {
+        let b = addr.block(self.cfg.cache.line_bytes);
+        let home = self.home_of(b);
+        panic!(
+            "coherence sanitizer: node {dst} bounced {retries} times \
+             requesting {b} — bounded-retry progress violated (livelock)\n{}",
+            self.nodes[home.index()].engine.history_dump(b)
+        );
+    }
+
+    /// The `CheckLevel::Full` freshness check: the simulator keeps one
+    /// shadow memory, so a stale *value* is unobservable — instead a
+    /// completing access must hold the permission the registry implies.
+    #[cold]
+    fn check_access_permission(&self, n: NodeId, addr: Addr, is_write: bool) {
+        let Some(r) = self.registry.as_ref() else {
+            return;
+        };
+        let block = addr.block(self.cfg.cache.line_bytes);
+        let owner = r.owner(block);
+        if is_write {
+            assert!(
+                owner == Some(n),
+                "coherence sanitizer: node {n} completed a write to {addr} ({block}) \
+                 without exclusive ownership (registry owner: {owner:?})"
+            );
+        } else {
+            assert!(
+                owner.is_none() || owner == Some(n),
+                "coherence sanitizer: node {n} completed a read of {addr} ({block}) \
+                 while {owner:?} holds it exclusively"
+            );
+        }
     }
 
     /// Issues a miss. Returns the resume time when the access completes
@@ -288,6 +498,7 @@ impl Machine {
         // local DRAM, with no protocol involvement at all (§2.3).
         if home == n && self.nodes[i].engine.local_fast_path(block) {
             self.stats.local_fast_fills += 1;
+            self.drain_silent_drops(i);
             let wb = if is_write {
                 self.registry_fill_exclusive(block, n);
                 self.nodes[i].cache.fill_dirty(block)
@@ -297,7 +508,7 @@ impl Machine {
             };
             self.handle_displacement(n, wb, now);
             let t = now + Cycle(self.cfg.proc.issue + 10 /* local DRAM */ + self.cfg.proc.fill);
-            return Some(self.finish_access(n, addr, is_write, rmw, wvalue, t));
+            return Some(self.finish_access(n, addr, is_write, rmw, wvalue, false, t));
         }
 
         debug_assert!(
@@ -371,7 +582,12 @@ impl Machine {
             // ---- home-side protocol events ----
             ProtoMsg::ReadReq => self.home_event(dst, block, DirEvent::Read { from: src }, now),
             ProtoMsg::WriteReq => self.home_event(dst, block, DirEvent::Write { from: src }, now),
-            ProtoMsg::InvAck => self.home_event(dst, block, DirEvent::InvAck { from: src }, now),
+            ProtoMsg::InvAck => {
+                if let Some(r) = self.registry.as_mut() {
+                    r.note_inv_ack(block);
+                }
+                self.home_event(dst, block, DirEvent::InvAck { from: src }, now);
+            }
             ProtoMsg::FlushAck { had_data } => self.home_event(
                 dst,
                 block,
@@ -401,6 +617,7 @@ impl Machine {
                     p.squashed && p.addr.block(self.cfg.cache.line_bytes) == block
                 });
                 if !squashed {
+                    self.drain_silent_drops(i);
                     let wb = self.nodes[i].cache.fill_shared(block);
                     self.registry_fill_shared(block, dst);
                     self.handle_displacement(dst, wb, now);
@@ -409,6 +626,7 @@ impl Machine {
             }
             ProtoMsg::WriteData => {
                 let i = dst.index();
+                self.drain_silent_drops(i);
                 // The line may still sit Shared in our cache if the
                 // grant raced nothing at all; normally it is absent.
                 let wb = match self.nodes[i].cache.state_of(block) {
@@ -424,6 +642,7 @@ impl Machine {
             }
             ProtoMsg::UpgradeAck => {
                 let i = dst.index();
+                self.drain_silent_drops(i);
                 if !self.nodes[i].cache.upgrade(block) {
                     // The shared line was displaced while the upgrade
                     // was in flight (e.g. by instruction thrashing).
@@ -446,7 +665,12 @@ impl Machine {
                 self.stats.busy_retries += 1;
                 if let Some(p) = self.nodes[i].pending.as_mut() {
                     p.retries += 1;
-                    let backoff = self.cfg.proc.busy_backoff * u64::from(p.retries.min(8));
+                    let retries = p.retries;
+                    let addr = p.addr;
+                    if retries >= CHECKED_RETRY_LIMIT && self.registry.is_some() {
+                        self.livelock_panic(dst, addr, retries);
+                    }
+                    let backoff = self.cfg.proc.busy_backoff * u64::from(retries.min(8));
                     self.post(now + Cycle(backoff), Ev::Retry(dst));
                 }
             }
@@ -499,7 +723,7 @@ impl Machine {
             return; // duplicate grant (e.g. after an upgrade race)
         };
         let t = now + Cycle(self.cfg.proc.fill);
-        let t = self.finish_access(n, p.addr, p.is_write, p.rmw, p.wvalue, t);
+        let t = self.finish_access(n, p.addr, p.is_write, p.rmw, p.wvalue, p.squashed, t);
         // Chain straight into program stepping when the resume is
         // provably the machine's next event (the common case for a
         // solo in-flight miss); `step_program` keeps chaining from

@@ -97,6 +97,9 @@ pub struct MachineStats {
     pub barriers: u64,
     /// FIFO-lock hand-overs to a waiting node.
     pub lock_handoffs: u64,
+    /// Lock grants that found the lock already held (mutual-exclusion
+    /// violations; counted only when the coherence sanitizer is on).
+    pub lock_conflicts: u64,
     /// Watchdog activations (livelock protection).
     pub watchdog_fires: u64,
     /// Aggregated protocol-engine counters over all home nodes.

@@ -77,7 +77,20 @@ impl Machine {
 
     pub(crate) fn grant_lock(&mut self, lock: u32, holder: NodeId, now: Cycle) {
         let st = self.locks.get_mut(lock).expect("granting unknown lock");
-        debug_assert!(st.holder.is_none(), "lock {lock} granted while held");
+        if let Some(prev) = st.holder {
+            // Mutual-exclusion violation: always observed (not just in
+            // debug builds). Fatal under `CheckLevel::Full`; recorded
+            // for the quiesce audit under `Basic`.
+            self.stats.lock_conflicts += 1;
+            let msg = format!("lock {lock} granted to {holder} while held by {prev}");
+            if self.cfg.check.is_full() {
+                panic!("coherence sanitizer: {msg}");
+            }
+            if let Some(r) = self.registry.as_mut() {
+                r.report_violation(msg);
+            }
+        }
+        let st = self.locks.get_mut(lock).expect("granting unknown lock");
         st.holder = Some(holder);
         self.stats.lock_handoffs += 1;
         self.post(now, Ev::Resume(holder));

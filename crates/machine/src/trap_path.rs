@@ -2,7 +2,7 @@
 //! software handler occupancy on the home processor, watchdog
 //! bookkeeping and Table 1/2 latency billing.
 
-use limitless_core::{DirEvent, HandlerKind, SendTiming};
+use limitless_core::{DirEvent, HandlerKind, ProtoMsg, SendTiming};
 use limitless_sim::{BlockAddr, Cycle, NodeId};
 
 use crate::machine::Machine;
@@ -92,6 +92,13 @@ impl Machine {
                 SendTiming::Hw { offset } => now + Cycle(offset),
                 SendTiming::Sw { offset } => handler_start + Cycle(offset),
             };
+            if s.msg == ProtoMsg::Inv {
+                // Ack balance: every invalidation on the wire must be
+                // answered by exactly one acknowledgment.
+                if let Some(r) = self.registry.as_mut() {
+                    r.note_inv_sent(block);
+                }
+            }
             self.send(home, s.dst, block, s.msg, depart);
         }
     }

@@ -1,0 +1,49 @@
+//! Regression test for the upgrade-race hang: TSP's hot-block layout
+//! under the software-only directory once wedged a read transaction
+//! forever (see `Machine`'s window-of-vulnerability handling).
+//!
+//! Promoted from a manual example into a hard-budget CI gate: the run
+//! must terminate, and it must do so within a generous-but-finite
+//! cycle/event budget so a reintroduced livelock fails fast instead of
+//! spinning to the 4-billion-event backstop. The coherence sanitizer
+//! runs fully armed, so a hang in the bounded-retry class is diagnosed
+//! with the home directory's event history rather than a timeout.
+//!
+//! This is the only test in this file: it owns its process and may set
+//! `LIMITLESS_MAX_EVENTS` safely.
+
+use limitless_apps::{run_app, Scale, Tsp};
+use limitless_core::{CheckLevel, ProtocolSpec};
+use limitless_machine::MachineConfig;
+
+/// Observed healthy run: ~358k cycles, ~16k events. Budgets leave more
+/// than 10x headroom for timing-model drift while still catching any
+/// runaway retry loop quickly.
+const CYCLE_BUDGET: u64 = 5_000_000;
+const EVENT_BUDGET: u64 = 2_000_000;
+
+#[test]
+fn tsp_zero_ptr_terminates_within_budget() {
+    // Backstop below the budget assertion: if the run livelocks, the
+    // machine panics at 2M events instead of 4B.
+    std::env::set_var("LIMITLESS_MAX_EVENTS", EVENT_BUDGET.to_string());
+    let app = Tsp::new(Scale::Quick);
+    let r = run_app(
+        &app,
+        MachineConfig::builder()
+            .nodes(16)
+            .protocol(ProtocolSpec::zero_ptr())
+            .check_level(CheckLevel::Full)
+            .build(),
+    );
+    assert!(
+        r.cycles.as_u64() < CYCLE_BUDGET,
+        "TSP under Dir_nH_0 took {} cycles (budget {CYCLE_BUDGET}): livelock regression?",
+        r.cycles.as_u64()
+    );
+    assert!(
+        r.events < EVENT_BUDGET,
+        "TSP under Dir_nH_0 processed {} events (budget {EVENT_BUDGET}): livelock regression?",
+        r.events
+    );
+}
