@@ -1,0 +1,80 @@
+//! A counting wrapper around the system allocator (compiled in only
+//! under the `alloc-counter` feature).
+//!
+//! Every `alloc`/`realloc` on the current thread bumps a thread-local
+//! counter; [`allocations`] reads it. The count is per-thread on
+//! purpose: the micro benchmarks are single-threaded, and a process
+//! -wide atomic would charge one benchmark for another thread's
+//! allocator traffic (and pay cross-core contention while doing it).
+//!
+//! `dealloc` is deliberately not counted — the benchmarks care about
+//! allocation *pressure* on the hot path, and frees mirror allocs
+//! one-to-one anyway.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+
+thread_local! {
+    static ALLOCS: Cell<u64> = const { Cell::new(0) };
+}
+
+/// The system allocator with a thread-local allocation counter bolted
+/// on.
+pub struct CountingAllocator;
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.with(|c| c.set(c.get().wrapping_add(1)));
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.with(|c| c.set(c.get().wrapping_add(1)));
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAllocator = CountingAllocator;
+
+/// Number of heap allocations (allocs + reallocs) made by the current
+/// thread since it started. Subtract two readings to meter a region.
+pub fn allocations() -> u64 {
+    ALLOCS.with(Cell::get)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::allocations;
+
+    #[test]
+    fn counts_allocations_on_this_thread() {
+        let before = allocations();
+        let v: Vec<u64> = Vec::with_capacity(32);
+        std::hint::black_box(&v);
+        let after = allocations();
+        assert!(
+            after > before,
+            "Vec::with_capacity must register at least one allocation"
+        );
+    }
+
+    #[test]
+    fn growth_reallocs_are_counted() {
+        let mut v: Vec<u64> = Vec::new();
+        let before = allocations();
+        for i in 0..1000 {
+            v.push(i);
+        }
+        let after = allocations();
+        std::hint::black_box(&v);
+        // 1000 pushes from empty: one initial alloc plus a realloc per
+        // doubling — far fewer than one per push, but definitely > 1.
+        assert!(after - before > 1, "doubling growth must be visible");
+        assert!(after - before < 1000, "counter must not count per push");
+    }
+}

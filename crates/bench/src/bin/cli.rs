@@ -3,11 +3,16 @@
 //! ```text
 //! limitless-bench <experiment> [--paper] [--nodes N]
 //! limitless-bench all [--paper]
-//! limitless-bench sweep [--paper] [--nodes N] [--threads T]
+//! limitless-bench sweep [--paper] [--nodes N] [--shards S] [--threads T]
 //!                       [--min-of N] [--json PATH] [--label L]
 //! limitless-bench micro [--json PATH]
-//! limitless-bench check [--paper|--quick] [--nodes N]
+//! limitless-bench check [--paper|--quick] [--nodes N] [--shards S]
+//! limitless-bench perfgate [--json PATH]
 //! ```
+//!
+//! `--shards S` runs every simulation on the sharded conservative
+//! parallel engine with S event lanes (DESIGN.md §9); results are
+//! bit-identical to the serial default, only wall time changes.
 //!
 //! Experiments: `table1 table2 table3 fig2 fig3 fig4 fig5 fig6
 //! ablation-localbit ablation-network ablation-handlers`, plus two
@@ -23,16 +28,22 @@
 //! - `micro` — data-structure micro-benchmarks, min/median over
 //!   repeated batches; `--json PATH` writes the record for CI.
 //!
-//! There is also a correctness gate:
+//! There is also a correctness gate and a perf gate:
 //!
 //! - `check` — the differential oracle: every application × protocol
 //!   cell runs with the coherence sanitizer fully armed and is diffed
 //!   against full-map ground truth (final memory image + per-node read
 //!   streams). Prints one PASS/FAIL line per cell; exits 1 on any
 //!   failure.
+//! - `perfgate` — re-runs the micro suite and diffs each median
+//!   against the medians embedded in the most recent ledger record
+//!   (±15%). Warn-only: always exits 0, because micro timings track
+//!   the host; the WARN lines exist to catch regressions in review.
 
 use limitless_apps::Scale;
-use limitless_bench::{experiments, micro, runner, ExperimentSpec, Harness, Runner, SweepRecord};
+use limitless_bench::{
+    experiments, gate, micro, runner, ExperimentSpec, Harness, Runner, SweepRecord,
+};
 use limitless_stats::Table;
 
 fn main() {
@@ -43,6 +54,7 @@ fn main() {
     }
     let mut scale = Scale::from_env();
     let mut nodes_override = None;
+    let mut shards = 1usize;
     let mut threads = None;
     let mut json_path = None;
     let mut min_of = 1u32;
@@ -58,6 +70,16 @@ fn main() {
                     eprintln!("--nodes needs a number");
                     std::process::exit(2);
                 });
+            }
+            "--shards" => {
+                shards = it
+                    .next()
+                    .and_then(|n| n.parse::<usize>().ok())
+                    .filter(|&n| n >= 1)
+                    .unwrap_or_else(|| {
+                        eprintln!("--shards needs a number >= 1");
+                        std::process::exit(2);
+                    });
             }
             "--threads" => {
                 threads = it.next().and_then(|n| n.parse::<usize>().ok()).or_else(|| {
@@ -97,6 +119,7 @@ fn main() {
     let h = Harness {
         scale,
         nodes_override,
+        shards,
     };
     if name == "micro" {
         let results = micro::run_all();
@@ -134,6 +157,18 @@ fn main() {
         return;
     }
     if name == "sweep" {
+        // Capture micro medians for the ledger record *before* the
+        // sweep: `perfgate` measures in a fresh process, so the
+        // baseline must too (a 20-second sweep leaves the heap warm
+        // enough to shift allocation-heavy micros by ~20%).
+        let micro_medians: Vec<(String, u64)> = if json_path.is_some() {
+            micro::run_all()
+                .iter()
+                .map(|r| (r.name.clone(), r.median_ns()))
+                .collect()
+        } else {
+            Vec::new()
+        };
         let spec = ExperimentSpec::spectrum_grid(h);
         let r = match threads {
             Some(t) => Runner::with_threads(t),
@@ -148,12 +183,47 @@ fn main() {
                 eprintln!("cannot load ledger {path}: {e}");
                 std::process::exit(1);
             });
-            ledger.upsert(SweepRecord::from_result(&label, &result));
+            let mut rec = SweepRecord::from_result(&label, &result);
+            // The pre-sweep micro medians give `perfgate` a committed
+            // baseline to diff future PRs against.
+            rec.micro_median_ns = micro_medians;
+            ledger.upsert(rec);
             if let Err(e) = ledger.save(&path) {
                 eprintln!("cannot write {path}: {e}");
                 std::process::exit(1);
             }
             println!("wrote record `{label}` (min of {min_of}) to {path}");
+        }
+        return;
+    }
+    if name == "perfgate" {
+        let path = json_path.unwrap_or_else(|| "BENCH_sweep.json".to_string());
+        let ledger = limitless_bench::BenchLedger::load(&path).unwrap_or_else(|e| {
+            eprintln!("cannot load ledger {path}: {e}");
+            std::process::exit(1);
+        });
+        let Some(base) = gate::baseline(&ledger) else {
+            println!("perfgate: no ledger record carries micro medians; nothing to compare");
+            return;
+        };
+        println!(
+            "== perfgate: micro medians vs record `{}` (warn-only, ±15%) ==",
+            base.label
+        );
+        let lines = gate::compare(base, &micro::run_all(), 0.15);
+        for l in &lines {
+            println!("{}", l.render());
+        }
+        let warned = lines.iter().filter(|l| l.warn).count();
+        if warned == 0 {
+            println!("perfgate: all {} benchmarks within tolerance", lines.len());
+        } else {
+            // Warn-only by design: micro timings track the host, so a
+            // drift is a flag for a human, never a red build.
+            println!(
+                "perfgate: {warned} of {} benchmarks drifted beyond tolerance (warn-only)",
+                lines.len()
+            );
         }
         return;
     }
@@ -194,11 +264,12 @@ fn main() {
 fn usage() {
     eprintln!(
         "usage: limitless-bench <experiment|all> [--paper|--quick] [--nodes N]\n\
-         \x20      limitless-bench sweep [--paper|--quick] [--nodes N] [--threads T]\n\
-         \x20                            [--min-of N] [--json PATH] [--label L]\n\
+         \x20      limitless-bench sweep [--paper|--quick] [--nodes N] [--shards S]\n\
+         \x20                            [--threads T] [--min-of N] [--json PATH] [--label L]\n\
          \x20      limitless-bench micro [--json PATH]\n\
-         \x20      limitless-bench check [--paper|--quick] [--nodes N]\n\
+         \x20      limitless-bench check [--paper|--quick] [--nodes N] [--shards S]\n\
+         \x20      limitless-bench perfgate [--json PATH]\n\
          experiments: table1 table2 table3 fig2 fig3 fig4 fig5 fig6 \
-         ablation-localbit ablation-network ablation-handlers sweep micro check"
+         ablation-localbit ablation-network ablation-handlers sweep micro check perfgate"
     );
 }

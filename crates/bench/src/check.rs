@@ -60,12 +60,13 @@ pub struct CellReport {
 /// captures the oracle artifacts. Read values inside the app's
 /// declared racy ranges are masked to zero — the read addresses stay
 /// in the stream, so ordering and coverage are still compared.
-pub fn capture(app: &dyn App, nodes: usize, protocol: ProtocolSpec) -> Artifacts {
+pub fn capture(app: &dyn App, nodes: usize, protocol: ProtocolSpec, shards: usize) -> Artifacts {
     let cfg = MachineConfig::builder()
         .nodes(nodes)
         .protocol(protocol)
         .victim_cache(true)
         .check_level(CheckLevel::Full)
+        .shards(shards)
         .build();
     let (_, m) = run_app_with_machine(app, cfg);
     let racy = app.racy_read_ranges();
@@ -130,12 +131,12 @@ pub fn diff(baseline: &Artifacts, candidate: &Artifacts) -> Option<String> {
 
 /// Checks one application across the full Figure 2 protocol set
 /// against its full-map ground truth.
-pub fn check_app(app: &dyn App, nodes: usize) -> Vec<CellReport> {
-    let baseline = capture(app, nodes, ProtocolSpec::full_map());
+pub fn check_app(app: &dyn App, nodes: usize, shards: usize) -> Vec<CellReport> {
+    let baseline = capture(app, nodes, ProtocolSpec::full_map(), shards);
     fig2_protocols()
         .into_iter()
         .map(|(label, p)| {
-            let candidate = capture(app, nodes, p);
+            let candidate = capture(app, nodes, p, shards);
             let mismatch = diff(&baseline, &candidate);
             CellReport {
                 app: app.name().to_string(),
@@ -154,7 +155,7 @@ pub fn run_check(h: Harness) -> (Vec<CellReport>, bool) {
     let nodes = h.nodes(16);
     let mut reports = Vec::new();
     for app in applications(h.scale) {
-        reports.extend(check_app(app.as_ref(), nodes));
+        reports.extend(check_app(app.as_ref(), nodes, h.shards));
     }
     let ok = reports.iter().all(|r| r.passed);
     (reports, ok)

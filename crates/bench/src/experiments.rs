@@ -396,6 +396,7 @@ mod tests {
         Harness {
             scale: Scale::Quick,
             nodes_override: Some(8),
+            shards: 1,
         }
     }
 
@@ -422,6 +423,7 @@ mod tests {
         let t = fig2(Harness {
             scale: Scale::Quick,
             nodes_override: None,
+            shards: 1,
         });
         let s = t.render();
         let full_map_line = s

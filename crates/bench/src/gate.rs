@@ -1,0 +1,142 @@
+//! The warn-only CI perf gate: compares a fresh micro-benchmark run
+//! against the medians committed with the most recent ledger record.
+//!
+//! The gate never fails the build — micro timings move with the host,
+//! and CI runners are noisy neighbors — but a WARN line in the log is
+//! enough to flag "this PR made the event queue 2× slower" before the
+//! regression is three PRs deep. The ±tolerance is generous (15% by
+//! default) for the same reason.
+
+use crate::micro::MicroResult;
+use crate::record::{BenchLedger, SweepRecord};
+
+/// Outcome of one benchmark's comparison.
+#[derive(Clone, Debug, PartialEq)]
+pub struct GateLine {
+    /// Benchmark name.
+    pub name: String,
+    /// Baseline median ns/iter from the ledger record.
+    pub baseline_ns: u64,
+    /// Median ns/iter measured just now.
+    pub current_ns: u64,
+    /// Whether the current median is outside the tolerance band.
+    pub warn: bool,
+}
+
+impl GateLine {
+    /// Renders the line the CI log shows.
+    pub fn render(&self) -> String {
+        let verdict = if self.warn { "WARN" } else { "ok  " };
+        let delta = if self.baseline_ns == 0 {
+            0.0
+        } else {
+            (self.current_ns as f64 - self.baseline_ns as f64) / self.baseline_ns as f64 * 100.0
+        };
+        format!(
+            "{verdict} {:<32} baseline {:>8} ns  now {:>8} ns  ({delta:+.1}%)",
+            self.name, self.baseline_ns, self.current_ns
+        )
+    }
+}
+
+/// The ledger record the gate compares against: the most recent one
+/// that actually carries micro medians (older records predate them).
+pub fn baseline(ledger: &BenchLedger) -> Option<&SweepRecord> {
+    ledger
+        .records
+        .iter()
+        .rev()
+        .find(|r| !r.micro_median_ns.is_empty())
+}
+
+/// Compares fresh micro results against a baseline record's medians.
+/// `tolerance` is fractional (0.15 = ±15%). Benchmarks missing on
+/// either side are skipped — renamed or newly added benchmarks are
+/// not regressions.
+pub fn compare(base: &SweepRecord, current: &[MicroResult], tolerance: f64) -> Vec<GateLine> {
+    current
+        .iter()
+        .filter_map(|r| {
+            let (_, baseline_ns) = base
+                .micro_median_ns
+                .iter()
+                .find(|(name, _)| *name == r.name)?;
+            let current_ns = r.median_ns();
+            let band = *baseline_ns as f64 * tolerance;
+            let warn = (current_ns as f64 - *baseline_ns as f64).abs() > band;
+            Some(GateLine {
+                name: r.name.clone(),
+                baseline_ns: *baseline_ns,
+                current_ns,
+                warn,
+            })
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base_record(medians: &[(&str, u64)]) -> SweepRecord {
+        SweepRecord {
+            label: "base".into(),
+            min_of: 1,
+            shards: 1,
+            wall_seconds: 1.0,
+            events: 1,
+            events_per_sec: 1.0,
+            sim_cycles_per_sec: 1.0,
+            cells: Vec::new(),
+            micro_median_ns: medians.iter().map(|&(n, v)| (n.to_string(), v)).collect(),
+        }
+    }
+
+    fn result(name: &str, median: u64) -> MicroResult {
+        MicroResult {
+            name: name.into(),
+            batch_ns: vec![median],
+            allocs_per_iter: None,
+        }
+    }
+
+    #[test]
+    fn within_tolerance_passes_and_beyond_warns() {
+        let base = base_record(&[("queue", 100), ("cache", 100)]);
+        let lines = compare(&base, &[result("queue", 110), result("cache", 130)], 0.15);
+        assert_eq!(lines.len(), 2);
+        assert!(!lines[0].warn, "10% drift is inside a 15% band");
+        assert!(lines[1].warn, "30% drift is outside a 15% band");
+        assert!(
+            lines[1].render().starts_with("WARN"),
+            "{}",
+            lines[1].render()
+        );
+    }
+
+    #[test]
+    fn improvements_beyond_tolerance_also_flagged() {
+        // A large *improvement* is worth a look too — it often means
+        // the benchmark stopped measuring what it used to.
+        let base = base_record(&[("queue", 100)]);
+        let lines = compare(&base, &[result("queue", 50)], 0.15);
+        assert!(lines[0].warn);
+    }
+
+    #[test]
+    fn unmatched_benchmarks_are_skipped() {
+        let base = base_record(&[("old_name", 100)]);
+        let lines = compare(&base, &[result("new_name", 500)], 0.15);
+        assert!(lines.is_empty());
+    }
+
+    #[test]
+    fn baseline_is_last_record_with_medians() {
+        let mut ledger = BenchLedger::default();
+        ledger.upsert(base_record(&[("queue", 100)]));
+        let mut newer = base_record(&[]);
+        newer.label = "newer-no-medians".into();
+        ledger.upsert(newer);
+        assert_eq!(baseline(&ledger).unwrap().label, "base");
+    }
+}

@@ -11,8 +11,11 @@ use limitless_apps::{run_app, App, Scale};
 use limitless_core::{HandlerImpl, ProtocolSpec};
 use limitless_machine::{MachineConfig, RunReport};
 
+#[cfg(feature = "alloc-counter")]
+pub mod alloc_counter;
 pub mod check;
 pub mod experiments;
+pub mod gate;
 pub mod micro;
 pub mod record;
 pub mod runner;
@@ -29,17 +32,24 @@ pub struct Harness {
     pub scale: Scale,
     /// Override for the experiment's default node count.
     pub nodes_override: Option<usize>,
+    /// Event-lane count for every simulation (1 = the serial
+    /// reference engine; results are bit-identical either way).
+    pub shards: usize,
 }
 
 impl Harness {
     /// Builds a harness from the environment (`LIMITLESS_SCALE`,
-    /// `LIMITLESS_NODES`).
+    /// `LIMITLESS_NODES`, `LIMITLESS_SHARDS`).
     pub fn from_env() -> Self {
         Harness {
             scale: Scale::from_env(),
             nodes_override: std::env::var("LIMITLESS_NODES")
                 .ok()
                 .and_then(|s| s.parse().ok()),
+            shards: std::env::var("LIMITLESS_SHARDS")
+                .ok()
+                .and_then(|s| s.parse().ok())
+                .unwrap_or(1),
         }
     }
 
@@ -63,10 +73,17 @@ impl Harness {
 
 /// A machine configuration for one experiment cell.
 pub fn cfg(nodes: usize, protocol: ProtocolSpec) -> MachineConfig {
+    cfg_sharded(nodes, protocol, 1)
+}
+
+/// A machine configuration for one experiment cell with an explicit
+/// event-lane count (1 selects the serial reference engine).
+pub fn cfg_sharded(nodes: usize, protocol: ProtocolSpec, shards: usize) -> MachineConfig {
     MachineConfig::builder()
         .nodes(nodes)
         .protocol(protocol)
         .victim_cache(true) // the paper's default after §6/TSP
+        .shards(shards)
         .build()
 }
 
@@ -134,6 +151,7 @@ mod tests {
         let h = Harness {
             scale: Scale::Quick,
             nodes_override: None,
+            shards: 1,
         };
         assert_eq!(h.nodes(64), 16);
         assert_eq!(h.nodes(256), 64);
@@ -141,11 +159,13 @@ mod tests {
         let hp = Harness {
             scale: Scale::Paper,
             nodes_override: None,
+            shards: 1,
         };
         assert_eq!(hp.nodes(64), 64);
         let ho = Harness {
             scale: Scale::Quick,
             nodes_override: Some(8),
+            shards: 1,
         };
         assert_eq!(ho.nodes(64), 8);
     }

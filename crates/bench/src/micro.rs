@@ -32,6 +32,9 @@ pub struct MicroResult {
     pub name: String,
     /// ns/iter per batch (length [`BATCHES`]).
     pub batch_ns: Vec<u64>,
+    /// Heap allocations per iteration, metered over one untimed batch.
+    /// `None` unless built with `--features alloc-counter`.
+    pub allocs_per_iter: Option<u64>,
 }
 
 impl MicroResult {
@@ -48,6 +51,22 @@ impl MicroResult {
     }
 }
 
+/// Allocations per iteration across one extra (untimed) batch, when
+/// the `alloc-counter` feature is compiled in.
+#[cfg(feature = "alloc-counter")]
+fn meter_allocs<F: FnMut() -> R, R>(f: &mut F) -> Option<u64> {
+    let before = crate::alloc_counter::allocations();
+    for _ in 0..ITERS {
+        black_box(f());
+    }
+    Some((crate::alloc_counter::allocations() - before) / u64::from(ITERS))
+}
+
+#[cfg(not(feature = "alloc-counter"))]
+fn meter_allocs<F: FnMut() -> R, R>(_f: &mut F) -> Option<u64> {
+    None
+}
+
 fn bench<F: FnMut() -> R, R>(name: &str, mut f: F) -> MicroResult {
     for _ in 0..WARMUP {
         black_box(f());
@@ -61,9 +80,13 @@ fn bench<F: FnMut() -> R, R>(name: &str, mut f: F) -> MicroResult {
             u64::try_from(start.elapsed().as_nanos() / u128::from(ITERS)).unwrap_or(u64::MAX)
         })
         .collect();
+    // Metered after the timed batches so the counter's (small)
+    // overhead can never leak into the ns/iter numbers.
+    let allocs_per_iter = meter_allocs(&mut f);
     MicroResult {
         name: name.to_string(),
         batch_ns,
+        allocs_per_iter,
     }
 }
 
@@ -139,18 +162,30 @@ pub fn run_all() -> Vec<MicroResult> {
 /// Renders the results as the human-readable table the bench target
 /// prints.
 pub fn render(results: &[MicroResult]) -> String {
+    let allocs = results.iter().any(|r| r.allocs_per_iter.is_some());
     let mut out = String::new();
     out.push_str(&format!(
-        "{:<32} {:>10} {:>10}   ({} batches x {} iters)\n",
-        "benchmark", "min ns", "median ns", BATCHES, ITERS
+        "{:<32} {:>10} {:>10}",
+        "benchmark", "min ns", "median ns"
     ));
+    if allocs {
+        out.push_str(&format!(" {:>12}", "allocs/iter"));
+    }
+    out.push_str(&format!("   ({BATCHES} batches x {ITERS} iters)\n"));
     for r in results {
         out.push_str(&format!(
-            "{:<32} {:>10} {:>10}\n",
+            "{:<32} {:>10} {:>10}",
             r.name,
             r.min_ns(),
             r.median_ns()
         ));
+        if allocs {
+            match r.allocs_per_iter {
+                Some(n) => out.push_str(&format!(" {n:>12}")),
+                None => out.push_str(&format!(" {:>12}", "-")),
+            }
+        }
+        out.push('\n');
     }
     out
 }
@@ -161,7 +196,7 @@ pub fn to_json(results: &[MicroResult]) -> String {
     let entries = results
         .iter()
         .map(|r| {
-            JsonValue::Obj(vec![
+            let mut fields = vec![
                 ("name".into(), JsonValue::Str(r.name.clone())),
                 ("min_ns".into(), JsonValue::from_u64(r.min_ns())),
                 ("median_ns".into(), JsonValue::from_u64(r.median_ns())),
@@ -169,7 +204,11 @@ pub fn to_json(results: &[MicroResult]) -> String {
                     "batch_ns".into(),
                     JsonValue::Arr(r.batch_ns.iter().map(|&n| JsonValue::from_u64(n)).collect()),
                 ),
-            ])
+            ];
+            if let Some(n) = r.allocs_per_iter {
+                fields.push(("allocs_per_iter".into(), JsonValue::from_u64(n)));
+            }
+            JsonValue::Obj(fields)
         })
         .collect();
     let doc = JsonValue::Obj(vec![
@@ -189,6 +228,7 @@ mod tests {
         let r = MicroResult {
             name: "x".into(),
             batch_ns: vec![30, 10, 20, 50, 40],
+            allocs_per_iter: None,
         };
         assert_eq!(r.min_ns(), 10);
         assert_eq!(r.median_ns(), 30);
@@ -199,11 +239,42 @@ mod tests {
         let r = MicroResult {
             name: "q".into(),
             batch_ns: vec![5, 7, 6],
+            allocs_per_iter: None,
         };
         let doc = JsonValue::parse(&to_json(&[r])).unwrap();
         let benches = doc.get("benchmarks").unwrap().as_arr().unwrap();
         assert_eq!(benches.len(), 1);
         assert_eq!(benches[0].get("min_ns").unwrap().as_u64().unwrap(), 5);
         assert_eq!(benches[0].get("median_ns").unwrap().as_u64().unwrap(), 6);
+        assert!(benches[0].get("allocs_per_iter").is_err());
+    }
+
+    #[test]
+    fn alloc_counts_appear_in_json_and_table_when_metered() {
+        let r = MicroResult {
+            name: "q".into(),
+            batch_ns: vec![5, 7, 6],
+            allocs_per_iter: Some(12),
+        };
+        let doc = JsonValue::parse(&to_json(std::slice::from_ref(&r))).unwrap();
+        let benches = doc.get("benchmarks").unwrap().as_arr().unwrap();
+        assert_eq!(
+            benches[0].get("allocs_per_iter").unwrap().as_u64().unwrap(),
+            12
+        );
+        let table = render(&[r]);
+        assert!(table.contains("allocs/iter"), "{table}");
+    }
+
+    /// With the counting allocator compiled in, the real benchmarks
+    /// must report their allocation pressure — and the event-queue
+    /// benchmark, which builds a fresh 1k-event queue every iteration,
+    /// must see a nonzero count.
+    #[cfg(feature = "alloc-counter")]
+    #[test]
+    fn event_queue_benchmark_meters_allocations() {
+        let r = bench_event_queue();
+        let allocs = r.allocs_per_iter.expect("feature is on");
+        assert!(allocs > 0, "queue construction must allocate");
     }
 }

@@ -33,6 +33,9 @@ pub struct SweepRecord {
     pub label: String,
     /// How many full runs the per-cell min was taken over.
     pub min_of: u32,
+    /// Event-lane count the sweep ran with (1 = serial engine;
+    /// records written before the sharded engine existed parse as 1).
+    pub shards: usize,
     /// Total host wall seconds (sum of per-cell minima).
     pub wall_seconds: f64,
     /// Total simulation events across all cells.
@@ -43,6 +46,10 @@ pub struct SweepRecord {
     pub sim_cycles_per_sec: f64,
     /// Per-cell breakdown (may be empty for hand-entered baselines).
     pub cells: Vec<CellRecord>,
+    /// Median ns/iter per micro benchmark (name → median), captured
+    /// alongside the sweep so the CI perf gate has a committed
+    /// baseline. Empty in records written before the gate existed.
+    pub micro_median_ns: Vec<(String, u64)>,
 }
 
 impl SweepRecord {
@@ -51,6 +58,7 @@ impl SweepRecord {
         SweepRecord {
             label: label.to_string(),
             min_of: r.min_of,
+            shards: r.shards,
             wall_seconds: r.total_wall_seconds(),
             events: r.total_events(),
             events_per_sec: r.events_per_sec(),
@@ -66,6 +74,7 @@ impl SweepRecord {
                     wall_seconds: c.report.wall_seconds,
                 })
                 .collect(),
+            micro_median_ns: Vec::new(),
         }
     }
 
@@ -86,6 +95,7 @@ impl SweepRecord {
         JsonValue::Obj(vec![
             ("label".into(), JsonValue::Str(self.label.clone())),
             ("min_of".into(), JsonValue::from_u64(u64::from(self.min_of))),
+            ("shards".into(), JsonValue::from_u64(self.shards as u64)),
             (
                 "wall_seconds".into(),
                 JsonValue::from_f64(self.wall_seconds),
@@ -100,6 +110,15 @@ impl SweepRecord {
                 JsonValue::from_f64(self.sim_cycles_per_sec),
             ),
             ("cells".into(), JsonValue::Arr(cells)),
+            (
+                "micro_median_ns".into(),
+                JsonValue::Obj(
+                    self.micro_median_ns
+                        .iter()
+                        .map(|(name, ns)| (name.clone(), JsonValue::from_u64(*ns)))
+                        .collect(),
+                ),
+            ),
         ])
     }
 
@@ -122,11 +141,25 @@ impl SweepRecord {
             label: v.get("label")?.as_str()?.to_string(),
             min_of: u32::try_from(v.get("min_of")?.as_u64()?)
                 .map_err(|_| JsonError::new("min_of out of range"))?,
+            // Absent in pre-sharded-engine records: those were serial.
+            shards: v
+                .get("shards")
+                .ok()
+                .and_then(|s| s.as_u64().ok())
+                .map_or(1, |s| s as usize),
             wall_seconds: v.get("wall_seconds")?.as_f64()?,
             events: v.get("events")?.as_u64()?,
             events_per_sec: v.get("events_per_sec")?.as_f64()?,
             sim_cycles_per_sec: v.get("sim_cycles_per_sec")?.as_f64()?,
             cells,
+            // Absent in records that predate the CI perf gate.
+            micro_median_ns: match v.get("micro_median_ns") {
+                Ok(JsonValue::Obj(entries)) => entries
+                    .iter()
+                    .map(|(name, ns)| Ok((name.clone(), ns.as_u64()?)))
+                    .collect::<Result<Vec<_>, JsonError>>()?,
+                _ => Vec::new(),
+            },
         })
     }
 }
@@ -217,6 +250,7 @@ mod tests {
         SweepRecord {
             label: label.to_string(),
             min_of: 5,
+            shards: 1,
             wall_seconds: wall,
             events: 1000,
             events_per_sec: 1000.0 / wall,
@@ -228,6 +262,7 @@ mod tests {
                 events: 1000,
                 wall_seconds: wall,
             }],
+            micro_median_ns: vec![("event_queue".into(), 1234)],
         }
     }
 
@@ -260,6 +295,18 @@ mod tests {
         ledger.upsert(r);
         let back = BenchLedger::from_json(&ledger.to_json()).unwrap();
         assert!(back.get("pr1-baseline").unwrap().cells.is_empty());
+    }
+
+    #[test]
+    fn records_without_shards_parse_as_serial() {
+        // Ledgers written before the sharded engine existed have no
+        // `shards` key; they were all serial-engine measurements.
+        let text = r#"{"records": [{"label": "old", "min_of": 5,
+            "wall_seconds": 0.2, "events": 1000,
+            "events_per_sec": 5000.0, "sim_cycles_per_sec": 10000.0,
+            "cells": []}]}"#;
+        let ledger = BenchLedger::from_json(text).unwrap();
+        assert_eq!(ledger.get("old").unwrap().shards, 1);
     }
 
     #[test]

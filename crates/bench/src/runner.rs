@@ -18,7 +18,7 @@ use limitless_machine::RunReport;
 use limitless_sim::SplitMix64;
 use limitless_stats::{fmt_f64, ExperimentExport, Table};
 
-use crate::{applications, cfg, Harness};
+use crate::{applications, cfg_sharded, Harness};
 
 /// Builds one application instance for a cell. The argument is the
 /// cell's deterministic seed; factories for apps with stochastic
@@ -39,6 +39,10 @@ pub struct ExperimentSpec {
     /// Base seed; each cell derives its own seed from this and its
     /// cell index via SplitMix64.
     pub base_seed: u64,
+    /// Event-lane count for every cell's machine (1 = the serial
+    /// reference engine). Simulated results are bit-identical for any
+    /// value; only host wall time changes.
+    pub shards: usize,
 }
 
 impl ExperimentSpec {
@@ -68,6 +72,7 @@ impl ExperimentSpec {
                 .collect(),
             apps,
             base_seed: 0x11_71_1e_55,
+            shards: h.shards,
         }
     }
 
@@ -111,6 +116,8 @@ pub struct ExperimentResult {
     /// How many full runs each cell's `wall_seconds` is the minimum
     /// of (1 for a plain [`Runner::run`]).
     pub min_of: u32,
+    /// Event-lane count every cell ran with (copied from the spec).
+    pub shards: usize,
 }
 
 impl ExperimentResult {
@@ -180,6 +187,7 @@ impl ExperimentResult {
         }
         e.push_meta("cells", self.cells.len() as f64);
         e.push_meta("min_of", f64::from(self.min_of));
+        e.push_meta("shards", self.shards as f64);
         e.push_meta("total_events", self.total_events() as f64);
         e.push_meta("wall_seconds", self.total_wall_seconds());
         e.push_meta("events_per_sec", self.events_per_sec());
@@ -234,7 +242,10 @@ impl Runner {
                     let (a_label, factory) = &spec.apps[a_idx];
                     let seed = spec.cell_seed(i);
                     let app = factory(seed);
-                    let report = run_app(app.as_ref(), cfg(spec.nodes, *protocol));
+                    let report = run_app(
+                        app.as_ref(),
+                        cfg_sharded(spec.nodes, *protocol, spec.shards),
+                    );
                     *slots[i].lock().unwrap() = Some(CellResult {
                         protocol: p_label.clone(),
                         app: a_label.clone(),
@@ -253,6 +264,7 @@ impl Runner {
                 .map(|m| m.into_inner().unwrap().expect("cell never ran"))
                 .collect(),
             min_of: 1,
+            shards: spec.shards,
         }
     }
 
@@ -318,6 +330,7 @@ mod tests {
             ],
             apps: vec![("ws=1".to_string(), mk(1)), ("ws=4".to_string(), mk(4))],
             base_seed: 42,
+            shards: 1,
         }
     }
 
@@ -341,6 +354,19 @@ mod tests {
         assert_eq!(serial.cells[2].protocol, "limitless4");
         assert_eq!(serial.cells[0].app, "ws=1");
         assert_eq!(serial.cells[1].app, "ws=4");
+    }
+
+    #[test]
+    fn sharded_cells_match_serial_cells_bit_for_bit() {
+        let serial = Runner::with_threads(2).run(&tiny_spec());
+        let mut spec = tiny_spec();
+        spec.shards = 2;
+        let sharded = Runner::with_threads(2).run(&spec);
+        for (a, b) in serial.cells.iter().zip(&sharded.cells) {
+            assert_eq!(a.report.cycles, b.report.cycles, "{}/{}", a.protocol, a.app);
+            assert_eq!(a.report.events, b.report.events, "{}/{}", a.protocol, a.app);
+            assert_eq!(a.report.stats, b.report.stats, "{}/{}", a.protocol, a.app);
+        }
     }
 
     #[test]
@@ -394,6 +420,7 @@ mod tests {
             ],
             apps: vec![("ws=8".to_string(), mk(8))],
             base_seed: 7,
+            shards: 1,
         };
         let r = Runner::with_threads(2).run(&spec);
         assert!(r.cells[0].report.cycles.as_u64() > r.cells[1].report.cycles.as_u64());

@@ -34,6 +34,24 @@ impl Default for ProcTiming {
     }
 }
 
+/// How the simulation engine executes a run.
+///
+/// Both modes produce bit-identical results — the same cycle counts,
+/// statistics, memory images and read streams — because every event is
+/// ordered by the same structural `(time, key)` total order. `Sharded`
+/// trades a conservative-window synchronization protocol for wallclock
+/// parallelism; see DESIGN.md §9.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EngineMode {
+    /// One event lane processes every node (the reference engine).
+    Serial,
+    /// Conservative parallel-in-run simulation: nodes are partitioned
+    /// into this many contiguous lanes, each with its own event queue
+    /// and worker thread, synchronized at windows bounded by the
+    /// minimum cross-node network latency.
+    Sharded(usize),
+}
+
 /// Livelock-watchdog parameters (paper §4.1): a timer interrupt
 /// detects protocol handlers starving user code and temporarily shuts
 /// off asynchronous events. Armed automatically for the protocols that
@@ -86,6 +104,8 @@ pub struct MachineConfig {
     /// quiesce audit), or `Full` (adds per-access permission checks
     /// and the read-stream log for the differential oracle).
     pub check: CheckLevel,
+    /// Execution engine: serial reference or sharded parallel lanes.
+    pub engine: EngineMode,
 }
 
 impl MachineConfig {
@@ -133,6 +153,7 @@ impl Default for MachineConfigBuilder {
                 barrier_cycles: 0, // derived at build time if left 0
                 track_worker_sets: false,
                 check: CheckLevel::Off,
+                engine: EngineMode::Serial,
             },
         }
     }
@@ -225,6 +246,23 @@ impl MachineConfigBuilder {
         self
     }
 
+    /// Selects the execution engine directly.
+    pub fn engine_mode(mut self, m: EngineMode) -> Self {
+        self.cfg.engine = m;
+        self
+    }
+
+    /// Convenience: `0` or `1` shard selects the serial engine, more
+    /// selects the sharded parallel engine with that many lanes.
+    pub fn shards(mut self, s: usize) -> Self {
+        self.cfg.engine = if s <= 1 {
+            EngineMode::Serial
+        } else {
+            EngineMode::Sharded(s)
+        };
+        self
+    }
+
     /// Finalizes the configuration.
     ///
     /// # Panics
@@ -294,5 +332,29 @@ mod tests {
     fn explicit_barrier_latency_respected() {
         let cfg = MachineConfig::builder().barrier_cycles(99).build();
         assert_eq!(cfg.barrier_cycles, 99);
+    }
+
+    #[test]
+    fn shard_selection_normalizes_degenerate_counts() {
+        assert_eq!(MachineConfig::builder().build().engine, EngineMode::Serial);
+        assert_eq!(
+            MachineConfig::builder().shards(1).build().engine,
+            EngineMode::Serial
+        );
+        assert_eq!(
+            MachineConfig::builder().shards(0).build().engine,
+            EngineMode::Serial
+        );
+        assert_eq!(
+            MachineConfig::builder().shards(4).build().engine,
+            EngineMode::Sharded(4)
+        );
+        assert_eq!(
+            MachineConfig::builder()
+                .engine_mode(EngineMode::Sharded(2))
+                .build()
+                .engine,
+            EngineMode::Sharded(2)
+        );
     }
 }

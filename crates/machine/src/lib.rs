@@ -56,11 +56,12 @@ pub mod machine;
 pub mod program;
 pub mod registry;
 mod run_loop;
+mod shard;
 pub mod stats;
 mod sync;
 mod trap_path;
 
-pub use config::{MachineConfig, MachineConfigBuilder, ProcTiming, WatchdogConfig};
+pub use config::{EngineMode, MachineConfig, MachineConfigBuilder, ProcTiming, WatchdogConfig};
 pub use limitless_core::CheckLevel;
 pub use machine::Machine;
 pub use program::{FnProgram, Op, Program, Rmw, ScriptProgram};

@@ -1,47 +1,114 @@
 //! The simulated multiprocessor: per-node state, shared memory and
 //! construction.
 //!
-//! The behaviour is split across sibling modules, all `impl Machine`
-//! blocks over the state defined here:
+//! The behaviour is split across sibling modules:
 //!
-//! * [`crate::run_loop`] — the event loop, program stepping and the
-//!   requester-side protocol (miss issue, fills, retries, network
-//!   delivery);
+//! * [`crate::shard`] — the event-lane execution context shared by the
+//!   serial and sharded engines: event routing, the `(time, key)`
+//!   total order and windowed memory;
+//! * [`crate::run_loop`] — the run drivers (serial and conservative
+//!   parallel windows), program stepping and the requester-side
+//!   protocol (miss issue, fills, retries, network delivery);
 //! * [`crate::trap_path`] — the home-side trap model: handler
 //!   occupancy, watchdog bookkeeping and Table 1/2 billing;
 //! * [`crate::sync`] — the barrier and FIFO-lock runtime (§7 data
-//!   types).
+//!   types), implemented as home-node message protocols.
 
 use limitless_cache::{CacheSystem, InstrFootprint};
 use limitless_core::{BlockMsg, DirEngine};
-use limitless_net::{MeshTopology, Network};
-use limitless_sim::{Addr, BlockAddr, Cycle, EventQueue, NodeId};
+use limitless_net::{FlitCount, MeshTopology, Network};
+use limitless_sim::{Addr, BlockAddr, Cycle, NodeId};
 use limitless_stats::WorkerSetTracker;
 
 use crate::config::MachineConfig;
 use crate::dense::DenseMap;
 use crate::program::{Program, Rmw};
 use crate::registry::CoherenceRegistry;
-use crate::stats::{MachineStats, RunReport};
+use crate::stats::MachineStats;
 use crate::sync::LockState;
+
+/// The structural tie-break key: every event carries
+/// `origin_node << 48 | per-origin counter`, where the origin is the
+/// node whose handler scheduled it. Keys are unique, allocated in a
+/// deterministic per-node order, and — critically — independent of how
+/// nodes are partitioned into event lanes, so the `(time, key)` total
+/// order is the same for the serial and sharded engines.
+pub(crate) type TieKey = u64;
+
+/// Synchronization-runtime messages (§7 data types), serviced by the
+/// home node of the lock / the barrier master like any other protocol
+/// message. The sender travels as the envelope's `src`.
+#[derive(Clone, Copy, Debug)]
+pub(crate) enum SyncMsg {
+    /// `src` reached the all-node barrier.
+    BarrierArrive,
+    /// The barrier master releases `dst` from the barrier.
+    BarrierGo,
+    /// `src`'s program finished (the master needs this to release
+    /// barriers among the still-running nodes).
+    NodeDone,
+    /// `src` requests the FIFO lock.
+    LockReq(u32),
+    /// The lock's home grants the FIFO lock to `dst`.
+    LockGrant(u32),
+    /// `src` releases the FIFO lock.
+    LockRel(u32),
+}
+
+/// What a network message carries.
+#[derive(Clone, Copy, Debug)]
+pub(crate) enum Payload {
+    /// A coherence-protocol message about a block.
+    Proto(BlockMsg),
+    /// A synchronization-runtime message.
+    Sync(SyncMsg),
+}
+
+impl Payload {
+    /// Size on the wire in flits.
+    pub(crate) fn flits(&self) -> u32 {
+        match self {
+            Payload::Proto(bm) => bm.msg.flits().as_u32(),
+            // Sync messages are header-only control traffic.
+            Payload::Sync(_) => FlitCount::CONTROL.as_u32(),
+        }
+    }
+}
 
 #[derive(Debug)]
 pub(crate) enum Ev {
     /// The node's processor is ready for its next operation.
     Resume(NodeId),
-    /// A protocol message arrives at `dst`.
+    /// A mesh message's head flit reaches `dst`'s receive queue; the
+    /// receive side (rx contention, serialization) is resolved there.
+    /// This is the only event that crosses lanes through the mailbox
+    /// protocol, which is why its time is bounded below by the
+    /// cross-node latency floor.
+    NetArrive {
+        src: NodeId,
+        dst: NodeId,
+        flits: u32,
+        sent_at: Cycle,
+        payload: Payload,
+    },
+    /// A message is fully received at `dst` and acts on it.
     Deliver {
         src: NodeId,
         dst: NodeId,
-        bm: BlockMsg,
+        payload: Payload,
     },
     /// Re-issue a BUSY-bounced request.
     Retry(NodeId),
-    /// Release every node waiting at the barrier (generation tag
-    /// guards against stale releases).
-    BarrierRelease(u64),
-    /// Hand a FIFO lock to `holder`.
-    LockGrant(u32, NodeId),
+}
+
+impl Ev {
+    /// The node whose lane must execute this event.
+    pub(crate) fn target(&self) -> NodeId {
+        match *self {
+            Ev::Resume(n) | Ev::Retry(n) => n,
+            Ev::NetArrive { dst, .. } | Ev::Deliver { dst, .. } => dst,
+        }
+    }
 }
 
 #[derive(Debug)]
@@ -72,6 +139,33 @@ pub(crate) struct NodeCtx {
     pub(crate) trap_accum: u64,
     pub(crate) done: bool,
     pub(crate) last_value: Option<u64>,
+    /// Tie-break key counter for events this node's handlers schedule.
+    pub(crate) key_counter: u64,
+    /// Counters accumulated at this node (its accesses, its trap
+    /// billing as a home, its sync servicing). Summed node-by-node
+    /// into the run totals, so the totals are partition-independent.
+    pub(crate) stats: MachineStats,
+    /// `(address, value)` log of completed reads, recorded under
+    /// [`limitless_core::CheckLevel::Full`] for the differential
+    /// oracle.
+    pub(crate) read_log: Option<Vec<(Addr, u64)>>,
+    /// FIFO locks homed at this node (`lock % nodes`): holder plus
+    /// waiters in strict arrival order.
+    pub(crate) locks: DenseMap<u32, LockState>,
+    /// Barrier-master state (only node 0 uses it): who has arrived at
+    /// the current barrier episode.
+    pub(crate) barrier_arrived: Vec<NodeId>,
+    /// Barrier-master state: how many nodes have reported `NodeDone`.
+    pub(crate) barrier_done_seen: usize,
+}
+
+impl NodeCtx {
+    /// Allocates the next structural tie-break key for an event this
+    /// node schedules.
+    pub(crate) fn next_key(&mut self, origin: NodeId) -> TieKey {
+        self.key_counter += 1;
+        (u64::from(origin.0) << 48) | self.key_counter
+    }
 }
 
 impl std::fmt::Debug for NodeCtx {
@@ -105,29 +199,21 @@ impl std::fmt::Debug for NodeCtx {
 /// ```
 pub struct Machine {
     pub(crate) cfg: MachineConfig,
+    /// Network template; each run hands per-lane clones to the event
+    /// lanes (a lane only touches the endpoint queues of nodes it
+    /// owns) and merges their statistics afterwards.
     pub(crate) net: Network,
     pub(crate) nodes: Vec<NodeCtx>,
     /// Shadow of shared memory, interned-dense keyed by word address.
     pub(crate) mem: DenseMap<Addr, u64>,
     pub(crate) registry: Option<CoherenceRegistry>,
-    /// Per-node `(address, value)` log of completed reads, recorded
-    /// under [`limitless_core::CheckLevel::Full`] for the differential
-    /// oracle; `None` otherwise.
+    /// Per-node read streams collected back from the nodes after a
+    /// run (see [`NodeCtx::read_log`]); `None` unless checking is
+    /// [`limitless_core::CheckLevel::Full`].
     pub(crate) read_log: Option<Vec<Vec<(Addr, u64)>>>,
     pub(crate) tracker: Option<WorkerSetTracker>,
-    pub(crate) queue: EventQueue<Ev>,
-    /// The inline dispatch slot: an event that is provably the global
-    /// next event skips the schedule→pop round trip and waits here for
-    /// the run loop instead. See [`Machine::post`].
-    pub(crate) pending_inline: Option<(Cycle, Ev)>,
-    pub(crate) barrier_waiting: Vec<NodeId>,
-    /// FIFO locks (the §7 lock data type): holder plus waiters in
-    /// strict arrival order, interned-dense keyed by lock id.
-    pub(crate) locks: DenseMap<u32, LockState>,
-    pub(crate) barrier_generation: u64,
     pub(crate) finished: usize,
     pub(crate) finish_time: Cycle,
-    pub(crate) stats: MachineStats,
     pub(crate) loaded: bool,
 }
 
@@ -170,24 +256,24 @@ impl Machine {
                     trap_accum: 0,
                     done: true, // idle until a program is loaded
                     last_value: None,
+                    key_counter: 0,
+                    stats: MachineStats::default(),
+                    read_log: cfg.check.is_full().then(Vec::new),
+                    locks: DenseMap::default(),
+                    barrier_arrived: Vec::new(),
+                    barrier_done_seen: 0,
                 }
             })
             .collect();
         Machine {
             registry: cfg.check.enabled().then(CoherenceRegistry::new),
-            read_log: cfg.check.is_full().then(|| vec![Vec::new(); cfg.nodes]),
+            read_log: None,
             tracker: cfg.track_worker_sets.then(WorkerSetTracker::new),
             net,
             nodes,
             mem: DenseMap::default(),
-            queue: EventQueue::new(),
-            pending_inline: None,
-            barrier_waiting: Vec::new(),
-            locks: DenseMap::default(),
-            barrier_generation: 0,
             finished: 0,
             finish_time: Cycle::ZERO,
-            stats: MachineStats::default(),
             cfg,
             loaded: false,
         }
@@ -229,7 +315,7 @@ impl Machine {
 
     /// The final shared-memory image — every word ever poked or
     /// written, sorted by address. The differential oracle compares
-    /// these across protocols.
+    /// these across protocols (and across engine modes).
     pub fn memory_image(&self) -> Vec<(Addr, u64)> {
         let mut image: Vec<(Addr, u64)> = self.mem.iter().map(|(a, &v)| (a, v)).collect();
         image.sort_unstable_by_key(|&(a, _)| a.0);
@@ -266,20 +352,5 @@ impl Machine {
 
     pub(crate) fn home_of(&self, block: BlockAddr) -> NodeId {
         NodeId::from_index((block.0 % self.nodes.len() as u64) as usize)
-    }
-
-    pub(crate) fn collect_report(&mut self, wall_seconds: f64) -> RunReport {
-        let mut stats = std::mem::take(&mut self.stats);
-        for n in &self.nodes {
-            stats.absorb_node(n.engine.stats(), n.cache.stats());
-        }
-        stats.net = self.net.stats();
-        stats.worker_sets = self.tracker.take().map(|t| t.finish());
-        RunReport {
-            cycles: self.finish_time,
-            events: self.queue.processed(),
-            wall_seconds,
-            stats,
-        }
     }
 }

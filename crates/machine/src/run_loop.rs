@@ -1,15 +1,37 @@
-//! The event loop, program stepping and the requester-side protocol:
-//! miss issue, fills, BUSY retries and network delivery.
+//! The run drivers and the requester-side protocol.
+//!
+//! Two drivers share one handler body ([`Shard::handle`] and friends):
+//!
+//! * **serial** — one lane owns every node and runs a single unbounded
+//!   window to completion;
+//! * **sharded** — `S` lanes run conservative windows of length `D` =
+//!   the minimum cross-node network latency, synchronizing at window
+//!   boundaries: write-log flush into the shared-memory shadow,
+//!   cross-lane mailbox routing, then a skip-jump to the earliest
+//!   pending event anywhere.
+//!
+//! Because cross-lane effects need at least `D` cycles of network
+//! travel, events inside one window are causally independent across
+//! lanes, and each lane executes its own events in the same strict
+//! `(time, key)` order the serial engine uses — so both drivers
+//! produce bit-identical results (asserted by the differential tests).
 
+use std::panic::AssertUnwindSafe;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Mutex, RwLock};
 use std::time::Instant;
 
 use limitless_cache::{Access, LineState, INSTR_BLOCK_BASE};
 use limitless_core::{BlockMsg, DirEvent, ProtoMsg};
-use limitless_sim::{Addr, BlockAddr, Cycle, NodeId};
+use limitless_net::{FlitCount, NetStats};
+use limitless_sim::{Addr, BlockAddr, Cycle, EventQueue, FxHashMap, NodeId};
 
-use crate::machine::{Ev, Machine, Pending};
+use crate::config::EngineMode;
+use crate::dense::DenseMap;
+use crate::machine::{Ev, Machine, Payload, Pending, SyncMsg};
 use crate::program::{Op, Rmw};
-use crate::stats::RunReport;
+use crate::shard::{lane_of, MemCtx, Shard, Shared, Wctx};
+use crate::stats::{MachineStats, RunReport};
 
 /// Hard ceiling on simulation events — a drained queue that never
 /// empties indicates livelock, which is a bug this backstop surfaces.
@@ -20,6 +42,77 @@ const MAX_EVENTS: u64 = 4_000_000_000;
 /// with the home directory's event history instead of spinning to the
 /// event-limit backstop.
 const CHECKED_RETRY_LIMIT: u32 = 10_000;
+
+/// Lane synchronization block for the windowed driver.
+struct Ctrl {
+    /// Bumped once per window (and once more to stop); workers run one
+    /// window per observed bump.
+    epoch: AtomicU64,
+    /// The current window's exclusive end, published before the bump.
+    t_end: AtomicU64,
+    /// Lanes finished with the current window (driver lane excluded).
+    done: AtomicU64,
+    stop: AtomicBool,
+    /// A lane panicked mid-window; the driver stops spinning and lets
+    /// the scope propagate the payload.
+    panicked: AtomicBool,
+}
+
+/// Releases the worker lanes on drop — the normal exit path and the
+/// driver-panicked path both go through it, so workers never spin
+/// forever on a dead driver.
+struct StopGuard<'a>(&'a Ctrl);
+
+impl Drop for StopGuard<'_> {
+    fn drop(&mut self) {
+        self.0.stop.store(true, Ordering::Release);
+        self.0.epoch.fetch_add(1, Ordering::Release);
+    }
+}
+
+/// Spin with backoff while `cond` holds. `spin_budget` is how many
+/// iterations to busy-spin before falling back to `yield_now`: on a
+/// host with a core per lane the other lane is genuinely running and
+/// a short spin beats a syscall, but on an oversubscribed host the
+/// condition can only change after the OS schedules the other thread,
+/// so spinning just burns the timeslice it is waiting to give up.
+fn spin_while(spin_budget: u32, mut cond: impl FnMut() -> bool) {
+    let mut spins = 0u32;
+    while cond() {
+        if spins < spin_budget {
+            spins += 1;
+            std::hint::spin_loop();
+        } else {
+            std::thread::yield_now();
+        }
+    }
+}
+
+/// The busy-spin budget for this host: a real spin window when every
+/// lane can own a core, immediate yield when lanes must timeshare.
+fn spin_budget_for(lanes: usize) -> u32 {
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    if cores >= lanes {
+        1 << 14
+    } else {
+        0
+    }
+}
+
+/// Runs one window on `shard` against the shared state: publish the
+/// window end, take read access to the memory shadow, execute.
+fn lane_window(shard: &Mutex<Shard>, shared: &Shared<'_>, t_end: Cycle) {
+    let mut s = shard.lock().expect("lane lock poisoned");
+    s.t_end = t_end;
+    let g = shared.mem.read().expect("memory shadow lock poisoned");
+    let cx = Wctx {
+        cfg: shared.cfg,
+        gmem: &g,
+        registry: shared.registry,
+        tracker: shared.tracker,
+    };
+    s.run_window(&cx);
+}
 
 impl Machine {
     /// Runs the machine until every program has finished and all
@@ -33,83 +126,310 @@ impl Machine {
     pub fn run(&mut self) -> RunReport {
         assert!(self.loaded, "load programs before running");
         let start = Instant::now();
-        for i in 0..self.nodes.len() {
-            self.queue
-                .schedule(Cycle::ZERO, Ev::Resume(NodeId::from_index(i)));
-        }
         let max_events = std::env::var("LIMITLESS_MAX_EVENTS")
             .ok()
             .and_then(|v| v.parse().ok())
             .unwrap_or(MAX_EVENTS);
-        loop {
-            // The inline slot holds the provably next event (see
-            // `post`): take it without a queue round trip, or fall
-            // back to popping.
-            let (now, ev) = if let Some((t, ev)) = self.pending_inline.take() {
-                self.queue.advance_to(t);
-                (t, ev)
-            } else if let Some(next) = self.queue.pop() {
-                next
-            } else {
-                break;
-            };
-            assert!(
-                self.queue.processed() < max_events,
-                "event limit exceeded: probable livelock at {now}"
-            );
-            match ev {
-                Ev::Resume(n) => self.step_program(n, now),
-                Ev::Deliver { src, dst, bm } => self.deliver(src, dst, bm, now),
-                Ev::Retry(n) => self.retry(n, now),
-                Ev::BarrierRelease(generation) => self.release_barrier(generation, now),
-                Ev::LockGrant(lock, holder) => self.grant_lock(lock, holder, now),
-            }
-        }
+        let lanes = match self.cfg.engine {
+            EngineMode::Serial => 1,
+            EngineMode::Sharded(s) => s.clamp(1, self.nodes.len()),
+        };
+        let (events, net_stats) = if lanes <= 1 {
+            self.run_serial(max_events)
+        } else {
+            self.run_sharded(lanes, max_events)
+        };
         assert_eq!(
             self.finished,
             self.nodes.len(),
             "simulation drained with unfinished programs (deadlock?)"
         );
+        if self.cfg.check.is_full() {
+            self.read_log = Some(
+                self.nodes
+                    .iter_mut()
+                    .map(|n| n.read_log.replace(Vec::new()).unwrap_or_default())
+                    .collect(),
+            );
+        }
         if self.registry.is_some() {
             self.check_quiesce();
         }
-        self.collect_report(start.elapsed().as_secs_f64())
+        self.collect_report(start.elapsed().as_secs_f64(), events, net_stats)
+    }
+
+    /// The serial driver: one lane, every node, one window to `∞`.
+    fn run_serial(&mut self, max_events: u64) -> (u64, NetStats) {
+        let total = self.nodes.len();
+        let mut shard = Shard {
+            lane: 0,
+            first: 0,
+            lanes: 1,
+            total_nodes: total,
+            nodes: std::mem::take(&mut self.nodes),
+            net: self.net.clone(),
+            queue: EventQueue::new(),
+            slot: None,
+            executed: 0,
+            finished: 0,
+            finish_time: Cycle::ZERO,
+            mem: MemCtx::Direct(std::mem::take(&mut self.mem)),
+            outboxes: Vec::new(),
+            t_end: Cycle(u64::MAX),
+            max_events,
+        };
+        for i in 0..total {
+            let n = NodeId::from_index(i);
+            let key = shard.next_key(n);
+            shard.queue.schedule_keyed(Cycle::ZERO, key, Ev::Resume(n));
+        }
+        let registry = self.registry.take().map(Mutex::new);
+        let tracker = self.tracker.take().map(Mutex::new);
+        let empty = DenseMap::default();
+        {
+            let cx = Wctx {
+                cfg: &self.cfg,
+                gmem: &empty,
+                registry: registry.as_ref(),
+                tracker: tracker.as_ref(),
+            };
+            shard.run_window(&cx);
+        }
+        self.nodes = shard.nodes;
+        self.mem = match shard.mem {
+            MemCtx::Direct(m) => m,
+            MemCtx::Windowed { .. } => unreachable!("serial lane uses direct memory"),
+        };
+        self.registry = registry.map(|m| m.into_inner().expect("registry lock poisoned"));
+        self.tracker = tracker.map(|m| m.into_inner().expect("tracker lock poisoned"));
+        self.finished = shard.finished;
+        self.finish_time = shard.finish_time;
+        (shard.executed, shard.net.stats())
+    }
+
+    /// The conservative windowed driver: `lanes` worker lanes running
+    /// `[T, T + D)` windows in lockstep.
+    fn run_sharded(&mut self, lanes: usize, max_events: u64) -> (u64, NetStats) {
+        let total = self.nodes.len();
+        // The lookahead: nothing one lane does before `T + D` can be
+        // observed by another lane before `T + D`, because every
+        // cross-node effect rides at least one network message (floor
+        // `min_cross_latency`) — except the barrier master's release
+        // events, which are bounded below by `barrier_cycles`.
+        let window = self
+            .cfg
+            .net
+            .min_cross_latency(FlitCount::CONTROL.as_u32())
+            .min(self.cfg.barrier_cycles)
+            .max(1);
+
+        // Partition the nodes into contiguous lanes.
+        let mut bounds = vec![0usize; lanes + 1];
+        for i in 0..total {
+            bounds[lane_of(i, lanes, total) + 1] += 1;
+        }
+        for l in 0..lanes {
+            bounds[l + 1] += bounds[l];
+        }
+        let mut all = std::mem::take(&mut self.nodes);
+        let mut shards: Vec<Mutex<Shard>> = Vec::with_capacity(lanes);
+        for l in (0..lanes).rev() {
+            let mut shard = Shard {
+                lane: l,
+                first: bounds[l],
+                lanes,
+                total_nodes: total,
+                nodes: all.split_off(bounds[l]),
+                net: self.net.clone(),
+                queue: EventQueue::new(),
+                slot: None,
+                executed: 0,
+                finished: 0,
+                finish_time: Cycle::ZERO,
+                mem: MemCtx::Windowed {
+                    overlay: FxHashMap::default(),
+                    wlog: Vec::new(),
+                },
+                outboxes: (0..lanes).map(|_| Vec::new()).collect(),
+                t_end: Cycle::ZERO,
+                max_events,
+            };
+            for i in bounds[l]..bounds[l + 1] {
+                let n = NodeId::from_index(i);
+                let key = shard.next_key(n);
+                shard.queue.schedule_keyed(Cycle::ZERO, key, Ev::Resume(n));
+            }
+            shards.push(Mutex::new(shard));
+        }
+        shards.reverse();
+
+        let gmem = RwLock::new(std::mem::take(&mut self.mem));
+        let registry = self.registry.take().map(Mutex::new);
+        let tracker = self.tracker.take().map(Mutex::new);
+        let shared = Shared {
+            cfg: &self.cfg,
+            mem: &gmem,
+            registry: registry.as_ref(),
+            tracker: tracker.as_ref(),
+        };
+        let ctrl = Ctrl {
+            epoch: AtomicU64::new(0),
+            t_end: AtomicU64::new(0),
+            done: AtomicU64::new(0),
+            stop: AtomicBool::new(false),
+            panicked: AtomicBool::new(false),
+        };
+
+        let spin_budget = spin_budget_for(lanes);
+        std::thread::scope(|scope| {
+            for shard in shards.iter().skip(1) {
+                let shared = &shared;
+                let ctrl = &ctrl;
+                scope.spawn(move || {
+                    let mut seen = 0u64;
+                    loop {
+                        spin_while(spin_budget, || {
+                            let e = ctrl.epoch.load(Ordering::Acquire);
+                            if e != seen {
+                                seen = e;
+                                false
+                            } else {
+                                true
+                            }
+                        });
+                        if ctrl.stop.load(Ordering::Acquire) {
+                            break;
+                        }
+                        let t_end = Cycle(ctrl.t_end.load(Ordering::Acquire));
+                        let r = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                            lane_window(shard, shared, t_end);
+                        }));
+                        if let Err(p) = r {
+                            ctrl.panicked.store(true, Ordering::Release);
+                            ctrl.done.fetch_add(1, Ordering::Release);
+                            std::panic::resume_unwind(p);
+                        }
+                        ctrl.done.fetch_add(1, Ordering::Release);
+                    }
+                });
+            }
+
+            // The driver thread runs lane 0 itself.
+            let guard = StopGuard(&ctrl);
+            let mut window_start = Cycle::ZERO;
+            loop {
+                let t_end = Cycle(window_start.0.saturating_add(window));
+                ctrl.t_end.store(t_end.0, Ordering::Relaxed);
+                ctrl.done.store(0, Ordering::Relaxed);
+                ctrl.epoch.fetch_add(1, Ordering::Release);
+                lane_window(&shards[0], &shared, t_end);
+                spin_while(spin_budget, || {
+                    ctrl.done.load(Ordering::Acquire) < (lanes - 1) as u64
+                        && !ctrl.panicked.load(Ordering::Acquire)
+                });
+                if ctrl.panicked.load(Ordering::Acquire) {
+                    break; // the scope re-raises the lane's panic
+                }
+
+                // ---- boundary phase (driver only; locks uncontended) ----
+                // 1. Flush the lanes' write logs into the shared shadow,
+                //    in lane order, and invalidate the read overlays so
+                //    next window's reads see other lanes' writes.
+                {
+                    let mut g = gmem.write().expect("memory shadow lock poisoned");
+                    for m in shards.iter() {
+                        let mut s = m.lock().expect("lane lock poisoned");
+                        if let MemCtx::Windowed { overlay, wlog } = &mut s.mem {
+                            for (a, v) in wlog.drain(..) {
+                                *g.entry(a) = v;
+                            }
+                            overlay.clear();
+                        }
+                    }
+                }
+                // 2. Route the cross-lane mailboxes.
+                let mut moved: Vec<(usize, Vec<_>)> = Vec::new();
+                for m in shards.iter() {
+                    let mut s = m.lock().expect("lane lock poisoned");
+                    for dst in 0..lanes {
+                        if !s.outboxes[dst].is_empty() {
+                            moved.push((dst, std::mem::take(&mut s.outboxes[dst])));
+                        }
+                    }
+                }
+                for (dst, batch) in moved {
+                    let mut s = shards[dst].lock().expect("lane lock poisoned");
+                    for (at, key, ev) in batch {
+                        debug_assert!(at >= t_end, "cross-lane event arrived inside its window");
+                        s.queue.schedule_keyed(at, key, ev);
+                    }
+                }
+                // 3. Event-limit backstop and skip-jump to the next
+                //    window with work anywhere.
+                let mut executed = 0u64;
+                let mut next: Option<Cycle> = None;
+                for m in shards.iter() {
+                    let mut s = m.lock().expect("lane lock poisoned");
+                    executed += s.executed;
+                    if let Some(t) = s.queue.peek_time() {
+                        next = Some(next.map_or(t, |o| o.min(t)));
+                    }
+                }
+                assert!(
+                    executed < max_events,
+                    "event limit exceeded: probable livelock around {t_end}"
+                );
+                match next {
+                    Some(t) => window_start = t,
+                    None => break,
+                }
+            }
+            drop(guard);
+        });
+
+        // Dissolve the lanes back into the machine.
+        let mut events = 0u64;
+        let mut net_stats = NetStats::default();
+        let mut nodes = Vec::with_capacity(total);
+        self.finished = 0;
+        self.finish_time = Cycle::ZERO;
+        for m in shards {
+            let s = m.into_inner().expect("lane lock poisoned");
+            events += s.executed;
+            self.finished += s.finished;
+            self.finish_time = self.finish_time.max(s.finish_time);
+            net_stats.merge(&s.net.stats());
+            nodes.extend(s.nodes);
+        }
+        self.nodes = nodes;
+        self.mem = gmem.into_inner().expect("memory shadow lock poisoned");
+        self.registry = registry.map(|m| m.into_inner().expect("registry lock poisoned"));
+        self.tracker = tracker.map(|m| m.into_inner().expect("tracker lock poisoned"));
+        (events, net_stats)
+    }
+
+    /// Folds everything measured into the final report: per-node
+    /// counters in node-index order (so the totals — including the
+    /// bill-aggregator group order — are partition-independent), the
+    /// merged network counters, and the worker-set histogram.
+    fn collect_report(&mut self, wall_seconds: f64, events: u64, net: NetStats) -> RunReport {
+        let mut stats = MachineStats::default();
+        for node in &mut self.nodes {
+            let per_node = std::mem::take(&mut node.stats);
+            stats.merge(&per_node);
+            stats.absorb_node(node.engine.stats(), node.cache.stats());
+        }
+        stats.net = net;
+        stats.worker_sets = self.tracker.take().map(|t| t.finish());
+        RunReport {
+            cycles: self.finish_time,
+            events,
+            wall_seconds,
+            stats,
+        }
     }
 
     // ------------------------------------------------------ sanitizer
-
-    /// Forwards silently dropped clean lines (direct-mapped conflict
-    /// evictions of `Shared` copies, which send no message) from node
-    /// `i`'s cache mirror to the registry. No-op when checking is off.
-    ///
-    /// Drops may sit in the mirror for arbitrary stretches of the run;
-    /// the one ordering that matters is that a node's mirror is drained
-    /// **before** the registry gains a copy for that node, so a stale
-    /// pending drop of block `B` cannot delete a fresh registration of
-    /// `B`. Hence the call sites: immediately ahead of every
-    /// `registry_fill_*` (the cold miss paths) and at the start of the
-    /// quiesce audit — never on the hit path.
-    ///
-    /// The gate is inline (one discriminant load and a predicted branch
-    /// when checking is off); the drain loop itself stays outlined and
-    /// cold.
-    #[inline]
-    fn drain_silent_drops(&mut self, i: usize) {
-        if self.registry.is_some() {
-            self.drain_silent_drops_slow(i);
-        }
-    }
-
-    #[cold]
-    fn drain_silent_drops_slow(&mut self, i: usize) {
-        while let Some(b) = self.nodes[i].cache.pop_dropped() {
-            if b.0 < INSTR_BLOCK_BASE {
-                if let Some(r) = self.registry.as_mut() {
-                    r.drop_copy(b, NodeId::from_index(i));
-                }
-            }
-        }
-    }
 
     /// The quiesce audit: with all programs finished and all traffic
     /// drained, the caches, the copy registry, every home directory
@@ -119,8 +439,16 @@ impl Machine {
     ///
     /// Panics listing every discrepancy found.
     fn check_quiesce(&mut self) {
+        // Forward any still-pending silent drops (direct-mapped
+        // conflict evictions of clean lines) before auditing.
         for i in 0..self.nodes.len() {
-            self.drain_silent_drops(i);
+            while let Some(b) = self.nodes[i].cache.pop_dropped() {
+                if b.0 < INSTR_BLOCK_BASE {
+                    if let Some(r) = self.registry.as_mut() {
+                        r.drop_copy(b, NodeId::from_index(i));
+                    }
+                }
+            }
         }
         let Some(r) = self.registry.as_ref() else {
             return;
@@ -198,21 +526,23 @@ impl Machine {
         // Deferred (non-fatal under Basic) violations.
         problems.extend(r.violations().iter().cloned());
         // The sync runtime must have drained.
-        for (lock, st) in self.locks.iter() {
-            if let Some(h) = st.holder {
-                problems.push(format!("lock {lock} still held by {h} at quiesce"));
-            }
-            if !st.waiters.is_empty() {
-                problems.push(format!(
-                    "lock {lock} still has {} waiter(s) at quiesce",
-                    st.waiters.len()
-                ));
+        for node in &self.nodes {
+            for (lock, st) in node.locks.iter() {
+                if let Some(h) = st.holder {
+                    problems.push(format!("lock {lock} still held by {h} at quiesce"));
+                }
+                if !st.waiters.is_empty() {
+                    problems.push(format!(
+                        "lock {lock} still has {} waiter(s) at quiesce",
+                        st.waiters.len()
+                    ));
+                }
             }
         }
-        if !self.barrier_waiting.is_empty() {
+        if !self.nodes[0].barrier_arrived.is_empty() {
             problems.push(format!(
                 "{} node(s) still waiting at a barrier at quiesce",
-                self.barrier_waiting.len()
+                self.nodes[0].barrier_arrived.len()
             ));
         }
         assert!(
@@ -222,232 +552,83 @@ impl Machine {
             problems.join("\n  ")
         );
     }
+}
 
+impl Shard {
     // ----------------------------------------------------- dispatch
 
-    /// Schedules `ev` at time `t`, short-circuiting the event queue
-    /// when `ev` is provably the next event the run loop will process.
-    ///
-    /// The fast lane fires when nothing is pending at or before `t`:
-    /// the event parks in `pending_inline` and the run loop hands it
-    /// straight to its handler — no heap/bucket traffic, no seq
-    /// assignment. This collapses the schedule→pop round trip for
-    /// cache-hit chains, zero-delay resumes and solo in-flight
-    /// messages, which dominate quiescent phases.
-    ///
-    /// Ordering safety: the slot is only filled when `t` is strictly
-    /// earlier than every queued event, and any later `post` flushes
-    /// the slot to the queue *before* scheduling — the queue is never
-    /// mutated while the slot is occupied, so the flushed event's
-    /// fresh sequence number cannot overtake a same-time event that
-    /// was scheduled after it. The simulation's `(time, seq)` total
-    /// order is exactly that of a queue-only run, which the golden
-    /// cycle-count tests pin down.
-    pub(crate) fn post(&mut self, t: Cycle, ev: Ev) {
-        if let Some((it, iev)) = self.pending_inline.take() {
-            self.queue.schedule(it, iev);
-        }
-        match self.queue.peek_time() {
-            Some(pt) if pt <= t => self.queue.schedule(t, ev),
-            _ => self.pending_inline = Some((t, ev)),
+    /// Executes one event.
+    pub(crate) fn handle(&mut self, cx: &Wctx, now: Cycle, ev: Ev) {
+        match ev {
+            Ev::Resume(n) => self.step_program(cx, n, now),
+            Ev::NetArrive {
+                src,
+                dst,
+                flits,
+                sent_at,
+                payload,
+            } => {
+                // Resolve the receive side (rx-port contention and
+                // serialization) on the lane that owns the receiver.
+                let deliver = self.net.rx(now, dst, flits, sent_at);
+                self.post(dst, deliver, Ev::Deliver { src, dst, payload });
+            }
+            Ev::Deliver { src, dst, payload } => match payload {
+                Payload::Proto(bm) => self.deliver(cx, src, dst, bm, now),
+                Payload::Sync(sm) => self.sync_deliver(cx, src, dst, sm, now),
+            },
+            Ev::Retry(n) => self.retry(cx, n, now),
         }
     }
 
-    // ------------------------------------------------------ programs
+    // ---------------------------------------------------- sanitizer
 
-    /// Steps `n`'s program, chaining consecutive operations inline:
-    /// after a cache hit, a compute phase or a local fast fill, if the
-    /// resume moment is provably the next event in the whole machine
-    /// (nothing queued at or before it, inline slot empty), the loop
-    /// advances the clock and executes the next operation directly —
-    /// no `Resume` event is built, scheduled, popped or dispatched.
-    /// `advance_to` counts each chained step as one processed event, so
-    /// event counts (and the total order) are exactly those of a
-    /// queue-only run.
-    fn step_program(&mut self, n: NodeId, mut now: Cycle) {
-        let i = n.index();
-        loop {
-            if self.nodes[i].done {
-                return;
-            }
-            // Protocol handlers steal processor cycles: user code
-            // resumes only when the handler (and any watchdog grace)
-            // completes.
-            let busy = self.nodes[i].trap_busy_until;
-            if busy > now {
-                self.post(busy, Ev::Resume(n));
-                return;
-            }
-            self.nodes[i].trap_accum = 0; // user code made progress
-
-            let last = self.nodes[i].last_value.take();
-            let op = self.nodes[i].program.next(n, last);
-            // The time this node's program resumes, when that is known
-            // synchronously; `None` means the operation handed control
-            // to the protocol or sync machinery, which resumes the
-            // program itself.
-            let resume = match op {
-                Op::Compute(c) => {
-                    let instr_blocks = (c / 8).max(1);
-                    let penalty = self.ifetch(i, instr_blocks, now);
-                    Some(now + Cycle(c) + Cycle(penalty))
-                }
-                Op::Barrier => {
-                    self.barrier_wait(n, now);
-                    None
-                }
-                Op::LockAcquire(lock) => {
-                    self.lock_acquire(lock, n, now);
-                    None
-                }
-                Op::LockRelease(lock) => {
-                    self.lock_release(lock, n, now);
-                    None
-                }
-                Op::Finish => {
-                    self.nodes[i].done = true;
-                    self.finished += 1;
-                    self.finish_time = self.finish_time.max(now);
-                    // A finishing node may complete the barrier for
-                    // the rest.
-                    self.check_barrier(now);
-                    None
-                }
-                Op::Read(addr) => {
-                    let penalty = self.ifetch(i, 1, now);
-                    let block = addr.block(self.cfg.cache.line_bytes);
-                    match self.nodes[i].cache.read(block) {
-                        Access::Hit => {
-                            self.stats.hits += 1;
-                            let t = now + Cycle(self.cfg.proc.hit + penalty);
-                            Some(self.finish_access(n, addr, false, None, 0, false, t))
-                        }
-                        Access::VictimHit => {
-                            self.stats.hits += 1;
-                            let t =
-                                now + Cycle(self.cfg.proc.hit + self.cfg.proc.victim_hit + penalty);
-                            Some(self.finish_access(n, addr, false, None, 0, false, t))
-                        }
-                        Access::UpgradeMiss | Access::Miss { .. } => {
-                            self.start_miss(n, addr, false, 0, None, now + Cycle(penalty))
-                        }
-                    }
-                }
-                Op::Write(addr, v) => self.write_like(n, addr, v, None, now),
-                Op::Rmw(addr, rmw) => self.write_like(n, addr, 0, Some(rmw), now),
-            };
-            let Some(t) = resume else {
-                return;
-            };
-            // Chain inline when the resume is provably next; otherwise
-            // fall back to `post`, which applies the same test for its
-            // single-event fast lane.
-            if self.pending_inline.is_none() && self.queue.peek_time().is_none_or(|pt| pt > t) {
-                self.queue.advance_to(t);
-                now = t;
-                continue;
-            }
-            self.post(t, Ev::Resume(n));
-            return;
-        }
-    }
-
-    /// Executes a write-flavoured op, returning the synchronous resume
-    /// time (hits and local fast fills) or `None` when the protocol
-    /// takes over.
-    fn write_like(
-        &mut self,
-        n: NodeId,
-        addr: Addr,
-        v: u64,
-        rmw: Option<Rmw>,
-        now: Cycle,
-    ) -> Option<Cycle> {
-        let i = n.index();
-        let penalty = self.ifetch(i, 1, now);
-        let block = addr.block(self.cfg.cache.line_bytes);
-        match self.nodes[i].cache.write(block) {
-            Access::Hit => {
-                self.stats.hits += 1;
-                let t = now + Cycle(self.cfg.proc.hit + penalty);
-                Some(self.finish_access(n, addr, true, rmw, v, false, t))
-            }
-            Access::VictimHit => {
-                self.stats.hits += 1;
-                let t = now + Cycle(self.cfg.proc.hit + self.cfg.proc.victim_hit + penalty);
-                Some(self.finish_access(n, addr, true, rmw, v, false, t))
-            }
-            Access::UpgradeMiss | Access::Miss { .. } => {
-                self.start_miss(n, addr, true, v, rmw, now + Cycle(penalty))
-            }
-        }
-    }
-
-    /// Completes a memory operation at time `t`: applies its effect to
-    /// shadow memory and returns the time the program resumes. The
-    /// caller either chains the next operation inline (see
-    /// [`Machine::step_program`]) or posts a `Resume`.
+    /// Forwards silently dropped clean lines (direct-mapped conflict
+    /// evictions of `Shared` copies, which send no message) from node
+    /// `n`'s cache mirror to the registry. No-op when checking is off.
     ///
-    /// `squashed` marks a window-of-vulnerability completion (the fill
-    /// was invalidated in flight; the access completes with the data
-    /// but installs nothing) — the sanitizer's permission check is
-    /// skipped for those, since the line legitimately belongs to
-    /// someone else by completion time.
-    #[must_use]
-    #[allow(clippy::too_many_arguments)]
-    pub(crate) fn finish_access(
-        &mut self,
-        n: NodeId,
-        addr: Addr,
-        is_write: bool,
-        rmw: Option<Rmw>,
-        wvalue: u64,
-        squashed: bool,
-        t: Cycle,
-    ) -> Cycle {
-        let i = n.index();
-        if !squashed && self.cfg.check.is_full() {
-            self.check_access_permission(n, addr, is_write);
+    /// Drops may sit in the mirror for arbitrary stretches of the run;
+    /// the one ordering that matters is that a node's mirror is drained
+    /// **before** the registry gains a copy for that node, so a stale
+    /// pending drop of block `B` cannot delete a fresh registration of
+    /// `B`. Hence the call sites: immediately ahead of every
+    /// `registry_fill_*` (the cold miss paths) and at the start of the
+    /// quiesce audit — never on the hit path.
+    ///
+    /// The gate is inline (one discriminant load and a predicted branch
+    /// when checking is off); the drain loop itself stays outlined and
+    /// cold.
+    #[inline]
+    fn drain_silent_drops(&mut self, cx: &Wctx, n: NodeId) {
+        if cx.checking() {
+            self.drain_silent_drops_slow(cx, n);
         }
-        if is_write {
-            self.stats.writes += 1;
-            let slot = self.mem.entry(addr);
-            match rmw {
-                Some(r) => {
-                    let old = *slot;
-                    *slot = r.apply(old);
-                    self.nodes[i].last_value = Some(old);
-                }
-                None => {
-                    *slot = wvalue;
-                }
-            }
-        } else {
-            self.stats.reads += 1;
-            let v = self.mem.get(addr).copied().unwrap_or(0);
-            self.nodes[i].last_value = Some(v);
-            if let Some(log) = self.read_log.as_mut() {
-                log[i].push((addr, v));
+    }
+
+    #[cold]
+    fn drain_silent_drops_slow(&mut self, cx: &Wctx, n: NodeId) {
+        while let Some(b) = self.node_mut(n).cache.pop_dropped() {
+            if b.0 < INSTR_BLOCK_BASE {
+                cx.registry(|r| r.drop_copy(b, n));
             }
         }
-        if let Some(tr) = self.tracker.as_mut() {
-            let block = addr.block(self.cfg.cache.line_bytes);
-            tr.touch(block.0, n.0, is_write);
-        }
-        t
     }
 
     /// Bounded-retry progress violated: diagnose the livelock with the
     /// home directory's event history instead of spinning to the
     /// event-limit backstop.
     #[cold]
-    fn livelock_panic(&self, dst: NodeId, addr: Addr, retries: u32) -> ! {
-        let b = addr.block(self.cfg.cache.line_bytes);
+    fn livelock_panic(&self, cx: &Wctx, dst: NodeId, addr: Addr, retries: u32) -> ! {
+        let b = addr.block(cx.cfg.cache.line_bytes);
         let home = self.home_of(b);
+        let dump = if self.owns(home) {
+            self.node(home).engine.history_dump(b)
+        } else {
+            format!("(home {home} lives on another event lane; rerun with the serial engine for its event history)")
+        };
         panic!(
             "coherence sanitizer: node {dst} bounced {retries} times \
-             requesting {b} — bounded-retry progress violated (livelock)\n{}",
-            self.nodes[home.index()].engine.history_dump(b)
+             requesting {b} — bounded-retry progress violated (livelock)\n{dump}"
         );
     }
 
@@ -455,12 +636,11 @@ impl Machine {
     /// shadow memory, so a stale *value* is unobservable — instead a
     /// completing access must hold the permission the registry implies.
     #[cold]
-    fn check_access_permission(&self, n: NodeId, addr: Addr, is_write: bool) {
-        let Some(r) = self.registry.as_ref() else {
+    fn check_access_permission(&self, cx: &Wctx, n: NodeId, addr: Addr, is_write: bool) {
+        let block = addr.block(cx.cfg.cache.line_bytes);
+        let Some(owner) = cx.registry(|r| r.owner(block)) else {
             return;
         };
-        let block = addr.block(self.cfg.cache.line_bytes);
-        let owner = r.owner(block);
         if is_write {
             assert!(
                 owner == Some(n),
@@ -476,11 +656,219 @@ impl Machine {
         }
     }
 
+    // ------------------------------------------------------ programs
+
+    /// Steps `n`'s program, chaining consecutive operations inline:
+    /// after a cache hit, a compute phase or a local fast fill, if the
+    /// resume moment is provably this lane's next event (nothing queued
+    /// at or before it in `(time, key)` order, inline slot empty) and
+    /// stays inside the window, the loop advances the clock and
+    /// executes the next operation directly — no `Resume` event is
+    /// built, scheduled, popped or dispatched. Each chained step still
+    /// counts as one executed event, so event counts (and the total
+    /// order) are exactly those of a queue-only run.
+    fn step_program(&mut self, cx: &Wctx, n: NodeId, mut now: Cycle) {
+        loop {
+            if self.node(n).done {
+                return;
+            }
+            // Protocol handlers steal processor cycles: user code
+            // resumes only when the handler (and any watchdog grace)
+            // completes.
+            let busy = self.node(n).trap_busy_until;
+            if busy > now {
+                self.post(n, busy, Ev::Resume(n));
+                return;
+            }
+            self.node_mut(n).trap_accum = 0; // user code made progress
+
+            let last = self.node_mut(n).last_value.take();
+            let op = self.node_mut(n).program.next(n, last);
+            // The time this node's program resumes, when that is known
+            // synchronously; `None` means the operation handed control
+            // to the protocol or sync machinery, which resumes the
+            // program itself.
+            let resume = match op {
+                Op::Compute(c) => {
+                    let instr_blocks = (c / 8).max(1);
+                    let penalty = self.ifetch(cx, n, instr_blocks, now);
+                    Some(now + Cycle(c) + Cycle(penalty))
+                }
+                Op::Barrier => {
+                    self.send_payload(
+                        n,
+                        NodeId::from_index(0),
+                        Payload::Sync(SyncMsg::BarrierArrive),
+                        now,
+                    );
+                    None
+                }
+                Op::LockAcquire(lock) => {
+                    let home = self.lock_home(lock);
+                    self.send_payload(n, home, Payload::Sync(SyncMsg::LockReq(lock)), now);
+                    None
+                }
+                Op::LockRelease(lock) => {
+                    let home = self.lock_home(lock);
+                    self.send_payload(n, home, Payload::Sync(SyncMsg::LockRel(lock)), now);
+                    // Fire-and-forget: the processor continues once the
+                    // release is handed to the CMMU.
+                    Some(now + Cycle(4))
+                }
+                Op::Finish => {
+                    self.node_mut(n).done = true;
+                    self.finished += 1;
+                    self.finish_time = self.finish_time.max(now);
+                    // The barrier master must learn this node will
+                    // never arrive at another barrier.
+                    self.send_payload(
+                        n,
+                        NodeId::from_index(0),
+                        Payload::Sync(SyncMsg::NodeDone),
+                        now,
+                    );
+                    None
+                }
+                Op::Read(addr) => {
+                    let penalty = self.ifetch(cx, n, 1, now);
+                    let block = addr.block(cx.cfg.cache.line_bytes);
+                    match self.node_mut(n).cache.read(block) {
+                        Access::Hit => {
+                            self.node_mut(n).stats.hits += 1;
+                            let t = now + Cycle(cx.cfg.proc.hit + penalty);
+                            Some(self.finish_access(cx, n, addr, false, None, 0, false, t))
+                        }
+                        Access::VictimHit => {
+                            self.node_mut(n).stats.hits += 1;
+                            let t = now + Cycle(cx.cfg.proc.hit + cx.cfg.proc.victim_hit + penalty);
+                            Some(self.finish_access(cx, n, addr, false, None, 0, false, t))
+                        }
+                        Access::UpgradeMiss | Access::Miss { .. } => {
+                            self.start_miss(cx, n, addr, false, 0, None, now + Cycle(penalty))
+                        }
+                    }
+                }
+                Op::Write(addr, v) => self.write_like(cx, n, addr, v, None, now),
+                Op::Rmw(addr, rmw) => self.write_like(cx, n, addr, 0, Some(rmw), now),
+            };
+            let Some(t) = resume else {
+                return;
+            };
+            // Chain inline when the resume is provably next; otherwise
+            // schedule it under the key just allocated (the key is
+            // consumed either way, keeping the counter — and with it
+            // every later key — partition-independent).
+            let key = self.next_key(n);
+            if self.slot.is_none()
+                && t < self.t_end
+                && self.queue.peek().is_none_or(|(pt, pk)| (t, key) < (pt, pk))
+            {
+                self.queue.advance_to(t);
+                self.executed += 1;
+                assert!(
+                    self.executed < self.max_events,
+                    "event limit exceeded: probable livelock at {t}"
+                );
+                now = t;
+                continue;
+            }
+            self.post_keyed(t, key, Ev::Resume(n));
+            return;
+        }
+    }
+
+    /// Executes a write-flavoured op, returning the synchronous resume
+    /// time (hits and local fast fills) or `None` when the protocol
+    /// takes over.
+    fn write_like(
+        &mut self,
+        cx: &Wctx,
+        n: NodeId,
+        addr: Addr,
+        v: u64,
+        rmw: Option<Rmw>,
+        now: Cycle,
+    ) -> Option<Cycle> {
+        let penalty = self.ifetch(cx, n, 1, now);
+        let block = addr.block(cx.cfg.cache.line_bytes);
+        match self.node_mut(n).cache.write(block) {
+            Access::Hit => {
+                self.node_mut(n).stats.hits += 1;
+                let t = now + Cycle(cx.cfg.proc.hit + penalty);
+                Some(self.finish_access(cx, n, addr, true, rmw, v, false, t))
+            }
+            Access::VictimHit => {
+                self.node_mut(n).stats.hits += 1;
+                let t = now + Cycle(cx.cfg.proc.hit + cx.cfg.proc.victim_hit + penalty);
+                Some(self.finish_access(cx, n, addr, true, rmw, v, false, t))
+            }
+            Access::UpgradeMiss | Access::Miss { .. } => {
+                self.start_miss(cx, n, addr, true, v, rmw, now + Cycle(penalty))
+            }
+        }
+    }
+
+    /// Completes a memory operation at time `t`: applies its effect to
+    /// shadow memory and returns the time the program resumes. The
+    /// caller either chains the next operation inline (see
+    /// [`Shard::step_program`]) or posts a `Resume`.
+    ///
+    /// `squashed` marks a window-of-vulnerability completion (the fill
+    /// was invalidated in flight; the access completes with the data
+    /// but installs nothing) — the sanitizer's permission check is
+    /// skipped for those, since the line legitimately belongs to
+    /// someone else by completion time.
+    #[must_use]
+    #[allow(clippy::too_many_arguments)]
+    fn finish_access(
+        &mut self,
+        cx: &Wctx,
+        n: NodeId,
+        addr: Addr,
+        is_write: bool,
+        rmw: Option<Rmw>,
+        wvalue: u64,
+        squashed: bool,
+        t: Cycle,
+    ) -> Cycle {
+        if !squashed && cx.cfg.check.is_full() {
+            self.check_access_permission(cx, n, addr, is_write);
+        }
+        if is_write {
+            self.node_mut(n).stats.writes += 1;
+            match rmw {
+                Some(r) => {
+                    let old = self.mem.load(cx.gmem, addr);
+                    self.mem.store(addr, r.apply(old));
+                    self.node_mut(n).last_value = Some(old);
+                }
+                None => self.mem.store(addr, wvalue),
+            }
+        } else {
+            self.node_mut(n).stats.reads += 1;
+            let v = self.mem.load(cx.gmem, addr);
+            let node = self.node_mut(n);
+            node.last_value = Some(v);
+            if let Some(log) = node.read_log.as_mut() {
+                log.push((addr, v));
+            }
+        }
+        if let Some(tr) = cx.tracker {
+            let block = addr.block(cx.cfg.cache.line_bytes);
+            tr.lock()
+                .expect("tracker lock poisoned")
+                .touch(block.0, n.0, is_write);
+        }
+        t
+    }
+
     /// Issues a miss. Returns the resume time when the access completes
     /// synchronously (the local fast path), `None` once the protocol
     /// owns the transaction.
+    #[allow(clippy::too_many_arguments)]
     fn start_miss(
         &mut self,
+        cx: &Wctx,
         n: NodeId,
         addr: Addr,
         is_write: bool,
@@ -488,34 +876,33 @@ impl Machine {
         rmw: Option<Rmw>,
         now: Cycle,
     ) -> Option<Cycle> {
-        self.stats.misses += 1;
-        let i = n.index();
-        let block = addr.block(self.cfg.cache.line_bytes);
+        self.node_mut(n).stats.misses += 1;
+        let block = addr.block(cx.cfg.cache.line_bytes);
         let home = self.home_of(block);
 
         // The software-only directory's uniprocessor fast path: local
         // blocks never touched by a remote node fill straight from
         // local DRAM, with no protocol involvement at all (§2.3).
-        if home == n && self.nodes[i].engine.local_fast_path(block) {
-            self.stats.local_fast_fills += 1;
-            self.drain_silent_drops(i);
+        if home == n && self.node(n).engine.local_fast_path(block) {
+            self.node_mut(n).stats.local_fast_fills += 1;
+            self.drain_silent_drops(cx, n);
             let wb = if is_write {
-                self.registry_fill_exclusive(block, n);
-                self.nodes[i].cache.fill_dirty(block)
+                self.registry_fill_exclusive(cx, block, n);
+                self.node_mut(n).cache.fill_dirty(block)
             } else {
-                self.registry_fill_shared(block, n);
-                self.nodes[i].cache.fill_shared(block)
+                self.registry_fill_shared(cx, block, n);
+                self.node_mut(n).cache.fill_shared(block)
             };
-            self.handle_displacement(n, wb, now);
-            let t = now + Cycle(self.cfg.proc.issue + 10 /* local DRAM */ + self.cfg.proc.fill);
-            return Some(self.finish_access(n, addr, is_write, rmw, wvalue, false, t));
+            self.handle_displacement(cx, n, wb, now);
+            let t = now + Cycle(cx.cfg.proc.issue + 10 /* local DRAM */ + cx.cfg.proc.fill);
+            return Some(self.finish_access(cx, n, addr, is_write, rmw, wvalue, false, t));
         }
 
         debug_assert!(
-            self.nodes[i].pending.is_none(),
+            self.node(n).pending.is_none(),
             "one outstanding miss per node"
         );
-        self.nodes[i].pending = Some(Pending {
+        self.node_mut(n).pending = Some(Pending {
             addr,
             is_write,
             wvalue,
@@ -528,16 +915,15 @@ impl Machine {
         } else {
             ProtoMsg::ReadReq
         };
-        self.send(n, home, block, msg, now + Cycle(self.cfg.proc.issue));
+        self.send(n, home, block, msg, now + Cycle(cx.cfg.proc.issue));
         None
     }
 
-    fn retry(&mut self, n: NodeId, now: Cycle) {
-        let i = n.index();
-        let Some(p) = self.nodes[i].pending.as_ref() else {
+    fn retry(&mut self, cx: &Wctx, n: NodeId, now: Cycle) {
+        let Some(p) = self.node(n).pending.as_ref() else {
             return; // satisfied in the meantime
         };
-        let block = p.addr.block(self.cfg.cache.line_bytes);
+        let block = p.addr.block(cx.cfg.cache.line_bytes);
         let msg = if p.is_write {
             ProtoMsg::WriteReq
         } else {
@@ -549,6 +935,7 @@ impl Machine {
 
     // ------------------------------------------------------- network
 
+    /// Sends a protocol message about `block` from `src` at `at`.
     pub(crate) fn send(
         &mut self,
         src: NodeId,
@@ -557,20 +944,10 @@ impl Machine {
         msg: ProtoMsg,
         at: Cycle,
     ) {
-        // The network owns all delivery timing, including the
-        // CMMU-internal loopback FIFO for self-addressed messages.
-        let deliver = self.net.send_sized(at, src, dst, msg.flits());
-        self.post(
-            deliver,
-            Ev::Deliver {
-                src,
-                dst,
-                bm: BlockMsg::new(block, msg),
-            },
-        );
+        self.send_payload(src, dst, Payload::Proto(BlockMsg::new(block, msg)), at);
     }
 
-    fn deliver(&mut self, src: NodeId, dst: NodeId, bm: BlockMsg, now: Cycle) {
+    fn deliver(&mut self, cx: &Wctx, src: NodeId, dst: NodeId, bm: BlockMsg, now: Cycle) {
         let block = bm.block;
         #[cfg(debug_assertions)]
         if std::env::var("LIMITLESS_TRACE_BLOCK").ok().as_deref()
@@ -580,15 +957,16 @@ impl Machine {
         }
         match bm.msg {
             // ---- home-side protocol events ----
-            ProtoMsg::ReadReq => self.home_event(dst, block, DirEvent::Read { from: src }, now),
-            ProtoMsg::WriteReq => self.home_event(dst, block, DirEvent::Write { from: src }, now),
+            ProtoMsg::ReadReq => self.home_event(cx, dst, block, DirEvent::Read { from: src }, now),
+            ProtoMsg::WriteReq => {
+                self.home_event(cx, dst, block, DirEvent::Write { from: src }, now)
+            }
             ProtoMsg::InvAck => {
-                if let Some(r) = self.registry.as_mut() {
-                    r.note_inv_ack(block);
-                }
-                self.home_event(dst, block, DirEvent::InvAck { from: src }, now);
+                cx.registry(|r| r.note_inv_ack(block));
+                self.home_event(cx, dst, block, DirEvent::InvAck { from: src }, now);
             }
             ProtoMsg::FlushAck { had_data } => self.home_event(
+                cx,
                 dst,
                 block,
                 DirEvent::OwnerAck {
@@ -599,6 +977,7 @@ impl Machine {
                 now,
             ),
             ProtoMsg::DowngradeAck { had_data } => self.home_event(
+                cx,
                 dst,
                 block,
                 DirEvent::OwnerAck {
@@ -608,42 +987,40 @@ impl Machine {
                 },
                 now,
             ),
-            ProtoMsg::Wb => self.home_event(dst, block, DirEvent::Writeback { from: src }, now),
+            ProtoMsg::Wb => self.home_event(cx, dst, block, DirEvent::Writeback { from: src }, now),
 
             // ---- requester/sharer-side events (CMMU hardware) ----
             ProtoMsg::ReadData => {
-                let i = dst.index();
-                let squashed = self.nodes[i].pending.as_ref().is_some_and(|p| {
-                    p.squashed && p.addr.block(self.cfg.cache.line_bytes) == block
-                });
+                let squashed =
+                    self.node(dst).pending.as_ref().is_some_and(|p| {
+                        p.squashed && p.addr.block(cx.cfg.cache.line_bytes) == block
+                    });
                 if !squashed {
-                    self.drain_silent_drops(i);
-                    let wb = self.nodes[i].cache.fill_shared(block);
-                    self.registry_fill_shared(block, dst);
-                    self.handle_displacement(dst, wb, now);
+                    self.drain_silent_drops(cx, dst);
+                    let wb = self.node_mut(dst).cache.fill_shared(block);
+                    self.registry_fill_shared(cx, block, dst);
+                    self.handle_displacement(cx, dst, wb, now);
                 }
-                self.complete_pending(dst, now);
+                self.complete_pending(cx, dst, now);
             }
             ProtoMsg::WriteData => {
-                let i = dst.index();
-                self.drain_silent_drops(i);
+                self.drain_silent_drops(cx, dst);
                 // The line may still sit Shared in our cache if the
                 // grant raced nothing at all; normally it is absent.
-                let wb = match self.nodes[i].cache.state_of(block) {
+                let wb = match self.node(dst).cache.state_of(block) {
                     Some(_) => {
-                        self.nodes[i].cache.upgrade(block);
+                        self.node_mut(dst).cache.upgrade(block);
                         None
                     }
-                    None => self.nodes[i].cache.fill_dirty(block),
+                    None => self.node_mut(dst).cache.fill_dirty(block),
                 };
-                self.registry_fill_exclusive(block, dst);
-                self.handle_displacement(dst, wb, now);
-                self.complete_pending(dst, now);
+                self.registry_fill_exclusive(cx, block, dst);
+                self.handle_displacement(cx, dst, wb, now);
+                self.complete_pending(cx, dst, now);
             }
             ProtoMsg::UpgradeAck => {
-                let i = dst.index();
-                self.drain_silent_drops(i);
-                if !self.nodes[i].cache.upgrade(block) {
+                self.drain_silent_drops(cx, dst);
+                if !self.node_mut(dst).cache.upgrade(block) {
                     // The shared line was displaced while the upgrade
                     // was in flight (e.g. by instruction thrashing).
                     // In Alewife the transaction store pins the line
@@ -653,43 +1030,37 @@ impl Machine {
                     // was only ever shared.) Re-requesting instead
                     // would leave the directory believing we own a
                     // line we never held, wedging later owner fetches.
-                    self.stats.upgrade_races += 1;
-                    let wb = self.nodes[i].cache.fill_dirty(block);
-                    self.handle_displacement(dst, wb, now);
+                    self.node_mut(dst).stats.upgrade_races += 1;
+                    let wb = self.node_mut(dst).cache.fill_dirty(block);
+                    self.handle_displacement(cx, dst, wb, now);
                 }
-                self.registry_fill_exclusive(block, dst);
-                self.complete_pending(dst, now);
+                self.registry_fill_exclusive(cx, block, dst);
+                self.complete_pending(cx, dst, now);
             }
             ProtoMsg::Busy => {
-                let i = dst.index();
-                self.stats.busy_retries += 1;
-                if let Some(p) = self.nodes[i].pending.as_mut() {
-                    p.retries += 1;
-                    let retries = p.retries;
-                    let addr = p.addr;
-                    if retries >= CHECKED_RETRY_LIMIT && self.registry.is_some() {
-                        self.livelock_panic(dst, addr, retries);
-                    }
-                    let backoff = self.cfg.proc.busy_backoff * u64::from(retries.min(8));
-                    self.post(now + Cycle(backoff), Ev::Retry(dst));
+                self.node_mut(dst).stats.busy_retries += 1;
+                let Some(p) = self.node_mut(dst).pending.as_mut() else {
+                    return;
+                };
+                p.retries += 1;
+                let retries = p.retries;
+                let addr = p.addr;
+                if retries >= CHECKED_RETRY_LIMIT && cx.checking() {
+                    self.livelock_panic(cx, dst, addr, retries);
                 }
+                let backoff = cx.cfg.proc.busy_backoff * u64::from(retries.min(8));
+                self.post(dst, now + Cycle(backoff), Ev::Retry(dst));
             }
             ProtoMsg::Inv => {
-                let i = dst.index();
-                self.nodes[i].cache.invalidate(block);
-                if let Some(r) = self.registry.as_mut() {
-                    r.drop_copy(block, dst);
-                }
+                self.node_mut(dst).cache.invalidate(block);
+                cx.registry(|r| r.drop_copy(block, dst));
                 // Acknowledge regardless of presence (the copy may have
                 // been evicted silently).
                 self.send(dst, src, block, ProtoMsg::InvAck, now + Cycle(2));
             }
             ProtoMsg::Flush => {
-                let i = dst.index();
-                let had = self.nodes[i].cache.invalidate(block).is_some();
-                if let Some(r) = self.registry.as_mut() {
-                    r.drop_copy(block, dst);
-                }
+                let had = self.node_mut(dst).cache.invalidate(block).is_some();
+                cx.registry(|r| r.drop_copy(block, dst));
                 self.send(
                     dst,
                     src,
@@ -699,12 +1070,9 @@ impl Machine {
                 );
             }
             ProtoMsg::Downgrade => {
-                let i = dst.index();
-                let had = self.nodes[i].cache.downgrade(block);
+                let had = self.node_mut(dst).cache.downgrade(block);
                 if had {
-                    if let Some(r) = self.registry.as_mut() {
-                        r.downgrade(block, dst);
-                    }
+                    cx.registry(|r| r.downgrade(block, dst));
                 }
                 self.send(
                     dst,
@@ -717,68 +1085,66 @@ impl Machine {
         }
     }
 
-    fn complete_pending(&mut self, n: NodeId, now: Cycle) {
-        let i = n.index();
-        let Some(p) = self.nodes[i].pending.take() else {
+    fn complete_pending(&mut self, cx: &Wctx, n: NodeId, now: Cycle) {
+        let Some(p) = self.node_mut(n).pending.take() else {
             return; // duplicate grant (e.g. after an upgrade race)
         };
-        let t = now + Cycle(self.cfg.proc.fill);
-        let t = self.finish_access(n, p.addr, p.is_write, p.rmw, p.wvalue, p.squashed, t);
+        let t = now + Cycle(cx.cfg.proc.fill);
+        let t = self.finish_access(cx, n, p.addr, p.is_write, p.rmw, p.wvalue, p.squashed, t);
         // Chain straight into program stepping when the resume is
-        // provably the machine's next event (the common case for a
-        // solo in-flight miss); `step_program` keeps chaining from
-        // there. Otherwise go through the normal dispatch.
-        if self.pending_inline.is_none() && self.queue.peek_time().is_none_or(|pt| pt > t) {
+        // provably this lane's next event (the common case for a solo
+        // in-flight miss); `step_program` keeps chaining from there.
+        // Otherwise go through the normal dispatch.
+        let key = self.next_key(n);
+        if self.slot.is_none()
+            && t < self.t_end
+            && self.queue.peek().is_none_or(|(pt, pk)| (t, key) < (pt, pk))
+        {
             self.queue.advance_to(t);
-            self.step_program(n, t);
+            self.executed += 1;
+            self.step_program(cx, n, t);
         } else {
-            self.post(t, Ev::Resume(n));
+            self.post_keyed(t, key, Ev::Resume(n));
         }
     }
 
     /// A fill displaced a dirty block out of the victim path: write it
     /// back to its home.
-    fn handle_displacement(&mut self, n: NodeId, wb: Option<BlockAddr>, now: Cycle) {
+    fn handle_displacement(&mut self, cx: &Wctx, n: NodeId, wb: Option<BlockAddr>, now: Cycle) {
         if let Some(victim) = wb {
-            if let Some(r) = self.registry.as_mut() {
-                r.drop_copy(victim, n);
-            }
+            cx.registry(|r| r.drop_copy(victim, n));
             let home = self.home_of(victim);
             self.send(n, home, victim, ProtoMsg::Wb, now);
         }
     }
 
-    fn registry_fill_shared(&mut self, block: BlockAddr, n: NodeId) {
-        if let Some(r) = self.registry.as_mut() {
-            r.fill_shared(block, n);
-        }
+    fn registry_fill_shared(&mut self, cx: &Wctx, block: BlockAddr, n: NodeId) {
+        cx.registry(|r| r.fill_shared(block, n));
     }
 
-    fn registry_fill_exclusive(&mut self, block: BlockAddr, n: NodeId) {
-        if let Some(r) = self.registry.as_mut() {
-            r.fill_exclusive(block, n);
-        }
+    fn registry_fill_exclusive(&mut self, cx: &Wctx, block: BlockAddr, n: NodeId) {
+        cx.registry(|r| r.fill_exclusive(block, n));
     }
 
     /// Streams `blocks` instruction blocks through the cache, returning
     /// the total miss penalty in cycles.
-    fn ifetch(&mut self, i: usize, blocks: u64, now: Cycle) -> u64 {
-        if self.cfg.perfect_ifetch {
+    fn ifetch(&mut self, cx: &Wctx, n: NodeId, blocks: u64, now: Cycle) -> u64 {
+        if cx.cfg.perfect_ifetch {
             return 0;
         }
-        let Some(mut fp) = self.nodes[i].footprint else {
+        let Some(mut fp) = self.node(n).footprint else {
             return 0;
         };
         let mut penalty = 0;
         for _ in 0..blocks.min(fp.blocks()) {
             let b = fp.next_block();
-            let (miss, wb) = self.nodes[i].cache.ifetch(b);
+            let (miss, wb) = self.node_mut(n).cache.ifetch(b);
             if miss {
-                penalty += self.cfg.proc.ifetch_miss;
+                penalty += cx.cfg.proc.ifetch_miss;
             }
-            self.handle_displacement(NodeId::from_index(i), wb, now);
+            self.handle_displacement(cx, n, wb, now);
         }
-        self.nodes[i].footprint = Some(fp);
+        self.node_mut(n).footprint = Some(fp);
         penalty
     }
 }

@@ -1,0 +1,301 @@
+//! The event-lane execution context shared by the serial and sharded
+//! engines.
+//!
+//! A [`Shard`] owns a contiguous range of nodes, their event queue,
+//! their endpoint slots of the network model and (in windowed mode)
+//! a private write overlay of shared memory. The serial engine is the
+//! degenerate case: one shard owning every node, running a single
+//! unbounded window — so both engines execute the *same* handler code
+//! over the *same* `(time, key)` event order, and the sharded engine
+//! inherits the serial engine's semantics by construction.
+//!
+//! # The `(time, key)` total order
+//!
+//! Every event carries a structural tie-break key allocated by its
+//! origin node ([`crate::machine::NodeCtx::next_key`]). Each lane
+//! executes its events in strictly increasing `(time, key)` order;
+//! events of different lanes inside one conservative window are
+//! causally independent (the window length is the minimum cross-node
+//! network latency), so any interleaving of lanes yields the same
+//! per-lane state trajectories. The serial engine's global order is
+//! one such interleaving — which is the bit-identity argument, tested
+//! differentially over the whole application × protocol matrix.
+
+use std::sync::{Mutex, RwLock};
+
+use limitless_net::{Network, TxPhase};
+use limitless_sim::{Addr, BlockAddr, Cycle, EventQueue, FxHashMap, NodeId};
+use limitless_stats::WorkerSetTracker;
+
+use crate::config::MachineConfig;
+use crate::dense::DenseMap;
+use crate::machine::{Ev, NodeCtx, Payload, TieKey};
+use crate::registry::CoherenceRegistry;
+
+/// Maps a node index to its event lane: contiguous ranges, every lane
+/// non-empty for `lanes <= total`.
+#[inline]
+pub(crate) fn lane_of(node: usize, lanes: usize, total: usize) -> usize {
+    node * lanes / total
+}
+
+/// Shared-memory access discipline for one lane.
+pub(crate) enum MemCtx {
+    /// The serial engine owns the memory shadow outright; reads and
+    /// writes go straight through.
+    Direct(DenseMap<Addr, u64>),
+    /// A windowed lane reads through its private overlay into the
+    /// global (frozen-for-the-window) shadow and records writes in a
+    /// log that the window-boundary flush replays in lane order.
+    Windowed {
+        overlay: FxHashMap<Addr, u64>,
+        wlog: Vec<(Addr, u64)>,
+    },
+}
+
+impl MemCtx {
+    pub(crate) fn load(&self, global: &DenseMap<Addr, u64>, addr: Addr) -> u64 {
+        match self {
+            MemCtx::Direct(m) => m.get(addr).copied().unwrap_or(0),
+            MemCtx::Windowed { overlay, .. } => match overlay.get(&addr) {
+                Some(&v) => v,
+                None => global.get(addr).copied().unwrap_or(0),
+            },
+        }
+    }
+
+    pub(crate) fn store(&mut self, addr: Addr, value: u64) {
+        match self {
+            MemCtx::Direct(m) => *m.entry(addr) = value,
+            MemCtx::Windowed { overlay, wlog } => {
+                overlay.insert(addr, value);
+                wlog.push((addr, value));
+            }
+        }
+    }
+}
+
+/// Per-run state shared (read-only or lock-protected) by every lane.
+///
+/// The memory shadow is behind an `RwLock`: lanes hold read access for
+/// the duration of a window (writes go to their overlays) and the
+/// window-boundary flush takes the write lock alone. The sanitizer
+/// registry and the worker-set tracker are optional diagnostics whose
+/// operations within a window commute (set insertions/removals on
+/// causally independent blocks), so a mutex suffices.
+pub(crate) struct Shared<'a> {
+    pub(crate) cfg: &'a MachineConfig,
+    pub(crate) mem: &'a RwLock<DenseMap<Addr, u64>>,
+    pub(crate) registry: Option<&'a Mutex<CoherenceRegistry>>,
+    pub(crate) tracker: Option<&'a Mutex<WorkerSetTracker>>,
+}
+
+/// One window's execution context: the shared state plus the read
+/// guard on the global memory shadow, rebuilt each window.
+pub(crate) struct Wctx<'a> {
+    pub(crate) cfg: &'a MachineConfig,
+    pub(crate) gmem: &'a DenseMap<Addr, u64>,
+    pub(crate) registry: Option<&'a Mutex<CoherenceRegistry>>,
+    pub(crate) tracker: Option<&'a Mutex<WorkerSetTracker>>,
+}
+
+impl Wctx<'_> {
+    /// Runs `f` against the sanitizer registry, if checking is on.
+    #[inline]
+    pub(crate) fn registry<R>(&self, f: impl FnOnce(&mut CoherenceRegistry) -> R) -> Option<R> {
+        self.registry
+            .map(|m| f(&mut m.lock().expect("registry lock poisoned")))
+    }
+
+    /// Whether the sanitizer registry is attached.
+    #[inline]
+    pub(crate) fn checking(&self) -> bool {
+        self.registry.is_some()
+    }
+}
+
+/// One event lane: a contiguous range of nodes with their own queue,
+/// inline slot, network endpoints and (windowed mode) memory overlay.
+pub(crate) struct Shard {
+    /// This lane's index.
+    pub(crate) lane: usize,
+    /// Global index of the first owned node.
+    pub(crate) first: usize,
+    /// Total lanes in the run.
+    pub(crate) lanes: usize,
+    /// Total nodes in the machine (for home/lane arithmetic).
+    pub(crate) total_nodes: usize,
+    /// The owned nodes, `nodes[i]` being global node `first + i`.
+    pub(crate) nodes: Vec<NodeCtx>,
+    /// Per-lane clone of the network model: a lane only exercises the
+    /// endpoint queues (tx, loopback, rx) of nodes it owns, and the
+    /// per-clone statistics are merged after the run.
+    pub(crate) net: Network,
+    pub(crate) queue: EventQueue<Ev>,
+    /// The inline dispatch slot: an event strictly earlier (in
+    /// `(time, key)`) than everything queued skips the schedule→pop
+    /// round trip and waits here for the run loop. See
+    /// [`Shard::post_keyed`].
+    pub(crate) slot: Option<(Cycle, TieKey, Ev)>,
+    /// Events executed by this lane (queue pops, slot takes and
+    /// chained inline steps — a partition-independent count).
+    pub(crate) executed: u64,
+    /// Owned nodes whose programs have finished.
+    pub(crate) finished: usize,
+    pub(crate) finish_time: Cycle,
+    pub(crate) mem: MemCtx,
+    /// Outgoing cross-lane events, one mailbox per destination lane,
+    /// drained by the driver at window boundaries. (Only `NetArrive`
+    /// and barrier-release events cross lanes, and both are bounded
+    /// below by the window length.)
+    pub(crate) outboxes: Vec<Vec<(Cycle, TieKey, Ev)>>,
+    /// Current window end (exclusive); `Cycle(u64::MAX)` in serial
+    /// mode.
+    pub(crate) t_end: Cycle,
+    /// Event-limit backstop (shared across lanes at boundary checks;
+    /// enforced per-event here for the serial engine).
+    pub(crate) max_events: u64,
+}
+
+impl Shard {
+    #[inline]
+    pub(crate) fn owns(&self, n: NodeId) -> bool {
+        let i = n.index();
+        i >= self.first && i < self.first + self.nodes.len()
+    }
+
+    #[inline]
+    pub(crate) fn node(&self, n: NodeId) -> &NodeCtx {
+        &self.nodes[n.index() - self.first]
+    }
+
+    #[inline]
+    pub(crate) fn node_mut(&mut self, n: NodeId) -> &mut NodeCtx {
+        &mut self.nodes[n.index() - self.first]
+    }
+
+    #[inline]
+    pub(crate) fn home_of(&self, block: BlockAddr) -> NodeId {
+        NodeId::from_index((block.0 % self.total_nodes as u64) as usize)
+    }
+
+    /// Allocates the next tie-break key for an event scheduled by
+    /// `origin` (which must be an owned node — handlers only ever run
+    /// at owned nodes).
+    #[inline]
+    pub(crate) fn next_key(&mut self, origin: NodeId) -> TieKey {
+        self.node_mut(origin).next_key(origin)
+    }
+
+    /// Schedules `ev` at `(at, fresh key from origin)`.
+    #[inline]
+    pub(crate) fn post(&mut self, origin: NodeId, at: Cycle, ev: Ev) {
+        let key = self.next_key(origin);
+        self.post_keyed(at, key, ev);
+    }
+
+    /// Schedules a pre-keyed event: cross-lane targets go to the
+    /// destination lane's mailbox; owned targets go to the inline slot
+    /// when provably next, else to the queue.
+    ///
+    /// Slot invariant: whenever the slot is occupied, its `(time,
+    /// key)` is strictly below the queue head's, so taking the slot
+    /// first preserves the lane's total order. A later post that beats
+    /// the slot swaps in and demotes the old occupant to the queue
+    /// (still below the old head, so the invariant survives both
+    /// ways).
+    pub(crate) fn post_keyed(&mut self, at: Cycle, key: TieKey, ev: Ev) {
+        let target = ev.target().index();
+        if self.lanes > 1 {
+            let lane = lane_of(target, self.lanes, self.total_nodes);
+            if lane != self.lane {
+                debug_assert!(at >= self.t_end, "cross-lane event inside its own window");
+                self.outboxes[lane].push((at, key, ev));
+                return;
+            }
+        }
+        match self.slot {
+            None => {
+                if self
+                    .queue
+                    .peek()
+                    .is_none_or(|(pt, pk)| (at, key) < (pt, pk))
+                {
+                    self.slot = Some((at, key, ev));
+                } else {
+                    self.queue.schedule_keyed(at, key, ev);
+                }
+            }
+            Some((st, sk, _)) => {
+                if (at, key) < (st, sk) {
+                    let (ot, ok, oev) = self.slot.replace((at, key, ev)).expect("slot occupied");
+                    self.queue.schedule_keyed(ot, ok, oev);
+                } else {
+                    self.queue.schedule_keyed(at, key, ev);
+                }
+            }
+        }
+    }
+
+    /// Transmits `payload` from `src` at `at`: the loopback FIFO
+    /// delivers locally, a mesh send resolves its receive side at the
+    /// destination's lane via [`Ev::NetArrive`] (the only protocol
+    /// event that crosses lanes).
+    pub(crate) fn send_payload(&mut self, src: NodeId, dst: NodeId, payload: Payload, at: Cycle) {
+        let flits = payload.flits();
+        match self.net.tx(at, src, dst, flits) {
+            TxPhase::Loopback { deliver } => {
+                self.post(src, deliver, Ev::Deliver { src, dst, payload });
+            }
+            TxPhase::Mesh { head_arrives } => {
+                self.post(
+                    src,
+                    head_arrives,
+                    Ev::NetArrive {
+                        src,
+                        dst,
+                        flits,
+                        sent_at: at,
+                        payload,
+                    },
+                );
+            }
+        }
+    }
+
+    /// Executes every owned event with `time < t_end` in `(time, key)`
+    /// order. On return, the inline slot is flushed to the queue so
+    /// boundary logic (next-window computation, termination) sees the
+    /// complete pending set.
+    pub(crate) fn run_window(&mut self, cx: &Wctx) {
+        let t_end = self.t_end;
+        loop {
+            let (now, ev) = match self.slot {
+                Some((t, _, _)) => {
+                    if t >= t_end {
+                        break;
+                    }
+                    let (t, _, ev) = self.slot.take().expect("slot occupied");
+                    // Safe: the slot is strictly below the queue head.
+                    self.queue.advance_to(t);
+                    (t, ev)
+                }
+                None => {
+                    if self.queue.peek_time().is_none_or(|pt| pt >= t_end) {
+                        break;
+                    }
+                    self.queue.pop().expect("peeked event vanished")
+                }
+            };
+            self.executed += 1;
+            assert!(
+                self.executed < self.max_events,
+                "event limit exceeded: probable livelock at {now}"
+            );
+            self.handle(cx, now, ev);
+        }
+        if let Some((t, k, ev)) = self.slot.take() {
+            self.queue.schedule_keyed(t, k, ev);
+        }
+    }
+}

@@ -52,6 +52,21 @@ impl BillAggregator {
         self.groups.len()
     }
 
+    /// Folds another aggregate into this one. Used when combining
+    /// per-node aggregators into a machine total: the groups of
+    /// `other` are folded in their stored order, so merging node
+    /// aggregators in node-index order yields the same group list no
+    /// matter how nodes were partitioned across event lanes.
+    pub fn merge(&mut self, other: &BillAggregator) {
+        for (bill, n) in &other.groups {
+            self.count += n;
+            match self.groups.iter_mut().find(|(b, _)| b == bill) {
+                Some((_, c)) => *c += n,
+                None => self.groups.push((bill.clone(), *n)),
+            }
+        }
+    }
+
     /// The bill at position `(count - 1) / 2` of the recorded multiset
     /// ordered by total occupancy — the paper's "median request of
     /// each type" used for the Table 2 breakdown.
@@ -157,6 +172,39 @@ impl MachineStats {
         self.add_engine(e);
         self.add_cache(c);
         self.trap_cycles += e.trap_cycles;
+    }
+
+    /// Folds another node's (or lane's) statistics into this one.
+    ///
+    /// Merging is associative and commutative for every counter,
+    /// sampler and network field, so per-node statistics can be
+    /// combined in any grouping — the sharded engine relies on this to
+    /// report totals independent of how nodes were partitioned into
+    /// lanes. The only order-sensitive field is the bill aggregators'
+    /// internal group order, which is made canonical by always merging
+    /// in node-index order (see [`BillAggregator::merge`]).
+    /// `worker_sets` is machine-global and assigned after merging; it
+    /// is left untouched here.
+    pub fn merge(&mut self, other: &MachineStats) {
+        self.reads += other.reads;
+        self.writes += other.writes;
+        self.hits += other.hits;
+        self.misses += other.misses;
+        self.local_fast_fills += other.local_fast_fills;
+        self.busy_retries += other.busy_retries;
+        self.upgrade_races += other.upgrade_races;
+        self.barriers += other.barriers;
+        self.lock_handoffs += other.lock_handoffs;
+        self.lock_conflicts += other.lock_conflicts;
+        self.watchdog_fires += other.watchdog_fires;
+        self.add_engine(other.engine);
+        self.add_cache(other.cache);
+        self.net.merge(&other.net);
+        self.read_trap_latency.merge(&other.read_trap_latency);
+        self.write_trap_latency.merge(&other.write_trap_latency);
+        self.read_trap_bills.merge(&other.read_trap_bills);
+        self.write_trap_bills.merge(&other.write_trap_bills);
+        self.trap_cycles += other.trap_cycles;
     }
 }
 
@@ -278,5 +326,107 @@ mod tests {
         let agg = BillAggregator::new();
         assert!(agg.median_bill().is_none());
         assert!(agg.is_empty());
+    }
+
+    #[test]
+    fn aggregator_merge_matches_sequential_recording() {
+        let m = CostModel::new(HandlerImpl::FlexibleC);
+        let bills = [
+            m.read_extend(6, false),
+            m.read_extend(2, false),
+            m.read_extend(6, false),
+            m.read_extend(9, false),
+        ];
+        let mut whole = BillAggregator::new();
+        let (mut a, mut b) = (BillAggregator::new(), BillAggregator::new());
+        for (i, bill) in bills.iter().enumerate() {
+            whole.record(bill);
+            if i % 2 == 0 { &mut a } else { &mut b }.record(bill);
+        }
+        let mut merged = BillAggregator::new();
+        merged.merge(&a);
+        merged.merge(&b);
+        assert_eq!(merged.count(), whole.count());
+        assert_eq!(merged.distinct(), whole.distinct());
+        assert_eq!(merged.median_bill(), whole.median_bill());
+    }
+
+    fn sample_stats(k: u64) -> MachineStats {
+        let m = CostModel::new(HandlerImpl::FlexibleC);
+        let mut s = MachineStats {
+            reads: 10 * k,
+            writes: k,
+            hits: 3 + k,
+            misses: k / 2,
+            local_fast_fills: k % 3,
+            busy_retries: k,
+            upgrade_races: k % 2,
+            barriers: 1,
+            lock_handoffs: k % 5,
+            lock_conflicts: 0,
+            watchdog_fires: k % 7,
+            trap_cycles: 100 * k,
+            ..MachineStats::default()
+        };
+        s.absorb_node(
+            EngineStats {
+                traps: k,
+                trap_cycles: 10 * k,
+                invs_sent: k,
+                ..EngineStats::default()
+            },
+            CacheStats {
+                hits: 2 * k,
+                evictions: k,
+                ..CacheStats::default()
+            },
+        );
+        s.read_trap_latency.record(40 + k);
+        s.write_trap_latency.record(90 + k);
+        s.read_trap_bills
+            .record(&m.read_extend((k % 8) as usize + 1, false));
+        s.write_trap_bills
+            .record(&m.write_extend((k % 4) as usize + 1));
+        s.net.messages = k;
+        s.net.flits = 4 * k;
+        s
+    }
+
+    /// The sharded engine sums per-node statistics lane by lane; the
+    /// totals must not depend on how nodes were grouped, only on the
+    /// node order inside the fold.
+    #[test]
+    fn machine_stats_merge_is_associative_across_groupings() {
+        let parts: Vec<MachineStats> = (1..=6).map(sample_stats).collect();
+        // Flat fold: (((s1 + s2) + s3) + ...)
+        let mut flat = MachineStats::default();
+        for p in &parts {
+            flat.merge(p);
+        }
+        // Grouped fold, preserving node order: (s1+s2) + (s3+s4+s5) + (s6)
+        let mut g1 = MachineStats::default();
+        parts[..2].iter().for_each(|p| g1.merge(p));
+        let mut g2 = MachineStats::default();
+        parts[2..5].iter().for_each(|p| g2.merge(p));
+        let mut g3 = MachineStats::default();
+        parts[5..].iter().for_each(|p| g3.merge(p));
+        let mut grouped = MachineStats::default();
+        grouped.merge(&g1);
+        grouped.merge(&g2);
+        grouped.merge(&g3);
+        assert_eq!(flat, grouped);
+        assert_eq!(
+            flat.read_trap_bills.median_bill(),
+            grouped.read_trap_bills.median_bill()
+        );
+        // Counter-only fields are fully commutative too.
+        let mut rev = MachineStats::default();
+        for p in parts.iter().rev() {
+            rev.merge(p);
+        }
+        assert_eq!(rev.reads, flat.reads);
+        assert_eq!(rev.engine.traps, flat.engine.traps);
+        assert_eq!(rev.net.messages, flat.net.messages);
+        assert_eq!(rev.trap_cycles, flat.trap_cycles);
     }
 }

@@ -1,16 +1,20 @@
 //! The synchronization runtime: the all-node barrier and the FIFO
-//! lock data type (§7) serviced by the protocol extension software.
+//! lock data type (§7), implemented as message protocols serviced by
+//! home nodes — locks at `lock % nodes`, the barrier at node 0 — so
+//! sync traffic obeys the same network-latency floor as coherence
+//! traffic (which is what lets the sharded engine run it inside
+//! conservative windows).
 
 use std::collections::VecDeque;
 
 use limitless_sim::{Cycle, NodeId};
 
-use crate::machine::{Ev, Machine};
+use crate::machine::{Ev, Payload, SyncMsg};
+use crate::shard::{Shard, Wctx};
 
-/// Cycles for an uncontended lock acquire or a lock hand-over (a
-/// round trip to the lock object's home, serviced by the protocol
-/// extension software's lock handler).
-const LOCK_LATENCY: u64 = 40;
+/// Cycles the home's protocol extension software spends deciding a
+/// lock grant (uncontended acquire or hand-over).
+const LOCK_HANDLER: u64 = 4;
 
 #[derive(Debug, Default)]
 pub(crate) struct LockState {
@@ -18,81 +22,137 @@ pub(crate) struct LockState {
     pub(crate) waiters: VecDeque<NodeId>,
 }
 
-impl Machine {
-    pub(crate) fn barrier_wait(&mut self, n: NodeId, now: Cycle) {
-        self.barrier_waiting.push(n);
-        self.check_barrier(now);
+impl Shard {
+    /// The node servicing lock `lock`'s protocol messages.
+    pub(crate) fn lock_home(&self, lock: u32) -> NodeId {
+        NodeId::from_index(lock as usize % self.total_nodes)
     }
 
-    pub(crate) fn check_barrier(&mut self, now: Cycle) {
-        let alive = self.nodes.len() - self.finished;
-        if alive > 0 && self.barrier_waiting.len() == alive {
-            self.barrier_generation += 1;
-            self.stats.barriers += 1;
+    /// Acts on a synchronization message arriving at `dst`.
+    pub(crate) fn sync_deliver(
+        &mut self,
+        cx: &Wctx,
+        src: NodeId,
+        dst: NodeId,
+        msg: SyncMsg,
+        now: Cycle,
+    ) {
+        match msg {
+            SyncMsg::BarrierArrive => {
+                self.node_mut(dst).barrier_arrived.push(src);
+                self.barrier_check(cx, dst, now);
+            }
+            SyncMsg::NodeDone => {
+                self.node_mut(dst).barrier_done_seen += 1;
+                // A finishing node may complete the barrier for the
+                // rest.
+                self.barrier_check(cx, dst, now);
+            }
+            SyncMsg::BarrierGo => self.post(dst, now, Ev::Resume(dst)),
+            SyncMsg::LockReq(lock) => self.lock_req(cx, lock, src, dst, now),
+            SyncMsg::LockRel(lock) => self.lock_rel(cx, lock, src, dst, now),
+            SyncMsg::LockGrant(lock) => {
+                debug_assert_eq!(self.lock_home(lock), src, "grant from a non-home node");
+                self.post(dst, now, Ev::Resume(dst));
+            }
+        }
+    }
+
+    /// The barrier master's bookkeeping: once every node has either
+    /// arrived or finished for good, release the arrivals.
+    ///
+    /// No generation counter is needed: `barrier_arrived` is cleared
+    /// before any release departs, and a released node cannot re-arrive
+    /// until after its release — so arrivals never straddle episodes.
+    fn barrier_check(&mut self, cx: &Wctx, master: NodeId, now: Cycle) {
+        let total = self.total_nodes;
+        let (arrived, done) = {
+            let m = self.node(master);
+            (m.barrier_arrived.len(), m.barrier_done_seen)
+        };
+        if arrived == 0 || arrived + done < total {
+            return;
+        }
+        debug_assert_eq!(arrived + done, total, "barrier overshot the node count");
+        self.node_mut(master).stats.barriers += 1;
+        let waiters = std::mem::take(&mut self.node_mut(master).barrier_arrived);
+        // The dissemination rounds are priced wholesale by
+        // `barrier_cycles` (which exceeds the sharded engine's window
+        // length, keeping these direct cross-lane events legal), plus
+        // per-destination mesh distance.
+        let base = now + Cycle(cx.cfg.barrier_cycles);
+        for w in waiters {
+            let hops = u64::from(self.net.topology().hops(master, w));
             self.post(
-                now + Cycle(self.cfg.barrier_cycles),
-                Ev::BarrierRelease(self.barrier_generation),
+                master,
+                base + Cycle(hops),
+                Ev::Deliver {
+                    src: master,
+                    dst: w,
+                    payload: Payload::Sync(SyncMsg::BarrierGo),
+                },
             );
         }
     }
 
-    pub(crate) fn release_barrier(&mut self, generation: u64, now: Cycle) {
-        if generation != self.barrier_generation {
-            return;
-        }
-        for n in std::mem::take(&mut self.barrier_waiting) {
-            self.post(now, Ev::Resume(n));
-        }
-    }
-
-    pub(crate) fn lock_acquire(&mut self, lock: u32, n: NodeId, now: Cycle) {
-        let st = self.locks.entry(lock);
-        if st.holder.is_none() && st.waiters.is_empty() {
-            // Uncontended: one round trip to the lock object.
-            st.holder = Some(n);
-            self.post(now + Cycle(LOCK_LATENCY), Ev::Resume(n));
-        } else {
-            st.waiters.push_back(n); // strict FIFO
+    /// A lock request arriving at the lock's home: grant immediately if
+    /// free, otherwise queue in strict arrival order.
+    fn lock_req(&mut self, cx: &Wctx, lock: u32, src: NodeId, home: NodeId, now: Cycle) {
+        debug_assert_eq!(self.lock_home(lock), home, "lock request at the wrong home");
+        let free = {
+            let st = self.node_mut(home).locks.entry(lock);
+            if st.holder.is_none() && st.waiters.is_empty() {
+                true
+            } else {
+                st.waiters.push_back(src); // strict FIFO
+                false
+            }
+        };
+        if free {
+            self.grant(cx, lock, home, src, false, now + Cycle(LOCK_HANDLER));
         }
     }
 
-    pub(crate) fn lock_release(&mut self, lock: u32, n: NodeId, now: Cycle) {
-        let st = self
-            .locks
-            .get_mut(lock)
-            .unwrap_or_else(|| panic!("release of unknown lock {lock}"));
-        assert_eq!(
-            st.holder,
-            Some(n),
-            "node {n} released lock {lock} it does not hold"
-        );
-        st.holder = None;
-        if let Some(next) = st.waiters.pop_front() {
-            // Hand-over latency: the protocol software passes
-            // the lock straight to the oldest waiter.
-            self.post(now + Cycle(LOCK_LATENCY), Ev::LockGrant(lock, next));
+    /// A lock release arriving at the lock's home: hand the lock to
+    /// the oldest waiter, if any.
+    fn lock_rel(&mut self, cx: &Wctx, lock: u32, src: NodeId, home: NodeId, now: Cycle) {
+        let next = {
+            let st = self
+                .node_mut(home)
+                .locks
+                .get_mut(lock)
+                .unwrap_or_else(|| panic!("release of unknown lock {lock}"));
+            assert_eq!(
+                st.holder,
+                Some(src),
+                "node {src} released lock {lock} it does not hold"
+            );
+            st.holder = None;
+            st.waiters.pop_front()
+        };
+        if let Some(next) = next {
+            self.grant(cx, lock, home, next, true, now + Cycle(LOCK_HANDLER));
         }
-        self.post(now + Cycle(4), Ev::Resume(n));
     }
 
-    pub(crate) fn grant_lock(&mut self, lock: u32, holder: NodeId, now: Cycle) {
-        let st = self.locks.get_mut(lock).expect("granting unknown lock");
-        if let Some(prev) = st.holder {
+    /// Records `to` as the holder and sends the grant.
+    fn grant(&mut self, cx: &Wctx, lock: u32, home: NodeId, to: NodeId, handoff: bool, at: Cycle) {
+        let prev = self.node_mut(home).locks.entry(lock).holder;
+        if let Some(prev) = prev {
             // Mutual-exclusion violation: always observed (not just in
             // debug builds). Fatal under `CheckLevel::Full`; recorded
             // for the quiesce audit under `Basic`.
-            self.stats.lock_conflicts += 1;
-            let msg = format!("lock {lock} granted to {holder} while held by {prev}");
-            if self.cfg.check.is_full() {
+            self.node_mut(home).stats.lock_conflicts += 1;
+            let msg = format!("lock {lock} granted to {to} while held by {prev}");
+            if cx.cfg.check.is_full() {
                 panic!("coherence sanitizer: {msg}");
             }
-            if let Some(r) = self.registry.as_mut() {
-                r.report_violation(msg);
-            }
+            cx.registry(|r| r.report_violation(msg));
         }
-        let st = self.locks.get_mut(lock).expect("granting unknown lock");
-        st.holder = Some(holder);
-        self.stats.lock_handoffs += 1;
-        self.post(now, Ev::Resume(holder));
+        self.node_mut(home).locks.entry(lock).holder = Some(to);
+        if handoff {
+            self.node_mut(home).stats.lock_handoffs += 1;
+        }
+        self.send_payload(home, to, Payload::Sync(SyncMsg::LockGrant(lock)), at);
     }
 }

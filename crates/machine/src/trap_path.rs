@@ -5,19 +5,25 @@
 use limitless_core::{DirEvent, HandlerKind, ProtoMsg, SendTiming};
 use limitless_sim::{BlockAddr, Cycle, NodeId};
 
-use crate::machine::Machine;
+use crate::shard::{Shard, Wctx};
 
-/// Record at most this many trap ledgers for Table 2 analysis (the
-/// aggregation is O(distinct shapes) in memory, but the recorded
+/// Record at most this many trap ledgers per node for Table 2 analysis
+/// (the aggregation is O(distinct shapes) in memory, but the recorded
 /// population is capped to match the historical retention bound).
 const MAX_RETAINED_BILLS: u64 = 50_000;
 
-impl Machine {
+impl Shard {
     /// Runs a directory event at its home node and schedules the
     /// resulting messages / trap occupancy.
-    pub(crate) fn home_event(&mut self, home: NodeId, block: BlockAddr, ev: DirEvent, now: Cycle) {
-        let i = home.index();
-        let out = self.nodes[i].engine.handle(block, ev);
+    pub(crate) fn home_event(
+        &mut self,
+        cx: &Wctx,
+        home: NodeId,
+        block: BlockAddr,
+        ev: DirEvent,
+        now: Cycle,
+    ) {
+        let out = self.node_mut(home).engine.handle(block, ev);
         #[cfg(debug_assertions)]
         if std::env::var("LIMITLESS_TRACE_BLOCK").ok().as_deref()
             == Some(&format!("{:#x}", block.0))
@@ -42,16 +48,14 @@ impl Machine {
             // Alewife's transaction store closes this window of
             // vulnerability the same way (Kubiatowicz et al., ASPLOS
             // V).
-            self.nodes[i].cache.invalidate(block);
-            if let Some(r) = self.registry.as_mut() {
-                r.drop_copy(block, home);
-            }
-            if let Some(p) = self.nodes[i].pending.as_mut() {
+            self.node_mut(home).cache.invalidate(block);
+            cx.registry(|r| r.drop_copy(block, home));
+            if let Some(p) = self.node_mut(home).pending.as_mut() {
                 // Only reads need squashing: a pending write whose
                 // line was invalidated will simply receive `WriteData`
                 // (or fail its upgrade and refetch) and install a
                 // fresh exclusive copy, which is correct.
-                if !p.is_write && p.addr.block(self.cfg.cache.line_bytes) == block {
+                if !p.is_write && p.addr.block(cx.cfg.cache.line_bytes) == block {
                     p.squashed = true;
                 }
             }
@@ -60,27 +64,29 @@ impl Machine {
         // Software handler occupancy (and watchdog bookkeeping).
         let mut handler_start = now;
         if let Some(bill) = &out.trap {
-            let node = &mut self.nodes[i];
+            let watchdog_armed = cx.cfg.protocol.ack == limitless_core::AckMode::EveryAckTrap;
+            let window = cx.cfg.watchdog.window;
+            let grace = cx.cfg.watchdog.grace;
+            let node = self.node_mut(home);
             handler_start = now.max(node.trap_busy_until).max(node.handlers_off_until);
             node.trap_busy_until = handler_start + Cycle(bill.total());
             node.trap_accum += bill.total();
-            let watchdog_armed = self.cfg.protocol.ack == limitless_core::AckMode::EveryAckTrap;
-            if watchdog_armed && node.trap_accum >= self.cfg.watchdog.window {
-                node.handlers_off_until = node.trap_busy_until + Cycle(self.cfg.watchdog.grace);
+            if watchdog_armed && node.trap_accum >= window {
+                node.handlers_off_until = node.trap_busy_until + Cycle(grace);
                 node.trap_accum = 0;
-                self.stats.watchdog_fires += 1;
+                node.stats.watchdog_fires += 1;
             }
             match bill.kind {
                 HandlerKind::ReadExtend => {
-                    self.stats.read_trap_latency.record(bill.total());
-                    if self.stats.read_trap_bills.count() < MAX_RETAINED_BILLS {
-                        self.stats.read_trap_bills.record(bill);
+                    node.stats.read_trap_latency.record(bill.total());
+                    if node.stats.read_trap_bills.count() < MAX_RETAINED_BILLS {
+                        node.stats.read_trap_bills.record(bill);
                     }
                 }
                 HandlerKind::WriteExtend => {
-                    self.stats.write_trap_latency.record(bill.total());
-                    if self.stats.write_trap_bills.count() < MAX_RETAINED_BILLS {
-                        self.stats.write_trap_bills.record(bill);
+                    node.stats.write_trap_latency.record(bill.total());
+                    if node.stats.write_trap_bills.count() < MAX_RETAINED_BILLS {
+                        node.stats.write_trap_bills.record(bill);
                     }
                 }
                 _ => {}
@@ -95,9 +101,7 @@ impl Machine {
             if s.msg == ProtoMsg::Inv {
                 // Ack balance: every invalidation on the wire must be
                 // answered by exactly one acknowledgment.
-                if let Some(r) = self.registry.as_mut() {
-                    r.note_inv_sent(block);
-                }
+                cx.registry(|r| r.note_inv_sent(block));
             }
             self.send(home, s.dst, block, s.msg, depart);
         }

@@ -30,5 +30,5 @@ pub mod network;
 pub mod topology;
 
 pub use message::{Envelope, FlitCount};
-pub use network::{NetConfig, NetStats, Network};
+pub use network::{NetConfig, NetStats, Network, TxPhase};
 pub use topology::MeshTopology;

@@ -38,6 +38,22 @@ impl Default for NetConfig {
     }
 }
 
+impl NetConfig {
+    /// Lower bound on the cycles between a cross-node send call and the
+    /// head flit's arrival at the destination, for messages of at least
+    /// `min_flits` flits: injection, serialization out of the transmit
+    /// queue, and at least one mesh hop. Transmit-queue contention and
+    /// longer routes only push arrival later.
+    ///
+    /// This is the conservative-lookahead bound the sharded engine's
+    /// window protocol is built on: a message sent at `now` cannot
+    /// become visible at another node before `now +
+    /// min_cross_latency(..)`.
+    pub fn min_cross_latency(&self, min_flits: u32) -> u64 {
+        self.inject_cycles + u64::from(min_flits) * self.flit_cycles + self.hop_cycles
+    }
+}
+
 /// Counters describing network behaviour during a run.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct NetStats {
@@ -69,6 +85,38 @@ impl NetStats {
             self.total_latency as f64 / self.messages as f64
         }
     }
+
+    /// Merges another stats block into this one. Every field is a sum,
+    /// so merging is associative and commutative — the sharded engine
+    /// relies on this to sum per-shard network clones into totals that
+    /// are independent of the shard count.
+    pub fn merge(&mut self, other: &NetStats) {
+        self.messages += other.messages;
+        self.flits += other.flits;
+        self.tx_wait_cycles += other.tx_wait_cycles;
+        self.rx_wait_cycles += other.rx_wait_cycles;
+        self.total_latency += other.total_latency;
+        self.loopback_messages += other.loopback_messages;
+    }
+}
+
+/// The transmit-side outcome of [`Network::tx`]: either a finished
+/// CMMU-internal loopback delivery, or a mesh head-flit arrival time
+/// that the destination completes with [`Network::rx`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TxPhase {
+    /// Self-addressed message, delivered through the per-node loopback
+    /// FIFO without touching the mesh. The time is final.
+    Loopback {
+        /// When the message is fully received back at the sender.
+        deliver: Cycle,
+    },
+    /// Mesh message: the head flit reaches the destination at this
+    /// time; receive-queue serialization still follows.
+    Mesh {
+        /// When the head flit arrives at the destination's CMMU.
+        head_arrives: Cycle,
+    },
 }
 
 /// The mesh network: computes delivery times for messages, modelling
@@ -138,6 +186,22 @@ impl Network {
     ///
     /// Panics if `src` or `dst` lies outside the mesh.
     pub fn send(&mut self, now: Cycle, src: NodeId, dst: NodeId, flits: u32) -> Cycle {
+        match self.tx(now, src, dst, flits) {
+            TxPhase::Loopback { deliver } => deliver,
+            TxPhase::Mesh { head_arrives } => self.rx(head_arrives, dst, flits, now),
+        }
+    }
+
+    /// The transmit half of [`Network::send`]: loopback resolution or
+    /// injection, transmit-queue serialization, and mesh traversal up
+    /// to head-flit arrival. Touches only sender-side state
+    /// (`loopback_free[src]`/`tx_free[src]` and the tx-side counters),
+    /// so the sharded engine can run it on the lane that owns `src`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src` or `dst` lies outside the mesh.
+    pub fn tx(&mut self, now: Cycle, src: NodeId, dst: NodeId, flits: u32) -> TxPhase {
         if src == dst {
             // CMMU-internal loopback: fixed latency through a dedicated
             // per-node FIFO (delivery strictly in send order). It never
@@ -148,7 +212,7 @@ impl Network {
             let deliver = (now + Cycle(self.cfg.loopback_cycles)).max(*ch + Cycle(1));
             *ch = deliver;
             self.stats.loopback_messages += 1;
-            return deliver;
+            return TxPhase::Loopback { deliver };
         }
 
         let serialize = Cycle(u64::from(flits) * self.cfg.flit_cycles);
@@ -164,15 +228,25 @@ impl Network {
         // Mesh traversal: head-flit pipeline latency.
         let hops = self.topo.hops(src, dst);
         let head_arrives = tx_done + Cycle(u64::from(hops) * self.cfg.hop_cycles);
+        TxPhase::Mesh { head_arrives }
+    }
 
-        // Receive side: wait for the queue, then serialize in.
+    /// The receive half of [`Network::send`]: receive-queue wait and
+    /// serialization for a head flit arriving at `head_arrives`,
+    /// returning full delivery time. `sent_at` is the original send
+    /// call time, used for the end-to-end latency statistic. Touches
+    /// only receiver-side state (`rx_free[dst]` and the rx-side
+    /// counters), so the sharded engine can run it on the lane that
+    /// owns `dst` when the arrival event fires.
+    pub fn rx(&mut self, head_arrives: Cycle, dst: NodeId, flits: u32, sent_at: Cycle) -> Cycle {
+        let serialize = Cycle(u64::from(flits) * self.cfg.flit_cycles);
         let rx = &mut self.rx_free[dst.index()];
         let rx_start = head_arrives.max(*rx);
         self.stats.rx_wait_cycles += (rx_start - head_arrives).as_u64();
         let deliver = rx_start + serialize;
         *rx = deliver;
 
-        self.record(now, deliver, flits);
+        self.record(sent_at, deliver, flits);
         deliver
     }
 
@@ -309,5 +383,92 @@ mod tests {
     fn quiescent_network_mean_latency_is_zero() {
         let n = net(4);
         assert_eq!(n.stats().mean_latency(), 0.0);
+    }
+
+    #[test]
+    fn split_tx_rx_matches_send() {
+        // Interleave a mixed traffic pattern through both APIs; every
+        // delivery time and the final stats must agree.
+        let mut whole = net(16);
+        let mut split = net(16);
+        let pattern = [
+            (0u64, 0u16, 5u16, 4u32),
+            (0, 0, 9, 12),
+            (3, 5, 5, 4),
+            (3, 9, 0, 8),
+            (4, 0, 5, 4),
+            (10, 5, 0, 12),
+            (10, 5, 0, 4),
+        ];
+        for &(now, src, dst, flits) in &pattern {
+            let a = whole.send(Cycle(now), NodeId(src), NodeId(dst), flits);
+            let b = match split.tx(Cycle(now), NodeId(src), NodeId(dst), flits) {
+                TxPhase::Loopback { deliver } => deliver,
+                TxPhase::Mesh { head_arrives } => {
+                    split.rx(head_arrives, NodeId(dst), flits, Cycle(now))
+                }
+            };
+            assert_eq!(a, b, "delivery diverged for {now} {src}->{dst}");
+        }
+        assert_eq!(whole.stats(), split.stats());
+    }
+
+    #[test]
+    fn min_cross_latency_bounds_every_mesh_send() {
+        let cfg = NetConfig::default();
+        let floor = cfg.min_cross_latency(FlitCount::CONTROL.as_u32());
+        assert_eq!(floor, 7); // inject 2 + 4 flits * 1 + 1 hop
+        let mut n = net(64);
+        for dst in 1..64 {
+            let mut fresh = net(64);
+            if let TxPhase::Mesh { head_arrives } = fresh.tx(
+                Cycle(100),
+                NodeId(0),
+                NodeId(dst),
+                FlitCount::CONTROL.as_u32(),
+            ) {
+                assert!(head_arrives >= Cycle(100 + floor), "dst {dst}");
+            } else {
+                panic!("cross-node send took the loopback path");
+            }
+            // Contention only increases arrival time.
+            n.send(Cycle(100), NodeId(0), NodeId(dst), FlitCount::DATA.as_u32());
+            if let TxPhase::Mesh { head_arrives } = n.tx(
+                Cycle(100),
+                NodeId(0),
+                NodeId(dst),
+                FlitCount::CONTROL.as_u32(),
+            ) {
+                assert!(head_arrives >= Cycle(100 + floor), "contended dst {dst}");
+            }
+        }
+    }
+
+    #[test]
+    fn stats_merge_sums_fields() {
+        let mut a = net(16);
+        a.send(Cycle(0), NodeId(0), NodeId(1), 4);
+        a.send(Cycle(0), NodeId(0), NodeId(2), 8);
+        a.send(Cycle(0), NodeId(3), NodeId(3), 4);
+        let mut b = net(16);
+        for src in 1..8 {
+            b.send(Cycle(0), NodeId(src), NodeId(0), 8);
+        }
+        let (sa, sb) = (a.stats(), b.stats());
+        let mut merged = sa;
+        merged.merge(&sb);
+        assert_eq!(merged.messages, sa.messages + sb.messages);
+        assert_eq!(merged.flits, sa.flits + sb.flits);
+        assert_eq!(merged.tx_wait_cycles, sa.tx_wait_cycles + sb.tx_wait_cycles);
+        assert_eq!(merged.rx_wait_cycles, sa.rx_wait_cycles + sb.rx_wait_cycles);
+        assert_eq!(merged.total_latency, sa.total_latency + sb.total_latency);
+        assert_eq!(
+            merged.loopback_messages,
+            sa.loopback_messages + sb.loopback_messages
+        );
+        // Commutative: the other order gives the same totals.
+        let mut flipped = sb;
+        flipped.merge(&sa);
+        assert_eq!(merged, flipped);
     }
 }

@@ -6,27 +6,32 @@
 //! pays `O(log n)` and a cache miss or two for each of them. This
 //! queue instead keeps an array of per-cycle FIFO buckets over a
 //! sliding near-future *window*; scheduling into the window is an
-//! `O(1)` append, and popping is an `O(1)` front-dequeue after a
-//! bitmap scan for the next occupied cycle. Far-future events (barrier
-//! releases, long `Compute` phases) spill to a sorted overflow heap
-//! that refills the window as the clock advances.
+//! `O(1)` append in the common case, and popping is an `O(1)`
+//! front-dequeue after a bitmap scan for the next occupied cycle.
+//! Far-future events (barrier releases, long `Compute` phases) spill
+//! to a sorted overflow heap that refills the window as the clock
+//! advances.
 //!
 //! # Ordering
 //!
-//! The queue preserves the exact `(time, seq)` total order of the
+//! The queue preserves the exact `(time, key)` total order of the
 //! [`HeapEventQueue`](crate::queue::HeapEventQueue) reference
 //! implementation — the NWO-style determinism the paper's controlled
 //! protocol comparisons rely on:
 //!
-//! * a bucket holds events of exactly one cycle, appended in `seq`
-//!   order, so its FIFO order *is* the tie-break order;
-//! * the overflow heap orders by `(time, seq)`, and its events migrate
-//!   into buckets the moment the window reaches them — *before* any
-//!   later-scheduled (higher-`seq`) event can be appended to the same
-//!   bucket directly.
+//! * a bucket holds events of exactly one cycle, kept sorted by key
+//!   (the common append-at-back case is `O(1)`; out-of-order keys —
+//!   which arise when callers supply structural keys such as the
+//!   sharded machine engine's per-origin-node counters — binary-search
+//!   their insertion point);
+//! * the overflow heap orders by `(time, key)`, and its events migrate
+//!   into buckets the moment the window reaches them, landing in their
+//!   sorted position like any other insert.
 //!
 //! `crates/sim/tests/ladder_vs_heap.rs` checks the equivalence under
-//! thousands of randomized schedule/pop interleavings.
+//! thousands of randomized schedule/pop interleavings, and
+//! `crates/sim/tests/wraparound.rs` repeats the exercise with
+//! timestamps pinned near the top of the `u64` range.
 
 use std::collections::{BinaryHeap, VecDeque};
 
@@ -40,39 +45,22 @@ const WINDOW: usize = 1024;
 const MASK: u64 = WINDOW as u64 - 1;
 const WORDS: usize = WINDOW / 64;
 
-/// One event parked in a window bucket. The sequence number exists
-/// only in debug builds, to assert that appends arrive in `seq` order;
-/// release builds rely on the migration-order argument in the module
-/// docs (checked by the differential test) and keep bucket entries a
-/// bare `E`, so the hot path moves 8 fewer bytes per event.
+/// One event parked in a window bucket, tagged with its tie-break key.
 struct Slot<E> {
-    #[cfg(debug_assertions)]
-    seq: u64,
+    key: u64,
     event: E,
 }
 
-impl<E> Slot<E> {
-    #[cfg(debug_assertions)]
-    fn new(seq: u64, event: E) -> Self {
-        Slot { seq, event }
-    }
-    #[cfg(not(debug_assertions))]
-    #[inline]
-    fn new(_seq: u64, event: E) -> Self {
-        Slot { event }
-    }
-}
-
-/// An overflow entry, min-ordered by `(time, seq)`.
+/// An overflow entry, min-ordered by `(time, key)`.
 struct FarEntry<E> {
     time: Cycle,
-    seq: u64,
+    key: u64,
     event: E,
 }
 
 impl<E> PartialEq for FarEntry<E> {
     fn eq(&self, other: &Self) -> bool {
-        self.time == other.time && self.seq == other.seq
+        self.time == other.time && self.key == other.key
     }
 }
 impl<E> Eq for FarEntry<E> {}
@@ -87,17 +75,22 @@ impl<E> Ord for FarEntry<E> {
         other
             .time
             .cmp(&self.time)
-            .then_with(|| other.seq.cmp(&self.seq))
+            .then_with(|| other.key.cmp(&self.key))
     }
 }
 
 /// A priority queue of timestamped events with deterministic total
 /// order, implemented as a ladder/calendar queue.
 ///
-/// Ties in simulated time are broken by scheduling order (FIFO), which
-/// makes every simulation a pure function of its inputs — the property
+/// Ties in simulated time are broken by the event key. With the
+/// default [`schedule`](EventQueue::schedule) API the key is a
+/// monotone counter, so ties resolve in scheduling order (FIFO) and
+/// every simulation is a pure function of its inputs — the property
 /// the paper's NWO simulator relies on for controlled protocol
-/// comparisons.
+/// comparisons. [`schedule_keyed`](EventQueue::schedule_keyed) lets
+/// the caller pick keys instead, which the sharded machine engine uses
+/// to make the tie order a function of *which node* scheduled the
+/// event rather than of host execution order.
 ///
 /// # Examples
 ///
@@ -112,14 +105,15 @@ impl<E> Ord for FarEntry<E> {
 /// assert_eq!(q.pop(), Some((Cycle(2), 'x')));
 /// ```
 pub struct EventQueue<E> {
-    /// One FIFO per cycle of the active window; bucket `t & MASK`
-    /// holds only events for cycle `t`, `t` in `[now, now + WINDOW)`.
+    /// One sorted run per cycle of the active window; bucket `t & MASK`
+    /// holds only events for cycle `t`, `t` in `[now, now + WINDOW)`,
+    /// in ascending key order.
     buckets: Vec<VecDeque<Slot<E>>>,
     /// One bit per bucket: set iff the bucket is non-empty.
     occupied: [u64; WORDS],
     /// Events currently sitting in window buckets.
     in_window: usize,
-    /// Events at `>= now + WINDOW`, min-ordered by `(time, seq)`.
+    /// Events at `>= now + WINDOW`, min-ordered by `(time, key)`.
     far: BinaryHeap<FarEntry<E>>,
     /// Cached location of the earliest window event: `(time, bucket)`.
     /// `None` means unknown (recomputed lazily by a bitmap scan), so
@@ -128,7 +122,7 @@ pub struct EventQueue<E> {
     /// events, because eager refilling keeps every overflow event at
     /// `>= now + WINDOW`, later than anything in a bucket.
     hint: Option<(Cycle, usize)>,
-    next_seq: u64,
+    next_auto: u64,
     now: Cycle,
     processed: u64,
 }
@@ -148,13 +142,14 @@ impl<E> EventQueue<E> {
             in_window: 0,
             far: BinaryHeap::new(),
             hint: None,
-            next_seq: 0,
+            next_auto: 0,
             now: Cycle::ZERO,
             processed: 0,
         }
     }
 
-    /// Schedules `event` to fire at absolute time `at`.
+    /// Schedules `event` to fire at absolute time `at`, breaking
+    /// same-time ties in scheduling order (an internal monotone key).
     ///
     /// # Panics
     ///
@@ -162,19 +157,34 @@ impl<E> EventQueue<E> {
     /// [`EventQueue::now`] — scheduling into the past would violate
     /// causality and indicates a simulator bug.
     pub fn schedule(&mut self, at: Cycle, event: E) {
+        let key = self.next_auto;
+        self.next_auto += 1;
+        self.schedule_keyed(at, key, event);
+    }
+
+    /// Schedules `event` to fire at `at` with a caller-supplied
+    /// tie-break key. Same-time events pop in ascending key order.
+    /// Callers must not mix auto-keyed [`schedule`](Self::schedule)
+    /// and keyed scheduling in one queue unless they accept the
+    /// interleaved key order, and must keep `(at, key)` pairs unique.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is earlier than the current time.
+    pub fn schedule_keyed(&mut self, at: Cycle, key: u64, event: E) {
         assert!(
             at >= self.now,
             "event scheduled in the past: at={at}, now={}",
             self.now
         );
-        let seq = self.next_seq;
-        self.next_seq += 1;
+        // Distance, not absolute comparison: `now + WINDOW` may not be
+        // representable when the clock runs near `u64::MAX`.
         if at.0 - self.now.0 < WINDOW as u64 {
-            self.push_bucket(at, seq, event);
+            self.push_bucket(at, key, event);
         } else {
             self.far.push(FarEntry {
                 time: at,
-                seq,
+                key,
                 event,
             });
         }
@@ -185,19 +195,21 @@ impl<E> EventQueue<E> {
         self.schedule(self.now + delay, event);
     }
 
-    fn push_bucket(&mut self, at: Cycle, seq: u64, event: E) {
+    fn push_bucket(&mut self, at: Cycle, key: u64, event: E) {
         let idx = (at.0 & MASK) as usize;
         let dq = &mut self.buckets[idx];
-        // Appends must arrive in seq order for FIFO ties to hold; see
-        // the module docs for why migration order guarantees this.
-        #[cfg(debug_assertions)]
-        debug_assert!(dq.back().is_none_or(|s| s.seq < seq));
-        dq.push_back(Slot::new(seq, event));
+        if dq.back().is_none_or(|s| s.key < key) {
+            // Common case: monotone keys append at the back.
+            dq.push_back(Slot { key, event });
+        } else {
+            let pos = dq.partition_point(|s| s.key < key);
+            dq.insert(pos, Slot { key, event });
+        }
         self.occupied[idx / 64] |= 1 << (idx % 64);
         self.in_window += 1;
         // A strictly earlier event moves the cached minimum; an equal
-        // time keeps the existing entry (same bucket, FIFO order). A
-        // `None` hint on a non-empty window means "unknown" — an
+        // time keeps the existing entry (same bucket, sorted in place).
+        // A `None` hint on a non-empty window means "unknown" — an
         // earlier event may sit in a bucket we have not rescanned for —
         // so it must stay `None` until the next scan.
         match self.hint {
@@ -209,16 +221,17 @@ impl<E> EventQueue<E> {
     }
 
     /// Moves every overflow event the window now covers into its
-    /// bucket. Heap pops come out in `(time, seq)` order, so bucket
-    /// appends preserve the FIFO tie-break.
+    /// bucket. Heap pops come out in `(time, key)` order and land in
+    /// their sorted bucket position, so the key tie-break is preserved.
     fn refill(&mut self) {
-        let limit = self.now.0 + WINDOW as u64;
         while let Some(top) = self.far.peek() {
-            if top.time.0 >= limit {
+            // Far times are always >= now, so the distance check
+            // cannot underflow and never overflows near u64::MAX.
+            if top.time.0 - self.now.0 >= WINDOW as u64 {
                 break;
             }
-            let FarEntry { time, seq, event } = self.far.pop().expect("peeked entry");
-            self.push_bucket(time, seq, event);
+            let FarEntry { time, key, event } = self.far.pop().expect("peeked entry");
+            self.push_bucket(time, key, event);
         }
     }
 
@@ -302,8 +315,9 @@ impl<E> EventQueue<E> {
     /// # Panics
     ///
     /// Panics if `t` is in the past; debug-asserts that no pending
-    /// event is due at or before `t` (which would make the inline
-    /// dispatch reorder the simulation).
+    /// event is due strictly before `t` (which would make the inline
+    /// dispatch reorder the simulation). An event pending *at* `t` is
+    /// fine — the inline event may precede it in `(time, key)` order.
     pub fn advance_to(&mut self, t: Cycle) {
         assert!(
             t >= self.now,
@@ -311,7 +325,7 @@ impl<E> EventQueue<E> {
             self.now
         );
         debug_assert!(
-            self.peek_time().is_none_or(|pt| pt > t),
+            self.peek_time().is_none_or(|pt| pt >= t),
             "advance_to({t}) past a pending event at {:?}",
             self.peek_time()
         );
@@ -341,11 +355,23 @@ impl<E> EventQueue<E> {
         self.processed
     }
 
-    /// The timestamp of the next pending event, if any. Window events
-    /// always precede overflow events (`t < now + WINDOW <=` every far
-    /// time), so the cached window minimum wins whenever the window is
-    /// occupied. Takes `&mut self` to refresh the cache after a bucket
-    /// drain; the observable state never changes.
+    /// The `(time, key)` of the next pending event, if any. Window
+    /// events always precede overflow events, so the cached window
+    /// minimum wins whenever the window is occupied; the key is the
+    /// front of that bucket's sorted run. Takes `&mut self` to refresh
+    /// the cache after a bucket drain; the observable state never
+    /// changes.
+    pub fn peek(&mut self) -> Option<(Cycle, u64)> {
+        if self.in_window > 0 {
+            let (t, idx) = self.window_min();
+            let key = self.buckets[idx].front().expect("occupied bit stale").key;
+            Some((t, key))
+        } else {
+            self.far.peek().map(|e| (e.time, e.key))
+        }
+    }
+
+    /// The timestamp of the next pending event, if any.
     pub fn peek_time(&mut self) -> Option<Cycle> {
         if self.in_window > 0 {
             Some(self.window_min().0)
@@ -391,6 +417,48 @@ mod tests {
         for i in 0..100 {
             assert_eq!(q.pop(), Some((Cycle(7), i)));
         }
+    }
+
+    #[test]
+    fn keyed_ties_pop_in_key_order() {
+        let mut q = EventQueue::new();
+        // Scheduled in descending key order; must pop ascending. This
+        // exercises the sorted-insert slow path of `push_bucket`.
+        for key in (0..50u64).rev() {
+            q.schedule_keyed(Cycle(7), key, key);
+        }
+        for key in 0..50u64 {
+            assert_eq!(q.pop(), Some((Cycle(7), key)));
+        }
+    }
+
+    #[test]
+    fn keyed_insert_interleaves_with_existing_run() {
+        let mut q = EventQueue::new();
+        for key in [10u64, 30, 50] {
+            q.schedule_keyed(Cycle(4), key, key);
+        }
+        for key in [40u64, 0, 20] {
+            q.schedule_keyed(Cycle(4), key, key);
+        }
+        for key in [0u64, 10, 20, 30, 40, 50] {
+            assert_eq!(q.pop(), Some((Cycle(4), key)));
+        }
+    }
+
+    #[test]
+    fn peek_returns_time_and_key() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.peek(), None);
+        q.schedule_keyed(Cycle(9), 41, "b");
+        q.schedule_keyed(Cycle(9), 7, "a");
+        assert_eq!(q.peek(), Some((Cycle(9), 7)));
+        assert_eq!(q.pop(), Some((Cycle(9), "a")));
+        assert_eq!(q.peek(), Some((Cycle(9), 41)));
+        // A far-future event's key is visible too once it is the min.
+        q.pop();
+        q.schedule_keyed(Cycle(9 + 10 * WINDOW as u64), 3, "far");
+        assert_eq!(q.peek(), Some((Cycle(9 + 10 * WINDOW as u64), 3)));
     }
 
     #[test]
@@ -478,6 +546,21 @@ mod tests {
         assert_eq!(q.pop(), Some((t, 0)));
         assert_eq!(q.pop(), Some((t, 1)));
         assert_eq!(q.pop(), Some((t, 2)));
+    }
+
+    #[test]
+    fn migrated_event_sorts_ahead_of_larger_direct_keys() {
+        let mut q = EventQueue::new();
+        let t = Cycle(2 * WINDOW as u64);
+        // Key 50 spills to the overflow heap...
+        q.schedule_keyed(t, 50, 50u64);
+        q.schedule_keyed(Cycle(WINDOW as u64 / 2), 99, 99);
+        q.pop(); // ...migrates on this advance...
+        q.schedule_keyed(t, 70, 70); // ...behind it
+        q.schedule_keyed(t, 10, 10); // ...and ahead of it
+        assert_eq!(q.pop(), Some((t, 10)));
+        assert_eq!(q.pop(), Some((t, 50)));
+        assert_eq!(q.pop(), Some((t, 70)));
     }
 
     #[test]

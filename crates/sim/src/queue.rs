@@ -12,18 +12,20 @@ use std::collections::BinaryHeap;
 
 use crate::time::Cycle;
 
-/// An entry in the queue: ordered by `(time, seq)` so that events
-/// scheduled earlier (in wall-clock scheduling order) at the same
-/// simulated time are delivered first.
+/// An entry in the queue: ordered by `(time, key)`. Keys are either
+/// assigned internally in scheduling order ([`HeapEventQueue::schedule`])
+/// or supplied by the caller ([`HeapEventQueue::schedule_keyed`]) when
+/// the tie-break must be a *structural* property of the event rather
+/// than wall-clock scheduling order.
 struct Entry<E> {
     time: Cycle,
-    seq: u64,
+    key: u64,
     event: E,
 }
 
 impl<E> PartialEq for Entry<E> {
     fn eq(&self, other: &Self) -> bool {
-        self.time == other.time && self.seq == other.seq
+        self.time == other.time && self.key == other.key
     }
 }
 impl<E> Eq for Entry<E> {}
@@ -38,17 +40,22 @@ impl<E> Ord for Entry<E> {
         other
             .time
             .cmp(&self.time)
-            .then_with(|| other.seq.cmp(&self.seq))
+            .then_with(|| other.key.cmp(&self.key))
     }
 }
 
 /// A priority queue of timestamped events with deterministic total
 /// order.
 ///
-/// Ties in simulated time are broken by scheduling order (FIFO), which
-/// makes every simulation a pure function of its inputs — the property
+/// Ties in simulated time are broken by the event key. With the
+/// default [`schedule`](HeapEventQueue::schedule) API the key is a
+/// monotone counter, so ties resolve in scheduling order (FIFO) and
+/// every simulation is a pure function of its inputs — the property
 /// the paper's NWO simulator relies on for controlled protocol
-/// comparisons.
+/// comparisons. [`schedule_keyed`](HeapEventQueue::schedule_keyed)
+/// lets the caller pick keys instead, which the sharded machine engine
+/// uses to make the tie order a function of *which node* scheduled the
+/// event rather than of host execution order.
 ///
 /// # Examples
 ///
@@ -64,7 +71,7 @@ impl<E> Ord for Entry<E> {
 /// ```
 pub struct HeapEventQueue<E> {
     heap: BinaryHeap<Entry<E>>,
-    next_seq: u64,
+    next_auto: u64,
     now: Cycle,
     processed: u64,
 }
@@ -80,13 +87,14 @@ impl<E> HeapEventQueue<E> {
     pub fn new() -> Self {
         HeapEventQueue {
             heap: BinaryHeap::new(),
-            next_seq: 0,
+            next_auto: 0,
             now: Cycle::ZERO,
             processed: 0,
         }
     }
 
-    /// Schedules `event` to fire at absolute time `at`.
+    /// Schedules `event` to fire at absolute time `at`, breaking
+    /// same-time ties in scheduling order (an internal monotone key).
     ///
     /// # Panics
     ///
@@ -94,16 +102,29 @@ impl<E> HeapEventQueue<E> {
     /// [`HeapEventQueue::now`] — scheduling into the past would violate
     /// causality and indicates a simulator bug.
     pub fn schedule(&mut self, at: Cycle, event: E) {
+        let key = self.next_auto;
+        self.next_auto += 1;
+        self.schedule_keyed(at, key, event);
+    }
+
+    /// Schedules `event` to fire at `at` with a caller-supplied
+    /// tie-break key. Same-time events pop in ascending key order.
+    /// Callers must not mix auto-keyed [`schedule`](Self::schedule)
+    /// and keyed scheduling in one queue unless they accept the
+    /// interleaved key order, and must keep `(at, key)` pairs unique.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is earlier than the current time.
+    pub fn schedule_keyed(&mut self, at: Cycle, key: u64, event: E) {
         assert!(
             at >= self.now,
             "event scheduled in the past: at={at}, now={}",
             self.now
         );
-        let seq = self.next_seq;
-        self.next_seq += 1;
         self.heap.push(Entry {
             time: at,
-            seq,
+            key,
             event,
         });
     }
@@ -163,6 +184,11 @@ impl<E> HeapEventQueue<E> {
         self.processed
     }
 
+    /// The `(time, key)` of the next pending event, if any.
+    pub fn peek(&self) -> Option<(Cycle, u64)> {
+        self.heap.peek().map(|e| (e.time, e.key))
+    }
+
     /// The timestamp of the next pending event, if any.
     pub fn peek_time(&self) -> Option<Cycle> {
         self.heap.peek().map(|e| e.time)
@@ -204,6 +230,29 @@ mod tests {
         for i in 0..100 {
             assert_eq!(q.pop(), Some((Cycle(7), i)));
         }
+    }
+
+    #[test]
+    fn keyed_ties_pop_in_key_order() {
+        let mut q = HeapEventQueue::new();
+        // Scheduled in descending key order; must pop ascending.
+        for key in (0..50u64).rev() {
+            q.schedule_keyed(Cycle(7), key, key);
+        }
+        for key in 0..50u64 {
+            assert_eq!(q.pop(), Some((Cycle(7), key)));
+        }
+    }
+
+    #[test]
+    fn peek_returns_time_and_key() {
+        let mut q = HeapEventQueue::new();
+        assert_eq!(q.peek(), None);
+        q.schedule_keyed(Cycle(9), 41, "b");
+        q.schedule_keyed(Cycle(9), 7, "a");
+        assert_eq!(q.peek(), Some((Cycle(9), 7)));
+        assert_eq!(q.pop(), Some((Cycle(9), "a")));
+        assert_eq!(q.peek(), Some((Cycle(9), 41)));
     }
 
     #[test]

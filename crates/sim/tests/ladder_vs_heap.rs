@@ -87,6 +87,45 @@ fn ladder_matches_heap_on_randomized_interleavings() {
 }
 
 #[test]
+fn ladder_matches_heap_with_caller_keys() {
+    // The sharded machine engine supplies structural tie-break keys
+    // (origin node, per-origin counter) instead of scheduling-order
+    // sequence numbers, so same-time keys arrive in arbitrary order.
+    // Both queues must still agree on the (time, key) total order.
+    let mut seeder = SplitMix64::new(0x5a_4ded_0ccb_a5e5);
+    for _ in 0..400 {
+        let seed = seeder.next_u64();
+        let mut rng = SplitMix64::new(seed);
+        let mut ladder = EventQueue::new();
+        let mut heap = HeapEventQueue::new();
+        let mut next_id: u64 = 0;
+        for op in 0..160 {
+            if rng.next_below(100) < if op < 80 { 65 } else { 35 } {
+                let at = Cycle(ladder.now().as_u64() + random_delay(&mut rng));
+                for _ in 0..=rng.next_below(3) {
+                    // Random high bits model the origin node; low bits
+                    // keep (time, key) pairs unique.
+                    let key = (rng.next_below(1 << 16) << 32) | next_id;
+                    ladder.schedule_keyed(at, key, next_id);
+                    heap.schedule_keyed(at, key, next_id);
+                    next_id += 1;
+                }
+            } else {
+                assert_eq!(ladder.pop(), heap.pop(), "seed {seed:#x}");
+            }
+            assert_eq!(ladder.peek(), heap.peek(), "peek diverged (seed {seed:#x})");
+        }
+        loop {
+            let (l, h) = (ladder.pop(), heap.pop());
+            assert_eq!(l, h, "seed {seed:#x}");
+            if l.is_none() {
+                break;
+            }
+        }
+    }
+}
+
+#[test]
 fn ladder_matches_heap_under_advance_to() {
     // The inline-dispatch companion: advancing the clock between
     // schedules (as Machine's fast lane does) must keep both queues in

@@ -1,0 +1,155 @@
+//! Bucket-window wraparound coverage for the ladder queue: timestamps
+//! pinned near the top of the `u64` range, where `now + WINDOW` is not
+//! representable and the circular bucket index wraps mid-window. The
+//! queue must keep its exact `(time, key)` order through the overflow
+//! heap promotion path at those extremes, differentially against the
+//! binary-heap reference — the same discipline as
+//! `ladder_vs_heap.rs`, relocated to the edge of time.
+
+use limitless_sim::{Cycle, EventQueue, HeapEventQueue, SplitMix64};
+
+/// Mirror of the ladder's window size.
+const WINDOW: u64 = 1024;
+
+/// A base clock close enough to `u64::MAX` that window arithmetic
+/// would overflow if computed as `now + WINDOW`, yet far enough that
+/// the trials below can still schedule ahead without overflowing
+/// timestamps themselves (they advance the clock by well under 2^36).
+const BASE: u64 = u64::MAX - (1 << 36);
+
+/// Warps both queues' clocks to `at` by scheduling and popping a
+/// sentinel event — the only way time moves in this API.
+fn warp(ladder: &mut EventQueue<u64>, heap: &mut HeapEventQueue<u64>, at: u64) {
+    ladder.schedule_keyed(Cycle(at), 0, u64::MAX);
+    heap.schedule_keyed(Cycle(at), 0, u64::MAX);
+    assert_eq!(ladder.pop(), Some((Cycle(at), u64::MAX)));
+    assert_eq!(heap.pop(), Some((Cycle(at), u64::MAX)));
+}
+
+fn random_delay(rng: &mut SplitMix64) -> u64 {
+    match rng.next_below(10) {
+        0 => 0,
+        1..=4 => rng.next_below(64),
+        5..=6 => rng.next_below(600),
+        7 => WINDOW - 2 + rng.next_below(5),
+        8 => WINDOW + rng.next_below(WINDOW),
+        _ => 5_000 + rng.next_below(100_000),
+    }
+}
+
+#[test]
+fn ladder_matches_heap_near_u64_max() {
+    let mut seeder = SplitMix64::new(0x3a9e_1171_1e55);
+    for trial in 0..500 {
+        let seed = seeder.next_u64();
+        let mut rng = SplitMix64::new(seed);
+        let mut ladder = EventQueue::new();
+        let mut heap = HeapEventQueue::new();
+        // Start each trial at a different offset around BASE so the
+        // window's circular index begins at varied positions.
+        warp(&mut ladder, &mut heap, BASE + rng.next_below(3 * WINDOW));
+        let mut next_id: u64 = 1;
+        let ops = 60 + rng.next_below(140);
+        for op in 0..ops {
+            if rng.next_below(100) < if op < ops / 2 { 65 } else { 35 } {
+                let at = Cycle(ladder.now().as_u64() + random_delay(&mut rng));
+                for _ in 0..=rng.next_below(3) {
+                    let key = (rng.next_below(1 << 16) << 32) | next_id;
+                    ladder.schedule_keyed(at, key, next_id);
+                    heap.schedule_keyed(at, key, next_id);
+                    next_id += 1;
+                }
+            } else {
+                assert_eq!(
+                    ladder.pop(),
+                    heap.pop(),
+                    "pop diverged at trial {trial} op {op} (seed {seed:#x})"
+                );
+            }
+            assert_eq!(ladder.peek(), heap.peek(), "seed {seed:#x}");
+            assert_eq!(ladder.len(), heap.len(), "seed {seed:#x}");
+            assert_eq!(ladder.now(), heap.now(), "seed {seed:#x}");
+        }
+        loop {
+            let (l, h) = (ladder.pop(), heap.pop());
+            assert_eq!(l, h, "drain diverged (seed {seed:#x})");
+            if l.is_none() {
+                break;
+            }
+        }
+        assert_eq!(ladder.processed(), heap.processed(), "seed {seed:#x}");
+    }
+}
+
+#[test]
+fn events_at_u64_max_are_reachable() {
+    let mut ladder = EventQueue::new();
+    let mut heap = HeapEventQueue::new();
+    // From time zero, u64::MAX is the farthest possible overflow spill.
+    ladder.schedule_keyed(Cycle(u64::MAX), 2, 2u64);
+    heap.schedule_keyed(Cycle(u64::MAX), 2, 2u64);
+    ladder.schedule_keyed(Cycle(u64::MAX - 2000), 1, 1);
+    heap.schedule_keyed(Cycle(u64::MAX - 2000), 1, 1);
+    ladder.schedule_keyed(Cycle(5), 0, 0);
+    heap.schedule_keyed(Cycle(5), 0, 0);
+    assert_eq!(ladder.pop(), Some((Cycle(5), 0)));
+    // The clock hops to MAX-2000; MAX is still outside the window and
+    // must stay parked in the overflow heap (now + WINDOW would
+    // overflow if computed naively).
+    assert_eq!(ladder.pop(), Some((Cycle(u64::MAX - 2000), 1)));
+    assert_eq!(ladder.now(), Cycle(u64::MAX - 2000));
+    // A direct in-window schedule above the wrap point.
+    ladder.schedule_keyed(Cycle(u64::MAX - 1500), 3, 3);
+    assert_eq!(ladder.pop(), Some((Cycle(u64::MAX - 1500), 3)));
+    // Final hop lands exactly on u64::MAX via the promotion path.
+    assert_eq!(ladder.pop(), Some((Cycle(u64::MAX), 2)));
+    assert_eq!(ladder.now(), Cycle(u64::MAX));
+    assert_eq!(ladder.pop(), None);
+    // The reference agrees on the same story (minus the mid-run
+    // schedule, which it never saw).
+    assert_eq!(heap.pop(), Some((Cycle(5), 0)));
+    assert_eq!(heap.pop(), Some((Cycle(u64::MAX - 2000), 1)));
+    assert_eq!(heap.pop(), Some((Cycle(u64::MAX), 2)));
+}
+
+#[test]
+fn promotion_at_the_window_edge_near_u64_max() {
+    let mut ladder = EventQueue::new();
+    let mut heap = HeapEventQueue::new();
+    let start = u64::MAX - WINDOW - 6;
+    warp(&mut ladder, &mut heap, start);
+    // Exactly one past the window edge: must spill to the far heap.
+    ladder.schedule_keyed(Cycle(start + WINDOW), 7, 70u64);
+    heap.schedule_keyed(Cycle(start + WINDOW), 7, 70);
+    // Just inside: stays in a bucket whose index has wrapped.
+    ladder.schedule_keyed(Cycle(start + WINDOW - 1), 5, 50);
+    heap.schedule_keyed(Cycle(start + WINDOW - 1), 5, 50);
+    // An intermediate pop slides the window, promoting the far event
+    // into a bucket with a smaller-keyed neighbour arriving later.
+    ladder.schedule_keyed(Cycle(start + 10), 1, 10);
+    heap.schedule_keyed(Cycle(start + 10), 1, 10);
+    assert_eq!(ladder.pop(), heap.pop());
+    ladder.schedule_keyed(Cycle(start + WINDOW), 3, 30);
+    heap.schedule_keyed(Cycle(start + WINDOW), 3, 30);
+    for _ in 0..3 {
+        let (l, h) = (ladder.pop(), heap.pop());
+        assert_eq!(l, h);
+        assert!(l.is_some());
+    }
+    assert_eq!(ladder.pop(), None);
+    assert_eq!(heap.pop(), None);
+}
+
+#[test]
+fn advance_to_near_u64_max_refills_without_overflow() {
+    let mut ladder = EventQueue::new();
+    let start = u64::MAX - 2 * WINDOW;
+    ladder.schedule_keyed(Cycle(start), 0, "warp");
+    assert!(ladder.pop().is_some());
+    ladder.schedule_keyed(Cycle(u64::MAX - 4), 1, "tail");
+    // Inline-dispatch advance right up to the edge of the window; the
+    // refill it triggers must promote the tail event.
+    ladder.advance_to(Cycle(u64::MAX - WINDOW));
+    assert_eq!(ladder.pop(), Some((Cycle(u64::MAX - 4), "tail")));
+    assert_eq!(ladder.now(), Cycle(u64::MAX - 4));
+}

@@ -1,0 +1,82 @@
+//! Single-run wallclock: serial vs sharded engine on the 64-node
+//! paper-scale configuration — the headline measurement for the
+//! conservative parallel engine (DESIGN.md §9).
+//!
+//! For each paper application this runs the identical simulation once
+//! on the serial reference engine and once on the sharded engine,
+//! prints both wall times and the speedup, and asserts that every
+//! simulated observable (cycles, events, full statistics) is
+//! bit-identical — the sharded engine is a wallclock optimization
+//! only.
+//!
+//! ```text
+//! cargo run --release --example sharded_wallclock [SHARDS] [APP]
+//! ```
+//!
+//! Defaults: 4 shards, all six applications. The sharded engine can
+//! only beat serial when the host has at least SHARDS idle cores;
+//! on fewer cores it falls back to yielding between windows and runs
+//! slower than serial (conservative windows cost overhead that only
+//! parallel execution pays back).
+
+use std::time::Instant;
+
+use limitless::apps::{run_app, App, Aq, Evolve, Mp3d, Scale, Smgrid, Tsp, Water};
+use limitless::core::ProtocolSpec;
+use limitless::machine::MachineConfig;
+
+fn cfg(shards: usize) -> MachineConfig {
+    MachineConfig::builder()
+        .nodes(64)
+        .protocol(ProtocolSpec::limitless(4))
+        .victim_cache(true)
+        .shards(shards)
+        .build()
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let shards: usize = args
+        .next()
+        .and_then(|s| s.parse().ok())
+        .filter(|&s| s >= 2)
+        .unwrap_or(4);
+    let only: Option<String> = args.next().map(|s| s.to_uppercase());
+
+    let apps: Vec<Box<dyn App>> = vec![
+        Box::new(Tsp::new(Scale::Paper)),
+        Box::new(Aq::new(Scale::Paper)),
+        Box::new(Smgrid::new(Scale::Paper)),
+        Box::new(Evolve::new(Scale::Paper)),
+        Box::new(Mp3d::new(Scale::Paper)),
+        Box::new(Water::new(Scale::Paper)),
+    ];
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    println!("64 nodes, paper scale, DirnH4SNB, {shards} shards, {cores} host cores");
+    println!(
+        "{:<8} {:>12} {:>12} {:>12} {:>8}",
+        "app", "events", "serial s", "sharded s", "speedup"
+    );
+    for app in &apps {
+        if only.as_deref().is_some_and(|o| o != app.name()) {
+            continue;
+        }
+        let t0 = Instant::now();
+        let serial = run_app(app.as_ref(), cfg(1));
+        let serial_s = t0.elapsed().as_secs_f64();
+        let t1 = Instant::now();
+        let sharded = run_app(app.as_ref(), cfg(shards));
+        let sharded_s = t1.elapsed().as_secs_f64();
+        assert_eq!(serial.cycles, sharded.cycles, "{} cycles", app.name());
+        assert_eq!(serial.events, sharded.events, "{} events", app.name());
+        assert_eq!(serial.stats, sharded.stats, "{} stats", app.name());
+        println!(
+            "{:<8} {:>12} {:>12.3} {:>12.3} {:>7.2}x",
+            app.name(),
+            serial.events,
+            serial_s,
+            sharded_s,
+            serial_s / sharded_s
+        );
+    }
+}

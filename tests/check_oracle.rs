@@ -86,15 +86,19 @@ impl App for RandomSharing {
 #[test]
 fn random_sharing_matches_ground_truth_across_spectrum() {
     for seed in [0x1AB5_0001_u64, 0xC0FF_EE42, 0x7E57_5EED] {
-        let app = RandomSharing { seed };
-        let reports = check_app(&app, NODES);
-        assert_eq!(reports.len(), 9, "one cell per Figure 2 protocol");
-        for r in &reports {
-            assert!(
-                r.passed,
-                "seed {seed:#x}: {} x {} diverged from full-map ground truth: {}",
-                r.app, r.protocol, r.detail
-            );
+        // Both engines: the adversarial write-racing workloads push the
+        // sharded lanes' window protocol as hard as the protocols.
+        for shards in [1, 2] {
+            let app = RandomSharing { seed };
+            let reports = check_app(&app, NODES, shards);
+            assert_eq!(reports.len(), 9, "one cell per Figure 2 protocol");
+            for r in &reports {
+                assert!(
+                    r.passed,
+                    "seed {seed:#x} shards {shards}: {} x {} diverged from ground truth: {}",
+                    r.app, r.protocol, r.detail
+                );
+            }
         }
     }
 }

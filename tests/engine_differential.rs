@@ -1,0 +1,108 @@
+//! The engine-mode differential oracle: the sharded conservative
+//! parallel engine must be **bit-identical** to the serial reference —
+//! same per-run cycle counts, same event counts, same full statistics
+//! record, same final memory image and same per-node read streams —
+//! across every application × protocol cell, for 2 and 4 lanes.
+//!
+//! This is the strongest statement the sharded engine makes: it is a
+//! pure wallclock optimization with no observable effect whatsoever.
+
+use limitless::apps::{run_app_with_machine, App, Aq, Evolve, Mp3d, Smgrid, Tsp, Water, Worker};
+use limitless::core::{CheckLevel, ProtocolSpec};
+use limitless::machine::MachineConfig;
+
+fn spectrum() -> Vec<ProtocolSpec> {
+    vec![
+        ProtocolSpec::zero_ptr(),
+        ProtocolSpec::one_ptr_ack(),
+        ProtocolSpec::one_ptr_lack(),
+        ProtocolSpec::one_ptr_hw(),
+        ProtocolSpec::limitless(2),
+        ProtocolSpec::limitless(5),
+        ProtocolSpec::dir1_sw(),
+        ProtocolSpec::full_map(),
+    ]
+}
+
+fn tiny_apps() -> Vec<Box<dyn App>> {
+    vec![
+        Box::new(Tsp {
+            cities: 7,
+            seed: 0x7591,
+            code_blocks: 48,
+        }),
+        Box::new(Aq {
+            tolerance: 0.2,
+            split_depth: 2,
+        }),
+        Box::new(Smgrid {
+            side: 17,
+            levels: 2,
+            sweeps: 2,
+            cycles: 1,
+        }),
+        Box::new(Evolve {
+            dims: 6,
+            total_walks: 16,
+            seed: 0xEE01,
+        }),
+        Box::new(Mp3d {
+            particles: 96,
+            cells_side: 4,
+            steps: 2,
+            seed: 0x3D,
+        }),
+        Box::new(Water {
+            molecules: 8,
+            steps: 2,
+            seed: 7,
+        }),
+        Box::new(Worker {
+            set_size: 5,
+            blocks_per_node: 1,
+            iterations: 3,
+        }),
+    ]
+}
+
+fn cfg(p: ProtocolSpec, shards: usize) -> MachineConfig {
+    MachineConfig::builder()
+        .nodes(8)
+        .protocol(p)
+        .victim_cache(true)
+        // Full checking turns on the read-stream log, so the oracle
+        // can compare the exact sequence of values every node read.
+        .check_level(CheckLevel::Full)
+        .shards(shards)
+        .build()
+}
+
+/// Every application × protocol cell, serial vs 2 and 4 lanes: every
+/// observable must match bit-for-bit.
+#[test]
+fn sharded_engine_is_bit_identical_to_serial() {
+    for app in tiny_apps() {
+        for p in spectrum() {
+            let (serial, m_serial) = run_app_with_machine(app.as_ref(), cfg(p, 1));
+            let image = m_serial.memory_image();
+            let reads = m_serial.read_streams().expect("full check logs reads");
+            for lanes in [2, 4] {
+                let (sharded, m_sharded) = run_app_with_machine(app.as_ref(), cfg(p, lanes));
+                let tag = format!("{} under {p} at {lanes} lanes", app.name());
+                assert_eq!(serial.cycles, sharded.cycles, "cycles diverged: {tag}");
+                assert_eq!(serial.events, sharded.events, "events diverged: {tag}");
+                assert_eq!(serial.stats, sharded.stats, "stats diverged: {tag}");
+                assert_eq!(
+                    image,
+                    m_sharded.memory_image(),
+                    "memory image diverged: {tag}"
+                );
+                assert_eq!(
+                    reads,
+                    m_sharded.read_streams().expect("full check logs reads"),
+                    "read streams diverged: {tag}"
+                );
+            }
+        }
+    }
+}

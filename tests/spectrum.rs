@@ -127,7 +127,7 @@ fn golden_cycle_counts_worker() {
         blocks_per_node: 1,
         iterations: 3,
     };
-    let golden: [u64; 8] = [13315, 8992, 7677, 6722, 7055, 1970, 3780, 1970];
+    let golden: [u64; 8] = [14111, 8856, 7358, 7382, 6493, 2043, 3820, 2043];
     for (p, want) in spectrum().into_iter().zip(golden) {
         let got = run_app(&app, golden_cfg(p)).cycles.as_u64();
         assert_eq!(got, want, "WORKER cycle count drifted under {p}");
@@ -142,7 +142,7 @@ fn golden_cycle_counts_tsp() {
         code_blocks: 48,
     };
     let golden: [u64; 8] = [
-        154647, 143783, 143783, 143822, 144011, 143993, 143601, 143601,
+        153974, 143776, 143776, 143815, 144026, 143976, 143578, 143578,
     ];
     for (p, want) in spectrum().into_iter().zip(golden) {
         let got = run_app(&app, golden_cfg(p)).cycles.as_u64();
