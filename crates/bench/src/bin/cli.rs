@@ -7,7 +7,7 @@
 //!                       [--min-of N] [--json PATH] [--label L]
 //! limitless-bench micro [--json PATH]
 //! limitless-bench check [--paper|--quick] [--nodes N] [--shards S]
-//! limitless-bench perfgate [--json PATH]
+//! limitless-bench perfgate [--json PATH] [--warn-only]
 //! ```
 //!
 //! `--shards S` runs every simulation on the sharded conservative
@@ -37,8 +37,9 @@
 //!   failure.
 //! - `perfgate` — re-runs the micro suite and diffs each median
 //!   against the medians embedded in the most recent ledger record
-//!   (±15%). Warn-only: always exits 0, because micro timings track
-//!   the host; the WARN lines exist to catch regressions in review.
+//!   (±15%). Enforcing: any benchmark drifting beyond tolerance
+//!   exits 1. `--warn-only` restores the old advisory behaviour for
+//!   noisy hosts (shared CI runners, laptops on battery).
 
 use limitless_apps::Scale;
 use limitless_bench::{
@@ -59,12 +60,14 @@ fn main() {
     let mut json_path = None;
     let mut min_of = 1u32;
     let mut label = "current".to_string();
+    let mut warn_only = false;
     let mut name = String::new();
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--paper" => scale = Scale::Paper,
             "--quick" => scale = Scale::Quick,
+            "--warn-only" => warn_only = true,
             "--nodes" => {
                 nodes_override = it.next().and_then(|n| n.parse().ok()).or_else(|| {
                     eprintln!("--nodes needs a number");
@@ -206,8 +209,9 @@ fn main() {
             println!("perfgate: no ledger record carries micro medians; nothing to compare");
             return;
         };
+        let mode = if warn_only { "warn-only" } else { "enforcing" };
         println!(
-            "== perfgate: micro medians vs record `{}` (warn-only, ±15%) ==",
+            "== perfgate: micro medians vs record `{}` ({mode}, ±15%) ==",
             base.label
         );
         let lines = gate::compare(base, &micro::run_all(), 0.15);
@@ -217,13 +221,19 @@ fn main() {
         let warned = lines.iter().filter(|l| l.warn).count();
         if warned == 0 {
             println!("perfgate: all {} benchmarks within tolerance", lines.len());
-        } else {
-            // Warn-only by design: micro timings track the host, so a
-            // drift is a flag for a human, never a red build.
+        } else if warn_only {
+            // Advisory mode for noisy hosts: a drift is a flag for a
+            // human, never a red build.
             println!(
                 "perfgate: {warned} of {} benchmarks drifted beyond tolerance (warn-only)",
                 lines.len()
             );
+        } else {
+            eprintln!(
+                "perfgate: {warned} of {} benchmarks drifted beyond tolerance",
+                lines.len()
+            );
+            std::process::exit(1);
         }
         return;
     }
@@ -268,7 +278,7 @@ fn usage() {
          \x20                            [--threads T] [--min-of N] [--json PATH] [--label L]\n\
          \x20      limitless-bench micro [--json PATH]\n\
          \x20      limitless-bench check [--paper|--quick] [--nodes N] [--shards S]\n\
-         \x20      limitless-bench perfgate [--json PATH]\n\
+         \x20      limitless-bench perfgate [--json PATH] [--warn-only]\n\
          experiments: table1 table2 table3 fig2 fig3 fig4 fig5 fig6 \
          ablation-localbit ablation-network ablation-handlers sweep micro check perfgate"
     );

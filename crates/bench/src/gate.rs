@@ -1,11 +1,13 @@
-//! The warn-only CI perf gate: compares a fresh micro-benchmark run
-//! against the medians committed with the most recent ledger record.
+//! The CI perf gate: compares a fresh micro-benchmark run against the
+//! medians committed with the most recent ledger record.
 //!
-//! The gate never fails the build — micro timings move with the host,
-//! and CI runners are noisy neighbors — but a WARN line in the log is
-//! enough to flag "this PR made the event queue 2× slower" before the
-//! regression is three PRs deep. The ±tolerance is generous (15% by
-//! default) for the same reason.
+//! The gate is enforcing by default — the CLI exits 1 when any
+//! benchmark's median drifts beyond the tolerance band — so "this PR
+//! made the event queue 2× slower" turns the build red instead of
+//! hiding three PRs deep in a log. Micro timings still move with the
+//! host, so the ±tolerance is generous (15% by default) and the CLI's
+//! `--warn-only` flag restores the advisory behaviour for noisy
+//! runners.
 
 use crate::micro::MicroResult;
 use crate::record::{BenchLedger, SweepRecord};

@@ -277,4 +277,23 @@ mod tests {
         let allocs = r.allocs_per_iter.expect("feature is on");
         assert!(allocs > 0, "queue construction must allocate");
     }
+
+    /// The steady-state benchmarks — directory engine, network, cache
+    /// — reuse their arenas, pools and inline send buffers across
+    /// iterations, so after warm-up they must make *zero* heap
+    /// allocations per iteration. (The event-queue benchmark is the
+    /// deliberate exception above: it builds a fresh 1k-event queue
+    /// every iteration.)
+    #[cfg(feature = "alloc-counter")]
+    #[test]
+    fn steady_state_benchmarks_are_allocation_free() {
+        for r in [bench_network(), bench_directory_engine(), bench_cache()] {
+            let allocs = r.allocs_per_iter.expect("feature is on");
+            assert_eq!(
+                allocs, 0,
+                "{} allocated {allocs} times per steady-state iteration",
+                r.name
+            );
+        }
+    }
 }

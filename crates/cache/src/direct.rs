@@ -2,12 +2,20 @@
 
 use limitless_sim::BlockAddr;
 
-use crate::LineState;
+use crate::{packed, LineState};
+
+/// Sentinel tag marking an empty set (no real block address reaches
+/// `u64::MAX`: addresses are block numbers a few orders of magnitude
+/// smaller).
+const EMPTY: BlockAddr = BlockAddr(u64::MAX);
 
 /// A direct-mapped cache of block tags.
 ///
 /// Each block maps to exactly one set (`block mod sets`); inserting a
-/// block evicts whatever occupied its set.
+/// block evicts whatever occupied its set. Storage is
+/// struct-of-arrays: a dense tag vector (sentinel-encoded empties)
+/// beside a packed nibble vector of line states, so the hit path reads
+/// one 8-byte tag instead of a padded 16-byte `Option` slot.
 ///
 /// # Examples
 ///
@@ -23,7 +31,8 @@ use crate::LineState;
 /// ```
 #[derive(Clone, Debug)]
 pub struct DirectCache {
-    sets: Vec<Option<(BlockAddr, LineState)>>,
+    tags: Vec<BlockAddr>,
+    states: Vec<u8>,
 }
 
 impl DirectCache {
@@ -38,51 +47,57 @@ impl DirectCache {
             "set count must be a positive power of two"
         );
         DirectCache {
-            sets: vec![None; sets],
+            tags: vec![EMPTY; sets],
+            states: vec![0; packed::bytes_for(sets)],
         }
     }
 
     /// Number of sets (= lines) in the cache.
     pub fn sets(&self) -> usize {
-        self.sets.len()
+        self.tags.len()
     }
 
     /// The set index a block maps to.
     #[inline]
     pub fn set_of(&self, block: BlockAddr) -> usize {
-        (block.0 as usize) & (self.sets.len() - 1)
+        (block.0 as usize) & (self.tags.len() - 1)
     }
 
     /// Looks up a block, returning its state if present.
     #[inline]
     pub fn lookup(&self, block: BlockAddr) -> Option<LineState> {
-        match self.sets[self.set_of(block)] {
-            Some((b, s)) if b == block => Some(s),
-            _ => None,
+        let set = self.set_of(block);
+        if self.tags[set] == block {
+            Some(packed::get(&self.states, set))
+        } else {
+            None
         }
     }
 
     /// Inserts a block, returning the evicted occupant of its set (if
     /// any, and if it is a different block).
     pub fn insert(&mut self, block: BlockAddr, state: LineState) -> Option<(BlockAddr, LineState)> {
+        debug_assert_ne!(block, EMPTY, "the sentinel address is not cacheable");
         let set = self.set_of(block);
-        let old = self.sets[set].take();
-        self.sets[set] = Some((block, state));
-        match old {
-            Some((b, _)) if b == block => None,
-            other => other,
+        let old_tag = self.tags[set];
+        let old_state = packed::get(&self.states, set);
+        self.tags[set] = block;
+        packed::set(&mut self.states, set, state);
+        if old_tag == EMPTY || old_tag == block {
+            None
+        } else {
+            Some((old_tag, old_state))
         }
     }
 
     /// Removes a block if present, returning its state.
     pub fn invalidate(&mut self, block: BlockAddr) -> Option<LineState> {
         let set = self.set_of(block);
-        match self.sets[set] {
-            Some((b, s)) if b == block => {
-                self.sets[set] = None;
-                Some(s)
-            }
-            _ => None,
+        if self.tags[set] == block {
+            self.tags[set] = EMPTY;
+            Some(packed::get(&self.states, set))
+        } else {
+            None
         }
     }
 
@@ -90,12 +105,11 @@ impl DirectCache {
     /// pulls a writeback). Returns `true` if the block was present.
     pub fn downgrade(&mut self, block: BlockAddr) -> bool {
         let set = self.set_of(block);
-        match &mut self.sets[set] {
-            Some((b, s)) if *b == block => {
-                *s = LineState::Shared;
-                true
-            }
-            _ => false,
+        if self.tags[set] == block {
+            packed::set(&mut self.states, set, LineState::Shared);
+            true
+        } else {
+            false
         }
     }
 
@@ -103,23 +117,26 @@ impl DirectCache {
     /// granted). Returns `true` if the block was present.
     pub fn upgrade(&mut self, block: BlockAddr) -> bool {
         let set = self.set_of(block);
-        match &mut self.sets[set] {
-            Some((b, s)) if *b == block => {
-                *s = LineState::Dirty;
-                true
-            }
-            _ => false,
+        if self.tags[set] == block {
+            packed::set(&mut self.states, set, LineState::Dirty);
+            true
+        } else {
+            false
         }
     }
 
     /// Number of occupied lines (O(sets); for tests and stats only).
     pub fn occupancy(&self) -> usize {
-        self.sets.iter().filter(|s| s.is_some()).count()
+        self.tags.iter().filter(|&&t| t != EMPTY).count()
     }
 
     /// Iterates over resident `(block, state)` pairs.
     pub fn iter(&self) -> impl Iterator<Item = (BlockAddr, LineState)> + '_ {
-        self.sets.iter().filter_map(|s| *s)
+        self.tags
+            .iter()
+            .enumerate()
+            .filter(|&(_, &t)| t != EMPTY)
+            .map(|(i, &t)| (t, packed::get(&self.states, i)))
     }
 }
 
@@ -182,6 +199,18 @@ mod tests {
             c.insert(BlockAddr(b), LineState::Shared);
         }
         assert_eq!(c.occupancy(), 5);
+    }
+
+    #[test]
+    fn neighbouring_sets_share_a_state_byte_independently() {
+        let mut c = DirectCache::new(8);
+        c.insert(BlockAddr(2), LineState::Dirty);
+        c.insert(BlockAddr(3), LineState::Shared);
+        assert_eq!(c.lookup(BlockAddr(2)), Some(LineState::Dirty));
+        assert_eq!(c.lookup(BlockAddr(3)), Some(LineState::Shared));
+        assert!(c.upgrade(BlockAddr(3)));
+        assert_eq!(c.lookup(BlockAddr(2)), Some(LineState::Dirty));
+        assert_eq!(c.lookup(BlockAddr(3)), Some(LineState::Dirty));
     }
 
     #[test]

@@ -71,7 +71,12 @@ impl InstrFootprint {
     /// the loop body).
     pub fn next_block(&mut self) -> BlockAddr {
         let b = BlockAddr(self.base + self.cursor);
-        self.cursor = (self.cursor + 1) % self.blocks;
+        // Compare-and-reset instead of `%`: this advances once per
+        // simulated operation, and the divisor is a runtime value.
+        self.cursor += 1;
+        if self.cursor == self.blocks {
+            self.cursor = 0;
+        }
         b
     }
 

@@ -57,3 +57,47 @@ impl LineState {
         matches!(self, LineState::Dirty)
     }
 }
+
+/// Packed line-state storage: two [`LineState`] nibbles per byte.
+///
+/// Both tag arrays ([`DirectCache`], [`VictimCache`]) keep their tags
+/// in a dense `Vec<BlockAddr>` and their states here, so a lookup
+/// touches one 8-byte tag plus half a byte of state instead of a
+/// 16-byte `Option<(BlockAddr, LineState)>` slot.
+pub(crate) mod packed {
+    use super::LineState;
+
+    /// Bytes needed to hold `lines` nibbles.
+    pub fn bytes_for(lines: usize) -> usize {
+        lines.div_ceil(2)
+    }
+
+    #[inline]
+    pub fn get(states: &[u8], i: usize) -> LineState {
+        if states[i >> 1] >> ((i & 1) * 4) & 0xF == 1 {
+            LineState::Dirty
+        } else {
+            LineState::Shared
+        }
+    }
+
+    #[inline]
+    pub fn set(states: &mut [u8], i: usize, s: LineState) {
+        let nib = match s {
+            LineState::Shared => 0u8,
+            LineState::Dirty => 1u8,
+        };
+        let shift = (i & 1) * 4;
+        let b = &mut states[i >> 1];
+        *b = (*b & !(0xF << shift)) | (nib << shift);
+    }
+
+    /// Shifts nibbles `[i + 1, len)` down one slot (entry `i` removed
+    /// from an ordered buffer of `len` live entries).
+    pub fn remove(states: &mut [u8], len: usize, i: usize) {
+        for j in i..len.saturating_sub(1) {
+            let next = get(states, j + 1);
+            set(states, j, next);
+        }
+    }
+}

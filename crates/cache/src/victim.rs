@@ -10,9 +10,13 @@
 
 use limitless_sim::BlockAddr;
 
-use crate::LineState;
+use crate::{packed, LineState};
 
 /// A fully-associative FIFO victim buffer.
+///
+/// Like [`crate::DirectCache`], storage is struct-of-arrays: the
+/// associative probe scans a dense tag vector while the states sit in
+/// packed nibbles, and both arrays are allocated once at construction.
 ///
 /// # Examples
 ///
@@ -27,7 +31,11 @@ use crate::LineState;
 /// ```
 #[derive(Clone, Debug)]
 pub struct VictimCache {
-    entries: Vec<(BlockAddr, LineState)>,
+    /// Resident tags, oldest first.
+    tags: Vec<BlockAddr>,
+    /// Packed line states, parallel to `tags`; sized for `capacity`
+    /// lines up front.
+    states: Vec<u8>,
     capacity: usize,
 }
 
@@ -37,7 +45,8 @@ impl VictimCache {
     /// immediately overflows).
     pub fn new(capacity: usize) -> Self {
         VictimCache {
-            entries: Vec::with_capacity(capacity),
+            tags: Vec::with_capacity(capacity),
+            states: vec![0; packed::bytes_for(capacity)],
             capacity,
         }
     }
@@ -49,12 +58,12 @@ impl VictimCache {
 
     /// Current occupancy.
     pub fn len(&self) -> usize {
-        self.entries.len()
+        self.tags.len()
     }
 
     /// Whether the buffer is empty.
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.tags.is_empty()
     }
 
     /// Inserts an evicted line. If the buffer is full the oldest entry
@@ -62,26 +71,34 @@ impl VictimCache {
     /// dirty).
     pub fn insert(&mut self, block: BlockAddr, state: LineState) -> Option<(BlockAddr, LineState)> {
         debug_assert!(
-            !self.entries.iter().any(|(b, _)| *b == block),
+            !self.tags.contains(&block),
             "victim cache already holds {block}"
         );
         if self.capacity == 0 {
             return Some((block, state));
         }
-        let overflow = if self.entries.len() == self.capacity {
-            Some(self.entries.remove(0))
+        let overflow = if self.tags.len() == self.capacity {
+            let oldest = (self.tags[0], packed::get(&self.states, 0));
+            self.tags.remove(0);
+            packed::remove(&mut self.states, self.capacity, 0);
+            Some(oldest)
         } else {
             None
         };
-        self.entries.push((block, state));
+        packed::set(&mut self.states, self.tags.len(), state);
+        self.tags.push(block);
         overflow
     }
 
     /// Looks up `block` and, if present, removes and returns it (the
     /// line moves back into the main cache on a victim hit).
     pub fn take(&mut self, block: BlockAddr) -> Option<LineState> {
-        let pos = self.entries.iter().position(|(b, _)| *b == block)?;
-        Some(self.entries.remove(pos).1)
+        let pos = self.tags.iter().position(|&b| b == block)?;
+        let state = packed::get(&self.states, pos);
+        let len = self.tags.len();
+        self.tags.remove(pos);
+        packed::remove(&mut self.states, len, pos);
+        Some(state)
     }
 
     /// Removes `block` if present (external invalidation), returning
@@ -92,21 +109,24 @@ impl VictimCache {
 
     /// Whether `block` is resident (without removing it).
     pub fn contains(&self, block: BlockAddr) -> bool {
-        self.entries.iter().any(|(b, _)| *b == block)
+        self.tags.contains(&block)
     }
 
     /// The state of `block` without removing it (the coherence
     /// sanitizer's quiesce audit inspects the buffer in place).
     pub fn peek(&self, block: BlockAddr) -> Option<LineState> {
-        self.entries
+        self.tags
             .iter()
-            .find(|(b, _)| *b == block)
-            .map(|&(_, s)| s)
+            .position(|&b| b == block)
+            .map(|i| packed::get(&self.states, i))
     }
 
     /// Iterates resident entries oldest-first.
     pub fn iter(&self) -> impl Iterator<Item = (BlockAddr, LineState)> + '_ {
-        self.entries.iter().copied()
+        self.tags
+            .iter()
+            .enumerate()
+            .map(|(i, &b)| (b, packed::get(&self.states, i)))
     }
 }
 
@@ -150,6 +170,28 @@ mod tests {
         v.insert(BlockAddr(9), LineState::Shared);
         assert_eq!(v.invalidate(BlockAddr(9)), Some(LineState::Shared));
         assert_eq!(v.invalidate(BlockAddr(9)), None);
+    }
+
+    #[test]
+    fn states_stay_aligned_through_removals() {
+        let mut v = VictimCache::new(4);
+        v.insert(BlockAddr(1), LineState::Shared);
+        v.insert(BlockAddr(2), LineState::Dirty);
+        v.insert(BlockAddr(3), LineState::Shared);
+        v.insert(BlockAddr(4), LineState::Dirty);
+        // Removing from the middle must shift the packed states too.
+        assert_eq!(v.take(BlockAddr(2)), Some(LineState::Dirty));
+        assert_eq!(v.peek(BlockAddr(3)), Some(LineState::Shared));
+        assert_eq!(v.peek(BlockAddr(4)), Some(LineState::Dirty));
+        let order: Vec<_> = v.iter().collect();
+        assert_eq!(
+            order,
+            vec![
+                (BlockAddr(1), LineState::Shared),
+                (BlockAddr(3), LineState::Shared),
+                (BlockAddr(4), LineState::Dirty),
+            ]
+        );
     }
 
     #[test]

@@ -10,11 +10,11 @@
 //! into scheduled events and processor occupancy.
 
 use limitless_dir::{HwState, PtrStoreOutcome, SwDirectory};
-use limitless_sim::{BlockAddr, NodeId};
+use limitless_sim::{BlockAddr, MessagePool, NodeId};
 
 use crate::check::{CheckLevel, EventHistory, HistoryRecord};
 use crate::cost::{CostModel, HandlerImpl, HandlerKind, TrapBill};
-use crate::iface::{BroadcastHandler, ExtensionHandler, HandlerCtx, LimitlessHandler};
+use crate::iface::{BroadcastHandler, ExtensionHandler, HandlerCtx, LimitlessHandler, QueuedSend};
 use crate::msg::ProtoMsg;
 use crate::spec::{AckMode, ProtocolSpec, SwMode};
 use crate::table::DirectoryTable;
@@ -155,6 +155,24 @@ impl SendList {
             SendList::Heap(v) => v.push(s),
         }
     }
+
+    /// Moves the list to heap storage backed by `spare` (an empty
+    /// recycled vector) when appending `extra` more sends would spill
+    /// the inline buffer; hands `spare` back unused otherwise. Lets
+    /// the engine source burst storage from its recycling pool instead
+    /// of a fresh allocation.
+    pub(crate) fn spill_into(&mut self, spare: Vec<Send>, extra: usize) -> Option<Vec<Send>> {
+        debug_assert!(spare.is_empty());
+        match self {
+            SendList::Inline { buf, len } if usize::from(*len) + extra > SendList::INLINE => {
+                let mut v = spare;
+                v.extend_from_slice(&buf[..usize::from(*len)]);
+                *self = SendList::Heap(v);
+                None
+            }
+            _ => Some(spare),
+        }
+    }
 }
 
 impl Default for SendList {
@@ -273,6 +291,14 @@ pub struct DirEngine {
     sw: SwDirectory,
     handler: Box<dyn ExtensionHandler>,
     stats: EngineStats,
+    /// Scratch sharer set reused across events: invalidation rounds
+    /// collect their targets here instead of allocating.
+    scratch_sharers: Vec<NodeId>,
+    /// Recycled handler send queues ([`HandlerCtx::with_send_buf`]).
+    send_pool: MessagePool<QueuedSend>,
+    /// Recycled heap storage for spilled [`SendList`]s; refilled by
+    /// [`DirEngine::recycle`].
+    spill_pool: MessagePool<Send>,
     /// Sanitizer level. At `Off` (the default) the only cost is one
     /// predictable branch per event.
     check: CheckLevel,
@@ -294,10 +320,13 @@ impl DirEngine {
             spec,
             costs: CostModel::new(imp),
             timing: HwTiming::default(),
-            table: DirectoryTable::new(),
+            table: DirectoryTable::new(spec.capacity(nodes), u32::from(home.0), nodes as u32),
             sw: SwDirectory::new(),
             handler: Box::new(LimitlessHandler),
             stats: EngineStats::default(),
+            scratch_sharers: Vec::new(),
+            send_pool: MessagePool::new(),
+            spill_pool: MessagePool::new(),
             check: CheckLevel::Off,
             history: EventHistory::new(),
         }
@@ -338,6 +367,14 @@ impl DirEngine {
         self.sw.live_entries()
     }
 
+    /// Order-sensitive fingerprint of this home's block-id assignment
+    /// (see [`limitless_sim::BlockInterner::fingerprint`]): serial and
+    /// sharded runs must agree exactly, which the cross-engine
+    /// property tests assert.
+    pub fn interner_fingerprint(&self) -> u64 {
+        self.table.interner().fingerprint()
+    }
+
     /// Zero-pointer protocol: whether `block` still qualifies for the
     /// uniprocessor fast path (never accessed by a remote node). For
     /// all other protocols this returns `false` — they have real
@@ -345,7 +382,7 @@ impl DirEngine {
     pub fn local_fast_path(&self, block: BlockAddr) -> bool {
         self.spec.hw_ptrs == 0
             && !self.spec.full_map
-            && !self.table.get(block).is_some_and(|st| st.remote_accessed)
+            && !self.table.get(block).is_some_and(|st| st.remote_accessed())
     }
 
     /// Whether every event on this protocol traps to software (the
@@ -357,7 +394,7 @@ impl DirEngine {
     /// The current sharer count visible to the directory (hardware +
     /// software + local bit), for tests and instrumentation.
     pub fn sharer_count(&self, block: BlockAddr) -> usize {
-        let hw = self.table.get(block).map(|st| &st.hw);
+        let hw = self.table.get(block).map(|st| st.hw);
         let mut set: Vec<NodeId> = hw.map(|e| e.ptrs().to_vec()).unwrap_or_default();
         set.extend_from_slice(self.sw.readers(block));
         if hw.is_some_and(|e| e.local_bit()) {
@@ -372,8 +409,8 @@ impl DirEngine {
     /// happen.
     ///
     /// The block is interned exactly once here — one hash probe —
-    /// and every helper then reaches its [`crate::table::BlockState`]
-    /// by dense index.
+    /// and every helper then reaches the block's
+    /// [`crate::table::BlockStateMut`] row by dense index.
     ///
     /// # Panics
     ///
@@ -381,7 +418,7 @@ impl DirEngine {
     /// acknowledgment when none is outstanding), which indicate
     /// simulator bugs rather than recoverable conditions.
     pub fn handle(&mut self, block: BlockAddr, event: DirEvent) -> Outcome {
-        let id = self.table.intern(block, self.spec.capacity(self.nodes));
+        let id = self.table.intern(block);
         // With the sanitizer off, the dispatch stays in tail position so
         // the (large) `Outcome` is built directly in the return slot.
         if self.check.enabled() {
@@ -390,6 +427,16 @@ impl DirEngine {
             return out;
         }
         self.dispatch(block, id, event)
+    }
+
+    /// Returns an outcome's heap-spilled send storage to the engine's
+    /// recycling pool. Hot-path callers (the machine's trap boundary,
+    /// the micro-benchmarks) hand outcomes back after consuming them
+    /// so steady-state operation performs zero payload allocations.
+    pub fn recycle(&mut self, out: Outcome) {
+        if let SendList::Heap(v) = out.sends {
+            self.spill_pool.put(v);
+        }
     }
 
     #[inline]
@@ -416,10 +463,10 @@ impl DirEngine {
         let home = self.home;
         let spec = self.spec;
         let timing = self.timing;
-        let st = self.table.state_mut(id);
-        let first_remote = all_sw && from != home && !st.remote_accessed;
+        let mut st = self.table.state_mut(id);
+        let first_remote = all_sw && from != home && !st.remote_accessed();
         if all_sw {
-            st.remote_accessed = true;
+            st.set_remote_accessed();
         }
 
         match st.hw.state() {
@@ -477,7 +524,7 @@ impl DirEngine {
                 } else {
                     st.hw
                         .begin_transaction(HwState::ReadTransaction, 1, Some(from), false);
-                    st.owner_fetch = Some(owner);
+                    st.set_owner_fetch(Some(owner));
                     out.hw_send(owner, ProtoMsg::Downgrade, timing.dir_cycles);
                     out.hw_cycles = timing.dir_cycles;
                     if all_sw {
@@ -493,14 +540,16 @@ impl DirEngine {
     }
 
     fn run_read_overflow(&mut self, block: BlockAddr, id: u32, from: NodeId, out: &mut Outcome) {
+        let buf = self.send_pool.get();
         let st = self.table.state_mut(id);
-        let mut ctx = HandlerCtx::new(
+        let mut ctx = HandlerCtx::with_send_buf(
             self.home,
             self.nodes,
             self.spec,
             block,
-            &mut st.hw,
+            st.hw,
             &mut self.sw,
+            buf,
         );
         self.handler.read_overflow(&mut ctx, from);
         let small_opt = self.spec.small_set_opt();
@@ -515,6 +564,7 @@ impl DirEngine {
         } else {
             debug_assert!(sends.is_empty(), "read handlers do not transmit");
         }
+        self.send_pool.put(sends);
         out.invalidate_local |= local;
         self.bill(out, bill);
     }
@@ -527,10 +577,10 @@ impl DirEngine {
         let all_sw = self.all_software();
         let home = self.home;
         let timing = self.timing;
-        let st = self.table.state_mut(id);
-        let first_remote = all_sw && from != home && !st.remote_accessed;
+        let mut st = self.table.state_mut(id);
+        let first_remote = all_sw && from != home && !st.remote_accessed();
         if all_sw {
-            st.remote_accessed = true;
+            st.set_remote_accessed();
         }
 
         match st.hw.state() {
@@ -557,8 +607,8 @@ impl DirEngine {
                 } else {
                     st.hw
                         .begin_transaction(HwState::WriteTransaction, 1, Some(from), true);
-                    st.owner_fetch = Some(owner);
-                    st.upgrade_pending = false;
+                    st.set_owner_fetch(Some(owner));
+                    st.set_upgrade_pending(false);
                     out.hw_send(owner, ProtoMsg::Flush, timing.dir_cycles);
                     out.hw_cycles = timing.dir_cycles;
                     if all_sw {
@@ -579,21 +629,23 @@ impl DirEngine {
     fn hw_write_path(&mut self, id: u32, from: NodeId, out: &mut Outcome) {
         let home = self.home;
         let timing = self.timing;
-        let st = self.table.state_mut(id);
-        let mut sharers = st.hw.drain_ptrs();
+        self.scratch_sharers.clear();
+        let mut st = self.table.state_mut(id);
+        st.hw.take_ptrs_into(&mut self.scratch_sharers);
         if st.hw.local_bit() && home != from {
             // Kill the home's copy synchronously (no network, no ack).
             st.hw.set_local_bit(false);
             out.invalidate_local = true;
         }
-        let was_sharer = sharers.contains(&from) || (from == home && st.hw.local_bit());
+        let was_sharer =
+            self.scratch_sharers.contains(&from) || (from == home && st.hw.local_bit());
         st.hw.set_local_bit(false);
-        sharers.retain(|&s| s != from);
-        sharers.sort_unstable();
-        sharers.dedup();
+        self.scratch_sharers.retain(|&s| s != from);
+        self.scratch_sharers.sort_unstable();
+        self.scratch_sharers.dedup();
 
         out.hw_cycles = timing.dir_cycles;
-        if sharers.is_empty() {
+        if self.scratch_sharers.is_empty() {
             // No remote copies: grant immediately.
             st.hw.set_sole_owner(from);
             let grant = if was_sharer {
@@ -609,8 +661,14 @@ impl DirEngine {
         // Hardware invalidation round. Under `EveryAckTrap` the
         // pointer is unused and software will field the acks; either
         // way the hardware transmits these invalidations.
-        let acks = sharers.len() as u32;
-        for (i, &s) in sharers.iter().enumerate() {
+        let acks = self.scratch_sharers.len() as u32;
+        if let Some(spare) = out
+            .sends
+            .spill_into(self.spill_pool.get(), self.scratch_sharers.len())
+        {
+            self.spill_pool.put(spare);
+        }
+        for (i, &s) in self.scratch_sharers.iter().enumerate() {
             out.hw_send(
                 s,
                 ProtoMsg::Inv,
@@ -618,11 +676,11 @@ impl DirEngine {
             );
         }
         self.stats.invs_sent += acks as u64;
-        let st = self.table.state_mut(id);
+        let mut st = self.table.state_mut(id);
         st.hw
             .begin_transaction(HwState::WriteTransaction, acks, Some(from), true);
-        st.upgrade_pending = was_sharer;
-        st.sw_transaction = false;
+        st.set_upgrade_pending(was_sharer);
+        st.set_sw_transaction(false);
     }
 
     /// Write to an overflowed block: trap to the extension software.
@@ -630,18 +688,24 @@ impl DirEngine {
         let home = self.home;
         let nodes = self.nodes;
         let spec = self.spec;
+        let buf = self.send_pool.get();
         let st = self.table.state_mut(id);
 
-        let mut ctx = HandlerCtx::new(home, nodes, spec, block, &mut st.hw, &mut self.sw);
-        let mut sharers = ctx.sharers();
-        let was_sharer = sharers.contains(&from);
-        sharers.retain(|&s| s != from);
-        let acks = self.handler.write_overflow(&mut ctx, from, &sharers);
+        let mut ctx = HandlerCtx::with_send_buf(home, nodes, spec, block, st.hw, &mut self.sw, buf);
+        ctx.sharers_into(&mut self.scratch_sharers);
+        let was_sharer = self.scratch_sharers.contains(&from);
+        self.scratch_sharers.retain(|&s| s != from);
+        let acks = self
+            .handler
+            .write_overflow(&mut ctx, from, &self.scratch_sharers);
         let (bill, sends, counter, local) =
             ctx.finish(HandlerKind::WriteExtend, true, &self.costs, false);
         out.invalidate_local |= local;
 
         // Software transmits the invalidations sequentially.
+        if let Some(spare) = out.sends.spill_into(self.spill_pool.get(), sends.len() + 1) {
+            self.spill_pool.put(spare);
+        }
         let mut inv_i = 0usize;
         for s in &sends {
             let offset = if s.is_inv {
@@ -658,9 +722,10 @@ impl DirEngine {
             });
         }
         self.stats.invs_sent += inv_i as u64;
+        self.send_pool.put(sends);
 
         let acks = counter.unwrap_or(acks);
-        let st = self.table.state_mut(id);
+        let mut st = self.table.state_mut(id);
         if acks == 0 {
             // Nothing to invalidate: grant directly from software.
             st.hw.set_sole_owner(from);
@@ -680,8 +745,8 @@ impl DirEngine {
         } else {
             st.hw
                 .begin_transaction(HwState::WriteTransaction, acks, Some(from), true);
-            st.upgrade_pending = was_sharer;
-            st.sw_transaction = true;
+            st.set_upgrade_pending(was_sharer);
+            st.set_sw_transaction(true);
         }
         self.bill(out, bill);
     }
@@ -691,14 +756,14 @@ impl DirEngine {
     fn handle_inv_ack(&mut self, id: u32, _from: NodeId) -> Outcome {
         let mut out = Outcome::default();
         let timing = self.timing;
-        let st = self.table.state_mut(id);
+        let mut st = self.table.state_mut(id);
         if st.hw.state() != HwState::WriteTransaction || st.hw.acks_pending() == 0 {
             self.stats.stale_msgs += 1;
             out.stale = true;
             return out;
         }
         let remaining = st.hw.count_ack();
-        let sw_round = st.sw_transaction;
+        let sw_round = st.sw_transaction();
         out.hw_cycles = timing.dir_cycles;
 
         // Which acknowledgments trap? Every one under `EveryAckTrap`
@@ -719,16 +784,16 @@ impl DirEngine {
         }
 
         // Transaction complete: grant to the waiting requester.
-        let st = self.table.state_mut(id);
+        let mut st = self.table.state_mut(id);
         let requester = st
             .hw
             .pending_requester()
             .expect("write transaction without requester");
-        let upgrade = std::mem::replace(&mut st.upgrade_pending, false);
+        let upgrade = st.take_upgrade_pending();
         st.hw.end_transaction();
         st.hw.set_sole_owner(requester);
         st.hw.set_overflowed(false);
-        st.sw_transaction = false;
+        st.set_sw_transaction(false);
         let grant = if upgrade {
             ProtoMsg::UpgradeAck
         } else {
@@ -763,8 +828,8 @@ impl DirEngine {
         let mut out = Outcome::default();
         let timing = self.timing;
         let all_sw = self.all_software();
-        let st = self.table.state_mut(id);
-        let expecting = st.owner_fetch == Some(from);
+        let mut st = self.table.state_mut(id);
+        let expecting = st.owner_fetch() == Some(from);
         let in_fetch = expecting
             && matches!(
                 st.hw.state(),
@@ -777,7 +842,7 @@ impl DirEngine {
             out.stale = true;
             return out;
         }
-        st.owner_fetch = None;
+        st.set_owner_fetch(None);
         let requester = st
             .hw
             .pending_requester()
@@ -797,7 +862,7 @@ impl DirEngine {
             out.hw_send(requester, ProtoMsg::ReadData, out.hw_cycles);
         } else {
             st.hw.set_sole_owner(requester);
-            st.upgrade_pending = false;
+            st.set_upgrade_pending(false);
             out.hw_send(requester, ProtoMsg::WriteData, out.hw_cycles);
         }
         if all_sw {
@@ -812,7 +877,7 @@ impl DirEngine {
         let home = self.home;
         let spec = self.spec;
         let all_sw = self.all_software();
-        let st = self.table.state_mut(id);
+        let mut st = self.table.state_mut(id);
         if node == home && spec.local_bit {
             st.hw.set_local_bit(true);
             return;
@@ -834,8 +899,8 @@ impl DirEngine {
         let timing = self.timing;
         let all_sw = self.all_software();
         out.hw_cycles = timing.dir_cycles + timing.dram_cycles;
-        let st = self.table.state_mut(id);
-        let expecting = st.owner_fetch == Some(from);
+        let mut st = self.table.state_mut(id);
+        let expecting = st.owner_fetch() == Some(from);
         match st.hw.state() {
             HwState::ReadWrite if st.hw.owner() == Some(from) => {
                 st.hw.set_state(HwState::Uncached);
@@ -846,7 +911,7 @@ impl DirEngine {
                 // writeback carries the data, so complete the
                 // transaction now. The stale Flush/DowngradeAck that
                 // follows will be ignored.
-                st.owner_fetch = None;
+                st.set_owner_fetch(None);
                 let requester = st
                     .hw
                     .pending_requester()
@@ -860,7 +925,7 @@ impl DirEngine {
                     out.hw_send(requester, ProtoMsg::ReadData, out.hw_cycles);
                 } else {
                     st.hw.set_sole_owner(requester);
-                    st.upgrade_pending = false;
+                    st.set_upgrade_pending(false);
                     out.hw_send(requester, ProtoMsg::WriteData, out.hw_cycles);
                 }
             }
@@ -883,7 +948,7 @@ impl DirEngine {
         // During a software-managed acknowledgment round (`S_{NB,ACK}`
         // and the software-only directory) even the BUSY bounce is a
         // software action.
-        let sw_round = self.table.state(id).sw_transaction;
+        let sw_round = self.table.state(id).sw_transaction();
         let sw_busy = self.all_software() || (sw_round && self.spec.ack == AckMode::EveryAckTrap);
         if sw_busy {
             let bill = self.costs.busy_trap();
@@ -939,7 +1004,7 @@ impl DirEngine {
                 sw_readers: sw_readers.min(usize::from(u16::MAX)) as u16,
                 local_bit: st.hw.local_bit(),
                 overflowed: st.hw.overflowed(),
-                owner_fetch: st.owner_fetch,
+                owner_fetch: st.owner_fetch(),
                 stale: out.stale,
             },
         );
@@ -1029,7 +1094,7 @@ impl DirEngine {
                         hw.acks_pending()
                     ));
                 }
-                if st.owner_fetch.is_none() {
+                if st.owner_fetch().is_none() {
                     return Err("ReadTransaction without an owner fetch".to_string());
                 }
             }
@@ -1045,7 +1110,7 @@ impl DirEngine {
 
         // Cross-state bookkeeping flags are meaningful only during
         // their transactions.
-        if st.owner_fetch.is_some()
+        if st.owner_fetch().is_some()
             && !matches!(
                 hw.state(),
                 HwState::ReadTransaction | HwState::WriteTransaction
@@ -1053,14 +1118,14 @@ impl DirEngine {
         {
             return Err(format!(
                 "owner fetch from {:?} outside a transaction ({:?})",
-                st.owner_fetch,
+                st.owner_fetch(),
                 hw.state()
             ));
         }
-        if st.upgrade_pending && hw.state() != HwState::WriteTransaction {
+        if st.upgrade_pending() && hw.state() != HwState::WriteTransaction {
             return Err(format!("upgrade pending in {:?}", hw.state()));
         }
-        if st.sw_transaction && hw.state() != HwState::WriteTransaction {
+        if st.sw_transaction() && hw.state() != HwState::WriteTransaction {
             return Err(format!("software transaction flag set in {:?}", hw.state()));
         }
         Ok(())
@@ -1113,11 +1178,14 @@ impl DirEngine {
                     st.hw.acks_pending()
                 ));
             }
-            if st.owner_fetch.is_some() || st.upgrade_pending || st.sw_transaction {
+            if st.owner_fetch().is_some() || st.upgrade_pending() || st.sw_transaction() {
                 v.push(format!(
                     "home {} block {block}: live transaction bookkeeping at quiesce \
                      (owner_fetch={:?}, upgrade_pending={}, sw_transaction={})",
-                    self.home, st.owner_fetch, st.upgrade_pending, st.sw_transaction
+                    self.home,
+                    st.owner_fetch(),
+                    st.upgrade_pending(),
+                    st.sw_transaction()
                 ));
             }
             if let Err(e) = self.block_invariants(block, id) {

@@ -303,15 +303,21 @@ mod tests {
     use super::*;
     use crate::cost::{CostModel, HandlerImpl, HandlerKind};
     use crate::spec::ProtocolSpec;
-    use limitless_dir::{HwDirEntry, SwDirectory};
+    use limitless_dir::{HwDirTable, SwDirectory};
 
-    fn ctx_fixture<'a>(hw: &'a mut HwDirEntry, sw: &'a mut SwDirectory) -> HandlerCtx<'a> {
+    fn table() -> HwDirTable {
+        let mut t = HwDirTable::new(2);
+        t.push_row();
+        t
+    }
+
+    fn ctx_fixture<'a>(hw: &'a mut HwDirTable, sw: &'a mut SwDirectory) -> HandlerCtx<'a> {
         HandlerCtx::new(
             NodeId(0),
             16,
             ProtocolSpec::limitless(2),
             BlockAddr(7),
-            hw,
+            hw.row_mut(0),
             sw,
         )
     }
@@ -319,7 +325,7 @@ mod tests {
     #[test]
     fn profiler_classifies_read_only_blocks() {
         let mut h = ProfilingHandler::new(LimitlessHandler);
-        let (mut hw, mut sw) = (HwDirEntry::new(2), SwDirectory::new());
+        let (mut hw, mut sw) = (table(), SwDirectory::new());
         for n in 1..4 {
             let mut ctx = ctx_fixture(&mut hw, &mut sw);
             h.read_overflow(&mut ctx, NodeId(n));
@@ -336,9 +342,9 @@ mod tests {
     #[test]
     fn profiler_classifies_migratory_blocks() {
         let mut h = ProfilingHandler::new(LimitlessHandler);
-        let (mut hw, mut sw) = (HwDirEntry::new(2), SwDirectory::new());
+        let (mut hw, mut sw) = (table(), SwDirectory::new());
         for n in 1..4 {
-            hw.set_overflowed(true);
+            hw.row_mut(0).set_overflowed(true);
             let mut ctx = ctx_fixture(&mut hw, &mut sw);
             h.write_overflow(&mut ctx, NodeId(n), &[NodeId(n + 1)]);
         }
@@ -351,7 +357,7 @@ mod tests {
     #[test]
     fn profiler_classifies_wide_rw_blocks() {
         let mut h = ProfilingHandler::new(LimitlessHandler);
-        let (mut hw, mut sw) = (HwDirEntry::new(2), SwDirectory::new());
+        let (mut hw, mut sw) = (table(), SwDirectory::new());
         let sharers: Vec<NodeId> = (2..10).map(NodeId).collect();
         let mut ctx = ctx_fixture(&mut hw, &mut sw);
         h.write_overflow(&mut ctx, NodeId(1), &sharers);
@@ -368,7 +374,7 @@ mod tests {
     #[test]
     fn migratory_detector_switches_to_fast_handoffs() {
         let mut h = MigratoryHandler::new();
-        let (mut hw, mut sw) = (HwDirEntry::new(2), SwDirectory::new());
+        let (mut hw, mut sw) = (table(), SwDirectory::new());
         // The first write arms the streak; from the second on the
         // block is migratory and takes the lean path.
         for n in 1..5u16 {
@@ -383,7 +389,7 @@ mod tests {
     #[test]
     fn migratory_detector_resets_on_wide_sharing() {
         let mut h = MigratoryHandler::new();
-        let (mut hw, mut sw) = (HwDirEntry::new(2), SwDirectory::new());
+        let (mut hw, mut sw) = (table(), SwDirectory::new());
         for n in 1..4u16 {
             let mut ctx = ctx_fixture(&mut hw, &mut sw);
             h.write_overflow(&mut ctx, NodeId(n), &[NodeId(n + 1)]);
@@ -399,7 +405,7 @@ mod tests {
     fn migratory_fast_path_is_cheaper_than_stock() {
         let costs = CostModel::new(HandlerImpl::FlexibleC);
         let mut h = MigratoryHandler::new();
-        let (mut hw, mut sw) = (HwDirEntry::new(2), SwDirectory::new());
+        let (mut hw, mut sw) = (table(), SwDirectory::new());
         // Arm, then measure the lean bill.
         for n in 1..3u16 {
             let mut ctx = ctx_fixture(&mut hw, &mut sw);
@@ -420,7 +426,7 @@ mod tests {
     #[test]
     fn adaptive_broadcast_triggers_on_wide_blocks_only() {
         let mut h = AdaptiveBroadcastHandler::new();
-        let (mut hw, mut sw) = (HwDirEntry::new(2), SwDirectory::new());
+        let (mut hw, mut sw) = (table(), SwDirectory::new());
         let wide: Vec<NodeId> = (1..10).map(NodeId).collect();
         // The first wide write takes the stock path; once the counter
         // reaches the threshold the handler broadcasts.

@@ -17,7 +17,7 @@
 //! to build the §7 enhancements (application-specific protocols,
 //! dynamic invalidation strategies, …).
 
-use limitless_dir::{HwDirEntry, SwDirectory};
+use limitless_dir::{HwEntryMut, SwDirectory};
 use limitless_sim::{BlockAddr, NodeId};
 
 use crate::cost::{Activity, ComposeInputs, CostModel, HandlerKind, TrapBill};
@@ -51,7 +51,7 @@ pub struct HandlerCtx<'a> {
     nodes: usize,
     spec: ProtocolSpec,
     block: BlockAddr,
-    hw: &'a mut HwDirEntry,
+    hw: HwEntryMut<'a>,
     sw: &'a mut SwDirectory,
     // --- accumulated effects ---
     sends: Vec<QueuedSend>,
@@ -73,14 +73,31 @@ struct ActivityFlags {
 }
 
 impl<'a> HandlerCtx<'a> {
+    #[cfg(test)]
     pub(crate) fn new(
         home: NodeId,
         nodes: usize,
         spec: ProtocolSpec,
         block: BlockAddr,
-        hw: &'a mut HwDirEntry,
+        hw: HwEntryMut<'a>,
         sw: &'a mut SwDirectory,
     ) -> Self {
+        HandlerCtx::with_send_buf(home, nodes, spec, block, hw, sw, Vec::new())
+    }
+
+    /// Like [`HandlerCtx::new`], but the send queue reuses a recycled
+    /// buffer (the engine's message pool) so steady-state traps
+    /// allocate nothing.
+    pub(crate) fn with_send_buf(
+        home: NodeId,
+        nodes: usize,
+        spec: ProtocolSpec,
+        block: BlockAddr,
+        hw: HwEntryMut<'a>,
+        sw: &'a mut SwDirectory,
+        sends: Vec<QueuedSend>,
+    ) -> Self {
+        debug_assert!(sends.is_empty());
         HandlerCtx {
             home,
             nodes,
@@ -88,7 +105,7 @@ impl<'a> HandlerCtx<'a> {
             block,
             hw,
             sw,
-            sends: Vec::new(),
+            sends,
             ptrs_stored: 0,
             wrote_state: false,
             used: ActivityFlags::default(),
@@ -123,22 +140,26 @@ impl<'a> HandlerCtx<'a> {
     /// Decodes and (later) modifies the hardware directory entry.
     /// Handlers must call this before touching the entry; it charges
     /// the `decode and modify hardware directory` activity.
-    pub fn decode_directory(&mut self) -> &mut HwDirEntry {
+    pub fn decode_directory(&mut self) -> &mut HwEntryMut<'a> {
         self.used.decode = true;
-        self.hw
+        &mut self.hw
     }
 
     /// Read-only view of the hardware entry (free: the trap already
     /// received the decoded state from hardware).
-    pub fn hw_entry(&self) -> &HwDirEntry {
-        self.hw
+    pub fn hw_entry(&self) -> &HwEntryMut<'a> {
+        &self.hw
     }
 
     /// Empties all hardware pointers into the software directory
     /// (billed per pointer stored). Returns how many moved.
+    ///
+    /// The pointers move straight from the hardware slab into the
+    /// software records — no intermediate buffer, no allocation.
     pub fn drain_hw_to_sw(&mut self) -> usize {
-        let drained = self.hw.drain_ptrs();
-        let n = self.sw.record_readers(self.block, &drained);
+        let HandlerCtx { hw, sw, block, .. } = self;
+        let n = sw.record_readers(*block, hw.ptrs());
+        hw.clear_ptrs();
         self.ptrs_stored += n;
         n
     }
@@ -162,21 +183,29 @@ impl<'a> HandlerCtx<'a> {
     /// deduplicated. Requires [`HandlerCtx::hash_admin`]-style lookup,
     /// which is billed separately by the handler.
     pub fn sharers(&mut self) -> Vec<NodeId> {
-        let mut all: Vec<NodeId> = self.hw.ptrs().to_vec();
-        all.extend_from_slice(self.sw.readers(self.block));
-        if self.hw.local_bit() {
-            all.push(self.home);
-        }
-        all.sort_unstable();
-        all.dedup();
+        let mut all = Vec::new();
+        self.sharers_into(&mut all);
         all
+    }
+
+    /// [`HandlerCtx::sharers`] into a caller-provided buffer (cleared
+    /// first) — the engine's allocation-free path.
+    pub fn sharers_into(&self, out: &mut Vec<NodeId>) {
+        out.clear();
+        out.extend_from_slice(self.hw.ptrs());
+        out.extend_from_slice(self.sw.readers(self.block));
+        if self.hw.local_bit() {
+            out.push(self.home);
+        }
+        out.sort_unstable();
+        out.dedup();
     }
 
     /// Drops the software-extended record for the block (freeing it to
     /// the free list) and clears the overflow meta-state; the entry is
     /// back under pure hardware control.
     pub fn release_to_hardware(&mut self) {
-        self.sw.drain_readers(self.block);
+        self.sw.clear_readers(self.block);
         self.hw.set_overflowed(false);
     }
 
@@ -395,18 +424,22 @@ impl ExtensionHandler for BroadcastHandler {
 mod tests {
     use super::*;
     use crate::cost::HandlerImpl;
+    use limitless_dir::HwDirTable;
 
-    fn fixture() -> (HwDirEntry, SwDirectory) {
-        (HwDirEntry::new(2), SwDirectory::new())
+    fn fixture() -> (HwDirTable, SwDirectory) {
+        let mut t = HwDirTable::new(2);
+        t.push_row();
+        (t, SwDirectory::new())
     }
 
     #[test]
     fn limitless_read_overflow_extends_directory() {
-        let (mut hw, mut sw) = fixture();
+        let (mut t, mut sw) = fixture();
+        let mut hw = t.row_mut(0);
         hw.record_reader(NodeId(1));
         hw.record_reader(NodeId(2));
         let spec = ProtocolSpec::limitless(2);
-        let mut ctx = HandlerCtx::new(NodeId(0), 16, spec, BlockAddr(7), &mut hw, &mut sw);
+        let mut ctx = HandlerCtx::new(NodeId(0), 16, spec, BlockAddr(7), hw, &mut sw);
         LimitlessHandler.read_overflow(&mut ctx, NodeId(3));
         let (bill, sends, counter, local) = ctx.finish(
             HandlerKind::ReadExtend,
@@ -418,8 +451,8 @@ mod tests {
         assert!(sends.is_empty());
         assert_eq!(counter, None);
         assert!(!local);
-        assert!(hw.overflowed());
-        assert_eq!(hw.ptr_count(), 0);
+        assert!(t.row(0).overflowed());
+        assert_eq!(t.row(0).ptr_count(), 0);
         let mut readers = sw.readers(BlockAddr(7)).to_vec();
         readers.sort_unstable();
         assert_eq!(readers, vec![NodeId(1), NodeId(2), NodeId(3)]);
@@ -427,13 +460,14 @@ mod tests {
 
     #[test]
     fn limitless_write_overflow_invalidates_all_sharers() {
-        let (mut hw, mut sw) = fixture();
+        let (mut t, mut sw) = fixture();
+        let mut hw = t.row_mut(0);
         hw.set_overflowed(true);
         sw.record_reader(BlockAddr(7), NodeId(1));
         sw.record_reader(BlockAddr(7), NodeId(2));
         hw.record_reader(NodeId(3));
         let spec = ProtocolSpec::limitless(2);
-        let mut ctx = HandlerCtx::new(NodeId(0), 16, spec, BlockAddr(7), &mut hw, &mut sw);
+        let mut ctx = HandlerCtx::new(NodeId(0), 16, spec, BlockAddr(7), hw, &mut sw);
         let sharers = ctx.sharers();
         let acks = LimitlessHandler.write_overflow(&mut ctx, NodeId(9), &sharers);
         assert_eq!(acks, 3);
@@ -446,18 +480,19 @@ mod tests {
         assert_eq!(sends.iter().filter(|s| s.is_inv).count(), 3);
         assert_eq!(counter, Some(3));
         assert!(bill.total() > 0);
-        assert!(!hw.overflowed());
+        assert!(!t.row(0).overflowed());
         assert!(sw.readers(BlockAddr(7)).is_empty());
     }
 
     #[test]
     fn limitless_write_overflow_kills_local_copy_without_ack() {
-        let (mut hw, mut sw) = fixture();
+        let (mut t, mut sw) = fixture();
+        let mut hw = t.row_mut(0);
         hw.set_overflowed(true);
         hw.set_local_bit(true);
         sw.record_reader(BlockAddr(7), NodeId(1));
         let spec = ProtocolSpec::limitless(2);
-        let mut ctx = HandlerCtx::new(NodeId(0), 16, spec, BlockAddr(7), &mut hw, &mut sw);
+        let mut ctx = HandlerCtx::new(NodeId(0), 16, spec, BlockAddr(7), hw, &mut sw);
         let sharers = ctx.sharers();
         assert!(sharers.contains(&NodeId(0)));
         let acks = LimitlessHandler.write_overflow(&mut ctx, NodeId(9), &sharers);
@@ -469,15 +504,16 @@ mod tests {
             false,
         );
         assert!(local);
-        assert!(!hw.local_bit());
+        assert!(!t.row(0).local_bit());
     }
 
     #[test]
     fn broadcast_write_invalidates_everyone_but_writer() {
-        let (mut hw, mut sw) = fixture();
+        let (mut t, mut sw) = fixture();
+        let mut hw = t.row_mut(0);
         hw.set_overflowed(true);
         let spec = ProtocolSpec::dir1_sw();
-        let mut ctx = HandlerCtx::new(NodeId(0), 8, spec, BlockAddr(7), &mut hw, &mut sw);
+        let mut ctx = HandlerCtx::new(NodeId(0), 8, spec, BlockAddr(7), hw, &mut sw);
         let acks = BroadcastHandler.write_overflow(&mut ctx, NodeId(3), &[]);
         // 8 nodes minus the writer minus the home = 6 network invs.
         assert_eq!(acks, 6);
@@ -497,20 +533,24 @@ mod tests {
 
     #[test]
     fn sharers_deduplicates_hw_and_sw() {
-        let (mut hw, mut sw) = fixture();
+        let (mut t, mut sw) = fixture();
+        let mut hw = t.row_mut(0);
         hw.record_reader(NodeId(1));
         sw.record_reader(BlockAddr(7), NodeId(1));
         sw.record_reader(BlockAddr(7), NodeId(2));
         let spec = ProtocolSpec::limitless(2);
-        let mut ctx = HandlerCtx::new(NodeId(0), 16, spec, BlockAddr(7), &mut hw, &mut sw);
+        let mut ctx = HandlerCtx::new(NodeId(0), 16, spec, BlockAddr(7), hw, &mut sw);
         assert_eq!(ctx.sharers(), vec![NodeId(1), NodeId(2)]);
+        let mut buf = vec![NodeId(9)];
+        ctx.sharers_into(&mut buf);
+        assert_eq!(buf, vec![NodeId(1), NodeId(2)]);
     }
 
     #[test]
     fn custom_charges_show_up_in_the_bill() {
-        let (mut hw, mut sw) = fixture();
+        let (mut t, mut sw) = fixture();
         let spec = ProtocolSpec::limitless(2);
-        let mut ctx = HandlerCtx::new(NodeId(0), 16, spec, BlockAddr(7), &mut hw, &mut sw);
+        let mut ctx = HandlerCtx::new(NodeId(0), 16, spec, BlockAddr(7), t.row_mut(0), &mut sw);
         ctx.charge(Activity::DataTransmit, 123);
         let (bill, ..) = ctx.finish(
             HandlerKind::ReadExtend,

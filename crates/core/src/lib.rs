@@ -57,4 +57,4 @@ pub use enhancements::{AdaptiveBroadcastHandler, MigratoryHandler, ProfilingHand
 pub use iface::{BroadcastHandler, ExtensionHandler, HandlerCtx, LimitlessHandler};
 pub use msg::{BlockMsg, ProtoMsg};
 pub use spec::{AckMode, ProtocolSpec, SwMode};
-pub use table::{BlockState, DirectoryTable};
+pub use table::{BlockStateMut, BlockStateRef, DirectoryTable};

@@ -271,6 +271,28 @@ impl HwDirEntry {
         self.ptrs.len()
     }
 
+    // -- raw escape hatches used by the SoA table's `to_model` bridge
+    //    and by differential tests; they bypass the state machine.
+
+    /// Appends a pointer without capacity or duplicate checks.
+    #[doc(hidden)]
+    pub fn raw_push_ptr(&mut self, node: NodeId) {
+        self.ptrs.push(node);
+    }
+
+    /// Sets the pending-transaction bookkeeping directly.
+    #[doc(hidden)]
+    pub fn set_pending(&mut self, requester: Option<NodeId>, is_write: bool) {
+        self.pending_requester = requester;
+        self.pending_is_write = is_write;
+    }
+
+    /// Sets the owner field directly (regardless of state).
+    #[doc(hidden)]
+    pub fn set_raw_owner(&mut self, owner: Option<NodeId>) {
+        self.owner = owner;
+    }
+
     /// Entry-local structural invariants, checked by the coherence
     /// sanitizer after every directory transition: pointer bounds, no
     /// duplicate pointers, and counter/requester bookkeeping agreeing

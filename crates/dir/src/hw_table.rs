@@ -1,0 +1,652 @@
+//! Struct-of-arrays storage for hardware directory entries.
+//!
+//! [`super::hw::HwDirEntry`] models one entry as a fat struct with its
+//! own heap-allocated pointer array — fine for reasoning, wasteful for
+//! a table of hundreds of thousands of entries where a directory event
+//! touches exactly one. `HwDirTable` stores the same state as parallel
+//! columns: one `Vec` per field, flag bits packed into a `u8` bitset
+//! column, `Option<NodeId>` fields collapsed to [`NodeId::NONE`]
+//! sentinels, and every entry's pointer array carved out of one flat
+//! slab at a uniform stride (the protocol's pointer capacity is a
+//! per-machine constant, so the stride is too). A directory event
+//! reads a handful of adjacent bytes instead of chasing a `Vec` per
+//! block, and draining the pointers to software no longer gives up the
+//! entry's pointer storage.
+//!
+//! [`HwEntryMut`] and [`HwEntryRef`] are row views exposing the exact
+//! `HwDirEntry` method set, so the protocol engine and the
+//! [`ExtensionHandler`](../../limitless_core) ecosystem are oblivious
+//! to the layout change; `hw.rs` is kept as the reference model the
+//! table is differentially tested against.
+
+use limitless_sim::NodeId;
+
+use crate::hw::{HwDirEntry, HwState, PtrStoreOutcome};
+
+/// Bit positions in the packed per-entry flag column.
+mod flag {
+    /// The home node itself holds a read-only copy (one-bit pointer).
+    pub const LOCAL_BIT: u8 = 1 << 0;
+    /// The entry has overflowed into the software extension.
+    pub const OVERFLOWED: u8 = 1 << 1;
+    /// The pending transaction request is a write.
+    pub const PENDING_IS_WRITE: u8 = 1 << 2;
+}
+
+/// Column-oriented storage for every hardware directory entry of one
+/// home node.
+///
+/// # Examples
+///
+/// ```
+/// use limitless_dir::{HwDirTable, HwState, PtrStoreOutcome};
+/// use limitless_sim::NodeId;
+///
+/// let mut t = HwDirTable::new(2);
+/// let row = t.push_row();
+/// let mut e = t.row_mut(row);
+/// assert_eq!(e.record_reader(NodeId(1)), PtrStoreOutcome::Stored);
+/// assert_eq!(e.record_reader(NodeId(2)), PtrStoreOutcome::Stored);
+/// assert_eq!(e.record_reader(NodeId(3)), PtrStoreOutcome::Overflow);
+/// assert_eq!(t.row(row).state(), HwState::Uncached); // engine sets states
+/// assert_eq!(t.row(row).ptrs(), &[NodeId(1), NodeId(2)]);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct HwDirTable {
+    /// Uniform pointer capacity (= the slab stride).
+    capacity: usize,
+    state: Vec<HwState>,
+    flags: Vec<u8>,
+    acks: Vec<u32>,
+    /// Pending transaction requester ([`NodeId::NONE`] when absent).
+    pending: Vec<NodeId>,
+    /// Sole owner in `ReadWrite` ([`NodeId::NONE`] when absent).
+    owner: Vec<NodeId>,
+    /// Pointers in use per entry.
+    len: Vec<u16>,
+    /// Flat pointer slab; entry `i` owns `slab[i*capacity..][..capacity]`.
+    slab: Vec<NodeId>,
+}
+
+impl HwDirTable {
+    /// Creates an empty table whose entries have `capacity` hardware
+    /// pointers each.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` exceeds `u16::MAX` (pointer counts are
+    /// stored as `u16`; machines are at most 65 536 nodes).
+    pub fn new(capacity: usize) -> Self {
+        assert!(
+            capacity <= usize::from(u16::MAX),
+            "pointer capacity too large"
+        );
+        HwDirTable {
+            capacity,
+            ..HwDirTable::default()
+        }
+    }
+
+    /// The uniform pointer capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.state.len()
+    }
+
+    /// Whether the table has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.state.is_empty()
+    }
+
+    /// Appends a fresh `Uncached` entry, returning its row index.
+    pub fn push_row(&mut self) -> u32 {
+        let row = u32::try_from(self.state.len()).expect("more than 2^32 directory rows");
+        self.state.push(HwState::Uncached);
+        self.flags.push(0);
+        self.acks.push(0);
+        self.pending.push(NodeId::NONE);
+        self.owner.push(NodeId::NONE);
+        self.len.push(0);
+        self.slab
+            .resize(self.slab.len() + self.capacity, NodeId::NONE);
+        row
+    }
+
+    /// Read-only view of one entry.
+    #[inline]
+    pub fn row(&self, row: u32) -> HwEntryRef<'_> {
+        HwEntryRef {
+            t: self,
+            i: row as usize,
+        }
+    }
+
+    /// Mutable view of one entry.
+    #[inline]
+    pub fn row_mut(&mut self, row: u32) -> HwEntryMut<'_> {
+        HwEntryMut {
+            i: row as usize,
+            t: self,
+        }
+    }
+
+    #[inline]
+    fn ptr_slice(&self, i: usize) -> &[NodeId] {
+        &self.slab[i * self.capacity..][..usize::from(self.len[i])]
+    }
+}
+
+macro_rules! shared_row_accessors {
+    () => {
+        /// Current coherence state.
+        #[inline]
+        pub fn state(&self) -> HwState {
+            self.t.state[self.i]
+        }
+
+        /// The hardware pointer capacity.
+        #[inline]
+        pub fn capacity(&self) -> usize {
+            self.t.capacity
+        }
+
+        /// The pointers currently stored in hardware.
+        #[inline]
+        pub fn ptrs(&self) -> &[NodeId] {
+            self.t.ptr_slice(self.i)
+        }
+
+        /// Number of hardware pointers in use.
+        #[inline]
+        pub fn ptr_count(&self) -> usize {
+            usize::from(self.t.len[self.i])
+        }
+
+        /// Whether the one-bit local pointer is set.
+        #[inline]
+        pub fn local_bit(&self) -> bool {
+            self.t.flags[self.i] & flag::LOCAL_BIT != 0
+        }
+
+        /// Whether the entry has overflowed into the software extension.
+        #[inline]
+        pub fn overflowed(&self) -> bool {
+            self.t.flags[self.i] & flag::OVERFLOWED != 0
+        }
+
+        /// Outstanding acknowledgment count.
+        #[inline]
+        pub fn acks_pending(&self) -> u32 {
+            self.t.acks[self.i]
+        }
+
+        /// The requester recorded for transaction completion.
+        #[inline]
+        pub fn pending_requester(&self) -> Option<NodeId> {
+            self.t.pending[self.i].get()
+        }
+
+        /// Whether the pending request is a write.
+        #[inline]
+        pub fn pending_is_write(&self) -> bool {
+            self.t.flags[self.i] & flag::PENDING_IS_WRITE != 0
+        }
+
+        /// The sole owner when in `ReadWrite` state.
+        #[inline]
+        pub fn owner(&self) -> Option<NodeId> {
+            if self.state() == HwState::ReadWrite {
+                self.t.owner[self.i].get()
+            } else {
+                None
+            }
+        }
+
+        /// Entry-local structural invariants (same checks and messages
+        /// as [`HwDirEntry::structural_invariants`]).
+        pub fn structural_invariants(&self) -> Result<(), String> {
+            let ptrs = self.ptrs();
+            if ptrs.len() > self.capacity() {
+                return Err(format!(
+                    "{} pointers stored in a {}-pointer entry",
+                    ptrs.len(),
+                    self.capacity()
+                ));
+            }
+            for (i, &p) in ptrs.iter().enumerate() {
+                if ptrs[..i].contains(&p) {
+                    return Err(format!("duplicate hardware pointer {p}"));
+                }
+            }
+            match self.state() {
+                HwState::Uncached | HwState::ReadOnly | HwState::ReadWrite => {
+                    if self.acks_pending() != 0 {
+                        return Err(format!(
+                            "{} acknowledgments outstanding outside a transaction ({:?})",
+                            self.acks_pending(),
+                            self.state()
+                        ));
+                    }
+                }
+                HwState::ReadTransaction | HwState::WriteTransaction => {
+                    if self.pending_requester().is_none() {
+                        return Err(format!("{:?} with no pending requester", self.state()));
+                    }
+                    if !ptrs.is_empty() {
+                        return Err(format!(
+                            "{:?} holds {} pointers while the storage doubles as the ack counter",
+                            self.state(),
+                            ptrs.len()
+                        ));
+                    }
+                    let want_write = self.state() == HwState::WriteTransaction;
+                    if self.pending_is_write() != want_write {
+                        return Err(format!(
+                            "{:?} records a pending {}",
+                            self.state(),
+                            if self.pending_is_write() {
+                                "write"
+                            } else {
+                                "read"
+                            }
+                        ));
+                    }
+                }
+            }
+            Ok(())
+        }
+
+        /// Copies the row into the fat reference model (for the
+        /// sanitizer's history records and differential tests).
+        pub fn to_model(&self) -> HwDirEntry {
+            let mut e = HwDirEntry::new(self.capacity());
+            e.set_state(self.state());
+            for &p in self.ptrs() {
+                e.raw_push_ptr(p);
+            }
+            e.set_local_bit(self.local_bit());
+            e.set_overflowed(self.overflowed());
+            e.set_acks_pending(self.acks_pending());
+            e.set_pending(self.pending_requester(), self.pending_is_write());
+            e.set_raw_owner(self.t.owner[self.i].get());
+            e
+        }
+    };
+}
+
+/// Read-only view of one [`HwDirTable`] row.
+#[derive(Clone, Copy, Debug)]
+pub struct HwEntryRef<'a> {
+    t: &'a HwDirTable,
+    i: usize,
+}
+
+impl<'a> HwEntryRef<'a> {
+    shared_row_accessors!();
+}
+
+/// Mutable view of one [`HwDirTable`] row, exposing the exact
+/// [`HwDirEntry`] method set over the column storage.
+#[derive(Debug)]
+pub struct HwEntryMut<'a> {
+    t: &'a mut HwDirTable,
+    i: usize,
+}
+
+impl<'a> HwEntryMut<'a> {
+    shared_row_accessors!();
+
+    /// Reborrows the view for a shorter lifetime (to hand it to a
+    /// [`HandlerCtx`](../../limitless_core) without giving it up).
+    #[inline]
+    pub fn reborrow(&mut self) -> HwEntryMut<'_> {
+        HwEntryMut {
+            t: &mut *self.t,
+            i: self.i,
+        }
+    }
+
+    /// Read-only alias of this row.
+    #[inline]
+    pub fn as_ref(&self) -> HwEntryRef<'_> {
+        HwEntryRef {
+            t: &*self.t,
+            i: self.i,
+        }
+    }
+
+    /// Sets the coherence state.
+    #[inline]
+    pub fn set_state(&mut self, s: HwState) {
+        self.t.state[self.i] = s;
+    }
+
+    /// Sets or clears the one-bit local pointer.
+    #[inline]
+    pub fn set_local_bit(&mut self, v: bool) {
+        self.set_flag(flag::LOCAL_BIT, v);
+    }
+
+    /// Marks the entry as extended in software, or back to
+    /// hardware-only.
+    #[inline]
+    pub fn set_overflowed(&mut self, v: bool) {
+        self.set_flag(flag::OVERFLOWED, v);
+    }
+
+    #[inline]
+    fn set_flag(&mut self, bit: u8, v: bool) {
+        if v {
+            self.t.flags[self.i] |= bit;
+        } else {
+            self.t.flags[self.i] &= !bit;
+        }
+    }
+
+    /// Records a read-only sharer; identical semantics to
+    /// [`HwDirEntry::record_reader`] (duplicates are stored, a full
+    /// pointer array overflows).
+    pub fn record_reader(&mut self, node: NodeId) -> PtrStoreOutcome {
+        if self.ptrs().contains(&node) {
+            return PtrStoreOutcome::Stored;
+        }
+        let n = usize::from(self.t.len[self.i]);
+        if n < self.t.capacity {
+            self.t.slab[self.i * self.t.capacity + n] = node;
+            self.t.len[self.i] += 1;
+            PtrStoreOutcome::Stored
+        } else {
+            PtrStoreOutcome::Overflow
+        }
+    }
+
+    /// Removes a specific pointer (swap-remove, like the model).
+    /// Returns whether it was present.
+    pub fn remove_ptr(&mut self, node: NodeId) -> bool {
+        let base = self.i * self.t.capacity;
+        let n = usize::from(self.t.len[self.i]);
+        let ptrs = &mut self.t.slab[base..base + n];
+        if let Some(p) = ptrs.iter().position(|&q| q == node) {
+            ptrs[p] = ptrs[n - 1];
+            self.t.len[self.i] -= 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Empties all hardware pointers, returning them in insertion
+    /// order (allocating compatibility shim over
+    /// [`HwEntryMut::take_ptrs_into`]).
+    pub fn drain_ptrs(&mut self) -> Vec<NodeId> {
+        let mut out = Vec::new();
+        self.take_ptrs_into(&mut out);
+        out
+    }
+
+    /// Empties all hardware pointers into `out` (appending, insertion
+    /// order preserved) without touching the heap — the slab storage
+    /// stays with the entry.
+    pub fn take_ptrs_into(&mut self, out: &mut Vec<NodeId>) {
+        out.extend_from_slice(self.ptrs());
+        self.t.len[self.i] = 0;
+    }
+
+    /// Empties all hardware pointers without reading them.
+    pub fn clear_ptrs(&mut self) {
+        self.t.len[self.i] = 0;
+    }
+
+    /// Installs a single owner pointer for the `ReadWrite` state.
+    pub fn set_sole_owner(&mut self, node: NodeId) {
+        self.t.len[self.i] = 0;
+        self.t.owner[self.i] = node;
+        self.t.state[self.i] = HwState::ReadWrite;
+        self.set_local_bit(false);
+    }
+
+    /// Clears the owner pointer (leaving `ReadWrite`).
+    pub fn clear_owner(&mut self) {
+        self.t.owner[self.i] = NodeId::NONE;
+    }
+
+    /// Begins a transaction; identical semantics to
+    /// [`HwDirEntry::begin_transaction`] (the ack counter reuses
+    /// pointer storage, so the pointers are cleared).
+    pub fn begin_transaction(
+        &mut self,
+        state: HwState,
+        acks: u32,
+        requester: Option<NodeId>,
+        is_write: bool,
+    ) {
+        debug_assert!(matches!(
+            state,
+            HwState::ReadTransaction | HwState::WriteTransaction
+        ));
+        self.t.len[self.i] = 0;
+        self.t.state[self.i] = state;
+        self.t.acks[self.i] = acks;
+        self.t.pending[self.i] = NodeId::from_option(requester);
+        self.set_flag(flag::PENDING_IS_WRITE, is_write);
+    }
+
+    /// Sets the outstanding acknowledgment count.
+    #[inline]
+    pub fn set_acks_pending(&mut self, n: u32) {
+        self.t.acks[self.i] = n;
+    }
+
+    /// Counts one acknowledgment; returns the number still pending.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no acknowledgments are outstanding (a protocol bug).
+    pub fn count_ack(&mut self) -> u32 {
+        assert!(self.t.acks[self.i] > 0, "spurious acknowledgment");
+        self.t.acks[self.i] -= 1;
+        self.t.acks[self.i]
+    }
+
+    /// Clears transaction bookkeeping (on completion).
+    pub fn end_transaction(&mut self) {
+        self.t.acks[self.i] = 0;
+        self.t.pending[self.i] = NodeId::NONE;
+        self.set_flag(flag::PENDING_IS_WRITE, false);
+    }
+
+    /// Resets the entry to `Uncached` with no pointers.
+    pub fn reset(&mut self) {
+        self.t.state[self.i] = HwState::Uncached;
+        self.t.len[self.i] = 0;
+        self.t.owner[self.i] = NodeId::NONE;
+        self.set_local_bit(false);
+        self.set_overflowed(false);
+        self.end_transaction();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn one_row(capacity: usize) -> HwDirTable {
+        let mut t = HwDirTable::new(capacity);
+        t.push_row();
+        t
+    }
+
+    #[test]
+    fn pointers_fill_then_overflow() {
+        let mut t = one_row(2);
+        let mut e = t.row_mut(0);
+        assert_eq!(e.record_reader(NodeId(1)), PtrStoreOutcome::Stored);
+        assert_eq!(e.record_reader(NodeId(2)), PtrStoreOutcome::Stored);
+        assert_eq!(e.record_reader(NodeId(3)), PtrStoreOutcome::Overflow);
+        assert_eq!(e.ptr_count(), 2);
+        assert_eq!(e.record_reader(NodeId(1)), PtrStoreOutcome::Stored);
+    }
+
+    #[test]
+    fn rows_are_independent() {
+        let mut t = HwDirTable::new(3);
+        let (a, b) = (t.push_row(), t.push_row());
+        t.row_mut(a).record_reader(NodeId(1));
+        t.row_mut(b).record_reader(NodeId(9));
+        t.row_mut(b).set_local_bit(true);
+        assert_eq!(t.row(a).ptrs(), &[NodeId(1)]);
+        assert_eq!(t.row(b).ptrs(), &[NodeId(9)]);
+        assert!(!t.row(a).local_bit());
+        assert!(t.row(b).local_bit());
+    }
+
+    #[test]
+    fn drain_preserves_insertion_order_and_keeps_slab() {
+        let mut t = one_row(3);
+        let mut e = t.row_mut(0);
+        e.record_reader(NodeId(2));
+        e.record_reader(NodeId(1));
+        let mut out = Vec::new();
+        e.take_ptrs_into(&mut out);
+        assert_eq!(out, vec![NodeId(2), NodeId(1)]);
+        assert_eq!(e.ptr_count(), 0);
+        assert_eq!(e.record_reader(NodeId(3)), PtrStoreOutcome::Stored);
+    }
+
+    #[test]
+    fn remove_ptr_is_swap_remove_like_the_model() {
+        let mut t = one_row(4);
+        let mut m = HwDirEntry::new(4);
+        let mut e = t.row_mut(0);
+        for n in [1u16, 2, 3, 4] {
+            e.record_reader(NodeId(n));
+            m.record_reader(NodeId(n));
+        }
+        assert_eq!(e.remove_ptr(NodeId(2)), m.remove_ptr(NodeId(2)));
+        assert_eq!(e.ptrs(), m.ptrs());
+        assert_eq!(e.remove_ptr(NodeId(2)), m.remove_ptr(NodeId(2)));
+    }
+
+    #[test]
+    fn transaction_round_trip_matches_model_invariants() {
+        let mut t = one_row(2);
+        let mut e = t.row_mut(0);
+        e.record_reader(NodeId(1));
+        e.begin_transaction(HwState::WriteTransaction, 2, Some(NodeId(9)), true);
+        assert_eq!(e.ptr_count(), 0);
+        assert!(e.structural_invariants().is_ok());
+        assert_eq!(e.count_ack(), 1);
+        assert_eq!(e.count_ack(), 0);
+        assert_eq!(e.pending_requester(), Some(NodeId(9)));
+        e.end_transaction();
+        assert_eq!(e.acks_pending(), 0);
+        assert_eq!(e.pending_requester(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "spurious acknowledgment")]
+    fn spurious_ack_panics() {
+        let mut t = one_row(1);
+        t.row_mut(0).count_ack();
+    }
+
+    #[test]
+    fn owner_only_visible_in_read_write() {
+        let mut t = one_row(0);
+        let mut e = t.row_mut(0);
+        e.set_sole_owner(NodeId(3));
+        assert_eq!(e.owner(), Some(NodeId(3)));
+        e.set_state(HwState::Uncached);
+        assert_eq!(e.owner(), None);
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let mut t = one_row(2);
+        let mut e = t.row_mut(0);
+        e.record_reader(NodeId(1));
+        e.set_local_bit(true);
+        e.set_overflowed(true);
+        e.begin_transaction(HwState::WriteTransaction, 1, Some(NodeId(3)), false);
+        e.reset();
+        assert_eq!(e.state(), HwState::Uncached);
+        assert_eq!(e.ptr_count(), 0);
+        assert!(!e.local_bit());
+        assert!(!e.overflowed());
+        assert_eq!(e.acks_pending(), 0);
+        assert!(e.to_model().structural_invariants().is_ok());
+    }
+
+    /// Differential check: a pseudo-random operation tape applied to
+    /// both representations must leave them observably identical at
+    /// every step.
+    #[test]
+    fn differential_against_fat_model() {
+        for cap in [0usize, 1, 2, 5] {
+            let mut t = one_row(cap);
+            let mut m = HwDirEntry::new(cap);
+            let mut rng = 0x9e37_79b9_7f4a_7c15u64 ^ (cap as u64);
+            for step in 0..4000 {
+                rng = rng
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                let node = NodeId((rng >> 33) as u16 % 8);
+                let mut e = t.row_mut(0);
+                match (rng >> 56) % 10 {
+                    0..=2 => {
+                        assert_eq!(e.record_reader(node), m.record_reader(node), "step {step}");
+                    }
+                    3 => {
+                        assert_eq!(e.remove_ptr(node), m.remove_ptr(node));
+                    }
+                    4 => {
+                        assert_eq!(e.drain_ptrs(), m.drain_ptrs());
+                    }
+                    5 => {
+                        e.set_sole_owner(node);
+                        m.set_sole_owner(node);
+                    }
+                    6 => {
+                        e.begin_transaction(HwState::WriteTransaction, 3, Some(node), true);
+                        m.begin_transaction(HwState::WriteTransaction, 3, Some(node), true);
+                        assert_eq!(e.count_ack(), m.count_ack());
+                        e.end_transaction();
+                        m.end_transaction();
+                        e.set_state(HwState::Uncached);
+                        m.set_state(HwState::Uncached);
+                    }
+                    7 => {
+                        e.set_local_bit(node.0.is_multiple_of(2));
+                        m.set_local_bit(node.0.is_multiple_of(2));
+                        e.set_overflowed(node.0.is_multiple_of(3));
+                        m.set_overflowed(node.0.is_multiple_of(3));
+                    }
+                    8 => {
+                        e.reset();
+                        m.reset();
+                    }
+                    _ => {
+                        e.clear_owner();
+                        m.clear_owner();
+                    }
+                }
+                let e = t.row(0);
+                assert_eq!(e.state(), m.state(), "step {step}");
+                assert_eq!(e.ptrs(), m.ptrs(), "step {step}");
+                assert_eq!(e.local_bit(), m.local_bit());
+                assert_eq!(e.overflowed(), m.overflowed());
+                assert_eq!(e.acks_pending(), m.acks_pending());
+                assert_eq!(e.pending_requester(), m.pending_requester());
+                assert_eq!(e.owner(), m.owner());
+                assert_eq!(
+                    e.structural_invariants().is_ok(),
+                    m.structural_invariants().is_ok()
+                );
+            }
+        }
+    }
+}

@@ -14,6 +14,12 @@
 //!   structures the protocol extension software manipulates through
 //!   the flexible coherence interface (paper §4.1).
 //!
+//! Production storage for the hardware half is the struct-of-arrays
+//! [`HwDirTable`], whose [`HwEntryMut`]/[`HwEntryRef`] row views expose
+//! the `HwDirEntry` method set over packed column vectors and a flat
+//! pointer slab; `HwDirEntry` itself remains the fat reference model
+//! the table is differentially tested against.
+//!
 //! # Examples
 //!
 //! ```
@@ -27,7 +33,9 @@
 //! ```
 
 pub mod hw;
+pub mod hw_table;
 pub mod sw;
 
 pub use hw::{HwDirEntry, HwState, PtrStoreOutcome};
+pub use hw_table::{HwDirTable, HwEntryMut, HwEntryRef};
 pub use sw::{SwDirEntry, SwDirStats, SwDirectory};

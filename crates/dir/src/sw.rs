@@ -161,6 +161,26 @@ impl SwDirectory {
         }
     }
 
+    /// Removes all readers for `block` without returning them, freeing
+    /// its record back to the free list *with its reader-array
+    /// capacity intact* (unlike [`SwDirectory::drain_readers`], which
+    /// moves the array out). This is the zero-allocation path for
+    /// handlers that invalidate from a separately computed sharer list.
+    /// Returns how many readers were dropped.
+    pub fn clear_readers(&mut self, block: BlockAddr) -> usize {
+        self.stats.lookups += 1;
+        match self.table.remove(&block) {
+            Some(mut rec) => {
+                let n = rec.readers.len();
+                rec.readers.clear();
+                self.stats.frees += 1;
+                self.free_list.push(rec);
+                n
+            }
+            None => 0,
+        }
+    }
+
     /// The readers recorded for `block` (empty slice if none).
     pub fn readers(&self, block: BlockAddr) -> &[NodeId] {
         self.table.get(&block).map_or(&[], |e| e.readers())
@@ -261,6 +281,22 @@ mod tests {
         let added = d.record_readers(BlockAddr(1), &[NodeId(2), NodeId(3), NodeId(4)]);
         assert_eq!(added, 2);
         assert_eq!(d.readers(BlockAddr(1)).len(), 3);
+    }
+
+    #[test]
+    fn clear_readers_keeps_recycled_capacity() {
+        let mut d = SwDirectory::new();
+        for n in 0..8 {
+            d.record_reader(BlockAddr(1), NodeId(n));
+        }
+        assert_eq!(d.clear_readers(BlockAddr(1)), 8);
+        assert_eq!(d.live_entries(), 0);
+        assert_eq!(d.stats().frees, 1);
+        // The recycled record still owns its grown reader array, so
+        // re-recording up to the old high-water mark allocates nothing.
+        d.record_reader(BlockAddr(2), NodeId(0));
+        assert_eq!(d.readers(BlockAddr(2)), &[NodeId(0)]);
+        assert_eq!(d.clear_readers(BlockAddr(3)), 0);
     }
 
     #[test]

@@ -117,6 +117,65 @@ impl MachineConfig {
     }
 }
 
+/// Why a [`MachineConfig`] cannot be built.
+///
+/// Every invalid size that used to surface as a panic deep inside
+/// machine construction (`DirectCache::new`'s power-of-two assert, the
+/// `NodeId` sentinel collision) is caught here, at configuration time,
+/// with a message naming the offending parameter.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ConfigError {
+    /// The node count is zero.
+    ZeroNodes,
+    /// The node count collides with the `NodeId::NONE` sentinel
+    /// (`u16::MAX`): at most 65 535 nodes are addressable.
+    TooManyNodes {
+        /// The requested node count.
+        requested: usize,
+    },
+    /// The cache line size is zero or not a power of two.
+    BadLineBytes {
+        /// The requested line size.
+        line_bytes: u64,
+    },
+    /// The cache capacity is not a positive power-of-two multiple of
+    /// the line size (the direct-mapped array needs a power-of-two set
+    /// count).
+    BadCacheGeometry {
+        /// The requested capacity.
+        capacity_bytes: u64,
+        /// The requested line size.
+        line_bytes: u64,
+    },
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            ConfigError::ZeroNodes => write!(f, "machine needs at least one node"),
+            ConfigError::TooManyNodes { requested } => write!(
+                f,
+                "machine of {requested} nodes exceeds the 65535-node \
+                 NodeId address space"
+            ),
+            ConfigError::BadLineBytes { line_bytes } => write!(
+                f,
+                "cache line size must be a positive power of two bytes, got {line_bytes}"
+            ),
+            ConfigError::BadCacheGeometry {
+                capacity_bytes,
+                line_bytes,
+            } => write!(
+                f,
+                "cache capacity ({capacity_bytes} B) over line size ({line_bytes} B) \
+                 must give a positive power-of-two set count"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
 /// Builder for [`MachineConfig`].
 ///
 /// # Examples
@@ -263,19 +322,58 @@ impl MachineConfigBuilder {
         self
     }
 
-    /// Finalizes the configuration.
+    /// Finalizes the configuration, validating every size the machine
+    /// layers would otherwise panic on mid-construction.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the node count is zero.
-    pub fn build(mut self) -> MachineConfig {
-        assert!(self.cfg.nodes > 0, "machine needs at least one node");
+    /// Returns a [`ConfigError`] naming the offending parameter: a
+    /// zero or sentinel-colliding node count, a non-power-of-two line
+    /// size, or a cache geometry without a power-of-two set count.
+    pub fn try_build(mut self) -> Result<MachineConfig, ConfigError> {
+        if self.cfg.nodes == 0 {
+            return Err(ConfigError::ZeroNodes);
+        }
+        if self.cfg.nodes > usize::from(u16::MAX) {
+            return Err(ConfigError::TooManyNodes {
+                requested: self.cfg.nodes,
+            });
+        }
+        let cache = self.cfg.cache;
+        if cache.line_bytes == 0 || !cache.line_bytes.is_power_of_two() {
+            return Err(ConfigError::BadLineBytes {
+                line_bytes: cache.line_bytes,
+            });
+        }
+        let sets = cache.capacity_bytes / cache.line_bytes;
+        if sets == 0
+            || !sets.is_power_of_two()
+            || !cache.capacity_bytes.is_multiple_of(cache.line_bytes)
+        {
+            return Err(ConfigError::BadCacheGeometry {
+                capacity_bytes: cache.capacity_bytes,
+                line_bytes: cache.line_bytes,
+            });
+        }
         if self.cfg.barrier_cycles == 0 {
             // A dissemination/tree barrier: O(log n) network phases.
             let log = usize::BITS - self.cfg.nodes.next_power_of_two().leading_zeros() - 1;
             self.cfg.barrier_cycles = 20 + 12 * u64::from(log);
         }
-        self.cfg
+        Ok(self.cfg)
+    }
+
+    /// Finalizes the configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics on any [`ConfigError`] (see
+    /// [`MachineConfigBuilder::try_build`] for the fallible form).
+    pub fn build(self) -> MachineConfig {
+        match self.try_build() {
+            Ok(cfg) => cfg,
+            Err(e) => panic!("{e}"),
+        }
     }
 }
 
@@ -315,6 +413,84 @@ mod tests {
     #[should_panic(expected = "at least one node")]
     fn zero_nodes_panics() {
         MachineConfig::builder().nodes(0).build();
+    }
+
+    #[test]
+    fn try_build_rejects_zero_nodes() {
+        assert_eq!(
+            MachineConfig::builder().nodes(0).try_build().unwrap_err(),
+            ConfigError::ZeroNodes
+        );
+    }
+
+    #[test]
+    fn try_build_rejects_sentinel_colliding_node_counts() {
+        // u16::MAX is NodeId::NONE; one fewer is the last addressable
+        // machine size.
+        assert!(MachineConfig::builder().nodes(65_535).try_build().is_ok());
+        assert_eq!(
+            MachineConfig::builder()
+                .nodes(65_536)
+                .try_build()
+                .unwrap_err(),
+            ConfigError::TooManyNodes { requested: 65_536 }
+        );
+    }
+
+    #[test]
+    fn try_build_rejects_bad_line_sizes() {
+        for bad in [0, 3, 24] {
+            let mut cache = CacheConfig::alewife();
+            cache.line_bytes = bad;
+            assert_eq!(
+                MachineConfig::builder()
+                    .cache(cache)
+                    .try_build()
+                    .unwrap_err(),
+                ConfigError::BadLineBytes { line_bytes: bad }
+            );
+        }
+    }
+
+    #[test]
+    fn try_build_rejects_non_power_of_two_set_counts() {
+        // 48 B / 16 B = 3 sets: previously a panic inside
+        // `DirectCache::new` at machine construction, now a typed error
+        // at configuration time.
+        let mut cache = CacheConfig::alewife();
+        cache.capacity_bytes = 48;
+        assert_eq!(
+            MachineConfig::builder()
+                .cache(cache)
+                .try_build()
+                .unwrap_err(),
+            ConfigError::BadCacheGeometry {
+                capacity_bytes: 48,
+                line_bytes: 16
+            }
+        );
+        // Capacity smaller than one line: zero sets.
+        cache.capacity_bytes = 8;
+        assert!(matches!(
+            MachineConfig::builder()
+                .cache(cache)
+                .try_build()
+                .unwrap_err(),
+            ConfigError::BadCacheGeometry { .. }
+        ));
+    }
+
+    #[test]
+    fn config_error_messages_name_the_parameter() {
+        let err = MachineConfig::builder().nodes(0).try_build().unwrap_err();
+        assert!(err.to_string().contains("at least one node"));
+        let mut cache = CacheConfig::alewife();
+        cache.capacity_bytes = 48;
+        let err = MachineConfig::builder()
+            .cache(cache)
+            .try_build()
+            .unwrap_err();
+        assert!(err.to_string().contains("power-of-two set count"));
     }
 
     #[test]

@@ -329,6 +329,18 @@ impl Machine {
         self.read_log.as_deref()
     }
 
+    /// Per-home fingerprints of the machine-wide block-id assignment,
+    /// one per node in node order. Dense block ids are allocated in
+    /// first-touch order at each home, so these are a sensitive probe
+    /// of event ordering: serial and sharded runs of the same workload
+    /// must produce identical vectors.
+    pub fn interner_fingerprints(&self) -> Vec<u64> {
+        self.nodes
+            .iter()
+            .map(|n| n.engine.interner_fingerprint())
+            .collect()
+    }
+
     /// Loads one program per node.
     ///
     /// # Panics
@@ -351,6 +363,6 @@ impl Machine {
     }
 
     pub(crate) fn home_of(&self, block: BlockAddr) -> NodeId {
-        NodeId::from_index((block.0 % self.nodes.len() as u64) as usize)
+        NodeId::from_index(limitless_sim::fast_mod(block.0, self.nodes.len() as u64) as usize)
     }
 }

@@ -176,7 +176,7 @@ impl Shard {
 
     #[inline]
     pub(crate) fn home_of(&self, block: BlockAddr) -> NodeId {
-        NodeId::from_index((block.0 % self.total_nodes as u64) as usize)
+        NodeId::from_index(limitless_sim::fast_mod(block.0, self.total_nodes as u64) as usize)
     }
 
     /// Allocates the next tie-break key for an event scheduled by

@@ -25,7 +25,9 @@ pub(crate) struct LockState {
 impl Shard {
     /// The node servicing lock `lock`'s protocol messages.
     pub(crate) fn lock_home(&self, lock: u32) -> NodeId {
-        NodeId::from_index(lock as usize % self.total_nodes)
+        NodeId::from_index(
+            limitless_sim::fast_mod(u64::from(lock), self.total_nodes as u64) as usize,
+        )
     }
 
     /// Acts on a synchronization message arriving at `dst`.

@@ -105,5 +105,8 @@ impl Shard {
             }
             self.send(home, s.dst, block, s.msg, depart);
         }
+        // Hand heap-spilled send storage back to the engine's pool:
+        // the next invalidation burst reuses it instead of allocating.
+        self.node_mut(home).engine.recycle(out);
     }
 }

@@ -1,0 +1,112 @@
+//! The engine-equivalence property at scale: a 256-node machine run
+//! serially and with 2 and 4 event lanes must produce bit-identical
+//! results — the same cycle count, event count, aggregate statistics,
+//! final memory image and, most sensitively, the same machine-wide
+//! block-id assignment. Dense block ids are handed out in first-touch
+//! order at each home node, so the per-home interner fingerprints
+//! detect *any* reordering of directory events between engines, even
+//! one that happens not to change a counter.
+
+use limitless_core::ProtocolSpec;
+use limitless_machine::{FnProgram, Machine, MachineConfig, Op, Program, RunReport};
+use limitless_sim::{Addr, NodeId, SplitMix64};
+
+const NODES: usize = 256;
+const BLOCKS: u64 = 512;
+const STEPS: usize = 48;
+
+/// Random partitioned-writer programs (each node writes only its own
+/// blocks, reads anywhere), the same construction the protocol
+/// equivalence property uses — scaled to 256 nodes.
+fn programs(seed: u64) -> Vec<Box<dyn Program>> {
+    (0..NODES)
+        .map(|i| {
+            let mut rng = SplitMix64::new(seed ^ (i as u64).wrapping_mul(0x9E37_79B9));
+            let mut step = 0usize;
+            Box::new(FnProgram(move |node: NodeId, _| {
+                if step >= STEPS {
+                    return Op::Finish;
+                }
+                step += 1;
+                if step.is_multiple_of(16) {
+                    return Op::Barrier;
+                }
+                let r = rng.next_below(10);
+                if r < 3 {
+                    let b =
+                        u64::from(node.0) + NODES as u64 * rng.next_below(BLOCKS / NODES as u64);
+                    Op::Write(Addr(0x1000 + b * 16), u64::from(node.0) << 32 | step as u64)
+                } else if r < 4 {
+                    Op::Compute(rng.next_below(60) + 1)
+                } else {
+                    Op::Read(Addr(0x1000 + rng.next_below(BLOCKS) * 16))
+                }
+            })) as Box<dyn Program>
+        })
+        .collect()
+}
+
+struct RunOutput {
+    report: RunReport,
+    image: Vec<(Addr, u64)>,
+    fingerprints: Vec<u64>,
+}
+
+fn run(seed: u64, shards: usize) -> RunOutput {
+    let mut m = Machine::new(
+        MachineConfig::builder()
+            .nodes(NODES)
+            .protocol(ProtocolSpec::limitless(5))
+            .shards(shards)
+            .build(),
+    );
+    m.load(programs(seed));
+    let report = m.run();
+    RunOutput {
+        image: m.memory_image(),
+        fingerprints: m.interner_fingerprints(),
+        report,
+    }
+}
+
+#[test]
+fn sharded_runs_at_256_nodes_are_bit_identical() {
+    const CASES: u64 = 3;
+    let mut case_rng = SplitMix64::new(0x256);
+    for _ in 0..CASES {
+        let seed = case_rng.next_u64();
+        let reference = run(seed, 1);
+        assert_eq!(
+            reference.fingerprints.len(),
+            NODES,
+            "one interner fingerprint per home node"
+        );
+        assert!(
+            reference.fingerprints.iter().any(|&f| f != 0),
+            "the workload must touch the directories"
+        );
+        for shards in [2usize, 4] {
+            let sharded = run(seed, shards);
+            assert_eq!(
+                reference.report.cycles, sharded.report.cycles,
+                "cycle count diverged at {shards} shards (seed {seed:#x})"
+            );
+            assert_eq!(
+                reference.report.events, sharded.report.events,
+                "event count diverged at {shards} shards (seed {seed:#x})"
+            );
+            assert_eq!(
+                reference.report.stats, sharded.report.stats,
+                "aggregate statistics diverged at {shards} shards (seed {seed:#x})"
+            );
+            assert_eq!(
+                reference.image, sharded.image,
+                "memory image diverged at {shards} shards (seed {seed:#x})"
+            );
+            assert_eq!(
+                reference.fingerprints, sharded.fingerprints,
+                "block-id assignment diverged at {shards} shards (seed {seed:#x})"
+            );
+        }
+    }
+}

@@ -136,22 +136,30 @@ pub enum TxPhase {
 /// let second = net.send(Cycle(0), NodeId(0), NodeId(3), 4);
 /// assert!(second > first);
 /// ```
-#[derive(Clone, Debug)]
-pub struct Network {
-    topo: MeshTopology,
-    cfg: NetConfig,
-    /// Earliest time each node's transmit queue is free.
-    tx_free: Vec<Cycle>,
-    /// Earliest time each node's receive queue is free.
-    rx_free: Vec<Cycle>,
-    /// Per-node CMMU-internal loopback channel: the delivery time of
-    /// the most recent self-addressed message. Local protocol traffic
-    /// (a home's own requests/fills and local invalidations) does not
+/// Per-node endpoint state, kept together so one send touches one
+/// cache line of network state instead of three parallel arrays.
+#[derive(Clone, Copy, Debug, Default)]
+struct PortState {
+    /// Earliest time the node's transmit queue is free.
+    tx_free: Cycle,
+    /// Earliest time the node's receive queue is free.
+    rx_free: Cycle,
+    /// The CMMU-internal loopback channel: the delivery time of the
+    /// most recent self-addressed message. Local protocol traffic (a
+    /// home's own requests/fills and local invalidations) does not
     /// touch the mesh; it flows through this dedicated FIFO so that a
     /// local invalidation can never pass a local fill still in flight
     /// (window-of-vulnerability closure), and never queues behind
     /// unrelated network traffic.
-    loopback_free: Vec<Cycle>,
+    loopback_free: Cycle,
+}
+
+#[derive(Clone, Debug)]
+pub struct Network {
+    topo: MeshTopology,
+    cfg: NetConfig,
+    /// Endpoint-queue state, one entry per node.
+    ports: Vec<PortState>,
     stats: NetStats,
 }
 
@@ -162,9 +170,7 @@ impl Network {
         Network {
             topo,
             cfg,
-            tx_free: vec![Cycle::ZERO; n],
-            rx_free: vec![Cycle::ZERO; n],
-            loopback_free: vec![Cycle::ZERO; n],
+            ports: vec![PortState::default(); n],
             stats: NetStats::default(),
         }
     }
@@ -208,7 +214,7 @@ impl Network {
             // touches the mesh or the endpoint queues, message size is
             // irrelevant at this granularity, and it is not mesh
             // traffic for the stats.
-            let ch = &mut self.loopback_free[src.index()];
+            let ch = &mut self.ports[src.index()].loopback_free;
             let deliver = (now + Cycle(self.cfg.loopback_cycles)).max(*ch + Cycle(1));
             *ch = deliver;
             self.stats.loopback_messages += 1;
@@ -219,7 +225,7 @@ impl Network {
 
         // Transmit side: wait for the queue, then serialize out.
         let inject_ready = now + Cycle(self.cfg.inject_cycles);
-        let tx = &mut self.tx_free[src.index()];
+        let tx = &mut self.ports[src.index()].tx_free;
         let tx_start = inject_ready.max(*tx);
         self.stats.tx_wait_cycles += (tx_start - inject_ready).as_u64();
         let tx_done = tx_start + serialize;
@@ -240,7 +246,7 @@ impl Network {
     /// owns `dst` when the arrival event fires.
     pub fn rx(&mut self, head_arrives: Cycle, dst: NodeId, flits: u32, sent_at: Cycle) -> Cycle {
         let serialize = Cycle(u64::from(flits) * self.cfg.flit_cycles);
-        let rx = &mut self.rx_free[dst.index()];
+        let rx = &mut self.ports[dst.index()].rx_free;
         let rx_start = head_arrives.max(*rx);
         self.stats.rx_wait_cycles += (rx_start - head_arrives).as_u64();
         let deliver = rx_start + serialize;

@@ -23,10 +23,37 @@ use std::fmt;
 pub struct NodeId(pub u16);
 
 impl NodeId {
+    /// Sentinel for "no node" in dense column storage, where an
+    /// `Option<NodeId>` would double the column width. Real machines
+    /// are capped at `u16::MAX` nodes so the top value is free.
+    pub const NONE: NodeId = NodeId(u16::MAX);
+
     /// The node number as a `usize`, for indexing per-node tables.
     #[inline]
     pub fn index(self) -> usize {
         usize::from(self.0)
+    }
+
+    /// Whether this is the [`NodeId::NONE`] sentinel.
+    #[inline]
+    pub fn is_none(self) -> bool {
+        self == NodeId::NONE
+    }
+
+    /// Converts the sentinel encoding back to an `Option`.
+    #[inline]
+    pub fn get(self) -> Option<NodeId> {
+        if self.is_none() {
+            None
+        } else {
+            Some(self)
+        }
+    }
+
+    /// Converts an `Option` to the sentinel encoding.
+    #[inline]
+    pub fn from_option(o: Option<NodeId>) -> NodeId {
+        o.unwrap_or(NodeId::NONE)
     }
 
     /// Constructs a `NodeId` from a table index.
@@ -61,13 +88,32 @@ impl Addr {
     #[inline]
     pub fn block(self, line_bytes: u64) -> BlockAddr {
         debug_assert!(line_bytes.is_power_of_two());
-        BlockAddr(self.0 / line_bytes)
+        // Shift, not divide: `line_bytes` is a runtime value, so the
+        // compiler cannot strength-reduce the division itself, and
+        // this runs on every memory access the simulator models.
+        BlockAddr(self.0 >> line_bytes.trailing_zeros())
     }
 
     /// Byte offset within the block.
     #[inline]
     pub fn offset(self, line_bytes: u64) -> u64 {
         self.0 & (line_bytes - 1)
+    }
+}
+
+/// `x % n`, strength-reduced to a mask when `n` is a power of two.
+///
+/// Home-node interleaving (`block % nodes`) sits on the per-event hot
+/// path, and the node count is a runtime value the compiler cannot
+/// reduce; benchmark machines are power-of-two sized, so the branch is
+/// perfectly predicted and the divide almost never executes.
+#[inline]
+pub fn fast_mod(x: u64, n: u64) -> u64 {
+    debug_assert!(n > 0);
+    if n & (n - 1) == 0 {
+        x & (n - 1)
+    } else {
+        x % n
     }
 }
 

@@ -1,0 +1,202 @@
+//! Machine-wide block interning.
+//!
+//! Every directory home needs a dense id per memory block so per-block
+//! state can live in flat column vectors instead of hash-keyed maps.
+//! Before this layer each home kept a private `FxHashMap<BlockAddr,
+//! u32>` whose ids meant nothing outside that home. `BlockInterner`
+//! keeps the per-home assignment (a block is only ever interned by its
+//! home, and per-home event order is partition-independent — see
+//! DESIGN.md §9) but numbers blocks in a *machine-wide* id space:
+//! home `h` of `H` owns the ids `{local * H + h}`. Ids are therefore
+//! globally unique, dense per home, and bit-identical whether the
+//! machine runs on the serial engine or any sharded partition.
+//!
+//! # Examples
+//!
+//! ```
+//! use limitless_sim::{BlockAddr, BlockInterner};
+//!
+//! let mut i = BlockInterner::new(1, 4); // home 1 of 4
+//! let (a, new_a) = i.intern(BlockAddr(10));
+//! let (b, _) = i.intern(BlockAddr(20));
+//! assert!(new_a && a != b);
+//! assert_eq!(i.intern(BlockAddr(10)), (a, false));
+//! assert_eq!(i.global_id(a), 1); // 0 * 4 + 1
+//! assert_eq!(i.global_id(b), 5); // 1 * 4 + 1
+//! ```
+
+use crate::hash::FxHashMap;
+use crate::ids::BlockAddr;
+
+/// Dense block → id assignment for one home node's segment of the
+/// machine-wide id space.
+#[derive(Clone, Debug)]
+pub struct BlockInterner {
+    ids: FxHashMap<BlockAddr, u32>,
+    blocks: Vec<BlockAddr>,
+    home: u32,
+    homes: u32,
+    /// One-entry cache of the last lookup: coherence traffic is bursty
+    /// per block, so repeated events usually skip the hash probe.
+    last: Option<(BlockAddr, u32)>,
+}
+
+impl BlockInterner {
+    /// Creates the interner for home `home` of `homes`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `home >= homes` or `homes == 0`.
+    pub fn new(home: u32, homes: u32) -> Self {
+        assert!(homes > 0 && home < homes, "home {home} of {homes}");
+        BlockInterner {
+            ids: FxHashMap::default(),
+            blocks: Vec::new(),
+            home,
+            homes,
+            last: None,
+        }
+    }
+
+    /// A single-segment interner (the whole machine-wide space), for
+    /// standalone tables and tests.
+    pub fn solo() -> Self {
+        BlockInterner::new(0, 1)
+    }
+
+    /// Number of blocks ever interned by this home.
+    pub fn len(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Whether no block has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.blocks.is_empty()
+    }
+
+    /// Interns `block`, returning its local id and whether it was new.
+    #[inline]
+    pub fn intern(&mut self, block: BlockAddr) -> (u32, bool) {
+        if let Some((b, id)) = self.last {
+            if b == block {
+                return (id, false);
+            }
+        }
+        if let Some(&id) = self.ids.get(&block) {
+            self.last = Some((block, id));
+            return (id, false);
+        }
+        let id = u32::try_from(self.blocks.len()).expect("more than 2^32 blocks interned");
+        self.ids.insert(block, id);
+        self.blocks.push(block);
+        self.last = Some((block, id));
+        (id, true)
+    }
+
+    /// The local id for `block`, if it has ever been interned.
+    #[inline]
+    pub fn id_of(&self, block: BlockAddr) -> Option<u32> {
+        self.ids.get(&block).copied()
+    }
+
+    /// The machine-wide id for a local id: `local * homes + home`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the product overflows `u32` (≈ 8 million blocks per
+    /// home on a 512-node machine — far past any workload here).
+    #[inline]
+    pub fn global_id(&self, local: u32) -> u32 {
+        local
+            .checked_mul(self.homes)
+            .and_then(|g| g.checked_add(self.home))
+            .expect("machine-wide block id overflows u32")
+    }
+
+    /// Every interned block, in interning (= local id) order.
+    pub fn blocks(&self) -> &[BlockAddr] {
+        &self.blocks
+    }
+
+    /// An order-sensitive fingerprint of the full id assignment, for
+    /// cross-engine determinism checks (serial vs. sharded runs must
+    /// agree exactly).
+    pub fn fingerprint(&self) -> u64 {
+        // FNV-1a over the block addresses in id order; the segment
+        // parameters are mixed in so two homes never collide trivially.
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        let mut eat = |v: u64| {
+            for byte in v.to_le_bytes() {
+                h ^= u64::from(byte);
+                h = h.wrapping_mul(0x1000_0000_01b3);
+            }
+        };
+        eat(u64::from(self.home));
+        eat(u64::from(self.homes));
+        for b in &self.blocks {
+            eat(b.0);
+        }
+        h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_are_dense_and_stable() {
+        let mut i = BlockInterner::solo();
+        let (a, new_a) = i.intern(BlockAddr(10));
+        let (b, new_b) = i.intern(BlockAddr(20));
+        assert!(new_a && new_b);
+        assert_eq!((a, b), (0, 1));
+        assert_eq!(i.intern(BlockAddr(10)), (0, false));
+        assert_eq!(i.id_of(BlockAddr(20)), Some(1));
+        assert_eq!(i.id_of(BlockAddr(30)), None);
+        assert_eq!(i.len(), 2);
+    }
+
+    #[test]
+    fn repeated_interns_hit_the_one_entry_cache() {
+        let mut i = BlockInterner::solo();
+        let (id, _) = i.intern(BlockAddr(5));
+        for _ in 0..10 {
+            assert_eq!(i.intern(BlockAddr(5)), (id, false));
+        }
+        assert_eq!(i.len(), 1);
+    }
+
+    #[test]
+    fn global_ids_interleave_per_home_segments() {
+        let mut a = BlockInterner::new(0, 4);
+        let mut b = BlockInterner::new(3, 4);
+        let (la, _) = a.intern(BlockAddr(100));
+        let (lb, _) = b.intern(BlockAddr(100));
+        assert_eq!(a.global_id(la), 0);
+        assert_eq!(b.global_id(lb), 3);
+        let (la2, _) = a.intern(BlockAddr(200));
+        assert_eq!(a.global_id(la2), 4);
+    }
+
+    #[test]
+    fn fingerprint_is_order_sensitive() {
+        let mut a = BlockInterner::solo();
+        a.intern(BlockAddr(1));
+        a.intern(BlockAddr(2));
+        let mut b = BlockInterner::solo();
+        b.intern(BlockAddr(2));
+        b.intern(BlockAddr(1));
+        assert_ne!(a.fingerprint(), b.fingerprint());
+        let mut c = BlockInterner::solo();
+        c.intern(BlockAddr(1));
+        c.intern(BlockAddr(2));
+        assert_eq!(a.fingerprint(), c.fingerprint());
+    }
+
+    #[test]
+    #[should_panic(expected = "home 4 of 4")]
+    fn out_of_range_home_panics() {
+        BlockInterner::new(4, 4);
+    }
+}

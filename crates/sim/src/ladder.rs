@@ -22,8 +22,8 @@
 //! * a bucket holds events of exactly one cycle, kept sorted by key
 //!   (the common append-at-back case is `O(1)`; out-of-order keys —
 //!   which arise when callers supply structural keys such as the
-//!   sharded machine engine's per-origin-node counters — binary-search
-//!   their insertion point);
+//!   sharded machine engine's per-origin-node counters — walk the
+//!   bucket's short intrusive list to their insertion point);
 //! * the overflow heap orders by `(time, key)`, and its events migrate
 //!   into buckets the moment the window reaches them, landing in their
 //!   sorted position like any other insert.
@@ -33,7 +33,7 @@
 //! `crates/sim/tests/wraparound.rs` repeats the exercise with
 //! timestamps pinned near the top of the `u64` range.
 
-use std::collections::{BinaryHeap, VecDeque};
+use std::collections::BinaryHeap;
 
 use crate::time::Cycle;
 
@@ -45,10 +45,18 @@ const WINDOW: usize = 1024;
 const MASK: u64 = WINDOW as u64 - 1;
 const WORDS: usize = WINDOW / 64;
 
-/// One event parked in a window bucket, tagged with its tie-break key.
+/// Null link in the slot arena.
+const NIL: u32 = u32::MAX;
+
+/// One event parked in a window bucket: an arena slot on its bucket's
+/// intrusive singly-linked list (or on the freelist once popped, with
+/// `event` taken). Freed slots are reused LIFO, so the arena's working
+/// set stays as small — and as cache-hot — as the simulation's
+/// in-window event population.
 struct Slot<E> {
     key: u64,
-    event: E,
+    next: u32,
+    event: Option<E>,
 }
 
 /// An overflow entry, min-ordered by `(time, key)`.
@@ -105,10 +113,17 @@ impl<E> Ord for FarEntry<E> {
 /// assert_eq!(q.pop(), Some((Cycle(2), 'x')));
 /// ```
 pub struct EventQueue<E> {
-    /// One sorted run per cycle of the active window; bucket `t & MASK`
-    /// holds only events for cycle `t`, `t` in `[now, now + WINDOW)`,
-    /// in ascending key order.
-    buckets: Vec<VecDeque<Slot<E>>>,
+    /// The slot arena: window events and the freelist share it, linked
+    /// through [`Slot::next`].
+    slots: Vec<Slot<E>>,
+    /// Head of the freelist through the arena.
+    free_head: u32,
+    /// Per-bucket list heads; bucket `t & MASK` holds only events for
+    /// cycle `t`, `t` in `[now, now + WINDOW)`, in ascending key order.
+    heads: Vec<u32>,
+    /// Per-bucket list tails (meaningful only while the bucket is
+    /// non-empty), so the common monotone-key append is `O(1)`.
+    tails: Vec<u32>,
     /// One bit per bucket: set iff the bucket is non-empty.
     occupied: [u64; WORDS],
     /// Events currently sitting in window buckets.
@@ -137,7 +152,10 @@ impl<E> EventQueue<E> {
     /// Creates an empty queue with the clock at [`Cycle::ZERO`].
     pub fn new() -> Self {
         EventQueue {
-            buckets: (0..WINDOW).map(|_| VecDeque::new()).collect(),
+            slots: Vec::new(),
+            free_head: NIL,
+            heads: vec![NIL; WINDOW],
+            tails: vec![NIL; WINDOW],
             occupied: [0; WORDS],
             in_window: 0,
             far: BinaryHeap::new(),
@@ -195,15 +213,55 @@ impl<E> EventQueue<E> {
         self.schedule(self.now + delay, event);
     }
 
+    /// Takes a slot off the freelist (or grows the arena) and fills it.
+    fn alloc_slot(&mut self, key: u64, event: E) -> u32 {
+        if self.free_head != NIL {
+            let s = self.free_head;
+            let sl = &mut self.slots[s as usize];
+            self.free_head = sl.next;
+            sl.key = key;
+            sl.next = NIL;
+            sl.event = Some(event);
+            s
+        } else {
+            self.slots.push(Slot {
+                key,
+                next: NIL,
+                event: Some(event),
+            });
+            (self.slots.len() - 1) as u32
+        }
+    }
+
     fn push_bucket(&mut self, at: Cycle, key: u64, event: E) {
         let idx = (at.0 & MASK) as usize;
-        let dq = &mut self.buckets[idx];
-        if dq.back().is_none_or(|s| s.key < key) {
+        let s = self.alloc_slot(key, event);
+        let head = self.heads[idx];
+        if head == NIL {
+            self.heads[idx] = s;
+            self.tails[idx] = s;
+        } else if self.slots[self.tails[idx] as usize].key < key {
             // Common case: monotone keys append at the back.
-            dq.push_back(Slot { key, event });
+            let t = self.tails[idx] as usize;
+            self.slots[t].next = s;
+            self.tails[idx] = s;
         } else {
-            let pos = dq.partition_point(|s| s.key < key);
-            dq.insert(pos, Slot { key, event });
+            // Walk to the first slot with a larger key and splice in
+            // ahead of it (buckets hold a single cycle's events, so
+            // these runs are short). The tail cannot move: some later
+            // key follows the insertion point.
+            let mut prev = NIL;
+            let mut cur = head;
+            while cur != NIL && self.slots[cur as usize].key < key {
+                prev = cur;
+                cur = self.slots[cur as usize].next;
+            }
+            self.slots[s as usize].next = cur;
+            if prev == NIL {
+                self.heads[idx] = s;
+            } else {
+                self.slots[prev as usize].next = s;
+            }
         }
         self.occupied[idx / 64] |= 1 << (idx % 64);
         self.in_window += 1;
@@ -292,8 +350,14 @@ impl<E> EventQueue<E> {
             self.refill();
         }
         let (t, idx) = self.window_min();
-        let Slot { event, .. } = self.buckets[idx].pop_front().expect("occupied bit stale");
-        if self.buckets[idx].is_empty() {
+        let s = self.heads[idx];
+        debug_assert_ne!(s, NIL, "occupied bit stale");
+        let sl = &mut self.slots[s as usize];
+        let event = sl.event.take().expect("freelist slot on a bucket list");
+        self.heads[idx] = sl.next;
+        sl.next = self.free_head;
+        self.free_head = s;
+        if self.heads[idx] == NIL {
             self.occupied[idx / 64] &= !(1 << (idx % 64));
             self.hint = None;
         }
@@ -364,7 +428,9 @@ impl<E> EventQueue<E> {
     pub fn peek(&mut self) -> Option<(Cycle, u64)> {
         if self.in_window > 0 {
             let (t, idx) = self.window_min();
-            let key = self.buckets[idx].front().expect("occupied bit stale").key;
+            let s = self.heads[idx];
+            debug_assert_ne!(s, NIL, "occupied bit stale");
+            let key = self.slots[s as usize].key;
             Some((t, key))
         } else {
             self.far.peek().map(|e| (e.time, e.key))

@@ -34,14 +34,18 @@
 
 pub mod hash;
 pub mod ids;
+pub mod intern;
 pub mod ladder;
+pub mod pool;
 pub mod queue;
 pub mod rng;
 pub mod time;
 
 pub use hash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
-pub use ids::{Addr, BlockAddr, NodeId};
+pub use ids::{fast_mod, Addr, BlockAddr, NodeId};
+pub use intern::BlockInterner;
 pub use ladder::EventQueue;
+pub use pool::MessagePool;
 pub use queue::HeapEventQueue;
 pub use rng::SplitMix64;
 pub use time::Cycle;

@@ -1,0 +1,98 @@
+//! A recycling buffer pool for message payloads.
+//!
+//! The protocol engine's hot path builds short-lived `Vec`s — spilled
+//! send lists, handler message queues — at a rate of one or two per
+//! software trap. `MessagePool` keeps the spent buffers on a free list
+//! so the steady state performs zero payload allocations: a buffer is
+//! checked out with [`MessagePool::get`], filled, handed around by
+//! value, and eventually returned with [`MessagePool::put`], which
+//! clears it but keeps its capacity.
+//!
+//! # Examples
+//!
+//! ```
+//! use limitless_sim::MessagePool;
+//!
+//! let mut pool: MessagePool<u32> = MessagePool::new();
+//! let mut buf = pool.get();
+//! buf.extend([1, 2, 3]);
+//! pool.put(buf);
+//! let again = pool.get(); // same backing storage, now empty
+//! assert!(again.is_empty());
+//! assert!(again.capacity() >= 3);
+//! ```
+
+/// Free list of reusable `Vec<T>` buffers.
+#[derive(Clone, Debug)]
+pub struct MessagePool<T> {
+    free: Vec<Vec<T>>,
+    /// Bound on the free list so a one-off burst cannot pin memory
+    /// forever.
+    max_free: usize,
+}
+
+impl<T> Default for MessagePool<T> {
+    fn default() -> Self {
+        MessagePool::new()
+    }
+}
+
+impl<T> MessagePool<T> {
+    /// An empty pool with the default free-list bound.
+    pub fn new() -> Self {
+        MessagePool {
+            free: Vec::new(),
+            max_free: 64,
+        }
+    }
+
+    /// Checks out a buffer (empty, but with whatever capacity its last
+    /// user grew it to).
+    #[inline]
+    pub fn get(&mut self) -> Vec<T> {
+        self.free.pop().unwrap_or_default()
+    }
+
+    /// Returns a buffer to the pool. The contents are dropped; the
+    /// capacity is kept for the next checkout.
+    #[inline]
+    pub fn put(&mut self, mut buf: Vec<T>) {
+        if self.free.len() < self.max_free {
+            buf.clear();
+            self.free.push(buf);
+        }
+    }
+
+    /// How many buffers are parked on the free list.
+    pub fn free_len(&self) -> usize {
+        self.free.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buffers_round_trip_with_capacity() {
+        let mut pool: MessagePool<u8> = MessagePool::new();
+        let mut a = pool.get();
+        a.extend([1, 2, 3, 4]);
+        let cap = a.capacity();
+        pool.put(a);
+        assert_eq!(pool.free_len(), 1);
+        let b = pool.get();
+        assert!(b.is_empty());
+        assert_eq!(b.capacity(), cap);
+        assert_eq!(pool.free_len(), 0);
+    }
+
+    #[test]
+    fn free_list_is_bounded() {
+        let mut pool: MessagePool<u8> = MessagePool::new();
+        for _ in 0..1000 {
+            pool.put(Vec::with_capacity(8));
+        }
+        assert!(pool.free_len() <= 64);
+    }
+}
