@@ -24,7 +24,10 @@ pub mod aq;
 pub mod evolve;
 pub mod layout;
 pub mod mp3d;
+pub mod registry;
 pub mod smgrid;
+pub mod spec;
+pub mod synth;
 pub mod tsp;
 pub mod water;
 pub mod worker;
@@ -36,6 +39,8 @@ pub use aq::Aq;
 pub use evolve::Evolve;
 pub use mp3d::Mp3d;
 pub use smgrid::Smgrid;
+pub use spec::{AppSpec, SpecError};
+pub use synth::{Footprint, SharingPattern, Synth};
 pub use tsp::Tsp;
 pub use water::Water;
 pub use worker::Worker;
@@ -87,6 +92,14 @@ pub trait App {
     /// genuine algorithm outputs (tour length, integral bits, …).
     fn expected_results(&self) -> Vec<(Addr, u64)> {
         Vec::new()
+    }
+
+    /// The machine size this workload was parameterized for, if any —
+    /// a hint for harnesses that size the machine from the spec (the
+    /// fuzz campaign honours it); [`App::programs`] must still adapt
+    /// to whatever node count it is given.
+    fn preferred_nodes(&self) -> Option<usize> {
+        None
     }
 
     /// Half-open address ranges `[start, end)` whose read *values* are

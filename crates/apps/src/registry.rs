@@ -1,0 +1,263 @@
+//! The application registry: the single source of truth mapping spec
+//! strings to [`App`] instances.
+//!
+//! Every harness — the experiment tables, the threaded sweep runner,
+//! the differential oracle, the fuzz campaign and the CLI's `--app`
+//! filter — resolves workloads through [`build`], so adding an
+//! application here makes it addressable everywhere at once. The
+//! closed, thrice-duplicated app lists this replaces are gone: the
+//! paper suite itself is just [`paper_suite`] iterating
+//! [`PAPER_APPS`].
+
+use crate::spec::parse_value;
+use crate::synth::{Footprint, SharingPattern, Synth, MAX_BLOCKS};
+use crate::{App, AppSpec, Aq, Evolve, Mp3d, Scale, Smgrid, SpecError, Tsp, Water, Worker};
+
+/// Every name [`build`] accepts.
+pub const KNOWN_APPS: [&str; 8] = [
+    "tsp", "aq", "smgrid", "evolve", "mp3d", "water", "worker", "synth",
+];
+
+/// The six Figure-4 applications, in the paper's Table 3 order.
+pub const PAPER_APPS: [&str; 6] = ["tsp", "aq", "smgrid", "evolve", "mp3d", "water"];
+
+/// Builds the six Figure 4 applications at a given scale — the
+/// replacement for every hardcoded suite enumeration.
+pub fn paper_suite(scale: Scale) -> Vec<Box<dyn App>> {
+    PAPER_APPS
+        .iter()
+        .map(|name| {
+            build(&AppSpec::bare(name), scale)
+                .expect("every PAPER_APPS name resolves by construction")
+        })
+        .collect()
+}
+
+/// Parses `s` and builds the application it names. The one-stop entry
+/// for CLI `--app` arguments.
+pub fn build_str(s: &str, scale: Scale) -> Result<Box<dyn App>, SpecError> {
+    build(&s.parse()?, scale)
+}
+
+/// Builds the application a parsed spec names, resolving parameters
+/// with typed errors for unknown names, unknown keys and bad values.
+pub fn build(spec: &AppSpec, scale: Scale) -> Result<Box<dyn App>, SpecError> {
+    match spec.name.as_str() {
+        "tsp" => fixed(spec, Box::new(Tsp::new(scale))),
+        "aq" => fixed(spec, Box::new(Aq::new(scale))),
+        "smgrid" => fixed(spec, Box::new(Smgrid::new(scale))),
+        "evolve" => fixed(spec, Box::new(Evolve::new(scale))),
+        "mp3d" => fixed(spec, Box::new(Mp3d::new(scale))),
+        "water" => fixed(spec, Box::new(Water::new(scale))),
+        "worker" => build_worker(spec),
+        "synth" => build_synth(spec, scale),
+        _ => Err(SpecError::UnknownApp {
+            name: spec.name.clone(),
+            known: &KNOWN_APPS,
+        }),
+    }
+}
+
+/// A paper app with no tunable parameters: any key is an error.
+fn fixed(spec: &AppSpec, app: Box<dyn App>) -> Result<Box<dyn App>, SpecError> {
+    if let Some((key, _)) = spec.params.first() {
+        return Err(SpecError::UnknownKey {
+            app: spec.name.clone(),
+            key: key.clone(),
+            accepted: &[],
+        });
+    }
+    Ok(app)
+}
+
+const WORKER_KEYS: [&str; 3] = ["ws", "blocks", "iters"];
+
+fn build_worker(spec: &AppSpec) -> Result<Box<dyn App>, SpecError> {
+    let mut w = Worker::fig2(8);
+    for (key, value) in &spec.params {
+        match key.as_str() {
+            "ws" => w.set_size = positive(key, value)?,
+            "blocks" => w.blocks_per_node = positive(key, value)?,
+            "iters" => w.iterations = positive(key, value)?,
+            _ => {
+                return Err(SpecError::UnknownKey {
+                    app: spec.name.clone(),
+                    key: key.clone(),
+                    accepted: &WORKER_KEYS,
+                })
+            }
+        }
+    }
+    Ok(Box::new(w))
+}
+
+const SYNTH_KEYS: [&str; 10] = [
+    "seed",
+    "nodes",
+    "pattern",
+    "ws",
+    "jitter",
+    "rw",
+    "sync",
+    "footprint",
+    "blocks",
+    "rounds",
+];
+
+fn build_synth(spec: &AppSpec, scale: Scale) -> Result<Box<dyn App>, SpecError> {
+    let mut s = Synth::new(scale);
+    for (key, value) in &spec.params {
+        match key.as_str() {
+            "seed" => s.seed = parse_value(key, value, "a u64 seed")?,
+            "nodes" => s.nodes_hint = Some(positive(key, value)?),
+            "pattern" => {
+                s.pattern = SharingPattern::parse(value).ok_or_else(|| SpecError::BadValue {
+                    key: key.clone(),
+                    value: value.clone(),
+                    expected: "migratory, producer-consumer or wide-shared",
+                })?
+            }
+            "ws" => s.ws = positive(key, value)?,
+            "jitter" => s.jitter = parse_value(key, value, "a non-negative integer")?,
+            "rw" => s.rw = fraction(key, value)?,
+            "sync" => s.sync = fraction(key, value)?,
+            "footprint" => {
+                s.footprint = Footprint::parse(value).ok_or_else(|| SpecError::BadValue {
+                    key: key.clone(),
+                    value: value.clone(),
+                    expected: "none, small or large",
+                })?
+            }
+            "blocks" => {
+                s.blocks = positive(key, value)?;
+                if s.blocks > MAX_BLOCKS {
+                    return Err(SpecError::BadValue {
+                        key: key.clone(),
+                        value: value.clone(),
+                        expected: "at most 4096 blocks",
+                    });
+                }
+            }
+            "rounds" => s.rounds = positive(key, value)?,
+            _ => {
+                return Err(SpecError::UnknownKey {
+                    app: spec.name.clone(),
+                    key: key.clone(),
+                    accepted: &SYNTH_KEYS,
+                })
+            }
+        }
+    }
+    Ok(Box::new(s))
+}
+
+fn positive(key: &str, value: &str) -> Result<usize, SpecError> {
+    let n: usize = parse_value(key, value, "a positive integer")?;
+    if n == 0 {
+        return Err(SpecError::BadValue {
+            key: key.to_string(),
+            value: value.to_string(),
+            expected: "a positive integer",
+        });
+    }
+    Ok(n)
+}
+
+fn fraction(key: &str, value: &str) -> Result<f64, SpecError> {
+    let f: f64 = parse_value(key, value, "a fraction in [0, 1]")?;
+    if !(0.0..=1.0).contains(&f) {
+        return Err(SpecError::BadValue {
+            key: key.to_string(),
+            value: value.to_string(),
+            expected: "a fraction in [0, 1]",
+        });
+    }
+    Ok(f)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_covers_every_table3_app_name() {
+        // The Table 3 names, as the apps spell them. The registry must
+        // resolve each one (case-insensitively) to an app that answers
+        // to the same name — the single-source-of-truth guarantee.
+        let suite = paper_suite(Scale::Quick);
+        assert_eq!(suite.len(), PAPER_APPS.len());
+        for app in &suite {
+            let rebuilt = build_str(app.name(), Scale::Quick).unwrap();
+            assert_eq!(rebuilt.name(), app.name());
+        }
+        let names: Vec<&str> = suite.iter().map(|a| a.name()).collect();
+        assert_eq!(
+            names,
+            vec!["TSP", "AQ", "SMGRID", "EVOLVE", "MP3D", "WATER"],
+            "Table 3 order"
+        );
+        // WORKER (§5, Tables 1–2 and Figure 2) resolves too.
+        assert_eq!(build_str("WORKER", Scale::Quick).unwrap().name(), "WORKER");
+    }
+
+    #[test]
+    fn worker_parameters_resolve() {
+        let app = build_str("worker:ws=8,blocks=2,iters=10", Scale::Quick).unwrap();
+        assert!(app.size_description().contains("worker sets of 8"));
+    }
+
+    #[test]
+    fn synth_specs_resolve_with_all_keys() {
+        let app = build_str(
+            "synth:seed=7,nodes=64,pattern=migratory,ws=6,rw=0.3,sync=0.01,footprint=large",
+            Scale::Quick,
+        )
+        .unwrap();
+        assert_eq!(app.name(), "SYNTH");
+        assert_eq!(app.preferred_nodes(), Some(64));
+        assert!(app.size_description().contains("pattern=migratory"));
+    }
+
+    #[test]
+    fn unknown_app_lists_the_known_names() {
+        let e = build_str("quicksort", Scale::Quick)
+            .map(|_| ())
+            .unwrap_err();
+        assert!(matches!(e, SpecError::UnknownApp { .. }));
+        assert!(e.to_string().contains("synth"), "{e}");
+    }
+
+    #[test]
+    fn paper_apps_take_no_parameters() {
+        let e = build_str("tsp:ws=4", Scale::Quick).map(|_| ()).unwrap_err();
+        assert!(
+            matches!(e, SpecError::UnknownKey { ref key, .. } if key == "ws"),
+            "{e:?}"
+        );
+    }
+
+    #[test]
+    fn bad_values_are_typed_not_panics() {
+        for bad in [
+            "worker:ws=0",
+            "worker:ws=many",
+            "synth:rw=1.5",
+            "synth:sync=-0.1",
+            "synth:pattern=ring",
+            "synth:footprint=huge",
+            "synth:blocks=99999",
+            "synth:seed=x",
+        ] {
+            let e = build_str(bad, Scale::Quick).map(|_| ()).unwrap_err();
+            assert!(matches!(e, SpecError::BadValue { .. }), "{bad}: {e:?}");
+        }
+    }
+
+    #[test]
+    fn unknown_synth_key_names_the_accepted_set() {
+        let e = build_str("synth:wss=4", Scale::Quick)
+            .map(|_| ())
+            .unwrap_err();
+        assert!(e.to_string().contains("pattern"), "{e}");
+    }
+}

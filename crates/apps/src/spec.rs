@@ -1,0 +1,266 @@
+//! The application spec grammar: every workload is addressable by a
+//! string.
+//!
+//! ```text
+//! spec  := name [ ':' param ( ',' param )* ]
+//! param := key '=' value
+//! ```
+//!
+//! Examples: `tsp`, `worker:ws=8`, and
+//! `synth:seed=7,pattern=migratory,ws=6,rw=0.3,sync=0.01,footprint=large`.
+//! Names and keys are case-insensitive (`TSP` parses — Table 3 spells
+//! the applications in capitals); parameter order is preserved so
+//! [`AppSpec`] round-trips through [`std::fmt::Display`] verbatim.
+//!
+//! An [`AppSpec`] is pure syntax: it knows nothing about which
+//! applications exist or which keys they take. Resolution — including
+//! unknown-name and unknown-key errors — happens in
+//! [`crate::registry::build`], so the CLI can report *where* a spec is
+//! wrong (syntax vs vocabulary) with a typed [`SpecError`] either way.
+
+use std::fmt;
+use std::str::FromStr;
+
+/// A parsed application spec: a name plus `key=value` parameters in
+/// source order.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AppSpec {
+    /// Application name, lower-cased.
+    pub name: String,
+    /// Parameters in source order, keys lower-cased.
+    pub params: Vec<(String, String)>,
+}
+
+impl AppSpec {
+    /// A bare spec with no parameters.
+    pub fn bare(name: &str) -> Self {
+        AppSpec {
+            name: name.to_ascii_lowercase(),
+            params: Vec::new(),
+        }
+    }
+
+    /// The value of `key`, if present (keys are stored lower-cased).
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.params
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+impl fmt::Display for AppSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.name)?;
+        for (i, (k, v)) in self.params.iter().enumerate() {
+            f.write_str(if i == 0 { ":" } else { "," })?;
+            write!(f, "{k}={v}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Why a spec string failed to parse or resolve. Mirrors the
+/// `ConfigError` pattern: every malformed `--app` argument surfaces as
+/// one of these at the CLI boundary, never as a panic.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SpecError {
+    /// The spec string (or its name part) is empty.
+    Empty,
+    /// A parameter is not of the form `key=value`.
+    BadParam {
+        /// The offending parameter text.
+        param: String,
+    },
+    /// The same key appears twice.
+    DuplicateKey {
+        /// The repeated key.
+        key: String,
+    },
+    /// No application with this name is registered.
+    UnknownApp {
+        /// The requested name.
+        name: String,
+        /// The registry's known names, for the error message.
+        known: &'static [&'static str],
+    },
+    /// The application exists but does not take this key.
+    UnknownKey {
+        /// The application the key was given to.
+        app: String,
+        /// The unrecognized key.
+        key: String,
+        /// The keys the application accepts.
+        accepted: &'static [&'static str],
+    },
+    /// The key exists but the value does not parse or is out of range.
+    BadValue {
+        /// The key being set.
+        key: String,
+        /// The rejected value text.
+        value: String,
+        /// What a valid value looks like.
+        expected: &'static str,
+    },
+}
+
+impl fmt::Display for SpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpecError::Empty => write!(f, "empty app spec"),
+            SpecError::BadParam { param } => {
+                write!(f, "malformed parameter `{param}` (expected key=value)")
+            }
+            SpecError::DuplicateKey { key } => write!(f, "duplicate key `{key}`"),
+            SpecError::UnknownApp { name, known } => {
+                write!(f, "unknown app `{name}` (known: {})", known.join(", "))
+            }
+            SpecError::UnknownKey { app, key, accepted } => {
+                if accepted.is_empty() {
+                    write!(f, "app `{app}` takes no parameters, got `{key}`")
+                } else {
+                    write!(
+                        f,
+                        "app `{app}` has no parameter `{key}` (accepted: {})",
+                        accepted.join(", ")
+                    )
+                }
+            }
+            SpecError::BadValue {
+                key,
+                value,
+                expected,
+            } => write!(f, "bad value `{value}` for `{key}` (expected {expected})"),
+        }
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+impl FromStr for AppSpec {
+    type Err = SpecError;
+
+    fn from_str(s: &str) -> Result<Self, SpecError> {
+        let s = s.trim();
+        if s.is_empty() {
+            return Err(SpecError::Empty);
+        }
+        let (name, rest) = match s.split_once(':') {
+            Some((n, r)) => (n, Some(r)),
+            None => (s, None),
+        };
+        let name = name.trim().to_ascii_lowercase();
+        if name.is_empty() {
+            return Err(SpecError::Empty);
+        }
+        let mut params = Vec::new();
+        if let Some(rest) = rest {
+            for raw in rest.split(',') {
+                let raw = raw.trim();
+                let Some((k, v)) = raw.split_once('=') else {
+                    return Err(SpecError::BadParam {
+                        param: raw.to_string(),
+                    });
+                };
+                let (k, v) = (k.trim().to_ascii_lowercase(), v.trim().to_string());
+                if k.is_empty() || v.is_empty() {
+                    return Err(SpecError::BadParam {
+                        param: raw.to_string(),
+                    });
+                }
+                if params.iter().any(|(existing, _)| *existing == k) {
+                    return Err(SpecError::DuplicateKey { key: k });
+                }
+                params.push((k, v));
+            }
+        }
+        Ok(AppSpec { name, params })
+    }
+}
+
+/// Helper used by the registry: parse a typed value out of a spec
+/// parameter, mapping failures to [`SpecError::BadValue`].
+pub(crate) fn parse_value<T: FromStr>(
+    key: &str,
+    value: &str,
+    expected: &'static str,
+) -> Result<T, SpecError> {
+    value.parse().map_err(|_| SpecError::BadValue {
+        key: key.to_string(),
+        value: value.to_string(),
+        expected,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bare_names_parse() {
+        let s: AppSpec = "tsp".parse().unwrap();
+        assert_eq!(s, AppSpec::bare("tsp"));
+        assert_eq!(s.to_string(), "tsp");
+    }
+
+    #[test]
+    fn names_and_keys_are_case_insensitive() {
+        let s: AppSpec = "WORKER:WS=8".parse().unwrap();
+        assert_eq!(s.name, "worker");
+        assert_eq!(s.get("ws"), Some("8"));
+    }
+
+    #[test]
+    fn parameters_round_trip_in_order() {
+        let text = "synth:seed=7,pattern=migratory,ws=6,rw=0.3,sync=0.01,footprint=large";
+        let s: AppSpec = text.parse().unwrap();
+        assert_eq!(s.to_string(), text);
+        let again: AppSpec = s.to_string().parse().unwrap();
+        assert_eq!(again, s);
+    }
+
+    #[test]
+    fn whitespace_is_tolerated() {
+        let s: AppSpec = " worker : ws = 8 , blocks = 2 ".parse().unwrap();
+        assert_eq!(s.to_string(), "worker:ws=8,blocks=2");
+    }
+
+    #[test]
+    fn empty_specs_are_typed_errors() {
+        assert_eq!("".parse::<AppSpec>(), Err(SpecError::Empty));
+        assert_eq!("  ".parse::<AppSpec>(), Err(SpecError::Empty));
+        assert_eq!(":ws=8".parse::<AppSpec>(), Err(SpecError::Empty));
+    }
+
+    #[test]
+    fn malformed_params_are_typed_errors() {
+        assert!(matches!(
+            "worker:ws".parse::<AppSpec>(),
+            Err(SpecError::BadParam { param }) if param == "ws"
+        ));
+        assert!(matches!(
+            "worker:ws=".parse::<AppSpec>(),
+            Err(SpecError::BadParam { .. })
+        ));
+        assert!(matches!(
+            "worker:=8".parse::<AppSpec>(),
+            Err(SpecError::BadParam { .. })
+        ));
+    }
+
+    #[test]
+    fn duplicate_keys_are_rejected() {
+        assert_eq!(
+            "worker:ws=8,ws=9".parse::<AppSpec>(),
+            Err(SpecError::DuplicateKey {
+                key: "ws".to_string()
+            })
+        );
+    }
+
+    #[test]
+    fn errors_render_helpfully() {
+        let e = "worker:ws".parse::<AppSpec>().unwrap_err();
+        assert!(e.to_string().contains("key=value"), "{e}");
+    }
+}

@@ -4,15 +4,29 @@
 //! limitless-bench <experiment> [--paper] [--nodes N]
 //! limitless-bench all [--paper]
 //! limitless-bench sweep [--paper] [--nodes N] [--shards S] [--threads T]
-//!                       [--min-of N] [--json PATH] [--label L]
-//! limitless-bench micro [--json PATH]
-//! limitless-bench check [--paper|--quick] [--nodes N] [--shards S]
+//!                       [--min-of N] [--json PATH] [--label L] [--app SPEC ...]
+//! limitless-bench micro [--json PATH] [--app SPEC ...]
+//! limitless-bench check [--paper|--quick] [--nodes N] [--shards S] [--app SPEC ...]
+//! limitless-bench fuzz [--specs N] [--shards S] [--nodes N] [--seed S] [--paper]
 //! limitless-bench perfgate [--json PATH] [--warn-only]
 //! ```
 //!
 //! `--shards S` runs every simulation on the sharded conservative
 //! parallel engine with S event lanes (DESIGN.md §9); results are
 //! bit-identical to the serial default, only wall time changes.
+//!
+//! `--app SPEC` (repeatable) selects workloads by registry spec
+//! (DESIGN.md §11): `tsp`, `worker:ws=8`, or
+//! `synth:seed=7,pattern=wide-shared,ws=6,rw=0.3,sync=0.01`.
+//! Malformed specs are reported as typed errors at startup, never as
+//! panics mid-run. `sweep --app` replaces the grid's application
+//! axis, `check --app` restricts the oracle, and `micro --app` times
+//! a complete end-to-end simulation of each named workload.
+//!
+//! `fuzz` samples `--specs N` random synthetic workloads from a fixed
+//! seed range (trial i is reproducible forever) and runs every one
+//! through the full differential oracle with the sanitizer armed —
+//! the standing correctness campaign.
 //!
 //! Experiments: `table1 table2 table3 fig2 fig3 fig4 fig5 fig6
 //! ablation-localbit ablation-network ablation-handlers`, plus two
@@ -41,11 +55,25 @@
 //!   exits 1. `--warn-only` restores the old advisory behaviour for
 //!   noisy hosts (shared CI runners, laptops on battery).
 
-use limitless_apps::Scale;
+use limitless_apps::{registry, App, Scale};
 use limitless_bench::{
-    experiments, gate, micro, runner, ExperimentSpec, Harness, Runner, SweepRecord,
+    experiments, fuzz, gate, micro, runner, ExperimentSpec, Harness, Runner, SweepRecord,
 };
 use limitless_stats::Table;
+
+/// Resolves every `--app` spec through the registry, exiting with a
+/// typed error message on the first malformed spec.
+fn resolve_apps(specs: &[String], scale: Scale) -> Vec<Box<dyn App>> {
+    specs
+        .iter()
+        .map(|s| {
+            registry::build_str(s, scale).unwrap_or_else(|e| {
+                eprintln!("--app {s}: {e}");
+                std::process::exit(2);
+            })
+        })
+        .collect()
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -61,6 +89,9 @@ fn main() {
     let mut min_of = 1u32;
     let mut label = "current".to_string();
     let mut warn_only = false;
+    let mut app_specs: Vec<String> = Vec::new();
+    let mut fuzz_specs = fuzz::FuzzConfig::default().specs;
+    let mut base_seed = fuzz::DEFAULT_BASE_SEED;
     let mut name = String::new();
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
@@ -68,6 +99,28 @@ fn main() {
             "--paper" => scale = Scale::Paper,
             "--quick" => scale = Scale::Quick,
             "--warn-only" => warn_only = true,
+            "--app" => {
+                app_specs.push(it.next().unwrap_or_else(|| {
+                    eprintln!("--app needs a spec (e.g. `tsp` or `synth:ws=6`)");
+                    std::process::exit(2);
+                }));
+            }
+            "--specs" => {
+                fuzz_specs = it
+                    .next()
+                    .and_then(|n| n.parse::<usize>().ok())
+                    .filter(|&n| n >= 1)
+                    .unwrap_or_else(|| {
+                        eprintln!("--specs needs a number >= 1");
+                        std::process::exit(2);
+                    });
+            }
+            "--seed" => {
+                base_seed = it.next().and_then(|n| n.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("--seed needs a number");
+                    std::process::exit(2);
+                });
+            }
             "--nodes" => {
                 nodes_override = it.next().and_then(|n| n.parse().ok()).or_else(|| {
                     eprintln!("--nodes needs a number");
@@ -125,7 +178,20 @@ fn main() {
         shards,
     };
     if name == "micro" {
-        let results = micro::run_all();
+        // `micro --app` times complete simulations of the named
+        // workloads instead of the data-structure suite.
+        let results = if app_specs.is_empty() {
+            micro::run_all()
+        } else {
+            resolve_apps(&app_specs, scale)
+                .iter()
+                .zip(&app_specs)
+                .map(|(app, spec)| {
+                    let nodes = app.preferred_nodes().unwrap_or_else(|| h.nodes(16));
+                    micro::run_app_micro(spec, app.as_ref(), nodes, shards)
+                })
+                .collect()
+        };
         print!("{}", micro::render(&results));
         if let Some(path) = json_path {
             if let Err(e) = std::fs::write(&path, micro::to_json(&results)) {
@@ -138,7 +204,12 @@ fn main() {
     }
     if name == "check" {
         println!("== check: differential oracle vs full-map ground truth ==");
-        let (reports, ok) = limitless_bench::run_check(h);
+        let (reports, ok) = if app_specs.is_empty() {
+            limitless_bench::run_check(h)
+        } else {
+            let apps = resolve_apps(&app_specs, scale);
+            limitless_bench::run_check_apps(&apps, h.nodes(16), h.shards)
+        };
         for r in &reports {
             let verdict = if r.passed { "PASS" } else { "FAIL" };
             if r.detail.is_empty() {
@@ -159,6 +230,37 @@ fn main() {
         }
         return;
     }
+    if name == "fuzz" {
+        let cfg = fuzz::FuzzConfig {
+            specs: fuzz_specs,
+            shards,
+            nodes: h.nodes(16),
+            base_seed,
+            quick: scale == Scale::Quick,
+        };
+        println!(
+            "== fuzz: {} random synthetic workloads vs the oracle (seed {:#x}, {} lanes) ==",
+            cfg.specs, cfg.base_seed, cfg.shards
+        );
+        let (verdicts, ok) = fuzz::run_fuzz(&cfg, |i, v| {
+            let verdict = if v.passed { "PASS" } else { "FAIL" };
+            println!("{verdict}  [{i:>3}] {} @ {} nodes", v.spec, v.nodes);
+            for c in v.cells.iter().filter(|c| !c.passed) {
+                println!("      {} — {}", c.protocol, c.detail);
+            }
+        });
+        let failed = verdicts.iter().filter(|v| !v.passed).count();
+        if ok {
+            println!("all {} specs match ground truth", verdicts.len());
+        } else {
+            eprintln!(
+                "{failed} of {} specs diverged from ground truth",
+                verdicts.len()
+            );
+            std::process::exit(1);
+        }
+        return;
+    }
     if name == "sweep" {
         // Capture micro medians for the ledger record *before* the
         // sweep: `perfgate` measures in a fresh process, so the
@@ -172,7 +274,14 @@ fn main() {
         } else {
             Vec::new()
         };
-        let spec = ExperimentSpec::spectrum_grid(h);
+        let spec = if app_specs.is_empty() {
+            ExperimentSpec::spectrum_grid(h)
+        } else {
+            ExperimentSpec::spectrum_grid_for(h, &app_specs).unwrap_or_else(|e| {
+                eprintln!("--app: {e}");
+                std::process::exit(2);
+            })
+        };
         let r = match threads {
             Some(t) => Runner::with_threads(t),
             None => Runner::default(),
@@ -276,10 +385,13 @@ fn usage() {
         "usage: limitless-bench <experiment|all> [--paper|--quick] [--nodes N]\n\
          \x20      limitless-bench sweep [--paper|--quick] [--nodes N] [--shards S]\n\
          \x20                            [--threads T] [--min-of N] [--json PATH] [--label L]\n\
-         \x20      limitless-bench micro [--json PATH]\n\
-         \x20      limitless-bench check [--paper|--quick] [--nodes N] [--shards S]\n\
+         \x20                            [--app SPEC ...]\n\
+         \x20      limitless-bench micro [--json PATH] [--app SPEC ...]\n\
+         \x20      limitless-bench check [--paper|--quick] [--nodes N] [--shards S] [--app SPEC ...]\n\
+         \x20      limitless-bench fuzz [--specs N] [--shards S] [--nodes N] [--seed S] [--paper]\n\
          \x20      limitless-bench perfgate [--json PATH] [--warn-only]\n\
+         app specs: `tsp`, `worker:ws=8`, `synth:seed=7,pattern=migratory,ws=6,rw=0.3` (DESIGN.md \u{a7}11)\n\
          experiments: table1 table2 table3 fig2 fig3 fig4 fig5 fig6 \
-         ablation-localbit ablation-network ablation-handlers sweep micro check perfgate"
+         ablation-localbit ablation-network ablation-handlers sweep micro check fuzz perfgate"
     );
 }

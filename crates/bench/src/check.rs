@@ -148,17 +148,27 @@ pub fn check_app(app: &dyn App, nodes: usize, shards: usize) -> Vec<CellReport> 
         .collect()
 }
 
-/// Runs the whole oracle grid: every Figure 4 application × every
-/// Figure 2 protocol. Returns the per-cell reports and whether all
-/// passed.
-pub fn run_check(h: Harness) -> (Vec<CellReport>, bool) {
-    let nodes = h.nodes(16);
+/// Runs the oracle grid over an explicit application list — the
+/// `--app` filter path. Every app × every Figure 2 protocol; returns
+/// the per-cell reports and whether all passed.
+pub fn run_check_apps(
+    apps: &[Box<dyn App>],
+    nodes: usize,
+    shards: usize,
+) -> (Vec<CellReport>, bool) {
     let mut reports = Vec::new();
-    for app in applications(h.scale) {
-        reports.extend(check_app(app.as_ref(), nodes, h.shards));
+    for app in apps {
+        reports.extend(check_app(app.as_ref(), nodes, shards));
     }
     let ok = reports.iter().all(|r| r.passed);
     (reports, ok)
+}
+
+/// Runs the whole oracle grid: every Figure 4 application (resolved
+/// through the app registry) × every Figure 2 protocol. Returns the
+/// per-cell reports and whether all passed.
+pub fn run_check(h: Harness) -> (Vec<CellReport>, bool) {
+    run_check_apps(&applications(h.scale), h.nodes(16), h.shards)
 }
 
 #[cfg(test)]

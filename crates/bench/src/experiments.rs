@@ -2,9 +2,7 @@
 //! targets and the CLI both dispatch here; every function returns the
 //! rendered table so tests can assert on its content.
 
-use limitless_apps::{
-    run_app, sequential_cycles, App, Aq, Evolve, Mp3d, Scale, Smgrid, Tsp, Water, Worker,
-};
+use limitless_apps::{registry, run_app, sequential_cycles, App, Scale, Smgrid, Worker};
 use limitless_core::cost::Activity;
 use limitless_core::{HandlerImpl, ProtocolSpec};
 use limitless_machine::MachineConfig;
@@ -109,16 +107,11 @@ pub fn table2(_h: Harness) -> Table {
     t
 }
 
-/// Builds the six Figure 4 applications at a given scale.
+/// Builds the six Figure 4 applications at a given scale, resolved
+/// through the app registry — the same source of truth the oracle,
+/// the sweep runner and the CLI `--app` filter use.
 pub fn applications(scale: Scale) -> Vec<Box<dyn App>> {
-    vec![
-        Box::new(Tsp::new(scale)),
-        Box::new(Aq::new(scale)),
-        Box::new(Smgrid::new(scale)),
-        Box::new(Evolve::new(scale)),
-        Box::new(Mp3d::new(scale)),
-        Box::new(Water::new(scale)),
-    ]
+    registry::paper_suite(scale)
 }
 
 /// **Table 3** — application characteristics: language, size,
@@ -184,9 +177,9 @@ pub fn fig2(h: Harness) -> Table {
 /// sequential baseline of the same cache configuration).
 pub fn fig3(h: Harness) -> Table {
     let nodes = h.nodes(64);
-    let app = Tsp::new(h.scale);
+    let app = registry::build_str("tsp", h.scale).expect("registry knows tsp");
     let mut t = Table::new(&["HW ptrs", "base", "perfect ifetch", "victim cache"]);
-    let seq = sequential_cycles(&app);
+    let seq = sequential_cycles(app.as_ref());
     for (label, p) in fig4_spectrum() {
         let mut row = vec![label.to_string()];
         for mode in 0..3 {
@@ -196,7 +189,7 @@ pub fn fig3(h: Harness) -> Table {
                 1 => b.perfect_ifetch(true),
                 _ => b.victim_cache(true),
             };
-            let cycles = run_app(&app, b.build()).cycles.as_u64();
+            let cycles = run_app(app.as_ref(), b.build()).cycles.as_u64();
             row.push(fmt_f64(seq as f64 / cycles as f64, 1));
         }
         t.row_owned(row);
@@ -227,11 +220,11 @@ pub fn fig4(h: Harness) -> Table {
 /// **Figure 5** — TSP on a 256-node machine with victim caching.
 pub fn fig5(h: Harness) -> Table {
     let nodes = h.nodes(256);
-    let app = Tsp::new(h.scale);
-    let seq = sequential_cycles(&app);
+    let app = registry::build_str("tsp", h.scale).expect("registry knows tsp");
+    let seq = sequential_cycles(app.as_ref());
     let mut t = Table::new(&["HW ptrs", "speedup"]);
     for (label, p) in fig4_spectrum() {
-        let cycles = run_app(&app, crate::cfg(nodes, p)).cycles.as_u64();
+        let cycles = run_app(app.as_ref(), crate::cfg(nodes, p)).cycles.as_u64();
         t.row_owned(vec![
             label.to_string(),
             fmt_f64(seq as f64 / cycles as f64, 1),
@@ -244,7 +237,7 @@ pub fn fig5(h: Harness) -> Table {
 /// machine.
 pub fn fig6(h: Harness) -> Table {
     let nodes = h.nodes(64);
-    let app = Evolve::new(h.scale);
+    let app = registry::build_str("evolve", h.scale).expect("registry knows evolve");
     let mut m = limitless_machine::Machine::new(
         MachineConfig::builder()
             .nodes(nodes)

@@ -15,13 +15,15 @@ use limitless_machine::{MachineConfig, RunReport};
 pub mod alloc_counter;
 pub mod check;
 pub mod experiments;
+pub mod fuzz;
 pub mod gate;
 pub mod micro;
 pub mod record;
 pub mod runner;
 
-pub use check::{check_app, run_check, CellReport};
+pub use check::{check_app, run_check, run_check_apps, CellReport};
 pub use experiments::applications;
+pub use fuzz::{run_fuzz, FuzzConfig, SpecVerdict};
 pub use record::{BenchLedger, CellRecord, SweepRecord};
 pub use runner::{AppFactory, CellResult, ExperimentResult, ExperimentSpec, Runner};
 

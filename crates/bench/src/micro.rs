@@ -149,6 +149,42 @@ fn bench_cache() -> MicroResult {
     })
 }
 
+/// Batches for the end-to-end application micro (full simulations are
+/// orders of magnitude longer than the data-structure micros, so
+/// fewer samples suffice).
+pub const APP_BATCHES: usize = 5;
+
+/// End-to-end application micro — the `micro --app <spec>` path: wall
+/// time of a complete simulation of `app` under `DirnH5SNB` with
+/// victim caching, one full run per batch. The simulated outputs are
+/// asserted identical across batches, so the spread is pure host
+/// noise.
+pub fn run_app_micro(
+    label: &str,
+    app: &dyn limitless_apps::App,
+    nodes: usize,
+    shards: usize,
+) -> MicroResult {
+    let cfg = || crate::cfg_sharded(nodes, ProtocolSpec::limitless(5), shards);
+    let reference = limitless_apps::run_app(app, cfg());
+    let mut batch_ns = Vec::with_capacity(APP_BATCHES);
+    for _ in 0..APP_BATCHES {
+        let t = Instant::now();
+        let r = limitless_apps::run_app(app, cfg());
+        batch_ns.push(t.elapsed().as_nanos() as u64);
+        assert_eq!(
+            (r.cycles, r.events),
+            (reference.cycles, reference.events),
+            "application runs must be deterministic"
+        );
+    }
+    MicroResult {
+        name: format!("app[{label}]"),
+        batch_ns,
+        allocs_per_iter: None,
+    }
+}
+
 /// Runs every micro-benchmark and returns the batch timings.
 pub fn run_all() -> Vec<MicroResult> {
     vec![

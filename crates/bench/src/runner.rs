@@ -12,13 +12,13 @@
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
-use limitless_apps::{run_app, App};
+use limitless_apps::{registry, run_app, App, SpecError};
 use limitless_core::ProtocolSpec;
 use limitless_machine::RunReport;
 use limitless_sim::SplitMix64;
 use limitless_stats::{fmt_f64, ExperimentExport, Table};
 
-use crate::{applications, cfg_sharded, Harness};
+use crate::{cfg_sharded, Harness};
 
 /// Builds one application instance for a cell. The argument is the
 /// cell's deterministic seed; factories for apps with stochastic
@@ -48,22 +48,38 @@ pub struct ExperimentSpec {
 impl ExperimentSpec {
     /// The full Figure-4-style grid — the spectrum's seven protocols
     /// against the six paper applications — at the harness's scale
-    /// and node count.
+    /// and node count. The paper suite resolves through the app
+    /// registry, so this is `spectrum_grid_for` with the registry's
+    /// canonical names.
     pub fn spectrum_grid(h: Harness) -> Self {
+        let specs: Vec<String> = registry::PAPER_APPS.iter().map(|s| s.to_string()).collect();
+        Self::spectrum_grid_for(h, &specs).expect("the paper suite always resolves")
+    }
+
+    /// A spectrum grid over explicit app specs — the CLI `--app`
+    /// path. Every spec is resolved through the registry up front, so
+    /// a malformed `--app` string surfaces here as a typed
+    /// [`SpecError`] instead of panicking inside a worker thread.
+    /// Plain paper apps are labelled by their Table 3 name;
+    /// parameterized specs keep the full spec string so two synth
+    /// points stay distinguishable in the table.
+    pub fn spectrum_grid_for(h: Harness, specs: &[String]) -> Result<Self, SpecError> {
         let scale = h.scale;
-        let names: Vec<String> = applications(scale)
-            .iter()
-            .map(|a| a.name().to_string())
-            .collect();
-        let apps = names
-            .iter()
-            .enumerate()
-            .map(|(i, name)| {
-                let factory: AppFactory = Box::new(move |_seed| applications(scale).swap_remove(i));
-                (name.clone(), factory)
-            })
-            .collect();
-        ExperimentSpec {
+        let mut apps: Vec<(String, AppFactory)> = Vec::with_capacity(specs.len());
+        for raw in specs {
+            let parsed: limitless_apps::AppSpec = raw.parse()?;
+            let app = registry::build(&parsed, scale)?;
+            let label = if parsed.params.is_empty() {
+                app.name().to_string()
+            } else {
+                parsed.to_string()
+            };
+            let factory: AppFactory = Box::new(move |_seed| {
+                registry::build(&parsed, scale).expect("spec validated at grid construction")
+            });
+            apps.push((label, factory));
+        }
+        Ok(ExperimentSpec {
             id: "sweep".to_string(),
             nodes: h.nodes(64),
             protocols: crate::fig4_spectrum()
@@ -73,7 +89,7 @@ impl ExperimentSpec {
             apps,
             base_seed: 0x11_71_1e_55,
             shards: h.shards,
-        }
+        })
     }
 
     /// Number of cells in the grid.
