@@ -86,7 +86,7 @@ impl ScriptWithCode {
     /// Wraps `ops` with an optional code footprint.
     pub fn new(ops: Vec<Op>, footprint: Option<InstrFootprint>) -> Self {
         ScriptWithCode {
-            script: ScriptProgram::new(ops),
+            script: ScriptProgram::new_unrecorded(ops),
             footprint,
         }
     }

@@ -121,19 +121,58 @@ fn bench_directory_engine() -> MicroResult {
         HandlerImpl::FlexibleC,
     );
     let mut i = 0u16;
+    let mut out = limitless_core::Outcome::default();
     bench("dir_engine_read_write_cycle", || {
         i = (i + 1) % 63;
-        let out = e.handle(
+        e.handle_into(
             BlockAddr(7),
             DirEvent::Read {
                 from: NodeId(i + 1),
             },
+            &mut out,
         );
-        let w = e.handle(BlockAddr(7), DirEvent::Write { from: NodeId(63) });
+        let r_sends = out.sends.len();
+        e.handle_into(BlockAddr(7), DirEvent::Write { from: NodeId(63) }, &mut out);
+        let w_sends = out.sends.len();
         for n in 1..64 {
-            let _ = e.handle(BlockAddr(7), DirEvent::InvAck { from: NodeId(n) });
+            e.handle_into(BlockAddr(7), DirEvent::InvAck { from: NodeId(n) }, &mut out);
         }
-        (out.sends.len(), w.sends.len())
+        (r_sends, w_sends)
+    })
+}
+
+/// The software-extension hot loop: every iteration overflows the
+/// five-pointer hardware entry (ReadExtend trap draining the pointers
+/// into the software directory), then writes through the overflowed
+/// entry (WriteExtend trap transmitting software invalidations),
+/// acknowledges them all, and writes the line back so the next
+/// iteration starts from `Uncached`. Exercises the drain/record/
+/// invalidate path that `dir_engine_read_write_cycle` (which stays
+/// within hardware pointers on most events) barely touches.
+fn bench_directory_engine_overflow() -> MicroResult {
+    let mut e = DirEngine::new(
+        NodeId(0),
+        64,
+        ProtocolSpec::limitless(5),
+        HandlerImpl::FlexibleC,
+    );
+    let mut out = limitless_core::Outcome::default();
+    bench("dir_engine_overflow_cycle", || {
+        // Seven readers: the sixth overflows (ReadExtend trap), the
+        // seventh lands in the freshly drained hardware pointers.
+        for n in 1..=7u16 {
+            e.handle_into(BlockAddr(9), DirEvent::Read { from: NodeId(n) }, &mut out);
+        }
+        // Write from an eighth node: WriteExtend trap, seven software
+        // invalidations.
+        e.handle_into(BlockAddr(9), DirEvent::Write { from: NodeId(8) }, &mut out);
+        let sends = out.sends.len();
+        for n in 1..=7u16 {
+            e.handle_into(BlockAddr(9), DirEvent::InvAck { from: NodeId(n) }, &mut out);
+        }
+        // Owner evicts: back to Uncached for the next iteration.
+        e.handle_into(BlockAddr(9), DirEvent::Writeback { from: NodeId(8) }, &mut out);
+        sends
     })
 }
 
@@ -191,6 +230,7 @@ pub fn run_all() -> Vec<MicroResult> {
         bench_event_queue(),
         bench_network(),
         bench_directory_engine(),
+        bench_directory_engine_overflow(),
         bench_cache(),
     ]
 }
@@ -314,16 +354,25 @@ mod tests {
         assert!(allocs > 0, "queue construction must allocate");
     }
 
-    /// The steady-state benchmarks — directory engine, network, cache
+    /// The steady-state benchmarks — directory engine (both the
+    /// in-hardware and the trap-heavy overflow cycle), network, cache
     /// — reuse their arenas, pools and inline send buffers across
     /// iterations, so after warm-up they must make *zero* heap
-    /// allocations per iteration. (The event-queue benchmark is the
-    /// deliberate exception above: it builds a fresh 1k-event queue
-    /// every iteration.)
+    /// allocations per iteration. The overflow cycle is the strictest
+    /// case: every iteration drains pointers into the software
+    /// directory, composes two trap bills, and spills a seven-message
+    /// invalidation burst, all of which must come from reused storage.
+    /// (The event-queue benchmark is the deliberate exception above:
+    /// it builds a fresh 1k-event queue every iteration.)
     #[cfg(feature = "alloc-counter")]
     #[test]
     fn steady_state_benchmarks_are_allocation_free() {
-        for r in [bench_network(), bench_directory_engine(), bench_cache()] {
+        for r in [
+            bench_network(),
+            bench_directory_engine(),
+            bench_directory_engine_overflow(),
+            bench_cache(),
+        ] {
             let allocs = r.allocs_per_iter.expect("feature is on");
             assert_eq!(
                 allocs, 0,

@@ -2,20 +2,25 @@
 
 use limitless_sim::BlockAddr;
 
-use crate::{packed, LineState};
+use crate::LineState;
 
-/// Sentinel tag marking an empty set (no real block address reaches
-/// `u64::MAX`: addresses are block numbers a few orders of magnitude
-/// smaller).
-const EMPTY: BlockAddr = BlockAddr(u64::MAX);
+/// Sentinel word marking an empty set. No packed word reaches this
+/// value: the largest legal tag is `INSTR_BLOCK_BASE >> log2(sets)`
+/// plus a small footprint offset (< 2^29 even for a single-set
+/// cache would overflow, but set counts are >= 1 and block addresses
+/// stay far below 2^40 + 2^31 — see the `insert` debug assertion).
+const EMPTY: u32 = u32::MAX;
 
 /// A direct-mapped cache of block tags.
 ///
 /// Each block maps to exactly one set (`block mod sets`); inserting a
-/// block evicts whatever occupied its set. Storage is
-/// struct-of-arrays: a dense tag vector (sentinel-encoded empties)
-/// beside a packed nibble vector of line states, so the hit path reads
-/// one 8-byte tag instead of a padded 16-byte `Option` slot.
+/// block evicts whatever occupied its set. Storage is one packed
+/// `u32` word per set: the block's tag (its address with the set
+/// index shifted off) in the high bits and the line state (the dirty
+/// bit) in bit 0. The hit path therefore reads a single 4-byte word —
+/// a 4096-set cache spans 16 KiB, so a 64-node machine's tag arrays
+/// fit comfortably in a host L2 where the previous
+/// 8-byte-tag-plus-state-nibble layout did not.
 ///
 /// # Examples
 ///
@@ -31,8 +36,23 @@ const EMPTY: BlockAddr = BlockAddr(u64::MAX);
 /// ```
 #[derive(Clone, Debug)]
 pub struct DirectCache {
-    tags: Vec<BlockAddr>,
-    states: Vec<u8>,
+    words: Vec<u32>,
+    /// log2(sets): the tag is `block >> shift`, the set `block & mask`.
+    shift: u32,
+}
+
+#[inline]
+fn pack(tag: u64, state: LineState) -> u32 {
+    ((tag as u32) << 1) | (state as u32)
+}
+
+#[inline]
+fn state_of(word: u32) -> LineState {
+    if word & 1 == 0 {
+        LineState::Shared
+    } else {
+        LineState::Dirty
+    }
 }
 
 impl DirectCache {
@@ -47,28 +67,43 @@ impl DirectCache {
             "set count must be a positive power of two"
         );
         DirectCache {
-            tags: vec![EMPTY; sets],
-            states: vec![0; packed::bytes_for(sets)],
+            words: vec![EMPTY; sets],
+            shift: sets.trailing_zeros(),
         }
     }
 
     /// Number of sets (= lines) in the cache.
     pub fn sets(&self) -> usize {
-        self.tags.len()
+        self.words.len()
     }
 
     /// The set index a block maps to.
     #[inline]
     pub fn set_of(&self, block: BlockAddr) -> usize {
-        (block.0 as usize) & (self.tags.len() - 1)
+        (block.0 as usize) & (self.words.len() - 1)
+    }
+
+    /// The tag stored for a block: its address above the set bits.
+    #[inline]
+    fn tag_of(&self, block: BlockAddr) -> u64 {
+        block.0 >> self.shift
+    }
+
+    /// Reassembles a block address from a set's packed word.
+    #[inline]
+    fn block_at(&self, set: usize) -> BlockAddr {
+        BlockAddr((u64::from(self.words[set] >> 1) << self.shift) | set as u64)
     }
 
     /// Looks up a block, returning its state if present.
     #[inline]
     pub fn lookup(&self, block: BlockAddr) -> Option<LineState> {
         let set = self.set_of(block);
-        if self.tags[set] == block {
-            Some(packed::get(&self.states, set))
+        let word = self.words[set];
+        // The sentinel's tag bits (2^31 - 1) exceed every legal tag,
+        // so a single tag comparison also rejects empty sets.
+        if u64::from(word >> 1) == self.tag_of(block) {
+            Some(state_of(word))
         } else {
             None
         }
@@ -77,25 +112,29 @@ impl DirectCache {
     /// Inserts a block, returning the evicted occupant of its set (if
     /// any, and if it is a different block).
     pub fn insert(&mut self, block: BlockAddr, state: LineState) -> Option<(BlockAddr, LineState)> {
-        debug_assert_ne!(block, EMPTY, "the sentinel address is not cacheable");
+        let tag = self.tag_of(block);
+        debug_assert!(
+            tag < u64::from(u32::MAX >> 1),
+            "block {block:?} tag overflows the packed word"
+        );
         let set = self.set_of(block);
-        let old_tag = self.tags[set];
-        let old_state = packed::get(&self.states, set);
-        self.tags[set] = block;
-        packed::set(&mut self.states, set, state);
-        if old_tag == EMPTY || old_tag == block {
+        let old = self.words[set];
+        self.words[set] = pack(tag, state);
+        if old == EMPTY || u64::from(old >> 1) == tag {
             None
         } else {
-            Some((old_tag, old_state))
+            let old_block = BlockAddr((u64::from(old >> 1) << self.shift) | set as u64);
+            Some((old_block, state_of(old)))
         }
     }
 
     /// Removes a block if present, returning its state.
     pub fn invalidate(&mut self, block: BlockAddr) -> Option<LineState> {
         let set = self.set_of(block);
-        if self.tags[set] == block {
-            self.tags[set] = EMPTY;
-            Some(packed::get(&self.states, set))
+        let word = self.words[set];
+        if u64::from(word >> 1) == self.tag_of(block) {
+            self.words[set] = EMPTY;
+            Some(state_of(word))
         } else {
             None
         }
@@ -105,8 +144,8 @@ impl DirectCache {
     /// pulls a writeback). Returns `true` if the block was present.
     pub fn downgrade(&mut self, block: BlockAddr) -> bool {
         let set = self.set_of(block);
-        if self.tags[set] == block {
-            packed::set(&mut self.states, set, LineState::Shared);
+        if u64::from(self.words[set] >> 1) == self.tag_of(block) {
+            self.words[set] &= !1;
             true
         } else {
             false
@@ -117,8 +156,8 @@ impl DirectCache {
     /// granted). Returns `true` if the block was present.
     pub fn upgrade(&mut self, block: BlockAddr) -> bool {
         let set = self.set_of(block);
-        if self.tags[set] == block {
-            packed::set(&mut self.states, set, LineState::Dirty);
+        if u64::from(self.words[set] >> 1) == self.tag_of(block) {
+            self.words[set] |= 1;
             true
         } else {
             false
@@ -127,16 +166,16 @@ impl DirectCache {
 
     /// Number of occupied lines (O(sets); for tests and stats only).
     pub fn occupancy(&self) -> usize {
-        self.tags.iter().filter(|&&t| t != EMPTY).count()
+        self.words.iter().filter(|&&w| w != EMPTY).count()
     }
 
     /// Iterates over resident `(block, state)` pairs.
     pub fn iter(&self) -> impl Iterator<Item = (BlockAddr, LineState)> + '_ {
-        self.tags
+        self.words
             .iter()
             .enumerate()
-            .filter(|&(_, &t)| t != EMPTY)
-            .map(|(i, &t)| (t, packed::get(&self.states, i)))
+            .filter(|&(_, &w)| w != EMPTY)
+            .map(|(set, &w)| (self.block_at(set), state_of(w)))
     }
 }
 
@@ -202,7 +241,7 @@ mod tests {
     }
 
     #[test]
-    fn neighbouring_sets_share_a_state_byte_independently() {
+    fn neighbouring_sets_pack_states_independently() {
         let mut c = DirectCache::new(8);
         c.insert(BlockAddr(2), LineState::Dirty);
         c.insert(BlockAddr(3), LineState::Shared);
@@ -211,6 +250,24 @@ mod tests {
         assert!(c.upgrade(BlockAddr(3)));
         assert_eq!(c.lookup(BlockAddr(2)), Some(LineState::Dirty));
         assert_eq!(c.lookup(BlockAddr(3)), Some(LineState::Dirty));
+    }
+
+    #[test]
+    fn instruction_blocks_round_trip_through_the_packed_tag() {
+        // Instruction blocks live at 2^40 + offset: the largest tags
+        // the packed word ever has to carry.
+        let base = 1u64 << 40;
+        let mut c = DirectCache::new(4096);
+        c.insert(BlockAddr(base + 7), LineState::Shared);
+        assert_eq!(c.lookup(BlockAddr(base + 7)), Some(LineState::Shared));
+        // A data block in the same set must not alias the tag.
+        assert_eq!(c.lookup(BlockAddr(7)), None);
+        let ev = c.insert(BlockAddr(7), LineState::Dirty);
+        assert_eq!(ev, Some((BlockAddr(base + 7), LineState::Shared)));
+        assert_eq!(c.iter().collect::<Vec<_>>(), vec![(
+            BlockAddr(7),
+            LineState::Dirty
+        )]);
     }
 
     #[test]

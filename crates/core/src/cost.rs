@@ -57,7 +57,12 @@ impl fmt::Display for HandlerImpl {
 }
 
 /// One line of the Table 2 activity ledger.
+///
+/// The discriminants are the row indices of Table 2 (see
+/// [`Activity::ALL`]), which lets [`TrapBill`] store its ledger as a
+/// fixed dense array indexed by `activity as usize`.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[repr(usize)]
 pub enum Activity {
     /// Invoke the hardware exception/interrupt handler.
     TrapDispatch,
@@ -190,12 +195,18 @@ pub struct ComposeInputs {
 
 /// The bill for one software handler invocation: which handler ran,
 /// its activity ledger, and derived timing for messages it sends.
-#[derive(Clone, Debug, PartialEq, Eq)]
+///
+/// The ledger is a fixed dense array indexed by [`Activity`]
+/// discriminant — `Copy`, no heap storage, so billing a trap on the
+/// simulator's hot path allocates nothing and merging two bills is an
+/// elementwise add.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct TrapBill {
     /// Handler kind.
     pub kind: HandlerKind,
-    /// `(activity, cycles)` ledger, Table 2 style.
-    pub ledger: Vec<(Activity, u64)>,
+    /// Cycles per activity, indexed by `Activity as usize` (Table 2
+    /// row order).
+    ledger: [u64; Activity::ALL.len()],
     pre_send: u64,
     per_inv: u64,
     inv_total: u64,
@@ -205,15 +216,31 @@ pub struct TrapBill {
 impl TrapBill {
     /// Total processor occupancy in cycles.
     pub fn total(&self) -> u64 {
-        self.ledger.iter().map(|&(_, c)| c).sum()
+        self.ledger.iter().sum()
     }
 
     /// Cycles for a specific activity (0 if absent).
+    #[inline]
     pub fn activity(&self, a: Activity) -> u64 {
-        self.ledger
+        self.ledger[a as usize]
+    }
+
+    /// The non-zero ledger lines in Table 2 row order.
+    pub fn lines(&self) -> impl Iterator<Item = (Activity, u64)> + '_ {
+        Activity::ALL
             .iter()
-            .find(|&&(x, _)| x == a)
-            .map_or(0, |&(_, c)| c)
+            .map(|&a| (a, self.ledger[a as usize]))
+            .filter(|&(_, c)| c > 0)
+    }
+
+    /// Folds `other`'s ledger into this bill (used when several
+    /// software actions bill one event: the home processor is occupied
+    /// for the combined total). Send-timing fields keep the first
+    /// bill's values.
+    pub fn absorb(&mut self, other: &TrapBill) {
+        for (mine, theirs) in self.ledger.iter_mut().zip(other.ledger.iter()) {
+            *mine += theirs;
+        }
     }
 
     /// Cycle offset, relative to handler start, at which the `i`-th
@@ -326,53 +353,39 @@ impl CostModel {
     /// Builds a bill from flexible-interface usage. The dispatch and
     /// return sequences are always charged (they bracket every trap);
     /// everything else is charged only if the handler used it.
+    ///
+    /// The ledger is filled branch-free: every Table 2 row is written
+    /// unconditionally, with usage booleans folded in as 0/1 cost
+    /// multipliers and the small-worker-set halving applied as a
+    /// conditional shift — no data-dependent branches on the billing
+    /// path.
     pub fn compose(&self, kind: HandlerKind, is_write: bool, inp: ComposeInputs) -> TrapBill {
         let k = self.costs();
         let sel = |pair: (u64, u64)| if is_write { pair.1 } else { pair.0 };
-        let mut ledger: Vec<(Activity, u64)> = Vec::with_capacity(12);
-        let mut push = |a: Activity, c: u64| {
-            if c > 0 {
-                ledger.push((a, c));
-            }
-        };
-        push(Activity::TrapDispatch, sel(k.trap_dispatch));
-        push(Activity::SysMsgDispatch, sel(k.sys_msg));
-        push(Activity::ProtoDispatch, sel(k.proto_dispatch));
-        if inp.decode {
-            push(Activity::DecodeModifyDir, sel(k.decode));
-        }
-        if inp.save_state {
-            push(Activity::SaveState, sel(k.save_state));
-        }
-        if inp.mem_mgmt {
-            push(Activity::MemoryMgmt, sel(k.mem_mgmt));
-        }
-        if inp.hash_admin {
-            push(Activity::HashAdmin, sel(k.hash_admin));
-        }
-        let mut store = 0;
-        if inp.ptrs_stored > 0 {
-            store += k.store_ptrs_read.0 * inp.ptrs_stored as u64 / k.store_ptrs_read.1;
-            if inp.small_opt && inp.ptrs_stored <= 4 {
-                store /= 2;
-            }
-        }
-        if inp.wrote_state {
-            store += k.store_ptrs_write;
-        }
-        push(Activity::StorePtrs, store);
+        let mut ledger = [0u64; Activity::ALL.len()];
+        ledger[Activity::TrapDispatch as usize] = sel(k.trap_dispatch);
+        ledger[Activity::SysMsgDispatch as usize] = sel(k.sys_msg);
+        ledger[Activity::ProtoDispatch as usize] = sel(k.proto_dispatch);
+        ledger[Activity::DecodeModifyDir as usize] = sel(k.decode) * u64::from(inp.decode);
+        ledger[Activity::SaveState as usize] = sel(k.save_state) * u64::from(inp.save_state);
+        ledger[Activity::MemoryMgmt as usize] = sel(k.mem_mgmt) * u64::from(inp.mem_mgmt);
+        ledger[Activity::HashAdmin as usize] = sel(k.hash_admin) * u64::from(inp.hash_admin);
+        // Small-worker-set optimization: halving the pointer-store cost
+        // is a shift by the condition bit.
+        let store = k.store_ptrs_read.0 * inp.ptrs_stored as u64 / k.store_ptrs_read.1;
+        let halve = u32::from(inp.small_opt && inp.ptrs_stored <= 4);
+        ledger[Activity::StorePtrs as usize] =
+            (store >> halve) + k.store_ptrs_write * u64::from(inp.wrote_state);
         let inv_total = k.inv_transmit.0 * inp.invs as u64 / k.inv_transmit.1;
-        push(Activity::InvTransmit, inv_total);
+        ledger[Activity::InvTransmit as usize] = inv_total;
         let data_total = k.data_transmit * inp.data_sends as u64;
-        push(Activity::DataTransmit, data_total);
-        if inp.non_alewife {
-            push(Activity::NonAlewife, sel(k.non_alewife));
-        }
+        ledger[Activity::DataTransmit as usize] = data_total;
+        ledger[Activity::NonAlewife as usize] = sel(k.non_alewife) * u64::from(inp.non_alewife);
+        ledger[Activity::TrapReturn as usize] = sel(k.trap_return);
         for (a, c) in inp.extra {
-            push(a, c);
+            ledger[a as usize] += c;
         }
-        push(Activity::TrapReturn, sel(k.trap_return));
-        let total: u64 = ledger.iter().map(|&(_, c)| c).sum();
+        let total: u64 = ledger.iter().sum();
         let per_inv = if inp.invs > 0 {
             inv_total / inp.invs as u64
         } else {
@@ -582,7 +595,7 @@ mod tests {
     }
 
     #[test]
-    fn ledger_never_contains_zero_lines() {
+    fn lines_skip_zero_rows_and_sum_to_total() {
         let m = CostModel::new(HandlerImpl::TunedAsm);
         for bill in [
             m.read_extend(6, false),
@@ -590,8 +603,26 @@ mod tests {
             m.ack_trap(),
             m.last_ack_trap(),
         ] {
-            assert!(bill.ledger.iter().all(|&(_, c)| c > 0));
+            assert!(bill.lines().all(|(_, c)| c > 0));
+            assert_eq!(bill.lines().map(|(_, c)| c).sum::<u64>(), bill.total());
+            // Assembly omits the flexible-interface rows, so the line
+            // listing is strictly shorter than the full table.
+            assert!(bill.lines().count() < Activity::ALL.len());
         }
+    }
+
+    #[test]
+    fn absorb_adds_ledgers_elementwise() {
+        let m = CostModel::new(HandlerImpl::FlexibleC);
+        let mut bill = m.write_extend(8);
+        let extra = m.ack_trap();
+        let want_total = bill.total() + extra.total();
+        let want_decode = bill.activity(Activity::DecodeModifyDir)
+            + extra.activity(Activity::DecodeModifyDir);
+        bill.absorb(&extra);
+        assert_eq!(bill.total(), want_total);
+        assert_eq!(bill.activity(Activity::DecodeModifyDir), want_decode);
+        assert_eq!(bill.kind, HandlerKind::WriteExtend);
     }
 
     #[test]

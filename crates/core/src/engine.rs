@@ -231,6 +231,22 @@ impl Outcome {
             timing: SendTiming::Hw { offset },
         });
     }
+
+    /// Clears the outcome for reuse without releasing its storage: a
+    /// heap-spilled send list keeps its capacity, so a caller that
+    /// feeds the same `Outcome` back into
+    /// [`DirEngine::handle_into`] performs no per-event allocation
+    /// *and* no per-event copy of this (large) struct.
+    pub fn reset(&mut self) {
+        match &mut self.sends {
+            SendList::Inline { len, .. } => *len = 0,
+            SendList::Heap(v) => v.clear(),
+        }
+        self.invalidate_local = false;
+        self.trap = None;
+        self.hw_cycles = 0;
+        self.stale = false;
+    }
 }
 
 /// Counters describing protocol behaviour at one home node.
@@ -321,7 +337,7 @@ impl DirEngine {
             costs: CostModel::new(imp),
             timing: HwTiming::default(),
             table: DirectoryTable::new(spec.capacity(nodes), u32::from(home.0), nodes as u32),
-            sw: SwDirectory::new(),
+            sw: SwDirectory::for_nodes(nodes),
             handler: Box::new(LimitlessHandler),
             stats: EngineStats::default(),
             scratch_sharers: Vec::new(),
@@ -394,10 +410,13 @@ impl DirEngine {
     /// The current sharer count visible to the directory (hardware +
     /// software + local bit), for tests and instrumentation.
     pub fn sharer_count(&self, block: BlockAddr) -> usize {
-        let hw = self.table.get(block).map(|st| st.hw);
-        let mut set: Vec<NodeId> = hw.map(|e| e.ptrs().to_vec()).unwrap_or_default();
-        set.extend_from_slice(self.sw.readers(block));
-        if hw.is_some_and(|e| e.local_bit()) {
+        let Some(id) = self.table.id_of(block) else {
+            return 0;
+        };
+        let st = self.table.state(id);
+        let mut set: Vec<NodeId> = st.hw.ptrs_vec();
+        self.sw.extend_readers(id, &mut set);
+        if st.hw.local_bit() {
             set.push(self.home);
         }
         set.sort_unstable();
@@ -418,15 +437,25 @@ impl DirEngine {
     /// acknowledgment when none is outstanding), which indicate
     /// simulator bugs rather than recoverable conditions.
     pub fn handle(&mut self, block: BlockAddr, event: DirEvent) -> Outcome {
+        let mut out = Outcome::default();
+        self.handle_into(block, event, &mut out);
+        out
+    }
+
+    /// [`DirEngine::handle`] without the by-value return: the outcome
+    /// is built in `out` (which is [`Outcome::reset`] first). Hot-path
+    /// callers keep one `Outcome` alive across events so neither the
+    /// ~300-byte struct copy nor the re-initialization of its inline
+    /// send buffer is paid per event, and a send list that once
+    /// spilled to the heap keeps servicing later bursts from the same
+    /// allocation.
+    pub fn handle_into(&mut self, block: BlockAddr, event: DirEvent, out: &mut Outcome) {
+        out.reset();
         let id = self.table.intern(block);
-        // With the sanitizer off, the dispatch stays in tail position so
-        // the (large) `Outcome` is built directly in the return slot.
+        self.dispatch(block, id, event, out);
         if self.check.enabled() {
-            let out = self.dispatch(block, id, event);
-            self.record_and_validate(block, id, event, &out);
-            return out;
+            self.record_and_validate(block, id, event, out);
         }
-        self.dispatch(block, id, event)
     }
 
     /// Returns an outcome's heap-spilled send storage to the engine's
@@ -440,25 +469,24 @@ impl DirEngine {
     }
 
     #[inline]
-    fn dispatch(&mut self, block: BlockAddr, id: u32, event: DirEvent) -> Outcome {
+    fn dispatch(&mut self, block: BlockAddr, id: u32, event: DirEvent, out: &mut Outcome) {
         match event {
-            DirEvent::Read { from } => self.handle_read(block, id, from),
-            DirEvent::Write { from } => self.handle_write(block, id, from),
-            DirEvent::InvAck { from } => self.handle_inv_ack(id, from),
+            DirEvent::Read { from } => self.handle_read(block, id, from, out),
+            DirEvent::Write { from } => self.handle_write(block, id, from, out),
+            DirEvent::InvAck { from } => self.handle_inv_ack(id, from, out),
             DirEvent::OwnerAck {
                 from,
                 had_data,
                 downgrade,
-            } => self.handle_owner_ack(block, id, from, had_data, downgrade),
-            DirEvent::Writeback { from } => self.handle_writeback(block, id, from),
+            } => self.handle_owner_ack(block, id, from, had_data, downgrade, out),
+            DirEvent::Writeback { from } => self.handle_writeback(block, id, from, out),
         }
     }
 
     // ---------------------------------------------------------- reads
 
-    fn handle_read(&mut self, block: BlockAddr, id: u32, from: NodeId) -> Outcome {
+    fn handle_read(&mut self, block: BlockAddr, id: u32, from: NodeId, out: &mut Outcome) {
         self.stats.read_reqs += 1;
-        let mut out = Outcome::default();
         let all_sw = self.all_software();
         let home = self.home;
         let spec = self.spec;
@@ -480,7 +508,7 @@ impl DirEngine {
                     st.hw.set_local_bit(true);
                     out.hw_send(from, ProtoMsg::ReadData, data_off);
                     out.hw_cycles = timing.dir_cycles;
-                    return out;
+                    return;
                 }
                 match st.hw.record_reader(from) {
                     PtrStoreOutcome::Stored if !all_sw => {
@@ -504,7 +532,7 @@ impl DirEngine {
                             if first_remote {
                                 out.invalidate_local = true;
                             }
-                            self.run_read_overflow(block, id, from, &mut out);
+                            self.run_read_overflow(block, id, from, out);
                         }
                     }
                 }
@@ -528,15 +556,14 @@ impl DirEngine {
                     out.hw_send(owner, ProtoMsg::Downgrade, timing.dir_cycles);
                     out.hw_cycles = timing.dir_cycles;
                     if all_sw {
-                        self.bill(&mut out, self.costs.ack_trap());
+                        self.bill(out, self.costs.ack_trap());
                     }
                 }
             }
             HwState::ReadTransaction | HwState::WriteTransaction => {
-                self.send_busy(id, from, &mut out);
+                self.send_busy(id, from, out);
             }
         }
-        out
     }
 
     fn run_read_overflow(&mut self, block: BlockAddr, id: u32, from: NodeId, out: &mut Outcome) {
@@ -547,6 +574,7 @@ impl DirEngine {
             self.nodes,
             self.spec,
             block,
+            id,
             st.hw,
             &mut self.sw,
             buf,
@@ -571,9 +599,8 @@ impl DirEngine {
 
     // --------------------------------------------------------- writes
 
-    fn handle_write(&mut self, block: BlockAddr, id: u32, from: NodeId) -> Outcome {
+    fn handle_write(&mut self, block: BlockAddr, id: u32, from: NodeId, out: &mut Outcome) {
         self.stats.write_reqs += 1;
-        let mut out = Outcome::default();
         let all_sw = self.all_software();
         let home = self.home;
         let timing = self.timing;
@@ -590,9 +617,9 @@ impl DirEngine {
                     out.invalidate_local = true;
                 }
                 if !overflowed {
-                    self.hw_write_path(id, from, &mut out);
+                    self.hw_write_path(id, from, out);
                 } else {
-                    self.sw_write_path(block, id, from, &mut out);
+                    self.sw_write_path(block, id, from, out);
                 }
             }
             HwState::ReadWrite => {
@@ -612,15 +639,14 @@ impl DirEngine {
                     out.hw_send(owner, ProtoMsg::Flush, timing.dir_cycles);
                     out.hw_cycles = timing.dir_cycles;
                     if all_sw {
-                        self.bill(&mut out, self.costs.ack_trap());
+                        self.bill(out, self.costs.ack_trap());
                     }
                 }
             }
             HwState::ReadTransaction | HwState::WriteTransaction => {
-                self.send_busy(id, from, &mut out);
+                self.send_busy(id, from, out);
             }
         }
-        out
     }
 
     /// Write serviced entirely by the hardware directory: invalidate
@@ -691,7 +717,8 @@ impl DirEngine {
         let buf = self.send_pool.get();
         let st = self.table.state_mut(id);
 
-        let mut ctx = HandlerCtx::with_send_buf(home, nodes, spec, block, st.hw, &mut self.sw, buf);
+        let mut ctx =
+            HandlerCtx::with_send_buf(home, nodes, spec, block, id, st.hw, &mut self.sw, buf);
         ctx.sharers_into(&mut self.scratch_sharers);
         let was_sharer = self.scratch_sharers.contains(&from);
         self.scratch_sharers.retain(|&s| s != from);
@@ -753,14 +780,13 @@ impl DirEngine {
 
     // ----------------------------------------------- acknowledgments
 
-    fn handle_inv_ack(&mut self, id: u32, _from: NodeId) -> Outcome {
-        let mut out = Outcome::default();
+    fn handle_inv_ack(&mut self, id: u32, _from: NodeId, out: &mut Outcome) {
         let timing = self.timing;
         let mut st = self.table.state_mut(id);
         if st.hw.state() != HwState::WriteTransaction || st.hw.acks_pending() == 0 {
             self.stats.stale_msgs += 1;
             out.stale = true;
-            return out;
+            return;
         }
         let remaining = st.hw.count_ack();
         let sw_round = st.sw_transaction();
@@ -778,9 +804,9 @@ impl DirEngine {
 
         if remaining > 0 {
             if traps_this_ack {
-                self.bill(&mut out, self.costs.ack_trap());
+                self.bill(out, self.costs.ack_trap());
             }
-            return out;
+            return;
         }
 
         // Transaction complete: grant to the waiting requester.
@@ -808,13 +834,12 @@ impl DirEngine {
                     offset: bill.data_offset(0),
                 },
             });
-            self.bill(&mut out, bill);
+            self.bill(out, bill);
         } else {
             let off = timing.dir_cycles + if upgrade { 0 } else { timing.dram_cycles };
             out.hw_send(requester, grant, off);
         }
         let _ = sw_round;
-        out
     }
 
     fn handle_owner_ack(
@@ -824,8 +849,8 @@ impl DirEngine {
         from: NodeId,
         had_data: bool,
         downgrade: bool,
-    ) -> Outcome {
-        let mut out = Outcome::default();
+        out: &mut Outcome,
+    ) {
         let timing = self.timing;
         let all_sw = self.all_software();
         let mut st = self.table.state_mut(id);
@@ -840,7 +865,7 @@ impl DirEngine {
             // under FIFO delivery, already completed the transaction).
             self.stats.stale_msgs += 1;
             out.stale = true;
-            return out;
+            return;
         }
         st.set_owner_fetch(None);
         let requester = st
@@ -857,8 +882,8 @@ impl DirEngine {
             st.hw.clear_owner();
             // The owner keeps a shared copy; record owner then
             // requester, extending in software on overflow.
-            self.record_after_fetch(block, id, from, &mut out);
-            self.record_after_fetch(block, id, requester, &mut out);
+            self.record_after_fetch(block, id, from, out);
+            self.record_after_fetch(block, id, requester, out);
             out.hw_send(requester, ProtoMsg::ReadData, out.hw_cycles);
         } else {
             st.hw.set_sole_owner(requester);
@@ -866,9 +891,8 @@ impl DirEngine {
             out.hw_send(requester, ProtoMsg::WriteData, out.hw_cycles);
         }
         if all_sw {
-            self.bill(&mut out, self.costs.ack_trap());
+            self.bill(out, self.costs.ack_trap());
         }
-        out
     }
 
     /// Records a sharer after an owner fetch, trapping to software on
@@ -894,8 +918,7 @@ impl DirEngine {
         }
     }
 
-    fn handle_writeback(&mut self, block: BlockAddr, id: u32, from: NodeId) -> Outcome {
-        let mut out = Outcome::default();
+    fn handle_writeback(&mut self, block: BlockAddr, id: u32, from: NodeId, out: &mut Outcome) {
         let timing = self.timing;
         let all_sw = self.all_software();
         out.hw_cycles = timing.dir_cycles + timing.dram_cycles;
@@ -921,7 +944,7 @@ impl DirEngine {
                 if was_read {
                     st.hw.set_state(HwState::ReadOnly);
                     st.hw.clear_owner();
-                    self.record_after_fetch(block, id, requester, &mut out);
+                    self.record_after_fetch(block, id, requester, out);
                     out.hw_send(requester, ProtoMsg::ReadData, out.hw_cycles);
                 } else {
                     st.hw.set_sole_owner(requester);
@@ -932,13 +955,12 @@ impl DirEngine {
             _ => {
                 self.stats.stale_msgs += 1;
                 out.stale = true;
-                return out;
+                return;
             }
         }
         if all_sw {
-            self.bill(&mut out, self.costs.ack_trap());
+            self.bill(out, self.costs.ack_trap());
         }
-        out
     }
 
     // -------------------------------------------------------- helpers
@@ -980,7 +1002,7 @@ impl DirEngine {
         out.trap = Some(match out.trap.take() {
             None => bill,
             Some(mut prev) => {
-                prev.ledger.extend(bill.ledger);
+                prev.absorb(&bill);
                 prev
             }
         });
@@ -993,7 +1015,7 @@ impl DirEngine {
     /// Called once per event while the sanitizer is enabled.
     fn record_and_validate(&mut self, block: BlockAddr, id: u32, event: DirEvent, out: &Outcome) {
         let st = self.table.state(id);
-        let sw_readers = self.sw.readers(block).len();
+        let sw_readers = self.sw.reader_count(id);
         self.history.record(
             id,
             HistoryRecord {
@@ -1024,8 +1046,9 @@ impl DirEngine {
         let st = self.table.state(id);
         let hw = &st.hw;
         hw.structural_invariants()?;
-        self.sw.structural_invariants(block)?;
-        let sw_readers = self.sw.readers(block).len();
+        self.sw.structural_invariants(id)?;
+        let sw_readers = self.sw.reader_count(id);
+        let _ = block;
 
         match hw.state() {
             HwState::Uncached => {
@@ -1142,14 +1165,15 @@ impl DirEngine {
         if self.local_fast_path(block) {
             return node == self.home;
         }
-        let Some(st) = self.table.get(block) else {
+        let Some(id) = self.table.id_of(block) else {
             return false;
         };
+        let st = self.table.state(id);
         st.hw.owner() == Some(node)
-            || st.hw.ptrs().contains(&node)
+            || st.hw.contains_ptr(node)
             || (st.hw.local_bit() && node == self.home)
             || (st.hw.overflowed() && self.spec.sw == SwMode::Broadcast)
-            || self.sw.readers(block).contains(&node)
+            || self.sw.contains_reader(id, node)
     }
 
     /// The exclusive owner the directory records for `block`, if any.

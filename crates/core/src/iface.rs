@@ -51,6 +51,10 @@ pub struct HandlerCtx<'a> {
     nodes: usize,
     spec: ProtocolSpec,
     block: BlockAddr,
+    /// The block's dense per-home interner id — the software
+    /// directory's key (identity-hashed open addressing needs no
+    /// `BlockAddr` hash).
+    id: u32,
     hw: HwEntryMut<'a>,
     sw: &'a mut SwDirectory,
     // --- accumulated effects ---
@@ -82,17 +86,22 @@ impl<'a> HandlerCtx<'a> {
         hw: HwEntryMut<'a>,
         sw: &'a mut SwDirectory,
     ) -> Self {
-        HandlerCtx::with_send_buf(home, nodes, spec, block, hw, sw, Vec::new())
+        // Test fixtures have no interner; the block address doubles as
+        // the dense id.
+        let id = block.0 as u32;
+        HandlerCtx::with_send_buf(home, nodes, spec, block, id, hw, sw, Vec::new())
     }
 
-    /// Like [`HandlerCtx::new`], but the send queue reuses a recycled
-    /// buffer (the engine's message pool) so steady-state traps
-    /// allocate nothing.
+    /// Like [`HandlerCtx::new`], but the caller supplies the block's
+    /// interned id and the send queue reuses a recycled buffer (the
+    /// engine's message pool) so steady-state traps allocate nothing.
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn with_send_buf(
         home: NodeId,
         nodes: usize,
         spec: ProtocolSpec,
         block: BlockAddr,
+        id: u32,
         hw: HwEntryMut<'a>,
         sw: &'a mut SwDirectory,
         sends: Vec<QueuedSend>,
@@ -103,6 +112,7 @@ impl<'a> HandlerCtx<'a> {
             nodes,
             spec,
             block,
+            id,
             hw,
             sw,
             sends,
@@ -154,12 +164,25 @@ impl<'a> HandlerCtx<'a> {
     /// Empties all hardware pointers into the software directory
     /// (billed per pointer stored). Returns how many moved.
     ///
-    /// The pointers move straight from the hardware slab into the
-    /// software records — no intermediate buffer, no allocation.
+    /// On <= 64-node machines both sides store presence bitmasks, so
+    /// the whole transfer is one word moved ([`HwEntryMut::take_ptr_mask`]
+    /// into [`SwDirectory::record_reader_mask`]); otherwise the
+    /// pointers stream straight from the hardware slots into the
+    /// software record — either way no intermediate buffer and no
+    /// allocation.
     pub fn drain_hw_to_sw(&mut self) -> usize {
-        let HandlerCtx { hw, sw, block, .. } = self;
-        let n = sw.record_readers(*block, hw.ptrs());
-        hw.clear_ptrs();
+        let HandlerCtx { hw, sw, id, .. } = self;
+        let n = match hw.take_ptr_mask() {
+            Some(mask) => sw.record_reader_mask(*id, mask),
+            None => {
+                let n = hw
+                    .ptr_iter()
+                    .filter(|&p| sw.record_reader(*id, p))
+                    .count();
+                hw.clear_ptrs();
+                n
+            }
+        };
         self.ptrs_stored += n;
         n
     }
@@ -167,7 +190,7 @@ impl<'a> HandlerCtx<'a> {
     /// Records one pointer in the software directory (billed per
     /// pointer).
     pub fn record_sw(&mut self, node: NodeId) {
-        if self.sw.record_reader(self.block, node) {
+        if self.sw.record_reader(self.id, node) {
             self.ptrs_stored += 1;
         }
     }
@@ -192,8 +215,8 @@ impl<'a> HandlerCtx<'a> {
     /// first) — the engine's allocation-free path.
     pub fn sharers_into(&self, out: &mut Vec<NodeId>) {
         out.clear();
-        out.extend_from_slice(self.hw.ptrs());
-        out.extend_from_slice(self.sw.readers(self.block));
+        out.extend(self.hw.ptr_iter());
+        self.sw.extend_readers(self.id, out);
         if self.hw.local_bit() {
             out.push(self.home);
         }
@@ -205,7 +228,7 @@ impl<'a> HandlerCtx<'a> {
     /// the free list) and clears the overflow meta-state; the entry is
     /// back under pure hardware control.
     pub fn release_to_hardware(&mut self) {
-        self.sw.clear_readers(self.block);
+        self.sw.clear_readers(self.id);
         self.hw.set_overflowed(false);
     }
 
@@ -453,8 +476,7 @@ mod tests {
         assert!(!local);
         assert!(t.row(0).overflowed());
         assert_eq!(t.row(0).ptr_count(), 0);
-        let mut readers = sw.readers(BlockAddr(7)).to_vec();
-        readers.sort_unstable();
+        let readers = sw.readers_vec(7);
         assert_eq!(readers, vec![NodeId(1), NodeId(2), NodeId(3)]);
     }
 
@@ -463,8 +485,8 @@ mod tests {
         let (mut t, mut sw) = fixture();
         let mut hw = t.row_mut(0);
         hw.set_overflowed(true);
-        sw.record_reader(BlockAddr(7), NodeId(1));
-        sw.record_reader(BlockAddr(7), NodeId(2));
+        sw.record_reader(7, NodeId(1));
+        sw.record_reader(7, NodeId(2));
         hw.record_reader(NodeId(3));
         let spec = ProtocolSpec::limitless(2);
         let mut ctx = HandlerCtx::new(NodeId(0), 16, spec, BlockAddr(7), hw, &mut sw);
@@ -481,7 +503,7 @@ mod tests {
         assert_eq!(counter, Some(3));
         assert!(bill.total() > 0);
         assert!(!t.row(0).overflowed());
-        assert!(sw.readers(BlockAddr(7)).is_empty());
+        assert_eq!(sw.reader_count(7), 0);
     }
 
     #[test]
@@ -490,7 +512,7 @@ mod tests {
         let mut hw = t.row_mut(0);
         hw.set_overflowed(true);
         hw.set_local_bit(true);
-        sw.record_reader(BlockAddr(7), NodeId(1));
+        sw.record_reader(7, NodeId(1));
         let spec = ProtocolSpec::limitless(2);
         let mut ctx = HandlerCtx::new(NodeId(0), 16, spec, BlockAddr(7), hw, &mut sw);
         let sharers = ctx.sharers();
@@ -536,8 +558,8 @@ mod tests {
         let (mut t, mut sw) = fixture();
         let mut hw = t.row_mut(0);
         hw.record_reader(NodeId(1));
-        sw.record_reader(BlockAddr(7), NodeId(1));
-        sw.record_reader(BlockAddr(7), NodeId(2));
+        sw.record_reader(7, NodeId(1));
+        sw.record_reader(7, NodeId(2));
         let spec = ProtocolSpec::limitless(2);
         let mut ctx = HandlerCtx::new(NodeId(0), 16, spec, BlockAddr(7), hw, &mut sw);
         assert_eq!(ctx.sharers(), vec![NodeId(1), NodeId(2)]);

@@ -58,3 +58,4 @@ pub use iface::{BroadcastHandler, ExtensionHandler, HandlerCtx, LimitlessHandler
 pub use msg::{BlockMsg, ProtoMsg};
 pub use spec::{AckMode, ProtocolSpec, SwMode};
 pub use table::{BlockStateMut, BlockStateRef, DirectoryTable};
+

@@ -171,11 +171,13 @@ pub struct DirectoryTable {
 impl DirectoryTable {
     /// Creates an empty table for home `home` of `homes`, whose
     /// hardware entries have `capacity` pointers each (a per-machine
-    /// constant: the protocol's pointer count).
+    /// constant: the protocol's pointer count). `homes` is the machine
+    /// node count, which picks the hardware pointer-storage regime
+    /// (bitmask on <= 64 nodes; see [`HwDirTable::with_nodes`]).
     pub fn new(capacity: usize, home: u32, homes: u32) -> Self {
         DirectoryTable {
             interner: BlockInterner::new(home, homes),
-            hw: HwDirTable::new(capacity),
+            hw: HwDirTable::with_nodes(capacity, homes as usize),
             flags: Vec::new(),
             owner_fetch: Vec::new(),
         }

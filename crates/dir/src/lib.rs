@@ -9,16 +9,19 @@
 //!   cached copy, the meta-state that says whether the entry has
 //!   overflowed into software, and the acknowledgment counter that
 //!   reuses pointer storage during write transactions (paper §2, §3.1).
-//! * [`SwDirectory`] — the software part: a hash table from block to
-//!   extension records allocated off a free list, exactly the
-//!   structures the protocol extension software manipulates through
-//!   the flexible coherence interface (paper §4.1).
+//! * [`SwDirectory`] — the software part: an open-addressed table
+//!   keyed by dense `u32` block ids (identity hash, probe length 1,
+//!   growth without rehash) holding the extension records the protocol
+//!   extension software manipulates through the flexible coherence
+//!   interface (paper §4.1).
 //!
 //! Production storage for the hardware half is the struct-of-arrays
 //! [`HwDirTable`], whose [`HwEntryMut`]/[`HwEntryRef`] row views expose
-//! the `HwDirEntry` method set over packed column vectors and a flat
-//! pointer slab; `HwDirEntry` itself remains the fat reference model
-//! the table is differentially tested against.
+//! the `HwDirEntry` method set over packed column vectors; pointer sets
+//! live in a per-row `u64` presence bitmask on machines of <= 64 nodes
+//! and in inline fixed-width (or strided slab) storage beyond that
+//! (DESIGN.md §12). `HwDirEntry` and [`SwDirModel`] remain the fat
+//! reference models both halves are differentially tested against.
 //!
 //! # Examples
 //!
@@ -37,5 +40,5 @@ pub mod hw_table;
 pub mod sw;
 
 pub use hw::{HwDirEntry, HwState, PtrStoreOutcome};
-pub use hw_table::{HwDirTable, HwEntryMut, HwEntryRef};
-pub use sw::{SwDirEntry, SwDirStats, SwDirectory};
+pub use hw_table::{HwDirTable, HwEntryMut, HwEntryRef, PtrIter};
+pub use sw::{SwDirEntry, SwDirModel, SwDirStats, SwDirectory};

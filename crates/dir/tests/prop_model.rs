@@ -4,7 +4,7 @@
 
 use std::collections::BTreeSet;
 
-use limitless_dir::{HwDirEntry, PtrStoreOutcome, SwDirectory};
+use limitless_dir::{HwDirEntry, PtrStoreOutcome, SwDirModel};
 use limitless_sim::{BlockAddr, NodeId, SplitMix64};
 
 const CASES: u64 = 64;
@@ -66,12 +66,14 @@ fn drain_empties_exactly() {
 
 #[test]
 fn sw_directory_matches_set_model() {
-    // The software directory is a per-block set; drain returns exactly
-    // what was recorded and frees the record.
+    // The software-directory reference model is a per-block set; drain
+    // returns exactly what was recorded and frees the record. (The
+    // production `SwDirectory` is differenced against this model in
+    // `prop_dirhot.rs`.)
     let mut rng = SplitMix64::new(0x4003);
     for case in 0..CASES {
         let len = rng.next_below(120) as usize;
-        let mut d = SwDirectory::new();
+        let mut d = SwDirModel::new();
         let mut model: std::collections::HashMap<u64, BTreeSet<u16>> = Default::default();
         for _ in 0..len {
             let block = rng.next_below(6);

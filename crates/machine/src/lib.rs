@@ -72,3 +72,4 @@ pub use stats::{BillAggregator, MachineStats, RunReport};
 
 #[cfg(test)]
 mod tests;
+

@@ -111,25 +111,40 @@ impl<F> std::fmt::Debug for FnProgram<F> {
 pub struct ScriptProgram {
     ops: Vec<Op>,
     pc: usize,
+    record: bool,
     /// Values observed by `Read`/`Rmw` ops, for post-run inspection.
     pub observed: Vec<u64>,
 }
 
 impl ScriptProgram {
-    /// Creates a program that runs `ops` then finishes.
+    /// Creates a program that runs `ops` then finishes, recording
+    /// every observed read value into [`ScriptProgram::observed`].
     pub fn new(ops: Vec<Op>) -> Self {
         ScriptProgram {
             ops,
             pc: 0,
+            record: true,
             observed: Vec::new(),
+        }
+    }
+
+    /// Like [`ScriptProgram::new`], but observed values are discarded.
+    /// Wrappers that never expose `observed` (the application scripts)
+    /// use this to keep the per-read bookkeeping off the hot path.
+    pub fn new_unrecorded(ops: Vec<Op>) -> Self {
+        ScriptProgram {
+            record: false,
+            ..ScriptProgram::new(ops)
         }
     }
 }
 
 impl Program for ScriptProgram {
     fn next(&mut self, _node: NodeId, last_value: Option<u64>) -> Op {
-        if let Some(v) = last_value {
-            self.observed.push(v);
+        if self.record {
+            if let Some(v) = last_value {
+                self.observed.push(v);
+            }
         }
         let op = self.ops.get(self.pc).copied().unwrap_or(Op::Finish);
         self.pc += 1;

@@ -177,6 +177,7 @@ impl Machine {
             outboxes: Vec::new(),
             t_end: Cycle(u64::MAX),
             max_events,
+            scratch_out: limitless_core::Outcome::default(),
         };
         for i in 0..total {
             let n = NodeId::from_index(i);
@@ -253,6 +254,7 @@ impl Machine {
                 outboxes: (0..lanes).map(|_| Vec::new()).collect(),
                 t_end: Cycle::ZERO,
                 max_events,
+                scratch_out: limitless_core::Outcome::default(),
             };
             for i in bounds[l]..bounds[l + 1] {
                 let n = NodeId::from_index(i);
@@ -669,21 +671,24 @@ impl Shard {
     /// order) are exactly those of a queue-only run.
     fn step_program(&mut self, cx: &Wctx, n: NodeId, mut now: Cycle) {
         loop {
-            if self.node(n).done {
+            // One node lookup covers the whole prologue (done flag,
+            // trap occupancy, last value, program step).
+            let node = self.node_mut(n);
+            if node.done {
                 return;
             }
             // Protocol handlers steal processor cycles: user code
             // resumes only when the handler (and any watchdog grace)
             // completes.
-            let busy = self.node(n).trap_busy_until;
+            let busy = node.trap_busy_until;
             if busy > now {
                 self.post(n, busy, Ev::Resume(n));
                 return;
             }
-            self.node_mut(n).trap_accum = 0; // user code made progress
+            node.trap_accum = 0; // user code made progress
 
-            let last = self.node_mut(n).last_value.take();
-            let op = self.node_mut(n).program.next(n, last);
+            let last = node.last_value.take();
+            let op = node.program.next(n, last);
             // The time this node's program resumes, when that is known
             // synchronously; `None` means the operation handed control
             // to the protocol or sync machinery, which resumes the
@@ -732,14 +737,15 @@ impl Shard {
                 Op::Read(addr) => {
                     let penalty = self.ifetch(cx, n, 1, now);
                     let block = addr.block(cx.cfg.cache.line_bytes);
-                    match self.node_mut(n).cache.read(block) {
+                    let node = self.node_mut(n);
+                    match node.cache.read(block) {
                         Access::Hit => {
-                            self.node_mut(n).stats.hits += 1;
+                            node.stats.hits += 1;
                             let t = now + Cycle(cx.cfg.proc.hit + penalty);
                             Some(self.finish_access(cx, n, addr, false, None, 0, false, t))
                         }
                         Access::VictimHit => {
-                            self.node_mut(n).stats.hits += 1;
+                            node.stats.hits += 1;
                             let t = now + Cycle(cx.cfg.proc.hit + cx.cfg.proc.victim_hit + penalty);
                             Some(self.finish_access(cx, n, addr, false, None, 0, false, t))
                         }
@@ -791,14 +797,15 @@ impl Shard {
     ) -> Option<Cycle> {
         let penalty = self.ifetch(cx, n, 1, now);
         let block = addr.block(cx.cfg.cache.line_bytes);
-        match self.node_mut(n).cache.write(block) {
+        let node = self.node_mut(n);
+        match node.cache.write(block) {
             Access::Hit => {
-                self.node_mut(n).stats.hits += 1;
+                node.stats.hits += 1;
                 let t = now + Cycle(cx.cfg.proc.hit + penalty);
                 Some(self.finish_access(cx, n, addr, true, rmw, v, false, t))
             }
             Access::VictimHit => {
-                self.node_mut(n).stats.hits += 1;
+                node.stats.hits += 1;
                 let t = now + Cycle(cx.cfg.proc.hit + cx.cfg.proc.victim_hit + penalty);
                 Some(self.finish_access(cx, n, addr, true, rmw, v, false, t))
             }

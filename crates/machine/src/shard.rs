@@ -23,6 +23,7 @@
 
 use std::sync::{Mutex, RwLock};
 
+use limitless_core::Outcome;
 use limitless_net::{Network, TxPhase};
 use limitless_sim::{Addr, BlockAddr, Cycle, EventQueue, FxHashMap, NodeId};
 use limitless_stats::WorkerSetTracker;
@@ -155,6 +156,13 @@ pub(crate) struct Shard {
     /// Event-limit backstop (shared across lanes at boundary checks;
     /// enforced per-event here for the serial engine).
     pub(crate) max_events: u64,
+    /// Scratch directory-event outcome, reused across every home
+    /// event this lane processes: the engine builds each result in
+    /// place ([`limitless_core::DirEngine::handle_into`]), so the
+    /// ~300-byte struct is never copied or re-initialized per event
+    /// and a heap-spilled send burst keeps its allocation for the
+    /// next burst.
+    pub(crate) scratch_out: Outcome,
 }
 
 impl Shard {

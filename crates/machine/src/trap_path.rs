@@ -14,7 +14,12 @@ const MAX_RETAINED_BILLS: u64 = 50_000;
 
 impl Shard {
     /// Runs a directory event at its home node and schedules the
-    /// resulting messages / trap occupancy.
+    /// resulting messages / trap occupancy. The engine writes its
+    /// result into the lane's reusable scratch [`Outcome`]
+    /// (`self.scratch_out`), so this hottest of paths performs no
+    /// per-event allocation and no copy of the outcome struct.
+    ///
+    /// [`Outcome`]: limitless_core::Outcome
     pub(crate) fn home_event(
         &mut self,
         cx: &Wctx,
@@ -23,23 +28,29 @@ impl Shard {
         ev: DirEvent,
         now: Cycle,
     ) {
-        let out = self.node_mut(home).engine.handle(block, ev);
+        let idx = home.index() - self.first;
+        // Split borrow: the engine fills the lane-level scratch
+        // outcome in place.
+        let Shard {
+            nodes, scratch_out, ..
+        } = self;
+        nodes[idx].engine.handle_into(block, ev, scratch_out);
         #[cfg(debug_assertions)]
         if std::env::var("LIMITLESS_TRACE_BLOCK").ok().as_deref()
             == Some(&format!("{:#x}", block.0))
         {
             eprintln!(
                 "[{now}] home {home}: {ev:?} -> inval_local={} trap={} sends={} stale={}",
-                out.invalidate_local,
-                out.trap.is_some(),
-                out.sends.len(),
-                out.stale
+                self.scratch_out.invalidate_local,
+                self.scratch_out.trap.is_some(),
+                self.scratch_out.sends.len(),
+                self.scratch_out.stale
             );
         }
-        if out.stale {
+        if self.scratch_out.stale {
             return;
         }
-        if out.invalidate_local {
+        if self.scratch_out.invalidate_local {
             // Flush the home's own cached copy synchronously (the
             // CMMU invalidates its own tags without network traffic;
             // dirty data lands in local memory). If the home has a
@@ -62,8 +73,11 @@ impl Shard {
         }
 
         // Software handler occupancy (and watchdog bookkeeping).
+        // `TrapBill` is `Copy`, so pulling it out of the scratch
+        // outcome (only when a handler actually ran) releases the
+        // borrow before the node statistics are updated.
         let mut handler_start = now;
-        if let Some(bill) = &out.trap {
+        if let Some(bill) = self.scratch_out.trap {
             let watchdog_armed = cx.cfg.protocol.ack == limitless_core::AckMode::EveryAckTrap;
             let window = cx.cfg.watchdog.window;
             let grace = cx.cfg.watchdog.grace;
@@ -80,20 +94,23 @@ impl Shard {
                 HandlerKind::ReadExtend => {
                     node.stats.read_trap_latency.record(bill.total());
                     if node.stats.read_trap_bills.count() < MAX_RETAINED_BILLS {
-                        node.stats.read_trap_bills.record(bill);
+                        node.stats.read_trap_bills.record(&bill);
                     }
                 }
                 HandlerKind::WriteExtend => {
                     node.stats.write_trap_latency.record(bill.total());
                     if node.stats.write_trap_bills.count() < MAX_RETAINED_BILLS {
-                        node.stats.write_trap_bills.record(bill);
+                        node.stats.write_trap_bills.record(&bill);
                     }
                 }
                 _ => {}
             }
         }
 
-        for s in out.sends.iter().copied() {
+        // `Send` is `Copy`: indexing copies each message out, so the
+        // scratch outcome is not borrowed across the `self.send` call.
+        for i in 0..self.scratch_out.sends.len() {
+            let s = self.scratch_out.sends[i];
             let depart = match s.timing {
                 SendTiming::Hw { offset } => now + Cycle(offset),
                 SendTiming::Sw { offset } => handler_start + Cycle(offset),
@@ -105,8 +122,5 @@ impl Shard {
             }
             self.send(home, s.dst, block, s.msg, depart);
         }
-        // Hand heap-spilled send storage back to the engine's pool:
-        // the next invalidation burst reuses it instead of allocating.
-        self.node_mut(home).engine.recycle(out);
     }
 }
