@@ -135,8 +135,21 @@ pub fn run_app(app: &dyn App, cfg: MachineConfig) -> RunReport {
 /// Panics if a declared expected result does not match (an algorithm
 /// or coherence bug).
 pub fn run_app_with_machine(app: &dyn App, cfg: MachineConfig) -> (RunReport, Machine) {
-    let nodes = cfg.nodes;
     let mut m = Machine::new(cfg);
+    let report = run_app_on(app, &mut m);
+    (report, m)
+}
+
+/// Runs `app` on an already-built (fresh or [`Machine::reset`])
+/// machine, verifying any expected results — the machine-reuse path
+/// the sweep service's workers take between cells of the same shape.
+///
+/// # Panics
+///
+/// Panics if a declared expected result does not match (an algorithm
+/// or coherence bug).
+pub fn run_app_on(app: &dyn App, m: &mut Machine) -> RunReport {
+    let nodes = m.nodes();
     for (a, v) in app.init_memory() {
         m.poke(a, v);
     }
@@ -151,7 +164,7 @@ pub fn run_app_with_machine(app: &dyn App, cfg: MachineConfig) -> (RunReport, Ma
             app.name()
         );
     }
-    (report, m)
+    report
 }
 
 /// Convenience: the sequential baseline — the same application on one

@@ -9,6 +9,7 @@
 //! limitless-bench check [--paper|--quick] [--nodes N] [--shards S] [--app SPEC ...]
 //! limitless-bench fuzz [--specs N] [--shards S] [--nodes N] [--seed S] [--paper]
 //! limitless-bench perfgate [--json PATH] [--warn-only]
+//! limitless-bench serve [--threads T] [--queue CELLS] [--socket PATH] [--once]
 //! ```
 //!
 //! `--shards S` runs every simulation on the sharded conservative
@@ -52,12 +53,23 @@
 //! - `perfgate` — re-runs the micro suite and diffs each median
 //!   against the medians embedded in the most recent ledger record
 //!   (±15%). Enforcing: any benchmark drifting beyond tolerance
-//!   exits 1. `--warn-only` restores the old advisory behaviour for
-//!   noisy hosts (shared CI runners, laptops on battery).
+//!   exits 1, as does a missing ledger or a ledger without medians.
+//!   `--warn-only` restores the old advisory behaviour for noisy
+//!   hosts (shared CI runners, laptops on battery).
+//!
+//! And the persistent sweep service:
+//!
+//! - `serve` — reads NDJSON job lines (one experiment grid each) from
+//!   stdin, or accepts connections on `--socket PATH`, and streams one
+//!   JSON line per completed cell plus per-job summaries (see
+//!   DESIGN.md §13 for the schema). `--queue CELLS` bounds the work
+//!   queue (over-capacity jobs are rejected whole, with the reason on
+//!   the stream); `--once` exits after the first socket session.
+//!   Exits 1 if any cell failed.
 
 use limitless_apps::{registry, App, Scale};
 use limitless_bench::{
-    experiments, fuzz, gate, micro, runner, ExperimentSpec, Harness, Runner, SweepRecord,
+    experiments, fuzz, gate, micro, runner, serve, ExperimentSpec, Harness, Runner, SweepRecord,
 };
 use limitless_stats::Table;
 
@@ -92,6 +104,9 @@ fn main() {
     let mut app_specs: Vec<String> = Vec::new();
     let mut fuzz_specs = fuzz::FuzzConfig::default().specs;
     let mut base_seed = fuzz::DEFAULT_BASE_SEED;
+    let mut queue_capacity = serve::ServeConfig::default().queue_capacity;
+    let mut socket_path: Option<String> = None;
+    let mut once = false;
     let mut name = String::new();
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
@@ -99,6 +114,23 @@ fn main() {
             "--paper" => scale = Scale::Paper,
             "--quick" => scale = Scale::Quick,
             "--warn-only" => warn_only = true,
+            "--once" => once = true,
+            "--queue" => {
+                queue_capacity = it
+                    .next()
+                    .and_then(|n| n.parse::<usize>().ok())
+                    .filter(|&n| n >= 1)
+                    .unwrap_or_else(|| {
+                        eprintln!("--queue needs a cell count >= 1");
+                        std::process::exit(2);
+                    });
+            }
+            "--socket" => {
+                socket_path = it.next().or_else(|| {
+                    eprintln!("--socket needs a path");
+                    std::process::exit(2);
+                });
+            }
             "--app" => {
                 app_specs.push(it.next().unwrap_or_else(|| {
                     eprintln!("--app needs a spec (e.g. `tsp` or `synth:ws=6`)");
@@ -177,6 +209,33 @@ fn main() {
         nodes_override,
         shards,
     };
+    if name == "serve" {
+        let cfg = serve::ServeConfig {
+            threads: threads.unwrap_or_else(|| serve::ServeConfig::default().threads),
+            queue_capacity,
+            scale,
+            pool_capacity: serve::ServeConfig::default().pool_capacity,
+        };
+        let summary = match &socket_path {
+            Some(path) => serve::serve_socket(&cfg, path, once).unwrap_or_else(|e| {
+                eprintln!("serve: socket {path}: {e}");
+                std::process::exit(1);
+            }),
+            None => {
+                let stdin = std::io::stdin();
+                serve::serve(&cfg, stdin.lock(), std::io::stdout())
+            }
+        };
+        if summary.cells_failed > 0 {
+            eprintln!(
+                "serve: {} of {} cells failed",
+                summary.cells_failed,
+                summary.cells_completed + summary.cells_failed
+            );
+            std::process::exit(1);
+        }
+        return;
+    }
     if name == "micro" {
         // `micro --app` times complete simulations of the named
         // workloads instead of the data-structure suite.
@@ -286,7 +345,15 @@ fn main() {
             Some(t) => Runner::with_threads(t),
             None => Runner::default(),
         };
-        let result = r.run_min_of(&spec, min_of);
+        let result = r.try_run_min_of(&spec, min_of).unwrap_or_else(|errors| {
+            // Every failed cell with its identity — a 42-cell sweep
+            // that loses one cell names it instead of aborting blind.
+            for e in &errors {
+                eprintln!("sweep: {e}");
+            }
+            eprintln!("sweep: {} cell(s) failed", errors.len());
+            std::process::exit(1);
+        });
         println!("== sweep ==");
         println!("{}", result.table().render());
         println!("{}", runner::throughput_line(&result));
@@ -310,13 +377,21 @@ fn main() {
     }
     if name == "perfgate" {
         let path = json_path.unwrap_or_else(|| "BENCH_sweep.json".to_string());
-        let ledger = limitless_bench::BenchLedger::load(&path).unwrap_or_else(|e| {
-            eprintln!("cannot load ledger {path}: {e}");
+        // `load_existing`, not `load`: a typo'd --json path must turn
+        // the gate red, not compare against a phantom empty ledger.
+        let ledger = limitless_bench::BenchLedger::load_existing(&path).unwrap_or_else(|e| {
+            eprintln!("perfgate: {e}");
             std::process::exit(1);
         });
         let Some(base) = gate::baseline(&ledger) else {
-            println!("perfgate: no ledger record carries micro medians; nothing to compare");
-            return;
+            // No usable baseline is a configuration error even under
+            // --warn-only: a gate with nothing to compare against
+            // guards nothing and must say so loudly.
+            eprintln!(
+                "perfgate: no record in {path} carries micro medians; \
+                 record a baseline with `sweep --json {path}` first"
+            );
+            std::process::exit(1);
         };
         let mode = if warn_only { "warn-only" } else { "enforcing" };
         println!(
@@ -390,8 +465,10 @@ fn usage() {
          \x20      limitless-bench check [--paper|--quick] [--nodes N] [--shards S] [--app SPEC ...]\n\
          \x20      limitless-bench fuzz [--specs N] [--shards S] [--nodes N] [--seed S] [--paper]\n\
          \x20      limitless-bench perfgate [--json PATH] [--warn-only]\n\
+         \x20      limitless-bench serve [--threads T] [--queue CELLS] [--socket PATH] [--once]\n\
          app specs: `tsp`, `worker:ws=8`, `synth:seed=7,pattern=migratory,ws=6,rw=0.3` (DESIGN.md \u{a7}11)\n\
+         serve jobs (NDJSON on stdin): {{\"id\": \"j\", \"apps\": [\"tsp\"], \"protocols\": [\"DirnH4SNB\"]}}\n\
          experiments: table1 table2 table3 fig2 fig3 fig4 fig5 fig6 \
-         ablation-localbit ablation-network ablation-handlers sweep micro check fuzz perfgate"
+         ablation-localbit ablation-network ablation-handlers sweep micro check fuzz perfgate serve"
     );
 }

@@ -19,9 +19,13 @@ pub struct GateLine {
     pub name: String,
     /// Baseline median ns/iter from the ledger record.
     pub baseline_ns: u64,
-    /// Median ns/iter measured just now.
-    pub current_ns: u64,
-    /// Whether the current median is outside the tolerance band.
+    /// Median ns/iter measured just now; `None` when the benchmark is
+    /// in the baseline but absent from the current run (renamed or
+    /// deleted without re-recording the baseline).
+    pub current_ns: Option<u64>,
+    /// Whether this line should fail an enforcing gate: the current
+    /// median is outside the tolerance band, or the benchmark went
+    /// missing from the current run.
     pub warn: bool,
 }
 
@@ -29,14 +33,29 @@ impl GateLine {
     /// Renders the line the CI log shows.
     pub fn render(&self) -> String {
         let verdict = if self.warn { "WARN" } else { "ok  " };
+        let Some(current_ns) = self.current_ns else {
+            return format!(
+                "{verdict} {:<32} baseline {:>8} ns  now  MISSING (not in current run)",
+                self.name, self.baseline_ns
+            );
+        };
+        // A zero-ns baseline cannot anchor a percentage; render the
+        // comparison honestly instead of the misleading "+0.0%".
         let delta = if self.baseline_ns == 0 {
-            0.0
+            if current_ns == 0 {
+                "+0.0%".to_string()
+            } else {
+                "n/a: zero baseline".to_string()
+            }
         } else {
-            (self.current_ns as f64 - self.baseline_ns as f64) / self.baseline_ns as f64 * 100.0
+            format!(
+                "{:+.1}%",
+                (current_ns as f64 - self.baseline_ns as f64) / self.baseline_ns as f64 * 100.0
+            )
         };
         format!(
-            "{verdict} {:<32} baseline {:>8} ns  now {:>8} ns  ({delta:+.1}%)",
-            self.name, self.baseline_ns, self.current_ns
+            "{verdict} {:<32} baseline {:>8} ns  now {:>8} ns  ({delta})",
+            self.name, self.baseline_ns, current_ns
         )
     }
 }
@@ -52,26 +71,39 @@ pub fn baseline(ledger: &BenchLedger) -> Option<&SweepRecord> {
 }
 
 /// Compares fresh micro results against a baseline record's medians.
-/// `tolerance` is fractional (0.15 = ±15%). Benchmarks missing on
-/// either side are skipped — renamed or newly added benchmarks are
-/// not regressions.
+/// `tolerance` is fractional (0.15 = ±15%).
+///
+/// Every *baseline* benchmark yields a line: one that vanished from
+/// the current run warns with `current_ns: None` instead of being
+/// silently dropped (a gate that skips exactly the benchmarks that
+/// stopped running guards nothing). Benchmarks only in the current
+/// run are skipped — newly added benchmarks are not regressions. A
+/// zero-ns baseline has no meaningful tolerance band, so any nonzero
+/// current median warns.
 pub fn compare(base: &SweepRecord, current: &[MicroResult], tolerance: f64) -> Vec<GateLine> {
-    current
+    base.micro_median_ns
         .iter()
-        .filter_map(|r| {
-            let (_, baseline_ns) = base
-                .micro_median_ns
-                .iter()
-                .find(|(name, _)| *name == r.name)?;
-            let current_ns = r.median_ns();
-            let band = *baseline_ns as f64 * tolerance;
-            let warn = (current_ns as f64 - *baseline_ns as f64).abs() > band;
-            Some(GateLine {
-                name: r.name.clone(),
-                baseline_ns: *baseline_ns,
-                current_ns,
-                warn,
-            })
+        .map(|(name, baseline_ns)| {
+            let baseline_ns = *baseline_ns;
+            match current.iter().find(|r| r.name == *name) {
+                Some(r) => {
+                    let current_ns = r.median_ns();
+                    let band = baseline_ns as f64 * tolerance;
+                    let warn = (current_ns as f64 - baseline_ns as f64).abs() > band;
+                    GateLine {
+                        name: name.clone(),
+                        baseline_ns,
+                        current_ns: Some(current_ns),
+                        warn,
+                    }
+                }
+                None => GateLine {
+                    name: name.clone(),
+                    baseline_ns,
+                    current_ns: None,
+                    warn: true,
+                },
+            }
         })
         .collect()
 }
@@ -126,10 +158,46 @@ mod tests {
     }
 
     #[test]
-    fn unmatched_benchmarks_are_skipped() {
+    fn baseline_benchmark_missing_from_current_run_warns() {
+        // A benchmark that vanished from the current run is exactly
+        // the case a gate exists for — it must warn, not be skipped.
         let base = base_record(&[("old_name", 100)]);
         let lines = compare(&base, &[result("new_name", 500)], 0.15);
-        assert!(lines.is_empty());
+        assert_eq!(lines.len(), 1);
+        assert_eq!(lines[0].name, "old_name");
+        assert_eq!(lines[0].current_ns, None);
+        assert!(lines[0].warn);
+        let rendered = lines[0].render();
+        assert!(rendered.contains("MISSING"), "{rendered}");
+    }
+
+    #[test]
+    fn current_only_benchmarks_are_skipped() {
+        // Newly added benchmarks have nothing to regress against.
+        let base = base_record(&[("queue", 100)]);
+        let lines = compare(
+            &base,
+            &[result("queue", 100), result("brand_new", 500)],
+            0.15,
+        );
+        assert_eq!(lines.len(), 1);
+        assert_eq!(lines[0].name, "queue");
+    }
+
+    #[test]
+    fn zero_baseline_with_nonzero_current_warns_honestly() {
+        let base = base_record(&[("degenerate", 0)]);
+        let lines = compare(&base, &[result("degenerate", 80)], 0.15);
+        assert!(lines[0].warn, "zero baseline cannot absorb 80 ns");
+        let rendered = lines[0].render();
+        assert!(
+            rendered.contains("zero baseline"),
+            "must not render +0.0%: {rendered}"
+        );
+        assert!(!rendered.contains("+0.0%"), "{rendered}");
+        // Zero-to-zero is genuinely unchanged.
+        let same = compare(&base, &[result("degenerate", 0)], 0.15);
+        assert!(!same[0].warn);
     }
 
     #[test]

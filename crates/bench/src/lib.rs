@@ -20,12 +20,14 @@ pub mod gate;
 pub mod micro;
 pub mod record;
 pub mod runner;
+pub mod serve;
 
 pub use check::{check_app, run_check, run_check_apps, CellReport};
 pub use experiments::applications;
 pub use fuzz::{run_fuzz, FuzzConfig, SpecVerdict};
 pub use record::{BenchLedger, CellRecord, SweepRecord};
-pub use runner::{AppFactory, CellResult, ExperimentResult, ExperimentSpec, Runner};
+pub use runner::{AppFactory, CellError, CellResult, ExperimentResult, ExperimentSpec, Runner};
+pub use serve::{ServeConfig, ServeSummary};
 
 /// Common knobs shared by every experiment harness.
 #[derive(Clone, Copy, Debug)]

@@ -171,7 +171,11 @@ fn bench_directory_engine_overflow() -> MicroResult {
             e.handle_into(BlockAddr(9), DirEvent::InvAck { from: NodeId(n) }, &mut out);
         }
         // Owner evicts: back to Uncached for the next iteration.
-        e.handle_into(BlockAddr(9), DirEvent::Writeback { from: NodeId(8) }, &mut out);
+        e.handle_into(
+            BlockAddr(9),
+            DirEvent::Writeback { from: NodeId(8) },
+            &mut out,
+        );
         sends
     })
 }

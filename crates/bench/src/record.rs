@@ -173,7 +173,11 @@ pub struct BenchLedger {
 
 impl BenchLedger {
     /// Loads a ledger from `path`; a missing file is an empty ledger
-    /// (first measurement on a fresh checkout).
+    /// (first measurement on a fresh checkout). This is the *writer's*
+    /// load — `sweep --record` starting a fresh ledger is routine.
+    /// Readers that need a baseline to exist (the perf gate) must use
+    /// [`BenchLedger::load_existing`] instead, so a typo'd path fails
+    /// loudly rather than comparing against an empty ledger.
     ///
     /// # Errors
     ///
@@ -182,6 +186,26 @@ impl BenchLedger {
         match std::fs::read_to_string(path) {
             Ok(text) => Self::from_json(&text),
             Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(Self::default()),
+            Err(e) => Err(JsonError::new(format!("cannot read {path}: {e}"))),
+        }
+    }
+
+    /// Loads a ledger from `path`, treating a missing file as an
+    /// error — the read-side counterpart of [`BenchLedger::load`] for
+    /// callers (like `perfgate`) whose job is meaningless without a
+    /// baseline: `perfgate --json typo.json` must exit red, not
+    /// silently pass against an empty ledger.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the file is missing, unreadable, or
+    /// malformed.
+    pub fn load_existing(path: &str) -> Result<Self, JsonError> {
+        match std::fs::read_to_string(path) {
+            Ok(text) => Self::from_json(&text),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Err(JsonError::new(format!(
+                "baseline ledger {path} does not exist (wrong --json path, or no baseline recorded yet?)"
+            ))),
             Err(e) => Err(JsonError::new(format!("cannot read {path}: {e}"))),
         }
     }
@@ -313,5 +337,26 @@ mod tests {
     fn missing_file_loads_as_empty() {
         let ledger = BenchLedger::load("/nonexistent/BENCH_sweep.json").unwrap();
         assert!(ledger.records.is_empty());
+    }
+
+    #[test]
+    fn load_existing_rejects_missing_file() {
+        let err = BenchLedger::load_existing("/nonexistent/BENCH_sweep.json")
+            .expect_err("a missing baseline must not read as empty");
+        let msg = err.to_string();
+        assert!(msg.contains("does not exist"), "got: {msg}");
+        assert!(msg.contains("/nonexistent/BENCH_sweep.json"), "got: {msg}");
+    }
+
+    #[test]
+    fn load_existing_reads_a_real_ledger() {
+        let mut ledger = BenchLedger::default();
+        ledger.upsert(rec("pr1-baseline", 0.2));
+        let path = std::env::temp_dir().join("limitless_load_existing_test.json");
+        let path = path.to_str().unwrap().to_string();
+        ledger.save(&path).unwrap();
+        let back = BenchLedger::load_existing(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(back, ledger);
     }
 }

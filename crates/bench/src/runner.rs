@@ -9,12 +9,13 @@
 //! spec's base seed and the cell index alone (never from thread
 //! identity or timing).
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, PoisonError};
 
-use limitless_apps::{registry, run_app, App, SpecError};
+use limitless_apps::{registry, run_app, run_app_on, App, SpecError};
 use limitless_core::ProtocolSpec;
-use limitless_machine::RunReport;
+use limitless_machine::{Machine, RunReport};
 use limitless_sim::SplitMix64;
 use limitless_stats::{fmt_f64, ExperimentExport, Table};
 
@@ -43,6 +44,23 @@ pub struct ExperimentSpec {
     /// reference engine). Simulated results are bit-identical for any
     /// value; only host wall time changes.
     pub shards: usize,
+}
+
+impl std::fmt::Debug for ExperimentSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // App factories are opaque closures; show their labels.
+        f.debug_struct("ExperimentSpec")
+            .field("id", &self.id)
+            .field("nodes", &self.nodes)
+            .field("protocols", &self.protocols)
+            .field(
+                "apps",
+                &self.apps.iter().map(|(l, _)| l).collect::<Vec<_>>(),
+            )
+            .field("base_seed", &self.base_seed)
+            .field("shards", &self.shards)
+            .finish()
+    }
 }
 
 impl ExperimentSpec {
@@ -107,6 +125,124 @@ impl ExperimentSpec {
     }
 }
 
+/// A cell that failed: the panic it died with, tagged with the cell's
+/// full identity so a long-running service (or a CLI user staring at a
+/// 42-cell sweep) can tell exactly which (protocol, app, seed) to
+/// replay.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CellError {
+    /// Protocol label (series).
+    pub protocol: String,
+    /// Application label (point).
+    pub app: String,
+    /// The seed the cell's factory received.
+    pub seed: u64,
+    /// The panic payload, rendered as text.
+    pub message: String,
+}
+
+impl std::fmt::Display for CellError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "cell {}/{} (seed {:#x}) failed: {}",
+            self.protocol, self.app, self.seed, self.message
+        )
+    }
+}
+
+impl std::error::Error for CellError {}
+
+/// Renders a panic payload as text (panics carry `&str` or `String`
+/// in practice; anything else gets a placeholder).
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "panic with non-string payload".to_string()
+    }
+}
+
+/// The labels of cell `index` in `spec`'s row-major grid.
+fn cell_labels(spec: &ExperimentSpec, index: usize) -> (&str, &str) {
+    let (p_idx, a_idx) = (index / spec.apps.len(), index % spec.apps.len());
+    (&spec.protocols[p_idx].0, &spec.apps[a_idx].0)
+}
+
+/// Runs cell `index` of `spec` on a freshly built machine, converting
+/// a panic anywhere in the cell (app construction, simulation, result
+/// verification) into a typed [`CellError`] carrying the cell's
+/// identity.
+pub fn run_cell(spec: &ExperimentSpec, index: usize) -> Result<CellResult, CellError> {
+    let (p_idx, a_idx) = (index / spec.apps.len(), index % spec.apps.len());
+    let (p_label, protocol) = &spec.protocols[p_idx];
+    let (a_label, factory) = &spec.apps[a_idx];
+    let seed = spec.cell_seed(index);
+    let outcome = catch_unwind(AssertUnwindSafe(|| {
+        let app = factory(seed);
+        run_app(
+            app.as_ref(),
+            cfg_sharded(spec.nodes, *protocol, spec.shards),
+        )
+    }));
+    match outcome {
+        Ok(report) => Ok(CellResult {
+            protocol: p_label.clone(),
+            app: a_label.clone(),
+            seed,
+            report,
+        }),
+        Err(payload) => Err(CellError {
+            protocol: p_label.clone(),
+            app: a_label.clone(),
+            seed,
+            message: panic_message(payload),
+        }),
+    }
+}
+
+/// Like [`run_cell`], but on a caller-provided machine — the sweep
+/// service's machine-reuse path. The machine must have been built (or
+/// [`Machine::reset`]) with the configuration cell `index` requires:
+/// `cfg_sharded(spec.nodes, protocol, spec.shards)`; given that,
+/// [`Machine::reset`] guarantees the results are bit-identical to
+/// [`run_cell`]'s fresh build.
+///
+/// On `Err` the machine was abandoned mid-run and holds unspecified
+/// state; the caller must discard it rather than reset-and-reuse it.
+pub fn run_cell_on(
+    spec: &ExperimentSpec,
+    index: usize,
+    m: &mut Machine,
+) -> Result<CellResult, CellError> {
+    let (p_label, a_label) = {
+        let (p, a) = cell_labels(spec, index);
+        (p.to_string(), a.to_string())
+    };
+    let factory = &spec.apps[index % spec.apps.len()].1;
+    let seed = spec.cell_seed(index);
+    let outcome = catch_unwind(AssertUnwindSafe(|| {
+        let app = factory(seed);
+        run_app_on(app.as_ref(), m)
+    }));
+    match outcome {
+        Ok(report) => Ok(CellResult {
+            protocol: p_label,
+            app: a_label,
+            seed,
+            report,
+        }),
+        Err(payload) => Err(CellError {
+            protocol: p_label,
+            app: a_label,
+            seed,
+            message: panic_message(payload),
+        }),
+    }
+}
+
 /// One completed cell of the grid.
 #[derive(Debug)]
 pub struct CellResult {
@@ -122,6 +258,7 @@ pub struct CellResult {
 
 /// A completed experiment: every cell of the grid, in row-major
 /// (protocol, app) order.
+#[derive(Debug)]
 pub struct ExperimentResult {
     /// Experiment id (copied from the spec).
     pub id: String,
@@ -236,12 +373,16 @@ impl Runner {
     }
 
     /// Runs every cell of `spec` and returns the slot-indexed
-    /// results. Workers pull cell indices from a shared counter, so
-    /// load-balancing is dynamic but the result layout — and every
-    /// simulation itself — is identical for any thread count.
-    pub fn run(&self, spec: &ExperimentSpec) -> ExperimentResult {
+    /// results, or — if any cell panicked — the full list of failed
+    /// cells with their identities. Workers pull cell indices from a
+    /// shared counter, so load-balancing is dynamic but the result
+    /// layout — and every simulation itself — is identical for any
+    /// thread count. A panicking cell never takes a worker (or the
+    /// slot mutexes) down with it: every remaining cell still runs,
+    /// so one bad cell in a 42-cell sweep costs exactly one cell.
+    pub fn try_run(&self, spec: &ExperimentSpec) -> Result<ExperimentResult, Vec<CellError>> {
         let n_cells = spec.cells();
-        let slots: Vec<Mutex<Option<CellResult>>> =
+        let slots: Vec<Mutex<Option<Result<CellResult, CellError>>>> =
             (0..n_cells).map(|_| Mutex::new(None)).collect();
         let next = AtomicUsize::new(0);
         let workers = self.threads.clamp(1, n_cells.max(1));
@@ -253,35 +394,56 @@ impl Runner {
                     if i >= n_cells {
                         break;
                     }
-                    let (p_idx, a_idx) = (i / spec.apps.len(), i % spec.apps.len());
-                    let (p_label, protocol) = &spec.protocols[p_idx];
-                    let (a_label, factory) = &spec.apps[a_idx];
-                    let seed = spec.cell_seed(i);
-                    let app = factory(seed);
-                    let report = run_app(
-                        app.as_ref(),
-                        cfg_sharded(spec.nodes, *protocol, spec.shards),
-                    );
-                    *slots[i].lock().unwrap() = Some(CellResult {
-                        protocol: p_label.clone(),
-                        app: a_label.clone(),
-                        seed,
-                        report,
-                    });
+                    let outcome = run_cell(spec, i);
+                    *slots[i].lock().unwrap_or_else(PoisonError::into_inner) = Some(outcome);
                 });
             }
         });
 
-        ExperimentResult {
+        let mut cells = Vec::with_capacity(n_cells);
+        let mut errors = Vec::new();
+        for (i, slot) in slots.into_iter().enumerate() {
+            match slot.into_inner().unwrap_or_else(PoisonError::into_inner) {
+                Some(Ok(cell)) => cells.push(cell),
+                Some(Err(e)) => errors.push(e),
+                // Unreachable today (the worker loop writes every
+                // index below `n_cells`), but a skipped slot must
+                // surface as a failure, not a panic without identity.
+                None => {
+                    let (p, a) = cell_labels(spec, i);
+                    errors.push(CellError {
+                        protocol: p.to_string(),
+                        app: a.to_string(),
+                        seed: spec.cell_seed(i),
+                        message: "cell never ran".to_string(),
+                    });
+                }
+            }
+        }
+        if !errors.is_empty() {
+            return Err(errors);
+        }
+        Ok(ExperimentResult {
             id: spec.id.clone(),
             points: spec.apps.iter().map(|(l, _)| l.clone()).collect(),
-            cells: slots
-                .into_iter()
-                .map(|m| m.into_inner().unwrap().expect("cell never ran"))
-                .collect(),
+            cells,
             min_of: 1,
             shards: spec.shards,
-        }
+        })
+    }
+
+    /// Infallible wrapper around [`Runner::try_run`] for callers that
+    /// treat a failed cell as fatal (tests, experiment binaries).
+    ///
+    /// # Panics
+    ///
+    /// Panics with every failed cell's identity and message if any
+    /// cell fails.
+    pub fn run(&self, spec: &ExperimentSpec) -> ExperimentResult {
+        self.try_run(spec).unwrap_or_else(|errors| {
+            let lines: Vec<String> = errors.iter().map(CellError::to_string).collect();
+            panic!("{} cell(s) failed:\n{}", lines.len(), lines.join("\n"));
+        })
     }
 
     /// Runs `spec` `n` times and keeps, per cell, the minimum host
@@ -296,9 +458,27 @@ impl Runner {
     /// Panics if any repeat run disagrees on cycles or event counts —
     /// that would mean the simulator is not deterministic.
     pub fn run_min_of(&self, spec: &ExperimentSpec, n: u32) -> ExperimentResult {
-        let mut best = self.run(spec);
+        self.try_run_min_of(spec, n).unwrap_or_else(|errors| {
+            let lines: Vec<String> = errors.iter().map(CellError::to_string).collect();
+            panic!("{} cell(s) failed:\n{}", lines.len(), lines.join("\n"));
+        })
+    }
+
+    /// Fallible [`Runner::run_min_of`]: any failed cell in any repeat
+    /// aborts the remaining repeats and returns the failures.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a repeat run disagrees on cycles or event counts
+    /// (simulator non-determinism is a bug, not a runtime condition).
+    pub fn try_run_min_of(
+        &self,
+        spec: &ExperimentSpec,
+        n: u32,
+    ) -> Result<ExperimentResult, Vec<CellError>> {
+        let mut best = self.try_run(spec)?;
         for _ in 1..n {
-            let again = self.run(spec);
+            let again = self.try_run(spec)?;
             for (b, a) in best.cells.iter_mut().zip(again.cells) {
                 assert_eq!(
                     (b.report.cycles, b.report.events),
@@ -313,7 +493,7 @@ impl Runner {
             }
         }
         best.min_of = n.max(1);
-        best
+        Ok(best)
     }
 }
 
@@ -420,6 +600,65 @@ mod tests {
         // The record round-trips through JSON intact.
         let back = ExperimentExport::from_json(&e.to_json().unwrap()).unwrap();
         assert_eq!(back, e);
+    }
+
+    #[test]
+    fn panicking_cell_reports_identity_and_spares_the_rest() {
+        // One app factory panics; the other is healthy. Every failed
+        // cell must surface with its (protocol, app, seed) identity —
+        // not as a poisoned mutex or an anonymous "cell never ran" —
+        // and the healthy cells must still have been run (the worker
+        // that hit the panic keeps pulling cells).
+        let good = |size: usize| -> AppFactory { Box::new(move |_| Box::new(Worker::fig2(size))) };
+        let bad: AppFactory = Box::new(|_| panic!("factory exploded"));
+        let spec = ExperimentSpec {
+            id: "panic".to_string(),
+            nodes: 16,
+            protocols: vec![
+                ("full-map".to_string(), ProtocolSpec::full_map()),
+                ("limitless4".to_string(), ProtocolSpec::limitless(4)),
+            ],
+            apps: vec![("ok".to_string(), good(2)), ("boom".to_string(), bad)],
+            base_seed: 42,
+            shards: 1,
+        };
+        let errors = Runner::with_threads(1)
+            .try_run(&spec)
+            .expect_err("the bad app must fail the run");
+        assert_eq!(errors.len(), 2, "one failure per protocol row");
+        for (e, proto) in errors.iter().zip(["full-map", "limitless4"]) {
+            assert_eq!(e.protocol, proto);
+            assert_eq!(e.app, "boom");
+            assert!(e.message.contains("factory exploded"), "got: {}", e.message);
+        }
+        // Seeds in the error match the spec's derivation (cells 1, 3).
+        assert_eq!(errors[0].seed, spec.cell_seed(1));
+        assert_eq!(errors[1].seed, spec.cell_seed(3));
+        // Display carries the full identity for log lines.
+        let line = errors[0].to_string();
+        assert!(line.contains("full-map/boom"), "got: {line}");
+        assert!(line.contains("factory exploded"), "got: {line}");
+    }
+
+    #[test]
+    fn run_cell_on_reset_machine_matches_fresh_run_cell() {
+        let spec = tiny_spec();
+        let (_, protocol) = spec.protocols[1];
+        let mut m = Machine::new(crate::cfg_sharded(spec.nodes, protocol, spec.shards));
+        // Dirty the machine with one cell, then reset and replay
+        // another cell of the same shape: bit-identical to fresh.
+        runner_reuse_roundtrip(&spec, 2, &mut m);
+        m.reset();
+        runner_reuse_roundtrip(&spec, 3, &mut m);
+    }
+
+    fn runner_reuse_roundtrip(spec: &ExperimentSpec, index: usize, m: &mut Machine) {
+        let fresh = run_cell(spec, index).unwrap();
+        let reused = run_cell_on(spec, index, m).unwrap();
+        assert_eq!(fresh.report.cycles, reused.report.cycles);
+        assert_eq!(fresh.report.events, reused.report.events);
+        assert_eq!(fresh.report.stats, reused.report.stats);
+        assert_eq!(fresh.seed, reused.seed);
     }
 
     #[test]

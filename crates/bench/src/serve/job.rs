@@ -1,0 +1,236 @@
+//! Job parsing: one NDJSON object per line describes one experiment
+//! grid.
+//!
+//! ```text
+//! {"id": "night-1", "apps": ["tsp", "worker:ws=8"],
+//!  "protocols": ["DirnH4SNB", "DirnHNBS-"],
+//!  "nodes": 16, "shards": 1, "seed": 293150805}
+//! ```
+//!
+//! `id` and a non-empty `apps` list are required. `protocols` defaults
+//! to the full Figure-4 spectrum, `nodes` to 16, `shards` to 1 and
+//! `seed` to the sweep grid's base seed, so the minimal job is
+//! `{"id": "j", "apps": ["tsp"]}`. Every field is validated at accept
+//! time — a malformed spec is a typed rejection on the stream, never a
+//! panic inside a worker.
+
+use limitless_apps::{registry, AppSpec, Scale};
+use limitless_core::ProtocolSpec;
+use limitless_machine::MachineConfig;
+use limitless_stats::JsonValue;
+
+use crate::runner::{AppFactory, ExperimentSpec};
+
+/// The default base seed — the same constant the CLI sweep grid uses,
+/// so a job with no `seed` field reproduces `sweep` cells exactly.
+pub const DEFAULT_SEED: u64 = 0x11_71_1e_55;
+
+/// One parsed (but not yet resolved) job request.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct JobSpec {
+    /// Caller-chosen job id, echoed on every result line.
+    pub id: String,
+    /// Registry app specs (DESIGN.md §11), e.g. `tsp`, `worker:ws=8`.
+    pub apps: Vec<String>,
+    /// Protocol spec strings (`DirnH4SNB`, …); empty selects the full
+    /// Figure-4 spectrum.
+    pub protocols: Vec<String>,
+    /// Machine size for every cell.
+    pub nodes: usize,
+    /// Event-lane count (1 = the serial reference engine).
+    pub shards: usize,
+    /// Base seed for the grid's per-cell seed derivation.
+    pub seed: u64,
+}
+
+fn opt_usize(v: &JsonValue, key: &str, default: usize) -> Result<usize, String> {
+    match v.get(key) {
+        Ok(n) => n
+            .as_u64()
+            .map_err(|e| format!("`{key}`: {e}"))
+            .and_then(|n| usize::try_from(n).map_err(|_| format!("`{key}`: {n} out of range"))),
+        Err(_) => Ok(default),
+    }
+}
+
+impl JobSpec {
+    /// Parses one NDJSON line.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable reason on malformed JSON or a missing
+    /// or mistyped field — the text becomes the `reject` line's
+    /// `reason`.
+    pub fn parse(line: &str) -> Result<Self, String> {
+        let v = JsonValue::parse(line).map_err(|e| e.to_string())?;
+        let id = v
+            .get("id")
+            .and_then(JsonValue::as_str)
+            .map_err(|e| format!("`id`: {e}"))?
+            .to_string();
+        let apps = v
+            .get("apps")
+            .and_then(JsonValue::as_arr)
+            .map_err(|e| format!("`apps`: {e}"))?
+            .iter()
+            .map(|a| a.as_str().map(str::to_string))
+            .collect::<Result<Vec<_>, _>>()
+            .map_err(|e| format!("`apps`: {e}"))?;
+        if apps.is_empty() {
+            return Err("`apps`: needs at least one app spec".to_string());
+        }
+        let protocols = match v.get("protocols") {
+            Ok(arr) => arr
+                .as_arr()
+                .map_err(|e| format!("`protocols`: {e}"))?
+                .iter()
+                .map(|p| p.as_str().map(str::to_string))
+                .collect::<Result<Vec<_>, _>>()
+                .map_err(|e| format!("`protocols`: {e}"))?,
+            Err(_) => Vec::new(),
+        };
+        let seed = match v.get("seed") {
+            Ok(n) => n.as_u64().map_err(|e| format!("`seed`: {e}"))?,
+            Err(_) => DEFAULT_SEED,
+        };
+        Ok(JobSpec {
+            id,
+            apps,
+            protocols,
+            nodes: opt_usize(&v, "nodes", 16)?,
+            shards: opt_usize(&v, "shards", 1)?,
+            seed,
+        })
+    }
+
+    /// Resolves the job into a runnable grid: protocols parse through
+    /// [`ProtocolSpec`]'s canonical notation, apps through the
+    /// registry, and the machine shape through the config validator —
+    /// so every way a job can be unbuildable is caught here, at accept
+    /// time.
+    ///
+    /// # Errors
+    ///
+    /// Returns the rejection reason for any unresolvable field.
+    pub fn to_experiment(&self, scale: Scale) -> Result<ExperimentSpec, String> {
+        let protocols: Vec<(String, ProtocolSpec)> = if self.protocols.is_empty() {
+            crate::fig4_spectrum()
+                .into_iter()
+                .map(|(l, p)| (l.to_string(), p))
+                .collect()
+        } else {
+            self.protocols
+                .iter()
+                .map(|s| {
+                    s.parse::<ProtocolSpec>()
+                        .map(|p| (s.clone(), p))
+                        .map_err(|e| format!("protocol `{s}`: {e}"))
+                })
+                .collect::<Result<_, _>>()?
+        };
+        let mut apps: Vec<(String, AppFactory)> = Vec::with_capacity(self.apps.len());
+        for raw in &self.apps {
+            let parsed: AppSpec = raw.parse().map_err(|e| format!("app `{raw}`: {e}"))?;
+            let app = registry::build(&parsed, scale).map_err(|e| format!("app `{raw}`: {e}"))?;
+            let label = if parsed.params.is_empty() {
+                app.name().to_string()
+            } else {
+                parsed.to_string()
+            };
+            let factory: AppFactory = Box::new(move |_seed| {
+                registry::build(&parsed, scale).expect("spec validated at job admission")
+            });
+            apps.push((label, factory));
+        }
+        MachineConfig::builder()
+            .nodes(self.nodes)
+            .protocol(protocols[0].1)
+            .victim_cache(true)
+            .shards(self.shards)
+            .try_build()
+            .map_err(|e| format!("machine shape: {e}"))?;
+        Ok(ExperimentSpec {
+            id: self.id.clone(),
+            nodes: self.nodes,
+            protocols,
+            apps,
+            base_seed: self.seed,
+            shards: self.shards,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minimal_job_fills_defaults() {
+        let j = JobSpec::parse(r#"{"id": "j1", "apps": ["tsp"]}"#).unwrap();
+        assert_eq!(j.id, "j1");
+        assert_eq!(j.apps, vec!["tsp"]);
+        assert!(j.protocols.is_empty());
+        assert_eq!(j.nodes, 16);
+        assert_eq!(j.shards, 1);
+        assert_eq!(j.seed, DEFAULT_SEED);
+        let spec = j.to_experiment(Scale::Quick).unwrap();
+        assert_eq!(spec.protocols.len(), 7, "defaults to the fig-4 spectrum");
+        assert_eq!(spec.cells(), 7);
+    }
+
+    #[test]
+    fn explicit_fields_are_honoured() {
+        let j = JobSpec::parse(
+            r#"{"id": "j2", "apps": ["worker:ws=4", "tsp"],
+                "protocols": ["DirnH4SNB", "DirnHNBS-"],
+                "nodes": 32, "shards": 2, "seed": 99}"#,
+        )
+        .unwrap();
+        assert_eq!(j.nodes, 32);
+        assert_eq!(j.shards, 2);
+        assert_eq!(j.seed, 99);
+        let spec = j.to_experiment(Scale::Quick).unwrap();
+        assert_eq!(spec.cells(), 4);
+        assert_eq!(spec.protocols[0].0, "DirnH4SNB");
+        assert_eq!(
+            spec.protocols[1].1,
+            limitless_core::ProtocolSpec::full_map()
+        );
+    }
+
+    #[test]
+    fn malformed_lines_give_typed_reasons() {
+        assert!(JobSpec::parse("not json").unwrap_err().contains("json"));
+        let e = JobSpec::parse(r#"{"apps": ["tsp"]}"#).unwrap_err();
+        assert!(e.contains("`id`"), "{e}");
+        let e = JobSpec::parse(r#"{"id": "x", "apps": []}"#).unwrap_err();
+        assert!(e.contains("at least one app"), "{e}");
+        let e = JobSpec::parse(r#"{"id": "x", "apps": [3]}"#).unwrap_err();
+        assert!(e.contains("`apps`"), "{e}");
+    }
+
+    #[test]
+    fn unresolvable_jobs_are_rejected_at_admission() {
+        let bad_app = JobSpec::parse(r#"{"id": "x", "apps": ["nosuchapp"]}"#).unwrap();
+        let e = bad_app.to_experiment(Scale::Quick).unwrap_err();
+        assert!(e.contains("nosuchapp"), "{e}");
+
+        let bad_proto =
+            JobSpec::parse(r#"{"id": "x", "apps": ["tsp"], "protocols": ["DirnH9QXZ"]}"#).unwrap();
+        let e = bad_proto.to_experiment(Scale::Quick).unwrap_err();
+        assert!(e.contains("DirnH9QXZ"), "{e}");
+
+        let bad_nodes = JobSpec::parse(r#"{"id": "x", "apps": ["tsp"], "nodes": 0}"#).unwrap();
+        let e = bad_nodes.to_experiment(Scale::Quick).unwrap_err();
+        assert!(e.contains("machine shape"), "{e}");
+    }
+
+    #[test]
+    fn default_seed_matches_the_cli_sweep_grid() {
+        // A job with no explicit seed must reproduce `sweep` cells
+        // bit-for-bit, which starts with the same base seed.
+        let j = JobSpec::parse(r#"{"id": "j", "apps": ["tsp"]}"#).unwrap();
+        let spec = j.to_experiment(Scale::Quick).unwrap();
+        assert_eq!(spec.base_seed, 0x11_71_1e_55);
+    }
+}

@@ -1,0 +1,393 @@
+//! The persistent sweep service: `limitless-bench serve`.
+//!
+//! Jobs arrive as NDJSON lines (one experiment grid each — see
+//! [`job::JobSpec`]) on stdin or a unix socket. The intake thread
+//! validates each job completely at admission (malformed JSON,
+//! unknown apps, unparseable protocols and impossible machine shapes
+//! are all typed `reject` lines, never worker panics), expands it
+//! into per-cell work items, and admits them atomically into a
+//! bounded queue — a job that does not fit is rejected whole, with
+//! the queue occupancy in the reason, so the client can resubmit.
+//!
+//! A fixed pool of workers drains the queue. Each worker parks idle
+//! machines keyed by (nodes, shards, protocol) and revives them with
+//! [`Machine::reset`] instead of rebuilding, which
+//! `crates/machine/tests/prop_reset.rs` proves is bit-identical to a
+//! fresh construction — so a served cell equals the same cell from
+//! `Runner::run` exactly (same seed derivation, same config, same
+//! machine state), whether or not its machine was recycled.
+//!
+//! Output is NDJSON too, one line per event:
+//!
+//! ```text
+//! {"type":"cell","job":…,"protocol":…,"app":…,"seed":…,"cycles":…,
+//!  "events":…,"wall_seconds":…,"queue_ms":…,"reused":…}   # or "error":…
+//! {"type":"job","job":…,"cells":…,"failed":…,"wall_seconds":…,
+//!  "queue_ms_mean":…,"reused":…}
+//! {"type":"reject","job":…,"reason":…}
+//! {"type":"served","jobs":…,"rejected":…,"malformed":…,"cells":…,
+//!  "failed":…,"reused":…}
+//! ```
+
+pub mod job;
+pub mod queue;
+mod worker;
+
+use std::io::{BufRead, Write};
+use std::sync::atomic::Ordering;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use limitless_apps::Scale;
+#[allow(unused_imports)] // doc links
+use limitless_machine::Machine;
+use limitless_stats::JsonValue;
+
+pub use job::JobSpec;
+pub use queue::{BoundedQueue, QueueFull};
+
+#[allow(unused_imports)] // doc links
+use crate::Runner;
+use worker::{CellJob, Counters, JobState};
+
+/// Service knobs.
+#[derive(Clone, Copy, Debug)]
+pub struct ServeConfig {
+    /// Worker-thread count (0 is treated as 1).
+    pub threads: usize,
+    /// Queue capacity in cells; a job whose grid exceeds the free
+    /// space is rejected whole.
+    pub queue_capacity: usize,
+    /// Problem-size scale for app resolution.
+    pub scale: Scale,
+    /// Idle machines each worker parks for reuse.
+    pub pool_capacity: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            threads: std::thread::available_parallelism().map_or(1, |n| n.get()),
+            queue_capacity: 64,
+            scale: Scale::Quick,
+            pool_capacity: 4,
+        }
+    }
+}
+
+/// What one service session processed (also rendered as the final
+/// `served` line of the stream).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ServeSummary {
+    /// Jobs admitted to the queue.
+    pub jobs_accepted: u64,
+    /// Well-formed jobs refused for lack of queue space.
+    pub jobs_rejected: u64,
+    /// Input lines that never became jobs (bad JSON, unknown app,
+    /// unparseable protocol, impossible machine shape).
+    pub lines_malformed: u64,
+    /// Cells that completed successfully.
+    pub cells_completed: u64,
+    /// Cells that ended in a typed error.
+    pub cells_failed: u64,
+    /// Cells that ran on a reset machine instead of a fresh build.
+    pub cells_reused: u64,
+}
+
+impl ServeSummary {
+    fn line(&self, wall_seconds: f64) -> String {
+        JsonValue::Obj(vec![
+            ("type".to_string(), JsonValue::Str("served".into())),
+            ("jobs".to_string(), JsonValue::from_u64(self.jobs_accepted)),
+            (
+                "rejected".to_string(),
+                JsonValue::from_u64(self.jobs_rejected),
+            ),
+            (
+                "malformed".to_string(),
+                JsonValue::from_u64(self.lines_malformed),
+            ),
+            (
+                "cells".to_string(),
+                JsonValue::from_u64(self.cells_completed + self.cells_failed),
+            ),
+            ("failed".to_string(), JsonValue::from_u64(self.cells_failed)),
+            ("reused".to_string(), JsonValue::from_u64(self.cells_reused)),
+            (
+                "wall_seconds".to_string(),
+                JsonValue::from_f64(if wall_seconds.is_finite() {
+                    wall_seconds
+                } else {
+                    0.0
+                }),
+            ),
+        ])
+        .compact()
+    }
+}
+
+fn reject_line(job_id: Option<&str>, reason: &str) -> String {
+    let mut fields = vec![("type".to_string(), JsonValue::Str("reject".into()))];
+    if let Some(id) = job_id {
+        fields.push(("job".to_string(), JsonValue::Str(id.to_string())));
+    }
+    fields.push(("reason".to_string(), JsonValue::Str(reason.to_string())));
+    JsonValue::Obj(fields).compact()
+}
+
+/// Runs one service session: reads NDJSON jobs from `input` until
+/// EOF, streams result lines to `output`, drains the queue, and
+/// returns (after emitting) the session summary. Generic over the
+/// streams so tests drive it in-process and the CLI wires stdin,
+/// stdout, or a unix-socket connection.
+pub fn serve<W: Write + Send>(cfg: &ServeConfig, input: impl BufRead, output: W) -> ServeSummary {
+    let started = Instant::now();
+    let queue: BoundedQueue<CellJob> = BoundedQueue::new(cfg.queue_capacity);
+    let out = Mutex::new(output);
+    let counters = Counters::default();
+    let mut summary = ServeSummary::default();
+
+    std::thread::scope(|s| {
+        for _ in 0..cfg.threads.max(1) {
+            s.spawn(|| worker::worker_loop(&queue, &out, &counters, cfg.pool_capacity));
+        }
+        for line in input.lines() {
+            let Ok(line) = line else {
+                break; // input stream died; drain and summarize
+            };
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            let spec = match JobSpec::parse(line) {
+                Ok(js) => js,
+                Err(reason) => {
+                    summary.lines_malformed += 1;
+                    worker::emit(&out, &reject_line(None, &reason));
+                    continue;
+                }
+            };
+            let grid = match spec.to_experiment(cfg.scale) {
+                Ok(grid) => grid,
+                Err(reason) => {
+                    summary.lines_malformed += 1;
+                    worker::emit(&out, &reject_line(Some(&spec.id), &reason));
+                    continue;
+                }
+            };
+            let job = Arc::new(JobState::new(grid));
+            let batch: Vec<CellJob> = (0..job.spec.cells())
+                .map(|index| CellJob {
+                    job: Arc::clone(&job),
+                    index,
+                    enqueued: Instant::now(),
+                })
+                .collect();
+            match queue.try_push_all(batch) {
+                Ok(()) => summary.jobs_accepted += 1,
+                Err(full) => {
+                    summary.jobs_rejected += 1;
+                    worker::emit(&out, &reject_line(Some(&spec.id), &full.to_string()));
+                }
+            }
+        }
+        queue.close();
+    });
+
+    summary.cells_completed = counters.completed.load(Ordering::Relaxed);
+    summary.cells_failed = counters.failed.load(Ordering::Relaxed);
+    summary.cells_reused = counters.reused.load(Ordering::Relaxed);
+    worker::emit(&out, &summary.line(started.elapsed().as_secs_f64()));
+    summary
+}
+
+/// Serves sessions over a unix socket at `path`: connections are
+/// accepted one at a time, each running a full [`serve`] session over
+/// its stream (the socket file is removed and re-bound on startup).
+/// With `once`, returns after the first session — the form tests and
+/// CI use. Returns the summary of the last session served.
+///
+/// # Errors
+///
+/// Returns an error if the socket cannot be bound or a connection
+/// cannot be accepted or cloned.
+pub fn serve_socket(cfg: &ServeConfig, path: &str, once: bool) -> std::io::Result<ServeSummary> {
+    let _ = std::fs::remove_file(path);
+    let listener = std::os::unix::net::UnixListener::bind(path)?;
+    loop {
+        let (stream, _) = listener.accept()?;
+        let reader = std::io::BufReader::new(stream.try_clone()?);
+        let summary = serve(cfg, reader, stream);
+        if once {
+            let _ = std::fs::remove_file(path);
+            return Ok(summary);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_session(cfg: &ServeConfig, input: &str) -> (ServeSummary, Vec<JsonValue>) {
+        let mut out: Vec<u8> = Vec::new();
+        let summary = serve(cfg, input.as_bytes(), &mut out);
+        let lines = String::from_utf8(out)
+            .unwrap()
+            .lines()
+            .map(|l| JsonValue::parse(l).expect("every output line is JSON"))
+            .collect();
+        (summary, lines)
+    }
+
+    fn small_cfg() -> ServeConfig {
+        ServeConfig {
+            threads: 2,
+            queue_capacity: 8,
+            scale: Scale::Quick,
+            pool_capacity: 4,
+        }
+    }
+
+    #[test]
+    fn session_streams_cells_job_summary_and_served_line() {
+        let input = r#"{"id": "a", "apps": ["worker:ws=2"], "protocols": ["DirnH4SNB", "DirnHNBS-"], "nodes": 16}"#;
+        let (summary, lines) = run_session(&small_cfg(), input);
+        assert_eq!(summary.jobs_accepted, 1);
+        assert_eq!(summary.cells_completed, 2);
+        assert_eq!(summary.cells_failed, 0);
+
+        let ty = |v: &JsonValue| v.get("type").unwrap().as_str().unwrap().to_string();
+        let cells: Vec<_> = lines.iter().filter(|l| ty(l) == "cell").collect();
+        assert_eq!(cells.len(), 2);
+        for c in &cells {
+            assert_eq!(c.get("job").unwrap().as_str().unwrap(), "a");
+            assert!(c.get("cycles").unwrap().as_u64().unwrap() > 0);
+            assert!(c.get("queue_ms").unwrap().as_f64().is_ok());
+        }
+        let jobs: Vec<_> = lines.iter().filter(|l| ty(l) == "job").collect();
+        assert_eq!(jobs.len(), 1);
+        assert_eq!(jobs[0].get("cells").unwrap().as_u64().unwrap(), 2);
+        assert_eq!(jobs[0].get("failed").unwrap().as_u64().unwrap(), 0);
+        assert_eq!(ty(lines.last().unwrap()), "served");
+    }
+
+    #[test]
+    fn malformed_lines_reject_with_reason_and_session_continues() {
+        let input = "not json at all\n\
+            {\"id\": \"bad\", \"apps\": [\"nosuchapp\"]}\n\
+            {\"id\": \"ok\", \"apps\": [\"worker:ws=1\"], \"protocols\": [\"DirnHNBS-\"]}\n";
+        let (summary, lines) = run_session(&small_cfg(), input);
+        assert_eq!(summary.lines_malformed, 2);
+        assert_eq!(summary.jobs_accepted, 1);
+        assert_eq!(summary.cells_completed, 1);
+        let rejects: Vec<_> = lines
+            .iter()
+            .filter(|l| l.get("type").unwrap().as_str().unwrap() == "reject")
+            .collect();
+        assert_eq!(rejects.len(), 2);
+        assert!(rejects[1]
+            .get("reason")
+            .unwrap()
+            .as_str()
+            .unwrap()
+            .contains("nosuchapp"));
+        assert_eq!(rejects[1].get("job").unwrap().as_str().unwrap(), "bad");
+    }
+
+    #[test]
+    fn oversized_job_is_rejected_whole_with_queue_reason() {
+        // Queue of 4 cells cannot admit the 7-protocol default grid.
+        let cfg = ServeConfig {
+            queue_capacity: 4,
+            ..small_cfg()
+        };
+        let input = r#"{"id": "big", "apps": ["worker:ws=1"]}"#;
+        let (summary, lines) = run_session(&cfg, input);
+        assert_eq!(summary.jobs_rejected, 1);
+        assert_eq!(summary.jobs_accepted, 0);
+        assert_eq!(summary.cells_completed, 0, "no partial admission");
+        let reject = lines
+            .iter()
+            .find(|l| l.get("type").unwrap().as_str().unwrap() == "reject")
+            .expect("a reject line");
+        let reason = reject.get("reason").unwrap().as_str().unwrap();
+        assert!(reason.contains("queue full"), "{reason}");
+        assert!(reason.contains("needs 7"), "{reason}");
+    }
+
+    // Failed-cell streaming (per-cell `error` lines under a forced
+    // event-limit panic) is covered by `tests/cli_exit.rs`, which sets
+    // LIMITLESS_MAX_EVENTS on a child process — mutating the
+    // environment inside this multi-threaded test binary would race
+    // with every concurrently running simulation.
+
+    #[test]
+    fn machines_are_reused_across_same_shape_cells() {
+        // One worker, two jobs with the same (nodes, shards, protocol)
+        // shape: the second job's cell must run on a reset machine.
+        let cfg = ServeConfig {
+            threads: 1,
+            queue_capacity: 8,
+            scale: Scale::Quick,
+            pool_capacity: 4,
+        };
+        let input =
+            "{\"id\": \"j1\", \"apps\": [\"worker:ws=2\"], \"protocols\": [\"DirnH4SNB\"]}\n\
+             {\"id\": \"j2\", \"apps\": [\"worker:ws=3\"], \"protocols\": [\"DirnH4SNB\"]}\n";
+        let (summary, lines) = run_session(&cfg, input);
+        assert_eq!(summary.cells_completed, 2);
+        assert!(
+            summary.cells_reused >= 1,
+            "same-shape cells must recycle machines: {summary:?}"
+        );
+        let reused_cells = lines
+            .iter()
+            .filter(|l| l.get("type").unwrap().as_str().unwrap() == "cell")
+            .filter(|l| matches!(l.get("reused").unwrap(), JsonValue::Bool(true)))
+            .count();
+        assert!(reused_cells >= 1, "no cell line carried reused:true");
+    }
+
+    #[test]
+    fn socket_session_round_trips() {
+        let path = std::env::temp_dir().join("limitless_serve_test.sock");
+        let path = path.to_str().unwrap().to_string();
+        let cfg = small_cfg();
+        std::thread::scope(|s| {
+            let server = s.spawn(|| serve_socket(&cfg, &path, true));
+            // Wait for the socket to appear, then run one session.
+            let mut tries = 0;
+            let stream = loop {
+                match std::os::unix::net::UnixStream::connect(&path) {
+                    Ok(st) => break st,
+                    Err(_) if tries < 200 => {
+                        tries += 1;
+                        std::thread::sleep(std::time::Duration::from_millis(10));
+                    }
+                    Err(e) => panic!("cannot connect to {path}: {e}"),
+                }
+            };
+            {
+                let mut w = stream.try_clone().unwrap();
+                use std::io::Write as _;
+                let job = r#"{"id": "s", "apps": ["worker:ws=1"], "protocols": ["DirnHNBS-"]}"#;
+                writeln!(w, "{job}").unwrap();
+                stream.shutdown(std::net::Shutdown::Write).unwrap();
+            }
+            let mut text = String::new();
+            use std::io::Read as _;
+            stream
+                .try_clone()
+                .unwrap()
+                .read_to_string(&mut text)
+                .unwrap();
+            let summary = server.join().unwrap().unwrap();
+            assert_eq!(summary.cells_completed, 1);
+            assert!(
+                text.lines().any(|l| l.contains("\"type\":\"cell\"")),
+                "{text}"
+            );
+        });
+    }
+}

@@ -1,0 +1,204 @@
+//! The bounded cell queue between the intake thread and the worker
+//! pool.
+//!
+//! Backpressure is reject-with-reason rather than blocking: a
+//! long-running service that blocks its intake thread on a full queue
+//! stops reading its input entirely, so a stuck worker would wedge the
+//! whole session. Instead a job whose cells do not fit is refused
+//! atomically — either every cell of the job is queued or none is, so
+//! a rejected job never half-runs.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex, PoisonError};
+
+/// Why a job was refused admission.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct QueueFull {
+    /// The queue's fixed capacity, in cells.
+    pub capacity: usize,
+    /// Cells already queued when the job arrived.
+    pub queued: usize,
+    /// Cells the refused job would have added.
+    pub requested: usize,
+}
+
+impl std::fmt::Display for QueueFull {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "queue full: {} of {} cell slots in use, job needs {}",
+            self.queued, self.capacity, self.requested
+        )
+    }
+}
+
+impl std::error::Error for QueueFull {}
+
+struct State<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+/// A fixed-capacity multi-producer multi-consumer queue with atomic
+/// batch admission.
+pub struct BoundedQueue<T> {
+    inner: Mutex<State<T>>,
+    available: Condvar,
+    capacity: usize,
+}
+
+impl<T> BoundedQueue<T> {
+    /// Creates a queue admitting at most `capacity` items (minimum 1).
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        BoundedQueue {
+            inner: Mutex::new(State {
+                items: VecDeque::with_capacity(capacity),
+                closed: false,
+            }),
+            available: Condvar::new(),
+            capacity,
+        }
+    }
+
+    /// The fixed capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Items currently queued (racy the instant it returns; for
+    /// reporting only).
+    pub fn len(&self) -> usize {
+        self.lock().items.len()
+    }
+
+    /// Whether the queue is currently empty (racy; reporting only).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Enqueues the whole batch if the free space admits it, or
+    /// rejects the whole batch — never a prefix. A batch larger than
+    /// the entire capacity can therefore never be admitted; the
+    /// rejection's fields make that legible to the caller.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QueueFull`] when the batch does not fit (the batch is
+    /// dropped).
+    pub fn try_push_all(&self, batch: Vec<T>) -> Result<(), QueueFull> {
+        let mut state = self.lock();
+        if state.items.len() + batch.len() > self.capacity {
+            return Err(QueueFull {
+                capacity: self.capacity,
+                queued: state.items.len(),
+                requested: batch.len(),
+            });
+        }
+        state.items.extend(batch);
+        drop(state);
+        self.available.notify_all();
+        Ok(())
+    }
+
+    /// Blocks until an item is available and returns it, or returns
+    /// `None` once the queue is closed *and* drained — workers exit on
+    /// `None`, so every item admitted before [`BoundedQueue::close`]
+    /// is still processed.
+    pub fn pop(&self) -> Option<T> {
+        let mut state = self.lock();
+        loop {
+            if let Some(item) = state.items.pop_front() {
+                return Some(item);
+            }
+            if state.closed {
+                return None;
+            }
+            state = self
+                .available
+                .wait(state)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    /// Closes intake: queued items still drain, then every blocked and
+    /// future [`BoundedQueue::pop`] returns `None`.
+    pub fn close(&self) {
+        self.lock().closed = true;
+        self.available.notify_all();
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, State<T>> {
+        // Workers catch cell panics, so poisoning is unreachable; if
+        // it ever happens anyway the queue state itself is still
+        // consistent (every mutation is a single push/pop).
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn batch_admission_is_all_or_nothing() {
+        let q: BoundedQueue<u32> = BoundedQueue::new(4);
+        q.try_push_all(vec![1, 2, 3]).unwrap();
+        let err = q.try_push_all(vec![4, 5]).unwrap_err();
+        assert_eq!(
+            err,
+            QueueFull {
+                capacity: 4,
+                queued: 3,
+                requested: 2
+            }
+        );
+        // The rejected batch left no partial residue.
+        assert_eq!(q.len(), 3);
+        q.try_push_all(vec![4]).unwrap();
+        assert_eq!(q.len(), 4);
+        let msg = err.to_string();
+        assert!(msg.contains("queue full"), "{msg}");
+    }
+
+    #[test]
+    fn close_drains_then_returns_none() {
+        let q: BoundedQueue<u32> = BoundedQueue::new(8);
+        q.try_push_all(vec![1, 2]).unwrap();
+        q.close();
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), None);
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn pop_blocks_until_push() {
+        let q: BoundedQueue<u32> = BoundedQueue::new(2);
+        std::thread::scope(|s| {
+            let consumer = s.spawn(|| q.pop());
+            s.spawn(|| {
+                // No ordering guarantee needed: pop blocks until the
+                // push lands, whichever thread runs first.
+                q.try_push_all(vec![7]).unwrap();
+            });
+            assert_eq!(consumer.join().unwrap(), Some(7));
+        });
+    }
+
+    #[test]
+    fn oversized_batch_never_fits() {
+        let q: BoundedQueue<u32> = BoundedQueue::new(2);
+        let err = q.try_push_all(vec![1, 2, 3]).unwrap_err();
+        assert_eq!(err.requested, 3);
+        assert_eq!(err.capacity, 2);
+    }
+
+    #[test]
+    fn capacity_has_a_floor_of_one() {
+        let q: BoundedQueue<u32> = BoundedQueue::new(0);
+        assert_eq!(q.capacity(), 1);
+        q.try_push_all(vec![9]).unwrap();
+        assert!(!q.is_empty());
+    }
+}

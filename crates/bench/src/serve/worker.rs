@@ -1,0 +1,231 @@
+//! The worker pool: pulls cells from the bounded queue, reuses
+//! machines across cells of the same shape via [`Machine::reset`],
+//! and streams one NDJSON line per completed cell plus a summary line
+//! when a job's last cell lands.
+
+use std::io::Write;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
+use std::time::Instant;
+
+use limitless_machine::Machine;
+use limitless_stats::JsonValue;
+
+use crate::runner::{run_cell_on, CellError, CellResult, ExperimentSpec};
+use crate::serve::queue::BoundedQueue;
+
+/// Shared per-job accounting; the worker that completes the last cell
+/// emits the job-summary line.
+pub(crate) struct JobState {
+    /// The resolved grid every cell of the job indexes into.
+    pub spec: ExperimentSpec,
+    /// When the intake thread admitted the job (wall-clock anchor).
+    pub accepted: Instant,
+    /// Cells not yet finished; the 1→0 transition owns the summary.
+    pub remaining: AtomicUsize,
+    /// Cells that ended in a [`CellError`].
+    pub failed: AtomicUsize,
+    /// Cells that ran on a reset machine instead of a fresh build.
+    pub reused: AtomicUsize,
+    /// Summed queue latency (admission → dequeue) across cells.
+    pub queue_ns: AtomicU64,
+}
+
+impl JobState {
+    pub(crate) fn new(spec: ExperimentSpec) -> Self {
+        let cells = spec.cells();
+        JobState {
+            spec,
+            accepted: Instant::now(),
+            remaining: AtomicUsize::new(cells),
+            failed: AtomicUsize::new(0),
+            reused: AtomicUsize::new(0),
+            queue_ns: AtomicU64::new(0),
+        }
+    }
+}
+
+/// One queued unit of work: cell `index` of a job's grid.
+pub(crate) struct CellJob {
+    pub job: Arc<JobState>,
+    pub index: usize,
+    pub enqueued: Instant,
+}
+
+/// Service-wide counters, shared by every worker.
+#[derive(Default)]
+pub(crate) struct Counters {
+    pub completed: AtomicU64,
+    pub failed: AtomicU64,
+    pub reused: AtomicU64,
+}
+
+/// The key a machine can be reused under: same node count, same lane
+/// count, same protocol — exactly the parameters `cfg_sharded` bakes
+/// into the build.
+type PoolKey = (usize, usize, limitless_core::ProtocolSpec);
+
+/// A small per-worker cache of idle machines, keyed by shape. Workers
+/// never share machines, so the pool needs no locking.
+pub(crate) struct MachinePool {
+    slots: Vec<(PoolKey, Machine)>,
+    max: usize,
+}
+
+impl MachinePool {
+    pub(crate) fn new(max: usize) -> Self {
+        MachinePool {
+            slots: Vec::new(),
+            max: max.max(1),
+        }
+    }
+
+    /// Removes and returns an idle machine of the given shape.
+    fn take(&mut self, key: &PoolKey) -> Option<Machine> {
+        let pos = self.slots.iter().position(|(k, _)| k == key)?;
+        Some(self.slots.remove(pos).1)
+    }
+
+    /// Parks an idle machine, evicting the oldest resident when full.
+    fn put(&mut self, key: PoolKey, machine: Machine) {
+        if self.slots.len() == self.max {
+            self.slots.remove(0);
+        }
+        self.slots.push((key, machine));
+    }
+}
+
+/// Writes one line and flushes, so consumers see results as they
+/// stream; write failures (consumer hung up) are ignored — the
+/// simulation work is already done and accounted.
+pub(crate) fn emit<W: Write>(out: &Mutex<W>, line: &str) {
+    let mut w = out.lock().unwrap_or_else(PoisonError::into_inner);
+    let _ = writeln!(w, "{line}");
+    let _ = w.flush();
+}
+
+fn f64_field(v: f64) -> JsonValue {
+    JsonValue::from_f64(if v.is_finite() { v } else { 0.0 })
+}
+
+/// The NDJSON line for one finished cell.
+fn cell_line(
+    job_id: &str,
+    outcome: &Result<CellResult, CellError>,
+    queue_ms: f64,
+    reused: bool,
+) -> String {
+    let mut fields = vec![
+        ("type".to_string(), JsonValue::Str("cell".into())),
+        ("job".to_string(), JsonValue::Str(job_id.to_string())),
+    ];
+    match outcome {
+        Ok(c) => fields.extend([
+            ("protocol".to_string(), JsonValue::Str(c.protocol.clone())),
+            ("app".to_string(), JsonValue::Str(c.app.clone())),
+            ("seed".to_string(), JsonValue::from_u64(c.seed)),
+            (
+                "cycles".to_string(),
+                JsonValue::from_u64(c.report.cycles.as_u64()),
+            ),
+            ("events".to_string(), JsonValue::from_u64(c.report.events)),
+            ("wall_seconds".to_string(), f64_field(c.report.wall_seconds)),
+        ]),
+        Err(e) => fields.extend([
+            ("protocol".to_string(), JsonValue::Str(e.protocol.clone())),
+            ("app".to_string(), JsonValue::Str(e.app.clone())),
+            ("seed".to_string(), JsonValue::from_u64(e.seed)),
+            ("error".to_string(), JsonValue::Str(e.message.clone())),
+        ]),
+    }
+    fields.extend([
+        ("queue_ms".to_string(), f64_field(queue_ms)),
+        ("reused".to_string(), JsonValue::Bool(reused)),
+    ]);
+    JsonValue::Obj(fields).compact()
+}
+
+/// The NDJSON summary line a job's last cell triggers.
+fn job_line(job: &JobState) -> String {
+    let cells = job.spec.cells() as u64;
+    let failed = job.failed.load(Ordering::Relaxed) as u64;
+    let queue_ms_mean = if cells == 0 {
+        0.0
+    } else {
+        job.queue_ns.load(Ordering::Relaxed) as f64 / 1.0e6 / cells as f64
+    };
+    JsonValue::Obj(vec![
+        ("type".to_string(), JsonValue::Str("job".into())),
+        ("job".to_string(), JsonValue::Str(job.spec.id.clone())),
+        ("cells".to_string(), JsonValue::from_u64(cells)),
+        ("failed".to_string(), JsonValue::from_u64(failed)),
+        (
+            "wall_seconds".to_string(),
+            f64_field(job.accepted.elapsed().as_secs_f64()),
+        ),
+        ("queue_ms_mean".to_string(), f64_field(queue_ms_mean)),
+        (
+            "reused".to_string(),
+            JsonValue::from_u64(job.reused.load(Ordering::Relaxed) as u64),
+        ),
+    ])
+    .compact()
+}
+
+/// One worker: pull cells until the queue closes and drains. Machines
+/// park in the per-worker pool after a successful cell; a cell that
+/// errors abandons its machine mid-run, so that machine is dropped
+/// rather than reset (reset on a torn machine has no identity
+/// guarantee).
+pub(crate) fn worker_loop<W: Write>(
+    queue: &BoundedQueue<CellJob>,
+    out: &Mutex<W>,
+    counters: &Counters,
+    pool_capacity: usize,
+) {
+    let mut pool = MachinePool::new(pool_capacity);
+    while let Some(cell) = queue.pop() {
+        let queue_ns = cell.enqueued.elapsed().as_nanos() as u64;
+        let spec = &cell.job.spec;
+        let protocol = spec.protocols[cell.index / spec.apps.len()].1;
+        let key: PoolKey = (spec.nodes, spec.shards, protocol);
+        let (mut machine, reused) = match pool.take(&key) {
+            Some(mut m) => {
+                m.reset();
+                (m, true)
+            }
+            None => (
+                Machine::new(crate::cfg_sharded(spec.nodes, protocol, spec.shards)),
+                false,
+            ),
+        };
+        let outcome = run_cell_on(spec, cell.index, &mut machine);
+        if outcome.is_ok() {
+            pool.put(key, machine);
+        }
+
+        cell.job.queue_ns.fetch_add(queue_ns, Ordering::Relaxed);
+        if reused {
+            cell.job.reused.fetch_add(1, Ordering::Relaxed);
+            counters.reused.fetch_add(1, Ordering::Relaxed);
+        }
+        match &outcome {
+            Ok(_) => {
+                counters.completed.fetch_add(1, Ordering::Relaxed);
+            }
+            Err(_) => {
+                cell.job.failed.fetch_add(1, Ordering::Relaxed);
+                counters.failed.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        emit(
+            out,
+            &cell_line(&spec.id, &outcome, queue_ns as f64 / 1.0e6, reused),
+        );
+        // The 1→0 transition is unique, so exactly one worker emits
+        // the job summary even when cells finish concurrently.
+        if cell.job.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+            emit(out, &job_line(&cell.job));
+        }
+    }
+}

@@ -1,0 +1,189 @@
+//! Service-mode smoke: one in-process `serve` session processes a
+//! 50+-cell batch — with a malformed line and a deterministic
+//! full-queue rejection in the middle — and every streamed cell is
+//! bit-identical to the same cell from `Runner::run`. This is the
+//! end-to-end form of the reuse-identity argument: the service path
+//! (admission → queue → worker pool → machine reuse via
+//! `Machine::reset`) must be observationally indistinguishable from
+//! the one-shot sweep path.
+
+use std::collections::HashMap;
+
+use limitless_apps::Scale;
+use limitless_bench::serve::{serve, JobSpec};
+use limitless_bench::{Runner, ServeConfig, ServeSummary};
+use limitless_stats::JsonValue;
+
+/// Eight one-app jobs over the default 7-protocol spectrum: 56 cells.
+fn job_lines() -> Vec<String> {
+    (1..=8)
+        .map(|ws| format!(r#"{{"id": "ws{ws}", "apps": ["worker:ws={ws}"], "nodes": 16}}"#))
+        .collect()
+}
+
+fn run_session(cfg: &ServeConfig, input: &str) -> (ServeSummary, Vec<JsonValue>) {
+    let mut out: Vec<u8> = Vec::new();
+    let summary = serve(cfg, input.as_bytes(), &mut out);
+    let lines = String::from_utf8(out)
+        .unwrap()
+        .lines()
+        .map(|l| JsonValue::parse(l).expect("every output line is JSON"))
+        .collect();
+    (summary, lines)
+}
+
+#[test]
+fn served_batch_is_bit_identical_to_runner_run() {
+    let jobs = job_lines();
+    let mut input = String::new();
+    input.push_str(&jobs[..4].join("\n"));
+    // A line that is not a job, mid-stream.
+    input.push_str("\n{\"apps\": [\"worker:ws=1\"]}\n");
+    // A job whose 70-cell grid exceeds the queue outright — rejected
+    // whole no matter how far the workers have drained.
+    input.push_str(
+        r#"{"id": "toobig", "apps": ["worker:ws=1", "worker:ws=2", "worker:ws=3", "worker:ws=4", "worker:ws=5", "worker:ws=6", "worker:ws=7", "worker:ws=8", "worker:ws=9", "worker:ws=10"]}"#,
+    );
+    input.push('\n');
+    input.push_str(&jobs[4..].join("\n"));
+    input.push('\n');
+
+    let cfg = ServeConfig {
+        threads: 4,
+        queue_capacity: 64,
+        scale: Scale::Quick,
+        pool_capacity: 4,
+    };
+    let (summary, lines) = run_session(&cfg, &input);
+
+    assert_eq!(summary.jobs_accepted, 8);
+    assert_eq!(summary.cells_completed, 56, "8 jobs x 7-protocol spectrum");
+    assert_eq!(summary.cells_failed, 0);
+    assert_eq!(summary.lines_malformed, 1, "the id-less line");
+    assert_eq!(summary.jobs_rejected, 1, "the 70-cell job");
+    assert!(
+        summary.cells_reused > 0,
+        "a 56-cell batch on 4 workers must recycle machines: {summary:?}"
+    );
+
+    // The rejection is typed, names the job, and blames the queue.
+    let reject = lines
+        .iter()
+        .filter(|l| l.get("type").unwrap().as_str().unwrap() == "reject")
+        .find(|l| l.get("job").map(|j| j.as_str().unwrap()) == Ok("toobig"))
+        .expect("the oversized job's reject line");
+    let reason = reject.get("reason").unwrap().as_str().unwrap();
+    assert!(reason.contains("queue full"), "{reason}");
+    assert!(reason.contains("needs 70"), "{reason}");
+
+    // Index every streamed cell by (job, protocol, app).
+    let mut served: HashMap<(String, String, String), &JsonValue> = HashMap::new();
+    for l in &lines {
+        if l.get("type").unwrap().as_str().unwrap() == "cell" {
+            let key = (
+                l.get("job").unwrap().as_str().unwrap().to_string(),
+                l.get("protocol").unwrap().as_str().unwrap().to_string(),
+                l.get("app").unwrap().as_str().unwrap().to_string(),
+            );
+            assert!(
+                served.insert(key, l).is_none(),
+                "duplicate cell line in the stream"
+            );
+        }
+    }
+    assert_eq!(served.len(), 56);
+
+    // Replay every accepted job through the one-shot Runner path and
+    // demand bit-identity: same seed, same cycles, same event count.
+    for line in &jobs {
+        let spec = JobSpec::parse(line)
+            .unwrap()
+            .to_experiment(cfg.scale)
+            .unwrap();
+        let job_id = JobSpec::parse(line).unwrap().id;
+        let fresh = Runner::with_threads(2).run(&spec);
+        assert_eq!(fresh.cells.len(), 7);
+        for cell in &fresh.cells {
+            let key = (job_id.clone(), cell.protocol.clone(), cell.app.clone());
+            let s = served
+                .get(&key)
+                .unwrap_or_else(|| panic!("no served cell for {key:?}"));
+            assert_eq!(
+                s.get("seed").unwrap().as_u64().unwrap(),
+                cell.seed,
+                "{key:?}: seed derivation diverged"
+            );
+            assert_eq!(
+                s.get("cycles").unwrap().as_u64().unwrap(),
+                cell.report.cycles.as_u64(),
+                "{key:?}: cycle count diverged between serve and Runner::run"
+            );
+            assert_eq!(
+                s.get("events").unwrap().as_u64().unwrap(),
+                cell.report.events,
+                "{key:?}: event count diverged between serve and Runner::run"
+            );
+        }
+    }
+
+    // Each accepted job got exactly one summary line with clean counts.
+    let job_summaries: Vec<_> = lines
+        .iter()
+        .filter(|l| l.get("type").unwrap().as_str().unwrap() == "job")
+        .collect();
+    assert_eq!(job_summaries.len(), 8);
+    for j in &job_summaries {
+        assert_eq!(j.get("cells").unwrap().as_u64().unwrap(), 7);
+        assert_eq!(j.get("failed").unwrap().as_u64().unwrap(), 0);
+        assert!(j.get("queue_ms_mean").unwrap().as_f64().unwrap() >= 0.0);
+    }
+
+    // And the stream closes with the session summary.
+    let last = lines.last().unwrap();
+    assert_eq!(last.get("type").unwrap().as_str().unwrap(), "served");
+    assert_eq!(last.get("cells").unwrap().as_u64().unwrap(), 56);
+    assert_eq!(last.get("rejected").unwrap().as_u64().unwrap(), 1);
+}
+
+#[test]
+fn single_worker_session_matches_parallel_session() {
+    // Scheduling freedom (1 worker vs 4, pool reuse in different
+    // orders) must not leak into results: both sessions stream the
+    // same (seed, cycles, events) per cell.
+    let input = job_lines()[..3].join("\n") + "\n";
+    let cfg1 = ServeConfig {
+        threads: 1,
+        queue_capacity: 32,
+        scale: Scale::Quick,
+        pool_capacity: 2,
+    };
+    let cfg4 = ServeConfig {
+        threads: 4,
+        pool_capacity: 4,
+        ..cfg1
+    };
+    let (s1, l1) = run_session(&cfg1, &input);
+    let (s4, l4) = run_session(&cfg4, &input);
+    assert_eq!(s1.cells_completed, 21);
+    assert_eq!(s4.cells_completed, 21);
+
+    let digest = |lines: &[JsonValue]| -> Vec<(String, String, String, u64, u64, u64)> {
+        let mut cells: Vec<_> = lines
+            .iter()
+            .filter(|l| l.get("type").unwrap().as_str().unwrap() == "cell")
+            .map(|l| {
+                (
+                    l.get("job").unwrap().as_str().unwrap().to_string(),
+                    l.get("protocol").unwrap().as_str().unwrap().to_string(),
+                    l.get("app").unwrap().as_str().unwrap().to_string(),
+                    l.get("seed").unwrap().as_u64().unwrap(),
+                    l.get("cycles").unwrap().as_u64().unwrap(),
+                    l.get("events").unwrap().as_u64().unwrap(),
+                )
+            })
+            .collect();
+        cells.sort();
+        cells
+    };
+    assert_eq!(digest(&l1), digest(&l4));
+}

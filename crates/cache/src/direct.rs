@@ -72,6 +72,12 @@ impl DirectCache {
         }
     }
 
+    /// Empties every set in place (the machine-reuse reset path); the
+    /// geometry and the tag-array allocation are untouched.
+    pub fn clear(&mut self) {
+        self.words.fill(EMPTY);
+    }
+
     /// Number of sets (= lines) in the cache.
     pub fn sets(&self) -> usize {
         self.words.len()
@@ -264,10 +270,10 @@ mod tests {
         assert_eq!(c.lookup(BlockAddr(7)), None);
         let ev = c.insert(BlockAddr(7), LineState::Dirty);
         assert_eq!(ev, Some((BlockAddr(base + 7), LineState::Shared)));
-        assert_eq!(c.iter().collect::<Vec<_>>(), vec![(
-            BlockAddr(7),
-            LineState::Dirty
-        )]);
+        assert_eq!(
+            c.iter().collect::<Vec<_>>(),
+            vec![(BlockAddr(7), LineState::Dirty)]
+        );
     }
 
     #[test]

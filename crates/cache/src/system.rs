@@ -144,6 +144,18 @@ impl CacheSystem {
         self.mirror_drops = on;
     }
 
+    /// Reinitializes the system in place for a fresh run: every line
+    /// is evicted, the statistics restart at zero and any queued
+    /// silent drops are discarded, while the tag arrays keep their
+    /// allocation and the eviction-mirror switch keeps its setting
+    /// (it mirrors the machine's check level, a configuration choice).
+    pub fn reset(&mut self) {
+        self.main.clear();
+        self.victim.clear();
+        self.stats = CacheStats::default();
+        self.dropped.clear();
+    }
+
     /// The next silently dropped clean block, if any (populated only
     /// while the eviction mirror is on).
     pub fn pop_dropped(&mut self) -> Option<BlockAddr> {

@@ -66,6 +66,13 @@ impl VictimCache {
         self.tags.is_empty()
     }
 
+    /// Empties the buffer in place (the machine-reuse reset path); the
+    /// capacity and both backing allocations are untouched.
+    pub fn clear(&mut self) {
+        self.tags.clear();
+        self.states.fill(0);
+    }
+
     /// Inserts an evicted line. If the buffer is full the oldest entry
     /// is pushed out and returned (the caller must write it back if
     /// dirty).

@@ -109,6 +109,15 @@ impl EventHistory {
         ring.push_back(rec);
     }
 
+    /// Drops every retained record while keeping the per-block ring
+    /// allocations (the machine-reuse reset path; block ids restart at
+    /// 0 after a reset, so stale rings must not leak across runs).
+    pub fn clear(&mut self) {
+        for ring in &mut self.rings {
+            ring.clear();
+        }
+    }
+
     /// Formats block id `id`'s retained history for a panic message
     /// (oldest first).
     pub fn dump(&self, block: BlockAddr, id: u32) -> String {

@@ -617,8 +617,8 @@ mod tests {
         let mut bill = m.write_extend(8);
         let extra = m.ack_trap();
         let want_total = bill.total() + extra.total();
-        let want_decode = bill.activity(Activity::DecodeModifyDir)
-            + extra.activity(Activity::DecodeModifyDir);
+        let want_decode =
+            bill.activity(Activity::DecodeModifyDir) + extra.activity(Activity::DecodeModifyDir);
         bill.absorb(&extra);
         assert_eq!(bill.total(), want_total);
         assert_eq!(bill.activity(Activity::DecodeModifyDir), want_decode);

@@ -360,6 +360,29 @@ impl DirEngine {
         self.handler = h;
     }
 
+    /// Reinitializes the engine in place for a fresh run: the
+    /// directory table (interner + hardware columns), the software
+    /// extension, the statistics and the diagnostic history all return
+    /// to their just-constructed state, while the column vectors, the
+    /// open-addressed extension slots and the recycled send/spill
+    /// pools keep their capacity. A reset engine replaying the same
+    /// event sequence is bit-identical to a freshly constructed one —
+    /// including the interner fingerprint — which the machine-level
+    /// reset property test asserts. A custom [`ExtensionHandler`]
+    /// installed via [`DirEngine::set_handler`] is replaced by the
+    /// spec's default handler, exactly as construction would.
+    pub fn reset(&mut self) {
+        self.table.clear();
+        self.sw.clear();
+        self.handler = match self.spec.sw {
+            SwMode::NoBroadcast => Box::new(LimitlessHandler),
+            SwMode::Broadcast => Box::new(BroadcastHandler),
+        };
+        self.stats = EngineStats::default();
+        self.scratch_sharers.clear();
+        self.history.clear();
+    }
+
     /// Sets the coherence-sanitizer level (default
     /// [`CheckLevel::Off`]). When enabled, every event is followed by
     /// a directory-invariant validation pass and recorded in a bounded

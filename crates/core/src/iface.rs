@@ -175,10 +175,7 @@ impl<'a> HandlerCtx<'a> {
         let n = match hw.take_ptr_mask() {
             Some(mask) => sw.record_reader_mask(*id, mask),
             None => {
-                let n = hw
-                    .ptr_iter()
-                    .filter(|&p| sw.record_reader(*id, p))
-                    .count();
+                let n = hw.ptr_iter().filter(|&p| sw.record_reader(*id, p)).count();
                 hw.clear_ptrs();
                 n
             }

@@ -58,4 +58,3 @@ pub use iface::{BroadcastHandler, ExtensionHandler, HandlerCtx, LimitlessHandler
 pub use msg::{BlockMsg, ProtoMsg};
 pub use spec::{AckMode, ProtocolSpec, SwMode};
 pub use table::{BlockStateMut, BlockStateRef, DirectoryTable};
-

@@ -227,6 +227,18 @@ impl DirectoryTable {
         self.interner.id_of(block)
     }
 
+    /// Forgets every block while keeping the home parameters and the
+    /// column capacity — the machine-reuse reset path. Ids restart at
+    /// 0 in first-touch order, so a cleared table replaying the same
+    /// event sequence reproduces the same id assignment (and the same
+    /// interner fingerprint) as a freshly constructed one.
+    pub fn clear(&mut self) {
+        self.interner.clear();
+        self.hw.clear();
+        self.flags.clear();
+        self.owner_fetch.clear();
+    }
+
     /// Iterates every touched block in interning order.
     pub fn iter(&self) -> impl Iterator<Item = (BlockAddr, u32, BlockStateRef<'_>)> + '_ {
         self.interner

@@ -177,6 +177,22 @@ impl HwDirTable {
         self.state.is_empty()
     }
 
+    /// Removes every entry while keeping the regime parameters and the
+    /// column capacity — the machine-reuse reset path. The table is
+    /// indistinguishable from a freshly constructed one afterwards;
+    /// rows are re-created by [`HwDirTable::push_row`] as blocks are
+    /// re-interned.
+    pub fn clear(&mut self) {
+        self.state.clear();
+        self.flags.clear();
+        self.acks.clear();
+        self.pending.clear();
+        self.owner.clear();
+        self.len.clear();
+        self.mask.clear();
+        self.slab.clear();
+    }
+
     /// Appends a fresh `Uncached` entry, returning its row index.
     pub fn push_row(&mut self) -> u32 {
         let row = u32::try_from(self.state.len()).expect("more than 2^32 directory rows");
@@ -187,7 +203,8 @@ impl HwDirTable {
         self.owner.push(NodeId::NONE);
         self.len.push(0);
         self.mask.push(0);
-        self.slab.resize(self.slab.len() + self.stride, NodeId::NONE);
+        self.slab
+            .resize(self.slab.len() + self.stride, NodeId::NONE);
         row
     }
 

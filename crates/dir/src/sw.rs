@@ -480,6 +480,23 @@ impl SwDirectory {
         self.live
     }
 
+    /// Empties the directory while keeping the regime choice and the
+    /// slot/record storage capacity — the machine-reuse reset path.
+    /// Afterwards the directory behaves exactly like a freshly
+    /// constructed one (counters restart at zero; record-regime reader
+    /// arrays are recycled with their capacity intact).
+    pub fn clear(&mut self) {
+        self.masks.clear();
+        self.heads.clear();
+        self.free.clear();
+        for (i, rec) in self.records.iter_mut().enumerate() {
+            rec.clear();
+            self.free.push(i as u32);
+        }
+        self.live = 0;
+        self.stats = SwDirStats::default();
+    }
+
     /// Extension-record invariants for `id`, checked by the coherence
     /// sanitizer: no duplicate reader pointers, and no record left
     /// allocated but empty (duplicates are unrepresentable and empty

@@ -59,11 +59,7 @@ fn hw_rows_match_fat_entry_under_random_tapes() {
                         8 => {
                             scratch.clear();
                             t.row_mut(row).take_ptrs_into(&mut scratch);
-                            assert_eq!(
-                                sorted(scratch.clone()),
-                                sorted(m.drain_ptrs()),
-                                "{tag}"
-                            );
+                            assert_eq!(sorted(scratch.clone()), sorted(m.drain_ptrs()), "{tag}");
                             assert_eq!(t.row(row).ptr_count(), 0, "{tag}");
                         }
                         // Clear without observing.

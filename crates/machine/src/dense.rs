@@ -59,6 +59,13 @@ impl<K: Eq + Hash + Copy, V: Default> DenseMap<K, V> {
         self.values.len()
     }
 
+    /// Forgets every interned key while keeping both allocations (the
+    /// machine-reuse reset path).
+    pub(crate) fn clear(&mut self) {
+        self.ids.clear();
+        self.values.clear();
+    }
+
     /// Iterates every interned `(key, value)` pair in arbitrary order.
     pub(crate) fn iter(&self) -> impl Iterator<Item = (K, &V)> + '_ {
         self.ids

@@ -72,4 +72,3 @@ pub use stats::{BillAggregator, MachineStats, RunReport};
 
 #[cfg(test)]
 mod tests;
-

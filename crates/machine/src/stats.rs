@@ -33,7 +33,7 @@ impl BillAggregator {
         self.count += 1;
         match self.groups.iter_mut().find(|(b, _)| b == bill) {
             Some((_, c)) => *c += 1,
-            None => self.groups.push((bill.clone(), 1)),
+            None => self.groups.push((*bill, 1)),
         }
     }
 
@@ -62,7 +62,7 @@ impl BillAggregator {
             self.count += n;
             match self.groups.iter_mut().find(|(b, _)| b == bill) {
                 Some((_, c)) => *c += n,
-                None => self.groups.push((bill.clone(), *n)),
+                None => self.groups.push((*bill, *n)),
             }
         }
     }
@@ -82,7 +82,7 @@ impl BillAggregator {
             let (bill, c) = &self.groups[i];
             seen += *c;
             if seen > target {
-                return Some(bill.clone());
+                return Some(*bill);
             }
         }
         None
@@ -315,7 +315,7 @@ mod tests {
         }
         let mut sorted = bills.to_vec();
         sorted.sort_by_key(|b| b.total());
-        let expected = sorted[(sorted.len() - 1) / 2].clone();
+        let expected = sorted[(sorted.len() - 1) / 2];
         assert_eq!(agg.median_bill(), Some(expected));
         assert_eq!(agg.count(), 5);
         assert_eq!(agg.distinct(), 3);

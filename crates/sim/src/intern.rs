@@ -118,6 +118,18 @@ impl BlockInterner {
         &self.blocks
     }
 
+    /// Forgets every assignment while keeping the segment parameters
+    /// and the hash/vector capacity — the machine-reuse reset path.
+    /// After a clear the interner is indistinguishable from a freshly
+    /// constructed one: ids restart at 0 in first-touch order, so the
+    /// [`BlockInterner::fingerprint`] of a cleared-then-replayed
+    /// interner matches a fresh one exactly.
+    pub fn clear(&mut self) {
+        self.ids.clear();
+        self.blocks.clear();
+        self.last = None;
+    }
+
     /// An order-sensitive fingerprint of the full id assignment, for
     /// cross-engine determinism checks (serial vs. sharded runs must
     /// agree exactly).
@@ -198,5 +210,23 @@ mod tests {
     #[should_panic(expected = "home 4 of 4")]
     fn out_of_range_home_panics() {
         BlockInterner::new(4, 4);
+    }
+
+    #[test]
+    fn clear_restores_fresh_construction_behaviour() {
+        let mut fresh = BlockInterner::new(1, 4);
+        fresh.intern(BlockAddr(30));
+        fresh.intern(BlockAddr(10));
+
+        let mut reused = BlockInterner::new(1, 4);
+        reused.intern(BlockAddr(99));
+        reused.intern(BlockAddr(10));
+        reused.clear();
+        assert!(reused.is_empty());
+        assert_eq!(reused.id_of(BlockAddr(99)), None);
+        reused.intern(BlockAddr(30));
+        reused.intern(BlockAddr(10));
+        assert_eq!(reused.fingerprint(), fresh.fingerprint());
+        assert_eq!(reused.blocks(), fresh.blocks());
     }
 }

@@ -143,6 +143,46 @@ impl JsonValue {
         out
     }
 
+    /// Renders on a single line with no insignificant whitespace —
+    /// the NDJSON form (one value per line) streaming consumers
+    /// expect.
+    pub fn compact(&self) -> String {
+        let mut out = String::new();
+        self.write_compact(&mut out);
+        out
+    }
+
+    fn write_compact(&self, out: &mut String) {
+        match self {
+            JsonValue::Null => out.push_str("null"),
+            JsonValue::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            JsonValue::Num(s) => out.push_str(s),
+            JsonValue::Str(s) => write_escaped(out, s),
+            JsonValue::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write_compact(out);
+                }
+                out.push(']');
+            }
+            JsonValue::Obj(pairs) => {
+                out.push('{');
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_escaped(out, k);
+                    out.push(':');
+                    v.write_compact(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
     fn write(&self, out: &mut String, indent: usize) {
         match self {
             JsonValue::Null => out.push_str("null"),
@@ -441,6 +481,26 @@ mod tests {
         let v = JsonValue::from_u64(u64::MAX);
         let text = v.pretty();
         assert_eq!(JsonValue::parse(&text).unwrap().as_u64().unwrap(), u64::MAX);
+    }
+
+    #[test]
+    fn compact_is_single_line_and_round_trips() {
+        let v = JsonValue::Obj(vec![
+            ("type".into(), JsonValue::Str("cell".into())),
+            ("ok".into(), JsonValue::Bool(true)),
+            (
+                "vals".into(),
+                JsonValue::Arr(vec![JsonValue::from_u64(7), JsonValue::Null]),
+            ),
+            ("empty".into(), JsonValue::Obj(vec![])),
+        ]);
+        let text = v.compact();
+        assert!(!text.contains('\n'), "{text}");
+        assert_eq!(
+            text,
+            r#"{"type":"cell","ok":true,"vals":[7,null],"empty":{}}"#
+        );
+        assert_eq!(JsonValue::parse(&text).unwrap(), v);
     }
 
     #[test]
