@@ -393,6 +393,17 @@ fn main() {
             );
             std::process::exit(1);
         };
+        // A sharded baseline from a host with a different core budget
+        // (or one that predates host metadata) cannot anchor an
+        // enforcing comparison: warn instead of failing the build.
+        let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+        let warn_only = match gate::host_mismatch(base, cores) {
+            Some(msg) => {
+                eprintln!("perfgate: {msg}; demoting to warn-only");
+                true
+            }
+            None => warn_only,
+        };
         let mode = if warn_only { "warn-only" } else { "enforcing" };
         println!(
             "== perfgate: micro medians vs record `{}` ({mode}, ±15%) ==",

@@ -70,6 +70,34 @@ pub fn baseline(ledger: &BenchLedger) -> Option<&SweepRecord> {
         .find(|r| !r.micro_median_ns.is_empty())
 }
 
+/// Whether `base` was measured on a host this one can honestly be
+/// compared against. Serial records compare anywhere — the micro
+/// suite and a one-lane sweep are single-threaded. A *sharded*
+/// record's wall clock depends on the recording host's core budget,
+/// so a differing (or unknown, pre-metadata) core count makes an
+/// enforcing comparison meaningless; the returned message explains
+/// why the gate should warn instead.
+pub fn host_mismatch(base: &SweepRecord, current_cores: usize) -> Option<String> {
+    if base.shards <= 1 {
+        return None;
+    }
+    if base.host_cores == 0 {
+        Some(format!(
+            "record `{}` is sharded ({} lanes) but predates host metadata; \
+             wall-clock comparison across unknown hosts is advisory only",
+            base.label, base.shards
+        ))
+    } else if base.host_cores != current_cores {
+        Some(format!(
+            "record `{}` was measured with {} lanes on a {}-core host; this \
+             host has {current_cores} cores, so wall clock is not comparable",
+            base.label, base.shards, base.host_cores
+        ))
+    } else {
+        None
+    }
+}
+
 /// Compares fresh micro results against a baseline record's medians.
 /// `tolerance` is fractional (0.15 = ±15%).
 ///
@@ -117,6 +145,8 @@ mod tests {
             label: "base".into(),
             min_of: 1,
             shards: 1,
+            host_cores: 8,
+            host_threads: 1,
             wall_seconds: 1.0,
             events: 1,
             events_per_sec: 1.0,
@@ -198,6 +228,32 @@ mod tests {
         // Zero-to-zero is genuinely unchanged.
         let same = compare(&base, &[result("degenerate", 0)], 0.15);
         assert!(!same[0].warn);
+    }
+
+    #[test]
+    fn serial_records_compare_across_any_host() {
+        let base = base_record(&[("queue", 100)]);
+        assert_eq!(host_mismatch(&base, 1), None);
+        assert_eq!(host_mismatch(&base, 64), None);
+    }
+
+    #[test]
+    fn sharded_records_demand_the_same_core_budget() {
+        let mut base = base_record(&[("queue", 100)]);
+        base.shards = 4;
+        assert_eq!(host_mismatch(&base, 8), None, "same budget compares");
+        let msg = host_mismatch(&base, 2).expect("2 != 8 cores must warn");
+        assert!(msg.contains("8-core"), "{msg}");
+        assert!(msg.contains("2 cores"), "{msg}");
+    }
+
+    #[test]
+    fn sharded_records_without_host_metadata_warn() {
+        let mut base = base_record(&[("queue", 100)]);
+        base.shards = 2;
+        base.host_cores = 0;
+        let msg = host_mismatch(&base, 8).expect("unknown host must warn");
+        assert!(msg.contains("predates host metadata"), "{msg}");
     }
 
     #[test]

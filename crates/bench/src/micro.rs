@@ -14,6 +14,7 @@ use std::time::Instant;
 
 use limitless_cache::{CacheConfig, CacheSystem};
 use limitless_core::{DirEngine, DirEvent, HandlerImpl, ProtocolSpec};
+use limitless_machine::lane_sync::LaneSync;
 use limitless_net::{MeshTopology, NetConfig, Network};
 use limitless_sim::{BlockAddr, Cycle, EventQueue, NodeId};
 use limitless_stats::JsonValue;
@@ -180,6 +181,32 @@ fn bench_directory_engine_overflow() -> MicroResult {
     })
 }
 
+/// One sharded-engine synchronization round trip at `lanes` lanes:
+/// every lane computes its lookahead-bounded window end, publishes an
+/// advanced floor through the seqlocked board, and one quiescent
+/// snapshot (the double-pass stability read that proves a global
+/// event floor) runs over the whole fabric. This is the per-round
+/// coordination cost a lane pays on top of event execution — the
+/// number the lookahead matrix and window batching exist to amortize.
+fn bench_lane_sync(lanes: usize) -> MicroResult {
+    let dist = (0..lanes * lanes)
+        .map(|i| u64::from(i % (lanes + 1) != 0) * 10)
+        .collect();
+    let sync = LaneSync::new(lanes, dist);
+    let mut scratch = Vec::with_capacity(lanes);
+    let mut t = 0u64;
+    bench(&format!("lane_sync_round_trip_s{lanes}"), move || {
+        t += 1;
+        let mut acc = 0u64;
+        for lane in 0..lanes {
+            acc = acc.wrapping_add(sync.window_end(lane));
+            sync.publish(lane, t, t + 1, 0, t);
+        }
+        let q = sync.try_quiescent_min(&mut scratch);
+        acc.wrapping_add(q.map_or(0, |q| q.global_min))
+    })
+}
+
 fn bench_cache() -> MicroResult {
     let mut cache = CacheSystem::new(CacheConfig::alewife_with_victim());
     let mut i = 0u64;
@@ -236,6 +263,8 @@ pub fn run_all() -> Vec<MicroResult> {
         bench_directory_engine(),
         bench_directory_engine_overflow(),
         bench_cache(),
+        bench_lane_sync(2),
+        bench_lane_sync(4),
     ]
 }
 
@@ -359,10 +388,11 @@ mod tests {
     }
 
     /// The steady-state benchmarks — directory engine (both the
-    /// in-hardware and the trap-heavy overflow cycle), network, cache
-    /// — reuse their arenas, pools and inline send buffers across
-    /// iterations, so after warm-up they must make *zero* heap
-    /// allocations per iteration. The overflow cycle is the strictest
+    /// in-hardware and the trap-heavy overflow cycle), network, cache,
+    /// and the lane-sync round trip (whose snapshot scratch is
+    /// reserved once) — reuse their arenas, pools and inline send
+    /// buffers across iterations, so after warm-up they must make
+    /// *zero* heap allocations per iteration. The overflow cycle is the strictest
     /// case: every iteration drains pointers into the software
     /// directory, composes two trap bills, and spills a seven-message
     /// invalidation burst, all of which must come from reused storage.
@@ -376,6 +406,8 @@ mod tests {
             bench_directory_engine(),
             bench_directory_engine_overflow(),
             bench_cache(),
+            bench_lane_sync(2),
+            bench_lane_sync(4),
         ] {
             let allocs = r.allocs_per_iter.expect("feature is on");
             assert_eq!(

@@ -36,6 +36,13 @@ pub struct SweepRecord {
     /// Event-lane count the sweep ran with (1 = serial engine;
     /// records written before the sharded engine existed parse as 1).
     pub shards: usize,
+    /// `available_parallelism` of the recording host (0 = unknown:
+    /// the record predates host metadata). Sharded wall clock is only
+    /// comparable between hosts with the same core budget.
+    pub host_cores: usize,
+    /// Worker threads the engine actually ran (lanes are multiplexed
+    /// onto at most `host_cores` threads; 0 = unknown).
+    pub host_threads: usize,
     /// Total host wall seconds (sum of per-cell minima).
     pub wall_seconds: f64,
     /// Total simulation events across all cells.
@@ -53,12 +60,17 @@ pub struct SweepRecord {
 }
 
 impl SweepRecord {
-    /// Builds a record from a completed (usually min-of-N) run.
+    /// Builds a record from a completed (usually min-of-N) run,
+    /// stamping the host's parallelism so sharded records from
+    /// differently sized hosts are never silently compared.
     pub fn from_result(label: &str, r: &ExperimentResult) -> Self {
+        let host_cores = std::thread::available_parallelism().map_or(1, |n| n.get());
         SweepRecord {
             label: label.to_string(),
             min_of: r.min_of,
             shards: r.shards,
+            host_cores,
+            host_threads: r.shards.max(1).min(host_cores),
             wall_seconds: r.total_wall_seconds(),
             events: r.total_events(),
             events_per_sec: r.events_per_sec(),
@@ -96,6 +108,14 @@ impl SweepRecord {
             ("label".into(), JsonValue::Str(self.label.clone())),
             ("min_of".into(), JsonValue::from_u64(u64::from(self.min_of))),
             ("shards".into(), JsonValue::from_u64(self.shards as u64)),
+            (
+                "host_cores".into(),
+                JsonValue::from_u64(self.host_cores as u64),
+            ),
+            (
+                "host_threads".into(),
+                JsonValue::from_u64(self.host_threads as u64),
+            ),
             (
                 "wall_seconds".into(),
                 JsonValue::from_f64(self.wall_seconds),
@@ -147,6 +167,17 @@ impl SweepRecord {
                 .ok()
                 .and_then(|s| s.as_u64().ok())
                 .map_or(1, |s| s as usize),
+            // Absent in records that predate host metadata: unknown.
+            host_cores: v
+                .get("host_cores")
+                .ok()
+                .and_then(|s| s.as_u64().ok())
+                .map_or(0, |s| s as usize),
+            host_threads: v
+                .get("host_threads")
+                .ok()
+                .and_then(|s| s.as_u64().ok())
+                .map_or(0, |s| s as usize),
             wall_seconds: v.get("wall_seconds")?.as_f64()?,
             events: v.get("events")?.as_u64()?,
             events_per_sec: v.get("events_per_sec")?.as_f64()?,
@@ -275,6 +306,8 @@ mod tests {
             label: label.to_string(),
             min_of: 5,
             shards: 1,
+            host_cores: 8,
+            host_threads: 1,
             wall_seconds: wall,
             events: 1000,
             events_per_sec: 1000.0 / wall,
@@ -331,6 +364,32 @@ mod tests {
             "cells": []}]}"#;
         let ledger = BenchLedger::from_json(text).unwrap();
         assert_eq!(ledger.get("old").unwrap().shards, 1);
+    }
+
+    #[test]
+    fn records_without_host_metadata_parse_as_unknown() {
+        // Ledgers written before host metadata existed carry no core
+        // counts; 0 marks them unknown so the gate can refuse to
+        // compare sharded wall clock across them.
+        let text = r#"{"records": [{"label": "old", "min_of": 5,
+            "shards": 2, "wall_seconds": 0.2, "events": 1000,
+            "events_per_sec": 5000.0, "sim_cycles_per_sec": 10000.0,
+            "cells": []}]}"#;
+        let ledger = BenchLedger::from_json(text).unwrap();
+        let r = ledger.get("old").unwrap();
+        assert_eq!((r.host_cores, r.host_threads), (0, 0));
+    }
+
+    #[test]
+    fn host_metadata_round_trips_and_is_stamped_by_from_result() {
+        let mut ledger = BenchLedger::default();
+        let mut r = rec("meta", 0.2);
+        r.shards = 4;
+        r.host_cores = 16;
+        r.host_threads = 4;
+        ledger.upsert(r.clone());
+        let back = BenchLedger::from_json(&ledger.to_json()).unwrap();
+        assert_eq!(back.get("meta").unwrap(), &r);
     }
 
     #[test]

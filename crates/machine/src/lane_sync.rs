@@ -1,0 +1,353 @@
+//! Lock-free lane synchronization fabric for the sharded engine.
+//!
+//! Each lane owns a cache-line-padded [`LaneBoard`] of atomics and
+//! publishes a monotone *floor* — a lower bound on the time of every
+//! event it will ever execute or emit from now on. Peers bound their
+//! window ends by `min over d != b of floor[d] + D[d][b]`, where
+//! `D` is the per-lane-pair lookahead matrix (minimum mesh latency
+//! from any node owned by lane `d` to any node owned by lane `b`).
+//! Because each lane only waits for lanes that can actually reach it
+//! soon, a lane whose peers are far away advances through many
+//! consecutive windows between synchronizations — the window batching
+//! this PR is about.
+//!
+//! # Skip-jump: the quiescent-minimum snapshot
+//!
+//! When a lane is blocked (its next event lies at or beyond its window
+//! end), ratcheting floors alone would cross an idle stretch in
+//! `gap / min(D)` rounds. Instead the blocked lane attempts a *stable
+//! snapshot* in the style of distributed-GVT algorithms (Samadi /
+//! Mattern message counting): it reads every board twice and accepts
+//! only if (a) every `seq` is even and unchanged between passes, and
+//! (b) the global sent-counter sum equals the global covered-counter
+//! sum. `sent` is incremented *before* an event is pushed to a remote
+//! mailbox and `recv` only once a publish's `next` covers the drained
+//! event, so equality proves no event was in flight at any instant
+//! between the two passes. At such an instant every pending event sits
+//! in some lane's queue at or after that lane's published `next`, and
+//! event causality (all posts are at or after the generating event)
+//! extends the bound to all future events — so `G = min next` is a
+//! sound global floor and the lane may jump its window straight to the
+//! earliest pending event, crossing any idle stretch in one round.
+//!
+//! A failed snapshot is harmless: the lane falls back to the pure
+//! floor ratchet, which always progresses by at least `min D >= 1`
+//! per round, so there is no deadlock.
+//!
+//! This module is exported so `limitless-bench` can measure the
+//! publish / window-end / snapshot cycle in isolation (the
+//! `lane_sync_round_trip` micro benchmark).
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+/// Per-lane published state, padded to two cache lines so neighbouring
+/// lanes' publishes never false-share.
+#[repr(align(128))]
+#[derive(Debug)]
+pub struct LaneBoard {
+    /// Seqlock counter: odd while a publish is in progress.
+    seq: AtomicU64,
+    /// Safe-time watermark: no event this lane executes or emits from
+    /// now on is earlier than `floor` (emissions additionally clear
+    /// `floor + D[lane][dst]`). Monotone.
+    floor: AtomicU64,
+    /// The lane's earliest pending event at last publish (`u64::MAX`
+    /// when its queue was empty).
+    next: AtomicU64,
+    /// Cross-lane events this lane has pushed to peer mailboxes;
+    /// incremented *before* the push lands.
+    sent: AtomicU64,
+    /// Cross-lane events this lane has drained *and* covered by a
+    /// published `next`; only ever bumped inside a publish.
+    recv: AtomicU64,
+    /// Events executed so far (feeds the global event-budget check).
+    executed: AtomicU64,
+}
+
+impl LaneBoard {
+    fn new() -> Self {
+        LaneBoard {
+            seq: AtomicU64::new(0),
+            floor: AtomicU64::new(0),
+            next: AtomicU64::new(0),
+            sent: AtomicU64::new(0),
+            recv: AtomicU64::new(0),
+            executed: AtomicU64::new(0),
+        }
+    }
+}
+
+/// A stable quiescent snapshot: proof that at some instant no event
+/// was in flight between lanes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Quiescence {
+    /// Global minimum over published next-event times; `u64::MAX`
+    /// means the whole machine is drained and every lane may stop.
+    pub global_min: u64,
+    /// Sum of per-lane executed-event counters at the snapshot.
+    pub executed: u64,
+}
+
+/// The shared synchronization fabric: one board per lane plus the
+/// flattened lookahead matrix `dist[d * lanes + b] = D[d][b]`.
+#[derive(Debug)]
+pub struct LaneSync {
+    boards: Box<[LaneBoard]>,
+    dist: Box<[u64]>,
+    lanes: usize,
+    poisoned: AtomicBool,
+}
+
+impl LaneSync {
+    /// Builds the fabric for `lanes` lanes from a flattened
+    /// row-major lookahead matrix (`dist.len() == lanes * lanes`,
+    /// every off-diagonal entry at least 1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix shape is wrong or an off-diagonal entry
+    /// is zero (zero lookahead would deadlock the floor ratchet).
+    pub fn new(lanes: usize, dist: Vec<u64>) -> Self {
+        assert_eq!(dist.len(), lanes * lanes, "lookahead matrix shape");
+        for a in 0..lanes {
+            for b in 0..lanes {
+                assert!(
+                    a == b || dist[a * lanes + b] >= 1,
+                    "zero cross-lane lookahead D[{a}][{b}]"
+                );
+            }
+        }
+        LaneSync {
+            boards: (0..lanes).map(|_| LaneBoard::new()).collect(),
+            dist: dist.into_boxed_slice(),
+            lanes,
+            poisoned: AtomicBool::new(false),
+        }
+    }
+
+    /// Number of lanes.
+    pub fn lanes(&self) -> usize {
+        self.lanes
+    }
+
+    /// Lookahead from lane `d` to lane `b`.
+    pub fn dist(&self, d: usize, b: usize) -> u64 {
+        self.dist[d * self.lanes + b]
+    }
+
+    /// Publishes a lane's state. `covered` is the number of drained
+    /// cross-lane events this publish's `next` accounts for; the
+    /// seqlock makes the `(next, recv)` pair atomic for snapshot
+    /// readers. `floor` must be monotone per lane.
+    pub fn publish(&self, lane: usize, floor: u64, next: u64, covered: u64, executed: u64) {
+        let b = &self.boards[lane];
+        let s = b.seq.load(Ordering::Relaxed);
+        b.seq.store(s.wrapping_add(1), Ordering::SeqCst);
+        b.floor.store(floor, Ordering::Release);
+        b.next.store(next, Ordering::Release);
+        b.executed.store(executed, Ordering::Relaxed);
+        if covered > 0 {
+            b.recv.fetch_add(covered, Ordering::SeqCst);
+        }
+        b.seq.store(s.wrapping_add(2), Ordering::SeqCst);
+    }
+
+    /// Counts `n` cross-lane events about to be pushed by `lane`.
+    /// Must be called *before* the events become visible to the
+    /// destination, so the snapshot's sent-sum never undercounts.
+    pub fn note_sent(&self, lane: usize, n: u64) {
+        if n > 0 {
+            self.boards[lane].sent.fetch_add(n, Ordering::SeqCst);
+        }
+    }
+
+    /// A lane's current published floor.
+    pub fn floor(&self, lane: usize) -> u64 {
+        self.boards[lane].floor.load(Ordering::Acquire)
+    }
+
+    /// The window end for `lane`: the earliest time any peer could
+    /// still inject an event into it, `min over d != lane of
+    /// floor[d] + D[d][lane]`. `u64::MAX` for a single lane.
+    pub fn window_end(&self, lane: usize) -> u64 {
+        let mut end = u64::MAX;
+        for d in 0..self.lanes {
+            if d != lane {
+                end = end.min(self.floor(d).saturating_add(self.dist(d, lane)));
+            }
+        }
+        end
+    }
+
+    /// The window end for `lane` given a proven global event floor
+    /// `g`: like [`window_end`](Self::window_end) but every peer floor
+    /// is raised to at least `g` first. Used to jump idle stretches
+    /// after a successful snapshot.
+    pub fn jump_end(&self, lane: usize, g: u64) -> u64 {
+        let mut end = u64::MAX;
+        for d in 0..self.lanes {
+            if d != lane {
+                let f = self.floor(d).max(g);
+                end = end.min(f.saturating_add(self.dist(d, lane)));
+            }
+        }
+        end
+    }
+
+    /// Attempts a stable quiescent snapshot (see module docs).
+    ///
+    /// `scratch` is caller-owned storage (reserve `lanes` entries once
+    /// to keep the steady state allocation-free). Returns `None` when
+    /// the fabric was caught mid-change; retrying later is always
+    /// sound.
+    pub fn try_quiescent_min(&self, scratch: &mut Vec<(u64, u64)>) -> Option<Quiescence> {
+        scratch.clear();
+        let (mut sent, mut recv, mut g, mut executed) = (0u64, 0u64, u64::MAX, 0u64);
+        for b in self.boards.iter() {
+            let s1 = b.seq.load(Ordering::SeqCst);
+            if s1 % 2 != 0 {
+                return None;
+            }
+            let next = b.next.load(Ordering::SeqCst);
+            let se = b.sent.load(Ordering::SeqCst);
+            let rc = b.recv.load(Ordering::SeqCst);
+            executed = executed.wrapping_add(b.executed.load(Ordering::Relaxed));
+            scratch.push((s1, se));
+            sent += se;
+            recv += rc;
+            g = g.min(next);
+        }
+        // Second pass: the snapshot is only valid if no lane published
+        // or sent in between, so all the values above coexisted.
+        for (b, &(s1, se1)) in self.boards.iter().zip(scratch.iter()) {
+            if b.seq.load(Ordering::SeqCst) != s1 || b.sent.load(Ordering::SeqCst) != se1 {
+                return None;
+            }
+        }
+        (sent == recv).then_some(Quiescence {
+            global_min: g,
+            executed,
+        })
+    }
+
+    /// Marks the run as failed (a lane panicked); all lanes observe
+    /// this and unwind instead of spinning forever.
+    pub fn poison(&self) {
+        self.poisoned.store(true, Ordering::SeqCst);
+    }
+
+    /// Whether some lane has panicked.
+    pub fn is_poisoned(&self) -> bool {
+        self.poisoned.load(Ordering::SeqCst)
+    }
+}
+
+/// Pins the calling thread to `core` (Linux x86-64 only; a no-op
+/// returning `false` elsewhere). Uses a raw `sched_setaffinity`
+/// syscall so no FFI crate is needed.
+#[cfg(all(target_os = "linux", target_arch = "x86_64"))]
+pub fn pin_current_thread(core: usize) -> bool {
+    let mut mask = [0u64; 16]; // 1024-bit cpu_set_t
+    if core >= mask.len() * 64 {
+        return false;
+    }
+    mask[core / 64] |= 1u64 << (core % 64);
+    let ret: i64;
+    // sched_setaffinity(pid = 0 (self), len, mask)
+    unsafe {
+        std::arch::asm!(
+            "syscall",
+            inlateout("rax") 203i64 => ret,
+            in("rdi") 0i64,
+            in("rsi") std::mem::size_of_val(&mask),
+            in("rdx") mask.as_ptr(),
+            lateout("rcx") _,
+            lateout("r11") _,
+            options(nostack),
+        );
+    }
+    ret == 0
+}
+
+/// Pins the calling thread to `core` (no-op off Linux x86-64).
+#[cfg(not(all(target_os = "linux", target_arch = "x86_64")))]
+pub fn pin_current_thread(_core: usize) -> bool {
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn window_end_uses_matrix_rows_into_lane() {
+        // D[d][b] row-major for 3 lanes; floors start at 0.
+        let d = vec![0, 5, 9, 7, 0, 4, 11, 6, 0];
+        let sync = LaneSync::new(3, d);
+        // Into lane 0: min(D[1][0], D[2][0]) = min(7, 11).
+        assert_eq!(sync.window_end(0), 7);
+        // Into lane 1: min(D[0][1], D[2][1]) = min(5, 6).
+        assert_eq!(sync.window_end(1), 5);
+        // Into lane 2: min(D[0][2], D[1][2]) = min(9, 4).
+        assert_eq!(sync.window_end(2), 4);
+        sync.publish(1, 100, u64::MAX, 0, 0);
+        // Lane 1's floor moved to 100; lane 0's still-zero floor now
+        // dominates lane 2's bound via D[0][2] = 9.
+        assert_eq!(sync.window_end(0), 11);
+        assert_eq!(sync.window_end(2), 9);
+    }
+
+    #[test]
+    fn snapshot_accepts_quiescent_fabric_and_rejects_in_flight() {
+        let sync = LaneSync::new(2, vec![0, 3, 3, 0]);
+        let mut scratch = Vec::with_capacity(2);
+        sync.publish(0, 10, 40, 0, 5);
+        sync.publish(1, 12, 55, 0, 6);
+        let q = sync.try_quiescent_min(&mut scratch).expect("stable");
+        assert_eq!(q.global_min, 40);
+        assert_eq!(q.executed, 11);
+        // An event counted as sent but not yet covered blocks the
+        // snapshot...
+        sync.note_sent(0, 1);
+        assert!(sync.try_quiescent_min(&mut scratch).is_none());
+        // ...until the destination covers it in a publish.
+        sync.publish(1, 12, 30, 1, 6);
+        let q = sync.try_quiescent_min(&mut scratch).expect("covered");
+        assert_eq!(q.global_min, 30);
+    }
+
+    #[test]
+    fn jump_end_raises_floors_to_global_min() {
+        let sync = LaneSync::new(2, vec![0, 3, 4, 0]);
+        // Lane 1 idles at floor 2; a proven global min of 90 lets
+        // lane 0 jump to 90 + D[1][0] instead of 2 + D[1][0].
+        sync.publish(1, 2, u64::MAX, 0, 0);
+        assert_eq!(sync.window_end(0), 6);
+        assert_eq!(sync.jump_end(0, 90), 94);
+    }
+
+    #[test]
+    fn drained_machine_reports_global_max() {
+        let sync = LaneSync::new(2, vec![0, 1, 1, 0]);
+        let mut scratch = Vec::new();
+        sync.publish(0, u64::MAX, u64::MAX, 0, 1);
+        sync.publish(1, u64::MAX, u64::MAX, 0, 1);
+        let q = sync.try_quiescent_min(&mut scratch).expect("drained");
+        assert_eq!(q.global_min, u64::MAX);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero cross-lane lookahead")]
+    fn zero_lookahead_rejected() {
+        LaneSync::new(2, vec![0, 1, 0, 0]);
+    }
+
+    #[test]
+    fn pinning_is_safe_to_call() {
+        // Smoke: must not crash regardless of platform; on Linux
+        // x86-64 pinning to core 0 of the current process should
+        // succeed under any affinity mask that includes core 0.
+        let _ = pin_current_thread(0);
+        assert!(!pin_current_thread(usize::MAX));
+    }
+}

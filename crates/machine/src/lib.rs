@@ -52,6 +52,7 @@
 
 pub mod config;
 mod dense;
+pub mod lane_sync;
 pub mod machine;
 pub mod program;
 pub mod registry;

@@ -4,33 +4,41 @@
 //!
 //! * **serial** — one lane owns every node and runs a single unbounded
 //!   window to completion;
-//! * **sharded** — `S` lanes run conservative windows of length `D` =
-//!   the minimum cross-node network latency, synchronizing at window
-//!   boundaries: write-log flush into the shared-memory shadow,
-//!   cross-lane mailbox routing, then a skip-jump to the earliest
-//!   pending event anywhere.
+//! * **sharded** — `S` lanes run asynchronously, each bounding its
+//!   window end by the per-lane-pair lookahead matrix over its peers'
+//!   published floors (`min over d != b of floor[d] + D[d][b]`, see
+//!   [`crate::lane_sync`]). There is no driver and no barrier: lanes
+//!   drain their inboxes, execute a window, flush their outboxes and
+//!   tagged write logs to peer inboxes, publish a new floor, and — when
+//!   blocked — attempt a quiescent snapshot that jumps the whole
+//!   machine across idle stretches in one round.
 //!
-//! Because cross-lane effects need at least `D` cycles of network
-//! travel, events inside one window are causally independent across
-//! lanes, and each lane executes its own events in the same strict
-//! `(time, key)` order the serial engine uses — so both drivers
-//! produce bit-identical results (asserted by the differential tests).
+//! Because a cross-lane effect from lane `d` needs at least `D[d][b]`
+//! cycles of simulated travel (a mesh message or a barrier release),
+//! events below a lane's window end are causally complete, and each
+//! lane executes its own events in the same strict `(time, key)` order
+//! the serial engine uses — so both drivers produce bit-identical
+//! results (asserted by the differential tests).
+//!
+//! Lanes are multiplexed onto at most `available_parallelism` OS
+//! threads (cooperative round-robin within a thread), so the lane
+//! *partition* — and with it the bit-identical event order — never
+//! depends on the host. Threads are pinned to distinct cores on Linux.
 
 use std::panic::AssertUnwindSafe;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Mutex, RwLock};
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 use limitless_cache::{Access, LineState, INSTR_BLOCK_BASE};
 use limitless_core::{BlockMsg, DirEvent, ProtoMsg};
 use limitless_net::{FlitCount, NetStats};
-use limitless_sim::{Addr, BlockAddr, Cycle, EventQueue, FxHashMap, NodeId};
+use limitless_sim::{Addr, BlockAddr, Cycle, EventQueue, NodeId};
 
 use crate::config::EngineMode;
-use crate::dense::DenseMap;
-use crate::machine::{Ev, Machine, Payload, Pending, SyncMsg};
+use crate::lane_sync::{pin_current_thread, LaneSync};
+use crate::machine::{Ev, Machine, Payload, Pending, SyncMsg, TieKey};
 use crate::program::{Op, Rmw};
-use crate::shard::{lane_of, MemCtx, Shard, Shared, Wctx};
+use crate::shard::{lane_of, Shard, Wctx, WriteRec};
 use crate::stats::{MachineStats, RunReport};
 
 /// Hard ceiling on simulation events — a drained queue that never
@@ -43,75 +51,291 @@ const MAX_EVENTS: u64 = 4_000_000_000;
 /// event-limit backstop.
 const CHECKED_RETRY_LIMIT: u32 = 10_000;
 
-/// Lane synchronization block for the windowed driver.
-struct Ctrl {
-    /// Bumped once per window (and once more to stop); workers run one
-    /// window per observed bump.
-    epoch: AtomicU64,
-    /// The current window's exclusive end, published before the bump.
-    t_end: AtomicU64,
-    /// Lanes finished with the current window (driver lane excluded).
-    done: AtomicU64,
-    stop: AtomicBool,
-    /// A lane panicked mid-window; the driver stops spinning and lets
-    /// the scope propagate the payload.
-    panicked: AtomicBool,
+/// A lane's inbox: cross-lane events plus tagged write-log batches
+/// from every peer, behind one mutex. Producers push at publish
+/// boundaries; the owner drains at the top of each round.
+#[derive(Default)]
+struct Inbox {
+    inner: Mutex<InboxInner>,
 }
 
-/// Releases the worker lanes on drop — the normal exit path and the
-/// driver-panicked path both go through it, so workers never spin
-/// forever on a dead driver.
-struct StopGuard<'a>(&'a Ctrl);
+#[derive(Default)]
+struct InboxInner {
+    events: Vec<(Cycle, TieKey, Ev)>,
+    writes: Vec<Arc<Vec<WriteRec>>>,
+}
 
-impl Drop for StopGuard<'_> {
-    fn drop(&mut self) {
-        self.0.stop.store(true, Ordering::Release);
-        self.0.epoch.fetch_add(1, Ordering::Release);
+/// Driver-local per-lane scheduling state (never shared).
+struct LaneRun {
+    /// The lane finished (global quiescence observed).
+    done: bool,
+    /// Last published floor: the lane's promise that nothing below it
+    /// will execute — drained events are checked against it.
+    floor: u64,
+    /// Best proven global event floor (from quiescent snapshots);
+    /// monotone, so it keeps lifting idle peers' floors in
+    /// [`LaneSync::jump_end`] without re-proving.
+    g: u64,
+    /// Drained cross-lane events not yet covered by a publish.
+    uncovered: u64,
+    /// Snapshot scratch (reserved once; keeps rounds allocation-free).
+    snap: Vec<(u64, u64)>,
+    /// Drain scratch, swapped with the inbox under its lock.
+    evs: Vec<(Cycle, TieKey, Ev)>,
+    wbatches: Vec<Arc<Vec<WriteRec>>>,
+}
+
+impl LaneRun {
+    fn new(lanes: usize) -> Self {
+        LaneRun {
+            done: false,
+            floor: 0,
+            g: 0,
+            uncovered: 0,
+            snap: Vec::with_capacity(lanes),
+            evs: Vec::new(),
+            wbatches: Vec::new(),
+        }
     }
 }
 
-/// Spin with backoff while `cond` holds. `spin_budget` is how many
-/// iterations to busy-spin before falling back to `yield_now`: on a
-/// host with a core per lane the other lane is genuinely running and
-/// a short spin beats a syscall, but on an oversubscribed host the
-/// condition can only change after the OS schedules the other thread,
-/// so spinning just burns the timeslice it is waiting to give up.
-fn spin_while(spin_budget: u32, mut cond: impl FnMut() -> bool) {
+/// Warns (once per process) that more lanes were requested than the
+/// host has cores: the partition is kept — so results stay identical —
+/// and lanes timeshare threads instead.
+fn warn_oversubscribed(lanes: usize, cores: usize, threads: usize) {
+    static ONCE: std::sync::Once = std::sync::Once::new();
+    ONCE.call_once(|| {
+        eprintln!(
+            "limitless: {lanes} event lanes on a {cores}-core host; \
+             multiplexing onto {threads} thread(s) (event order unchanged, \
+             expect no parallel speedup)"
+        );
+    });
+}
+
+/// The busy-spin budget for this host: a real spin window when every
+/// worker thread owns a core (always true after clamping), none when
+/// there is only one thread (nothing external to wait for).
+fn spin_budget_for(threads: usize) -> u32 {
+    if threads > 1 {
+        1 << 12
+    } else {
+        0
+    }
+}
+
+/// Builds the per-lane-pair lookahead matrix `D[a][b]` (row-major):
+/// the minimum simulated latency from an event on lane `a` to any
+/// event it can cause on lane `b`. Two mechanisms cross lanes:
+///
+/// * a mesh message — at least `inject + CONTROL·flit +
+///   range_hops(a, b)·hop` cycles after the emitting event;
+/// * a barrier release — posted by the barrier master (node 0) at
+///   `barrier_cycles + hops(0, dst)` after the closing arrival, so the
+///   master's lane additionally carries that bound (raw hops, matching
+///   `sync::barrier_check`).
+///
+/// Every off-diagonal entry is clamped to at least 1 so the floor
+/// ratchet always progresses.
+fn lookahead_matrix(m: &Machine, lanes: usize, bounds: &[usize]) -> Vec<u64> {
+    let topo = m.net.topology();
+    let cfg = &m.cfg.net;
+    let msg_base = cfg.inject_cycles + u64::from(FlitCount::CONTROL.as_u32()) * cfg.flit_cycles;
+    let mut dist = vec![0u64; lanes * lanes];
+    for a in 0..lanes {
+        let ra = bounds[a]..bounds[a + 1];
+        for b in 0..lanes {
+            if a == b {
+                continue;
+            }
+            let rb = bounds[b]..bounds[b + 1];
+            let hops = u64::from(topo.range_hops(ra.clone(), rb.clone()));
+            let mut d = msg_base + hops * cfg.hop_cycles;
+            if ra.start == 0 {
+                // Lane `a` owns the barrier master.
+                let release = m.cfg.barrier_cycles + u64::from(topo.range_hops(0..1, rb));
+                d = d.min(release);
+            }
+            dist[a * lanes + b] = d.max(1);
+        }
+    }
+    dist
+}
+
+/// Drains `lane`'s inbox into its queue and pending remote writes.
+/// Returns the number of events drained. Must run *after* the round's
+/// window end was computed from the peers' floors: an event flushed
+/// before a peer published floor `F` is visible to whoever read
+/// `floor >= F` and then took this lock.
+fn drain_inbox(s: &mut Shard, run: &mut LaneRun, inbox: &Inbox, check: bool) -> u64 {
+    {
+        let mut inner = inbox.inner.lock().expect("inbox poisoned");
+        if inner.events.is_empty() && inner.writes.is_empty() {
+            return 0;
+        }
+        std::mem::swap(&mut run.evs, &mut inner.events);
+        std::mem::swap(&mut run.wbatches, &mut inner.writes);
+    }
+    let drained = run.evs.len() as u64;
+    for (at, key, ev) in run.evs.drain(..) {
+        // A drained event below the lane's published floor means some
+        // peer (or the matrix) broke the lookahead contract; with the
+        // sanitizer on this must fail loudly even in release builds.
+        if at.as_u64() < run.floor {
+            let msg = format!(
+                "cross-lane event at {at} arrived under lane {}'s published floor {}",
+                s.lane, run.floor
+            );
+            if check {
+                panic!("sanitizer: {msg}");
+            }
+            debug_assert!(false, "{msg}");
+        }
+        s.post_keyed(at, key, ev);
+    }
+    for batch in run.wbatches.drain(..) {
+        s.take_rwrites(&batch);
+    }
+    drained
+}
+
+/// Flushes `lane`'s outboxes and write log to the peers' inboxes.
+/// Event counts are noted on the board *before* the push so the
+/// quiescent snapshot's sent-sum never undercounts in-flight events.
+fn flush_lane(s: &mut Shard, sync: &LaneSync, inboxes: &[Inbox]) {
+    for (dst, inbox) in inboxes.iter().enumerate() {
+        if dst == s.lane || s.outboxes[dst].is_empty() {
+            continue;
+        }
+        sync.note_sent(s.lane, s.outboxes[dst].len() as u64);
+        let mut inner = inbox.inner.lock().expect("inbox poisoned");
+        inner.events.append(&mut s.outboxes[dst]);
+    }
+    if !s.wlog.is_empty() {
+        let batch = Arc::new(std::mem::take(&mut s.wlog));
+        for (dst, inbox) in inboxes.iter().enumerate() {
+            if dst != s.lane {
+                let mut inner = inbox.inner.lock().expect("inbox poisoned");
+                inner.writes.push(batch.clone());
+            }
+        }
+    }
+}
+
+/// One scheduling round for a lane: window-end computation, inbox
+/// drain, window execution, flush, publish, and — when blocked — the
+/// quiescent-snapshot skip-jump. Returns whether the lane advanced.
+fn lane_round(
+    s: &mut Shard,
+    run: &mut LaneRun,
+    cx: &Wctx,
+    sync: &LaneSync,
+    inboxes: &[Inbox],
+    max_events: u64,
+    publish_stride: u64,
+) -> bool {
+    let me = s.lane;
+    let check = cx.cfg.check.enabled();
+    // 1. Window end from the peers' floors, lifted by any proven
+    //    global floor. Reading floors *before* draining closes the
+    //    race with peers flushing as they publish.
+    let end = sync.jump_end(me, run.g);
+    // 2. Drain the inbox.
+    run.uncovered += drain_inbox(s, run, &inboxes[me], check);
+    // 3. Execute everything strictly below the window end.
+    let advanced = if s.next_time().is_some_and(|t| t.as_u64() < end) {
+        s.t_end = Cycle(end);
+        s.run_window(cx);
+        true
+    } else {
+        false
+    };
+    // 4 + 5. Flush and publish (coupled: a published floor promises
+    //    that every event it clears has been flushed). A positive
+    //    publish stride coalesces boundary work while the lane is
+    //    making progress; a blocked lane always publishes so the
+    //    global ratchet keeps turning.
+    let t_next = s.next_time().map_or(u64::MAX, |t| t.as_u64());
+    let floor = t_next.min(end);
+    if !advanced || floor >= run.floor.saturating_add(publish_stride) {
+        flush_lane(s, sync, inboxes);
+        sync.publish(me, floor, t_next, run.uncovered, s.executed);
+        run.floor = floor;
+        run.uncovered = 0;
+    }
+    if advanced {
+        return true;
+    }
+    // 6. Blocked: attempt the quiescent snapshot.
+    let Some(q) = sync.try_quiescent_min(&mut run.snap) else {
+        return false;
+    };
+    assert!(
+        q.executed < max_events,
+        "event limit exceeded: probable livelock around {floor}"
+    );
+    if q.global_min == u64::MAX {
+        // Global quiescence: every queue is empty and nothing is in
+        // flight. Converge the replica and retire the lane.
+        s.apply_rwrites_below(Cycle(u64::MAX), u64::MAX);
+        run.done = true;
+        return true;
+    }
+    if q.global_min > run.g {
+        // A proven global event floor: jump this lane's window across
+        // the idle stretch and re-publish so peers can follow.
+        run.g = q.global_min;
+        let end = sync.jump_end(me, run.g);
+        let floor = t_next.min(end);
+        if floor > run.floor {
+            sync.publish(me, floor, t_next, run.uncovered, s.executed);
+            run.floor = floor;
+            run.uncovered = 0;
+        }
+        return t_next < end;
+    }
+    false
+}
+
+/// Runs a group of lanes on one OS thread, round-robin. With one
+/// thread per lane this is a plain loop over a single lane; on an
+/// oversubscribed host a thread interleaves its lanes cooperatively,
+/// so the partition (and the event order) never changes — only the
+/// wall-clock schedule does.
+fn lane_group_loop(
+    group: &mut [Shard],
+    cx: &Wctx,
+    sync: &LaneSync,
+    inboxes: &[Inbox],
+    max_events: u64,
+    publish_stride: u64,
+    spin_budget: u32,
+) {
+    let lanes = sync.lanes();
+    let mut runs: Vec<LaneRun> = group.iter().map(|_| LaneRun::new(lanes)).collect();
     let mut spins = 0u32;
-    while cond() {
-        if spins < spin_budget {
+    loop {
+        let mut live = false;
+        let mut advanced = false;
+        for (s, run) in group.iter_mut().zip(runs.iter_mut()) {
+            if run.done {
+                continue;
+            }
+            live = true;
+            advanced |= lane_round(s, run, cx, sync, inboxes, max_events, publish_stride);
+        }
+        if !live || sync.is_poisoned() {
+            return;
+        }
+        if advanced {
+            spins = 0;
+        } else if spins < spin_budget {
             spins += 1;
             std::hint::spin_loop();
         } else {
             std::thread::yield_now();
         }
     }
-}
-
-/// The busy-spin budget for this host: a real spin window when every
-/// lane can own a core, immediate yield when lanes must timeshare.
-fn spin_budget_for(lanes: usize) -> u32 {
-    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
-    if cores >= lanes {
-        1 << 14
-    } else {
-        0
-    }
-}
-
-/// Runs one window on `shard` against the shared state: publish the
-/// window end, take read access to the memory shadow, execute.
-fn lane_window(shard: &Mutex<Shard>, shared: &Shared<'_>, t_end: Cycle) {
-    let mut s = shard.lock().expect("lane lock poisoned");
-    s.t_end = t_end;
-    let g = shared.mem.read().expect("memory shadow lock poisoned");
-    let cx = Wctx {
-        cfg: shared.cfg,
-        gmem: &g,
-        registry: shared.registry,
-        tracker: shared.tracker,
-    };
-    s.run_window(&cx);
 }
 
 impl Machine {
@@ -173,7 +397,15 @@ impl Machine {
             executed: 0,
             finished: 0,
             finish_time: Cycle::ZERO,
-            mem: MemCtx::Direct(std::mem::take(&mut self.mem)),
+            mem: std::mem::take(&mut self.mem),
+            record_writes: false,
+            wlog: Vec::new(),
+            rwrites: Vec::new(),
+            rw_pos: 0,
+            rw_gate: (Cycle(u64::MAX), u64::MAX),
+            cur_time: Cycle::ZERO,
+            cur_key: 0,
+            dist_row: vec![0],
             outboxes: Vec::new(),
             t_end: Cycle(u64::MAX),
             max_events,
@@ -186,21 +418,16 @@ impl Machine {
         }
         let registry = self.registry.take().map(Mutex::new);
         let tracker = self.tracker.take().map(Mutex::new);
-        let empty = DenseMap::default();
         {
             let cx = Wctx {
                 cfg: &self.cfg,
-                gmem: &empty,
                 registry: registry.as_ref(),
                 tracker: tracker.as_ref(),
             };
             shard.run_window(&cx);
         }
         self.nodes = shard.nodes;
-        self.mem = match shard.mem {
-            MemCtx::Direct(m) => m,
-            MemCtx::Windowed { .. } => unreachable!("serial lane uses direct memory"),
-        };
+        self.mem = shard.mem;
         self.registry = registry.map(|m| m.into_inner().expect("registry lock poisoned"));
         self.tracker = tracker.map(|m| m.into_inner().expect("tracker lock poisoned"));
         self.finished = shard.finished;
@@ -208,21 +435,11 @@ impl Machine {
         (shard.executed, shard.net.stats())
     }
 
-    /// The conservative windowed driver: `lanes` worker lanes running
-    /// `[T, T + D)` windows in lockstep.
+    /// The asynchronous watermark driver: `lanes` event lanes bounded
+    /// by the lookahead matrix over published floors, multiplexed onto
+    /// at most `available_parallelism` pinned OS threads.
     fn run_sharded(&mut self, lanes: usize, max_events: u64) -> (u64, NetStats) {
         let total = self.nodes.len();
-        // The lookahead: nothing one lane does before `T + D` can be
-        // observed by another lane before `T + D`, because every
-        // cross-node effect rides at least one network message (floor
-        // `min_cross_latency`) — except the barrier master's release
-        // events, which are bounded below by `barrier_cycles`.
-        let window = self
-            .cfg
-            .net
-            .min_cross_latency(FlitCount::CONTROL.as_u32())
-            .min(self.cfg.barrier_cycles)
-            .max(1);
 
         // Partition the nodes into contiguous lanes.
         let mut bounds = vec![0usize; lanes + 1];
@@ -232,8 +449,11 @@ impl Machine {
         for l in 0..lanes {
             bounds[l + 1] += bounds[l];
         }
+        let dist = lookahead_matrix(self, lanes, &bounds);
+
         let mut all = std::mem::take(&mut self.nodes);
-        let mut shards: Vec<Mutex<Shard>> = Vec::with_capacity(lanes);
+        let template_mem = std::mem::take(&mut self.mem);
+        let mut shards: Vec<Shard> = Vec::with_capacity(lanes);
         for l in (0..lanes).rev() {
             let mut shard = Shard {
                 lane: l,
@@ -247,10 +467,18 @@ impl Machine {
                 executed: 0,
                 finished: 0,
                 finish_time: Cycle::ZERO,
-                mem: MemCtx::Windowed {
-                    overlay: FxHashMap::default(),
-                    wlog: Vec::new(),
-                },
+                // Every lane starts from the same full replica of the
+                // memory shadow; tagged write broadcasts keep them
+                // converged (see the shard module docs).
+                mem: template_mem.clone(),
+                record_writes: true,
+                wlog: Vec::new(),
+                rwrites: Vec::new(),
+                rw_pos: 0,
+                rw_gate: (Cycle(u64::MAX), u64::MAX),
+                cur_time: Cycle::ZERO,
+                cur_key: 0,
+                dist_row: dist[l * lanes..(l + 1) * lanes].to_vec(),
                 outboxes: (0..lanes).map(|_| Vec::new()).collect(),
                 t_end: Cycle::ZERO,
                 max_events,
@@ -261,150 +489,85 @@ impl Machine {
                 let key = shard.next_key(n);
                 shard.queue.schedule_keyed(Cycle::ZERO, key, Ev::Resume(n));
             }
-            shards.push(Mutex::new(shard));
+            shards.push(shard);
         }
         shards.reverse();
 
-        let gmem = RwLock::new(std::mem::take(&mut self.mem));
         let registry = self.registry.take().map(Mutex::new);
         let tracker = self.tracker.take().map(Mutex::new);
-        let shared = Shared {
+        let cx = Wctx {
             cfg: &self.cfg,
-            mem: &gmem,
             registry: registry.as_ref(),
             tracker: tracker.as_ref(),
         };
-        let ctrl = Ctrl {
-            epoch: AtomicU64::new(0),
-            t_end: AtomicU64::new(0),
-            done: AtomicU64::new(0),
-            stop: AtomicBool::new(false),
-            panicked: AtomicBool::new(false),
-        };
+        let sync = LaneSync::new(lanes, dist);
+        let inboxes: Vec<Inbox> = (0..lanes).map(|_| Inbox::default()).collect();
+        let publish_stride = self.cfg.shard_publish_cycles;
 
-        let spin_budget = spin_budget_for(lanes);
+        // Clamp worker *threads* (never the lane partition, which
+        // fixes the event order) to the host's parallelism.
+        let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+        let threads = lanes.min(cores);
+        if threads < lanes {
+            warn_oversubscribed(lanes, cores, threads);
+        }
+        let pin = self.cfg.pin_lanes && threads > 1;
+        let spin_budget = spin_budget_for(threads);
+
+        // Carve the shards into one contiguous group per thread.
+        let mut groups: Vec<&mut [Shard]> = Vec::with_capacity(threads);
+        let mut rest = shards.as_mut_slice();
+        for t in 0..threads {
+            let take = (t + 1) * lanes / threads - t * lanes / threads;
+            let (g, r) = rest.split_at_mut(take);
+            groups.push(g);
+            rest = r;
+        }
+
         std::thread::scope(|scope| {
-            for shard in shards.iter().skip(1) {
-                let shared = &shared;
-                let ctrl = &ctrl;
+            for (t, group) in groups.into_iter().enumerate() {
+                let (cx, sync, inboxes) = (&cx, &sync, &inboxes);
                 scope.spawn(move || {
-                    let mut seen = 0u64;
-                    loop {
-                        spin_while(spin_budget, || {
-                            let e = ctrl.epoch.load(Ordering::Acquire);
-                            if e != seen {
-                                seen = e;
-                                false
-                            } else {
-                                true
-                            }
-                        });
-                        if ctrl.stop.load(Ordering::Acquire) {
-                            break;
-                        }
-                        let t_end = Cycle(ctrl.t_end.load(Ordering::Acquire));
-                        let r = std::panic::catch_unwind(AssertUnwindSafe(|| {
-                            lane_window(shard, shared, t_end);
-                        }));
-                        if let Err(p) = r {
-                            ctrl.panicked.store(true, Ordering::Release);
-                            ctrl.done.fetch_add(1, Ordering::Release);
-                            std::panic::resume_unwind(p);
-                        }
-                        ctrl.done.fetch_add(1, Ordering::Release);
+                    if pin {
+                        pin_current_thread(t);
+                    }
+                    let r = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                        lane_group_loop(
+                            group,
+                            cx,
+                            sync,
+                            inboxes,
+                            max_events,
+                            publish_stride,
+                            spin_budget,
+                        );
+                    }));
+                    if let Err(p) = r {
+                        sync.poison();
+                        std::panic::resume_unwind(p);
                     }
                 });
             }
-
-            // The driver thread runs lane 0 itself.
-            let guard = StopGuard(&ctrl);
-            let mut window_start = Cycle::ZERO;
-            loop {
-                let t_end = Cycle(window_start.0.saturating_add(window));
-                ctrl.t_end.store(t_end.0, Ordering::Relaxed);
-                ctrl.done.store(0, Ordering::Relaxed);
-                ctrl.epoch.fetch_add(1, Ordering::Release);
-                lane_window(&shards[0], &shared, t_end);
-                spin_while(spin_budget, || {
-                    ctrl.done.load(Ordering::Acquire) < (lanes - 1) as u64
-                        && !ctrl.panicked.load(Ordering::Acquire)
-                });
-                if ctrl.panicked.load(Ordering::Acquire) {
-                    break; // the scope re-raises the lane's panic
-                }
-
-                // ---- boundary phase (driver only; locks uncontended) ----
-                // 1. Flush the lanes' write logs into the shared shadow,
-                //    in lane order, and invalidate the read overlays so
-                //    next window's reads see other lanes' writes.
-                {
-                    let mut g = gmem.write().expect("memory shadow lock poisoned");
-                    for m in shards.iter() {
-                        let mut s = m.lock().expect("lane lock poisoned");
-                        if let MemCtx::Windowed { overlay, wlog } = &mut s.mem {
-                            for (a, v) in wlog.drain(..) {
-                                *g.entry(a) = v;
-                            }
-                            overlay.clear();
-                        }
-                    }
-                }
-                // 2. Route the cross-lane mailboxes.
-                let mut moved: Vec<(usize, Vec<_>)> = Vec::new();
-                for m in shards.iter() {
-                    let mut s = m.lock().expect("lane lock poisoned");
-                    for dst in 0..lanes {
-                        if !s.outboxes[dst].is_empty() {
-                            moved.push((dst, std::mem::take(&mut s.outboxes[dst])));
-                        }
-                    }
-                }
-                for (dst, batch) in moved {
-                    let mut s = shards[dst].lock().expect("lane lock poisoned");
-                    for (at, key, ev) in batch {
-                        debug_assert!(at >= t_end, "cross-lane event arrived inside its window");
-                        s.queue.schedule_keyed(at, key, ev);
-                    }
-                }
-                // 3. Event-limit backstop and skip-jump to the next
-                //    window with work anywhere.
-                let mut executed = 0u64;
-                let mut next: Option<Cycle> = None;
-                for m in shards.iter() {
-                    let mut s = m.lock().expect("lane lock poisoned");
-                    executed += s.executed;
-                    if let Some(t) = s.queue.peek_time() {
-                        next = Some(next.map_or(t, |o| o.min(t)));
-                    }
-                }
-                assert!(
-                    executed < max_events,
-                    "event limit exceeded: probable livelock around {t_end}"
-                );
-                match next {
-                    Some(t) => window_start = t,
-                    None => break,
-                }
-            }
-            drop(guard);
         });
 
-        // Dissolve the lanes back into the machine.
+        // Dissolve the lanes back into the machine. Every replica has
+        // converged; lane 0's becomes the machine's memory shadow.
         let mut events = 0u64;
         let mut net_stats = NetStats::default();
         let mut nodes = Vec::with_capacity(total);
         self.finished = 0;
         self.finish_time = Cycle::ZERO;
-        for m in shards {
-            let s = m.into_inner().expect("lane lock poisoned");
+        for (l, s) in shards.into_iter().enumerate() {
             events += s.executed;
             self.finished += s.finished;
             self.finish_time = self.finish_time.max(s.finish_time);
             net_stats.merge(&s.net.stats());
             nodes.extend(s.nodes);
+            if l == 0 {
+                self.mem = s.mem;
+            }
         }
         self.nodes = nodes;
-        self.mem = gmem.into_inner().expect("memory shadow lock poisoned");
         self.registry = registry.map(|m| m.into_inner().expect("registry lock poisoned"));
         self.tracker = tracker.map(|m| m.into_inner().expect("tracker lock poisoned"));
         (events, net_stats)
@@ -763,10 +926,14 @@ impl Shard {
             // Chain inline when the resume is provably next; otherwise
             // schedule it under the key just allocated (the key is
             // consumed either way, keeping the counter — and with it
-            // every later key — partition-independent).
+            // every later key — partition-independent). A pending
+            // remote write tagged at or below the resume blocks
+            // chaining: it must be applied between the two events, so
+            // the resume goes through the window loop.
             let key = self.next_key(n);
             if self.slot.is_none()
                 && t < self.t_end
+                && (t, key) < self.rw_gate
                 && self.queue.peek().is_none_or(|(pt, pk)| (t, key) < (pt, pk))
             {
                 self.queue.advance_to(t);
@@ -775,6 +942,8 @@ impl Shard {
                     self.executed < self.max_events,
                     "event limit exceeded: probable livelock at {t}"
                 );
+                self.cur_time = t;
+                self.cur_key = key;
                 now = t;
                 continue;
             }
@@ -845,15 +1014,15 @@ impl Shard {
             self.node_mut(n).stats.writes += 1;
             match rmw {
                 Some(r) => {
-                    let old = self.mem.load(cx.gmem, addr);
-                    self.mem.store(addr, r.apply(old));
+                    let old = self.mem_load(addr);
+                    self.mem_store(addr, r.apply(old));
                     self.node_mut(n).last_value = Some(old);
                 }
-                None => self.mem.store(addr, wvalue),
+                None => self.mem_store(addr, wvalue),
             }
         } else {
             self.node_mut(n).stats.reads += 1;
-            let v = self.mem.load(cx.gmem, addr);
+            let v = self.mem_load(addr);
             let node = self.node_mut(n);
             node.last_value = Some(v);
             if let Some(log) = node.read_log.as_mut() {
@@ -1105,10 +1274,13 @@ impl Shard {
         let key = self.next_key(n);
         if self.slot.is_none()
             && t < self.t_end
+            && (t, key) < self.rw_gate
             && self.queue.peek().is_none_or(|(pt, pk)| (t, key) < (pt, pk))
         {
             self.queue.advance_to(t);
             self.executed += 1;
+            self.cur_time = t;
+            self.cur_key = key;
             self.step_program(cx, n, t);
         } else {
             self.post_keyed(t, key, Ev::Resume(n));

@@ -2,8 +2,8 @@
 //! engines.
 //!
 //! A [`Shard`] owns a contiguous range of nodes, their event queue,
-//! their endpoint slots of the network model and (in windowed mode)
-//! a private write overlay of shared memory. The serial engine is the
+//! their endpoint slots of the network model and a full private
+//! replica of the shared-memory shadow. The serial engine is the
 //! degenerate case: one shard owning every node, running a single
 //! unbounded window — so both engines execute the *same* handler code
 //! over the *same* `(time, key)` event order, and the sharded engine
@@ -15,17 +15,31 @@
 //! origin node ([`crate::machine::NodeCtx::next_key`]). Each lane
 //! executes its events in strictly increasing `(time, key)` order;
 //! events of different lanes inside one conservative window are
-//! causally independent (the window length is the minimum cross-node
-//! network latency), so any interleaving of lanes yields the same
+//! causally independent (window ends are bounded by the per-lane-pair
+//! lookahead matrix), so any interleaving of lanes yields the same
 //! per-lane state trajectories. The serial engine's global order is
 //! one such interleaving — which is the bit-identity argument, tested
 //! differentially over the whole application × protocol matrix.
+//!
+//! # Memory replicas
+//!
+//! In sharded mode every lane holds its own full `DenseMap` replica of
+//! the memory shadow. Stores apply locally and are appended to a write
+//! log tagged with the executing event's `(time, key)`; the log is
+//! broadcast to peer lanes at publish boundaries and each lane applies
+//! remote writes interleaved with its own execution in global `(time,
+//! key)` order (see [`Shard::apply_rwrites_below`]). Same-address
+//! accesses on different lanes are separated by at least the lane-pair
+//! lookahead (they require a protocol round trip through the mesh), so
+//! every replica observes remote writes before any read that follows
+//! them in the serial order, and all replicas converge to the same
+//! final image.
 
-use std::sync::{Mutex, RwLock};
+use std::sync::Mutex;
 
 use limitless_core::Outcome;
 use limitless_net::{Network, TxPhase};
-use limitless_sim::{Addr, BlockAddr, Cycle, EventQueue, FxHashMap, NodeId};
+use limitless_sim::{Addr, BlockAddr, Cycle, EventQueue, NodeId};
 use limitless_stats::WorkerSetTracker;
 
 use crate::config::MachineConfig;
@@ -40,62 +54,17 @@ pub(crate) fn lane_of(node: usize, lanes: usize, total: usize) -> usize {
     node * lanes / total
 }
 
-/// Shared-memory access discipline for one lane.
-pub(crate) enum MemCtx {
-    /// The serial engine owns the memory shadow outright; reads and
-    /// writes go straight through.
-    Direct(DenseMap<Addr, u64>),
-    /// A windowed lane reads through its private overlay into the
-    /// global (frozen-for-the-window) shadow and records writes in a
-    /// log that the window-boundary flush replays in lane order.
-    Windowed {
-        overlay: FxHashMap<Addr, u64>,
-        wlog: Vec<(Addr, u64)>,
-    },
-}
+/// One logged store: the executing event's `(time, key)` tag plus the
+/// address and value. Tag order is exactly the serial execution order,
+/// so replaying a merged log reproduces the serial memory image.
+pub(crate) type WriteRec = (Cycle, TieKey, Addr, u64);
 
-impl MemCtx {
-    pub(crate) fn load(&self, global: &DenseMap<Addr, u64>, addr: Addr) -> u64 {
-        match self {
-            MemCtx::Direct(m) => m.get(addr).copied().unwrap_or(0),
-            MemCtx::Windowed { overlay, .. } => match overlay.get(&addr) {
-                Some(&v) => v,
-                None => global.get(addr).copied().unwrap_or(0),
-            },
-        }
-    }
-
-    pub(crate) fn store(&mut self, addr: Addr, value: u64) {
-        match self {
-            MemCtx::Direct(m) => *m.entry(addr) = value,
-            MemCtx::Windowed { overlay, wlog } => {
-                overlay.insert(addr, value);
-                wlog.push((addr, value));
-            }
-        }
-    }
-}
-
-/// Per-run state shared (read-only or lock-protected) by every lane.
-///
-/// The memory shadow is behind an `RwLock`: lanes hold read access for
-/// the duration of a window (writes go to their overlays) and the
-/// window-boundary flush takes the write lock alone. The sanitizer
-/// registry and the worker-set tracker are optional diagnostics whose
-/// operations within a window commute (set insertions/removals on
-/// causally independent blocks), so a mutex suffices.
-pub(crate) struct Shared<'a> {
-    pub(crate) cfg: &'a MachineConfig,
-    pub(crate) mem: &'a RwLock<DenseMap<Addr, u64>>,
-    pub(crate) registry: Option<&'a Mutex<CoherenceRegistry>>,
-    pub(crate) tracker: Option<&'a Mutex<WorkerSetTracker>>,
-}
-
-/// One window's execution context: the shared state plus the read
-/// guard on the global memory shadow, rebuilt each window.
+/// Per-run state shared by every lane. The sanitizer registry and the
+/// worker-set tracker are optional diagnostics whose operations within
+/// a window commute (set insertions/removals on causally independent
+/// blocks), so a mutex suffices.
 pub(crate) struct Wctx<'a> {
     pub(crate) cfg: &'a MachineConfig,
-    pub(crate) gmem: &'a DenseMap<Addr, u64>,
     pub(crate) registry: Option<&'a Mutex<CoherenceRegistry>>,
     pub(crate) tracker: Option<&'a Mutex<WorkerSetTracker>>,
 }
@@ -116,7 +85,7 @@ impl Wctx<'_> {
 }
 
 /// One event lane: a contiguous range of nodes with their own queue,
-/// inline slot, network endpoints and (windowed mode) memory overlay.
+/// inline slot, network endpoints and memory-shadow replica.
 pub(crate) struct Shard {
     /// This lane's index.
     pub(crate) lane: usize,
@@ -144,11 +113,34 @@ pub(crate) struct Shard {
     /// Owned nodes whose programs have finished.
     pub(crate) finished: usize,
     pub(crate) finish_time: Cycle,
-    pub(crate) mem: MemCtx,
+    /// This lane's full replica of the memory shadow.
+    pub(crate) mem: DenseMap<Addr, u64>,
+    /// Whether stores are logged for cross-lane broadcast (sharded
+    /// mode only; the serial engine writes straight through).
+    pub(crate) record_writes: bool,
+    /// Stores executed by this lane since the last flush, tagged with
+    /// their executing event's `(time, key)`.
+    pub(crate) wlog: Vec<WriteRec>,
+    /// Remote writes received from peer lanes, sorted by tag and
+    /// consumed from `rw_pos` as execution passes each tag.
+    pub(crate) rwrites: Vec<WriteRec>,
+    pub(crate) rw_pos: usize,
+    /// Tag of the earliest unapplied remote write (`(MAX, MAX)` when
+    /// none): events at or beyond this gate must not execute — or be
+    /// chained inline — before the write is applied.
+    pub(crate) rw_gate: (Cycle, TieKey),
+    /// The `(time, key)` of the event currently being executed; tags
+    /// logged stores so replicas replay them in serial order.
+    pub(crate) cur_time: Cycle,
+    pub(crate) cur_key: TieKey,
+    /// This lane's row of the lookahead matrix (`dist_row[b] =
+    /// D[lane][b]`): every cross-lane emission must clear `cur_time +
+    /// dist_row[b]`, which the sanitizer enforces.
+    pub(crate) dist_row: Vec<u64>,
     /// Outgoing cross-lane events, one mailbox per destination lane,
-    /// drained by the driver at window boundaries. (Only `NetArrive`
-    /// and barrier-release events cross lanes, and both are bounded
-    /// below by the window length.)
+    /// flushed to the peers' inboxes at publish boundaries. (Only
+    /// `NetArrive` and barrier-release events cross lanes, and both
+    /// are bounded below by the lane-pair lookahead.)
     pub(crate) outboxes: Vec<Vec<(Cycle, TieKey, Ev)>>,
     /// Current window end (exclusive); `Cycle(u64::MAX)` in serial
     /// mode.
@@ -217,7 +209,23 @@ impl Shard {
         if self.lanes > 1 {
             let lane = lane_of(target, self.lanes, self.total_nodes);
             if lane != self.lane {
-                debug_assert!(at >= self.t_end, "cross-lane event inside its own window");
+                // Every cross-lane emission must clear the lookahead
+                // matrix: the published floor contract promises peers
+                // that nothing from this lane lands before `floor +
+                // D[self][dst]`, and the current event is at or above
+                // the floor. A violation here is a matrix bug that
+                // must fail loudly in release fuzz runs, not only in
+                // debug builds.
+                let clear = self.cur_time.as_u64().saturating_add(self.dist_row[lane]);
+                assert!(
+                    at.as_u64() >= clear,
+                    "sanitizer: cross-lane event under the lookahead matrix \
+                     (lane {} -> {}, event at {at}, emitted at {}, D={})",
+                    self.lane,
+                    lane,
+                    self.cur_time,
+                    self.dist_row[lane]
+                );
                 self.outboxes[lane].push((at, key, ev));
                 return;
             }
@@ -272,29 +280,39 @@ impl Shard {
     }
 
     /// Executes every owned event with `time < t_end` in `(time, key)`
-    /// order. On return, the inline slot is flushed to the queue so
-    /// boundary logic (next-window computation, termination) sees the
-    /// complete pending set.
+    /// order, applying remote writes interleaved by tag. On return,
+    /// the inline slot is flushed to the queue so boundary logic
+    /// (next-window computation, termination) sees the complete
+    /// pending set.
     pub(crate) fn run_window(&mut self, cx: &Wctx) {
         let t_end = self.t_end;
         loop {
-            let (now, ev) = match self.slot {
+            let (now, key, ev) = match self.slot {
                 Some((t, _, _)) => {
                     if t >= t_end {
                         break;
                     }
-                    let (t, _, ev) = self.slot.take().expect("slot occupied");
+                    let (t, k, ev) = self.slot.take().expect("slot occupied");
                     // Safe: the slot is strictly below the queue head.
                     self.queue.advance_to(t);
-                    (t, ev)
+                    (t, k, ev)
                 }
                 None => {
-                    if self.queue.peek_time().is_none_or(|pt| pt >= t_end) {
+                    let Some((pt, pk)) = self.queue.peek() else {
+                        break;
+                    };
+                    if pt >= t_end {
                         break;
                     }
-                    self.queue.pop().expect("peeked event vanished")
+                    let (t, ev) = self.queue.pop().expect("peeked event vanished");
+                    (t, pk, ev)
                 }
             };
+            if self.rw_gate <= (now, key) {
+                self.apply_rwrites_below(now, key);
+            }
+            self.cur_time = now;
+            self.cur_key = key;
             self.executed += 1;
             assert!(
                 self.executed < self.max_events,
@@ -305,5 +323,71 @@ impl Shard {
         if let Some((t, k, ev)) = self.slot.take() {
             self.queue.schedule_keyed(t, k, ev);
         }
+    }
+
+    /// The earliest pending event time across the inline slot and the
+    /// queue (the slot, when occupied, is strictly below the queue
+    /// head). Boundary logic must use this, not the queue alone: a
+    /// drained cross-lane event may be parked in the slot.
+    pub(crate) fn next_time(&mut self) -> Option<Cycle> {
+        match self.slot {
+            Some((t, _, _)) => Some(t),
+            None => self.queue.peek_time(),
+        }
+    }
+
+    /// Reads the memory shadow (this lane's replica).
+    #[inline]
+    pub(crate) fn mem_load(&self, addr: Addr) -> u64 {
+        self.mem.get(addr).copied().unwrap_or(0)
+    }
+
+    /// Writes the memory shadow, logging the store under the current
+    /// event's tag in sharded mode so peer replicas can replay it in
+    /// serial order.
+    #[inline]
+    pub(crate) fn mem_store(&mut self, addr: Addr, value: u64) {
+        *self.mem.entry(addr) = value;
+        if self.record_writes {
+            self.wlog.push((self.cur_time, self.cur_key, addr, value));
+        }
+    }
+
+    /// Applies every pending remote write tagged strictly below
+    /// `(t, key)` to this lane's replica and advances the gate.
+    pub(crate) fn apply_rwrites_below(&mut self, t: Cycle, key: TieKey) {
+        while self.rw_pos < self.rwrites.len() {
+            let (wt, wk, addr, v) = self.rwrites[self.rw_pos];
+            if (wt, wk) >= (t, key) {
+                break;
+            }
+            *self.mem.entry(addr) = v;
+            self.rw_pos += 1;
+        }
+        self.rw_gate = match self.rwrites.get(self.rw_pos) {
+            Some(&(wt, wk, _, _)) => (wt, wk),
+            None => {
+                self.rwrites.clear();
+                self.rw_pos = 0;
+                (Cycle(u64::MAX), u64::MAX)
+            }
+        };
+    }
+
+    /// Merges a batch of remote writes (each batch is tag-sorted
+    /// because its producer executed in tag order) into the pending
+    /// set and refreshes the gate.
+    pub(crate) fn take_rwrites(&mut self, batch: &[WriteRec]) {
+        if batch.is_empty() {
+            return;
+        }
+        self.rwrites.drain(..self.rw_pos);
+        self.rw_pos = 0;
+        self.rwrites.extend_from_slice(batch);
+        self.rwrites.sort_unstable_by_key(|&(t, k, _, _)| (t, k));
+        self.rw_gate = self
+            .rwrites
+            .first()
+            .map_or((Cycle(u64::MAX), u64::MAX), |&(t, k, _, _)| (t, k));
     }
 }

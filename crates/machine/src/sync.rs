@@ -79,9 +79,10 @@ impl Shard {
         self.node_mut(master).stats.barriers += 1;
         let waiters = std::mem::take(&mut self.node_mut(master).barrier_arrived);
         // The dissemination rounds are priced wholesale by
-        // `barrier_cycles` (which exceeds the sharded engine's window
-        // length, keeping these direct cross-lane events legal), plus
-        // per-destination mesh distance.
+        // `barrier_cycles` plus per-destination mesh distance. The
+        // sharded engine's lookahead matrix carries exactly this bound
+        // on the master lane's rows (see `lookahead_matrix`), keeping
+        // these direct cross-lane posts legal.
         let base = now + Cycle(cx.cfg.barrier_cycles);
         for w in waiters {
             let hops = u64::from(self.net.topology().hops(master, w));

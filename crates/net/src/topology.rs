@@ -119,6 +119,64 @@ impl MeshTopology {
     pub fn diameter(&self) -> u32 {
         u32::from(self.width - 1) + u32::from(self.height - 1)
     }
+
+    /// Minimum hop count between any node in `a` and any node in `b`,
+    /// where both are non-empty ranges of row-major node indices.
+    ///
+    /// A contiguous row-major range covers a prefix row segment, a run
+    /// of full rows, and a suffix row segment; the minimum Manhattan
+    /// distance is therefore a min over the O(height²) row-segment
+    /// pairs, each costing a constant-time interval-gap computation.
+    /// Overlapping ranges trivially yield zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either range is empty or extends past the mesh.
+    pub fn range_hops(&self, a: std::ops::Range<usize>, b: std::ops::Range<usize>) -> u32 {
+        assert!(!a.is_empty() && !b.is_empty(), "range_hops on empty range");
+        assert!(
+            a.end <= self.nodes() && b.end <= self.nodes(),
+            "range extends outside mesh"
+        );
+        if a.start < b.end && b.start < a.end {
+            return 0;
+        }
+        let mut best = u32::MAX;
+        for (ay, alo, ahi) in self.row_segments(&a) {
+            for (by, blo, bhi) in self.row_segments(&b) {
+                let dy = u32::from(ay.abs_diff(by));
+                // Horizontal gap between the two x-intervals (zero when
+                // they overlap in x).
+                let dx = if ahi < blo {
+                    u32::from(blo - ahi)
+                } else if bhi < alo {
+                    u32::from(alo - bhi)
+                } else {
+                    0
+                };
+                best = best.min(dx + dy);
+            }
+        }
+        best
+    }
+
+    /// The row segments `(y, x_lo, x_hi)` (inclusive x bounds) covered
+    /// by a non-empty row-major index range.
+    fn row_segments(&self, r: &std::ops::Range<usize>) -> Vec<(u16, u16, u16)> {
+        let w = usize::from(self.width);
+        let (first, last) = (r.start / w, (r.end - 1) / w);
+        (first..=last)
+            .map(|y| {
+                let lo = if y == first { (r.start % w) as u16 } else { 0 };
+                let hi = if y == last {
+                    ((r.end - 1) % w) as u16
+                } else {
+                    self.width - 1
+                };
+                (y as u16, lo, hi)
+            })
+            .collect()
+    }
 }
 
 #[cfg(test)]
@@ -185,5 +243,87 @@ mod tests {
     #[should_panic(expected = "outside mesh")]
     fn coords_out_of_range_panics() {
         MeshTopology::new(2, 2).coords(NodeId(4));
+    }
+
+    /// Brute-force reference: min pairwise `hops` over the ranges.
+    fn range_hops_naive(
+        m: &MeshTopology,
+        a: std::ops::Range<usize>,
+        b: std::ops::Range<usize>,
+    ) -> u32 {
+        let mut best = u32::MAX;
+        for i in a {
+            for j in b.clone() {
+                best = best.min(m.hops(NodeId::from_index(i), NodeId::from_index(j)));
+            }
+        }
+        best
+    }
+
+    #[test]
+    fn range_hops_matches_brute_force() {
+        // Square, rectangular, and degenerate 1-wide (prime-count)
+        // meshes; every contiguous partition-style range pair.
+        for m in [
+            MeshTopology::new(4, 4),
+            MeshTopology::new(5, 3),
+            MeshTopology::new(1, 7),
+            MeshTopology::new(8, 8),
+        ] {
+            let n = m.nodes();
+            let cuts: Vec<usize> = (0..=n).collect();
+            for &s1 in &cuts {
+                for &e1 in &cuts {
+                    if s1 >= e1 {
+                        continue;
+                    }
+                    // Sample second ranges to keep the quartic loop fast.
+                    for &(s2, e2) in &[(0, 1), (0, n), (n / 2, n), (e1.min(n - 1), n), (s1, e1)] {
+                        if s2 >= e2 {
+                            continue;
+                        }
+                        assert_eq!(
+                            m.range_hops(s1..e1, s2..e2),
+                            range_hops_naive(&m, s1..e1, s2..e2),
+                            "mesh {}x{} ranges {s1}..{e1} vs {s2}..{e2}",
+                            m.width(),
+                            m.height()
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn range_hops_partition_pairs_67_nodes() {
+        // The prime-count mesh used by the sharded-engine tests: 67
+        // nodes over 4 lanes with uneven contiguous bounds.
+        let m = MeshTopology::for_nodes(67);
+        let lanes = 4;
+        let bounds: Vec<usize> = (0..=lanes).map(|l| l * 67 / lanes).collect();
+        for a in 0..lanes {
+            for b in 0..lanes {
+                let ra = bounds[a]..bounds[a + 1];
+                let rb = bounds[b]..bounds[b + 1];
+                assert_eq!(
+                    m.range_hops(ra.clone(), rb.clone()),
+                    range_hops_naive(&m, ra, rb)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn range_hops_overlap_is_zero() {
+        let m = MeshTopology::new(4, 4);
+        assert_eq!(m.range_hops(0..8, 4..12), 0);
+        assert_eq!(m.range_hops(3..4, 3..4), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn range_hops_empty_range_panics() {
+        MeshTopology::new(2, 2).range_hops(0..0, 0..4);
     }
 }

@@ -14,10 +14,16 @@
 //! ```
 //!
 //! Defaults: 4 shards, all six applications. The sharded engine can
-//! only beat serial when the host has at least SHARDS idle cores;
-//! on fewer cores it falls back to yielding between windows and runs
-//! slower than serial (conservative windows cost overhead that only
-//! parallel execution pays back).
+//! only beat serial when the host has at least SHARDS idle cores; on
+//! fewer cores the lanes are multiplexed onto the available threads
+//! and pay a bounded overhead (replica writes and floor publishing)
+//! with no parallel payback.
+//!
+//! Setting `LIMITLESS_SMOKE_RATIO` (e.g. `1.5`) turns the run into a
+//! CI smoke: after the table, the run asserts that the *total* sharded
+//! wall clock stayed within that factor of serial — catching a
+//! regression back to the barrier-per-window engine (which was >5×
+//! serial on one core) on any host, with or without spare cores.
 
 use std::time::Instant;
 
@@ -57,6 +63,8 @@ fn main() {
         "{:<8} {:>12} {:>12} {:>12} {:>8}",
         "app", "events", "serial s", "sharded s", "speedup"
     );
+    let mut serial_total = 0.0f64;
+    let mut sharded_total = 0.0f64;
     for app in &apps {
         if only.as_deref().is_some_and(|o| o != app.name()) {
             continue;
@@ -70,6 +78,8 @@ fn main() {
         assert_eq!(serial.cycles, sharded.cycles, "{} cycles", app.name());
         assert_eq!(serial.events, sharded.events, "{} events", app.name());
         assert_eq!(serial.stats, sharded.stats, "{} stats", app.name());
+        serial_total += serial_s;
+        sharded_total += sharded_s;
         println!(
             "{:<8} {:>12} {:>12.3} {:>12.3} {:>7.2}x",
             app.name(),
@@ -78,5 +88,26 @@ fn main() {
             sharded_s,
             serial_s / sharded_s
         );
+    }
+    println!(
+        "{:<8} {:>12} {:>12.3} {:>12.3} {:>7.2}x",
+        "total",
+        "",
+        serial_total,
+        sharded_total,
+        serial_total / sharded_total
+    );
+    if let Some(max_ratio) = std::env::var("LIMITLESS_SMOKE_RATIO")
+        .ok()
+        .and_then(|v| v.parse::<f64>().ok())
+    {
+        let ratio = sharded_total / serial_total;
+        assert!(
+            ratio <= max_ratio,
+            "sharded engine took {ratio:.2}x serial wall clock \
+             ({sharded_total:.3}s vs {serial_total:.3}s), above the \
+             LIMITLESS_SMOKE_RATIO={max_ratio} budget"
+        );
+        println!("smoke: {ratio:.2}x <= {max_ratio}x budget");
     }
 }

@@ -2,7 +2,9 @@
 //! parallel engine must be **bit-identical** to the serial reference —
 //! same per-run cycle counts, same event counts, same full statistics
 //! record, same final memory image and same per-node read streams —
-//! across every application × protocol cell, for 2 and 4 lanes.
+//! across every application × protocol cell, for 2, 3, 4 and 8 lanes
+//! (including lane counts that do not divide the node count, so the
+//! lookahead matrix is exercised over uneven partitions).
 //!
 //! This is the strongest statement the sharded engine makes: it is a
 //! pure wallclock optimization with no observable effect whatsoever.
@@ -77,8 +79,10 @@ fn cfg(p: ProtocolSpec, shards: usize) -> MachineConfig {
         .build()
 }
 
-/// Every application × protocol cell, serial vs 2 and 4 lanes: every
-/// observable must match bit-for-bit.
+/// Every application × protocol cell, serial vs 2, 3, 4 and 8 lanes:
+/// every observable must match bit-for-bit. 3 lanes over 8 nodes gives
+/// a 3/3/2 partition — an asymmetric lookahead matrix on the smallest
+/// mesh; 8 lanes is the one-node-per-lane extreme.
 #[test]
 fn sharded_engine_is_bit_identical_to_serial() {
     for app in tiny_apps() {
@@ -86,7 +90,7 @@ fn sharded_engine_is_bit_identical_to_serial() {
             let (serial, m_serial) = run_app_with_machine(app.as_ref(), cfg(p, 1));
             let image = m_serial.memory_image();
             let reads = m_serial.read_streams().expect("full check logs reads");
-            for lanes in [2, 4] {
+            for lanes in [2, 3, 4, 8] {
                 let (sharded, m_sharded) = run_app_with_machine(app.as_ref(), cfg(p, lanes));
                 let tag = format!("{} under {p} at {lanes} lanes", app.name());
                 assert_eq!(serial.cycles, sharded.cycles, "cycles diverged: {tag}");
