@@ -14,8 +14,8 @@ use crate::synth::{Footprint, SharingPattern, Synth, MAX_BLOCKS};
 use crate::{App, AppSpec, Aq, Evolve, Mp3d, Scale, Smgrid, SpecError, Tsp, Water, Worker};
 
 /// Every name [`build`] accepts.
-pub const KNOWN_APPS: [&str; 8] = [
-    "tsp", "aq", "smgrid", "evolve", "mp3d", "water", "worker", "synth",
+pub const KNOWN_APPS: [&str; 9] = [
+    "tsp", "aq", "smgrid", "evolve", "mp3d", "water", "worker", "synth", "scale",
 ];
 
 /// The six Figure-4 applications, in the paper's Table 3 order.
@@ -51,6 +51,7 @@ pub fn build(spec: &AppSpec, scale: Scale) -> Result<Box<dyn App>, SpecError> {
         "water" => fixed(spec, Box::new(Water::new(scale))),
         "worker" => build_worker(spec),
         "synth" => build_synth(spec, scale),
+        "scale" => build_scale(spec, scale),
         _ => Err(SpecError::UnknownApp {
             name: spec.name.clone(),
             known: &KNOWN_APPS,
@@ -151,6 +152,51 @@ fn build_synth(spec: &AppSpec, scale: Scale) -> Result<Box<dyn App>, SpecError> 
     Ok(Box::new(s))
 }
 
+const SCALE_KEYS: [&str; 7] = ["seed", "nodes", "ws", "jitter", "sync", "blocks", "rounds"];
+
+/// The `scale:` family: [`Synth::scale_out`] — a wide-shared synth
+/// whose worker sets are sized from the machine (`nodes`, default
+/// 1024) so the software extension overflows at every limited-pointer
+/// regime. Every derived parameter can still be overridden.
+fn build_scale(spec: &AppSpec, scale: Scale) -> Result<Box<dyn App>, SpecError> {
+    // Resolve `nodes` first: the other defaults derive from it.
+    let mut nodes = 1024usize;
+    for (key, value) in &spec.params {
+        if key == "nodes" {
+            nodes = positive(key, value)?;
+        }
+    }
+    let mut s = Synth::scale_out(nodes, scale);
+    for (key, value) in &spec.params {
+        match key.as_str() {
+            "seed" => s.seed = parse_value(key, value, "a u64 seed")?,
+            "nodes" => {}
+            "ws" => s.ws = positive(key, value)?,
+            "jitter" => s.jitter = parse_value(key, value, "a non-negative integer")?,
+            "sync" => s.sync = fraction(key, value)?,
+            "blocks" => {
+                s.blocks = positive(key, value)?;
+                if s.blocks > MAX_BLOCKS {
+                    return Err(SpecError::BadValue {
+                        key: key.clone(),
+                        value: value.clone(),
+                        expected: "at most 4096 blocks",
+                    });
+                }
+            }
+            "rounds" => s.rounds = positive(key, value)?,
+            _ => {
+                return Err(SpecError::UnknownKey {
+                    app: spec.name.clone(),
+                    key: key.clone(),
+                    accepted: &SCALE_KEYS,
+                })
+            }
+        }
+    }
+    Ok(Box::new(s))
+}
+
 fn positive(key: &str, value: &str) -> Result<usize, SpecError> {
     let n: usize = parse_value(key, value, "a positive integer")?;
     if n == 0 {
@@ -216,6 +262,26 @@ mod tests {
         assert_eq!(app.name(), "SYNTH");
         assert_eq!(app.preferred_nodes(), Some(64));
         assert!(app.size_description().contains("pattern=migratory"));
+    }
+
+    #[test]
+    fn scale_family_resolves_with_machine_derived_defaults() {
+        let app = build_str("scale", Scale::Quick).unwrap();
+        assert_eq!(app.name(), "SYNTH");
+        assert_eq!(app.preferred_nodes(), Some(1024));
+        assert!(app.size_description().contains("pattern=wide-shared"));
+        assert!(app.size_description().contains("ws=128"), "1024 / 8");
+        let app = build_str("scale:nodes=256,rounds=3", Scale::Quick).unwrap();
+        assert_eq!(app.preferred_nodes(), Some(256));
+        assert!(app.size_description().contains("ws=32"), "256 / 8");
+        assert!(app.size_description().contains("rounds=3"));
+        let e = build_str("scale:pattern=migratory", Scale::Quick)
+            .map(|_| ())
+            .unwrap_err();
+        assert!(
+            matches!(e, SpecError::UnknownKey { ref key, .. } if key == "pattern"),
+            "the sharing pattern is what makes it a scale spec: {e:?}"
+        );
     }
 
     #[test]

@@ -185,6 +185,33 @@ impl Synth {
         }
     }
 
+    /// The scale-out stress preset behind the registry's `scale:`
+    /// family: wide-shared sharing whose worker sets grow with the
+    /// machine (`ws = nodes / 8`, at least 12, jittered by
+    /// `nodes / 32`), so on any limited-pointer protocol the reader
+    /// sets blow far past the hardware pointers and every block
+    /// overflows into the software extension — the workload that makes
+    /// 512- and 1024-node runs exercise the directory's slab regimes
+    /// rather than coast on small worker sets. Only a full-map
+    /// directory (capacity = nodes) absorbs it without trapping.
+    pub fn scale_out(nodes: usize, scale: Scale) -> Self {
+        Synth {
+            seed: 0x5CA1E,
+            nodes_hint: Some(nodes),
+            pattern: SharingPattern::WideShared,
+            ws: (nodes / 8).max(12),
+            jitter: (nodes / 32).max(2),
+            rw: 0.3,
+            sync: 0.02,
+            footprint: Footprint::None,
+            blocks: 48,
+            rounds: match scale {
+                Scale::Quick => 4,
+                Scale::Paper => 12,
+            },
+        }
+    }
+
     /// The canonical spec string this workload parses back from.
     pub fn spec_string(&self) -> String {
         let mut s = format!(
@@ -594,6 +621,34 @@ mod tests {
             .flat_map(|row| row.iter().map(Vec::len))
             .collect();
         assert!(sizes.len() > 1, "jitter=2 must vary set sizes: {sizes:?}");
+    }
+
+    #[test]
+    fn scale_out_traps_at_every_limited_pointer_regime_past_512_nodes() {
+        // 520 nodes puts the hardware table past the mask regime:
+        // capacity <= 8 runs Fixed8, capacity > 8 the word-parallel
+        // slab. scale_out's worker sets (ws = 65 here) overflow every
+        // limited-pointer capacity, so the software extension traps in
+        // all of them; only a full map (capacity = nodes) absorbs the
+        // sharing in hardware. Blocks and rounds are trimmed to keep
+        // the 520-node machine test-sized.
+        let app = Synth {
+            blocks: 6,
+            rounds: 2,
+            sync: 0.0,
+            ..Synth::scale_out(520, Scale::Quick)
+        };
+        let run = |p: ProtocolSpec| {
+            let cfg = MachineConfig::builder().nodes(520).protocol(p).build();
+            run_app(&app, cfg).stats.engine.traps
+        };
+        for ptrs in [1usize, 8, 16] {
+            assert!(
+                run(ProtocolSpec::limitless(ptrs)) > 0,
+                "{ptrs}-pointer regime must overflow into software"
+            );
+        }
+        assert_eq!(run(ProtocolSpec::full_map()), 0, "full map never traps");
     }
 
     #[test]

@@ -4,7 +4,8 @@
 //! limitless-bench <experiment> [--paper] [--nodes N]
 //! limitless-bench all [--paper]
 //! limitless-bench sweep [--paper] [--nodes N] [--shards S] [--threads T]
-//!                       [--min-of N] [--json PATH] [--label L] [--app SPEC ...]
+//!                       [--min-of N] [--json PATH] [--label L] [--no-micro]
+//!                       [--app SPEC ...]
 //! limitless-bench micro [--json PATH] [--app SPEC ...]
 //! limitless-bench check [--paper|--quick] [--nodes N] [--shards S] [--app SPEC ...]
 //! limitless-bench fuzz [--specs N] [--shards S] [--nodes N] [--seed S] [--paper]
@@ -40,6 +41,9 @@
 //!   upserts the measurement into the labelled ledger at PATH
 //!   (conventionally `BENCH_sweep.json` at the repo root), replacing
 //!   any record with the same `--label` and keeping the rest.
+//!   `--no-micro` writes the record without micro medians — use it
+//!   for scaling-rung records (`--nodes 1024`) so they never become
+//!   the `perfgate` baseline the default-sized sweep is held to.
 //! - `micro` — data-structure micro-benchmarks, min/median over
 //!   repeated batches; `--json PATH` writes the record for CI.
 //!
@@ -101,6 +105,7 @@ fn main() {
     let mut min_of = 1u32;
     let mut label = "current".to_string();
     let mut warn_only = false;
+    let mut no_micro = false;
     let mut app_specs: Vec<String> = Vec::new();
     let mut fuzz_specs = fuzz::FuzzConfig::default().specs;
     let mut base_seed = fuzz::DEFAULT_BASE_SEED;
@@ -114,6 +119,7 @@ fn main() {
             "--paper" => scale = Scale::Paper,
             "--quick" => scale = Scale::Quick,
             "--warn-only" => warn_only = true,
+            "--no-micro" => no_micro = true,
             "--once" => once = true,
             "--queue" => {
                 queue_capacity = it
@@ -321,11 +327,24 @@ fn main() {
         return;
     }
     if name == "sweep" {
+        // Oversubscribed lanes still produce bit-identical results,
+        // but the wall clock stops meaning anything: more lanes than
+        // cores just time the scheduler. One honest line, then run.
+        let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+        if shards > cores {
+            eprintln!(
+                "sweep: {shards} lanes on a {cores}-core host — results are \
+                 bit-identical but wall clock measures contention, not speedup"
+            );
+        }
         // Capture micro medians for the ledger record *before* the
         // sweep: `perfgate` measures in a fresh process, so the
         // baseline must too (a 20-second sweep leaves the heap warm
-        // enough to shift allocation-heavy micros by ~20%).
-        let micro_medians: Vec<(String, u64)> = if json_path.is_some() {
+        // enough to shift allocation-heavy micros by ~20%). Scaling
+        // rungs pass --no-micro: their records must never become the
+        // perfgate baseline (gate::baseline picks the last record
+        // *with* medians).
+        let micro_medians: Vec<(String, u64)> = if json_path.is_some() && !no_micro {
             micro::run_all()
                 .iter()
                 .map(|r| (r.name.clone(), r.median_ns()))
@@ -404,6 +423,16 @@ fn main() {
             }
             None => warn_only,
         };
+        // A baseline recorded at a scaling-rung machine size (someone
+        // ran `sweep --nodes 1024 --json` without --no-micro) is not
+        // the workload the default gate sweep measures: advisory only.
+        let warn_only = match gate::nodes_mismatch(base, h.nodes(64)) {
+            Some(msg) => {
+                eprintln!("perfgate: {msg}; demoting to warn-only");
+                true
+            }
+            None => warn_only,
+        };
         let mode = if warn_only { "warn-only" } else { "enforcing" };
         println!(
             "== perfgate: micro medians vs record `{}` ({mode}, ±15%) ==",
@@ -471,7 +500,7 @@ fn usage() {
         "usage: limitless-bench <experiment|all> [--paper|--quick] [--nodes N]\n\
          \x20      limitless-bench sweep [--paper|--quick] [--nodes N] [--shards S]\n\
          \x20                            [--threads T] [--min-of N] [--json PATH] [--label L]\n\
-         \x20                            [--app SPEC ...]\n\
+         \x20                            [--no-micro] [--app SPEC ...]\n\
          \x20      limitless-bench micro [--json PATH] [--app SPEC ...]\n\
          \x20      limitless-bench check [--paper|--quick] [--nodes N] [--shards S] [--app SPEC ...]\n\
          \x20      limitless-bench fuzz [--specs N] [--shards S] [--nodes N] [--seed S] [--paper]\n\

@@ -63,13 +63,48 @@ pub struct SpecVerdict {
     pub passed: bool,
 }
 
+/// Every eighth trial is a scale-out spec: see [`sample_spec`].
+pub const SCALE_TRIAL_STRIDE: usize = 8;
+
 /// Deterministically samples trial `index`'s synthetic workload. The
 /// ranges deliberately straddle the interesting cliffs: worker sets
 /// 1–8 around the five-pointer hardware boundary, all three sharing
 /// patterns, sync densities up to 0.2 and occasional large code
 /// footprints.
+///
+/// Every [`SCALE_TRIAL_STRIDE`]th trial instead samples a ≥512-node
+/// wide-shared spec (the `nodes_hint` overrides the campaign's
+/// machine size), so the word-parallel slab/record directory regimes
+/// and the u16-id scale paths sit inside the standing campaign rather
+/// than only in targeted tests. Those trials stay deliberately small
+/// in blocks and rounds — a 512-node oracle cell already dwarfs a
+/// 16-node one.
 pub fn sample_spec(base_seed: u64, index: usize, quick: bool) -> Synth {
     let mut rng = SplitMix64::new(base_seed ^ (index as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    if index % SCALE_TRIAL_STRIDE == SCALE_TRIAL_STRIDE - 1 {
+        // 512 exactly (the power-of-two rung) or an odd size just past
+        // it, so presence-word seams get non-aligned machines too.
+        let nodes = if rng.next_below(2) == 0 {
+            512
+        } else {
+            513 + rng.next_below(63) as usize
+        };
+        // Worker sets far past every limited pointer capacity: every
+        // protocol in the spectrum except full-map must trap.
+        let ws = 12 + rng.next_below(21) as usize;
+        return Synth {
+            seed: rng.next_u64(),
+            nodes_hint: Some(nodes),
+            pattern: SharingPattern::WideShared,
+            ws,
+            jitter: rng.next_below(4) as usize,
+            rw: 0.2 + rng.next_below(3) as f64 / 10.0,
+            sync: 0.0,
+            footprint: Footprint::None,
+            blocks: 3 + rng.next_below(3) as usize,
+            rounds: if quick { 2 } else { 3 },
+        };
+    }
     let pattern = SharingPattern::ALL[rng.next_below(3) as usize];
     let ws = 1 + rng.next_below(8) as usize;
     let jitter = rng.next_below(3) as usize;
@@ -163,6 +198,20 @@ mod tests {
         }
         assert!(specs.iter().any(|s| s.ws <= 5), "within hardware pointers");
         assert!(specs.iter().any(|s| s.ws > 5), "beyond hardware pointers");
+    }
+
+    #[test]
+    fn scale_trials_pin_the_big_machine_paths() {
+        for i in [7usize, 15, 23] {
+            let s = sample_spec(DEFAULT_BASE_SEED, i, true);
+            let nodes = s.nodes_hint.expect("scale trials carry a machine size");
+            assert!((512..=576).contains(&nodes), "index {i}: {nodes}");
+            assert_eq!(s.pattern, SharingPattern::WideShared);
+            assert!(s.ws > 8, "past every limited pointer capacity");
+            assert!(s.blocks <= 8 && s.rounds <= 3, "stay campaign-sized");
+        }
+        // Non-scale indices still run at the campaign's machine size.
+        assert_eq!(sample_spec(DEFAULT_BASE_SEED, 6, true).nodes_hint, None);
     }
 
     #[test]

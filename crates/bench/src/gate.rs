@@ -98,6 +98,25 @@ pub fn host_mismatch(base: &SweepRecord, current_cores: usize) -> Option<String>
     }
 }
 
+/// Whether `base` was measured at the machine size this run is about
+/// to compare against. The micro suite is size-independent, but the
+/// sweep throughput figures a record carries are not: a 1024-node
+/// scaling rung processes far more directory state per event than the
+/// default 64-node sweep, so holding one to the other's band is
+/// meaningless. A record with `nodes == 0` predates the field and
+/// compares silently (it was necessarily a default-sized sweep).
+pub fn nodes_mismatch(base: &SweepRecord, current_nodes: usize) -> Option<String> {
+    if base.nodes == 0 || base.nodes == current_nodes {
+        return None;
+    }
+    Some(format!(
+        "record `{}` was measured on a {}-node machine; this gate run \
+         sweeps {current_nodes} nodes, so sweep throughput is not \
+         comparable (micro medians still are)",
+        base.label, base.nodes
+    ))
+}
+
 /// Compares fresh micro results against a baseline record's medians.
 /// `tolerance` is fractional (0.15 = ±15%).
 ///
@@ -145,6 +164,7 @@ mod tests {
             label: "base".into(),
             min_of: 1,
             shards: 1,
+            nodes: 64,
             host_cores: 8,
             host_threads: 1,
             wall_seconds: 1.0,
@@ -254,6 +274,20 @@ mod tests {
         base.host_cores = 0;
         let msg = host_mismatch(&base, 8).expect("unknown host must warn");
         assert!(msg.contains("predates host metadata"), "{msg}");
+    }
+
+    #[test]
+    fn node_count_mismatch_demotes_to_advisory() {
+        let base = base_record(&[("queue", 100)]);
+        assert_eq!(nodes_mismatch(&base, 64), None, "same size compares");
+        let msg = nodes_mismatch(&base, 1024).expect("64 vs 1024 must warn");
+        assert!(msg.contains("64-node"), "{msg}");
+        assert!(msg.contains("1024 nodes"), "{msg}");
+        // Pre-field records (nodes == 0) compare silently: they were
+        // all default-sized sweeps.
+        let mut old = base_record(&[("queue", 100)]);
+        old.nodes = 0;
+        assert_eq!(nodes_mismatch(&old, 64), None);
     }
 
     #[test]

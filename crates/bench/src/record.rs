@@ -22,6 +22,14 @@ pub struct CellRecord {
     pub cycles: u64,
     /// Simulation events processed.
     pub events: u64,
+    /// Software-extension traps taken (0 in full-map cells, and in
+    /// records written before the scaling ladder stamped trap data).
+    pub traps: u64,
+    /// Operations that required a protocol transaction; `traps /
+    /// misses` is the share of directory traffic that overflowed the
+    /// hardware pointer regime into software (0 = unknown in old
+    /// records).
+    pub misses: u64,
     /// Min-of-N host wall seconds for this cell.
     pub wall_seconds: f64,
 }
@@ -36,6 +44,11 @@ pub struct SweepRecord {
     /// Event-lane count the sweep ran with (1 = serial engine;
     /// records written before the sharded engine existed parse as 1).
     pub shards: usize,
+    /// Machine node count every cell ran at (0 = unknown: the record
+    /// predates the field). Scaling-rung records (256/512/1024-node
+    /// sweeps) are not throughput-comparable with default-sized ones,
+    /// so the size is stamped into the ledger.
+    pub nodes: usize,
     /// `available_parallelism` of the recording host (0 = unknown:
     /// the record predates host metadata). Sharded wall clock is only
     /// comparable between hosts with the same core budget.
@@ -69,6 +82,7 @@ impl SweepRecord {
             label: label.to_string(),
             min_of: r.min_of,
             shards: r.shards,
+            nodes: r.nodes,
             host_cores,
             host_threads: r.shards.max(1).min(host_cores),
             wall_seconds: r.total_wall_seconds(),
@@ -83,6 +97,8 @@ impl SweepRecord {
                     app: c.app.clone(),
                     cycles: c.report.cycles.as_u64(),
                     events: c.report.events,
+                    traps: c.report.stats.engine.traps,
+                    misses: c.report.stats.misses,
                     wall_seconds: c.report.wall_seconds,
                 })
                 .collect(),
@@ -100,6 +116,8 @@ impl SweepRecord {
                     ("app".into(), JsonValue::Str(c.app.clone())),
                     ("cycles".into(), JsonValue::from_u64(c.cycles)),
                     ("events".into(), JsonValue::from_u64(c.events)),
+                    ("traps".into(), JsonValue::from_u64(c.traps)),
+                    ("misses".into(), JsonValue::from_u64(c.misses)),
                     ("wall_seconds".into(), JsonValue::from_f64(c.wall_seconds)),
                 ])
             })
@@ -108,6 +126,7 @@ impl SweepRecord {
             ("label".into(), JsonValue::Str(self.label.clone())),
             ("min_of".into(), JsonValue::from_u64(u64::from(self.min_of))),
             ("shards".into(), JsonValue::from_u64(self.shards as u64)),
+            ("nodes".into(), JsonValue::from_u64(self.nodes as u64)),
             (
                 "host_cores".into(),
                 JsonValue::from_u64(self.host_cores as u64),
@@ -153,6 +172,17 @@ impl SweepRecord {
                     app: c.get("app")?.as_str()?.to_string(),
                     cycles: c.get("cycles")?.as_u64()?,
                     events: c.get("events")?.as_u64()?,
+                    // Absent in records that predate trap stamping.
+                    traps: c
+                        .get("traps")
+                        .ok()
+                        .and_then(|t| t.as_u64().ok())
+                        .unwrap_or(0),
+                    misses: c
+                        .get("misses")
+                        .ok()
+                        .and_then(|t| t.as_u64().ok())
+                        .unwrap_or(0),
                     wall_seconds: c.get("wall_seconds")?.as_f64()?,
                 })
             })
@@ -167,6 +197,13 @@ impl SweepRecord {
                 .ok()
                 .and_then(|s| s.as_u64().ok())
                 .map_or(1, |s| s as usize),
+            // Absent in records that predate the scaling ladder:
+            // unknown machine size.
+            nodes: v
+                .get("nodes")
+                .ok()
+                .and_then(|s| s.as_u64().ok())
+                .map_or(0, |s| s as usize),
             // Absent in records that predate host metadata: unknown.
             host_cores: v
                 .get("host_cores")
@@ -306,6 +343,7 @@ mod tests {
             label: label.to_string(),
             min_of: 5,
             shards: 1,
+            nodes: 64,
             host_cores: 8,
             host_threads: 1,
             wall_seconds: wall,
@@ -317,6 +355,8 @@ mod tests {
                 app: "ws=1".into(),
                 cycles: 2000,
                 events: 1000,
+                traps: 40,
+                misses: 200,
                 wall_seconds: wall,
             }],
             micro_median_ns: vec![("event_queue".into(), 1234)],
@@ -364,6 +404,29 @@ mod tests {
             "cells": []}]}"#;
         let ledger = BenchLedger::from_json(text).unwrap();
         assert_eq!(ledger.get("old").unwrap().shards, 1);
+    }
+
+    #[test]
+    fn records_without_nodes_parse_as_unknown_size() {
+        // Ledgers written before the scaling ladder carry no machine
+        // size; 0 marks them unknown so `perfgate` can warn instead of
+        // comparing a 1024-node rung against a 64-node baseline.
+        let text = r#"{"records": [{"label": "old", "min_of": 5,
+            "shards": 1, "wall_seconds": 0.2, "events": 1000,
+            "events_per_sec": 5000.0, "sim_cycles_per_sec": 10000.0,
+            "cells": [{"protocol": "full-map", "app": "ws=1",
+                       "cycles": 2000, "events": 1000,
+                       "wall_seconds": 0.2}]}]}"#;
+        let ledger = BenchLedger::from_json(text).unwrap();
+        let old = ledger.get("old").unwrap();
+        assert_eq!(old.nodes, 0);
+        // Pre-ladder cells carry no trap data either.
+        assert_eq!((old.cells[0].traps, old.cells[0].misses), (0, 0));
+        // And a fresh record round-trips the real size.
+        let mut out = BenchLedger::default();
+        out.upsert(rec("new", 0.1));
+        let back = BenchLedger::from_json(&out.to_json()).unwrap();
+        assert_eq!(back.get("new").unwrap().nodes, 64);
     }
 
     #[test]

@@ -266,6 +266,11 @@ pub struct ExperimentResult {
     pub points: Vec<String>,
     /// Completed cells, slot-indexed: `cells[p * points.len() + a]`.
     pub cells: Vec<CellResult>,
+    /// Machine node count every cell ran at (copied from the spec).
+    /// Scaling-rung results (256/512/1024 nodes) must never be
+    /// compared against default-sized sweeps, so the size travels
+    /// with the result.
+    pub nodes: usize,
     /// How many full runs each cell's `wall_seconds` is the minimum
     /// of (1 for a plain [`Runner::run`]).
     pub min_of: u32,
@@ -339,6 +344,7 @@ impl ExperimentResult {
             e.push_series(&row[0].protocol, values);
         }
         e.push_meta("cells", self.cells.len() as f64);
+        e.push_meta("nodes", self.nodes as f64);
         e.push_meta("min_of", f64::from(self.min_of));
         e.push_meta("shards", self.shards as f64);
         e.push_meta("total_events", self.total_events() as f64);
@@ -427,6 +433,7 @@ impl Runner {
             id: spec.id.clone(),
             points: spec.apps.iter().map(|(l, _)| l.clone()).collect(),
             cells,
+            nodes: spec.nodes,
             min_of: 1,
             shards: spec.shards,
         })
@@ -590,6 +597,8 @@ mod tests {
         let meta: Vec<&str> = e.meta.iter().map(|(k, _)| k.as_str()).collect();
         assert!(meta.contains(&"events_per_sec"));
         assert!(meta.contains(&"sim_cycles_per_sec"));
+        assert!(meta.contains(&"nodes"));
+        assert_eq!(result.nodes, 16, "node count copied from the spec");
         let events_per_sec = e
             .meta
             .iter()

@@ -142,6 +142,7 @@ fn reject_line(job_id: Option<&str>, reason: &str) -> String {
 /// stdout, or a unix-socket connection.
 pub fn serve<W: Write + Send>(cfg: &ServeConfig, input: impl BufRead, output: W) -> ServeSummary {
     let started = Instant::now();
+    let host_cores = std::thread::available_parallelism().map_or(1, |n| n.get());
     let queue: BoundedQueue<CellJob> = BoundedQueue::new(cfg.queue_capacity);
     let out = Mutex::new(output);
     let counters = Counters::default();
@@ -175,6 +176,17 @@ pub fn serve<W: Write + Send>(cfg: &ServeConfig, input: impl BufRead, output: W)
                     continue;
                 }
             };
+            // Oversubscribed jobs still complete bit-identically, but
+            // their wall clock measures scheduler contention: say so
+            // once per job (stderr, so the NDJSON stream stays clean).
+            if grid.shards > host_cores {
+                eprintln!(
+                    "serve: job {} asks for {} lanes on a {host_cores}-core \
+                     host; results are bit-identical but wall clock is not \
+                     a speedup measurement",
+                    spec.id, grid.shards
+                );
+            }
             let job = Arc::new(JobState::new(grid));
             let batch: Vec<CellJob> = (0..job.spec.cells())
                 .map(|index| CellJob {

@@ -166,19 +166,31 @@ impl<'a> HandlerCtx<'a> {
     ///
     /// On <= 64-node machines both sides store presence bitmasks, so
     /// the whole transfer is one word moved ([`HwEntryMut::take_ptr_mask`]
-    /// into [`SwDirectory::record_reader_mask`]); otherwise the
-    /// pointers stream straight from the hardware slots into the
-    /// software record — either way no intermediate buffer and no
-    /// allocation.
+    /// into [`SwDirectory::record_reader_mask`]). On larger machines
+    /// whose hardware table runs the word-parallel slab regime the
+    /// transfer moves 64 presence bits per step ([`HwEntryMut::ptr_words`]
+    /// ORed in place into [`SwDirectory::record_reader_words`]). Only
+    /// the Fixed8 regime (> 64 nodes, <= 8 pointers) streams pointers
+    /// one at a time — and it has at most 8 to move. No path allocates
+    /// or copies through an intermediate buffer.
     pub fn drain_hw_to_sw(&mut self) -> usize {
         let HandlerCtx { hw, sw, id, .. } = self;
         let n = match hw.take_ptr_mask() {
             Some(mask) => sw.record_reader_mask(*id, mask),
-            None => {
-                let n = hw.ptr_iter().filter(|&p| sw.record_reader(*id, p)).count();
-                hw.clear_ptrs();
-                n
-            }
+            None => match hw
+                .ptr_words()
+                .map(|words| sw.record_reader_words(*id, words))
+            {
+                Some(n) => {
+                    hw.clear_ptrs();
+                    n
+                }
+                None => {
+                    let n = hw.ptr_iter().filter(|&p| sw.record_reader(*id, p)).count();
+                    hw.clear_ptrs();
+                    n
+                }
+            },
         };
         self.ptrs_stored += n;
         n

@@ -23,19 +23,29 @@
 //!   compiler vectorizes) paired with a 64-bit *alias filter* mask
 //!   over `node mod 64`: a clear filter bit proves absence without
 //!   touching the slots.
-//! * **Slab** (`nodes > 64`, `capacity > 8`) — the flat
-//!   stride-`capacity` slab with a live-length column, for full-map
-//!   directories on machines too large for the mask.
+//! * **Slab** (`nodes > 64`, `capacity > 8`) — a *word-parallel*
+//!   presence-bit slab: each row owns `ceil(nodes / 64)` contiguous
+//!   `u64` words (the mask regime widened to arbitrary node counts),
+//!   plus the live-length column so the pointer count never needs a
+//!   multi-word popcount. Membership, insert and remove are one bit
+//!   operation after a word index; draining and invalidation fan-out
+//!   walk 64 presence bits per step instead of scanning a
+//!   stride-`capacity` `NodeId` array. This is what keeps full-map
+//!   directories affordable at 1024 nodes: a row is 16 words
+//!   (128 bytes) instead of 1024 two-byte slots, and the u64 chunks
+//!   are the portable form of the SIMD membership scan (wide enough
+//!   that `core::simd` gating buys nothing on current targets).
 //!
 //! [`HwEntryMut`] and [`HwEntryRef`] are row views exposing the same
 //! method set in every regime, so the protocol engine and the
 //! [`ExtensionHandler`](../../limitless_core) ecosystem are oblivious
 //! to the layout; `hw.rs` is kept as the reference model the table is
 //! differentially tested against. The one observable difference is
-//! pointer *iteration order* (ascending node id in the mask regime,
-//! insertion order otherwise) — the engine only consumes pointer sets
-//! through sorted/deduplicated sharer lists, membership tests and
-//! counts, so the order never reaches a simulation output.
+//! pointer *iteration order* (ascending node id under the mask and
+//! slab regimes, insertion order under Fixed8) — the engine only
+//! consumes pointer sets through sorted/deduplicated sharer lists,
+//! membership tests and counts, so the order never reaches a
+//! simulation output.
 
 use limitless_sim::NodeId;
 
@@ -61,7 +71,8 @@ enum Regime {
     Mask,
     /// 8-slot inline array + alias-filter mask (> 64 nodes, <= 8 ptrs).
     Fixed8,
-    /// Stride-`capacity` slab (> 64 nodes, > 8 ptrs: big full-map).
+    /// Word-parallel presence-bit slab (> 64 nodes, > 8 ptrs: big
+    /// full-map) — `ceil(nodes / 64)` `u64` words per row.
     Slab,
 }
 
@@ -89,8 +100,10 @@ pub struct HwDirTable {
     /// Uniform pointer capacity per entry.
     capacity: usize,
     regime: Regime,
-    /// Slab stride: 0 (Mask), 8 (Fixed8) or `capacity` (Slab).
+    /// `NodeId` slab stride: 8 (Fixed8); 0 otherwise.
     stride: usize,
+    /// Presence words per row: `ceil(nodes / 64)` (Slab); 0 otherwise.
+    words: usize,
     state: Vec<HwState>,
     flags: Vec<u8>,
     acks: Vec<u32>,
@@ -104,8 +117,11 @@ pub struct HwDirTable {
     /// under Slab.
     mask: Vec<u64>,
     /// Flat pointer slab; entry `i` owns `slab[i*stride..][..stride]`.
-    /// Empty under Mask.
+    /// Empty under Mask and Slab.
     slab: Vec<NodeId>,
+    /// Flat presence-word slab; entry `i` owns
+    /// `bits[i*words..][..words]`. Empty outside the Slab regime.
+    bits: Vec<u64>,
 }
 
 impl Default for HwDirTable {
@@ -143,14 +159,18 @@ impl HwDirTable {
             Regime::Slab
         };
         let stride = match regime {
-            Regime::Mask => 0,
             Regime::Fixed8 => FIXED8,
-            Regime::Slab => capacity,
+            Regime::Mask | Regime::Slab => 0,
+        };
+        let words = match regime {
+            Regime::Slab => nodes.div_ceil(64),
+            Regime::Mask | Regime::Fixed8 => 0,
         };
         HwDirTable {
             capacity,
             regime,
             stride,
+            words,
             state: Vec::new(),
             flags: Vec::new(),
             acks: Vec::new(),
@@ -159,6 +179,7 @@ impl HwDirTable {
             len: Vec::new(),
             mask: Vec::new(),
             slab: Vec::new(),
+            bits: Vec::new(),
         }
     }
 
@@ -191,6 +212,7 @@ impl HwDirTable {
         self.len.clear();
         self.mask.clear();
         self.slab.clear();
+        self.bits.clear();
     }
 
     /// Appends a fresh `Uncached` entry, returning its row index.
@@ -205,6 +227,7 @@ impl HwDirTable {
         self.mask.push(0);
         self.slab
             .resize(self.slab.len() + self.stride, NodeId::NONE);
+        self.bits.resize(self.bits.len() + self.words, 0);
         row
     }
 
@@ -226,23 +249,59 @@ impl HwDirTable {
         }
     }
 
-    /// Live pointer prefix of a Fixed8/Slab row (empty under Mask,
-    /// whose `len` column stays 0 and `stride` is 0).
+    /// Live pointer prefix of a Fixed8 row (empty under Mask and Slab,
+    /// whose `stride` is 0).
     #[inline]
     fn ptr_slice(&self, i: usize) -> &[NodeId] {
         &self.slab[i * self.stride..][..usize::from(self.len[i])]
     }
+
+    /// Presence words of a Slab row (empty outside the Slab regime,
+    /// whose `words` is 0).
+    #[inline]
+    fn word_slice(&self, i: usize) -> &[u64] {
+        &self.bits[i * self.words..][..self.words]
+    }
 }
 
 /// Iterator over one entry's hardware pointers: walks set bits in
-/// ascending node-id order under the mask regime, the live slab prefix
-/// in insertion order otherwise.
+/// ascending node-id order under the mask and slab regimes, the live
+/// slab prefix in insertion order under Fixed8.
 #[derive(Clone, Debug)]
 pub enum PtrIter<'a> {
     /// Remaining presence bits (mask regime).
     Mask(u64),
-    /// Live slab prefix (Fixed8/Slab regimes).
+    /// Live slab prefix (Fixed8 regime).
     Slice(std::slice::Iter<'a, NodeId>),
+    /// Word-parallel presence bits (Slab regime): the current word's
+    /// remaining bits plus the words not yet reached.
+    Words {
+        /// Presence words after the current one.
+        rest: std::slice::Iter<'a, u64>,
+        /// Bits remaining in the current word.
+        cur: u64,
+        /// Node id of the current word's bit 0.
+        base: u32,
+    },
+}
+
+impl<'a> PtrIter<'a> {
+    /// Word-parallel iterator over a presence-word slice (bit `b` of
+    /// word `w` is node `w * 64 + b`).
+    fn over_words(words: &'a [u64]) -> Self {
+        match words.split_first() {
+            Some((&first, rest)) => PtrIter::Words {
+                rest: rest.iter(),
+                cur: first,
+                base: 0,
+            },
+            None => PtrIter::Words {
+                rest: [].iter(),
+                cur: 0,
+                base: 0,
+            },
+        }
+    }
 }
 
 impl Iterator for PtrIter<'_> {
@@ -260,6 +319,15 @@ impl Iterator for PtrIter<'_> {
                 Some(NodeId(bit as u16))
             }
             PtrIter::Slice(it) => it.next().copied(),
+            PtrIter::Words { rest, cur, base } => loop {
+                if *cur != 0 {
+                    let bit = cur.trailing_zeros();
+                    *cur &= *cur - 1;
+                    return Some(NodeId((*base + bit) as u16));
+                }
+                *cur = *rest.next()?;
+                *base += 64;
+            },
         }
     }
 
@@ -267,6 +335,10 @@ impl Iterator for PtrIter<'_> {
         let n = match self {
             PtrIter::Mask(m) => m.count_ones() as usize,
             PtrIter::Slice(it) => it.len(),
+            PtrIter::Words { rest, cur, .. } => {
+                (cur.count_ones() + rest.as_slice().iter().map(|w| w.count_ones()).sum::<u32>())
+                    as usize
+            }
         };
         (n, Some(n))
     }
@@ -289,13 +361,14 @@ macro_rules! shared_row_accessors {
         }
 
         /// Iterates the pointers currently stored in hardware
-        /// (ascending node order under the mask regime, insertion
-        /// order otherwise).
+        /// (ascending node order under the mask and slab regimes,
+        /// insertion order under Fixed8).
         #[inline]
         pub fn ptr_iter(&self) -> PtrIter<'_> {
             match self.t.regime {
                 Regime::Mask => PtrIter::Mask(self.t.mask[self.i]),
-                _ => PtrIter::Slice(self.t.ptr_slice(self.i).iter()),
+                Regime::Fixed8 => PtrIter::Slice(self.t.ptr_slice(self.i).iter()),
+                Regime::Slab => PtrIter::over_words(self.t.word_slice(self.i)),
             }
         }
 
@@ -320,7 +393,11 @@ macro_rules! shared_row_accessors {
                     let base = self.i * FIXED8;
                     self.t.slab[base..base + FIXED8].iter().any(|&q| q == node)
                 }
-                Regime::Slab => self.t.ptr_slice(self.i).contains(&node),
+                Regime::Slab => {
+                    let w = usize::from(node.0 >> 6);
+                    w < self.t.words
+                        && self.t.bits[self.i * self.t.words + w] & (1u64 << (node.0 & 63)) != 0
+                }
             }
         }
 
@@ -331,6 +408,19 @@ macro_rules! shared_row_accessors {
         pub fn ptr_mask(&self) -> Option<u64> {
             match self.t.regime {
                 Regime::Mask => Some(self.t.mask[self.i]),
+                _ => None,
+            }
+        }
+
+        /// The presence words over node ids (bit `b` of word `w` is
+        /// node `w * 64 + b`), when this table runs the word-parallel
+        /// slab regime (`None` otherwise — the Fixed8 filter mask is
+        /// not a presence mask, and the mask regime's single word is
+        /// exposed by [`Self::ptr_mask`]).
+        #[inline]
+        pub fn ptr_words(&self) -> Option<&[u64]> {
+            match self.t.regime {
+                Regime::Slab => Some(self.t.word_slice(self.i)),
                 _ => None,
             }
         }
@@ -386,7 +476,8 @@ macro_rules! shared_row_accessors {
 
         /// Entry-local structural invariants (same checks and messages
         /// as [`HwDirEntry::structural_invariants`]; duplicate
-        /// pointers are unrepresentable under the mask regime).
+        /// pointers are unrepresentable under the mask and slab
+        /// regimes).
         pub fn structural_invariants(&self) -> Result<(), String> {
             let n = self.ptr_count();
             if n > self.capacity() {
@@ -396,7 +487,7 @@ macro_rules! shared_row_accessors {
                     self.capacity()
                 ));
             }
-            if self.t.regime != Regime::Mask {
+            if self.t.regime == Regime::Fixed8 {
                 let ptrs = self.t.ptr_slice(self.i);
                 for (i, &p) in ptrs.iter().enumerate() {
                     if ptrs[..i].contains(&p) {
@@ -564,12 +655,17 @@ impl<'a> HwEntryMut<'a> {
                 }
             }
             Regime::Slab => {
-                if self.contains_ptr(node) {
+                debug_assert!(
+                    usize::from(node.0 >> 6) < self.t.words,
+                    "node {node} outside the slab regime's presence words"
+                );
+                let w = self.i * self.t.words + usize::from(node.0 >> 6);
+                let bit = 1u64 << (node.0 & 63);
+                if self.t.bits[w] & bit != 0 {
                     return PtrStoreOutcome::Stored;
                 }
-                let n = usize::from(self.t.len[self.i]);
-                if n < self.t.capacity {
-                    self.t.slab[self.i * self.t.stride + n] = node;
+                if usize::from(self.t.len[self.i]) < self.t.capacity {
+                    self.t.bits[w] |= bit;
                     self.t.len[self.i] += 1;
                     PtrStoreOutcome::Stored
                 } else {
@@ -592,7 +688,7 @@ impl<'a> HwEntryMut<'a> {
                 self.t.mask[self.i] &= !bit;
                 present
             }
-            Regime::Fixed8 | Regime::Slab => {
+            Regime::Fixed8 => {
                 let base = self.i * self.t.stride;
                 let n = usize::from(self.t.len[self.i]);
                 let ptrs = &mut self.t.slab[base..base + n];
@@ -601,25 +697,38 @@ impl<'a> HwEntryMut<'a> {
                 };
                 ptrs[p] = ptrs[n - 1];
                 self.t.len[self.i] -= 1;
-                if self.t.regime == Regime::Fixed8 {
-                    // Keep the dead suffix NONE for the 8-wide compare
-                    // and rebuild the alias filter (another pointer may
-                    // share the removed one's filter bit).
-                    self.t.slab[base + n - 1] = NodeId::NONE;
-                    let mut filter = 0u64;
-                    for &q in &self.t.slab[base..base + n - 1] {
-                        filter |= 1u64 << (q.0 & 63);
-                    }
-                    self.t.mask[self.i] = filter;
+                // Keep the dead suffix NONE for the 8-wide compare
+                // and rebuild the alias filter (another pointer may
+                // share the removed one's filter bit).
+                self.t.slab[base + n - 1] = NodeId::NONE;
+                let mut filter = 0u64;
+                for &q in &self.t.slab[base..base + n - 1] {
+                    filter |= 1u64 << (q.0 & 63);
                 }
+                self.t.mask[self.i] = filter;
                 true
+            }
+            Regime::Slab => {
+                let w = usize::from(node.0 >> 6);
+                if w >= self.t.words {
+                    return false;
+                }
+                let slot = self.i * self.t.words + w;
+                let bit = 1u64 << (node.0 & 63);
+                let present = self.t.bits[slot] & bit != 0;
+                if present {
+                    self.t.bits[slot] &= !bit;
+                    self.t.len[self.i] -= 1;
+                }
+                present
             }
         }
     }
 
     /// Empties all hardware pointers into `out` (appending; ascending
-    /// node order under the mask regime, insertion order otherwise)
-    /// without touching the heap beyond `out` itself.
+    /// node order under the mask and slab regimes, insertion order
+    /// under Fixed8) without touching the heap beyond `out` itself.
+    /// The slab regime drains 64 presence bits per step.
     pub fn take_ptrs_into(&mut self, out: &mut Vec<NodeId>) {
         match self.t.regime {
             Regime::Mask => {
@@ -630,9 +739,23 @@ impl<'a> HwEntryMut<'a> {
                     m &= m - 1;
                 }
             }
-            Regime::Fixed8 | Regime::Slab => {
+            Regime::Fixed8 => {
                 out.extend_from_slice(self.t.ptr_slice(self.i));
                 self.clear_ptrs();
+            }
+            Regime::Slab => {
+                let base = self.i * self.t.words;
+                for (wi, w) in self.t.bits[base..base + self.t.words]
+                    .iter_mut()
+                    .enumerate()
+                {
+                    let mut m = std::mem::take(w);
+                    while m != 0 {
+                        out.push(NodeId(((wi as u32) * 64 + m.trailing_zeros()) as u16));
+                        m &= m - 1;
+                    }
+                }
+                self.t.len[self.i] = 0;
             }
         }
     }
@@ -649,6 +772,26 @@ impl<'a> HwEntryMut<'a> {
         }
     }
 
+    /// Empties all hardware pointers into `out` as presence words (bit
+    /// `b` of appended word `w` is node `w * 64 + b`), when this table
+    /// runs the word-parallel slab regime (`None` leaves the entry
+    /// untouched and appends nothing). Returns the drained pointer
+    /// count: the >64-node bulk path for the overflow trap handler,
+    /// moving 64 pointers per word instead of one per slot.
+    pub fn take_ptr_words_into(&mut self, out: &mut Vec<u64>) -> Option<usize> {
+        match self.t.regime {
+            Regime::Slab => {
+                let base = self.i * self.t.words;
+                out.extend_from_slice(&self.t.bits[base..base + self.t.words]);
+                self.t.bits[base..base + self.t.words].fill(0);
+                let n = usize::from(self.t.len[self.i]);
+                self.t.len[self.i] = 0;
+                Some(n)
+            }
+            _ => None,
+        }
+    }
+
     /// Empties all hardware pointers without reading them.
     pub fn clear_ptrs(&mut self) {
         match self.t.regime {
@@ -659,7 +802,11 @@ impl<'a> HwEntryMut<'a> {
                 self.t.len[self.i] = 0;
                 self.t.mask[self.i] = 0;
             }
-            Regime::Slab => self.t.len[self.i] = 0,
+            Regime::Slab => {
+                let base = self.i * self.t.words;
+                self.t.bits[base..base + self.t.words].fill(0);
+                self.t.len[self.i] = 0;
+            }
         }
     }
 
@@ -767,6 +914,51 @@ mod tests {
     }
 
     #[test]
+    fn regime_selection_holds_at_the_scale_boundaries() {
+        // nodes <= 64 is the mask regime regardless of capacity.
+        for cap in [2usize, 8, 64] {
+            assert_eq!(HwDirTable::with_nodes(cap, 64).regime, Regime::Mask);
+        }
+        // Past the mask regime the capacity picks the storage shape,
+        // and it must not flip anywhere along the 255..=1024 ladder.
+        for nodes in [65usize, 255, 256, 257, 1023, 1024] {
+            let fixed = HwDirTable::with_nodes(8, nodes);
+            assert_eq!(fixed.regime, Regime::Fixed8, "{nodes}");
+            assert_eq!((fixed.stride, fixed.words), (FIXED8, 0), "{nodes}");
+            let slab = HwDirTable::with_nodes(9, nodes);
+            assert_eq!(slab.regime, Regime::Slab, "{nodes}");
+            assert_eq!(slab.stride, 0, "{nodes}");
+            assert_eq!(slab.words, nodes.div_ceil(64), "{nodes}");
+        }
+        // Word geometry at the 64-bit seams: 255 and 256 both fit four
+        // words, 257 spills into a fifth; 1023 and 1024 share sixteen.
+        for (nodes, want) in [(255, 4), (256, 4), (257, 5), (1023, 16), (1024, 16)] {
+            assert_eq!(HwDirTable::with_nodes(nodes, nodes).words, want, "{nodes}");
+        }
+    }
+
+    #[test]
+    fn slab_handles_last_node_and_sentinel_at_odd_machine_sizes() {
+        // Machines whose node count is not a multiple of 64 leave the
+        // top word partially used; the last addressable node must
+        // round-trip, and the NodeId::NONE sentinel (u16::MAX) must
+        // never read as present or corrupt a word out of bounds.
+        for nodes in [255usize, 257, 1023] {
+            let mut t = one_row(nodes, nodes);
+            let mut e = t.row_mut(0);
+            let last = NodeId((nodes - 1) as u16);
+            assert_eq!(e.record_reader(last), PtrStoreOutcome::Stored, "{nodes}");
+            assert!(e.contains_ptr(last), "{nodes}");
+            assert!(!e.contains_ptr(NodeId::NONE), "{nodes}");
+            assert!(!e.remove_ptr(NodeId::NONE), "{nodes}");
+            assert_eq!(e.ptr_iter().collect::<Vec<_>>(), vec![last], "{nodes}");
+            assert!(e.remove_ptr(last), "{nodes}");
+            assert_eq!(e.ptr_count(), 0, "{nodes}");
+            t.row(0).structural_invariants().unwrap();
+        }
+    }
+
+    #[test]
     fn slab_regime_handles_wide_full_map() {
         // 256-node full map: capacity 256 > 8 forces the slab regime.
         let mut t = one_row(256, 256);
@@ -779,6 +971,65 @@ mod tests {
         assert!(e.remove_ptr(NodeId(100)));
         assert_eq!(e.ptr_count(), 199);
         assert!(!e.contains_ptr(NodeId(100)));
+    }
+
+    #[test]
+    fn slab_regime_crosses_word_boundaries() {
+        // 1024-node full map: 16 presence words per row. Exercise ids
+        // on both sides of every word seam the test ids touch.
+        let mut t = one_row(1024, 1024);
+        let mut e = t.row_mut(0);
+        let ids = [0u16, 63, 64, 65, 127, 128, 511, 512, 767, 1023];
+        for &n in &ids {
+            assert_eq!(e.record_reader(NodeId(n)), PtrStoreOutcome::Stored);
+        }
+        assert_eq!(e.ptr_count(), ids.len());
+        for &n in &ids {
+            assert!(e.contains_ptr(NodeId(n)), "missing {n}");
+        }
+        assert!(!e.contains_ptr(NodeId(62)) && !e.contains_ptr(NodeId(66)));
+        // Iteration is ascending node order, one word at a time.
+        let got: Vec<u16> = e.ptr_iter().map(|p| p.0).collect();
+        assert_eq!(got, ids);
+        assert!(e.remove_ptr(NodeId(64)));
+        assert!(!e.contains_ptr(NodeId(64)));
+        assert!(e.contains_ptr(NodeId(63)) && e.contains_ptr(NodeId(65)));
+        assert_eq!(e.ptr_count(), ids.len() - 1);
+    }
+
+    #[test]
+    fn slab_regime_drains_as_presence_words() {
+        let mut t = one_row(256, 256);
+        let mut e = t.row_mut(0);
+        for n in [3u16, 64, 130, 255] {
+            e.record_reader(NodeId(n));
+        }
+        let mut words = Vec::new();
+        assert_eq!(e.take_ptr_words_into(&mut words), Some(4));
+        assert_eq!(words.len(), 4);
+        assert_eq!(words[0], 1 << 3);
+        assert_eq!(words[1], 1 << 0);
+        assert_eq!(words[2], 1 << 2);
+        assert_eq!(words[3], 1 << 63);
+        assert_eq!(e.ptr_count(), 0);
+        assert_eq!(e.ptrs_vec(), Vec::new());
+        // Refusal outside the slab regime leaves the entry intact.
+        for nodes in [64usize, 256] {
+            let mut t = one_row(3, nodes);
+            let mut e = t.row_mut(0);
+            e.record_reader(NodeId(5));
+            if nodes == 64 {
+                let mut w = Vec::new();
+                assert_eq!(e.take_ptr_words_into(&mut w), None);
+                assert!(w.is_empty());
+                assert_eq!(e.ptr_count(), 1);
+            } else {
+                // Fixed8 (capacity 3 <= 8) refuses too.
+                let mut w = Vec::new();
+                assert_eq!(e.take_ptr_words_into(&mut w), None);
+                assert_eq!(e.ptr_count(), 1);
+            }
+        }
     }
 
     #[test]

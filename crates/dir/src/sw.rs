@@ -18,8 +18,10 @@
 //!   never moves — the degenerate limit of the growable node-cache
 //!   scheme in SNIPPETS.md snippet 2). On machines of <= 64 nodes a
 //!   record is a single `u64` reader bitmask (the mask regime); on
-//!   larger machines records are recycled pointer vectors off a free
-//!   list (the record regime).
+//!   larger machines records are recycled `ceil(nodes / 64)`-word
+//!   presence bitmasks off a free list (the record regime — the mask
+//!   regime widened to arbitrary node counts, so membership is one
+//!   bit test and draining walks 64 presence bits per step).
 //! * [`SwDirModel`] — the original `FxHashMap<BlockAddr, SwDirEntry>`
 //!   implementation, kept as the reference model the production table
 //!   is differentially tested against (`tests/prop_dirhot.rs`).
@@ -124,12 +126,18 @@ pub struct SwDirectory {
     mask_regime: bool,
     /// Mask regime storage; `masks[id] == 0` means no record.
     masks: Vec<u64>,
+    /// Record regime: presence words per record (`ceil(nodes / 64)`).
+    words: usize,
     /// Record regime: per-id index into `records`, [`NO_RECORD`] when
     /// absent.
     heads: Vec<u32>,
-    /// Record regime storage (readers keep insertion order).
-    records: Vec<Vec<NodeId>>,
-    /// Recycled `records` slots (capacity retained).
+    /// Record regime storage: `words` presence-bit `u64`s per record
+    /// (readers iterate in ascending node order).
+    records: Vec<Vec<u64>>,
+    /// Record regime: live reader count per record (spares multi-word
+    /// popcounts on the hot paths).
+    counts: Vec<u32>,
+    /// Recycled `records` slots (word storage retained, zeroed).
     free: Vec<u32>,
     /// Live (non-empty) record count.
     live: usize,
@@ -152,11 +160,14 @@ impl SwDirectory {
     /// Creates an empty software directory for a `nodes`-node machine;
     /// the node count picks the record regime (see the module docs).
     pub fn for_nodes(nodes: usize) -> Self {
+        let mask_regime = nodes <= 64;
         SwDirectory {
-            mask_regime: nodes <= 64,
+            mask_regime,
             masks: Vec::new(),
+            words: if mask_regime { 0 } else { nodes.div_ceil(64) },
             heads: Vec::new(),
             records: Vec::new(),
+            counts: Vec::new(),
             free: Vec::new(),
             live: 0,
             stats: SwDirStats::default(),
@@ -216,12 +227,18 @@ impl SwDirectory {
             self.stats.ptrs_stored += u64::from(new);
             new
         } else {
+            debug_assert!(
+                usize::from(node.0 >> 6) < self.words,
+                "node {node} outside the record regime's presence words"
+            );
             let slot = self.record_slot(id);
-            let rec = &mut self.records[slot];
-            if rec.contains(&node) {
+            let w = &mut self.records[slot][usize::from(node.0 >> 6)];
+            let bit = 1u64 << (node.0 & 63);
+            if *w & bit != 0 {
                 false
             } else {
-                rec.push(node);
+                *w |= bit;
+                self.counts[slot] += 1;
                 self.stats.ptrs_stored += 1;
                 true
             }
@@ -229,7 +246,8 @@ impl SwDirectory {
     }
 
     /// Record-regime helper: the `records` index for `id`, allocating
-    /// (recycled first) when absent.
+    /// (recycled first) when absent. Recycled word storage arrives
+    /// zeroed; fresh records are zero-filled to `words`.
     fn record_slot(&mut self, id: u32) -> usize {
         let h = self.heads[id as usize];
         if h != NO_RECORD {
@@ -239,7 +257,8 @@ impl SwDirectory {
             Some(s) => s,
             None => {
                 let s = u32::try_from(self.records.len()).expect("2^32 extension records");
-                self.records.push(Vec::new());
+                self.records.push(vec![0; self.words]);
+                self.counts.push(0);
                 s
             }
         };
@@ -284,9 +303,49 @@ impl SwDirectory {
         new.count_ones() as usize
     }
 
-    /// Removes all readers for `id`, appending them to `out` (mask
-    /// regime: ascending node order) and freeing the record. Returns
-    /// how many readers were removed.
+    /// Record-regime fast path for the overflow handler: ORs a slice
+    /// of presence words (from [`HwEntryMut::take_ptr_words_into`];
+    /// bit `b` of word `w` is node `w * 64 + b`) into the record 64
+    /// readers per step, billing exactly like the equivalent per-node
+    /// [`SwDirectory::record_readers`] loop. Returns how many readers
+    /// were new.
+    ///
+    /// [`HwEntryMut::take_ptr_words_into`]: crate::HwEntryMut::take_ptr_words_into
+    ///
+    /// # Panics
+    ///
+    /// Debug-panics when called in the mask regime (<= 64 nodes; use
+    /// [`SwDirectory::record_reader_mask`] there) or when `words`
+    /// exceeds the record width.
+    pub fn record_reader_words(&mut self, id: u32, words: &[u64]) -> usize {
+        debug_assert!(!self.mask_regime, "presence words need the record regime");
+        debug_assert!(
+            words.len() <= self.words,
+            "presence words wider than the machine"
+        );
+        let total: u64 = words.iter().map(|w| u64::from(w.count_ones())).sum();
+        self.stats.lookups += total;
+        if total == 0 {
+            return 0;
+        }
+        self.ensure(id);
+        let slot = self.record_slot(id);
+        let rec = &mut self.records[slot];
+        let mut new = 0u32;
+        for (dst, &src) in rec.iter_mut().zip(words) {
+            let add = src & !*dst;
+            *dst |= add;
+            new += add.count_ones();
+        }
+        self.counts[slot] += new;
+        self.stats.ptrs_stored += u64::from(new);
+        new as usize
+    }
+
+    /// Removes all readers for `id`, appending them to `out` in
+    /// ascending node order (both regimes walk presence bits, the
+    /// record regime 64 per step) and freeing the record. Returns how
+    /// many readers were removed.
     pub fn drain_readers_into(&mut self, id: u32, out: &mut Vec<NodeId>) -> usize {
         self.stats.lookups += 1;
         if self.mask_regime {
@@ -314,9 +373,15 @@ impl SwDirectory {
             }
             self.heads[id as usize] = NO_RECORD;
             let rec = &mut self.records[h as usize];
-            let n = rec.len();
-            out.extend_from_slice(rec);
-            rec.clear();
+            for (wi, w) in rec.iter_mut().enumerate() {
+                let mut m = std::mem::take(w);
+                while m != 0 {
+                    out.push(NodeId(((wi as u32) * 64 + m.trailing_zeros()) as u16));
+                    m &= m - 1;
+                }
+            }
+            let n = self.counts[h as usize] as usize;
+            self.counts[h as usize] = 0;
             self.free.push(h);
             self.stats.frees += 1;
             self.live -= 1;
@@ -325,10 +390,10 @@ impl SwDirectory {
     }
 
     /// Removes all readers for `id` without returning them, freeing
-    /// the record (record regime: with its reader-array capacity
-    /// intact). This is the zero-allocation path for handlers that
-    /// invalidate from a separately computed sharer list. Returns how
-    /// many readers were dropped.
+    /// the record (record regime: its zeroed word storage goes back to
+    /// the free list). This is the zero-allocation path for handlers
+    /// that invalidate from a separately computed sharer list. Returns
+    /// how many readers were dropped.
     pub fn clear_readers(&mut self, id: u32) -> usize {
         self.stats.lookups += 1;
         if self.mask_regime {
@@ -350,9 +415,9 @@ impl SwDirectory {
                 return 0;
             }
             self.heads[id as usize] = NO_RECORD;
-            let rec = &mut self.records[h as usize];
-            let n = rec.len();
-            rec.clear();
+            self.records[h as usize].fill(0);
+            let n = self.counts[h as usize] as usize;
+            self.counts[h as usize] = 0;
             self.free.push(h);
             self.stats.frees += 1;
             self.live -= 1;
@@ -369,7 +434,7 @@ impl SwDirectory {
                 .map_or(0, |m| m.count_ones() as usize)
         } else {
             match self.heads.get(id as usize) {
-                Some(&h) if h != NO_RECORD => self.records[h as usize].len(),
+                Some(&h) if h != NO_RECORD => self.counts[h as usize] as usize,
                 _ => 0,
             }
         }
@@ -386,14 +451,17 @@ impl SwDirectory {
                     .is_some_and(|&m| m & (1u64 << (node.0 & 63)) != 0)
         } else {
             match self.heads.get(id as usize) {
-                Some(&h) if h != NO_RECORD => self.records[h as usize].contains(&node),
+                Some(&h) if h != NO_RECORD => {
+                    let w = usize::from(node.0 >> 6);
+                    w < self.words && self.records[h as usize][w] & (1u64 << (node.0 & 63)) != 0
+                }
                 _ => false,
             }
         }
     }
 
     /// Appends the readers of `id` to `out` without removing them
-    /// (mask regime: ascending node order; uncounted).
+    /// (ascending node order in both regimes; uncounted).
     #[inline]
     pub fn extend_readers(&self, id: u32, out: &mut Vec<NodeId>) {
         if self.mask_regime {
@@ -407,7 +475,13 @@ impl SwDirectory {
             }
         } else if let Some(&h) = self.heads.get(id as usize) {
             if h != NO_RECORD {
-                out.extend_from_slice(&self.records[h as usize]);
+                for (wi, &w) in self.records[h as usize].iter().enumerate() {
+                    let mut m = w;
+                    while m != 0 {
+                        out.push(NodeId(((wi as u32) * 64 + m.trailing_zeros()) as u16));
+                        m &= m - 1;
+                    }
+                }
             }
         }
     }
@@ -460,12 +534,18 @@ impl SwDirectory {
             if h == NO_RECORD {
                 return false;
             }
-            let rec = &mut self.records[h as usize];
-            let Some(i) = rec.iter().position(|&p| p == node) else {
+            let w = usize::from(node.0 >> 6);
+            if w >= self.words {
                 return false;
-            };
-            rec.swap_remove(i);
-            if rec.is_empty() {
+            }
+            let word = &mut self.records[h as usize][w];
+            let bit = 1u64 << (node.0 & 63);
+            if *word & bit == 0 {
+                return false;
+            }
+            *word &= !bit;
+            self.counts[h as usize] -= 1;
+            if self.counts[h as usize] == 0 {
                 self.heads[id as usize] = NO_RECORD;
                 self.free.push(h);
                 self.stats.frees += 1;
@@ -483,14 +563,15 @@ impl SwDirectory {
     /// Empties the directory while keeping the regime choice and the
     /// slot/record storage capacity — the machine-reuse reset path.
     /// Afterwards the directory behaves exactly like a freshly
-    /// constructed one (counters restart at zero; record-regime reader
-    /// arrays are recycled with their capacity intact).
+    /// constructed one (counters restart at zero; record-regime word
+    /// storage is recycled zeroed).
     pub fn clear(&mut self) {
         self.masks.clear();
         self.heads.clear();
         self.free.clear();
         for (i, rec) in self.records.iter_mut().enumerate() {
-            rec.clear();
+            rec.fill(0);
+            self.counts[i] = 0;
             self.free.push(i as u32);
         }
         self.live = 0;
@@ -498,10 +579,11 @@ impl SwDirectory {
     }
 
     /// Extension-record invariants for `id`, checked by the coherence
-    /// sanitizer: no duplicate reader pointers, and no record left
-    /// allocated but empty (duplicates are unrepresentable and empty
-    /// masks *are* "no record" under the mask regime, so only the
-    /// record regime can fail).
+    /// sanitizer: no record left allocated but empty, and the cached
+    /// reader count matching the presence bits (duplicates are
+    /// unrepresentable in both regimes, and empty masks *are* "no
+    /// record" under the mask regime, so only the record regime can
+    /// fail).
     pub fn structural_invariants(&self, id: u32) -> Result<(), String> {
         if self.mask_regime {
             return Ok(());
@@ -512,14 +594,18 @@ impl SwDirectory {
         if h == NO_RECORD {
             return Ok(());
         }
-        let readers = &self.records[h as usize];
-        if readers.is_empty() {
+        let count = self.counts[h as usize];
+        if count == 0 {
             return Err("empty software record left allocated".to_string());
         }
-        for (i, &p) in readers.iter().enumerate() {
-            if readers[..i].contains(&p) {
-                return Err(format!("duplicate software reader pointer {p}"));
-            }
+        let popcount: u32 = self.records[h as usize]
+            .iter()
+            .map(|w| w.count_ones())
+            .sum();
+        if popcount != count {
+            return Err(format!(
+                "software record counts {count} readers but stores {popcount}"
+            ));
         }
         Ok(())
     }
@@ -683,6 +769,39 @@ mod tests {
     }
 
     #[test]
+    fn regime_selection_holds_at_the_scale_boundaries() {
+        // 64 nodes is the last mask-regime machine; 65 tips into
+        // record vectors, and the word count tracks ceil(nodes / 64)
+        // exactly across the 255..=1024 ladder.
+        assert!(SwDirectory::for_nodes(64).mask_regime);
+        for (nodes, want) in [
+            (65, 2),
+            (255, 4),
+            (256, 4),
+            (257, 5),
+            (1023, 16),
+            (1024, 16),
+        ] {
+            let d = SwDirectory::for_nodes(nodes);
+            assert!(!d.mask_regime, "{nodes}");
+            assert_eq!(d.words, want, "{nodes}");
+        }
+        // The last addressable node on odd-sized machines lives in a
+        // partially-used top word and must round-trip.
+        for nodes in [255usize, 257, 1023] {
+            let mut d = SwDirectory::for_nodes(nodes);
+            let last = NodeId((nodes - 1) as u16);
+            assert!(d.record_reader(7, last), "{nodes}");
+            assert!(d.contains_reader(7, last), "{nodes}");
+            assert!(!d.contains_reader(7, NodeId::NONE), "{nodes}");
+            assert_eq!(d.readers_vec(7), vec![last], "{nodes}");
+            assert!(d.remove_reader(7, last), "{nodes}");
+            assert_eq!(d.live_entries(), 0, "{nodes}");
+            d.structural_invariants(7).unwrap();
+        }
+    }
+
+    #[test]
     fn record_and_read_back() {
         both_regimes(|d| {
             assert!(d.record_reader(1, NodeId(5)));
@@ -758,6 +877,60 @@ mod tests {
     }
 
     #[test]
+    fn word_record_bills_like_the_node_loop() {
+        // The record-regime bulk path (presence words from the slab
+        // hardware table) must leave stats and contents identical to
+        // the per-node loop it replaces, across word boundaries.
+        for nodes in [256usize, 1024] {
+            let mut a = SwDirectory::for_nodes(nodes);
+            let mut b = SwDirectory::for_nodes(nodes);
+            a.record_reader(1, NodeId(70));
+            b.record_reader(1, NodeId(70));
+            let readers = [NodeId(3), NodeId(63), NodeId(64), NodeId(70), NodeId(200)];
+            let mut words = vec![0u64; nodes.div_ceil(64)];
+            for n in readers {
+                words[usize::from(n.0 >> 6)] |= 1 << (n.0 & 63);
+            }
+            assert_eq!(
+                a.record_reader_words(1, &words),
+                b.record_readers(1, &readers)
+            );
+            assert_eq!(a.stats(), b.stats());
+            let mut sorted_b = b.readers_vec(1);
+            sorted_b.sort_unstable();
+            assert_eq!(a.readers_vec(1), sorted_b);
+            // All-zero word slices are free: no lookup, no allocation.
+            let before = a.stats();
+            assert_eq!(a.record_reader_words(2, &vec![0u64; words.len()]), 0);
+            assert_eq!(a.stats(), before);
+            assert!(!a.contains(2));
+        }
+    }
+
+    #[test]
+    fn record_regime_crosses_word_boundaries() {
+        let mut d = SwDirectory::for_nodes(1024);
+        let ids = [0u16, 63, 64, 65, 511, 512, 1023];
+        for n in ids {
+            assert!(d.record_reader(9, NodeId(n)));
+            assert!(!d.record_reader(9, NodeId(n)));
+        }
+        assert_eq!(d.reader_count(9), ids.len());
+        assert_eq!(
+            d.readers_vec(9),
+            ids.iter().map(|&n| NodeId(n)).collect::<Vec<_>>()
+        );
+        assert!(d.contains_reader(9, NodeId(1023)));
+        assert!(!d.contains_reader(9, NodeId(1022)));
+        assert!(d.remove_reader(9, NodeId(64)));
+        assert!(d.contains_reader(9, NodeId(63)) && d.contains_reader(9, NodeId(65)));
+        let mut out = Vec::new();
+        assert_eq!(d.drain_readers_into(9, &mut out), ids.len() - 1);
+        assert_eq!(d.live_entries(), 0);
+        assert!(d.structural_invariants(9).is_ok());
+    }
+
+    #[test]
     fn clear_readers_keeps_recycled_capacity() {
         both_regimes(|d| {
             for n in 0..8 {
@@ -766,9 +939,9 @@ mod tests {
             assert_eq!(d.clear_readers(1), 8);
             assert_eq!(d.live_entries(), 0);
             assert_eq!(d.stats().frees, 1);
-            // The recycled record still owns its grown reader array, so
-            // re-recording up to the old high-water mark allocates
-            // nothing (trivially true under the mask regime).
+            // The recycled record still owns its zeroed word storage,
+            // so re-recording allocates nothing new (trivially true
+            // under the mask regime).
             d.record_reader(2, NodeId(0));
             assert_eq!(d.readers_vec(2), vec![NodeId(0)]);
             assert_eq!(d.clear_readers(3), 0);

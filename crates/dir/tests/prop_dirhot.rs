@@ -17,8 +17,10 @@ const CASES: u64 = 48;
 
 /// Node counts spanning all three hardware regimes (Mask at <= 64;
 /// Fixed8 above 64 with capacity <= 8; Slab above both) and both
-/// software regimes (mask at <= 64 nodes, records beyond).
-const NODE_COUNTS: [usize; 4] = [16, 64, 68, 256];
+/// software regimes (mask at <= 64 nodes, records beyond), plus the
+/// 255/256/257 and 1023/1024 boundaries where the presence-word count
+/// steps and the scale-out machines actually run.
+const NODE_COUNTS: [usize; 8] = [16, 64, 68, 255, 256, 257, 1023, 1024];
 
 fn sorted(mut v: Vec<NodeId>) -> Vec<NodeId> {
     v.sort_unstable();
@@ -31,8 +33,10 @@ fn hw_rows_match_fat_entry_under_random_tapes() {
     for &nodes in &NODE_COUNTS {
         for capacity in [0usize, 1, 2, 5, 8, 9, 13] {
             // Node ids drawn slightly past 64 to force Fixed8 alias
-            // collisions (`node & 63`) when the machine allows it.
-            let span = nodes.min(80) as u64;
+            // collisions (`node & 63`) when the machine allows it; on
+            // the big boundary machines the full range is used instead
+            // so the slab's upper presence words see traffic.
+            let span = if nodes > 256 { nodes } else { nodes.min(80) } as u64;
             for case in 0..CASES {
                 let mut t = HwDirTable::with_nodes(capacity, nodes);
                 let row = t.push_row();

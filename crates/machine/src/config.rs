@@ -117,6 +117,12 @@ pub struct MachineConfig {
     /// (`sched_setaffinity` on Linux, no-op elsewhere) so each lane's
     /// dense node columns stay cache-resident.
     pub pin_lanes: bool,
+    /// Event-queue near-future window in cycles (power of two). `0`
+    /// derives it from the node count at build time: big machines
+    /// fan invalidations out to `O(nodes)` sharers at pipelined
+    /// per-message offsets, so the ladder window widens with the
+    /// machine instead of spilling those sends to the overflow heap.
+    pub event_horizon: usize,
 }
 
 impl MachineConfig {
@@ -158,6 +164,13 @@ pub enum ConfigError {
         /// The requested line size.
         line_bytes: u64,
     },
+    /// The explicit event horizon is not a power of two of at least
+    /// [`limitless_sim::MIN_WINDOW`] cycles (the ladder queue's bucket
+    /// bitmap is word-granular and indexed by mask).
+    BadEventHorizon {
+        /// The requested window width.
+        requested: usize,
+    },
 }
 
 impl std::fmt::Display for ConfigError {
@@ -180,6 +193,12 @@ impl std::fmt::Display for ConfigError {
                 f,
                 "cache capacity ({capacity_bytes} B) over line size ({line_bytes} B) \
                  must give a positive power-of-two set count"
+            ),
+            ConfigError::BadEventHorizon { requested } => write!(
+                f,
+                "event horizon must be a power of two of at least {} cycles \
+                 (or 0 to derive from the node count), got {requested}",
+                limitless_sim::MIN_WINDOW
             ),
         }
     }
@@ -226,6 +245,7 @@ impl Default for MachineConfigBuilder {
                 engine: EngineMode::Serial,
                 shard_publish_cycles: 0,
                 pin_lanes: true,
+                event_horizon: 0, // derived at build time if left 0
             },
         }
     }
@@ -337,6 +357,16 @@ impl MachineConfigBuilder {
         self
     }
 
+    /// Overrides the event-queue window width in cycles (otherwise
+    /// derived from the node count at build time). Must be a power of
+    /// two ≥ 64, or `0` to restore the derivation. Simulated results
+    /// are bit-identical for every width; only host wall time and
+    /// memory change.
+    pub fn event_horizon(mut self, cycles: usize) -> Self {
+        self.cfg.event_horizon = cycles;
+        self
+    }
+
     /// Convenience: `0` or `1` shard selects the serial engine, more
     /// selects the sharded parallel engine with that many lanes.
     pub fn shards(mut self, s: usize) -> Self {
@@ -385,6 +415,23 @@ impl MachineConfigBuilder {
             // A dissemination/tree barrier: O(log n) network phases.
             let log = usize::BITS - self.cfg.nodes.next_power_of_two().leading_zeros() - 1;
             self.cfg.barrier_cycles = 20 + 12 * u64::from(log);
+        }
+        match self.cfg.event_horizon {
+            // Invalidation rounds pipeline one send per sharer, so a
+            // wide-shared block on an N-node machine schedules events
+            // ~N pipeline slots out; 4×nodes keeps that fan-out (and
+            // the software extension's sequential sends) inside the
+            // bucket window. 1024 remains the floor, matching the
+            // historical fixed window on CM-5-scale machines.
+            0 => {
+                self.cfg.event_horizon = (4 * self.cfg.nodes)
+                    .max(limitless_sim::DEFAULT_WINDOW)
+                    .next_power_of_two();
+            }
+            h if h < limitless_sim::MIN_WINDOW || !h.is_power_of_two() => {
+                return Err(ConfigError::BadEventHorizon { requested: h });
+            }
+            _ => {}
         }
         Ok(self.cfg)
     }
@@ -534,6 +581,45 @@ mod tests {
     fn explicit_barrier_latency_respected() {
         let cfg = MachineConfig::builder().barrier_cycles(99).build();
         assert_eq!(cfg.barrier_cycles, 99);
+    }
+
+    #[test]
+    fn event_horizon_derivation_scales_with_nodes() {
+        // CM-5-scale machines keep the historical 1024-cycle window;
+        // 1024-node meshes widen to cover O(nodes) invalidation
+        // fan-out. Always a power of two (the ladder masks with it).
+        for (nodes, want) in [
+            (16, 1024),
+            (64, 1024),
+            (256, 1024),
+            (512, 2048),
+            (1024, 4096),
+        ] {
+            let cfg = MachineConfig::builder().nodes(nodes).build();
+            assert_eq!(cfg.event_horizon, want, "nodes {nodes}");
+            assert!(cfg.event_horizon.is_power_of_two());
+        }
+    }
+
+    #[test]
+    fn explicit_event_horizon_respected_and_validated() {
+        let cfg = MachineConfig::builder().event_horizon(8192).build();
+        assert_eq!(cfg.event_horizon, 8192);
+        for bad in [1, 32, 1000, 3000] {
+            assert_eq!(
+                MachineConfig::builder()
+                    .event_horizon(bad)
+                    .try_build()
+                    .unwrap_err(),
+                ConfigError::BadEventHorizon { requested: bad },
+                "horizon {bad}"
+            );
+        }
+        let err = MachineConfig::builder()
+            .event_horizon(1000)
+            .try_build()
+            .unwrap_err();
+        assert!(err.to_string().contains("power of two"), "{err}");
     }
 
     #[test]

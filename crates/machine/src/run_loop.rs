@@ -392,7 +392,7 @@ impl Machine {
             total_nodes: total,
             nodes: std::mem::take(&mut self.nodes),
             net: self.net.clone(),
-            queue: EventQueue::new(),
+            queue: EventQueue::with_window(self.cfg.event_horizon),
             slot: None,
             executed: 0,
             finished: 0,
@@ -462,7 +462,7 @@ impl Machine {
                 total_nodes: total,
                 nodes: all.split_off(bounds[l]),
                 net: self.net.clone(),
-                queue: EventQueue::new(),
+                queue: EventQueue::with_window(self.cfg.event_horizon),
                 slot: None,
                 executed: 0,
                 finished: 0,

@@ -24,13 +24,13 @@ const STEPS: usize = 48;
 /// Random partitioned-writer programs (each node writes only its own
 /// blocks, reads anywhere), the same construction the protocol
 /// equivalence property uses.
-fn programs(nodes: usize, seed: u64) -> Vec<Box<dyn Program>> {
+fn programs(nodes: usize, blocks: u64, steps: usize, seed: u64) -> Vec<Box<dyn Program>> {
     (0..nodes)
         .map(|i| {
             let mut rng = SplitMix64::new(seed ^ (i as u64).wrapping_mul(0x9E37_79B9));
             let mut step = 0usize;
             Box::new(FnProgram(move |node: NodeId, _| {
-                if step >= STEPS {
+                if step >= steps {
                     return Op::Finish;
                 }
                 step += 1;
@@ -40,12 +40,12 @@ fn programs(nodes: usize, seed: u64) -> Vec<Box<dyn Program>> {
                 let r = rng.next_below(10);
                 if r < 3 {
                     let b =
-                        u64::from(node.0) + nodes as u64 * rng.next_below(BLOCKS / nodes as u64);
+                        u64::from(node.0) + nodes as u64 * rng.next_below(blocks / nodes as u64);
                     Op::Write(Addr(0x1000 + b * 16), u64::from(node.0) << 32 | step as u64)
                 } else if r < 4 {
                     Op::Compute(rng.next_below(60) + 1)
                 } else {
-                    Op::Read(Addr(0x1000 + rng.next_below(BLOCKS) * 16))
+                    Op::Read(Addr(0x1000 + rng.next_below(blocks) * 16))
                 }
             })) as Box<dyn Program>
         })
@@ -59,8 +59,12 @@ struct RunOutput {
 }
 
 fn run_cfg(cfg: MachineConfig, nodes: usize, seed: u64) -> RunOutput {
+    run_sized(cfg, nodes, BLOCKS, STEPS, seed)
+}
+
+fn run_sized(cfg: MachineConfig, nodes: usize, blocks: u64, steps: usize, seed: u64) -> RunOutput {
     let mut m = Machine::new(cfg);
-    m.load(programs(nodes, seed));
+    m.load(programs(nodes, blocks, steps, seed));
     let report = m.run();
     RunOutput {
         image: m.memory_image(),
@@ -159,6 +163,51 @@ fn prime_node_counts_are_bit_identical() {
             &sharded,
             &format!("67 nodes, {shards} shards (seed {seed:#x})"),
         );
+    }
+}
+
+/// The scale-out boundary node counts: 255 and 257 straddle a
+/// presence-word seam in the slab directory (four words either side of
+/// 256), 1023 and 1024 are the paper-fidelity rung where `u16` node
+/// ids, the lane partitioner and the lookahead matrix meet their
+/// largest machines. The big rungs run the 16-pointer protocol so the
+/// word-parallel slab hardware regime (capacity > 8) carries the
+/// directory traffic end to end; programs are shortened to keep the
+/// 1024-node machines test-sized.
+#[test]
+fn scale_boundary_node_counts_are_bit_identical() {
+    let mut case_rng = SplitMix64::new(0x400);
+    let cases: [(usize, usize, &[usize]); 4] = [
+        (255, 5, &[4]),
+        (257, 5, &[4]),
+        (1023, 16, &[2, 4]),
+        (1024, 16, &[2, 4]),
+    ];
+    for (nodes, ptrs, lane_counts) in cases {
+        let cfg = |shards: usize| {
+            MachineConfig::builder()
+                .nodes(nodes)
+                .protocol(ProtocolSpec::limitless(ptrs))
+                .shards(shards)
+                .build()
+        };
+        let blocks = 2 * nodes as u64;
+        let steps = if nodes > 512 { 20 } else { 32 };
+        let seed = case_rng.next_u64();
+        let reference = run_sized(cfg(1), nodes, blocks, steps, seed);
+        assert_eq!(reference.fingerprints.len(), nodes, "{nodes} nodes");
+        assert!(
+            reference.fingerprints.iter().any(|&f| f != 0),
+            "the workload must touch the directories at {nodes} nodes"
+        );
+        for &shards in lane_counts {
+            let sharded = run_sized(cfg(shards), nodes, blocks, steps, seed);
+            assert_identical(
+                &reference,
+                &sharded,
+                &format!("{nodes} nodes, {shards} shards (seed {seed:#x})"),
+            );
+        }
     }
 }
 

@@ -37,13 +37,19 @@ use std::collections::BinaryHeap;
 
 use crate::time::Cycle;
 
-/// Size of the near-future window in cycles. Power of two so the
-/// bucket index is a mask. 1024 comfortably covers every short-lived
-/// event in the machine model (hit latencies, hop counts, handler
-/// occupancies, capped BUSY backoffs).
-const WINDOW: usize = 1024;
-const MASK: u64 = WINDOW as u64 - 1;
-const WORDS: usize = WINDOW / 64;
+/// Default size of the near-future window in cycles. Power of two so
+/// the bucket index is a mask. 1024 comfortably covers every
+/// short-lived event in the machine model at CM-5-era node counts
+/// (hit latencies, hop counts, handler occupancies, capped BUSY
+/// backoffs); larger meshes widen the window via
+/// [`EventQueue::with_window`] so long min-hop latencies and
+/// log-scaled barrier releases don't degenerate into the overflow
+/// heap.
+pub const DEFAULT_WINDOW: usize = 1024;
+
+/// Smallest window [`EventQueue::with_window`] accepts: one occupancy
+/// bitmap word.
+pub const MIN_WINDOW: usize = 64;
 
 /// Null link in the slot arena.
 const NIL: u32 = u32::MAX;
@@ -118,14 +124,20 @@ pub struct EventQueue<E> {
     slots: Vec<Slot<E>>,
     /// Head of the freelist through the arena.
     free_head: u32,
-    /// Per-bucket list heads; bucket `t & MASK` holds only events for
-    /// cycle `t`, `t` in `[now, now + WINDOW)`, in ascending key order.
+    /// Per-bucket list heads; bucket `t & mask` holds only events for
+    /// cycle `t`, `t` in `[now, now + window)`, in ascending key order.
     heads: Vec<u32>,
     /// Per-bucket list tails (meaningful only while the bucket is
     /// non-empty), so the common monotone-key append is `O(1)`.
     tails: Vec<u32>,
     /// One bit per bucket: set iff the bucket is non-empty.
-    occupied: [u64; WORDS],
+    occupied: Box<[u64]>,
+    /// Window width in cycles (power of two, ≥ [`MIN_WINDOW`]).
+    window: usize,
+    /// `window - 1`: the bucket-index mask.
+    mask: u64,
+    /// `window / 64`: occupancy bitmap length in words.
+    words: usize,
     /// Events currently sitting in window buckets.
     in_window: usize,
     /// Events at `>= now + WINDOW`, min-ordered by `(time, key)`.
@@ -149,14 +161,35 @@ impl<E> Default for EventQueue<E> {
 }
 
 impl<E> EventQueue<E> {
-    /// Creates an empty queue with the clock at [`Cycle::ZERO`].
+    /// Creates an empty queue with the clock at [`Cycle::ZERO`] and
+    /// the [`DEFAULT_WINDOW`]-cycle near-future window.
     pub fn new() -> Self {
+        Self::with_window(DEFAULT_WINDOW)
+    }
+
+    /// Creates an empty queue whose near-future window spans `window`
+    /// cycles. Wider windows keep long-latency events (wide-mesh hop
+    /// chains, log-scaled barriers) in `O(1)` buckets instead of the
+    /// `O(log n)` overflow heap, at the cost of `window` bucket slots
+    /// of memory; ordering is identical for every width.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `window` is a power of two ≥ [`MIN_WINDOW`].
+    pub fn with_window(window: usize) -> Self {
+        assert!(
+            window >= MIN_WINDOW && window.is_power_of_two(),
+            "window must be a power of two >= {MIN_WINDOW}, got {window}"
+        );
         EventQueue {
             slots: Vec::new(),
             free_head: NIL,
-            heads: vec![NIL; WINDOW],
-            tails: vec![NIL; WINDOW],
-            occupied: [0; WORDS],
+            heads: vec![NIL; window],
+            tails: vec![NIL; window],
+            occupied: vec![0; window / 64].into_boxed_slice(),
+            window,
+            mask: window as u64 - 1,
+            words: window / 64,
             in_window: 0,
             far: BinaryHeap::new(),
             hint: None,
@@ -164,6 +197,17 @@ impl<E> EventQueue<E> {
             now: Cycle::ZERO,
             processed: 0,
         }
+    }
+
+    /// The near-future window width in cycles.
+    pub fn window(&self) -> usize {
+        self.window
+    }
+
+    /// Number of events currently parked in the overflow heap (beyond
+    /// `now + window`) — the quantity a well-chosen window minimizes.
+    pub fn overflow_len(&self) -> usize {
+        self.far.len()
     }
 
     /// Schedules `event` to fire at absolute time `at`, breaking
@@ -195,9 +239,9 @@ impl<E> EventQueue<E> {
             "event scheduled in the past: at={at}, now={}",
             self.now
         );
-        // Distance, not absolute comparison: `now + WINDOW` may not be
+        // Distance, not absolute comparison: `now + window` may not be
         // representable when the clock runs near `u64::MAX`.
-        if at.0 - self.now.0 < WINDOW as u64 {
+        if at.0 - self.now.0 < self.window as u64 {
             self.push_bucket(at, key, event);
         } else {
             self.far.push(FarEntry {
@@ -234,7 +278,7 @@ impl<E> EventQueue<E> {
     }
 
     fn push_bucket(&mut self, at: Cycle, key: u64, event: E) {
-        let idx = (at.0 & MASK) as usize;
+        let idx = (at.0 & self.mask) as usize;
         let s = self.alloc_slot(key, event);
         let head = self.heads[idx];
         if head == NIL {
@@ -285,7 +329,7 @@ impl<E> EventQueue<E> {
         while let Some(top) = self.far.peek() {
             // Far times are always >= now, so the distance check
             // cannot underflow and never overflows near u64::MAX.
-            if top.time.0 - self.now.0 >= WINDOW as u64 {
+            if top.time.0 - self.now.0 >= self.window as u64 {
                 break;
             }
             let FarEntry { time, key, event } = self.far.pop().expect("peeked entry");
@@ -298,14 +342,14 @@ impl<E> EventQueue<E> {
     /// Circular distance from `now`'s slot equals distance in time, so
     /// the first hit is the earliest pending window event.
     fn first_occupied(&self) -> Option<usize> {
-        let s = (self.now.0 & MASK) as usize;
+        let s = (self.now.0 & self.mask) as usize;
         let (word0, bit0) = (s / 64, s % 64);
         let w = self.occupied[word0] >> bit0;
         if w != 0 {
             return Some(s + w.trailing_zeros() as usize);
         }
-        for k in 1..WORDS {
-            let wi = (word0 + k) % WORDS;
+        for k in 1..self.words {
+            let wi = (word0 + k) % self.words;
             let w = self.occupied[wi];
             if w != 0 {
                 return Some(wi * 64 + w.trailing_zeros() as usize);
@@ -321,7 +365,7 @@ impl<E> EventQueue<E> {
 
     /// The absolute time of the (occupied) bucket at `idx`.
     fn time_of(&self, idx: usize) -> Cycle {
-        let dist = (idx as u64).wrapping_sub(self.now.0) & MASK;
+        let dist = (idx as u64).wrapping_sub(self.now.0) & self.mask;
         Cycle(self.now.0 + dist)
     }
 
@@ -451,7 +495,8 @@ impl<E> std::fmt::Debug for EventQueue<E> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("EventQueue")
             .field("now", &self.now)
-            .field("window", &self.in_window)
+            .field("window_cycles", &self.window)
+            .field("in_window", &self.in_window)
             .field("far", &self.far.len())
             .field("processed", &self.processed)
             .finish()
@@ -461,6 +506,11 @@ impl<E> std::fmt::Debug for EventQueue<E> {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// The boundary-sensitive tests below exercise the default
+    /// geometry; `wide_windows_*` repeat the discipline at other
+    /// widths.
+    const WINDOW: usize = DEFAULT_WINDOW;
 
     #[test]
     fn pops_in_time_order() {
@@ -672,5 +722,83 @@ mod tests {
             out
         }
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn default_window_is_the_documented_width() {
+        let q: EventQueue<()> = EventQueue::new();
+        assert_eq!(q.window(), DEFAULT_WINDOW);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_window_panics() {
+        let _: EventQueue<()> = EventQueue::with_window(1000);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn undersized_window_panics() {
+        let _: EventQueue<()> = EventQueue::with_window(32);
+    }
+
+    #[test]
+    fn wide_windows_keep_long_latencies_out_of_overflow() {
+        // An event at DEFAULT_WINDOW + 10 spills under the default
+        // geometry but sits in a bucket under a 4096-cycle window.
+        let t = Cycle(DEFAULT_WINDOW as u64 + 10);
+        let mut narrow: EventQueue<&str> = EventQueue::new();
+        narrow.schedule(t, "spills");
+        assert_eq!(narrow.overflow_len(), 1);
+        let mut wide: EventQueue<&str> = EventQueue::with_window(4096);
+        wide.schedule(t, "bucketed");
+        assert_eq!(wide.overflow_len(), 0);
+        assert_eq!(wide.pop(), Some((t, "bucketed")));
+    }
+
+    #[test]
+    fn wide_windows_preserve_boundary_and_tie_order() {
+        for window in [64usize, 2048, 8192] {
+            let w = window as u64;
+            let mut q = EventQueue::with_window(window);
+            // Exactly at the last slot vs just past it.
+            q.schedule_keyed(Cycle(w), 0, "outside");
+            q.schedule_keyed(Cycle(w - 1), 1, "inside");
+            assert_eq!(q.overflow_len(), 1, "window {window}");
+            assert_eq!(q.pop(), Some((Cycle(w - 1), "inside")));
+            assert_eq!(q.pop(), Some((Cycle(w), "outside")));
+            // Keyed ties sort identically after overflow migration.
+            let t = Cycle(3 * w);
+            q.schedule_keyed(t, 50, "b");
+            q.schedule_keyed(Cycle(2 * w + w / 2), 99, "gap");
+            q.pop();
+            q.schedule_keyed(t, 70, "c");
+            q.schedule_keyed(t, 10, "a");
+            assert_eq!(q.pop(), Some((t, "a")), "window {window}");
+            assert_eq!(q.pop(), Some((t, "b")), "window {window}");
+            assert_eq!(q.pop(), Some((t, "c")), "window {window}");
+        }
+    }
+
+    #[test]
+    fn window_widths_agree_on_pop_sequences() {
+        // The same schedule must drain identically at every geometry —
+        // the window only moves events between buckets and the heap.
+        fn drain(window: usize) -> Vec<(Cycle, u64)> {
+            let mut q = EventQueue::with_window(window);
+            let mut out = Vec::new();
+            for i in 0..200u64 {
+                let at = (i * 97) % 7000;
+                q.schedule_keyed(Cycle(at), i, i);
+            }
+            while let Some(e) = q.pop() {
+                out.push(e);
+            }
+            out
+        }
+        let reference = drain(DEFAULT_WINDOW);
+        for window in [64usize, 256, 4096, 16384] {
+            assert_eq!(drain(window), reference, "window {window}");
+        }
     }
 }

@@ -44,7 +44,7 @@ pub mod time;
 pub use hash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use ids::{fast_mod, Addr, BlockAddr, NodeId};
 pub use intern::BlockInterner;
-pub use ladder::EventQueue;
+pub use ladder::{EventQueue, DEFAULT_WINDOW, MIN_WINDOW};
 pub use pool::MessagePool;
 pub use queue::HeapEventQueue;
 pub use rng::SplitMix64;

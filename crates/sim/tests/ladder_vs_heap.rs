@@ -28,6 +28,20 @@ fn random_delay(rng: &mut SplitMix64) -> u64 {
     }
 }
 
+/// Draws a delay that straddles an arbitrary window width — the
+/// wide-horizon analogue of [`random_delay`], used to exercise
+/// [`EventQueue::with_window`] geometries at their own boundaries.
+fn random_delay_for(rng: &mut SplitMix64, window: u64) -> u64 {
+    match rng.next_below(10) {
+        0 => 0,
+        1..=4 => rng.next_below(64),
+        5..=6 => rng.next_below(window / 2 + 1),
+        7 => window - 2 + rng.next_below(5),
+        8 => window + rng.next_below(window),
+        _ => 5 * window + rng.next_below(100 * window),
+    }
+}
+
 /// One randomized interleaving: both queues receive the identical
 /// operation sequence; every observable must match at every step.
 fn run_trial(seed: u64) {
@@ -83,6 +97,54 @@ fn ladder_matches_heap_on_randomized_interleavings() {
     let mut seeder = SplitMix64::new(0x1a_dde2_0ec4);
     for _ in 0..1_200 {
         run_trial(seeder.next_u64());
+    }
+}
+
+#[test]
+fn wide_window_ladders_match_heap_on_randomized_interleavings() {
+    // The scaling path (`MachineConfig::event_horizon`) widens the
+    // bucket window; every geometry must stay observationally
+    // identical to the heap reference, with delays drawn to straddle
+    // *that* window's boundary rather than the default one.
+    let mut seeder = SplitMix64::new(0x71de_11a2_dde2);
+    for window in [64usize, 2048, 4096, 16384] {
+        for _ in 0..150 {
+            let seed = seeder.next_u64();
+            let mut rng = SplitMix64::new(seed);
+            let mut ladder = EventQueue::with_window(window);
+            let mut heap = HeapEventQueue::new();
+            let mut next_id: u64 = 0;
+            let ops = 60 + rng.next_below(180);
+            for op in 0..ops {
+                if rng.next_below(100) < if op < ops / 2 { 65 } else { 35 } {
+                    let delay = random_delay_for(&mut rng, window as u64);
+                    let at = Cycle(ladder.now().as_u64() + delay);
+                    for _ in 0..=rng.next_below(3) {
+                        let key = (rng.next_below(1 << 16) << 32) | next_id;
+                        ladder.schedule_keyed(at, key, next_id);
+                        heap.schedule_keyed(at, key, next_id);
+                        next_id += 1;
+                    }
+                } else {
+                    assert_eq!(
+                        ladder.pop(),
+                        heap.pop(),
+                        "pop diverged (window {window}, seed {seed:#x})"
+                    );
+                }
+                assert_eq!(ladder.peek(), heap.peek(), "window {window} seed {seed:#x}");
+                assert_eq!(ladder.len(), heap.len(), "window {window} seed {seed:#x}");
+                assert_eq!(ladder.now(), heap.now(), "window {window} seed {seed:#x}");
+            }
+            loop {
+                let (l, h) = (ladder.pop(), heap.pop());
+                assert_eq!(l, h, "drain diverged (window {window}, seed {seed:#x})");
+                if l.is_none() {
+                    break;
+                }
+            }
+            assert_eq!(ladder.processed(), heap.processed(), "seed {seed:#x}");
+        }
     }
 }
 

@@ -82,6 +82,58 @@ fn ladder_matches_heap_near_u64_max() {
 }
 
 #[test]
+fn wide_window_ladder_matches_heap_near_u64_max() {
+    // The wide-horizon geometry repeats the wraparound discipline:
+    // bucket indices wrap mid-window at the top of the u64 range, and
+    // `now + window` is unrepresentable, for every configured width.
+    let mut seeder = SplitMix64::new(0x51de_3a9e_1171);
+    for window in [2048u64, 8192] {
+        for trial in 0..120 {
+            let seed = seeder.next_u64();
+            let mut rng = SplitMix64::new(seed);
+            let mut ladder = EventQueue::with_window(window as usize);
+            let mut heap = HeapEventQueue::new();
+            warp(&mut ladder, &mut heap, BASE + rng.next_below(3 * window));
+            let mut next_id: u64 = 1;
+            let ops = 60 + rng.next_below(100);
+            for op in 0..ops {
+                if rng.next_below(100) < if op < ops / 2 { 65 } else { 35 } {
+                    let delay = match rng.next_below(8) {
+                        0 => 0,
+                        1..=3 => rng.next_below(64),
+                        4 => window - 2 + rng.next_below(5),
+                        5 => window + rng.next_below(window),
+                        _ => rng.next_below(20 * window),
+                    };
+                    let at = Cycle(ladder.now().as_u64() + delay);
+                    for _ in 0..=rng.next_below(3) {
+                        let key = (rng.next_below(1 << 16) << 32) | next_id;
+                        ladder.schedule_keyed(at, key, next_id);
+                        heap.schedule_keyed(at, key, next_id);
+                        next_id += 1;
+                    }
+                } else {
+                    assert_eq!(
+                        ladder.pop(),
+                        heap.pop(),
+                        "trial {trial} op {op} (window {window}, seed {seed:#x})"
+                    );
+                }
+                assert_eq!(ladder.peek(), heap.peek(), "window {window} seed {seed:#x}");
+                assert_eq!(ladder.now(), heap.now(), "window {window} seed {seed:#x}");
+            }
+            loop {
+                let (l, h) = (ladder.pop(), heap.pop());
+                assert_eq!(l, h, "drain (window {window}, seed {seed:#x})");
+                if l.is_none() {
+                    break;
+                }
+            }
+        }
+    }
+}
+
+#[test]
 fn events_at_u64_max_are_reachable() {
     let mut ladder = EventQueue::new();
     let mut heap = HeapEventQueue::new();
